@@ -1,0 +1,105 @@
+/// \file bench_ablation_conservative_raster.cpp
+/// \brief Ablation: conservative vs plain outline rasterization for the
+/// accurate variant's boundary FBO (§6.1). Plain DDA outlines can miss
+/// partially-covered pixels, silently breaking exactness; conservative
+/// rasterization costs more boundary pixels (→ more PIP tests) but
+/// guarantees correctness. This bench measures both sides of that trade.
+#include <cmath>
+
+#include "bench_common.h"
+#include "join/raster_join_accurate.h"
+#include "raster/pipeline.h"
+#include "triangulate/triangulation.h"
+
+using namespace rj;
+using namespace rj::bench;
+
+int main() {
+  PrintHeader("Ablation: conservative vs plain boundary rasterization",
+              "section 6.1 ('conservative rasterization is used to ensure "
+              "that no boundary pixels are missed')");
+
+  auto regions = NycNeighborhoods();
+  if (!regions.ok()) return 1;
+  PolygonSet polys = regions.value();
+  const BBox world = NycExtentMeters();
+  const PointTable points = GenerateTaxiPoints(Scaled(500'000));
+
+  auto soup_result = TriangulatePolygonSet(polys);
+  if (!soup_result.ok()) return 1;
+  const TriangleSoup& soup = soup_result.value();
+
+  const JoinResult truth =
+      ReferenceJoin(points, polys, FilterSet(), PointTable::npos);
+
+  for (const bool conservative : {true, false}) {
+    // Count marked boundary pixels at the accurate join's resolution.
+    const std::int32_t dim = 2048;
+    raster::Viewport vp(world, dim, dim);
+    raster::Fbo boundary(dim, dim);
+    Timer t_outline;
+    raster::DrawBoundaries(vp, polys, conservative, &boundary, nullptr);
+    const double outline_ms = t_outline.ElapsedMillis();
+    std::size_t marked = 0;
+    for (std::int32_t y = 0; y < dim; ++y) {
+      for (std::int32_t x = 0; x < dim; ++x) {
+        marked += raster::IsBoundaryPixel(boundary, x, y) ? 1 : 0;
+      }
+    }
+
+    // Exactness check: run the accurate join but with this boundary mode.
+    // (The library always uses conservative internally; emulate the plain
+    // mode by re-running its steps here.)
+    raster::Fbo point_fbo(dim, dim);
+    raster::ResultArrays arrays(polys.size());
+    Timer t_join;
+    // Step 2: points.
+    std::uint64_t boundary_pts = 0;
+    auto index =
+        GridIndex::Build(polys, world, 1024, GridAssignMode::kMbr);
+    if (!index.ok()) return 1;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const Point p = points.At(i);
+      const Point s = vp.ToScreen(p);
+      const auto px = static_cast<std::int32_t>(std::floor(s.x));
+      const auto py = static_cast<std::int32_t>(std::floor(s.y));
+      if (px < 0 || px >= dim || py < 0 || py >= dim) continue;
+      if (raster::IsBoundaryPixel(boundary, px, py)) {
+        ++boundary_pts;
+        auto [cb, ce] = index.value().Candidates(p);
+        for (const std::int32_t* c = cb; c != ce; ++c) {
+          if (polys[static_cast<std::size_t>(*c)].Contains(p)) {
+            arrays.count[static_cast<std::size_t>(
+                polys[static_cast<std::size_t>(*c)].id())] += 1.0;
+          }
+        }
+      } else {
+        point_fbo.Add(px, py, raster::kChannelCount, 1.0f);
+      }
+    }
+    // Step 3: polygons.
+    raster::ResultArrays poly_pass(polys.size());
+    raster::DrawPolygons(vp, soup, point_fbo, &boundary, &poly_pass,
+                         nullptr);
+    arrays.AddFrom(poly_pass);
+    const double join_ms = t_join.ElapsedMillis();
+
+    double l1 = 0;
+    for (std::size_t i = 0; i < polys.size(); ++i) {
+      l1 += std::fabs(arrays.count[i] - truth.arrays.count[i]);
+    }
+    std::printf(
+        "%-13s outline=%7.1f ms  boundary px=%8zu  boundary pts=%8llu  "
+        "join=%8.1f ms  L1 error=%.0f %s\n",
+        conservative ? "conservative" : "plain", outline_ms, marked,
+        static_cast<unsigned long long>(boundary_pts), join_ms, l1,
+        l1 == 0 ? "(exact)" : "(WRONG RESULTS)");
+  }
+
+  std::printf(
+      "\nTakeaway: plain outlines are cheaper but can miss partially\n"
+      "covered pixels and lose points near corners; conservative\n"
+      "rasterization pays a few more boundary pixels to stay exact —\n"
+      "the paper's choice for the accurate variant.\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+/// \file bench_ablation_index_structures.cpp
+/// \brief Ablation: flat grid (§6.1) vs STR R-tree as the candidate
+/// generator for Procedure JoinPoint. The paper chose the grid for O(1)
+/// probes built on the fly per query; this bench quantifies that choice:
+/// build time, probe throughput, and candidates per probe.
+#include "bench_common.h"
+#include "index/grid_index.h"
+#include "index/rtree.h"
+
+using namespace rj;
+using namespace rj::bench;
+
+int main() {
+  PrintHeader("Ablation: grid index vs R-tree candidate generation",
+              "design choice in section 6.1 (grid with O(1) lookup, built "
+              "per query)");
+
+  const BBox extent = NycExtentMeters();
+  const PointTable probes = GenerateTaxiPoints(Scaled(500'000));
+
+  std::printf("%-8s | %14s %14s | %14s %14s | %12s %12s\n", "#poly",
+              "grid-build(ms)", "rtree-build(ms)", "grid-probe(ms)",
+              "rtree-probe(ms)", "grid cand/pt", "rtree cand/pt");
+
+  for (const std::size_t n_polys : {260u, 1000u, 4000u}) {
+    auto regions = TinyRegions(n_polys, extent, 77 + n_polys);
+    if (!regions.ok()) return 1;
+    const PolygonSet& polys = regions.value();
+
+    double grid_build_ms = 0, rtree_build_ms = 0;
+    Result<GridIndex> grid_r = [&] {
+      Timer t;
+      auto r = GridIndex::Build(polys, extent, 1024, GridAssignMode::kMbr);
+      grid_build_ms = t.ElapsedMillis();
+      return r;
+    }();
+    if (!grid_r.ok()) return 1;
+    Result<RTree> rtree_r = [&] {
+      Timer t;
+      auto r = RTree::Build(polys, 16);
+      rtree_build_ms = t.ElapsedMillis();
+      return r;
+    }();
+    if (!rtree_r.ok()) return 1;
+
+    // Probe phase: count candidates over the full probe set.
+    std::uint64_t grid_cands = 0, rtree_cands = 0;
+    Timer t_grid;
+    for (std::size_t i = 0; i < probes.size(); ++i) {
+      auto [b, e] = grid_r.value().Candidates(probes.At(i));
+      grid_cands += static_cast<std::uint64_t>(e - b);
+    }
+    const double grid_probe_ms = t_grid.ElapsedMillis();
+
+    Timer t_rtree;
+    for (std::size_t i = 0; i < probes.size(); ++i) {
+      rtree_r.value().Query(probes.At(i),
+                            [&rtree_cands](std::int32_t) { ++rtree_cands; });
+    }
+    const double rtree_probe_ms = t_rtree.ElapsedMillis();
+
+    std::printf("%-8zu | %14.1f %15.1f | %14.1f %15.1f | %12.2f %13.2f\n",
+                static_cast<std::size_t>(n_polys), grid_build_ms,
+                rtree_build_ms, grid_probe_ms, rtree_probe_ms,
+                static_cast<double>(grid_cands) / probes.size(),
+                static_cast<double>(rtree_cands) / probes.size());
+  }
+
+  std::printf(
+      "\nTakeaway: the flat grid probes in O(1) and is cheap enough to\n"
+      "(re)build per query, which is why section 6.1 uses it; the R-tree's\n"
+      "candidate lists are tighter (MBR-contains filtering at the leaves)\n"
+      "but probing costs a tree descent per point.\n");
+  return 0;
+}

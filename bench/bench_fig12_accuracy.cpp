@@ -1,0 +1,105 @@
+/// \file bench_fig12_accuracy.cpp
+/// \brief Reproduces Figure 12: accuracy analysis of the bounded variant.
+/// (a) accuracy–time trade-off over an ε sweep, showing the crossover
+///     where the multi-pass bounded join becomes slower than accurate;
+/// (b) per-polygon percent-error distribution (box-plot stats) per ε;
+/// (c) accurate-vs-approximate pairs with the expected result intervals
+///     at the coarsest bound (ε = 20 m).
+#include "bench_common.h"
+#include "query/executor.h"
+
+using namespace rj;
+using namespace rj::bench;
+
+int main() {
+  PrintHeader("Figure 12: accuracy analysis (taxi x neighborhoods)",
+              "Fig. 12 (paper: median error ~0.15% at eps=10m; crossover "
+              "at small eps; tight expected intervals at eps=20m)");
+
+  auto regions = NycNeighborhoods();
+  if (!regions.ok()) return 1;
+  PolygonSet polys = regions.value();
+
+  const std::size_t n = Scaled(600'000);  // paper: 600M out-of-core
+  const PointTable points = GenerateTaxiPoints(n);
+
+  gpu::Device device(PaperDeviceOptions(/*memory=*/8ull << 20,
+                                        /*max_fbo=*/4096));
+  Executor executor(&device, &points, &polys);
+
+  // Ground truth (accurate variant) + its time for the crossover line.
+  SpatialAggQuery accurate_query;
+  accurate_query.variant = JoinVariant::kAccurateRaster;
+  accurate_query.accurate_canvas_dim = 2048;
+  Timer t_acc;
+  auto exact = executor.Execute(accurate_query);
+  if (!exact.ok()) return 1;
+  const double accurate_ms = t_acc.ElapsedMillis();
+
+  std::printf("--- (a)+(b): accuracy-time and accuracy-epsilon ---\n");
+  std::printf("accurate variant reference time: %.1f ms\n\n", accurate_ms);
+  std::printf("%-10s %8s %12s | %9s %9s %9s %9s %9s\n", "eps(m)", "tiles",
+              "time(ms)", "err-min%", "q1%", "median%", "q3%", "whisk-hi%");
+
+  for (const double eps : {40.0, 20.0, 10.0, 5.0, 2.5}) {
+    SpatialAggQuery query;
+    query.variant = JoinVariant::kBoundedRaster;
+    query.epsilon = eps;
+    Timer t;
+    auto r = executor.Execute(query);
+    if (!r.ok()) {
+      std::fprintf(stderr, "eps %.2f: %s\n", eps,
+                   r.status().ToString().c_str());
+      return 1;
+    }
+    const double ms = t.ElapsedMillis();
+    const BoxStats stats =
+        ComputeBoxStats(PercentErrors(r.value().values, exact.value().values));
+    // Tile count at this eps (from the canvas plan).
+    auto tiles = raster::PlanCanvas(executor.world(), eps,
+                                    device.options().max_fbo_dim);
+    std::printf("%-10.2f %8zu %12.1f | %9.4f %9.4f %9.4f %9.4f %9.4f %s\n",
+                eps, tiles.ok() ? tiles.value().size() : 0, ms, stats.min,
+                stats.q1, stats.median, stats.q3, stats.whisker_hi,
+                ms > accurate_ms ? "<- slower than accurate" : "");
+  }
+
+  // (c) scatter data at eps = 20 m with expected intervals.
+  std::printf("\n--- (c): accurate vs approximate at eps=20m (first 15 "
+              "polygons) ---\n");
+  SpatialAggQuery coarse;
+  coarse.variant = JoinVariant::kBoundedRaster;
+  coarse.epsilon = 20.0;
+  coarse.with_result_ranges = true;
+  auto approx = executor.Execute(coarse);
+  if (!approx.ok()) {
+    std::fprintf(stderr, "ranges: %s\n", approx.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%-8s %12s %12s %26s %8s\n", "polygon", "accurate", "approx",
+              "expected interval", "covers?");
+  std::size_t covered = 0, nonzero = 0;
+  for (std::size_t i = 0; i < polys.size(); ++i) {
+    const double e = exact.value().values[i];
+    const auto& iv = approx.value().ranges.expected[i];
+    const bool covers = iv.Contains(e);
+    if (e > 0) {
+      ++nonzero;
+      covered += covers ? 1 : 0;
+    }
+    if (i < 15) {
+      std::printf("%-8zu %12.0f %12.0f [%11.1f, %11.1f] %8s\n", i, e,
+                  approx.value().values[i], iv.lower, iv.upper,
+                  covers ? "yes" : "no");
+    }
+  }
+  std::printf("...\nexpected-interval coverage: %zu / %zu polygons\n",
+              covered, nonzero);
+
+  std::printf(
+      "\nShape check vs paper: error quartiles shrink monotonically with\n"
+      "eps (Fig. 12b); time grows as the pass count rises and eventually\n"
+      "crosses the accurate variant (Fig. 12a); approximate values hug the\n"
+      "diagonal with tight expected intervals at eps=20m (Fig. 12c).\n");
+  return 0;
+}

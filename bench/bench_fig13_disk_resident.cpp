@@ -1,0 +1,135 @@
+/// \file bench_fig13_disk_resident.cpp
+/// \brief Reproduces Figure 13: Twitter ⋈ County when the point data does
+/// not fit in host memory and must be streamed from disk per batch.
+/// Left pane: total query time (includes disk access). Right pane:
+/// processing time excluding memory access. Paper result: GPU approaches
+/// keep >10× speedup despite disk I/O, and processing-only times match
+/// the in-memory experiments.
+///
+/// The raster joins run in streaming mode (StreamingBoundedJoin /
+/// StreamingAccurateJoin): points accumulate into the canvas batch by
+/// batch and the polygon pass runs once — "a given point data set has to
+/// be transferred to the GPU exactly once" (§5).
+#include <cstdio>
+#include <string>
+
+#include "bench_common.h"
+#include "data/column_store.h"
+#include "index/grid_index.h"
+#include "join/index_join.h"
+#include "join/streaming_join.h"
+#include "triangulate/triangulation.h"
+
+using namespace rj;
+using namespace rj::bench;
+
+int main() {
+  PrintHeader("Figure 13: disk-resident data (Twitter x County)",
+              "Fig. 13 (paper: 2.3B points, Bounded device-processing < 5s; "
+              ">10x speedup vs CPU despite disk I/O)");
+
+  auto counties = UsCounties();
+  if (!counties.ok()) {
+    std::fprintf(stderr, "counties: %s\n",
+                 counties.status().ToString().c_str());
+    return 1;
+  }
+  PolygonSet polys = counties.value();
+  const BBox world = UsExtentMeters();
+
+  auto soup_result = TriangulatePolygonSet(polys);
+  if (!soup_result.ok()) return 1;
+  const TriangleSoup soup = soup_result.value();
+  auto cpu_index =
+      GridIndex::Build(polys, world, 4096, GridAssignMode::kExactGeometry);
+  if (!cpu_index.ok()) return 1;
+
+  const std::size_t sizes[] = {Scaled(500'000), Scaled(1'000'000),
+                               Scaled(2'300'000)};
+  const std::string path = "/tmp/rj_twitter_bench.rjc";
+  // Scaled ε (see bench_fig8): paper uses 1 km on the full 2.3B points.
+  const double kEps = 4000.0;
+
+  std::printf("%-12s | %12s %12s %12s | %14s %14s %14s\n", "points",
+              "1CPU(ms)", "Accur(ms)", "Bound(ms)", "disk-avg(ms)",
+              "proc-Acc(ms)", "proc-Bnd(ms)");
+
+  for (const std::size_t n : sizes) {
+    {
+      const PointTable all = GenerateTwitterPoints(n);
+      if (!WriteColumnStore(path, all).ok()) return 1;
+    }
+    const std::uint64_t host_batch = std::max<std::uint64_t>(n / 10, 50'000);
+
+    // Streams batches through `per_batch`; returns seconds spent on disk.
+    auto stream = [&](auto&& per_batch) -> double {
+      auto reader = ColumnStoreReader::Open(path, {});
+      if (!reader.ok()) std::exit(1);
+      double disk_s = 0.0;
+      PointTable batch;
+      for (;;) {
+        Timer t_disk;
+        auto got = reader.value().NextBatch(host_batch, &batch);
+        if (!got.ok()) std::exit(1);
+        disk_s += t_disk.ElapsedSeconds();
+        if (got.value() == 0) break;
+        per_batch(batch);
+      }
+      return disk_s;
+    };
+
+    // --- single-CPU baseline (streamed the same way) ---
+    raster::ResultArrays cpu_acc(polys.size());
+    Timer t_cpu;
+    stream([&](const PointTable& batch) {
+      IndexJoinOptions options;
+      auto r = IndexJoinCpu(batch, polys, cpu_index.value(), options, 1);
+      if (!r.ok()) std::exit(1);
+      cpu_acc.AddFrom(r.value().arrays);
+    });
+    const double cpu_ms = t_cpu.ElapsedMillis();
+
+    // --- streaming accurate raster join ---
+    gpu::Device dev_acc(PaperDeviceOptions(/*memory=*/8ull << 20, 2048));
+    AccurateRasterJoinOptions acc_options;
+    acc_options.canvas_dim = 2048;
+    StreamingAccurateJoin acc_join(&dev_acc, &polys, &soup, world,
+                                   acc_options);
+    if (!acc_join.Init().ok()) return 1;
+    Timer t_acc;
+    const double disk_acc = stream([&](const PointTable& batch) {
+      if (!acc_join.AddBatch(batch).ok()) std::exit(1);
+    });
+    auto acc_result = acc_join.Finish();
+    if (!acc_result.ok()) return 1;
+    const double acc_ms = t_acc.ElapsedMillis();
+
+    // --- streaming bounded raster join ---
+    gpu::Device dev_bnd(PaperDeviceOptions(/*memory=*/8ull << 20, 2048));
+    BoundedRasterJoinOptions bnd_options;
+    bnd_options.epsilon = kEps;
+    StreamingBoundedJoin bnd_join(&dev_bnd, &polys, &soup, world,
+                                  bnd_options);
+    if (!bnd_join.Init().ok()) return 1;
+    Timer t_bnd;
+    const double disk_bnd = stream([&](const PointTable& batch) {
+      if (!bnd_join.AddBatch(batch).ok()) std::exit(1);
+    });
+    auto bnd_result = bnd_join.Finish();
+    if (!bnd_result.ok()) return 1;
+    const double bnd_ms = t_bnd.ElapsedMillis();
+
+    const double disk_avg_ms = (disk_acc + disk_bnd) / 2.0 * 1e3;
+    std::printf("%-12zu | %12.1f %12.1f %12.1f | %14.1f %14.1f %14.1f\n", n,
+                cpu_ms, acc_ms, bnd_ms, disk_avg_ms,
+                acc_result.value().timing.Get("processing") * 1e3,
+                bnd_result.value().timing.Get("processing") * 1e3);
+  }
+  std::remove(path.c_str());
+
+  std::printf(
+      "\nShape check vs paper: totals include disk reads; the\n"
+      "processing-only columns (right pane) stay consistent with the\n"
+      "in-memory experiments, and Bounded < Accurate < 1CPU throughout.\n");
+  return 0;
+}

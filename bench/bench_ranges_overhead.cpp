@@ -1,0 +1,78 @@
+/// \file bench_ranges_overhead.cpp
+/// \brief §5 result-range ablation: tightness of the loose vs expected
+/// intervals across ε, plus the overhead of computing them (paper: 140 ms
+/// extra even at the costliest bound).
+#include "bench_common.h"
+#include "query/executor.h"
+
+using namespace rj;
+using namespace rj::bench;
+
+int main() {
+  PrintHeader("Result ranges: tightness and overhead (section 5)",
+              "paper text (section 7.6): interval overhead ~140ms at the "
+              "costliest bound; expected << loose width");
+
+  auto regions = NycNeighborhoods();
+  if (!regions.ok()) return 1;
+  PolygonSet polys = regions.value();
+  const PointTable points = GenerateTaxiPoints(Scaled(600'000));
+
+  gpu::Device device(PaperDeviceOptions(/*memory=*/64ull << 20,
+                                        /*max_fbo=*/4096));
+  Executor executor(&device, &points, &polys);
+
+  SpatialAggQuery accurate;
+  accurate.variant = JoinVariant::kAccurateRaster;
+  auto exact = executor.Execute(accurate);
+  if (!exact.ok()) return 1;
+
+  std::printf("%-10s %12s %12s %14s %14s %12s %10s\n", "eps(m)",
+              "plain(ms)", "ranges(ms)", "avg loose w", "avg expect w",
+              "loose cov", "exp cov");
+
+  // ε is bounded below by the single-tile requirement of the range
+  // computation (§5 ranges need the whole canvas in one FBO).
+  for (const double eps : {40.0, 20.0}) {
+    SpatialAggQuery query;
+    query.variant = JoinVariant::kBoundedRaster;
+    query.epsilon = eps;
+
+    Timer t_plain;
+    auto plain = executor.Execute(query);
+    if (!plain.ok()) return 1;
+    const double plain_ms = t_plain.ElapsedMillis();
+
+    query.with_result_ranges = true;
+    Timer t_ranges;
+    auto with_ranges = executor.Execute(query);
+    if (!with_ranges.ok()) {
+      std::fprintf(stderr, "eps %.1f: %s\n", eps,
+                   with_ranges.status().ToString().c_str());
+      return 1;
+    }
+    const double ranges_ms = t_ranges.ElapsedMillis();
+
+    double loose_w = 0, expected_w = 0;
+    std::size_t loose_cov = 0, exp_cov = 0, nonzero = 0;
+    for (std::size_t i = 0; i < polys.size(); ++i) {
+      const double truth = exact.value().values[i];
+      if (truth <= 0) continue;
+      ++nonzero;
+      loose_w += with_ranges.value().ranges.loose[i].Width();
+      expected_w += with_ranges.value().ranges.expected[i].Width();
+      loose_cov += with_ranges.value().ranges.loose[i].Contains(truth);
+      exp_cov += with_ranges.value().ranges.expected[i].Contains(truth);
+    }
+    std::printf("%-10.1f %12.1f %12.1f %14.1f %14.1f %8zu/%zu %7zu/%zu\n",
+                eps, plain_ms, ranges_ms, loose_w / nonzero,
+                expected_w / nonzero, loose_cov, nonzero, exp_cov, nonzero);
+  }
+
+  std::printf(
+      "\nShape check vs paper: loose intervals always cover the truth\n"
+      "(100%% confidence); expected intervals are far tighter and cover\n"
+      "almost always under near-uniform-in-pixel data; the overhead of\n"
+      "computing ranges stays a modest additive cost.\n");
+  return 0;
+}

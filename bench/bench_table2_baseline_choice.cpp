@@ -1,0 +1,100 @@
+/// \file bench_table2_baseline_choice.cpp
+/// \brief Reproduces Table 2 ("Choice of GPU Baseline"): the fused Index
+/// Join vs a Zhang-et-al.-style materializing join at three input sizes,
+/// plus the paper's footnote that the materializing code "ran out of GPU
+/// memory" at larger inputs.
+///
+/// On the paper's GPU the fused join is 2-3x faster because the
+/// materializing system writes every (point, polygon) pair to device
+/// memory and aggregates in a second pass. In this software simulation
+/// the device-structural costs carry that story: bytes written to the
+/// device, the join-sized allocation, and the hard memory ceiling. Wall
+/// clock on a single CPU core reflects compute only, where the two are
+/// comparable (see DESIGN.md §2 and EXPERIMENTS.md).
+#include "bench_common.h"
+#include "join/index_join.h"
+#include "join/materializing_join.h"
+
+using namespace rj;
+using namespace rj::bench;
+
+int main() {
+  PrintHeader("Table 2: fused Index Join vs materializing join",
+              "Table 2 (paper: fused 2-3x faster; comparator ran out of "
+              "GPU memory at larger inputs)");
+
+  auto regions = NycNeighborhoods();
+  if (!regions.ok()) return 1;
+  const BBox world = NycExtentMeters();
+
+  // Device sized so the largest paper-scaled input's materialized pairs no
+  // longer fit — reproducing the footnote row of Table 2.
+  const std::size_t kDeviceBudget = 24ull << 20;  // 24 MB
+  auto dev_options = PaperDeviceOptions(kDeviceBudget);
+  dev_options.transfer_bandwidth_bytes_per_sec = 2.0e9;
+
+  // Paper sizes scaled 1:100, plus one size past the memory ceiling.
+  const std::size_t sizes[] = {Scaled(576'767), Scaled(1'116'596),
+                               Scaled(1'683'682), Scaled(2'500'000)};
+
+  std::printf("%-12s | %14s %16s %16s | %14s %16s\n", "points",
+              "mat-total(ms)", "mat-bytes(MB)", "mat-pairs",
+              "fused-total(ms)", "fused-bytes(MB)");
+
+  for (const std::size_t n : sizes) {
+    const PointTable points = GenerateTaxiPoints(n);
+
+    gpu::Device dev_mat(dev_options);
+    MaterializingJoinOptions mat_options;
+    MaterializingJoinStats mat_stats;
+    double mat_ms = -1.0;
+    bool mat_oom = false;
+    {
+      Timer t;
+      auto r = MaterializingJoin(&dev_mat, points, regions.value(),
+                                 mat_options, &mat_stats);
+      if (r.ok()) {
+        mat_ms = t.ElapsedMillis();
+      } else {
+        mat_oom = r.status().code() == StatusCode::kCapacityError;
+      }
+    }
+
+    gpu::Device dev_idx(dev_options);
+    IndexJoinOptions idx_options;
+    double idx_ms;
+    {
+      Timer t;
+      auto r = IndexJoinDevice(&dev_idx, points, regions.value(), world,
+                               idx_options);
+      if (!r.ok()) {
+        std::fprintf(stderr, "fused index join: %s\n",
+                     r.status().ToString().c_str());
+        return 1;
+      }
+      idx_ms = t.ElapsedMillis();
+    }
+
+    if (mat_oom) {
+      std::printf("%-12zu | %14s %16s %16s | %14.1f %16.1f\n", n,
+                  "OUT OF MEMORY", "-", "-", idx_ms,
+                  dev_idx.counters().bytes_transferred() / 1048576.0);
+    } else {
+      std::printf("%-12zu | %14.1f %16.1f %16llu | %14.1f %16.1f\n", n,
+                  mat_ms, mat_stats.bytes_materialized / 1048576.0,
+                  static_cast<unsigned long long>(
+                      mat_stats.pairs_materialized),
+                  idx_ms,
+                  dev_idx.counters().bytes_transferred() / 1048576.0);
+    }
+  }
+
+  std::printf(
+      "\nShape check vs paper: the materializing join needs a join-sized\n"
+      "device allocation (pairs column) and fails outright once the pairs\n"
+      "exceed device memory — the paper's footnote. The fused join ships\n"
+      "each point once and aggregates in place, so it scales through the\n"
+      "ceiling; on the paper's GPU that materialization traffic is also\n"
+      "what made the comparator 2-3x slower.\n");
+  return 0;
+}

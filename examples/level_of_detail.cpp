@@ -1,0 +1,87 @@
+/// \file level_of_detail.cpp
+/// \brief LOD exploration (paper §4.2): zooming into an area of interest
+/// at a fixed FBO resolution shrinks the world-space pixel size, which is
+/// equivalent to a tighter ε at no extra cost.
+///
+/// The example runs the same COUNT query over the full extent and over a
+/// sequence of zoomed-in windows, printing the effective ε and the error
+/// of the bounded join against ground truth for the polygons in view.
+#include <cmath>
+#include <cstdio>
+
+#include "data/datasets.h"
+#include "data/taxi_generator.h"
+#include "join/raster_join_bounded.h"
+#include "query/executor.h"
+#include "triangulate/triangulation.h"
+
+int main() {
+  using namespace rj;
+
+  const PointTable points = GenerateTaxiPoints(400'000);
+  auto regions_result = TinyRegions(40, NycExtentMeters(), 21);
+  if (!regions_result.ok()) return 1;
+  PolygonSet regions = std::move(regions_result).MoveValueUnsafe();
+  auto soup_result = TriangulatePolygonSet(regions);
+  if (!soup_result.ok()) return 1;
+  const TriangleSoup soup = soup_result.value();
+
+  // Ground truth once.
+  const JoinResult truth =
+      ReferenceJoin(points, regions, FilterSet(), PointTable::npos);
+
+  gpu::DeviceOptions dev_options;
+  dev_options.max_fbo_dim = 1024;  // a fixed "screen" resolution
+  gpu::Device device(dev_options);
+
+  const BBox full = NycExtentMeters();
+  std::printf("%-22s %12s %12s %14s\n", "view", "eff. eps (m)",
+              "L1 error", "rel. error");
+
+  for (const double zoom : {1.0, 2.0, 4.0, 8.0}) {
+    // Zoom window centered on Midtown-like hot spot.
+    const Point center{18500, 19000};
+    const double w = full.Width() / zoom;
+    const double h = full.Height() / zoom;
+    BBox view(center.x - w / 2, center.y - h / 2, center.x + w / 2,
+              center.y + h / 2);
+    view = view.Intersection(full);
+
+    // Fixed canvas → pixel side = view/1024; effective ε = diag.
+    const double px = std::max(view.Width(), view.Height()) / 1024.0;
+    const double eff_eps = px * std::sqrt(2.0);
+
+    BoundedRasterJoinOptions options;
+    options.epsilon = eff_eps;
+    auto result = BoundedRasterJoin(&device, points, regions, soup, view,
+                                    options);
+    if (!result.ok()) {
+      std::fprintf(stderr, "join: %s\n", result.status().ToString().c_str());
+      return 1;
+    }
+
+    // Compare only polygons fully inside the view (others are clipped by
+    // design when zoomed — their aggregates are partial).
+    double l1 = 0.0, mass = 0.0;
+    for (const Polygon& poly : regions) {
+      const BBox& b = poly.bbox();
+      if (b.min_x < view.min_x || b.max_x > view.max_x ||
+          b.min_y < view.min_y || b.max_y > view.max_y) {
+        continue;
+      }
+      const auto id = static_cast<std::size_t>(poly.id());
+      l1 += std::fabs(result.value().arrays.count[id] -
+                      truth.arrays.count[id]);
+      mass += truth.arrays.count[id];
+    }
+    char label[64];
+    std::snprintf(label, sizeof(label), "zoom %.0fx", zoom);
+    std::printf("%-22s %12.2f %12.0f %13.4f%%\n", label, eff_eps, l1,
+                mass > 0 ? 100.0 * l1 / mass : 0.0);
+  }
+  std::printf(
+      "\nAt a fixed canvas resolution, zooming in shrinks the effective "
+      "epsilon,\nimproving accuracy with no change in computation cost "
+      "(paper section 4.2).\n");
+  return 0;
+}

@@ -1,0 +1,221 @@
+/// \file rasterjoin_cli.cpp
+/// \brief Command-line front end for the rasterjoin library.
+///
+/// Subcommands:
+///   generate --kind taxi|twitter --n <points> --out <file.rjc>
+///       Writes a synthetic point data set to a column store.
+///   query --points <file.rjc> --regions <n> --variant bounded|accurate|
+///         index-cpu|index-device|auto [--epsilon <m>] [--agg count|sum|
+///         avg|min|max] [--column <idx>] [--filter <col,op,value>]...
+///       Runs a spatial aggregation query and prints per-region values.
+///
+/// Examples:
+///   rasterjoin_cli generate --kind taxi --n 1000000 --out taxi.rjc
+///   rasterjoin_cli query --points taxi.rjc --regions 260 \
+///       --variant bounded --epsilon 20 --agg avg --column 0 \
+///       --filter 4,lt,12
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "data/column_store.h"
+#include "data/datasets.h"
+#include "data/taxi_generator.h"
+#include "data/twitter_generator.h"
+#include "query/calibration.h"
+#include "query/executor.h"
+
+namespace {
+
+using namespace rj;
+
+/// Minimal flag parser: --name value pairs plus repeatable --filter.
+struct Args {
+  std::map<std::string, std::string> flags;
+  std::vector<std::string> filters;
+
+  static Args Parse(int argc, char** argv, int start) {
+    Args args;
+    for (int i = start; i + 1 < argc; i += 2) {
+      const std::string key = argv[i];
+      if (key == "--filter") {
+        args.filters.push_back(argv[i + 1]);
+      } else if (key.rfind("--", 0) == 0) {
+        args.flags[key.substr(2)] = argv[i + 1];
+      }
+    }
+    return args;
+  }
+
+  std::string Get(const std::string& key, const std::string& fallback) const {
+    auto it = flags.find(key);
+    return it == flags.end() ? fallback : it->second;
+  }
+};
+
+int Generate(const Args& args) {
+  const std::string kind = args.Get("kind", "taxi");
+  const std::size_t n = std::stoull(args.Get("n", "100000"));
+  const std::string out = args.Get("out", "points.rjc");
+
+  PointTable table;
+  if (kind == "taxi") {
+    table = GenerateTaxiPoints(n);
+  } else if (kind == "twitter") {
+    table = GenerateTwitterPoints(n);
+  } else {
+    std::fprintf(stderr, "unknown --kind %s (taxi|twitter)\n", kind.c_str());
+    return 2;
+  }
+  const Status st = WriteColumnStore(out, table);
+  if (!st.ok()) {
+    std::fprintf(stderr, "write failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %zu %s points (%zu attribute columns) to %s\n",
+              table.size(), kind.c_str(), table.num_attributes(),
+              out.c_str());
+  return 0;
+}
+
+Result<FilterOp> ParseOp(const std::string& op) {
+  if (op == "gt") return FilterOp::kGreater;
+  if (op == "ge") return FilterOp::kGreaterEqual;
+  if (op == "lt") return FilterOp::kLess;
+  if (op == "le") return FilterOp::kLessEqual;
+  if (op == "eq") return FilterOp::kEqual;
+  return Status::InvalidArgument("unknown op (gt|ge|lt|le|eq): " + op);
+}
+
+int Query(const Args& args) {
+  const std::string points_path = args.Get("points", "");
+  if (points_path.empty()) {
+    std::fprintf(stderr, "--points <file.rjc> is required\n");
+    return 2;
+  }
+  auto points = ReadColumnStore(points_path);
+  if (!points.ok()) {
+    std::fprintf(stderr, "read failed: %s\n",
+                 points.status().ToString().c_str());
+    return 1;
+  }
+
+  // Regions: generated at the data's extent (the interactive-use pattern;
+  // arbitrary polygon input arrives through the library API).
+  const std::size_t n_regions = std::stoull(args.Get("regions", "64"));
+  RegionGeneratorOptions gen_options;
+  gen_options.seed = std::stoull(args.Get("region-seed", "7"));
+  auto regions =
+      GenerateRegions(n_regions, points.value().Extent(), gen_options);
+  if (!regions.ok()) {
+    std::fprintf(stderr, "regions: %s\n",
+                 regions.status().ToString().c_str());
+    return 1;
+  }
+
+  gpu::DeviceOptions dev_options;
+  dev_options.max_fbo_dim =
+      std::stoi(args.Get("max-fbo", "4096"));
+  gpu::Device device(dev_options);
+  Executor executor(&device, &points.value(), &regions.value());
+
+  SpatialAggQuery query;
+  const std::string variant = args.Get("variant", "bounded");
+  if (variant == "bounded") {
+    query.variant = JoinVariant::kBoundedRaster;
+  } else if (variant == "accurate") {
+    query.variant = JoinVariant::kAccurateRaster;
+  } else if (variant == "index-cpu") {
+    query.variant = JoinVariant::kIndexCpu;
+  } else if (variant == "index-device") {
+    query.variant = JoinVariant::kIndexDevice;
+  } else if (variant == "auto") {
+    query.variant = JoinVariant::kAuto;
+    auto params = CalibrateCostModel(&device);
+    if (params.ok()) *executor.cost_params() = params.value();
+  } else {
+    std::fprintf(stderr, "unknown --variant %s\n", variant.c_str());
+    return 2;
+  }
+  query.epsilon = std::stod(args.Get("epsilon", "20"));
+
+  const std::string agg = args.Get("agg", "count");
+  if (agg == "count") {
+    query.aggregate = AggregateKind::kCount;
+  } else if (agg == "sum") {
+    query.aggregate = AggregateKind::kSum;
+  } else if (agg == "avg") {
+    query.aggregate = AggregateKind::kAverage;
+  } else if (agg == "min") {
+    query.aggregate = AggregateKind::kMin;
+  } else if (agg == "max") {
+    query.aggregate = AggregateKind::kMax;
+  } else {
+    std::fprintf(stderr, "unknown --agg %s\n", agg.c_str());
+    return 2;
+  }
+  if (query.aggregate != AggregateKind::kCount) {
+    query.aggregate_column = std::stoull(args.Get("column", "0"));
+  }
+
+  for (const std::string& spec : args.filters) {
+    // col,op,value
+    const auto c1 = spec.find(',');
+    const auto c2 = spec.find(',', c1 + 1);
+    if (c1 == std::string::npos || c2 == std::string::npos) {
+      std::fprintf(stderr, "bad --filter '%s' (want col,op,value)\n",
+                   spec.c_str());
+      return 2;
+    }
+    auto op = ParseOp(spec.substr(c1 + 1, c2 - c1 - 1));
+    if (!op.ok()) {
+      std::fprintf(stderr, "%s\n", op.status().ToString().c_str());
+      return 2;
+    }
+    AttributeFilter filter;
+    filter.column = std::stoull(spec.substr(0, c1));
+    filter.op = op.value();
+    filter.value = std::stof(spec.substr(c2 + 1));
+    if (!query.filters.Add(filter).ok()) {
+      std::fprintf(stderr, "too many filters (max 5)\n");
+      return 2;
+    }
+  }
+
+  auto result = executor.Execute(query);
+  if (!result.ok()) {
+    std::fprintf(stderr, "query failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("# %s over %zu points x %zu regions (%s)\n", agg.c_str(),
+              points.value().size(), regions.value().size(),
+              variant.c_str());
+  std::printf("region,value\n");
+  for (std::size_t i = 0; i < result.value().values.size(); ++i) {
+    std::printf("%zu,%.6f\n", i, result.value().values[i]);
+  }
+  std::fprintf(stderr, "query time: %.1f ms (%s)\n",
+               result.value().total_seconds * 1e3,
+               result.value().timing.ToString().c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: rasterjoin_cli generate|query [--flag value]...\n");
+    return 2;
+  }
+  const std::string command = argv[1];
+  const Args args = Args::Parse(argc, argv, 2);
+  if (command == "generate") return Generate(args);
+  if (command == "query") return Query(args);
+  std::fprintf(stderr, "unknown command: %s\n", command.c_str());
+  return 2;
+}

@@ -1,0 +1,59 @@
+#include "agg/aggregate.h"
+
+#include <cmath>
+#include <limits>
+
+namespace rj {
+
+std::string AggregateKindName(AggregateKind kind) {
+  switch (kind) {
+    case AggregateKind::kCount: return "COUNT";
+    case AggregateKind::kSum: return "SUM";
+    case AggregateKind::kAverage: return "AVG";
+    case AggregateKind::kMin: return "MIN";
+    case AggregateKind::kMax: return "MAX";
+  }
+  return "?";
+}
+
+bool IsDistributive(AggregateKind kind) {
+  return kind != AggregateKind::kAverage;
+}
+
+std::vector<double> FinalizeAggregate(AggregateKind kind,
+                                      const raster::ResultArrays& arrays) {
+  const std::size_t n = arrays.count.size();
+  std::vector<double> out(n, 0.0);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool empty = arrays.count[i] == 0.0;
+    switch (kind) {
+      case AggregateKind::kCount:
+        out[i] = arrays.count[i];
+        break;
+      case AggregateKind::kSum:
+        out[i] = arrays.sum[i];
+        break;
+      case AggregateKind::kAverage:
+        out[i] = empty ? nan : arrays.sum[i] / arrays.count[i];
+        break;
+      case AggregateKind::kMin:
+        out[i] = empty ? nan : arrays.min[i];
+        break;
+      case AggregateKind::kMax:
+        out[i] = empty ? nan : arrays.max[i];
+        break;
+    }
+  }
+  return out;
+}
+
+raster::ResultArrays MergeResults(
+    const std::vector<raster::ResultArrays>& parts) {
+  if (parts.empty()) return raster::ResultArrays(0);
+  raster::ResultArrays merged(parts[0].count.size());
+  for (const auto& part : parts) merged.AddFrom(part);
+  return merged;
+}
+
+}  // namespace rj

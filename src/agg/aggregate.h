@@ -1,0 +1,39 @@
+/// \file aggregate.h
+/// \brief Aggregate functions over join results (§5 "Aggregates").
+///
+/// The paper classifies aggregates (after Gray et al.'s data-cube paper)
+/// into distributive (COUNT, SUM, MIN, MAX), algebraic (AVG = SUM/COUNT)
+/// and holistic (MEDIAN — unsupported by design, as partitioned partial
+/// aggregation cannot compute it). The raster pipeline accumulates the
+/// distributive primitives per pixel and per polygon; this module finalizes
+/// them into the query's requested aggregate.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "raster/pipeline.h"
+
+namespace rj {
+
+enum class AggregateKind { kCount, kSum, kAverage, kMin, kMax };
+
+/// Human-readable name ("COUNT", "SUM", ...).
+std::string AggregateKindName(AggregateKind kind);
+
+/// True for aggregates computable by merging disjoint partial aggregates
+/// (everything here except kAverage, which is algebraic over two of them).
+bool IsDistributive(AggregateKind kind);
+
+/// Final per-polygon value of the requested aggregate from the accumulated
+/// ResultArrays. For empty groups: COUNT/SUM are 0, AVG/MIN/MAX are NaN.
+std::vector<double> FinalizeAggregate(AggregateKind kind,
+                                      const raster::ResultArrays& arrays);
+
+/// Merges partial ResultArrays from multiple batches/tiles (distributive
+/// merge; the identity the out-of-core path relies on).
+raster::ResultArrays MergeResults(const std::vector<raster::ResultArrays>& parts);
+
+}  // namespace rj

@@ -1,0 +1,38 @@
+/// \file logging.h
+/// \brief Minimal leveled logging to stderr.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace rj {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the global minimum level that is actually emitted (default: Info).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+void LogMessage(LogLevel level, const std::string& msg);
+
+/// Stream-style builder used by the RJ_LOG macro.
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { LogMessage(level_, stream_.str()); }
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace internal
+
+#define RJ_LOG(level) ::rj::internal::LogStream(::rj::LogLevel::k##level)
+
+}  // namespace rj

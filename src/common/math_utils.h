@@ -1,0 +1,32 @@
+/// \file math_utils.h
+/// \brief Small numeric helpers shared across modules.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+namespace rj {
+
+inline constexpr double kPi = 3.14159265358979323846;
+
+/// Clamps v to [lo, hi].
+template <typename T>
+constexpr T Clamp(T v, T lo, T hi) {
+  return std::max(lo, std::min(hi, v));
+}
+
+/// True if |a - b| <= tol.
+inline bool NearlyEqual(double a, double b, double tol = 1e-9) {
+  return std::fabs(a - b) <= tol;
+}
+
+/// Integer ceiling division for non-negative operands.
+inline std::int64_t CeilDiv(std::int64_t a, std::int64_t b) {
+  return (a + b - 1) / b;
+}
+
+/// Square of x (readability helper for distance computations).
+inline double Sq(double x) { return x * x; }
+
+}  // namespace rj

@@ -1,0 +1,28 @@
+#include "common/status.h"
+
+namespace rj {
+
+namespace {
+const char* CodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "InvalidArgument";
+    case StatusCode::kOutOfRange: return "OutOfRange";
+    case StatusCode::kCapacityError: return "CapacityError";
+    case StatusCode::kIOError: return "IOError";
+    case StatusCode::kNotImplemented: return "NotImplemented";
+    case StatusCode::kInternal: return "Internal";
+  }
+  return "Unknown";
+}
+}  // namespace
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string s = CodeName(code_);
+  s += ": ";
+  s += message_;
+  return s;
+}
+
+}  // namespace rj

@@ -1,0 +1,130 @@
+/// \file status.h
+/// \brief Arrow-style error handling: Status and Result<T>.
+///
+/// The library does not throw exceptions across public API boundaries;
+/// fallible operations return rj::Status (void results) or rj::Result<T>.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace rj {
+
+/// Machine-readable error categories.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kCapacityError,   ///< Simulated device memory exhausted.
+  kIOError,
+  kNotImplemented,
+  kInternal,
+};
+
+/// \brief Outcome of a fallible operation, carrying a code and message.
+///
+/// Mirrors the Status idiom used by Arrow/RocksDB: cheap to move, explicit
+/// ok() check, factory constructors per error category.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status CapacityError(std::string msg) {
+    return Status(StatusCode::kCapacityError, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable "<Code>: <message>" rendering for logs and test output.
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// \brief Either a value of type T or an error Status.
+template <typename T>
+class Result {
+ public:
+  /*implicit*/ Result(T value) : v_(std::move(value)) {}
+  /*implicit*/ Result(Status status) : v_(std::move(status)) {
+    assert(!std::get<Status>(v_).ok() && "Result constructed from OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(v_); }
+
+  const Status& status() const {
+    static const Status kOk = Status::OK();
+    return ok() ? kOk : std::get<Status>(v_);
+  }
+
+  /// Precondition: ok().
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(v_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(v_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(std::get<T>(v_));
+  }
+
+  /// Moves the value out; precondition: ok().
+  T MoveValueUnsafe() { return std::move(std::get<T>(v_)); }
+
+ private:
+  std::variant<T, Status> v_;
+};
+
+/// Propagates a non-OK status out of the enclosing function.
+#define RJ_RETURN_NOT_OK(expr)                \
+  do {                                        \
+    ::rj::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                \
+  } while (0)
+
+/// Assigns the value of a Result to `lhs`, or propagates its error status.
+#define RJ_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                             \
+  if (!tmp.ok()) return tmp.status();             \
+  lhs = std::move(tmp).MoveValueUnsafe();
+
+#define RJ_ASSIGN_OR_RETURN(lhs, rexpr) \
+  RJ_ASSIGN_OR_RETURN_IMPL(RJ_CONCAT(_rj_result_, __LINE__), lhs, rexpr)
+
+#define RJ_CONCAT_INNER(a, b) a##b
+#define RJ_CONCAT(a, b) RJ_CONCAT_INNER(a, b)
+
+}  // namespace rj

@@ -1,0 +1,60 @@
+/// \file thread_pool.h
+/// \brief Fixed-size worker pool used to emulate GPU SIMT parallelism.
+///
+/// The simulated device (gpu::Device) executes shader stages by splitting
+/// the primitive stream across pool workers. On a many-core host this gives
+/// real parallel speedups analogous to the GPU's; on a single-core host the
+/// pool degrades gracefully to sequential execution (the paper-shape metrics
+/// in bench output are work-proportional, see DESIGN.md §2).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace rj {
+
+class ThreadPool {
+ public:
+  /// Creates a pool with `num_threads` workers (0 = hardware concurrency).
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueues a task; tasks may run on any worker in any order.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished executing.
+  void Wait();
+
+  /// Splits [0, n) into contiguous chunks and runs
+  /// `fn(begin, end, worker_index)` on the pool, blocking until done.
+  /// Runs inline when the pool has a single worker (avoids queue overhead).
+  void ParallelFor(std::size_t n,
+                   const std::function<void(std::size_t, std::size_t,
+                                            std::size_t)>& fn);
+
+  /// Process-wide default pool (lazily constructed, hardware concurrency).
+  static ThreadPool& Default();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable task_cv_;
+  std::condition_variable done_cv_;
+  std::size_t in_flight_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace rj

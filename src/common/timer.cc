@@ -1,0 +1,24 @@
+#include "common/timer.h"
+
+#include <cstdio>
+
+namespace rj {
+
+double PhaseTimer::Total() const {
+  double total = 0.0;
+  for (const auto& [name, secs] : phases_) total += secs;
+  return total;
+}
+
+std::string PhaseTimer::ToString() const {
+  std::string out;
+  for (const auto& [name, secs] : phases_) {
+    char buf[128];
+    std::snprintf(buf, sizeof(buf), "%s%s=%.3fms", out.empty() ? "" : " ",
+                  name.c_str(), secs * 1e3);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace rj

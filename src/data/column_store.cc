@@ -1,0 +1,156 @@
+#include "data/column_store.h"
+
+#include <cstring>
+
+namespace rj {
+
+namespace {
+
+Status WriteBytes(std::ofstream& out, const void* data, std::size_t bytes) {
+  out.write(reinterpret_cast<const char*>(data),
+            static_cast<std::streamsize>(bytes));
+  if (!out.good()) return Status::IOError("write failed");
+  return Status::OK();
+}
+
+}  // namespace
+
+Status WriteColumnStore(const std::string& path, const PointTable& table) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out.is_open()) {
+    return Status::IOError("cannot open for writing: " + path);
+  }
+
+  ColumnStoreHeader header;
+  header.num_rows = table.size();
+  header.num_attributes = static_cast<std::uint32_t>(table.num_attributes());
+  RJ_RETURN_NOT_OK(WriteBytes(out, &header, sizeof(header)));
+
+  for (std::size_t c = 0; c < table.num_attributes(); ++c) {
+    const std::string& name = table.attribute_name(c);
+    const std::uint32_t len = static_cast<std::uint32_t>(name.size());
+    RJ_RETURN_NOT_OK(WriteBytes(out, &len, sizeof(len)));
+    RJ_RETURN_NOT_OK(WriteBytes(out, name.data(), len));
+  }
+
+  RJ_RETURN_NOT_OK(WriteBytes(out, table.xs().data(),
+                              table.size() * sizeof(double)));
+  RJ_RETURN_NOT_OK(WriteBytes(out, table.ys().data(),
+                              table.size() * sizeof(double)));
+  for (std::size_t c = 0; c < table.num_attributes(); ++c) {
+    RJ_RETURN_NOT_OK(WriteBytes(out, table.attribute(c).data(),
+                                table.size() * sizeof(float)));
+  }
+  out.flush();
+  if (!out.good()) return Status::IOError("flush failed: " + path);
+  return Status::OK();
+}
+
+Result<ColumnStoreReader> ColumnStoreReader::Open(
+    const std::string& path, std::vector<std::uint32_t> columns) {
+  ColumnStoreReader reader;
+  reader.path_ = path;
+  reader.file_.open(path, std::ios::binary);
+  if (!reader.file_.is_open()) {
+    return Status::IOError("cannot open: " + path);
+  }
+  reader.file_.read(reinterpret_cast<char*>(&reader.header_),
+                    sizeof(reader.header_));
+  if (!reader.file_.good() ||
+      reader.header_.magic != ColumnStoreHeader::kMagic) {
+    return Status::IOError("not a column-store file: " + path);
+  }
+  for (std::uint32_t c = 0; c < reader.header_.num_attributes; ++c) {
+    std::uint32_t len = 0;
+    reader.file_.read(reinterpret_cast<char*>(&len), sizeof(len));
+    std::string name(len, '\0');
+    reader.file_.read(name.data(), len);
+    if (!reader.file_.good()) {
+      return Status::IOError("truncated header: " + path);
+    }
+    reader.names_.push_back(std::move(name));
+  }
+  reader.data_offset_ = static_cast<std::uint64_t>(reader.file_.tellg());
+  for (const std::uint32_t c : columns) {
+    if (c >= reader.header_.num_attributes) {
+      return Status::InvalidArgument("column index out of range");
+    }
+  }
+  reader.columns_ = std::move(columns);
+  return reader;
+}
+
+Status ColumnStoreReader::ReadAt(std::uint64_t offset, void* dst,
+                                 std::uint64_t bytes) {
+  file_.seekg(static_cast<std::streamoff>(offset));
+  file_.read(reinterpret_cast<char*>(dst),
+             static_cast<std::streamsize>(bytes));
+  if (!file_.good()) return Status::IOError("read failed: " + path_);
+  bytes_read_ += bytes;
+  return Status::OK();
+}
+
+Result<std::uint64_t> ColumnStoreReader::NextBatch(std::uint64_t max_rows,
+                                                   PointTable* out) {
+  const std::uint64_t remaining = header_.num_rows - cursor_;
+  const std::uint64_t n = std::min(max_rows, remaining);
+
+  *out = PointTable();
+  for (const std::uint32_t c : columns_) out->AddAttribute(names_[c]);
+  if (n == 0) return std::uint64_t{0};
+
+  const std::uint64_t rows = header_.num_rows;
+  const std::uint64_t x_off = data_offset_ + cursor_ * sizeof(double);
+  const std::uint64_t y_off =
+      data_offset_ + rows * sizeof(double) + cursor_ * sizeof(double);
+
+  std::vector<double> xs(n), ys(n);
+  RJ_RETURN_NOT_OK(ReadAt(x_off, xs.data(), n * sizeof(double)));
+  RJ_RETURN_NOT_OK(ReadAt(y_off, ys.data(), n * sizeof(double)));
+
+  std::vector<std::vector<float>> cols(columns_.size());
+  const std::uint64_t attrs_base = data_offset_ + 2 * rows * sizeof(double);
+  for (std::size_t k = 0; k < columns_.size(); ++k) {
+    cols[k].resize(n);
+    const std::uint64_t off =
+        attrs_base + columns_[k] * rows * sizeof(float) +
+        cursor_ * sizeof(float);
+    RJ_RETURN_NOT_OK(ReadAt(off, cols[k].data(), n * sizeof(float)));
+  }
+
+  out->Reserve(n);
+  std::vector<float> vals(columns_.size());
+  for (std::uint64_t i = 0; i < n; ++i) {
+    for (std::size_t k = 0; k < columns_.size(); ++k) vals[k] = cols[k][i];
+    out->Append(xs[i], ys[i], vals);
+  }
+  cursor_ += n;
+  return n;
+}
+
+Status ColumnStoreReader::Reset() {
+  cursor_ = 0;
+  file_.clear();
+  return Status::OK();
+}
+
+Result<PointTable> ReadColumnStore(const std::string& path) {
+  std::vector<std::uint32_t> columns;
+  {
+    RJ_ASSIGN_OR_RETURN(ColumnStoreReader probe,
+                        ColumnStoreReader::Open(path, {}));
+    columns.resize(probe.num_attributes());
+    for (std::uint32_t c = 0; c < probe.num_attributes(); ++c) {
+      columns[c] = c;
+    }
+  }
+  RJ_ASSIGN_OR_RETURN(ColumnStoreReader reader,
+                      ColumnStoreReader::Open(path, std::move(columns)));
+  PointTable table;
+  RJ_ASSIGN_OR_RETURN(std::uint64_t n,
+                      reader.NextBatch(reader.num_rows(), &table));
+  (void)n;
+  return table;
+}
+
+}  // namespace rj

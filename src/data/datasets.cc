@@ -1,0 +1,24 @@
+#include "data/datasets.h"
+
+namespace rj {
+
+Result<PolygonSet> NycNeighborhoods() {
+  RegionGeneratorOptions options;
+  options.seed = 2601;
+  return GenerateRegions(260, NycExtentMeters(), options);
+}
+
+Result<PolygonSet> UsCounties() {
+  RegionGeneratorOptions options;
+  options.seed = 3945;
+  return GenerateRegions(3945, UsExtentMeters(), options);
+}
+
+Result<PolygonSet> TinyRegions(std::size_t n, const BBox& extent,
+                               std::uint64_t seed) {
+  RegionGeneratorOptions options;
+  options.seed = seed;
+  return GenerateRegions(n, extent, options);
+}
+
+}  // namespace rj

@@ -1,0 +1,111 @@
+/// \file point_table.h
+/// \brief Columnar in-memory point data set (the P relation).
+///
+/// Struct-of-arrays layout mirrors the paper's setup: "the data is stored
+/// as columns on disk and the required columns are loaded into main memory"
+/// (§7.1). Locations are doubles; attribute columns are float32, matching
+/// what the paper ships to the GPU in the VBO.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geometry/bbox.h"
+#include "geometry/point.h"
+
+namespace rj {
+
+class PointTable {
+ public:
+  PointTable() = default;
+
+  std::size_t size() const { return x_.size(); }
+  bool empty() const { return x_.empty(); }
+
+  void Reserve(std::size_t n) {
+    x_.reserve(n);
+    y_.reserve(n);
+    for (auto& col : attrs_) col.reserve(n);
+  }
+
+  /// Declares an attribute column; must be called before adding points.
+  /// Returns the column index.
+  std::size_t AddAttribute(std::string name) {
+    attr_names_.push_back(std::move(name));
+    attrs_.emplace_back(x_.size(), 0.0f);
+    return attrs_.size() - 1;
+  }
+
+  /// Appends a point; `attr_values` must have one entry per declared column.
+  void Append(double px, double py, const std::vector<float>& attr_values) {
+    x_.push_back(px);
+    y_.push_back(py);
+    for (std::size_t c = 0; c < attrs_.size(); ++c) {
+      attrs_[c].push_back(c < attr_values.size() ? attr_values[c] : 0.0f);
+    }
+  }
+  void Append(double px, double py) { Append(px, py, {}); }
+
+  Point At(std::size_t i) const { return {x_[i], y_[i]}; }
+
+  const std::vector<double>& xs() const { return x_; }
+  const std::vector<double>& ys() const { return y_; }
+
+  std::size_t num_attributes() const { return attrs_.size(); }
+  const std::vector<float>& attribute(std::size_t col) const {
+    return attrs_[col];
+  }
+  std::vector<float>& mutable_attribute(std::size_t col) {
+    return attrs_[col];
+  }
+  const std::string& attribute_name(std::size_t col) const {
+    return attr_names_[col];
+  }
+
+  /// Index of the named column, or npos.
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  std::size_t FindAttribute(const std::string& name) const {
+    for (std::size_t c = 0; c < attr_names_.size(); ++c) {
+      if (attr_names_[c] == name) return c;
+    }
+    return npos;
+  }
+
+  /// Bounding box of all locations.
+  BBox Extent() const {
+    BBox box;
+    for (std::size_t i = 0; i < size(); ++i) box.Expand(At(i));
+    return box;
+  }
+
+  /// Bytes per point shipped to the device: x, y as float32 plus each
+  /// referenced attribute as float32 (the paper packs the VBO this way).
+  static std::size_t DeviceBytesPerPoint(std::size_t num_referenced_attrs) {
+    return 2 * sizeof(float) + num_referenced_attrs * sizeof(float);
+  }
+
+  /// Copies rows [begin, end) into a new table with the same schema.
+  PointTable Slice(std::size_t begin, std::size_t end) const;
+
+ private:
+  std::vector<double> x_;
+  std::vector<double> y_;
+  std::vector<std::vector<float>> attrs_;
+  std::vector<std::string> attr_names_;
+};
+
+inline PointTable PointTable::Slice(std::size_t begin, std::size_t end) const {
+  PointTable out;
+  for (const auto& name : attr_names_) out.AddAttribute(name);
+  out.Reserve(end - begin);
+  std::vector<float> vals(attrs_.size());
+  for (std::size_t i = begin; i < end; ++i) {
+    for (std::size_t c = 0; c < attrs_.size(); ++c) vals[c] = attrs_[c][i];
+    out.Append(x_[i], y_[i], vals);
+  }
+  return out;
+}
+
+}  // namespace rj

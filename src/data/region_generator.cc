@@ -1,0 +1,311 @@
+#include "data/region_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "voronoi/voronoi.h"
+
+namespace rj {
+
+namespace {
+
+/// Union-find over Voronoi cells.
+class DisjointSets {
+ public:
+  explicit DisjointSets(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  std::size_t Find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  bool Union(std::size_t a, std::size_t b) {
+    a = Find(a);
+    b = Find(b);
+    if (a == b) return false;
+    parent_[b] = a;
+    return true;
+  }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+/// Quantizes a coordinate pair to a 64-bit key so vertices computed by
+/// different cells' clipping sequences snap together.
+class VertexQuantizer {
+ public:
+  VertexQuantizer(const BBox& extent)
+      : origin_(extent.min_x, extent.min_y),
+        inv_step_(1048576.0 /  // 2^20 buckets per extent side
+                  std::max(extent.Width(), extent.Height())) {}
+
+  std::uint64_t Key(const Point& p) const {
+    const auto qx = static_cast<std::uint32_t>(
+        std::llround((p.x - origin_.x) * inv_step_));
+    const auto qy = static_cast<std::uint32_t>(
+        std::llround((p.y - origin_.y) * inv_step_));
+    return (static_cast<std::uint64_t>(qx) << 32) | qy;
+  }
+
+ private:
+  Point origin_;
+  double inv_step_;
+};
+
+/// Directed boundary edge of a merged group.
+struct DirectedEdge {
+  Point from, to;
+  std::uint64_t from_key, to_key;
+  bool used = false;
+};
+
+/// Removes consecutive duplicates and zero-area spikes (A→B→A reversals)
+/// so ear clipping receives clean input.
+Ring SanitizeRing(Ring ring) {
+  bool changed = true;
+  while (changed && ring.size() >= 3) {
+    changed = false;
+    Ring out;
+    const std::size_t n = ring.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      const Point& prev = ring[(i + n - 1) % n];
+      const Point& cur = ring[i];
+      const Point& next = ring[(i + 1) % n];
+      if (cur == prev) {
+        changed = true;
+        continue;  // duplicate
+      }
+      // Spike: the ring doubles back along the same line (zero area).
+      if (Orient2D(prev, cur, next) == 0.0 &&
+          (next - cur).Dot(prev - cur) > 0.0) {
+        changed = true;
+        continue;
+      }
+      out.push_back(cur);
+    }
+    ring = std::move(out);
+  }
+  return ring;
+}
+
+/// Dissolves a group of CCW cells into boundary rings: collects all
+/// directed edges, cancels edge pairs that appear in both directions
+/// (interior edges between group members), and stitches the rest into
+/// closed rings. Returns rings sorted by |area| descending (first = outer).
+std::vector<Ring> DissolveCells(const std::vector<const Ring*>& cells,
+                                const VertexQuantizer& quant) {
+  // Count directed edges; interior edges appear once in each direction.
+  std::unordered_map<std::uint64_t, int> undirected_count;
+  auto edge_key = [](std::uint64_t a, std::uint64_t b) {
+    return a < b ? (a ^ (b << 1)) * 0x9E3779B97F4A7C15ull + a
+                 : (b ^ (a << 1)) * 0x9E3779B97F4A7C15ull + b;
+  };
+
+  std::vector<DirectedEdge> edges;
+  for (const Ring* cell : cells) {
+    const std::size_t m = cell->size();
+    for (std::size_t i = 0; i < m; ++i) {
+      DirectedEdge e;
+      e.from = (*cell)[i];
+      e.to = (*cell)[(i + 1) % m];
+      e.from_key = quant.Key(e.from);
+      e.to_key = quant.Key(e.to);
+      if (e.from_key == e.to_key) continue;  // collapsed by quantization
+      edges.push_back(e);
+      undirected_count[edge_key(e.from_key, e.to_key)]++;
+    }
+  }
+
+  // Keep only boundary edges (count 1).
+  std::unordered_map<std::uint64_t, std::vector<std::size_t>> out_edges;
+  std::vector<std::size_t> boundary;
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    if (undirected_count[edge_key(edges[i].from_key, edges[i].to_key)] == 1) {
+      boundary.push_back(i);
+      out_edges[edges[i].from_key].push_back(i);
+    }
+  }
+
+  // Stitch rings with planar face traversal: at a junction vertex with
+  // several unused outgoing edges, take the sharpest counter-clockwise
+  // turn relative to the incoming direction. This keeps each stitched
+  // ring a simple face even when merged groups touch at a single vertex
+  // (a pinch) — arbitrary edge choice there would braid two lobes into a
+  // self-intersecting ring.
+  auto angle_of = [](const Point& d) { return std::atan2(d.y, d.x); };
+  std::vector<Ring> rings;
+  for (const std::size_t start : boundary) {
+    if (edges[start].used) continue;
+    Ring ring;
+    std::size_t cur = start;
+    while (!edges[cur].used) {
+      edges[cur].used = true;
+      ring.push_back(edges[cur].from);
+      const std::uint64_t next_key = edges[cur].to_key;
+      const auto it = out_edges.find(next_key);
+      if (it == out_edges.end()) break;  // open chain (shouldn't happen)
+      std::size_t next = static_cast<std::size_t>(-1);
+      double best_turn = std::numeric_limits<double>::infinity();
+      const double in_angle = angle_of(edges[cur].from - edges[cur].to);
+      for (const std::size_t cand : it->second) {
+        if (edges[cand].used) continue;
+        // CW turn angle from the reversed incoming edge to the candidate,
+        // in (0, 2π]; smallest = sharpest CCW face turn.
+        const double out_angle =
+            angle_of(edges[cand].to - edges[cand].from);
+        double turn = in_angle - out_angle;
+        while (turn <= 0.0) turn += 2.0 * 3.14159265358979323846;
+        while (turn > 2.0 * 3.14159265358979323846) {
+          turn -= 2.0 * 3.14159265358979323846;
+        }
+        if (turn < best_turn) {
+          best_turn = turn;
+          next = cand;
+        }
+      }
+      if (next == static_cast<std::size_t>(-1)) break;  // ring closed
+      cur = next;
+    }
+    ring = SanitizeRing(std::move(ring));
+    if (ring.size() >= 3 && SignedArea(ring) != 0.0) {
+      rings.push_back(std::move(ring));
+    }
+  }
+
+  std::sort(rings.begin(), rings.end(), [](const Ring& a, const Ring& b) {
+    return std::fabs(SignedArea(a)) > std::fabs(SignedArea(b));
+  });
+  return rings;
+}
+
+}  // namespace
+
+Result<PolygonSet> GenerateRegions(std::size_t n, const BBox& extent,
+                                   const RegionGeneratorOptions& options) {
+  if (n == 0) return Status::InvalidArgument("need n >= 1 polygons");
+  if (options.sites_per_polygon < 1) {
+    return Status::InvalidArgument("sites_per_polygon must be >= 1");
+  }
+
+  Rng rng(options.seed);
+  const std::size_t num_sites = n * static_cast<std::size_t>(
+                                        options.sites_per_polygon);
+
+  // 1. Random sites → constrained Voronoi partition of the extent (§7.4).
+  std::vector<Point> sites;
+  sites.reserve(num_sites);
+  for (std::size_t i = 0; i < num_sites; ++i) {
+    sites.push_back({rng.Uniform(extent.min_x, extent.max_x),
+                     rng.Uniform(extent.min_y, extent.max_y)});
+  }
+  RJ_ASSIGN_OR_RETURN(VoronoiDiagram vd, ComputeVoronoi(sites, extent));
+
+  // Orient all cells CCW so dissolve stitching is consistent; drop empties.
+  std::vector<Ring> cells(vd.cells.size());
+  std::vector<bool> valid(vd.cells.size(), false);
+  for (std::size_t i = 0; i < vd.cells.size(); ++i) {
+    if (vd.cells[i].size() < 3) continue;
+    cells[i] = vd.cells[i];
+    if (!IsCounterClockwise(cells[i])) ReverseRing(&cells[i]);
+    valid[i] = true;
+  }
+
+  // 2. Randomly merge adjacent cells until n groups remain.
+  std::size_t groups = 0;
+  for (const bool v : valid) groups += v ? 1 : 0;
+  if (groups < n) {
+    return Status::Internal("Voronoi produced fewer valid cells than needed");
+  }
+
+  // Candidate adjacent pairs: cells sharing a positive-length boundary
+  // edge. (Delaunay neighborhood is not sufficient — after clipping to the
+  // domain two neighboring sites' cells may share only a point, and
+  // merging those would create a disconnected "polygon".)
+  const VertexQuantizer quant(extent);
+  std::unordered_map<std::uint64_t, std::vector<std::int32_t>> edge_owners;
+  auto undirected_key = [](std::uint64_t a, std::uint64_t b) {
+    if (a > b) std::swap(a, b);
+    return (a ^ (b << 1)) * 0x9E3779B97F4A7C15ull + a;
+  };
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (!valid[i]) continue;
+    const Ring& cell = cells[i];
+    for (std::size_t e = 0; e < cell.size(); ++e) {
+      const std::uint64_t ka = quant.Key(cell[e]);
+      const std::uint64_t kb = quant.Key(cell[(e + 1) % cell.size()]);
+      if (ka == kb) continue;
+      edge_owners[undirected_key(ka, kb)].push_back(
+          static_cast<std::int32_t>(i));
+    }
+  }
+  std::vector<std::pair<std::int32_t, std::int32_t>> adjacent;
+  for (const auto& [key, owners] : edge_owners) {
+    if (owners.size() == 2 && owners[0] != owners[1]) {
+      adjacent.push_back({std::min(owners[0], owners[1]),
+                          std::max(owners[0], owners[1])});
+    }
+  }
+
+  DisjointSets ds(cells.size());
+  while (groups > n && !adjacent.empty()) {
+    const std::size_t pick = rng.UniformInt(adjacent.size());
+    const auto [a, b] = adjacent[pick];
+    if (ds.Union(a, b)) --groups;
+    adjacent[pick] = adjacent.back();
+    adjacent.pop_back();
+  }
+  if (groups != n) {
+    return Status::Internal(
+        "adjacency exhausted before reaching the target polygon count");
+  }
+
+  // 3. Dissolve each group into one polygon (outer ring + holes).
+  std::unordered_map<std::size_t, std::vector<const Ring*>> members;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (valid[i]) members[ds.Find(i)].push_back(&cells[i]);
+  }
+
+  PolygonSet polys;
+  polys.reserve(n);
+  for (auto& [root, group_cells] : members) {
+    std::vector<Ring> rings = DissolveCells(group_cells, quant);
+    if (rings.empty()) {
+      return Status::Internal("dissolve produced no boundary ring");
+    }
+    // Face traversal over CCW cells yields exactly one CCW outer boundary
+    // per edge-connected group; CW rings are genuine holes (the group
+    // fully surrounds another group).
+    Ring outer;
+    std::vector<Ring> holes;
+    for (Ring& ring : rings) {
+      if (IsCounterClockwise(ring)) {
+        if (!outer.empty()) {
+          return Status::Internal(
+              "dissolve produced a disconnected polygon group");
+        }
+        outer = std::move(ring);
+      } else {
+        holes.push_back(std::move(ring));
+      }
+    }
+    if (outer.empty()) {
+      return Status::Internal("dissolve produced no outer ring");
+    }
+    Polygon poly(std::move(outer), std::move(holes));
+    poly.set_id(static_cast<std::int64_t>(polys.size()));
+    RJ_RETURN_NOT_OK(poly.Normalize());
+    polys.push_back(std::move(poly));
+  }
+  return polys;
+}
+
+}  // namespace rj

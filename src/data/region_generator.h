@@ -1,0 +1,32 @@
+/// \file region_generator.h
+/// \brief Synthetic polygon generator, exactly as §7.4 describes.
+///
+/// "To generate n polygons, we first randomly generated 4n points within
+/// the rectangular extent of the data. We then computed the constrained
+/// Voronoi diagram over these points [→ 4n convex cells partitioning the
+/// extent]. Next, we randomly chose two neighboring polygons and merged
+/// them into a single polygon. We repeated this step until only n polygons
+/// remained." The merge step produces concave, complex, multi-hundred-
+/// vertex shapes like the real neighborhood/county data sets (Table 1).
+#pragma once
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "geometry/bbox.h"
+#include "geometry/polygon.h"
+
+namespace rj {
+
+struct RegionGeneratorOptions {
+  std::uint64_t seed = 42;
+  /// Seed sites per requested polygon (paper uses 4).
+  int sites_per_polygon = 4;
+};
+
+/// Generates `n` polygons partitioning `extent` via merged Voronoi cells.
+/// Ids are assigned 0..n-1.
+Result<PolygonSet> GenerateRegions(std::size_t n, const BBox& extent,
+                                   const RegionGeneratorOptions& options = {});
+
+}  // namespace rj

@@ -1,0 +1,85 @@
+#include "data/taxi_generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math_utils.h"
+#include "common/rng.h"
+
+namespace rj {
+
+BBox NycExtentMeters() { return BBox(0.0, 0.0, 45000.0, 40000.0); }
+
+namespace {
+
+/// Hot spots loosely modeled on the paper's observation that "taxi trips
+/// are mostly concentrated in Lower Manhattan, Midtown, and airports".
+struct HotSpot {
+  Point center;
+  double sigma;   ///< meters
+  double weight;  ///< relative share among hot spots
+};
+
+const HotSpot kSpots[] = {
+    {{17000.0, 14000.0}, 1200.0, 0.34},  // Lower Manhattan
+    {{18500.0, 19000.0}, 1500.0, 0.36},  // Midtown
+    {{33000.0, 12000.0}, 900.0, 0.12},   // JFK-like
+    {{27000.0, 21000.0}, 800.0, 0.10},   // LGA-like
+    {{14000.0, 24000.0}, 2000.0, 0.08},  // Upper Manhattan / Bronx edge
+};
+
+}  // namespace
+
+PointTable GenerateTaxiPoints(std::size_t n,
+                              const TaxiGeneratorOptions& options) {
+  Rng rng(options.seed);
+  const BBox extent = NycExtentMeters();
+
+  PointTable table;
+  table.AddAttribute("fare");
+  table.AddAttribute("tip");
+  table.AddAttribute("distance");
+  table.AddAttribute("passengers");
+  table.AddAttribute("hour");
+  table.Reserve(n);
+
+  double cumulative[std::size(kSpots)];
+  double acc = 0.0;
+  for (std::size_t s = 0; s < std::size(kSpots); ++s) {
+    acc += kSpots[s].weight;
+    cumulative[s] = acc;
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    Point p;
+    if (rng.Chance(options.hotspot_fraction)) {
+      const double u = rng.Uniform() * acc;
+      std::size_t s = 0;
+      while (s + 1 < std::size(kSpots) && u > cumulative[s]) ++s;
+      // Rejection-free clamp keeps all points inside the extent.
+      p.x = Clamp(rng.Normal(kSpots[s].center.x, kSpots[s].sigma),
+                  extent.min_x, extent.max_x - 1e-6);
+      p.y = Clamp(rng.Normal(kSpots[s].center.y, kSpots[s].sigma),
+                  extent.min_y, extent.max_y - 1e-6);
+    } else {
+      p.x = rng.Uniform(extent.min_x, extent.max_x);
+      p.y = rng.Uniform(extent.min_y, extent.max_y);
+    }
+
+    // Trip attributes with plausible marginals.
+    const float distance =
+        static_cast<float>(std::max(0.2, rng.Normal(2.8, 2.0)));  // miles
+    const float fare =
+        static_cast<float>(2.5 + 2.4 * distance +
+                           std::max(0.0, rng.Normal(0.0, 1.5)));
+    const float tip = static_cast<float>(
+        rng.Chance(0.6) ? fare * rng.Uniform(0.08, 0.25) : 0.0);
+    const float passengers = static_cast<float>(1 + rng.UniformInt(5));
+    const float hour = static_cast<float>(rng.UniformInt(24));
+
+    table.Append(p.x, p.y, {fare, tip, distance, passengers, hour});
+  }
+  return table;
+}
+
+}  // namespace rj

@@ -1,0 +1,79 @@
+#include "data/twitter_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/math_utils.h"
+#include "common/rng.h"
+
+namespace rj {
+
+BBox UsExtentMeters() { return BBox(0.0, 0.0, 4500000.0, 2800000.0); }
+
+PointTable GenerateTwitterPoints(std::size_t n,
+                                 const TwitterGeneratorOptions& options) {
+  Rng rng(options.seed);
+  const BBox extent = UsExtentMeters();
+
+  // City sizes follow a Zipf-ish distribution (rank-1 city dominates).
+  struct City {
+    Point center;
+    double sigma;
+    double cum_weight;
+  };
+  std::vector<City> cities(options.num_cities);
+  double acc = 0.0;
+  for (std::size_t c = 0; c < options.num_cities; ++c) {
+    City& city = cities[c];
+    city.center = {rng.Uniform(extent.min_x + 100000.0, extent.max_x - 100000.0),
+                   rng.Uniform(extent.min_y + 100000.0, extent.max_y - 100000.0)};
+    city.sigma = rng.Uniform(15000.0, 60000.0);
+    acc += 1.0 / static_cast<double>(c + 1);  // Zipf weight
+    city.cum_weight = acc;
+  }
+
+  PointTable table;
+  table.AddAttribute("favorites");
+  table.AddAttribute("retweets");
+  table.AddAttribute("hour");
+  table.Reserve(n);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    Point p;
+    if (rng.Chance(options.city_fraction)) {
+      const double u = rng.Uniform() * acc;
+      std::size_t lo = 0, hi = cities.size() - 1;
+      while (lo < hi) {
+        const std::size_t mid = (lo + hi) / 2;
+        if (cities[mid].cum_weight < u) {
+          lo = mid + 1;
+        } else {
+          hi = mid;
+        }
+      }
+      const City& city = cities[lo];
+      p.x = Clamp(rng.Normal(city.center.x, city.sigma), extent.min_x,
+                  extent.max_x - 1e-3);
+      p.y = Clamp(rng.Normal(city.center.y, city.sigma), extent.min_y,
+                  extent.max_y - 1e-3);
+    } else {
+      p.x = rng.Uniform(extent.min_x, extent.max_x);
+      p.y = rng.Uniform(extent.min_y, extent.max_y);
+    }
+
+    // Long-tailed engagement counts.
+    const float favorites =
+        static_cast<float>(std::floor(std::exp(rng.Normal(0.5, 1.4)) - 1.0 >
+                                              0.0
+                                          ? std::exp(rng.Normal(0.5, 1.4)) - 1.0
+                                          : 0.0));
+    const float retweets = static_cast<float>(
+        std::max(0.0, std::floor(favorites * rng.Uniform(0.0, 0.5))));
+    const float hour = static_cast<float>(rng.UniformInt(24));
+    table.Append(p.x, p.y, {favorites, retweets, hour});
+  }
+  return table;
+}
+
+}  // namespace rj

@@ -1,0 +1,73 @@
+/// \file bbox.h
+/// \brief Axis-aligned bounding box (MBR).
+#pragma once
+
+#include <algorithm>
+#include <limits>
+
+#include "geometry/point.h"
+
+namespace rj {
+
+/// Axis-aligned bounding box; default-constructed boxes are empty
+/// (min > max) and absorb points via Expand().
+struct BBox {
+  double min_x = std::numeric_limits<double>::infinity();
+  double min_y = std::numeric_limits<double>::infinity();
+  double max_x = -std::numeric_limits<double>::infinity();
+  double max_y = -std::numeric_limits<double>::infinity();
+
+  BBox() = default;
+  BBox(double x0, double y0, double x1, double y1)
+      : min_x(x0), min_y(y0), max_x(x1), max_y(y1) {}
+
+  bool IsEmpty() const { return min_x > max_x || min_y > max_y; }
+
+  double Width() const { return max_x - min_x; }
+  double Height() const { return max_y - min_y; }
+  double Area() const { return IsEmpty() ? 0.0 : Width() * Height(); }
+  Point Center() const { return {(min_x + max_x) / 2, (min_y + max_y) / 2}; }
+
+  void Expand(const Point& p) {
+    min_x = std::min(min_x, p.x);
+    min_y = std::min(min_y, p.y);
+    max_x = std::max(max_x, p.x);
+    max_y = std::max(max_y, p.y);
+  }
+
+  void Expand(const BBox& o) {
+    min_x = std::min(min_x, o.min_x);
+    min_y = std::min(min_y, o.min_y);
+    max_x = std::max(max_x, o.max_x);
+    max_y = std::max(max_y, o.max_y);
+  }
+
+  /// Grows the box by `margin` on every side.
+  BBox Inflated(double margin) const {
+    return {min_x - margin, min_y - margin, max_x + margin, max_y + margin};
+  }
+
+  /// Closed containment test (boundary counts as inside).
+  bool Contains(const Point& p) const {
+    return p.x >= min_x && p.x <= max_x && p.y >= min_y && p.y <= max_y;
+  }
+
+  bool Intersects(const BBox& o) const {
+    return !(o.min_x > max_x || o.max_x < min_x || o.min_y > max_y ||
+             o.max_y < min_y);
+  }
+
+  /// Intersection box (empty if disjoint).
+  BBox Intersection(const BBox& o) const {
+    BBox r(std::max(min_x, o.min_x), std::max(min_y, o.min_y),
+           std::min(max_x, o.max_x), std::min(max_y, o.max_y));
+    return r;
+  }
+
+  bool operator==(const BBox& o) const {
+    return min_x == o.min_x && min_y == o.min_y && max_x == o.max_x &&
+           max_y == o.max_y;
+  }
+};
+
+}  // namespace rj

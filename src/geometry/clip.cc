@@ -1,0 +1,139 @@
+#include "geometry/clip.h"
+
+#include <cmath>
+
+#include "common/math_utils.h"
+
+namespace rj {
+
+namespace {
+constexpr unsigned kInside = 0;
+constexpr unsigned kLeft = 1;
+constexpr unsigned kRight = 2;
+constexpr unsigned kBottom = 4;
+constexpr unsigned kTop = 8;
+}  // namespace
+
+unsigned ComputeOutcode(const BBox& rect, const Point& p) {
+  unsigned code = kInside;
+  if (p.x < rect.min_x) {
+    code |= kLeft;
+  } else if (p.x > rect.max_x) {
+    code |= kRight;
+  }
+  if (p.y < rect.min_y) {
+    code |= kBottom;
+  } else if (p.y > rect.max_y) {
+    code |= kTop;
+  }
+  return code;
+}
+
+std::optional<std::pair<Point, Point>> ClipSegmentCohenSutherland(
+    const BBox& rect, Point a, Point b) {
+  unsigned code_a = ComputeOutcode(rect, a);
+  unsigned code_b = ComputeOutcode(rect, b);
+
+  for (;;) {
+    if ((code_a | code_b) == 0) return std::make_pair(a, b);  // both inside
+    if ((code_a & code_b) != 0) return std::nullopt;  // same outside zone
+
+    const unsigned out = code_a != 0 ? code_a : code_b;
+    Point p;
+    if (out & kTop) {
+      p.x = a.x + (b.x - a.x) * (rect.max_y - a.y) / (b.y - a.y);
+      p.y = rect.max_y;
+    } else if (out & kBottom) {
+      p.x = a.x + (b.x - a.x) * (rect.min_y - a.y) / (b.y - a.y);
+      p.y = rect.min_y;
+    } else if (out & kRight) {
+      p.y = a.y + (b.y - a.y) * (rect.max_x - a.x) / (b.x - a.x);
+      p.x = rect.max_x;
+    } else {
+      p.y = a.y + (b.y - a.y) * (rect.min_x - a.x) / (b.x - a.x);
+      p.x = rect.min_x;
+    }
+    if (out == code_a) {
+      a = p;
+      code_a = ComputeOutcode(rect, a);
+    } else {
+      b = p;
+      code_b = ComputeOutcode(rect, b);
+    }
+  }
+}
+
+namespace {
+
+enum class Edge { kLeftE, kRightE, kBottomE, kTopE };
+
+bool InsideEdge(const Point& p, Edge e, const BBox& r) {
+  switch (e) {
+    case Edge::kLeftE: return p.x >= r.min_x;
+    case Edge::kRightE: return p.x <= r.max_x;
+    case Edge::kBottomE: return p.y >= r.min_y;
+    case Edge::kTopE: return p.y <= r.max_y;
+  }
+  return false;
+}
+
+Point IntersectEdge(const Point& a, const Point& b, Edge e, const BBox& r) {
+  double t;
+  switch (e) {
+    case Edge::kLeftE:
+      t = (r.min_x - a.x) / (b.x - a.x);
+      return {r.min_x, a.y + t * (b.y - a.y)};
+    case Edge::kRightE:
+      t = (r.max_x - a.x) / (b.x - a.x);
+      return {r.max_x, a.y + t * (b.y - a.y)};
+    case Edge::kBottomE:
+      t = (r.min_y - a.y) / (b.y - a.y);
+      return {a.x + t * (b.x - a.x), r.min_y};
+    case Edge::kTopE:
+      t = (r.max_y - a.y) / (b.y - a.y);
+      return {a.x + t * (b.x - a.x), r.max_y};
+  }
+  return a;
+}
+
+}  // namespace
+
+Ring ClipRingToRect(const Ring& subject, const BBox& rect) {
+  Ring output = subject;
+  for (Edge e : {Edge::kLeftE, Edge::kRightE, Edge::kBottomE, Edge::kTopE}) {
+    Ring input = std::move(output);
+    output.clear();
+    const std::size_t n = input.size();
+    if (n == 0) break;
+    for (std::size_t i = 0; i < n; ++i) {
+      const Point& cur = input[i];
+      const Point& prev = input[(i + n - 1) % n];
+      const bool cur_in = InsideEdge(cur, e, rect);
+      const bool prev_in = InsideEdge(prev, e, rect);
+      if (cur_in) {
+        if (!prev_in) output.push_back(IntersectEdge(prev, cur, e, rect));
+        output.push_back(cur);
+      } else if (prev_in) {
+        output.push_back(IntersectEdge(prev, cur, e, rect));
+      }
+    }
+  }
+  return output;
+}
+
+double PolygonRectIntersectionArea(const Polygon& poly, const BBox& rect) {
+  if (!poly.bbox().Intersects(rect)) return 0.0;
+  double area = std::fabs(SignedArea(ClipRingToRect(poly.outer(), rect)));
+  for (const Ring& hole : poly.holes()) {
+    area -= std::fabs(SignedArea(ClipRingToRect(hole, rect)));
+  }
+  return std::max(0.0, area);
+}
+
+double PolygonRectCoverageFraction(const Polygon& poly, const BBox& rect) {
+  const double rect_area = rect.Area();
+  if (rect_area <= 0.0) return 0.0;
+  return Clamp(PolygonRectIntersectionArea(poly, rect) / rect_area, 0.0, 1.0);
+}
+
+}  // namespace rj

@@ -1,0 +1,41 @@
+/// \file clip.h
+/// \brief Clipping primitives: Cohen–Sutherland segment clipping,
+/// Sutherland–Hodgman polygon clipping, and pixel∩polygon area fractions.
+///
+/// The paper uses Cohen–Sutherland in the fragment shader to estimate the
+/// fraction of a boundary pixel covered by its polygon (§6.1, "Computing
+/// Result Ranges"). We provide both that edge-based estimate and an exact
+/// Sutherland–Hodgman area computation; agg::ResultRange uses the exact
+/// variant, and a test verifies the shader-style estimate tracks it.
+#pragma once
+
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "geometry/bbox.h"
+#include "geometry/point.h"
+#include "geometry/polygon.h"
+
+namespace rj {
+
+/// Cohen–Sutherland outcode for p against rect.
+unsigned ComputeOutcode(const BBox& rect, const Point& p);
+
+/// Clips segment [a, b] against `rect` using the Cohen–Sutherland algorithm.
+/// Returns the clipped endpoints, or nullopt if the segment lies entirely
+/// outside the rectangle.
+std::optional<std::pair<Point, Point>> ClipSegmentCohenSutherland(
+    const BBox& rect, Point a, Point b);
+
+/// Clips a (convex or concave) subject ring against an axis-aligned
+/// rectangle with the Sutherland–Hodgman algorithm. The result may be empty.
+Ring ClipRingToRect(const Ring& subject, const BBox& rect);
+
+/// Exact area of the intersection between `poly` (with holes) and `rect`.
+double PolygonRectIntersectionArea(const Polygon& poly, const BBox& rect);
+
+/// Fraction of `rect`'s area covered by `poly`, in [0, 1].
+double PolygonRectCoverageFraction(const Polygon& poly, const BBox& rect);
+
+}  // namespace rj

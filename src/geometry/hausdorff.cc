@@ -1,0 +1,51 @@
+#include "geometry/hausdorff.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "geometry/segment.h"
+
+namespace rj {
+
+std::vector<Point> SampleRing(const Ring& ring, double step) {
+  std::vector<Point> samples;
+  const std::size_t n = ring.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const Point& a = ring[i];
+    const Point& b = ring[(i + 1) % n];
+    samples.push_back(a);
+    const double len = a.DistanceTo(b);
+    if (step > 0.0 && len > step) {
+      const int pieces = static_cast<int>(std::ceil(len / step));
+      for (int k = 1; k < pieces; ++k) {
+        const double t = static_cast<double>(k) / pieces;
+        samples.push_back(a + (b - a) * t);
+      }
+    }
+  }
+  return samples;
+}
+
+double DirectedHausdorff(const std::vector<Point>& a, const Ring& b) {
+  const std::size_t nb = b.size();
+  double worst = 0.0;
+  for (const Point& p : a) {
+    double best = std::numeric_limits<double>::infinity();
+    for (std::size_t j = 0; j < nb; ++j) {
+      best = std::min(best, DistancePointSegment(b[j], b[(j + 1) % nb], p));
+      if (best == 0.0) break;
+    }
+    worst = std::max(worst, best);
+  }
+  return worst;
+}
+
+double RingHausdorffDistance(const Ring& a, const Ring& b,
+                             double sample_step) {
+  const std::vector<Point> sa = SampleRing(a, sample_step);
+  const std::vector<Point> sb = SampleRing(b, sample_step);
+  return std::max(DirectedHausdorff(sa, b), DirectedHausdorff(sb, a));
+}
+
+}  // namespace rj

@@ -1,0 +1,32 @@
+/// \file hausdorff.h
+/// \brief Hausdorff distance between polygon boundaries.
+///
+/// §4.2 of the paper defines the ε-approximation guarantee in terms of the
+/// Hausdorff distance between a polygon and its pixelated approximation.
+/// These routines let tests verify that guarantee empirically: with pixel
+/// side ε' = ε/√2 the rasterized outline is within Hausdorff distance ε of
+/// the true boundary.
+#pragma once
+
+#include <vector>
+
+#include "geometry/point.h"
+#include "geometry/polygon.h"
+
+namespace rj {
+
+/// Directed Hausdorff distance from point set A to polyline-sampled ring B:
+/// max over a in A of min distance to B's edges.
+double DirectedHausdorff(const std::vector<Point>& a, const Ring& b);
+
+/// Symmetric Hausdorff distance between two rings, computed by sampling
+/// each ring's edges at most every `sample_step` apart and measuring
+/// point-to-edge distances both ways.
+double RingHausdorffDistance(const Ring& a, const Ring& b,
+                             double sample_step);
+
+/// Samples points along a ring's edges, at most `step` apart (always
+/// includes the vertices).
+std::vector<Point> SampleRing(const Ring& ring, double step);
+
+}  // namespace rj

@@ -1,0 +1,49 @@
+#include "geometry/pip.h"
+
+#include <atomic>
+
+#include "geometry/segment.h"
+
+namespace rj {
+
+namespace {
+std::atomic<std::size_t> g_pip_tests{0};
+}  // namespace
+
+void ResetPipTestCounter() { g_pip_tests.store(0, std::memory_order_relaxed); }
+
+std::size_t GetPipTestCount() {
+  return g_pip_tests.load(std::memory_order_relaxed);
+}
+
+namespace internal {
+void IncrementPipCounter() {
+  g_pip_tests.fetch_add(1, std::memory_order_relaxed);
+}
+}  // namespace internal
+
+PipResult TestPointInRing(const Ring& ring, const Point& p) {
+  internal::IncrementPipCounter();
+  const std::size_t n = ring.size();
+  if (n < 3) return PipResult::kOutside;
+
+  bool inside = false;
+  for (std::size_t i = 0, j = n - 1; i < n; j = i++) {
+    const Point& a = ring[j];
+    const Point& b = ring[i];
+
+    // Exact boundary check first: degenerate horizontal edges and vertices
+    // would otherwise be misclassified by the crossing rule.
+    if (PointOnSegment(a, b, p, 0.0)) return PipResult::kBoundary;
+
+    // Half-open edge rule [min_y, max_y): each crossing counted once.
+    const bool crosses_y = (b.y > p.y) != (a.y > p.y);
+    if (crosses_y) {
+      const double x_at_y = b.x + (p.y - b.y) * (a.x - b.x) / (a.y - b.y);
+      if (p.x < x_at_y) inside = !inside;
+    }
+  }
+  return inside ? PipResult::kInside : PipResult::kOutside;
+}
+
+}  // namespace rj

@@ -1,0 +1,47 @@
+/// \file point.h
+/// \brief 2D point type used throughout the library.
+#pragma once
+
+#include <cmath>
+
+namespace rj {
+
+/// A 2D point / vector in world coordinates (meters or degrees).
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  constexpr Point() = default;
+  constexpr Point(double px, double py) : x(px), y(py) {}
+
+  constexpr Point operator+(const Point& o) const { return {x + o.x, y + o.y}; }
+  constexpr Point operator-(const Point& o) const { return {x - o.x, y - o.y}; }
+  constexpr Point operator*(double s) const { return {x * s, y * s}; }
+  constexpr Point operator/(double s) const { return {x / s, y / s}; }
+
+  constexpr bool operator==(const Point& o) const {
+    return x == o.x && y == o.y;
+  }
+  constexpr bool operator!=(const Point& o) const { return !(*this == o); }
+
+  /// Dot product.
+  constexpr double Dot(const Point& o) const { return x * o.x + y * o.y; }
+
+  /// Z-component of the 3D cross product (signed parallelogram area).
+  constexpr double Cross(const Point& o) const { return x * o.y - y * o.x; }
+
+  double Norm() const { return std::sqrt(x * x + y * y); }
+  constexpr double NormSquared() const { return x * x + y * y; }
+
+  double DistanceTo(const Point& o) const { return (*this - o).Norm(); }
+  constexpr double DistanceSquaredTo(const Point& o) const {
+    return (*this - o).NormSquared();
+  }
+};
+
+/// Twice the signed area of triangle (a, b, c); >0 when counter-clockwise.
+constexpr double Orient2D(const Point& a, const Point& b, const Point& c) {
+  return (b - a).Cross(c - a);
+}
+
+}  // namespace rj

@@ -1,0 +1,149 @@
+#include "geometry/polygon.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geometry/pip.h"
+#include "geometry/segment.h"
+
+namespace rj {
+
+double SignedArea(const Ring& ring) {
+  const std::size_t n = ring.size();
+  if (n < 3) return 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Point& a = ring[i];
+    const Point& b = ring[(i + 1) % n];
+    acc += a.Cross(b);
+  }
+  return acc / 2.0;
+}
+
+bool IsCounterClockwise(const Ring& ring) { return SignedArea(ring) > 0.0; }
+
+void ReverseRing(Ring* ring) { std::reverse(ring->begin(), ring->end()); }
+
+bool IsSimpleRing(const Ring& ring) {
+  const std::size_t n = ring.size();
+  if (n < 3) return false;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (ring[i] == ring[(i + 1) % n]) return false;  // zero-length edge
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const Point& a1 = ring[i];
+    const Point& a2 = ring[(i + 1) % n];
+    for (std::size_t j = i + 1; j < n; ++j) {
+      // Skip adjacent edges (they share an endpoint by construction).
+      if (j == i || (j + 1) % n == i || (i + 1) % n == j) continue;
+      const Point& b1 = ring[j];
+      const Point& b2 = ring[(j + 1) % n];
+      if (SegmentsIntersect(a1, a2, b1, b2)) return false;
+    }
+  }
+  return true;
+}
+
+Status Polygon::Normalize() {
+  if (outer_.size() < 3) {
+    return Status::InvalidArgument("polygon outer ring has fewer than 3 vertices");
+  }
+  for (const Ring& hole : holes_) {
+    if (hole.size() < 3) {
+      return Status::InvalidArgument("polygon hole has fewer than 3 vertices");
+    }
+  }
+  if (SignedArea(outer_) == 0.0) {
+    return Status::InvalidArgument("polygon outer ring is degenerate (zero area)");
+  }
+  if (!IsCounterClockwise(outer_)) ReverseRing(&outer_);
+  for (Ring& hole : holes_) {
+    if (IsCounterClockwise(hole)) ReverseRing(&hole);
+  }
+  UpdateBBox();
+  return Status::OK();
+}
+
+std::size_t Polygon::NumVertices() const {
+  std::size_t n = outer_.size();
+  for (const Ring& hole : holes_) n += hole.size();
+  return n;
+}
+
+double Polygon::Area() const {
+  double area = std::fabs(SignedArea(outer_));
+  for (const Ring& hole : holes_) area -= std::fabs(SignedArea(hole));
+  return area;
+}
+
+double Polygon::OuterPerimeter() const {
+  const std::size_t n = outer_.size();
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    acc += outer_[i].DistanceTo(outer_[(i + 1) % n]);
+  }
+  return acc;
+}
+
+bool Polygon::Contains(const Point& p) const {
+  if (!bbox_.Contains(p)) return false;
+  const PipResult outer_res = TestPointInRing(outer_, p);
+  if (outer_res == PipResult::kOutside) return false;
+  if (outer_res == PipResult::kBoundary) return true;
+  for (const Ring& hole : holes_) {
+    const PipResult hole_res = TestPointInRing(hole, p);
+    if (hole_res == PipResult::kInside) return false;
+    if (hole_res == PipResult::kBoundary) return true;  // hole edge: inside
+  }
+  return true;
+}
+
+double Polygon::DistanceToBoundary(const Point& p) const {
+  auto ring_distance = [&p](const Ring& ring) {
+    double best = std::numeric_limits<double>::infinity();
+    const std::size_t n = ring.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      best = std::min(best,
+                      DistancePointSegment(ring[i], ring[(i + 1) % n], p));
+    }
+    return best;
+  };
+  double best = ring_distance(outer_);
+  for (const Ring& hole : holes_) best = std::min(best, ring_distance(hole));
+  return best;
+}
+
+Point Polygon::Centroid() const {
+  // Area-weighted centroid of the outer ring.
+  const std::size_t n = outer_.size();
+  double cx = 0.0, cy = 0.0, a = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Point& p0 = outer_[i];
+    const Point& p1 = outer_[(i + 1) % n];
+    const double cross = p0.Cross(p1);
+    cx += (p0.x + p1.x) * cross;
+    cy += (p0.y + p1.y) * cross;
+    a += cross;
+  }
+  if (a == 0.0) return outer_.empty() ? Point{} : outer_[0];
+  return {cx / (3.0 * a), cy / (3.0 * a)};
+}
+
+void Polygon::UpdateBBox() {
+  bbox_ = BBox();
+  for (const Point& p : outer_) bbox_.Expand(p);
+}
+
+BBox ComputeExtent(const PolygonSet& polys) {
+  BBox extent;
+  for (const Polygon& poly : polys) extent.Expand(poly.bbox());
+  return extent;
+}
+
+std::size_t TotalVertices(const PolygonSet& polys) {
+  std::size_t n = 0;
+  for (const Polygon& poly : polys) n += poly.NumVertices();
+  return n;
+}
+
+}  // namespace rj

@@ -1,0 +1,95 @@
+/// \file polygon.h
+/// \brief Simple polygons with optional holes, plus basic measures.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "geometry/bbox.h"
+#include "geometry/point.h"
+
+namespace rj {
+
+/// A closed ring of vertices (no repeated closing vertex).
+using Ring = std::vector<Point>;
+
+/// Signed area of a ring; positive when counter-clockwise.
+double SignedArea(const Ring& ring);
+
+/// True if the ring's vertices are in counter-clockwise order.
+bool IsCounterClockwise(const Ring& ring);
+
+/// Reverses vertex order in place.
+void ReverseRing(Ring* ring);
+
+/// True if the ring is simple (no self-intersections, >= 3 vertices,
+/// no zero-length edges). O(n^2); used for validation and tests.
+bool IsSimpleRing(const Ring& ring);
+
+/// \brief An arbitrary simple polygon: one outer ring, zero or more holes.
+///
+/// Invariants after Normalize(): outer ring CCW, holes CW, at least three
+/// vertices per ring. `id` is the GROUP BY key in aggregation queries.
+class Polygon {
+ public:
+  Polygon() = default;
+  explicit Polygon(Ring outer, std::vector<Ring> holes = {})
+      : outer_(std::move(outer)), holes_(std::move(holes)) {
+    UpdateBBox();
+  }
+
+  /// Validates ring sizes and orients outer CCW / holes CW.
+  Status Normalize();
+
+  const Ring& outer() const { return outer_; }
+  const std::vector<Ring>& holes() const { return holes_; }
+  const BBox& bbox() const { return bbox_; }
+
+  std::int64_t id() const { return id_; }
+  void set_id(std::int64_t id) { id_ = id; }
+
+  /// Total vertex count across outer ring and holes.
+  std::size_t NumVertices() const;
+
+  /// Area of outer ring minus hole areas (always >= 0 after Normalize()).
+  double Area() const;
+
+  /// Perimeter of the outer ring only.
+  double OuterPerimeter() const;
+
+  /// Exact containment test; points on any ring boundary count as inside.
+  /// Linear in the number of vertices (this is the cost the paper's raster
+  /// approach avoids).
+  bool Contains(const Point& p) const;
+
+  /// Euclidean distance from p to the nearest boundary edge (outer or hole).
+  double DistanceToBoundary(const Point& p) const;
+
+  /// Centroid of the outer ring (area-weighted).
+  Point Centroid() const;
+
+  /// Number of PIP edge-crossing operations Contains() would perform;
+  /// used by benches for work-proportional metrics.
+  std::size_t ContainsCost() const { return NumVertices(); }
+
+ private:
+  void UpdateBBox();
+
+  Ring outer_;
+  std::vector<Ring> holes_;
+  BBox bbox_;
+  std::int64_t id_ = -1;
+};
+
+/// A polygon data set (the R relation in the paper's query template).
+using PolygonSet = std::vector<Polygon>;
+
+/// Bounding box of an entire polygon set.
+BBox ComputeExtent(const PolygonSet& polys);
+
+/// Total vertices across the set (Table 1 complexity statistic).
+std::size_t TotalVertices(const PolygonSet& polys);
+
+}  // namespace rj

@@ -1,0 +1,60 @@
+/// \file segment.h
+/// \brief Line segment helpers (distance, intersection).
+#pragma once
+
+#include <algorithm>
+
+#include "common/math_utils.h"
+#include "geometry/point.h"
+
+namespace rj {
+
+/// Closest point on segment [a, b] to p.
+inline Point ClosestPointOnSegment(const Point& a, const Point& b,
+                                   const Point& p) {
+  const Point ab = b - a;
+  const double len2 = ab.NormSquared();
+  if (len2 == 0.0) return a;
+  const double t = Clamp((p - a).Dot(ab) / len2, 0.0, 1.0);
+  return a + ab * t;
+}
+
+/// Euclidean distance from p to segment [a, b].
+inline double DistancePointSegment(const Point& a, const Point& b,
+                                   const Point& p) {
+  return p.DistanceTo(ClosestPointOnSegment(a, b, p));
+}
+
+/// True if p lies on segment [a, b] within tolerance `tol`.
+inline bool PointOnSegment(const Point& a, const Point& b, const Point& p,
+                           double tol = 1e-12) {
+  return DistancePointSegment(a, b, p) <= tol;
+}
+
+/// Proper or touching intersection test between segments [p1,p2] and [q1,q2],
+/// using exact-sign orientation tests (no epsilon).
+inline bool SegmentsIntersect(const Point& p1, const Point& p2,
+                              const Point& q1, const Point& q2) {
+  const double d1 = Orient2D(q1, q2, p1);
+  const double d2 = Orient2D(q1, q2, p2);
+  const double d3 = Orient2D(p1, p2, q1);
+  const double d4 = Orient2D(p1, p2, q2);
+
+  if (((d1 > 0 && d2 < 0) || (d1 < 0 && d2 > 0)) &&
+      ((d3 > 0 && d4 < 0) || (d3 < 0 && d4 > 0))) {
+    return true;
+  }
+
+  auto on = [](const Point& a, const Point& b, const Point& c) {
+    // c collinear with [a,b]: is it within the box spanned by a,b?
+    return std::min(a.x, b.x) <= c.x && c.x <= std::max(a.x, b.x) &&
+           std::min(a.y, b.y) <= c.y && c.y <= std::max(a.y, b.y);
+  };
+  if (d1 == 0 && on(q1, q2, p1)) return true;
+  if (d2 == 0 && on(q1, q2, p2)) return true;
+  if (d3 == 0 && on(p1, p2, q1)) return true;
+  if (d4 == 0 && on(p1, p2, q2)) return true;
+  return false;
+}
+
+}  // namespace rj

@@ -1,0 +1,43 @@
+/// \file buffer.h
+/// \brief Device buffer objects (VBO / SSBO analogues).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace rj::gpu {
+
+/// Kind of buffer, mirroring the OpenGL objects the paper's implementation
+/// uses (§6.1): vertex buffers for point/triangle streams, shader storage
+/// buffers for the result array A, textures for bound FBOs.
+enum class BufferKind { kVertexBuffer, kShaderStorage, kTexture };
+
+/// A block of simulated device memory. Contents live in host RAM, but every
+/// upload is metered by the owning Device so benches can report the
+/// host→device transfer component (Fig. 9/11/13 breakdowns).
+class Buffer {
+ public:
+  Buffer(BufferKind kind, std::size_t bytes) : kind_(kind), data_(bytes) {}
+
+  BufferKind kind() const { return kind_; }
+  std::size_t size() const { return data_.size(); }
+
+  std::uint8_t* data() { return data_.data(); }
+  const std::uint8_t* data() const { return data_.data(); }
+
+  template <typename T>
+  T* As() {
+    return reinterpret_cast<T*>(data_.data());
+  }
+  template <typename T>
+  const T* As() const {
+    return reinterpret_cast<const T*>(data_.data());
+  }
+
+ private:
+  BufferKind kind_;
+  std::vector<std::uint8_t> data_;
+};
+
+}  // namespace rj::gpu

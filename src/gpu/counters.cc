@@ -1,0 +1,32 @@
+#include "gpu/counters.h"
+
+#include <cstdio>
+
+namespace rj::gpu {
+
+void Counters::Reset() {
+  fragments_ = 0;
+  vertices_ = 0;
+  bytes_transferred_ = 0;
+  atomic_adds_ = 0;
+  pip_tests_ = 0;
+  render_passes_ = 0;
+  batches_ = 0;
+}
+
+std::string Counters::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "fragments=%llu vertices=%llu bytes=%llu atomics=%llu "
+                "pip=%llu passes=%llu batches=%llu",
+                static_cast<unsigned long long>(fragments()),
+                static_cast<unsigned long long>(vertices()),
+                static_cast<unsigned long long>(bytes_transferred()),
+                static_cast<unsigned long long>(atomic_adds()),
+                static_cast<unsigned long long>(pip_tests()),
+                static_cast<unsigned long long>(render_passes()),
+                static_cast<unsigned long long>(batches()));
+  return buf;
+}
+
+}  // namespace rj::gpu

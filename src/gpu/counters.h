@@ -1,0 +1,50 @@
+/// \file counters.h
+/// \brief Work-proportional performance counters for the simulated device.
+///
+/// On a machine whose core count differs from the paper's testbed, wall
+/// clock alone cannot reproduce speedup *ratios*. These counters meter the
+/// algorithmic work each join variant performs (fragments shaded, PIP tests,
+/// bytes transferred host→device, atomic accumulations), which is machine
+/// independent and determines the paper's performance ordering.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace rj::gpu {
+
+/// Aggregated counters for one query execution. Thread-safe increments.
+class Counters {
+ public:
+  void Reset();
+
+  void AddFragments(std::uint64_t n) { fragments_ += n; }
+  void AddVerticesProcessed(std::uint64_t n) { vertices_ += n; }
+  void AddBytesTransferred(std::uint64_t n) { bytes_transferred_ += n; }
+  void AddAtomicAdds(std::uint64_t n) { atomic_adds_ += n; }
+  void AddPipTests(std::uint64_t n) { pip_tests_ += n; }
+  void AddRenderPasses(std::uint64_t n) { render_passes_ += n; }
+  void AddBatches(std::uint64_t n) { batches_ += n; }
+
+  std::uint64_t fragments() const { return fragments_; }
+  std::uint64_t vertices() const { return vertices_; }
+  std::uint64_t bytes_transferred() const { return bytes_transferred_; }
+  std::uint64_t atomic_adds() const { return atomic_adds_; }
+  std::uint64_t pip_tests() const { return pip_tests_; }
+  std::uint64_t render_passes() const { return render_passes_; }
+  std::uint64_t batches() const { return batches_; }
+
+  std::string ToString() const;
+
+ private:
+  std::atomic<std::uint64_t> fragments_{0};
+  std::atomic<std::uint64_t> vertices_{0};
+  std::atomic<std::uint64_t> bytes_transferred_{0};
+  std::atomic<std::uint64_t> atomic_adds_{0};
+  std::atomic<std::uint64_t> pip_tests_{0};
+  std::atomic<std::uint64_t> render_passes_{0};
+  std::atomic<std::uint64_t> batches_{0};
+};
+
+}  // namespace rj::gpu

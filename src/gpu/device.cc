@@ -1,0 +1,70 @@
+#include "gpu/device.h"
+
+#include <cassert>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+namespace rj::gpu {
+
+Device::Device(DeviceOptions options) : options_(options) {
+  pool_ = std::make_unique<ThreadPool>(options_.num_workers);
+}
+
+Result<std::shared_ptr<Buffer>> Device::Allocate(BufferKind kind,
+                                                 std::size_t bytes) {
+  if (bytes_allocated_ + bytes > options_.memory_budget_bytes) {
+    return Status::CapacityError(
+        "device memory budget exceeded: requested " + std::to_string(bytes) +
+        " bytes with " + std::to_string(bytes_free()) + " free");
+  }
+  bytes_allocated_ += bytes;
+  return std::make_shared<Buffer>(kind, bytes);
+}
+
+void Device::Free(const std::shared_ptr<Buffer>& buffer) {
+  assert(buffer != nullptr);
+  assert(bytes_allocated_ >= buffer->size());
+  bytes_allocated_ -= buffer->size();
+}
+
+Status Device::CopyToDevice(Buffer* dst, std::size_t offset, const void* src,
+                            std::size_t bytes) {
+  if (offset + bytes > dst->size()) {
+    return Status::OutOfRange("CopyToDevice overflows destination buffer");
+  }
+  std::memcpy(dst->data() + offset, src, bytes);
+  counters_.AddBytesTransferred(bytes);
+  SimulateTransferTime(bytes);
+  return Status::OK();
+}
+
+Status Device::CopyToHost(const Buffer* src, std::size_t offset, void* dst,
+                          std::size_t bytes) {
+  if (offset + bytes > src->size()) {
+    return Status::OutOfRange("CopyToHost overflows source buffer");
+  }
+  std::memcpy(dst, src->data() + offset, bytes);
+  counters_.AddBytesTransferred(bytes);
+  SimulateTransferTime(bytes);
+  return Status::OK();
+}
+
+std::size_t Device::MaxResidentElements(std::size_t point_bytes) const {
+  if (point_bytes == 0) return 0;
+  return bytes_free() / point_bytes;
+}
+
+void Device::SimulateTransferTime(std::size_t bytes) {
+  const double bw = options_.transfer_bandwidth_bytes_per_sec;
+  if (bw <= 0.0) return;
+  const double seconds = static_cast<double>(bytes) / bw;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration_cast<std::chrono::nanoseconds>(
+                            std::chrono::duration<double>(seconds));
+  // Busy-wait: sleep granularity is too coarse for per-batch transfers.
+  while (std::chrono::steady_clock::now() < deadline) {
+  }
+}
+
+}  // namespace rj::gpu

@@ -1,0 +1,88 @@
+/// \file device.h
+/// \brief Simulated graphics device: bounded memory, metered transfers,
+/// a worker pool standing in for SIMT parallelism.
+///
+/// DESIGN.md §2 documents this substitution. The device enforces the two
+/// GPU constraints the paper's algorithms are designed around:
+///  1. bounded device memory → out-of-core point batching (§5), and
+///  2. a maximum FBO resolution → multi-canvas tiling for small ε (Fig. 5).
+/// Host→device uploads go through CopyToDevice(), which both meters bytes
+/// (gpu::Counters) and spends real wall time proportional to a configurable
+/// bandwidth, so transfer/compute breakdowns have the paper's shape.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "gpu/buffer.h"
+#include "gpu/counters.h"
+
+namespace rj::gpu {
+
+/// Configuration of the simulated device.
+struct DeviceOptions {
+  /// Device memory budget in bytes (paper limits the GTX 1060 to 3 GB).
+  /// Benches shrink this to force out-of-core batching at reduced scale.
+  std::size_t memory_budget_bytes = 512ull << 20;
+
+  /// Maximum FBO side length in pixels (paper: 8192).
+  std::int32_t max_fbo_dim = 8192;
+
+  /// Simulated host→device bandwidth in bytes/second. Transfers busy-wait
+  /// a proportional amount so phase breakdowns are realistic. 0 disables
+  /// the wait (bytes are still metered).
+  double transfer_bandwidth_bytes_per_sec = 0.0;
+
+  /// Worker threads for shader-stage execution (0 = hardware concurrency).
+  std::size_t num_workers = 0;
+};
+
+/// A simulated graphics device instance.
+class Device {
+ public:
+  explicit Device(DeviceOptions options = {});
+
+  const DeviceOptions& options() const { return options_; }
+  Counters& counters() { return counters_; }
+  const Counters& counters() const { return counters_; }
+  ThreadPool& pool() { return *pool_; }
+
+  std::size_t bytes_allocated() const { return bytes_allocated_; }
+  std::size_t bytes_free() const {
+    return options_.memory_budget_bytes - bytes_allocated_;
+  }
+
+  /// Allocates a device buffer; CapacityError when the budget is exceeded
+  /// (the trigger for out-of-core batching in the executor).
+  Result<std::shared_ptr<Buffer>> Allocate(BufferKind kind, std::size_t bytes);
+
+  /// Releases a buffer's reservation. The buffer must have come from this
+  /// device; double-free is a programming error (assert).
+  void Free(const std::shared_ptr<Buffer>& buffer);
+
+  /// Copies host memory into a device buffer at `offset`, metering bytes
+  /// and (optionally) spending bandwidth-proportional wall time.
+  Status CopyToDevice(Buffer* dst, std::size_t offset, const void* src,
+                      std::size_t bytes);
+
+  /// Copies device memory back to the host (result readback; also metered).
+  Status CopyToHost(const Buffer* src, std::size_t offset, void* dst,
+                    std::size_t bytes);
+
+  /// Largest number of points (each `point_bytes` wide) that fits in the
+  /// remaining budget — the executor's batch-size planner.
+  std::size_t MaxResidentElements(std::size_t point_bytes) const;
+
+ private:
+  void SimulateTransferTime(std::size_t bytes);
+
+  DeviceOptions options_;
+  Counters counters_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::size_t bytes_allocated_ = 0;
+};
+
+}  // namespace rj::gpu

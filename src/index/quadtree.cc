@@ -1,0 +1,106 @@
+#include "index/quadtree.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace rj {
+
+Result<Quadtree> Quadtree::Build(const PointTable& points,
+                                 std::int64_t leaf_capacity, int max_depth) {
+  if (leaf_capacity <= 0) {
+    return Status::InvalidArgument("quadtree leaf capacity must be positive");
+  }
+  Quadtree qt;
+  const std::int64_t n = static_cast<std::int64_t>(points.size());
+  qt.order_.resize(n);
+  std::iota(qt.order_.begin(), qt.order_.end(), 0);
+
+  Node root;
+  root.bounds = points.Extent();
+  if (root.bounds.IsEmpty()) root.bounds = BBox(0, 0, 1, 1);
+  root.begin = 0;
+  root.end = n;
+  qt.nodes_.push_back(root);
+  qt.Subdivide(points, 0, leaf_capacity, 0, max_depth);
+  return qt;
+}
+
+void Quadtree::Subdivide(const PointTable& points, std::int32_t node_index,
+                         std::int64_t leaf_capacity, int depth,
+                         int max_depth) {
+  // Copy out: nodes_ reallocation invalidates references.
+  const BBox bounds = nodes_[node_index].bounds;
+  const std::int64_t begin = nodes_[node_index].begin;
+  const std::int64_t end = nodes_[node_index].end;
+  if (end - begin <= leaf_capacity || depth >= max_depth) return;
+
+  const Point mid = bounds.Center();
+  // Partition the order range into 4 quadrants (SW, SE, NW, NE) in place.
+  auto it_begin = order_.begin() + begin;
+  auto it_end = order_.begin() + end;
+  auto below = std::partition(it_begin, it_end, [&](std::int64_t i) {
+    return points.ys()[i] < mid.y;
+  });
+  auto sw_end = std::partition(it_begin, below, [&](std::int64_t i) {
+    return points.xs()[i] < mid.x;
+  });
+  auto nw_end = std::partition(below, it_end, [&](std::int64_t i) {
+    return points.xs()[i] < mid.x;
+  });
+
+  const std::int64_t b0 = begin;
+  const std::int64_t b1 = b0 + (sw_end - it_begin);
+  const std::int64_t b2 = b1 + (below - sw_end);
+  const std::int64_t b3 = b2 + (nw_end - below);
+
+  const BBox quad_bounds[4] = {
+      {bounds.min_x, bounds.min_y, mid.x, mid.y},      // SW
+      {mid.x, bounds.min_y, bounds.max_x, mid.y},      // SE
+      {bounds.min_x, mid.y, mid.x, bounds.max_y},      // NW
+      {mid.x, mid.y, bounds.max_x, bounds.max_y},      // NE
+  };
+  const std::int64_t ranges[5] = {b0, b1, b2, b3, end};
+
+  for (int q = 0; q < 4; ++q) {
+    if (ranges[q] == ranges[q + 1]) continue;  // empty quadrant: no node
+    Node child;
+    child.bounds = quad_bounds[q];
+    child.begin = ranges[q];
+    child.end = ranges[q + 1];
+    const std::int32_t child_index = static_cast<std::int32_t>(nodes_.size());
+    nodes_.push_back(child);
+    nodes_[node_index].child[q] = child_index;
+    Subdivide(points, child_index, leaf_capacity, depth + 1, max_depth);
+  }
+  // Quadrants that stayed empty keep child[q] == -1; IsLeaf() requires all
+  // four to be -1, so any populated quadrant marks this node internal.
+}
+
+std::size_t Quadtree::num_leaves() const {
+  std::size_t count = 0;
+  for (const Node& n : nodes_) {
+    if (n.IsLeaf()) ++count;
+  }
+  return count;
+}
+
+void Quadtree::VisitLeaves(const BBox& query,
+                           const std::function<void(const Node&)>& fn) const {
+  if (nodes_.empty()) return;
+  std::vector<std::int32_t> stack = {0};
+  while (!stack.empty()) {
+    const std::int32_t idx = stack.back();
+    stack.pop_back();
+    const Node& node = nodes_[idx];
+    if (!node.bounds.Intersects(query)) continue;
+    if (node.IsLeaf()) {
+      fn(node);
+      continue;
+    }
+    for (int q = 0; q < 4; ++q) {
+      if (node.child[q] >= 0) stack.push_back(node.child[q]);
+    }
+  }
+}
+
+}  // namespace rj

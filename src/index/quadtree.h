@@ -1,0 +1,59 @@
+/// \file quadtree.h
+/// \brief Point quadtree used by the materializing-join baseline.
+///
+/// Zhang et al. (the paper's Table 2 comparator) index the *points* with a
+/// quadtree "to achieve load balancing and enable batch processing". The
+/// materializing join here walks quadtree leaves against polygon MBRs, the
+/// same filter structure as that system.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/status.h"
+#include "data/point_table.h"
+#include "geometry/bbox.h"
+
+namespace rj {
+
+class Quadtree {
+ public:
+  struct Node {
+    BBox bounds;
+    /// Children indices (all -1 for leaves).
+    std::int32_t child[4] = {-1, -1, -1, -1};
+    /// For leaves: [begin, end) range in the point permutation.
+    std::int64_t begin = 0;
+    std::int64_t end = 0;
+    bool IsLeaf() const {
+      return child[0] < 0 && child[1] < 0 && child[2] < 0 && child[3] < 0;
+    }
+  };
+
+  /// Builds over the table's points; leaves hold at most `leaf_capacity`
+  /// points (subdivision also stops at depth `max_depth`).
+  static Result<Quadtree> Build(const PointTable& points,
+                                std::int64_t leaf_capacity,
+                                int max_depth = 24);
+
+  const std::vector<Node>& nodes() const { return nodes_; }
+  /// Permutation of point indices; leaves reference contiguous ranges.
+  const std::vector<std::int64_t>& point_order() const { return order_; }
+  std::size_t num_leaves() const;
+
+  /// Invokes `fn(node)` for every leaf whose bounds intersect `query`.
+  void VisitLeaves(const BBox& query,
+                   const std::function<void(const Node&)>& fn) const;
+
+ private:
+  Quadtree() = default;
+
+  void Subdivide(const PointTable& points, std::int32_t node_index,
+                 std::int64_t leaf_capacity, int depth, int max_depth);
+
+  std::vector<Node> nodes_;
+  std::vector<std::int64_t> order_;
+};
+
+}  // namespace rj

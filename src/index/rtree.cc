@@ -1,0 +1,107 @@
+#include "index/rtree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace rj {
+
+Result<RTree> RTree::Build(const PolygonSet& polys, int fanout) {
+  if (fanout < 2) {
+    return Status::InvalidArgument("R-tree fanout must be >= 2");
+  }
+  RTree tree;
+  const std::size_t n = polys.size();
+  tree.item_boxes_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) tree.item_boxes_[i] = polys[i].bbox();
+  if (n == 0) {
+    Node root;
+    tree.nodes_.push_back(root);
+    tree.root_ = 0;
+    tree.height_ = 1;
+    return tree;
+  }
+
+  // STR leaf packing: sort by center x, slice into vertical strips of
+  // ~sqrt(n/fanout) runs, sort each strip by center y, pack runs of `fanout`.
+  std::vector<std::int32_t> ids(n);
+  std::iota(ids.begin(), ids.end(), 0);
+  std::sort(ids.begin(), ids.end(), [&](std::int32_t a, std::int32_t b) {
+    return tree.item_boxes_[a].Center().x < tree.item_boxes_[b].Center().x;
+  });
+
+  const std::size_t num_leaves = (n + fanout - 1) / fanout;
+  const std::size_t strips =
+      std::max<std::size_t>(1, static_cast<std::size_t>(
+                                   std::ceil(std::sqrt(
+                                       static_cast<double>(num_leaves)))));
+  const std::size_t strip_size = (n + strips - 1) / strips;
+
+  std::vector<std::int32_t> level;  // node ids at the current level
+  for (std::size_t s = 0; s < strips; ++s) {
+    const std::size_t begin = s * strip_size;
+    if (begin >= n) break;
+    const std::size_t end = std::min(n, begin + strip_size);
+    std::sort(ids.begin() + begin, ids.begin() + end,
+              [&](std::int32_t a, std::int32_t b) {
+                return tree.item_boxes_[a].Center().y <
+                       tree.item_boxes_[b].Center().y;
+              });
+    for (std::size_t i = begin; i < end; i += fanout) {
+      Node leaf;
+      const std::size_t leaf_end = std::min(end, i + fanout);
+      for (std::size_t k = i; k < leaf_end; ++k) {
+        leaf.items.push_back(ids[k]);
+        leaf.bounds.Expand(tree.item_boxes_[ids[k]]);
+      }
+      level.push_back(static_cast<std::int32_t>(tree.nodes_.size()));
+      tree.nodes_.push_back(std::move(leaf));
+    }
+  }
+  tree.height_ = 1;
+
+  // Pack levels upward until a single root remains.
+  while (level.size() > 1) {
+    std::vector<std::int32_t> parent_level;
+    for (std::size_t i = 0; i < level.size(); i += fanout) {
+      Node parent;
+      const std::size_t end = std::min(level.size(), i + fanout);
+      for (std::size_t k = i; k < end; ++k) {
+        parent.children.push_back(level[k]);
+        parent.bounds.Expand(tree.nodes_[level[k]].bounds);
+      }
+      parent_level.push_back(static_cast<std::int32_t>(tree.nodes_.size()));
+      tree.nodes_.push_back(std::move(parent));
+    }
+    level = std::move(parent_level);
+    ++tree.height_;
+  }
+  tree.root_ = level[0];
+  return tree;
+}
+
+void RTree::Query(const Point& p,
+                  const std::function<void(std::int32_t)>& fn) const {
+  if (root_ < 0) return;
+  std::vector<std::int32_t> stack = {root_};
+  while (!stack.empty()) {
+    const Node& node = nodes_[stack.back()];
+    stack.pop_back();
+    if (!node.bounds.Contains(p)) continue;
+    if (node.IsLeaf()) {
+      for (const std::int32_t id : node.items) {
+        if (item_boxes_[id].Contains(p)) fn(id);
+      }
+    } else {
+      for (const std::int32_t c : node.children) stack.push_back(c);
+    }
+  }
+}
+
+std::vector<std::int32_t> RTree::Candidates(const Point& p) const {
+  std::vector<std::int32_t> out;
+  Query(p, [&out](std::int32_t id) { out.push_back(id); });
+  return out;
+}
+
+}  // namespace rj

@@ -1,0 +1,53 @@
+/// \file rtree.h
+/// \brief STR bulk-loaded R-tree over polygon MBRs (ablation comparator).
+///
+/// The paper's related work (aRtree, R-tree filter steps) motivates an
+/// ablation: how does a hierarchical MBR index compare to the flat grid of
+/// §6.1 as the candidate generator for Procedure JoinPoint? This STR
+/// (Sort-Tile-Recursive) packed R-tree answers that in
+/// bench_ablation_index_structures.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/status.h"
+#include "geometry/bbox.h"
+#include "geometry/polygon.h"
+
+namespace rj {
+
+class RTree {
+ public:
+  struct Node {
+    BBox bounds;
+    /// Children node indices (internal) — empty for leaves.
+    std::vector<std::int32_t> children;
+    /// Polygon ids (leaves only).
+    std::vector<std::int32_t> items;
+    bool IsLeaf() const { return children.empty(); }
+  };
+
+  /// Bulk-loads with Sort-Tile-Recursive packing; `fanout` entries/node.
+  static Result<RTree> Build(const PolygonSet& polys, int fanout = 16);
+
+  /// Invokes fn(polygon_id) for every polygon whose MBR contains p.
+  void Query(const Point& p, const std::function<void(std::int32_t)>& fn) const;
+
+  /// Candidate polygon ids whose MBR contains p (allocating convenience).
+  std::vector<std::int32_t> Candidates(const Point& p) const;
+
+  std::size_t num_nodes() const { return nodes_.size(); }
+  int height() const { return height_; }
+
+ private:
+  RTree() = default;
+
+  std::vector<Node> nodes_;
+  std::vector<BBox> item_boxes_;
+  std::int32_t root_ = -1;
+  int height_ = 0;
+};
+
+}  // namespace rj

@@ -1,0 +1,48 @@
+/// \file index_join.h
+/// \brief Index Join baseline (§6.2): grid index + PIP per point, with the
+/// aggregation fused into the join (no materialization).
+///
+/// Three flavours, matching the paper's experimental setup (§7.1):
+///  * device   — the GPU baseline: index built on the device per query
+///               (MBR cell assignment), PIP compute "shader" over points;
+///  * CPU 1T   — single-threaded CPU with a *pre-built* exact-geometry
+///               grid index (the paper's optimized CPU baseline);
+///  * CPU MT   — the OpenMP-style parallel version: PIP loop split across
+///               threads, per-thread accumulators merged at the end.
+#pragma once
+
+#include "gpu/device.h"
+#include "index/grid_index.h"
+#include "join/join_common.h"
+
+namespace rj {
+
+struct IndexJoinOptions {
+  std::int32_t index_resolution = 1024;
+  /// Cell-assignment mode; the CPU baseline uses exact geometry (§7.1),
+  /// the device baseline MBRs (§6.1).
+  GridAssignMode assign_mode = GridAssignMode::kMbr;
+  std::size_t weight_column = PointTable::npos;
+  FilterSet filters;
+  /// Device batch size for out-of-core inputs (device flavour only;
+  /// 0 = derive from memory budget).
+  std::size_t batch_size = 0;
+};
+
+/// Device (GPU-baseline) flavour; builds the index on the fly and meters
+/// transfers, mirroring IndexJoin of §6.2.
+Result<JoinResult> IndexJoinDevice(gpu::Device* device,
+                                   const PointTable& points,
+                                   const PolygonSet& polys, const BBox& world,
+                                   const IndexJoinOptions& options);
+
+/// CPU flavour with a caller-provided (pre-built) index; set
+/// `num_threads` = 1 for the single-core baseline the paper normalizes
+/// speedups against, or > 1 for the OpenMP-style parallel version.
+Result<JoinResult> IndexJoinCpu(const PointTable& points,
+                                const PolygonSet& polys,
+                                const GridIndex& index,
+                                const IndexJoinOptions& options,
+                                int num_threads);
+
+}  // namespace rj

@@ -1,0 +1,57 @@
+#include "join/join_common.h"
+
+#include <algorithm>
+
+namespace rj {
+
+Status ValidatePolygonIds(const PolygonSet& polys) {
+  std::vector<bool> seen(polys.size(), false);
+  for (const Polygon& poly : polys) {
+    const std::int64_t id = poly.id();
+    if (id < 0 || static_cast<std::size_t>(id) >= polys.size()) {
+      return Status::InvalidArgument(
+          "polygon ids must be a permutation of 0..n-1");
+    }
+    if (seen[static_cast<std::size_t>(id)]) {
+      return Status::InvalidArgument("duplicate polygon id");
+    }
+    seen[static_cast<std::size_t>(id)] = true;
+  }
+  return Status::OK();
+}
+
+JoinResult ReferenceJoin(const PointTable& points, const PolygonSet& polys,
+                         const FilterSet& filters, std::size_t weight_column) {
+  JoinResult result(polys.size());
+  const bool has_weight = weight_column != PointTable::npos;
+  const auto& conjuncts = filters.filters();
+
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    bool pass = true;
+    for (const AttributeFilter& f : conjuncts) {
+      if (!f.Evaluate(points.attribute(f.column)[i])) {
+        pass = false;
+        break;
+      }
+    }
+    if (!pass) continue;
+
+    const Point p = points.At(i);
+    const float w = has_weight ? points.attribute(weight_column)[i] : 0.0f;
+    for (const Polygon& poly : polys) {
+      if (!poly.Contains(p)) continue;
+      const std::size_t id = static_cast<std::size_t>(poly.id());
+      result.arrays.count[id] += 1.0;
+      if (has_weight) {
+        result.arrays.sum[id] += w;
+        result.arrays.min[id] =
+            std::min(result.arrays.min[id], static_cast<double>(w));
+        result.arrays.max[id] =
+            std::max(result.arrays.max[id], static_cast<double>(w));
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace rj

@@ -1,0 +1,71 @@
+/// \file join_common.h
+/// \brief Shared declarations for the spatial-aggregation join operators.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "agg/aggregate.h"
+#include "common/status.h"
+#include "common/timer.h"
+#include "data/point_table.h"
+#include "geometry/polygon.h"
+#include "gpu/counters.h"
+#include "query/filter.h"
+
+namespace rj {
+
+/// Phase names used consistently across joins so benches can print the
+/// paper's execution-time breakdowns (Figures 9, 11, 13).
+namespace phase {
+inline constexpr const char* kTransfer = "transfer";      ///< host→device
+inline constexpr const char* kProcessing = "processing";  ///< device compute
+inline constexpr const char* kTriangulation = "triangulation";
+inline constexpr const char* kIndexBuild = "index_build";
+inline constexpr const char* kDiskRead = "disk_read";
+}  // namespace phase
+
+/// Outcome of one join execution: per-polygon partial aggregates plus
+/// timing/counter diagnostics.
+struct JoinResult {
+  raster::ResultArrays arrays;
+  PhaseTimer timing;
+
+  JoinResult() : arrays(0) {}
+  explicit JoinResult(std::size_t num_polygons) : arrays(num_polygons) {}
+
+  /// Finalized value of `kind` per polygon.
+  std::vector<double> Finalize(AggregateKind kind) const {
+    return FinalizeAggregate(kind, arrays);
+  }
+};
+
+/// Validates that polygon ids are exactly 0..n-1 (the GROUP BY key layout
+/// every operator assumes).
+Status ValidatePolygonIds(const PolygonSet& polys);
+
+inline Status ValidateWeightColumn(const PointTable& points,
+                                   std::size_t weight_column) {
+  if (weight_column != PointTable::npos &&
+      weight_column >= points.num_attributes()) {
+    return Status::InvalidArgument("weight column out of range");
+  }
+  return Status::OK();
+}
+
+inline Status ValidateFilters(const PointTable& points,
+                              const FilterSet& filters) {
+  for (const AttributeFilter& f : filters.filters()) {
+    if (f.column >= points.num_attributes()) {
+      return Status::InvalidArgument("filter references unknown column");
+    }
+  }
+  return Status::OK();
+}
+
+/// Brute-force all-pairs reference implementation (test oracle): for every
+/// point passing the filters, test every polygon. O(|P| · Σ|vertices|).
+JoinResult ReferenceJoin(const PointTable& points, const PolygonSet& polys,
+                         const FilterSet& filters, std::size_t weight_column);
+
+}  // namespace rj

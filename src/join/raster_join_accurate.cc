@@ -1,0 +1,165 @@
+#include "join/raster_join_accurate.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geometry/pip.h"
+#include "raster/pipeline.h"
+
+namespace rj {
+
+Result<JoinResult> AccurateRasterJoin(gpu::Device* device,
+                                      const PointTable& points,
+                                      const PolygonSet& polys,
+                                      const TriangleSoup& soup,
+                                      const BBox& world,
+                                      const AccurateRasterJoinOptions& options,
+                                      AccurateRasterJoinStats* stats) {
+  RJ_RETURN_NOT_OK(ValidatePolygonIds(polys));
+  RJ_RETURN_NOT_OK(ValidateWeightColumn(points, options.weight_column));
+  RJ_RETURN_NOT_OK(ValidateFilters(points, options.filters));
+
+  const std::int32_t dim = options.canvas_dim > 0
+                               ? options.canvas_dim
+                               : device->options().max_fbo_dim;
+  if (dim <= 0) return Status::InvalidArgument("canvas dimension must be > 0");
+  if (world.IsEmpty() || world.Width() <= 0 || world.Height() <= 0) {
+    return Status::InvalidArgument("world extent is empty");
+  }
+
+  JoinResult result(polys.size());
+  raster::Viewport vp(world, dim, dim);
+  raster::Fbo boundary_fbo(dim, dim);
+  raster::Fbo point_fbo(dim, dim);
+
+  // --- Step 1: draw polygon outlines (conservative rasterization). -------
+  {
+    ScopedPhase sp(&result.timing, phase::kProcessing);
+    raster::DrawBoundaries(vp, polys, /*conservative=*/true, &boundary_fbo,
+                           &device->counters());
+  }
+
+  // Build the grid index on the device, on the fly (§6.1 "Polygon Index").
+  RJ_ASSIGN_OR_RETURN(
+      GridIndex index,
+      [&]() {
+        Timer t;
+        auto r = GridIndex::Build(polys, world, options.index_resolution,
+                                  GridAssignMode::kMbr);
+        result.timing.Add(phase::kIndexBuild, t.ElapsedSeconds());
+        return r;
+      }());
+
+  const bool has_weight = options.weight_column != PointTable::npos;
+  const auto& conjuncts = options.filters.filters();
+
+  // Batch planning for out-of-core inputs.
+  std::vector<std::size_t> columns = options.filters.ReferencedColumns();
+  if (has_weight) {
+    bool present = false;
+    for (std::size_t c : columns) present = present || c == options.weight_column;
+    if (!present) columns.push_back(options.weight_column);
+  }
+  const std::size_t bytes_per_point = (2 + columns.size()) * sizeof(float);
+  std::size_t batch = options.batch_size;
+  if (batch == 0) {
+    const std::size_t resident = device->MaxResidentElements(bytes_per_point);
+    batch = std::max<std::size_t>(1, std::min(points.size(),
+                                              std::max<std::size_t>(resident, 1)));
+  }
+  const std::size_t num_batches =
+      points.empty() ? 0 : (points.size() + batch - 1) / batch;
+
+  std::uint64_t boundary_points = 0;
+  std::uint64_t interior_points = 0;
+  const std::size_t pip_before = GetPipTestCount();
+
+  // --- Step 2: draw points (Procedure AccuratePoints). -------------------
+  for (std::size_t b = 0; b < num_batches; ++b) {
+    const std::size_t begin = b * batch;
+    const std::size_t end = std::min(points.size(), begin + batch);
+
+    {
+      ScopedPhase sp(&result.timing, phase::kTransfer);
+      const std::size_t bytes = (end - begin) * bytes_per_point;
+      RJ_ASSIGN_OR_RETURN(
+          auto vbo, device->Allocate(gpu::BufferKind::kVertexBuffer, bytes));
+      std::vector<std::uint8_t> staging(bytes, 0);
+      RJ_RETURN_NOT_OK(
+          device->CopyToDevice(vbo.get(), 0, staging.data(), bytes));
+      device->Free(vbo);
+    }
+
+    ScopedPhase sp(&result.timing, phase::kProcessing);
+    for (std::size_t i = begin; i < end; ++i) {
+      bool pass = true;
+      for (const AttributeFilter& f : conjuncts) {
+        if (!f.Evaluate(points.attribute(f.column)[i])) {
+          pass = false;
+          break;
+        }
+      }
+      if (!pass) continue;
+
+      const Point p = points.At(i);
+      const Point s = vp.ToScreen(p);
+      const auto px = static_cast<std::int32_t>(std::floor(s.x));
+      const auto py = static_cast<std::int32_t>(std::floor(s.y));
+      if (px < 0 || px >= dim || py < 0 || py >= dim) continue;  // clipped
+
+      const float w = has_weight
+                          ? points.attribute(options.weight_column)[i]
+                          : 0.0f;
+      if (raster::IsBoundaryPixel(boundary_fbo, px, py)) {
+        // Procedure JoinPoint: index lookup + exact PIP per candidate.
+        ++boundary_points;
+        auto [cand_begin, cand_end] = index.Candidates(p);
+        for (const std::int32_t* c = cand_begin; c != cand_end; ++c) {
+          const Polygon& poly = polys[static_cast<std::size_t>(*c)];
+          if (!poly.Contains(p)) continue;
+          const std::size_t id = static_cast<std::size_t>(poly.id());
+          result.arrays.count[id] += 1.0;
+          if (has_weight) {
+            result.arrays.sum[id] += w;
+            result.arrays.min[id] =
+                std::min(result.arrays.min[id], static_cast<double>(w));
+            result.arrays.max[id] =
+                std::max(result.arrays.max[id], static_cast<double>(w));
+          }
+        }
+      } else {
+        // Fast path: blend the partial aggregate into the point FBO.
+        ++interior_points;
+        point_fbo.Add(px, py, raster::kChannelCount, 1.0f);
+        if (has_weight) {
+          point_fbo.Add(px, py, raster::kChannelSum, w);
+          point_fbo.BlendMin(px, py, raster::kChannelMin, w);
+          point_fbo.BlendMax(px, py, raster::kChannelMax, w);
+        }
+      }
+    }
+    device->counters().AddBatches(1);
+  }
+
+  // --- Step 3: render polygons, skipping boundary fragments. -------------
+  {
+    ScopedPhase sp(&result.timing, phase::kProcessing);
+    raster::ResultArrays poly_pass(polys.size());
+    raster::DrawPolygons(vp, soup, point_fbo, &boundary_fbo, &poly_pass,
+                         &device->counters());
+    result.arrays.AddFrom(poly_pass);
+  }
+  device->counters().AddRenderPasses(1);
+
+  const std::uint64_t pips = GetPipTestCount() - pip_before;
+  device->counters().AddPipTests(pips);
+  if (stats != nullptr) {
+    stats->boundary_points = boundary_points;
+    stats->interior_points = interior_points;
+    stats->pip_tests = pips;
+    stats->num_batches = num_batches;
+  }
+  return result;
+}
+
+}  // namespace rj

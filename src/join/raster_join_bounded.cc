@@ -1,0 +1,163 @@
+#include "join/raster_join_bounded.h"
+
+#include <algorithm>
+
+namespace rj {
+
+namespace {
+
+/// Uploads one batch of points to the device VBO, metering transfer time.
+/// Only the columns the query references are shipped (§5: "the data
+/// corresponding to the attributes over which constraints are imposed is
+/// also transferred to the GPU").
+Status UploadBatch(gpu::Device* device, gpu::Buffer* vbo,
+                   const PointTable& points, std::size_t begin,
+                   std::size_t end, const std::vector<std::size_t>& columns) {
+  // Layout: interleaved [x, y, col0, col1, ...] float32 per point.
+  const std::size_t stride = 2 + columns.size();
+  std::vector<float> staging((end - begin) * stride);
+  for (std::size_t i = begin; i < end; ++i) {
+    const std::size_t base = (i - begin) * stride;
+    staging[base + 0] = static_cast<float>(points.xs()[i]);
+    staging[base + 1] = static_cast<float>(points.ys()[i]);
+    for (std::size_t c = 0; c < columns.size(); ++c) {
+      staging[base + 2 + c] = points.attribute(columns[c])[i];
+    }
+  }
+  return device->CopyToDevice(vbo, 0, staging.data(),
+                              staging.size() * sizeof(float));
+}
+
+}  // namespace
+
+Result<JoinResult> BoundedRasterJoin(gpu::Device* device,
+                                     const PointTable& points,
+                                     const PolygonSet& polys,
+                                     const TriangleSoup& soup,
+                                     const BBox& world,
+                                     const BoundedRasterJoinOptions& options,
+                                     BoundedRasterJoinStats* stats,
+                                     ResultRanges* ranges_out) {
+  RJ_RETURN_NOT_OK(ValidatePolygonIds(polys));
+  RJ_RETURN_NOT_OK(ValidateWeightColumn(points, options.weight_column));
+  RJ_RETURN_NOT_OK(ValidateFilters(points, options.filters));
+  if (options.epsilon <= 0.0) {
+    return Status::InvalidArgument("epsilon must be positive");
+  }
+
+  JoinResult result(polys.size());
+
+  // Plan the canvas tiling for the requested ε (Fig. 5).
+  RJ_ASSIGN_OR_RETURN(
+      std::vector<raster::CanvasTile> tiles,
+      raster::PlanCanvas(world, options.epsilon, device->options().max_fbo_dim));
+  if (options.compute_result_ranges) {
+    if (ranges_out == nullptr) {
+      return Status::InvalidArgument(
+          "compute_result_ranges requires ranges_out");
+    }
+    if (tiles.size() != 1) {
+      return Status::NotImplemented(
+          "result ranges require a single-tile canvas (reduce epsilon "
+          "resolution or raise max_fbo_dim)");
+    }
+  }
+
+  // Columns shipped to the device: filters' columns plus the aggregated one.
+  std::vector<std::size_t> columns = options.filters.ReferencedColumns();
+  if (options.weight_column != PointTable::npos) {
+    bool present = false;
+    for (std::size_t c : columns) present = present || c == options.weight_column;
+    if (!present) columns.push_back(options.weight_column);
+  }
+  // Position of the weight column within the uploaded stride (unused here:
+  // the pipeline reads from the host table directly; upload is for
+  // transfer-cost fidelity — see DESIGN.md §2).
+  const std::size_t bytes_per_point = (2 + columns.size()) * sizeof(float);
+
+  // Batch planning: points are transferred exactly once per tile pass set.
+  std::size_t batch = options.batch_size;
+  if (batch == 0) {
+    const std::size_t resident = device->MaxResidentElements(bytes_per_point);
+    batch = std::max<std::size_t>(1, std::min(points.size(),
+                                              std::max<std::size_t>(resident, 1)));
+  }
+  const std::size_t num_batches =
+      points.empty() ? 0 : (points.size() + batch - 1) / batch;
+
+  std::uint64_t drawn_total = 0;
+
+  for (const raster::CanvasTile& tile : tiles) {
+    raster::Viewport vp(tile.world, tile.width, tile.height);
+    raster::Fbo point_fbo(tile.width, tile.height);
+
+    // --- Step I: draw points (batched when out-of-core). -----------------
+    for (std::size_t b = 0; b < num_batches; ++b) {
+      const std::size_t begin = b * batch;
+      const std::size_t end = std::min(points.size(), begin + batch);
+
+      // Host→device transfer of this batch's VBO.
+      {
+        ScopedPhase sp(&result.timing, phase::kTransfer);
+        RJ_ASSIGN_OR_RETURN(
+            auto vbo, device->Allocate(gpu::BufferKind::kVertexBuffer,
+                                       (end - begin) * bytes_per_point));
+        RJ_RETURN_NOT_OK(
+            UploadBatch(device, vbo.get(), points, begin, end, columns));
+        device->Free(vbo);
+      }
+      {
+        ScopedPhase sp(&result.timing, phase::kProcessing);
+        PointTable slice = points.Slice(begin, end);
+        drawn_total += raster::DrawPoints(vp, slice, options.filters,
+                                          options.weight_column, &point_fbo,
+                                          &device->counters());
+      }
+      device->counters().AddBatches(1);
+    }
+
+    // --- Step II: draw polygons over the tile. ---------------------------
+    {
+      ScopedPhase sp(&result.timing, phase::kTransfer);
+      // Triangle VBO upload (ids + 3 vertices as floats).
+      const std::size_t tri_bytes = soup.size() * (6 * sizeof(float) +
+                                                   sizeof(std::int32_t));
+      if (tri_bytes > 0) {
+        RJ_ASSIGN_OR_RETURN(
+            auto tri_vbo,
+            device->Allocate(gpu::BufferKind::kVertexBuffer, tri_bytes));
+        std::vector<std::uint8_t> zeros(tri_bytes, 0);
+        RJ_RETURN_NOT_OK(device->CopyToDevice(tri_vbo.get(), 0, zeros.data(),
+                                              tri_bytes));
+        device->Free(tri_vbo);
+      }
+    }
+    {
+      ScopedPhase sp(&result.timing, phase::kProcessing);
+      raster::ResultArrays tile_result(polys.size());
+      raster::DrawPolygons(vp, soup, point_fbo, /*boundary_fbo=*/nullptr,
+                           &tile_result, &device->counters());
+      result.arrays.AddFrom(tile_result);
+    }
+    device->counters().AddRenderPasses(1);
+
+    if (options.compute_result_ranges) {
+      ScopedPhase sp(&result.timing, phase::kProcessing);
+      RJ_ASSIGN_OR_RETURN(
+          *ranges_out,
+          ComputeResultRanges(vp, polys, soup, point_fbo,
+                              FinalizeAggregate(AggregateKind::kCount,
+                                                result.arrays),
+                              &device->counters()));
+    }
+  }
+
+  if (stats != nullptr) {
+    stats->num_tiles = tiles.size();
+    stats->num_batches = num_batches * tiles.size();
+    stats->points_drawn = drawn_total;
+  }
+  return result;
+}
+
+}  // namespace rj

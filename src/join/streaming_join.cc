@@ -1,0 +1,203 @@
+#include "join/streaming_join.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geometry/pip.h"
+#include "raster/pipeline.h"
+
+namespace rj {
+
+// ---------------------------------------------------------------------------
+// StreamingBoundedJoin
+
+StreamingBoundedJoin::StreamingBoundedJoin(gpu::Device* device,
+                                           const PolygonSet* polys,
+                                           const TriangleSoup* soup,
+                                           const BBox& world,
+                                           BoundedRasterJoinOptions options)
+    : device_(device), polys_(polys), soup_(soup), world_(world),
+      options_(std::move(options)) {}
+
+Status StreamingBoundedJoin::Init() {
+  if (initialized_) return Status::Internal("Init() called twice");
+  RJ_RETURN_NOT_OK(ValidatePolygonIds(*polys_));
+  if (options_.epsilon <= 0.0) {
+    return Status::InvalidArgument("epsilon must be positive");
+  }
+  RJ_ASSIGN_OR_RETURN(tiles_,
+                      raster::PlanCanvas(world_, options_.epsilon,
+                                         device_->options().max_fbo_dim));
+  result_ = JoinResult(polys_->size());
+  fbos_.reserve(tiles_.size());
+  for (const raster::CanvasTile& tile : tiles_) {
+    fbos_.push_back(std::make_unique<raster::Fbo>(tile.width, tile.height));
+  }
+  initialized_ = true;
+  return Status::OK();
+}
+
+Status StreamingBoundedJoin::AddBatch(const PointTable& batch) {
+  if (!initialized_) return Status::Internal("AddBatch before Init");
+  if (finished_) return Status::Internal("AddBatch after Finish");
+  RJ_RETURN_NOT_OK(ValidateWeightColumn(batch, options_.weight_column));
+  RJ_RETURN_NOT_OK(ValidateFilters(batch, options_.filters));
+
+  // Meter the host→device transfer of this batch (shipped exactly once).
+  {
+    ScopedPhase sp(&result_.timing, phase::kTransfer);
+    const std::size_t bytes =
+        batch.size() *
+        PointTable::DeviceBytesPerPoint(
+            options_.filters.ReferencedColumns().size() +
+            (options_.weight_column != PointTable::npos ? 1 : 0));
+    RJ_ASSIGN_OR_RETURN(
+        auto vbo, device_->Allocate(gpu::BufferKind::kVertexBuffer,
+                                    std::max<std::size_t>(bytes, 1)));
+    std::vector<std::uint8_t> staging(std::max<std::size_t>(bytes, 1), 0);
+    RJ_RETURN_NOT_OK(device_->CopyToDevice(vbo.get(), 0, staging.data(),
+                                           staging.size()));
+    device_->Free(vbo);
+  }
+  ScopedPhase sp(&result_.timing, phase::kProcessing);
+  for (std::size_t t = 0; t < tiles_.size(); ++t) {
+    raster::Viewport vp(tiles_[t].world, tiles_[t].width, tiles_[t].height);
+    points_drawn_ +=
+        raster::DrawPoints(vp, batch, options_.filters,
+                           options_.weight_column, fbos_[t].get(),
+                           &device_->counters());
+  }
+  device_->counters().AddBatches(1);
+  return Status::OK();
+}
+
+Result<JoinResult> StreamingBoundedJoin::Finish() {
+  if (!initialized_) return Status::Internal("Finish before Init");
+  if (finished_) return Status::Internal("Finish called twice");
+  finished_ = true;
+  ScopedPhase sp(&result_.timing, phase::kProcessing);
+  for (std::size_t t = 0; t < tiles_.size(); ++t) {
+    raster::Viewport vp(tiles_[t].world, tiles_[t].width, tiles_[t].height);
+    raster::ResultArrays tile_result(polys_->size());
+    raster::DrawPolygons(vp, *soup_, *fbos_[t], nullptr, &tile_result,
+                         &device_->counters());
+    result_.arrays.AddFrom(tile_result);
+    device_->counters().AddRenderPasses(1);
+  }
+  fbos_.clear();
+  return std::move(result_);
+}
+
+// ---------------------------------------------------------------------------
+// StreamingAccurateJoin
+
+StreamingAccurateJoin::StreamingAccurateJoin(
+    gpu::Device* device, const PolygonSet* polys, const TriangleSoup* soup,
+    const BBox& world, AccurateRasterJoinOptions options)
+    : device_(device), polys_(polys), soup_(soup), world_(world),
+      options_(std::move(options)) {}
+
+Status StreamingAccurateJoin::Init() {
+  if (initialized_) return Status::Internal("Init() called twice");
+  RJ_RETURN_NOT_OK(ValidatePolygonIds(*polys_));
+  dim_ = options_.canvas_dim > 0 ? options_.canvas_dim
+                                 : device_->options().max_fbo_dim;
+  if (world_.IsEmpty() || world_.Width() <= 0 || world_.Height() <= 0) {
+    return Status::InvalidArgument("world extent is empty");
+  }
+  result_ = JoinResult(polys_->size());
+  vp_ = std::make_unique<raster::Viewport>(world_, dim_, dim_);
+  boundary_fbo_ = std::make_unique<raster::Fbo>(dim_, dim_);
+  point_fbo_ = std::make_unique<raster::Fbo>(dim_, dim_);
+  {
+    ScopedPhase sp(&result_.timing, phase::kProcessing);
+    raster::DrawBoundaries(*vp_, *polys_, /*conservative=*/true,
+                           boundary_fbo_.get(), &device_->counters());
+  }
+  Timer t;
+  RJ_ASSIGN_OR_RETURN(
+      GridIndex index,
+      GridIndex::Build(*polys_, world_, options_.index_resolution,
+                       GridAssignMode::kMbr));
+  index_ = std::make_unique<GridIndex>(std::move(index));
+  result_.timing.Add(phase::kIndexBuild, t.ElapsedSeconds());
+  initialized_ = true;
+  return Status::OK();
+}
+
+Status StreamingAccurateJoin::AddBatch(const PointTable& batch) {
+  if (!initialized_) return Status::Internal("AddBatch before Init");
+  if (finished_) return Status::Internal("AddBatch after Finish");
+  RJ_RETURN_NOT_OK(ValidateWeightColumn(batch, options_.weight_column));
+  RJ_RETURN_NOT_OK(ValidateFilters(batch, options_.filters));
+
+  const bool has_weight = options_.weight_column != PointTable::npos;
+  const auto& conjuncts = options_.filters.filters();
+  const std::size_t pip_before = GetPipTestCount();
+
+  ScopedPhase sp(&result_.timing, phase::kProcessing);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    bool pass = true;
+    for (const AttributeFilter& f : conjuncts) {
+      if (!f.Evaluate(batch.attribute(f.column)[i])) {
+        pass = false;
+        break;
+      }
+    }
+    if (!pass) continue;
+
+    const Point p = batch.At(i);
+    const Point s = vp_->ToScreen(p);
+    const auto px = static_cast<std::int32_t>(std::floor(s.x));
+    const auto py = static_cast<std::int32_t>(std::floor(s.y));
+    if (px < 0 || px >= dim_ || py < 0 || py >= dim_) continue;
+
+    const float w =
+        has_weight ? batch.attribute(options_.weight_column)[i] : 0.0f;
+    if (raster::IsBoundaryPixel(*boundary_fbo_, px, py)) {
+      ++boundary_points_;
+      auto [cb, ce] = index_->Candidates(p);
+      for (const std::int32_t* c = cb; c != ce; ++c) {
+        const Polygon& poly = (*polys_)[static_cast<std::size_t>(*c)];
+        if (!poly.Contains(p)) continue;
+        const auto id = static_cast<std::size_t>(poly.id());
+        result_.arrays.count[id] += 1.0;
+        if (has_weight) {
+          result_.arrays.sum[id] += w;
+          result_.arrays.min[id] =
+              std::min(result_.arrays.min[id], static_cast<double>(w));
+          result_.arrays.max[id] =
+              std::max(result_.arrays.max[id], static_cast<double>(w));
+        }
+      }
+    } else {
+      ++interior_points_;
+      point_fbo_->Add(px, py, raster::kChannelCount, 1.0f);
+      if (has_weight) {
+        point_fbo_->Add(px, py, raster::kChannelSum, w);
+        point_fbo_->BlendMin(px, py, raster::kChannelMin, w);
+        point_fbo_->BlendMax(px, py, raster::kChannelMax, w);
+      }
+    }
+  }
+  device_->counters().AddPipTests(GetPipTestCount() - pip_before);
+  device_->counters().AddBatches(1);
+  return Status::OK();
+}
+
+Result<JoinResult> StreamingAccurateJoin::Finish() {
+  if (!initialized_) return Status::Internal("Finish before Init");
+  if (finished_) return Status::Internal("Finish called twice");
+  finished_ = true;
+  ScopedPhase sp(&result_.timing, phase::kProcessing);
+  raster::ResultArrays poly_pass(polys_->size());
+  raster::DrawPolygons(*vp_, *soup_, *point_fbo_, boundary_fbo_.get(),
+                       &poly_pass, &device_->counters());
+  result_.arrays.AddFrom(poly_pass);
+  device_->counters().AddRenderPasses(1);
+  boundary_fbo_.reset();
+  point_fbo_.reset();
+  return std::move(result_);
+}
+
+}  // namespace rj

@@ -1,0 +1,103 @@
+/// \file streaming_join.h
+/// \brief Streaming variants of the raster joins for disk-resident data
+/// (§5 "Out-of-Core Processing", §7.7).
+///
+/// When points arrive in host batches (streamed from the column store),
+/// the polygon side of the join must not be repeated per batch: points
+/// accumulate into the canvas FBO(s) batch by batch, and the polygon pass
+/// runs exactly once at the end. "Thus, a given point data set has to be
+/// transferred to the GPU exactly once."
+///
+/// Usage:
+///   StreamingBoundedJoin join(device, &polys, &soup, world, options);
+///   RJ_RETURN_NOT_OK(join.Init());
+///   while (reader.NextBatch(..., &batch)) RJ_RETURN_NOT_OK(join.AddBatch(batch));
+///   RJ_ASSIGN_OR_RETURN(JoinResult result, join.Finish());
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "gpu/device.h"
+#include "index/grid_index.h"
+#include "join/raster_join_accurate.h"
+#include "join/raster_join_bounded.h"
+#include "raster/fbo.h"
+#include "raster/viewport.h"
+
+namespace rj {
+
+/// Streaming bounded raster join: per-tile FBOs stay resident across
+/// batches; Finish() runs the polygon pass per tile and merges.
+class StreamingBoundedJoin {
+ public:
+  /// Neither polys nor soup are copied; both must outlive this object.
+  StreamingBoundedJoin(gpu::Device* device, const PolygonSet* polys,
+                       const TriangleSoup* soup, const BBox& world,
+                       BoundedRasterJoinOptions options);
+
+  /// Plans the canvas and allocates the tile FBOs (all tiles stay live —
+  /// the memory trade for touching each point once).
+  Status Init();
+
+  /// Draws one batch of points into every tile.
+  Status AddBatch(const PointTable& batch);
+
+  /// Runs the polygon pass over every tile and returns the result.
+  /// The instance cannot be reused afterwards.
+  Result<JoinResult> Finish();
+
+  std::size_t num_tiles() const { return tiles_.size(); }
+  std::uint64_t points_drawn() const { return points_drawn_; }
+
+ private:
+  gpu::Device* device_;
+  const PolygonSet* polys_;
+  const TriangleSoup* soup_;
+  BBox world_;
+  BoundedRasterJoinOptions options_;
+
+  std::vector<raster::CanvasTile> tiles_;
+  std::vector<std::unique_ptr<raster::Fbo>> fbos_;
+  JoinResult result_;
+  std::uint64_t points_drawn_ = 0;
+  bool initialized_ = false;
+  bool finished_ = false;
+};
+
+/// Streaming accurate raster join: boundary FBO and grid index built once
+/// in Init(); AddBatch() classifies points (fast raster path vs exact PIP
+/// path); Finish() runs the polygon pass.
+class StreamingAccurateJoin {
+ public:
+  StreamingAccurateJoin(gpu::Device* device, const PolygonSet* polys,
+                        const TriangleSoup* soup, const BBox& world,
+                        AccurateRasterJoinOptions options);
+
+  Status Init();
+  Status AddBatch(const PointTable& batch);
+  Result<JoinResult> Finish();
+
+  std::uint64_t boundary_points() const { return boundary_points_; }
+  std::uint64_t interior_points() const { return interior_points_; }
+
+ private:
+  gpu::Device* device_;
+  const PolygonSet* polys_;
+  const TriangleSoup* soup_;
+  BBox world_;
+  AccurateRasterJoinOptions options_;
+
+  std::int32_t dim_ = 0;
+  std::unique_ptr<raster::Viewport> vp_;
+  std::unique_ptr<raster::Fbo> boundary_fbo_;
+  std::unique_ptr<raster::Fbo> point_fbo_;
+  std::unique_ptr<GridIndex> index_;
+  JoinResult result_;
+  std::uint64_t boundary_points_ = 0;
+  std::uint64_t interior_points_ = 0;
+  bool initialized_ = false;
+  bool finished_ = false;
+};
+
+}  // namespace rj

@@ -1,0 +1,20 @@
+/// \file calibration.h
+/// \brief Empirical calibration of the §8 cost model.
+///
+/// The optimizer's bounded-vs-accurate decision needs per-unit costs
+/// (point draw, fragment shade, PIP edge test) for the machine it runs
+/// on. This helper measures them with short micro-runs against synthetic
+/// data so `JoinVariant::kAuto` picks the right variant on any host.
+#pragma once
+
+#include "common/status.h"
+#include "gpu/device.h"
+#include "query/optimizer.h"
+
+namespace rj {
+
+/// Measures CostModelParams on the given device. Runs for a few tens of
+/// milliseconds; call once per process and reuse.
+Result<CostModelParams> CalibrateCostModel(gpu::Device* device);
+
+}  // namespace rj

@@ -1,0 +1,145 @@
+#include "query/executor.h"
+
+#include <cmath>
+
+#include "join/index_join.h"
+#include "join/raster_join_accurate.h"
+#include "join/raster_join_bounded.h"
+
+namespace rj {
+
+void AssignSequentialIds(PolygonSet* polys) {
+  for (std::size_t i = 0; i < polys->size(); ++i) {
+    (*polys)[i].set_id(static_cast<std::int64_t>(i));
+  }
+}
+
+Executor::Executor(gpu::Device* device, const PointTable* points,
+                   const PolygonSet* polys)
+    : device_(device), points_(points), polys_(polys) {
+  world_ = ComputeExtent(*polys);
+  world_.Expand(points->Extent());
+  // Inflate a hair so max-coordinate points land inside the last pixel
+  // rather than exactly on the canvas edge.
+  const double pad =
+      1e-9 * std::max(1.0, std::max(world_.Width(), world_.Height()));
+  world_ = world_.Inflated(pad);
+}
+
+Result<const TriangleSoup*> Executor::GetTriangulation() {
+  if (!soup_built_) {
+    Timer t;
+    RJ_ASSIGN_OR_RETURN(soup_, TriangulatePolygonSet(*polys_));
+    triangulation_seconds_ = t.ElapsedSeconds();
+    soup_built_ = true;
+  }
+  return &soup_;
+}
+
+Result<const GridIndex*> Executor::GetCpuIndex(std::int32_t resolution) {
+  if (cpu_index_ == nullptr || cpu_index_resolution_ != resolution) {
+    RJ_ASSIGN_OR_RETURN(GridIndex index,
+                        GridIndex::Build(*polys_, world_, resolution,
+                                         GridAssignMode::kExactGeometry));
+    cpu_index_ = std::make_unique<GridIndex>(std::move(index));
+    cpu_index_resolution_ = resolution;
+  }
+  return cpu_index_.get();
+}
+
+Result<QueryResult> Executor::Execute(const SpatialAggQuery& query) {
+  Timer total;
+  QueryResult out;
+
+  const std::size_t weight_column =
+      query.aggregate == AggregateKind::kCount ? PointTable::npos
+                                               : query.aggregate_column;
+  if (query.aggregate != AggregateKind::kCount &&
+      weight_column == PointTable::npos) {
+    return Status::InvalidArgument(
+        "non-COUNT aggregates require aggregate_column");
+  }
+
+  JoinVariant variant = query.variant;
+  if (variant == JoinVariant::kAuto) {
+    CostModelInputs inputs;
+    inputs.num_points = points_->size();
+    inputs.num_polygons = polys_->size();
+    inputs.total_polygon_vertices = TotalVertices(*polys_);
+    inputs.world = world_;
+    for (const Polygon& poly : *polys_) {
+      inputs.total_perimeter += poly.OuterPerimeter();
+    }
+    inputs.max_fbo_dim = device_->options().max_fbo_dim;
+    variant = ChooseRasterVariant(cost_params_, inputs, query.epsilon);
+  }
+
+  JoinResult join;
+  switch (variant) {
+    case JoinVariant::kBoundedRaster: {
+      RJ_ASSIGN_OR_RETURN(const TriangleSoup* soup, GetTriangulation());
+      BoundedRasterJoinOptions options;
+      options.epsilon = query.epsilon;
+      options.weight_column = weight_column;
+      options.filters = query.filters;
+      options.compute_result_ranges = query.with_result_ranges;
+      RJ_ASSIGN_OR_RETURN(
+          join, BoundedRasterJoin(device_, *points_, *polys_, *soup, world_,
+                                  options, nullptr,
+                                  query.with_result_ranges ? &out.ranges
+                                                           : nullptr));
+      break;
+    }
+    case JoinVariant::kAccurateRaster: {
+      RJ_ASSIGN_OR_RETURN(const TriangleSoup* soup, GetTriangulation());
+      AccurateRasterJoinOptions options;
+      options.canvas_dim = query.accurate_canvas_dim;
+      options.weight_column = weight_column;
+      options.filters = query.filters;
+      RJ_ASSIGN_OR_RETURN(join,
+                          AccurateRasterJoin(device_, *points_, *polys_,
+                                             *soup, world_, options));
+      break;
+    }
+    case JoinVariant::kIndexDevice: {
+      IndexJoinOptions options;
+      options.weight_column = weight_column;
+      options.filters = query.filters;
+      RJ_ASSIGN_OR_RETURN(
+          join, IndexJoinDevice(device_, *points_, *polys_, world_, options));
+      break;
+    }
+    case JoinVariant::kIndexCpu: {
+      IndexJoinOptions options;
+      options.weight_column = weight_column;
+      options.filters = query.filters;
+      options.assign_mode = GridAssignMode::kExactGeometry;
+      RJ_ASSIGN_OR_RETURN(const GridIndex* index,
+                          GetCpuIndex(options.index_resolution));
+      RJ_ASSIGN_OR_RETURN(join, IndexJoinCpu(*points_, *polys_, *index,
+                                             options, query.cpu_threads));
+      break;
+    }
+    case JoinVariant::kAuto:
+      return Status::Internal("kAuto should have been resolved");
+  }
+
+  out.values = join.Finalize(query.aggregate);
+  out.arrays = std::move(join.arrays);
+  out.timing = join.timing;
+  out.total_seconds = total.ElapsedSeconds();
+  return out;
+}
+
+std::string JoinVariantName(JoinVariant variant) {
+  switch (variant) {
+    case JoinVariant::kBoundedRaster: return "BoundedRaster";
+    case JoinVariant::kAccurateRaster: return "AccurateRaster";
+    case JoinVariant::kIndexDevice: return "IndexDevice";
+    case JoinVariant::kIndexCpu: return "IndexCpu";
+    case JoinVariant::kAuto: return "Auto";
+  }
+  return "?";
+}
+
+}  // namespace rj

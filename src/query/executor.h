@@ -1,0 +1,66 @@
+/// \file executor.h
+/// \brief Query executor: prepares polygon data, dispatches to the chosen
+/// join operator, and finalizes the aggregate.
+///
+/// Owns the per-query polygon processing the paper measures in Table 1
+/// (triangulation for the raster variants, grid-index construction for the
+/// baselines) and the device it executes on.
+#pragma once
+
+#include <memory>
+
+#include "gpu/device.h"
+#include "index/grid_index.h"
+#include "join/join_common.h"
+#include "query/optimizer.h"
+#include "query/query.h"
+#include "query/result.h"
+#include "triangulate/triangulation.h"
+
+namespace rj {
+
+/// Executes spatial aggregation queries against one (points, polygons)
+/// pair. Polygon preprocessing (triangulation; CPU index) is computed
+/// lazily and cached across queries, mirroring the paper's setup where
+/// CPU indexes are pre-built but device structures are per-query.
+class Executor {
+ public:
+  /// Neither `points` nor `polys` are copied; both must outlive this.
+  /// Polygon ids must be 0..n-1 (use AssignSequentialIds if needed).
+  Executor(gpu::Device* device, const PointTable* points,
+           const PolygonSet* polys);
+
+  /// Runs the query and returns finalized per-polygon values.
+  Result<QueryResult> Execute(const SpatialAggQuery& query);
+
+  /// World extent used for the canvas: polygon extent ∪ point extent.
+  const BBox& world() const { return world_; }
+
+  /// Cached triangulation (built on first raster-variant query).
+  Result<const TriangleSoup*> GetTriangulation();
+
+  /// Cached exact-geometry CPU grid index at `resolution`.
+  Result<const GridIndex*> GetCpuIndex(std::int32_t resolution);
+
+  /// Cost-model parameters for the kAuto variant.
+  CostModelParams* cost_params() { return &cost_params_; }
+
+ private:
+  gpu::Device* device_;
+  const PointTable* points_;
+  const PolygonSet* polys_;
+  BBox world_;
+  CostModelParams cost_params_;
+
+  bool soup_built_ = false;
+  TriangleSoup soup_;
+  double triangulation_seconds_ = 0.0;
+
+  std::int32_t cpu_index_resolution_ = 0;
+  std::unique_ptr<GridIndex> cpu_index_;
+};
+
+/// Sets poly[i].id = i for all i.
+void AssignSequentialIds(PolygonSet* polys);
+
+}  // namespace rj

@@ -1,0 +1,76 @@
+/// \file filter.h
+/// \brief Attribute filter constraints evaluated in the vertex stage.
+///
+/// §5 "Query Parameters": constraints are tested on the device for each
+/// point before it is transformed to screen space; failing points are
+/// discarded (clipped) and never reach the fragment stage. The paper's
+/// implementation supports conjunctions of up to 5 constraints with
+/// operators >, >=, <, <=, = — mirrored exactly here.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+
+namespace rj {
+
+enum class FilterOp { kGreater, kGreaterEqual, kLess, kLessEqual, kEqual };
+
+/// One conjunct: `attribute[column] op value`.
+struct AttributeFilter {
+  std::size_t column = 0;
+  FilterOp op = FilterOp::kGreater;
+  float value = 0.0f;
+
+  bool Evaluate(float attr) const {
+    switch (op) {
+      case FilterOp::kGreater: return attr > value;
+      case FilterOp::kGreaterEqual: return attr >= value;
+      case FilterOp::kLess: return attr < value;
+      case FilterOp::kLessEqual: return attr <= value;
+      case FilterOp::kEqual: return attr == value;
+    }
+    return false;
+  }
+};
+
+/// Maximum number of conjuncts, fixed at (shader) compile time in the
+/// paper's implementation (§6.1, "Query Options").
+inline constexpr std::size_t kMaxFilterConstraints = 5;
+
+/// A conjunction of attribute filters.
+class FilterSet {
+ public:
+  FilterSet() = default;
+
+  Status Add(AttributeFilter filter) {
+    if (filters_.size() >= kMaxFilterConstraints) {
+      return Status::InvalidArgument(
+          "filter set supports at most 5 conjunctive constraints");
+    }
+    filters_.push_back(filter);
+    return Status::OK();
+  }
+
+  bool empty() const { return filters_.empty(); }
+  std::size_t size() const { return filters_.size(); }
+  const std::vector<AttributeFilter>& filters() const { return filters_; }
+
+  /// Columns referenced by any conjunct (these are the extra columns that
+  /// must be transferred to the device).
+  std::vector<std::size_t> ReferencedColumns() const {
+    std::vector<std::size_t> cols;
+    for (const auto& f : filters_) {
+      bool seen = false;
+      for (std::size_t c : cols) seen = seen || (c == f.column);
+      if (!seen) cols.push_back(f.column);
+    }
+    return cols;
+  }
+
+ private:
+  std::vector<AttributeFilter> filters_;
+};
+
+}  // namespace rj

@@ -1,0 +1,74 @@
+#include "query/multi_aggregate.h"
+
+#include <map>
+
+namespace rj {
+
+Result<MultiAggregateResult> ExecuteMultiAggregate(
+    Executor* executor, const SpatialAggQuery& base,
+    const std::vector<AggregateRequest>& requests) {
+  if (requests.empty()) {
+    return Status::InvalidArgument("no aggregates requested");
+  }
+
+  Timer total;
+  MultiAggregateResult out;
+  out.values.resize(requests.size());
+
+  // Group requests by weight attribute: every group shares one pass
+  // (COUNT can piggyback on any group since the count channel is always
+  // accumulated).
+  std::map<std::size_t, std::vector<std::size_t>> by_column;
+  for (std::size_t r = 0; r < requests.size(); ++r) {
+    const std::size_t column = requests[r].kind == AggregateKind::kCount
+                                   ? PointTable::npos
+                                   : requests[r].column;
+    if (requests[r].kind != AggregateKind::kCount &&
+        column == PointTable::npos) {
+      return Status::InvalidArgument(
+          "non-COUNT aggregate request without a column");
+    }
+    by_column[column].push_back(r);
+  }
+
+  // COUNT-only group folds into the first weighted group, if any.
+  std::vector<std::size_t> count_only;
+  if (auto it = by_column.find(PointTable::npos); it != by_column.end()) {
+    count_only = it->second;
+    by_column.erase(it);
+    if (!by_column.empty()) {
+      by_column.begin()->second.insert(by_column.begin()->second.end(),
+                                       count_only.begin(), count_only.end());
+      count_only.clear();
+    }
+  }
+
+  auto run_pass = [&](std::size_t column,
+                      const std::vector<std::size_t>& members) -> Status {
+    SpatialAggQuery query = base;
+    // Use SUM as the carrier so the executor accumulates the weight
+    // channels; each member finalizes its own kind from the raw arrays.
+    query.aggregate =
+        column == PointTable::npos ? AggregateKind::kCount
+                                   : AggregateKind::kSum;
+    query.aggregate_column = column;
+    RJ_ASSIGN_OR_RETURN(QueryResult result, executor->Execute(query));
+    ++out.passes;
+    for (const std::size_t r : members) {
+      out.values[r] = FinalizeAggregate(requests[r].kind, result.arrays);
+    }
+    return Status::OK();
+  };
+
+  for (const auto& [column, members] : by_column) {
+    RJ_RETURN_NOT_OK(run_pass(column, members));
+  }
+  if (!count_only.empty()) {
+    RJ_RETURN_NOT_OK(run_pass(PointTable::npos, count_only));
+  }
+
+  out.total_seconds = total.ElapsedSeconds();
+  return out;
+}
+
+}  // namespace rj

@@ -1,0 +1,45 @@
+/// \file multi_aggregate.h
+/// \brief Multiple aggregates per query (§8 "Performing Multiple
+/// Aggregates").
+///
+/// The paper's implementation computes one aggregate per query and notes
+/// the extension: "the implementation can be extended to support multiple
+/// aggregate functions by having multiple color attachments to the FBO".
+/// The FBO here already carries count/sum/min/max channels per pixel, so
+/// every aggregate over the *same* attribute and filter set falls out of
+/// one render pass; aggregates over different attributes re-render with a
+/// different weight channel (one extra "attachment" each), sharing the
+/// cached triangulation.
+#pragma once
+
+#include <vector>
+
+#include "query/executor.h"
+
+namespace rj {
+
+/// One requested output column.
+struct AggregateRequest {
+  AggregateKind kind = AggregateKind::kCount;
+  /// Attribute to aggregate (ignored for COUNT).
+  std::size_t column = PointTable::npos;
+};
+
+/// Result of a multi-aggregate execution: one value vector per request,
+/// in request order.
+struct MultiAggregateResult {
+  std::vector<std::vector<double>> values;
+  double total_seconds = 0.0;
+  /// Render passes actually executed (requests sharing an attribute share
+  /// a pass — the §8 "multiple attachments" effect).
+  std::size_t passes = 0;
+};
+
+/// Executes several aggregates over the same join in as few passes as
+/// possible. `base` supplies the variant / ε / filters; its aggregate
+/// fields are ignored.
+Result<MultiAggregateResult> ExecuteMultiAggregate(
+    Executor* executor, const SpatialAggQuery& base,
+    const std::vector<AggregateRequest>& requests);
+
+}  // namespace rj

@@ -1,0 +1,71 @@
+#include "query/optimizer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math_utils.h"
+#include "raster/viewport.h"
+
+namespace rj {
+
+double EstimateBoundedSeconds(const CostModelParams& params,
+                              const CostModelInputs& inputs, double epsilon) {
+  const double pixel_side = raster::PixelSideForEpsilon(epsilon);
+  const double full_w = std::ceil(inputs.world.Width() / pixel_side);
+  const double full_h = std::ceil(inputs.world.Height() / pixel_side);
+  const double tiles_x = std::ceil(full_w / inputs.max_fbo_dim);
+  const double tiles_y = std::ceil(full_h / inputs.max_fbo_dim);
+  const double num_tiles = std::max(1.0, tiles_x * tiles_y);
+
+  // Every tile redraws all points (clipping discards most, but the vertex
+  // stage still touches them) and shades the polygon area in pixels.
+  const double polygon_area_fraction = 0.5;  // typical coverage of extent
+  const double fragments_per_full_canvas =
+      full_w * full_h * polygon_area_fraction;
+
+  return num_tiles * (static_cast<double>(inputs.num_points) *
+                          params.per_point_draw +
+                      params.per_pass_overhead) +
+         fragments_per_full_canvas * params.per_fragment;
+}
+
+double EstimateAccurateSeconds(const CostModelParams& params,
+                               const CostModelInputs& inputs) {
+  const double dim = inputs.max_fbo_dim;
+  const double pixel_w = inputs.world.Width() / dim;
+  const double pixel_h = inputs.world.Height() / dim;
+  const double pixel_diag = std::sqrt(pixel_w * pixel_w + pixel_h * pixel_h);
+
+  // Expected fraction of points on boundary pixels: perimeter strip of
+  // width ≈ pixel diagonal over the extent area.
+  const double strip_area = inputs.total_perimeter * pixel_diag;
+  const double boundary_fraction =
+      Clamp(strip_area / std::max(1e-12, inputs.world.Area()), 0.0, 1.0);
+
+  const double avg_vertices =
+      inputs.num_polygons == 0
+          ? 0.0
+          : static_cast<double>(inputs.total_polygon_vertices) /
+                static_cast<double>(inputs.num_polygons);
+  // Grid probe returns few candidates; assume ~2 candidate polygons and a
+  // full vertex scan each.
+  const double pip_cost_per_boundary_point =
+      2.0 * avg_vertices * params.per_pip_vertex;
+
+  const double points = static_cast<double>(inputs.num_points);
+  const double fragments = dim * dim * 0.5;
+  return points * params.per_point_draw +
+         points * boundary_fraction * pip_cost_per_boundary_point +
+         fragments * params.per_fragment + params.per_pass_overhead;
+}
+
+JoinVariant ChooseRasterVariant(const CostModelParams& params,
+                                const CostModelInputs& inputs,
+                                double epsilon) {
+  const double bounded = EstimateBoundedSeconds(params, inputs, epsilon);
+  const double accurate = EstimateAccurateSeconds(params, inputs);
+  return bounded <= accurate ? JoinVariant::kBoundedRaster
+                             : JoinVariant::kAccurateRaster;
+}
+
+}  // namespace rj

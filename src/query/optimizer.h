@@ -1,0 +1,53 @@
+/// \file optimizer.h
+/// \brief Cost model choosing between the bounded and accurate variants.
+///
+/// §8 ("Choosing Between the two Raster Variants"): for a very small ε the
+/// bounded variant needs many rendering passes (tile count grows
+/// quadratically as ε shrinks, Fig. 12a) and eventually becomes slower
+/// than the accurate variant; the paper proposes an optimizer that picks
+/// the faster variant from a time estimate. This module implements that
+/// estimate from simple per-unit costs calibrated on the fly.
+#pragma once
+
+#include <cstdint>
+
+#include "geometry/bbox.h"
+#include "query/query.h"
+
+namespace rj {
+
+/// Calibratable per-unit costs (seconds). Defaults are rough but only the
+/// *ratio* matters for the crossover decision.
+struct CostModelParams {
+  double per_point_draw = 4e-9;        ///< one point through the pipeline
+  double per_fragment = 2e-9;          ///< one polygon fragment shaded
+  double per_pip_vertex = 1.2e-9;      ///< one PIP edge test
+  double per_byte_transfer = 0.0;      ///< set when bandwidth simulated
+  double per_pass_overhead = 2e-4;     ///< FBO clear + draw-call setup
+};
+
+/// Inputs the optimizer needs about the query shape.
+struct CostModelInputs {
+  std::size_t num_points = 0;
+  std::size_t num_polygons = 0;
+  std::size_t total_polygon_vertices = 0;
+  /// Fraction of points expected to land on boundary pixels (estimated
+  /// from polygon perimeter × pixel size / extent area).
+  BBox world;
+  double total_perimeter = 0.0;
+  std::int32_t max_fbo_dim = 8192;
+};
+
+/// Estimated execution time of the bounded variant at bound ε.
+double EstimateBoundedSeconds(const CostModelParams& params,
+                              const CostModelInputs& inputs, double epsilon);
+
+/// Estimated execution time of the accurate variant.
+double EstimateAccurateSeconds(const CostModelParams& params,
+                               const CostModelInputs& inputs);
+
+/// Picks kBoundedRaster or kAccurateRaster for the given ε (§8).
+JoinVariant ChooseRasterVariant(const CostModelParams& params,
+                                const CostModelInputs& inputs, double epsilon);
+
+}  // namespace rj

@@ -1,0 +1,49 @@
+/// \file query.h
+/// \brief Public query description for spatial aggregation.
+///
+/// Models the paper's query template:
+///   SELECT AGG(a_i) FROM P, R
+///   WHERE P.loc INSIDE R.geometry [AND filterCondition]*
+///   GROUP BY R.id
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "agg/aggregate.h"
+#include "data/point_table.h"
+#include "query/filter.h"
+
+namespace rj {
+
+/// Which join operator executes the query.
+enum class JoinVariant {
+  kBoundedRaster,   ///< §4.2 — approximate, ε-bounded, no PIP tests
+  kAccurateRaster,  ///< §4.3 — exact, PIP only on boundary pixels
+  kIndexDevice,     ///< §6.2 — device grid-index baseline
+  kIndexCpu,        ///< §7.1 — CPU grid-index baseline (1..N threads)
+  kAuto,            ///< optimizer picks bounded or accurate (§8)
+};
+
+std::string JoinVariantName(JoinVariant variant);
+
+/// A spatial aggregation query over a PointTable and PolygonSet.
+struct SpatialAggQuery {
+  AggregateKind aggregate = AggregateKind::kCount;
+  /// Attribute to aggregate (ignored for COUNT).
+  std::size_t aggregate_column = PointTable::npos;
+  /// Conjunctive filter constraints (at most 5, §6.1).
+  FilterSet filters;
+  /// Execution strategy.
+  JoinVariant variant = JoinVariant::kBoundedRaster;
+  /// ε bound for the bounded variant, world units.
+  double epsilon = 10.0;
+  /// CPU threads for kIndexCpu.
+  int cpu_threads = 1;
+  /// Canvas side for the accurate variant (0 = the device's FBO limit).
+  std::int32_t accurate_canvas_dim = 0;
+  /// Compute §5 result ranges (bounded variant, single tile only).
+  bool with_result_ranges = false;
+};
+
+}  // namespace rj

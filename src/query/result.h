@@ -1,0 +1,27 @@
+/// \file result.h
+/// \brief Finalized result of a spatial aggregation query.
+#pragma once
+
+#include <vector>
+
+#include "agg/result_range.h"
+#include "common/timer.h"
+#include "join/join_common.h"
+
+namespace rj {
+
+/// Per-polygon aggregate values plus execution diagnostics.
+struct QueryResult {
+  /// values[id] is AGG for polygon `id` (NaN for empty AVG/MIN/MAX groups).
+  std::vector<double> values;
+  /// Raw partial aggregates (counts and sums), useful for re-finalizing.
+  raster::ResultArrays arrays{0};
+  /// §5 intervals when requested (empty otherwise).
+  ResultRanges ranges;
+  /// Phase breakdown (transfer / processing / index_build / ...).
+  PhaseTimer timing;
+  /// Total wall time of Execute().
+  double total_seconds = 0.0;
+};
+
+}  // namespace rj

@@ -1,0 +1,112 @@
+#include "raster/conservative.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geometry/bbox.h"
+#include "geometry/segment.h"
+
+namespace rj::raster {
+
+namespace {
+
+/// Does triangle (a,b,c) (any winding) overlap the axis-aligned square
+/// [x, x+1] × [y, y+1]? Separating-axis style test via: any vertex inside
+/// square, any square corner inside triangle, or any edge pair intersects.
+bool TriangleOverlapsPixel(const Point& a, const Point& b, const Point& c,
+                           double x, double y) {
+  const BBox px(x, y, x + 1.0, y + 1.0);
+  if (px.Contains(a) || px.Contains(b) || px.Contains(c)) return true;
+
+  const Point corners[4] = {{x, y}, {x + 1, y}, {x + 1, y + 1}, {x, y + 1}};
+  // Square corner inside triangle (either winding)?
+  for (const Point& s : corners) {
+    const double w0 = Orient2D(a, b, s);
+    const double w1 = Orient2D(b, c, s);
+    const double w2 = Orient2D(c, a, s);
+    const bool all_nonneg = w0 >= 0 && w1 >= 0 && w2 >= 0;
+    const bool all_nonpos = w0 <= 0 && w1 <= 0 && w2 <= 0;
+    if (all_nonneg || all_nonpos) return true;
+  }
+  // Edge intersection?
+  const Point tri[3] = {a, b, c};
+  for (int i = 0; i < 3; ++i) {
+    const Point& p1 = tri[i];
+    const Point& p2 = tri[(i + 1) % 3];
+    for (int j = 0; j < 4; ++j) {
+      if (SegmentsIntersect(p1, p2, corners[j], corners[(j + 1) % 4])) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+void RasterizeTriangleConservative(const Point& a, const Point& b,
+                                   const Point& c, std::int32_t width,
+                                   std::int32_t height,
+                                   const FragmentCallback& emit) {
+  // One-pixel expansion: edges exactly on pixel borders touch both sides.
+  std::int32_t x0 =
+      static_cast<std::int32_t>(std::floor(std::min({a.x, b.x, c.x}))) - 1;
+  std::int32_t x1 =
+      static_cast<std::int32_t>(std::floor(std::max({a.x, b.x, c.x}))) + 1;
+  std::int32_t y0 =
+      static_cast<std::int32_t>(std::floor(std::min({a.y, b.y, c.y}))) - 1;
+  std::int32_t y1 =
+      static_cast<std::int32_t>(std::floor(std::max({a.y, b.y, c.y}))) + 1;
+  x0 = std::max(x0, 0);
+  y0 = std::max(y0, 0);
+  x1 = std::min(x1, width - 1);
+  y1 = std::min(y1, height - 1);
+  for (std::int32_t y = y0; y <= y1; ++y) {
+    for (std::int32_t x = x0; x <= x1; ++x) {
+      if (TriangleOverlapsPixel(a, b, c, x, y)) emit(x, y);
+    }
+  }
+}
+
+void RasterizeSegmentConservative(const Point& a, const Point& b,
+                                  std::int32_t width, std::int32_t height,
+                                  const FragmentCallback& emit) {
+  // Expand the scan window by one pixel on each side: a segment lying
+  // exactly on a pixel border touches the squares of both adjacent rows/
+  // columns, whose indices fall outside the floor()-based bbox.
+  std::int32_t x0 =
+      static_cast<std::int32_t>(std::floor(std::min(a.x, b.x))) - 1;
+  std::int32_t x1 =
+      static_cast<std::int32_t>(std::floor(std::max(a.x, b.x))) + 1;
+  std::int32_t y0 =
+      static_cast<std::int32_t>(std::floor(std::min(a.y, b.y))) - 1;
+  std::int32_t y1 =
+      static_cast<std::int32_t>(std::floor(std::max(a.y, b.y))) + 1;
+  x0 = std::max(x0, 0);
+  y0 = std::max(y0, 0);
+  x1 = std::min(x1, width - 1);
+  y1 = std::min(y1, height - 1);
+  for (std::int32_t y = y0; y <= y1; ++y) {
+    for (std::int32_t x = x0; x <= x1; ++x) {
+      const BBox px(x, y, x + 1.0, y + 1.0);
+      // Segment within or crossing the pixel square?
+      if (px.Contains(a) || px.Contains(b)) {
+        emit(x, y);
+        continue;
+      }
+      const Point corners[4] = {
+          {static_cast<double>(x), static_cast<double>(y)},
+          {static_cast<double>(x + 1), static_cast<double>(y)},
+          {static_cast<double>(x + 1), static_cast<double>(y + 1)},
+          {static_cast<double>(x), static_cast<double>(y + 1)}};
+      for (int j = 0; j < 4; ++j) {
+        if (SegmentsIntersect(a, b, corners[j], corners[(j + 1) % 4])) {
+          emit(x, y);
+          break;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace rj::raster

@@ -1,0 +1,19 @@
+#include "raster/fbo.h"
+
+#include <limits>
+
+namespace rj::raster {
+
+void Fbo::Clear() {
+  constexpr float kInf = std::numeric_limits<float>::infinity();
+  const std::size_t pixels = data_.size() / kChannels;
+  for (std::size_t p = 0; p < pixels; ++p) {
+    float* px = data_.data() + p * kChannels;
+    px[kChannelCount] = 0.0f;
+    px[kChannelSum] = 0.0f;
+    px[kChannelMin] = kInf;
+    px[kChannelMax] = -kInf;
+  }
+}
+
+}  // namespace rj::raster

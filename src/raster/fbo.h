@@ -1,0 +1,86 @@
+/// \file fbo.h
+/// \brief Frame buffer object: the canvas points and polygons are drawn on.
+///
+/// Mirrors the paper's use of OpenGL FBOs (§3): each pixel holds four
+/// 32-bit channels [r,g,b,a]. The raster join stores partial aggregates in
+/// those channels — channel 0 counts points, channel 1 sums the aggregated
+/// attribute (§5, "Aggregates"). Counts are exact in float32 up to 2^24
+/// points per pixel, far above any realistic density; this matches the
+/// precision model of the paper's implementation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace rj::raster {
+
+/// Number of channels per pixel, as in an RGBA framebuffer.
+inline constexpr int kChannels = 4;
+
+/// Well-known channel roles used by the join algorithms.
+inline constexpr int kChannelCount = 0;  ///< number of points in the pixel
+inline constexpr int kChannelSum = 1;    ///< sum of the aggregated attribute
+inline constexpr int kChannelMin = 2;    ///< running minimum (MIN aggregate)
+inline constexpr int kChannelMax = 3;    ///< running maximum (MAX aggregate)
+
+class Fbo {
+ public:
+  /// Creates a width × height framebuffer cleared to the per-channel
+  /// identity (0 for count/sum, ±infinity for min/max).
+  Fbo(std::int32_t width, std::int32_t height)
+      : width_(width), height_(height),
+        data_(static_cast<std::size_t>(width) * height * kChannels, 0.0f) {
+    Clear();
+  }
+
+  std::int32_t width() const { return width_; }
+  std::int32_t height() const { return height_; }
+  std::size_t size_bytes() const { return data_.size() * sizeof(float); }
+
+  /// glClear analogue. Count/sum channels clear to 0; the min channel to
+  /// +infinity and the max channel to -infinity so MIN/MAX blending has
+  /// the correct identity (a real GL implementation clears to a chosen
+  /// clear color; ±inf are valid float32 clear values).
+  void Clear();
+
+  bool InBounds(std::int32_t x, std::int32_t y) const {
+    return x >= 0 && x < width_ && y >= 0 && y < height_;
+  }
+
+  /// Channel accessors; no bounds checking (hot path).
+  float At(std::int32_t x, std::int32_t y, int channel) const {
+    return data_[Index(x, y, channel)];
+  }
+  void Set(std::int32_t x, std::int32_t y, int channel, float v) {
+    data_[Index(x, y, channel)] = v;
+  }
+  /// Additive blend (glBlendFunc(GL_ONE, GL_ONE) analogue).
+  void Add(std::int32_t x, std::int32_t y, int channel, float v) {
+    data_[Index(x, y, channel)] += v;
+  }
+  /// Min/Max blend (glBlendEquation(GL_MIN/GL_MAX) analogue).
+  void BlendMin(std::int32_t x, std::int32_t y, int channel, float v) {
+    float& cur = data_[Index(x, y, channel)];
+    if (v < cur) cur = v;
+  }
+  void BlendMax(std::int32_t x, std::int32_t y, int channel, float v) {
+    float& cur = data_[Index(x, y, channel)];
+    if (v > cur) cur = v;
+  }
+
+  const std::vector<float>& data() const { return data_; }
+  std::vector<float>& mutable_data() { return data_; }
+
+ private:
+  std::size_t Index(std::int32_t x, std::int32_t y, int channel) const {
+    return (static_cast<std::size_t>(y) * width_ + x) * kChannels + channel;
+  }
+
+  std::int32_t width_;
+  std::int32_t height_;
+  std::vector<float> data_;
+};
+
+}  // namespace rj::raster

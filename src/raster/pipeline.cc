@@ -1,0 +1,149 @@
+#include "raster/pipeline.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "raster/conservative.h"
+#include "raster/rasterizer.h"
+
+namespace rj::raster {
+
+void ResultArrays::Resize(std::size_t num_polygons) {
+  count.assign(num_polygons, 0.0);
+  sum.assign(num_polygons, 0.0);
+  min.assign(num_polygons, std::numeric_limits<double>::infinity());
+  max.assign(num_polygons, -std::numeric_limits<double>::infinity());
+}
+
+void ResultArrays::AddFrom(const ResultArrays& other) {
+  for (std::size_t i = 0; i < count.size(); ++i) {
+    count[i] += other.count[i];
+    sum[i] += other.sum[i];
+    min[i] = std::min(min[i], other.min[i]);
+    max[i] = std::max(max[i], other.max[i]);
+  }
+}
+
+std::uint64_t DrawPoints(const Viewport& vp, const PointTable& points,
+                         const FilterSet& filters, std::size_t weight_column,
+                         Fbo* fbo, gpu::Counters* counters) {
+  const std::size_t n = points.size();
+  const bool has_weight = weight_column != PointTable::npos;
+  const std::vector<float>* weights =
+      has_weight ? &points.attribute(weight_column) : nullptr;
+  const auto& conjuncts = filters.filters();
+
+  std::uint64_t drawn = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    // Vertex stage: filter constraints first — failing points are
+    // positioned outside the viewport by the paper's vertex shader and
+    // clipped; here we just skip them before the transform.
+    bool pass = true;
+    for (const AttributeFilter& f : conjuncts) {
+      if (!f.Evaluate(points.attribute(f.column)[i])) {
+        pass = false;
+        break;
+      }
+    }
+    if (!pass) continue;
+
+    const Point s = vp.ToScreen(points.At(i));
+    const auto px = static_cast<std::int32_t>(std::floor(s.x));
+    const auto py = static_cast<std::int32_t>(std::floor(s.y));
+    if (px < 0 || px >= fbo->width() || py < 0 || py >= fbo->height()) {
+      continue;  // clipped by the pipeline
+    }
+
+    // Fragment stage: additive blend of the partial aggregate.
+    fbo->Add(px, py, kChannelCount, 1.0f);
+    if (has_weight) {
+      const float w = (*weights)[i];
+      fbo->Add(px, py, kChannelSum, w);
+      fbo->BlendMin(px, py, kChannelMin, w);
+      fbo->BlendMax(px, py, kChannelMax, w);
+    }
+    ++drawn;
+  }
+
+  if (counters != nullptr) {
+    counters->AddVerticesProcessed(n);
+    counters->AddFragments(drawn);
+  }
+  return drawn;
+}
+
+void DrawPolygons(const Viewport& vp, const TriangleSoup& soup,
+                  const Fbo& point_fbo, const Fbo* boundary_fbo,
+                  ResultArrays* result, gpu::Counters* counters) {
+  std::uint64_t fragments = 0;
+  std::uint64_t atomics = 0;
+  const bool min_max_tracked = !result->min.empty();
+
+  for (const Triangle& tri : soup) {
+    const std::size_t id = static_cast<std::size_t>(tri.polygon_id);
+    const Point a = vp.ToScreen(tri.a);
+    const Point b = vp.ToScreen(tri.b);
+    const Point c = vp.ToScreen(tri.c);
+    RasterizeTriangle(
+        a, b, c, point_fbo.width(), point_fbo.height(),
+        [&](std::int32_t x, std::int32_t y) {
+          ++fragments;
+          if (boundary_fbo != nullptr && IsBoundaryPixel(*boundary_fbo, x, y)) {
+            // Accurate variant: boundary pixels were handled point-by-point.
+            return;
+          }
+          const float cnt = point_fbo.At(x, y, kChannelCount);
+          if (cnt == 0.0f) return;  // empty pixel, nothing to accumulate
+          result->count[id] += cnt;
+          result->sum[id] += point_fbo.At(x, y, kChannelSum);
+          if (min_max_tracked) {
+            result->min[id] = std::min(
+                result->min[id],
+                static_cast<double>(point_fbo.At(x, y, kChannelMin)));
+            result->max[id] = std::max(
+                result->max[id],
+                static_cast<double>(point_fbo.At(x, y, kChannelMax)));
+          }
+          ++atomics;
+        });
+  }
+  if (counters != nullptr) {
+    counters->AddVerticesProcessed(soup.size() * 3);
+    counters->AddFragments(fragments);
+    counters->AddAtomicAdds(atomics);
+  }
+}
+
+void DrawBoundaries(const Viewport& vp, const PolygonSet& polys,
+                    bool conservative, Fbo* boundary_fbo,
+                    gpu::Counters* counters) {
+  std::uint64_t fragments = 0;
+  const auto mark = [&](std::int32_t x, std::int32_t y) {
+    boundary_fbo->Set(x, y, kChannelCount, 1.0f);
+    ++fragments;
+  };
+
+  auto draw_ring = [&](const Ring& ring) {
+    const std::size_t n = ring.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      const Point a = vp.ToScreen(ring[i]);
+      const Point b = vp.ToScreen(ring[(i + 1) % n]);
+      if (conservative) {
+        RasterizeSegmentConservative(a, b, boundary_fbo->width(),
+                                     boundary_fbo->height(), mark);
+      } else {
+        RasterizeSegment(a, b, boundary_fbo->width(), boundary_fbo->height(),
+                         mark);
+      }
+    }
+  };
+
+  for (const Polygon& poly : polys) {
+    draw_ring(poly.outer());
+    for (const Ring& hole : poly.holes()) draw_ring(hole);
+  }
+  if (counters != nullptr) counters->AddFragments(fragments);
+}
+
+}  // namespace rj::raster

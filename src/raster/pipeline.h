@@ -1,0 +1,67 @@
+/// \file pipeline.h
+/// \brief Draw calls composing the raster join: point pass, polygon pass,
+/// outline pass (bounded/accurate variants, §4 of the paper).
+///
+/// Each function plays the role of one vertex+fragment shader pair in the
+/// paper's OpenGL implementation (§6.1). The "vertex stage" applies filter
+/// constraints and the world→screen transform; the "fragment stage" blends
+/// into the FBO or accumulates into the result SSBO analogue.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/point_table.h"
+#include "gpu/counters.h"
+#include "query/filter.h"
+#include "raster/fbo.h"
+#include "raster/viewport.h"
+#include "triangulate/triangulation.h"
+
+namespace rj::raster {
+
+/// Accumulator slots per polygon (the SSBO array A of the paper, one copy
+/// for counts and one for attribute sums so AVG can be formed).
+struct ResultArrays {
+  std::vector<double> count;  ///< A2 in §5: number of joined points
+  std::vector<double> sum;    ///< A1 in §5: sum of the aggregated attribute
+  std::vector<double> min;    ///< running minimum of the attribute
+  std::vector<double> max;    ///< running maximum of the attribute
+
+  explicit ResultArrays(std::size_t num_polygons = 0) { Resize(num_polygons); }
+  void Resize(std::size_t num_polygons);
+  void AddFrom(const ResultArrays& other);
+};
+
+/// Procedure DrawPoints (§4.1): renders every point passing `filters` into
+/// `fbo` with additive blending. Channel 0 += 1; channel 1 += weight
+/// attribute (if `weight_column` != npos); channels 2/3 track min/max.
+/// Points outside the viewport are clipped. Returns the number of points
+/// actually drawn (post-filter, post-clip).
+std::uint64_t DrawPoints(const Viewport& vp, const PointTable& points,
+                         const FilterSet& filters, std::size_t weight_column,
+                         Fbo* fbo, gpu::Counters* counters);
+
+/// Procedure DrawPolygons (§4.1): rasterizes the triangle soup (world
+/// coordinates) and, for each fragment of polygon i, adds the point FBO's
+/// partial aggregates at that pixel into `result` slot i.
+/// If `boundary_fbo` is non-null, fragments on boundary pixels are skipped
+/// (Procedure AccuratePolygons, §4.3).
+void DrawPolygons(const Viewport& vp, const TriangleSoup& soup,
+                  const Fbo& point_fbo, const Fbo* boundary_fbo,
+                  ResultArrays* result, gpu::Counters* counters);
+
+/// Step 1 of the accurate variant (§4.3): renders all polygon outlines into
+/// `boundary_fbo` (channel 0 = 1 marks a boundary pixel). Conservative
+/// rasterization guarantees no partially-covered pixel is missed.
+void DrawBoundaries(const Viewport& vp, const PolygonSet& polys,
+                    bool conservative, Fbo* boundary_fbo,
+                    gpu::Counters* counters);
+
+/// True if the boundary FBO marks pixel (x, y) as a polygon boundary.
+inline bool IsBoundaryPixel(const Fbo& boundary_fbo, std::int32_t x,
+                            std::int32_t y) {
+  return boundary_fbo.At(x, y, kChannelCount) != 0.0f;
+}
+
+}  // namespace rj::raster

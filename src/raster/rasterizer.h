@@ -1,0 +1,46 @@
+/// \file rasterizer.h
+/// \brief Triangle and point scan conversion with OpenGL coverage rules.
+///
+/// The GL specification defines triangle coverage by the *pixel-center*
+/// sample rule: a pixel is covered iff its center lies inside the triangle,
+/// with the top-left fill convention breaking ties on shared edges so two
+/// triangles sharing an edge never both (or neither) cover a boundary
+/// pixel. The paper's entire error analysis (§4.2) is a consequence of this
+/// rule, so the software rasterizer reproduces it exactly.
+///
+/// Implementation follows the classical edge-function formulation of
+/// Pineda (1988) / Olano & Greer (1997) cited by the paper (§3).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "geometry/point.h"
+#include "triangulate/triangulation.h"
+
+namespace rj::raster {
+
+/// Callback invoked for every covered pixel ("fragment shader").
+using FragmentCallback =
+    std::function<void(std::int32_t x, std::int32_t y)>;
+
+/// Rasterizes a triangle given in *screen* coordinates onto a width×height
+/// grid, invoking `emit` once per covered pixel. Pixels outside the grid
+/// are clipped. Degenerate (zero-area) triangles emit nothing.
+void RasterizeTriangle(const Point& a, const Point& b, const Point& c,
+                       std::int32_t width, std::int32_t height,
+                       const FragmentCallback& emit);
+
+/// Number of pixels RasterizeTriangle would emit (cheap counting variant
+/// for counters / tests).
+std::uint64_t CountTriangleFragments(const Point& a, const Point& b,
+                                     const Point& c, std::int32_t width,
+                                     std::int32_t height);
+
+/// Rasterizes the segment [a, b] (screen coords) with a DDA walk, emitting
+/// every pixel whose interior the segment passes through. Used for drawing
+/// polygon outlines (accurate raster join, step 1).
+void RasterizeSegment(const Point& a, const Point& b, std::int32_t width,
+                      std::int32_t height, const FragmentCallback& emit);
+
+}  // namespace rj::raster

@@ -1,0 +1,132 @@
+#include "triangulate/ear_clipping.h"
+
+#include <cmath>
+
+namespace rj {
+
+namespace {
+
+/// Blocker test for ear validity: p invalidates the ear (a,b,c) iff it
+/// lies strictly inside the triangle, or on the interior of the two ring
+/// edges ab / bc. Points exactly on the candidate diagonal ca do NOT
+/// block: bridged (weakly-simple) rings route hole chains along diagonals,
+/// and treating them as blockers would deadlock the clipper. A diagonal
+/// grazing a vertex still yields area-correct, non-overlapping triangles.
+/// (a,b,c) assumed CCW.
+bool BlocksEar(const Point& a, const Point& b, const Point& c,
+               const Point& p) {
+  const double w_ab = Orient2D(a, b, p);
+  const double w_bc = Orient2D(b, c, p);
+  const double w_ca = Orient2D(c, a, p);
+  if (w_ab > 0 && w_bc > 0 && w_ca > 0) return true;  // strict interior
+  // On edge ab or bc (between the endpoints): the ring touches the ear
+  // boundary, which still invalidates clipping b.
+  auto on_open_edge = [&p](const Point& u, const Point& v, double w) {
+    if (w != 0.0) return false;
+    const double t = (v - u).Dot(p - u);
+    return t > 0.0 && t < (v - u).NormSquared();
+  };
+  return on_open_edge(a, b, w_ab) || on_open_edge(b, c, w_bc);
+}
+
+}  // namespace
+
+Result<std::vector<Triangle>> EarClipTriangulate(const Ring& input) {
+  if (input.size() < 3) {
+    return Status::InvalidArgument("ear clipping needs >= 3 vertices");
+  }
+  // Work on a CCW copy.
+  Ring ring = input;
+  if (!IsCounterClockwise(ring)) ReverseRing(&ring);
+
+  // Doubly-linked index list over the ring.
+  const std::size_t n = ring.size();
+  std::vector<std::size_t> next(n), prev(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    next[i] = (i + 1) % n;
+    prev[i] = (i + n - 1) % n;
+  }
+
+  auto is_convex = [&](std::size_t i) {
+    return Orient2D(ring[prev[i]], ring[i], ring[next[i]]) > 0;
+  };
+  auto is_ear = [&](std::size_t i) {
+    if (!is_convex(i)) return false;
+    const Point& a = ring[prev[i]];
+    const Point& b = ring[i];
+    const Point& c = ring[next[i]];
+    // No other vertex may block the candidate ear. (The classical
+    // reflex-only scan is an optimization valid for strictly simple
+    // rings; bridged rings duplicate vertices whose convexity differs
+    // per occurrence, so every vertex is checked here.)
+    for (std::size_t v = next[next[i]]; v != prev[i]; v = next[v]) {
+      const Point& p = ring[v];
+      if (p == a || p == b || p == c) continue;
+      if (BlocksEar(a, b, c, p)) return false;
+    }
+    return true;
+  };
+
+  std::vector<Triangle> out;
+  out.reserve(n - 2);
+  std::size_t remaining = n;
+  std::size_t cur = 0;
+  std::size_t since_last_ear = 0;
+
+  while (remaining > 3) {
+    if (is_ear(cur)) {
+      Triangle t;
+      t.a = ring[prev[cur]];
+      t.b = ring[cur];
+      t.c = ring[next[cur]];
+      // Skip degenerate (collinear) ears: they cover no area.
+      if (t.DoubleSignedArea() != 0.0) out.push_back(t);
+      next[prev[cur]] = next[cur];
+      prev[next[cur]] = prev[cur];
+      cur = next[cur];
+      --remaining;
+      since_last_ear = 0;
+    } else {
+      cur = next[cur];
+      if (++since_last_ear > remaining) {
+        // No ear found in a full loop: ring is non-simple or degenerate.
+        // Fall back to clipping strictly-convex vertices to make progress;
+        // if even that fails, report the input as invalid.
+        bool clipped = false;
+        std::size_t probe = cur;
+        for (std::size_t k = 0; k < remaining; ++k, probe = next[probe]) {
+          if (is_convex(probe)) {
+            Triangle t{ring[prev[probe]], ring[probe], ring[next[probe]], -1};
+            if (t.DoubleSignedArea() != 0.0) out.push_back(t);
+            next[prev[probe]] = next[probe];
+            prev[next[probe]] = prev[probe];
+            cur = next[probe];
+            --remaining;
+            since_last_ear = 0;
+            clipped = true;
+            break;
+          }
+        }
+        if (!clipped) {
+          // No convex vertex at all: the remaining chain is collinear or
+          // degenerate and covers no area — stop cleanly.
+          double remaining_area = 0.0;
+          std::size_t v = cur;
+          for (std::size_t k = 0; k + 2 < remaining; ++k) {
+            remaining_area += std::fabs(
+                Orient2D(ring[cur], ring[next[v]], ring[next[next[v]]]));
+            v = next[v];
+          }
+          if (remaining_area == 0.0) return out;
+          return Status::InvalidArgument(
+              "ear clipping failed: ring appears non-simple");
+        }
+      }
+    }
+  }
+  Triangle last{ring[prev[cur]], ring[cur], ring[next[cur]], -1};
+  if (last.DoubleSignedArea() != 0.0) out.push_back(last);
+  return out;
+}
+
+}  // namespace rj

@@ -1,0 +1,159 @@
+#include "triangulate/hole_bridging.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <vector>
+
+#include "geometry/segment.h"
+
+namespace rj {
+
+namespace {
+
+/// Index of the vertex with maximum x (ties broken by y) in a ring.
+std::size_t RightmostVertex(const Ring& ring) {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < ring.size(); ++i) {
+    if (ring[i].x > ring[best].x ||
+        (ring[i].x == ring[best].x && ring[i].y > ring[best].y)) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+/// True if segment [a, b] crosses segment [c, d] in a way that would make
+/// a bridge invalid: a proper interior crossing, a collinear overlap of
+/// positive length, or one segment's endpoint in the strict interior of
+/// the other (a bridge must not pass *through* vertices or edges; merely
+/// touching shared endpoints is fine).
+bool InvalidCross(const Point& a, const Point& b, const Point& c,
+                  const Point& d) {
+  const double d1 = Orient2D(c, d, a);
+  const double d2 = Orient2D(c, d, b);
+  const double d3 = Orient2D(a, b, c);
+  const double d4 = Orient2D(a, b, d);
+
+  if (((d1 > 0 && d2 < 0) || (d1 < 0 && d2 > 0)) &&
+      ((d3 > 0 && d4 < 0) || (d3 < 0 && d4 > 0))) {
+    return true;  // proper crossing
+  }
+
+  auto strictly_interior = [](const Point& u, const Point& v,
+                              const Point& p) {
+    if (p == u || p == v) return false;
+    return PointOnSegment(u, v, p, 0.0);
+  };
+  // Collinear overlap with positive length.
+  if (d1 == 0 && d2 == 0 && d3 == 0 && d4 == 0) {
+    const double lo1 = std::min(a.Dot(b - a), b.Dot(b - a));
+    const double hi1 = std::max(a.Dot(b - a), b.Dot(b - a));
+    const double pc = c.Dot(b - a);
+    const double pd = d.Dot(b - a);
+    const double lo2 = std::min(pc, pd);
+    const double hi2 = std::max(pc, pd);
+    return std::max(lo1, lo2) < std::min(hi1, hi2);
+  }
+  // Endpoint of one strictly interior to the other.
+  if (d1 == 0 && strictly_interior(c, d, a)) return true;
+  if (d2 == 0 && strictly_interior(c, d, b)) return true;
+  if (d3 == 0 && strictly_interior(a, b, c)) return true;
+  if (d4 == 0 && strictly_interior(a, b, d)) return true;
+  return false;
+}
+
+/// True if the candidate bridge [p, q] stays clear of every edge of
+/// `ring`, except where it merely touches shared endpoints.
+bool BridgeClearOfRing(const Point& p, const Point& q, const Ring& ring) {
+  const std::size_t n = ring.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const Point& a = ring[i];
+    const Point& b = ring[(i + 1) % n];
+    if (InvalidCross(p, q, a, b)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<Ring> BridgeHoles(const Polygon& poly) {
+  Ring outer = poly.outer();
+  if (!IsCounterClockwise(outer)) ReverseRing(&outer);
+  if (poly.holes().empty()) return outer;
+
+  // Sort holes by rightmost vertex x, descending (process holes nearest
+  // the outer boundary's right side first, as in the classical method).
+  std::vector<Ring> holes = poly.holes();
+  for (Ring& hole : holes) {
+    if (IsCounterClockwise(hole)) ReverseRing(&hole);  // holes must be CW
+  }
+  std::sort(holes.begin(), holes.end(), [](const Ring& h1, const Ring& h2) {
+    return h1[RightmostVertex(h1)].x > h2[RightmostVertex(h2)].x;
+  });
+
+  for (std::size_t h = 0; h < holes.size(); ++h) {
+    const Ring& hole = holes[h];
+
+    // Enumerate (hole vertex, outer vertex) pairs by increasing length and
+    // take the first whose segment is a valid bridge: it must not cross or
+    // graze any edge of the current outline, this hole, or the holes not
+    // yet merged, and its midpoint must lie in the polygon's solid region.
+    struct Candidate {
+      double dist2;
+      std::size_t hv, ov;
+    };
+    std::vector<Candidate> candidates;
+    candidates.reserve(hole.size() * outer.size());
+    for (std::size_t hv = 0; hv < hole.size(); ++hv) {
+      for (std::size_t ov = 0; ov < outer.size(); ++ov) {
+        candidates.push_back(
+            {hole[hv].DistanceSquaredTo(outer[ov]), hv, ov});
+      }
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [](const Candidate& a, const Candidate& b) {
+                return a.dist2 < b.dist2;
+              });
+
+    bool bridged = false;
+    for (const Candidate& cand : candidates) {
+      const Point& p = hole[cand.hv];
+      const Point& q = outer[cand.ov];
+      if (p == q) continue;
+      if (!BridgeClearOfRing(p, q, outer)) continue;
+      if (!BridgeClearOfRing(p, q, hole)) continue;
+      bool clear = true;
+      for (std::size_t h2 = h + 1; h2 < holes.size() && clear; ++h2) {
+        clear = BridgeClearOfRing(p, q, holes[h2]);
+      }
+      if (!clear) continue;
+      if (!poly.Contains((p + q) / 2.0)) continue;
+
+      // Splice: outer[0..ov], hole[hv..], hole[..hv], outer[ov..].
+      Ring merged;
+      merged.reserve(outer.size() + hole.size() + 2);
+      for (std::size_t i = 0; i <= cand.ov; ++i) merged.push_back(outer[i]);
+      for (std::size_t k = 0; k < hole.size(); ++k) {
+        merged.push_back(hole[(cand.hv + k) % hole.size()]);
+      }
+      merged.push_back(hole[cand.hv]);   // close the hole loop
+      merged.push_back(outer[cand.ov]);  // return to the outer ring
+      for (std::size_t i = cand.ov + 1; i < outer.size(); ++i) {
+        merged.push_back(outer[i]);
+      }
+      outer = std::move(merged);
+      bridged = true;
+      break;
+    }
+    if (!bridged) {
+      return Status::InvalidArgument(
+          "no valid bridge found; hole is not inside the outer ring or the "
+          "polygon is degenerate");
+    }
+  }
+  return outer;
+}
+
+}  // namespace rj

@@ -1,0 +1,17 @@
+/// \file hole_bridging.h
+/// \brief Converts a polygon with holes into a single simple ring by
+/// inserting bridge edges, so ear clipping can triangulate it.
+#pragma once
+
+#include "common/status.h"
+#include "geometry/polygon.h"
+
+namespace rj {
+
+/// Merges `poly`'s holes into its outer ring via zero-width bridges
+/// (David Eberly's method: connect each hole's rightmost vertex to a
+/// visible vertex on the current outer ring). The returned ring is CCW and
+/// covers the same area as the polygon.
+Result<Ring> BridgeHoles(const Polygon& poly);
+
+}  // namespace rj

@@ -1,0 +1,197 @@
+#include "triangulate/triangulation.h"
+
+#include <cmath>
+#include <map>
+#include <utility>
+
+#include "geometry/bbox.h"
+#include "geometry/pip.h"
+#include "geometry/segment.h"
+#include "triangulate/ear_clipping.h"
+#include "triangulate/hole_bridging.h"
+
+namespace rj {
+
+namespace {
+
+/// Separates coincident vertices of a weakly-simple ring by nudging every
+/// repeat occurrence toward the midpoint of its neighbors. Bridged rings
+/// whose bridges share an anchor vertex are weakly simple in a way ear
+/// clipping cannot always untangle; an infinitesimal perturbation makes
+/// them strictly simple while changing the area by O(delta · perimeter).
+Ring PerturbDuplicateVertices(const Ring& ring, double delta) {
+  BBox box;
+  for (const Point& p : ring) box.Expand(p);
+  const double scale =
+      std::max(box.Width(), box.Height()) * delta;
+
+  std::map<std::pair<double, double>, int> occurrences;
+  Ring out = ring;
+  const std::size_t n = ring.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const int occurrence = occurrences[{ring[i].x, ring[i].y}]++;
+    if (occurrence == 0) continue;
+    const Point& prev = ring[(i + n - 1) % n];
+    const Point& next = ring[(i + 1) % n];
+    const Point mid = (prev + next) / 2.0;
+    Point dir = mid - ring[i];
+    const double len = dir.Norm();
+    if (len == 0.0) continue;
+    out[i] = ring[i] + dir * (scale * occurrence / len);
+  }
+  return out;
+}
+
+/// Bridge-style crossing test (see hole_bridging.cc): proper crossing,
+/// collinear overlap, or an endpoint strictly interior to the other
+/// segment. Shared endpoints are allowed.
+bool DiagonalBlocked(const Point& a, const Point& b, const Point& c,
+                     const Point& d) {
+  const double d1 = Orient2D(c, d, a);
+  const double d2 = Orient2D(c, d, b);
+  const double d3 = Orient2D(a, b, c);
+  const double d4 = Orient2D(a, b, d);
+  if (((d1 > 0 && d2 < 0) || (d1 < 0 && d2 > 0)) &&
+      ((d3 > 0 && d4 < 0) || (d3 < 0 && d4 > 0))) {
+    return true;
+  }
+  auto strictly_interior = [](const Point& u, const Point& v,
+                              const Point& p) {
+    if (p == u || p == v) return false;
+    return PointOnSegment(u, v, p, 0.0);
+  };
+  if (d1 == 0 && d2 == 0 && d3 == 0 && d4 == 0) {
+    const Point dir = b - a;
+    const double lo1 = std::min(a.Dot(dir), b.Dot(dir));
+    const double hi1 = std::max(a.Dot(dir), b.Dot(dir));
+    const double pc = c.Dot(dir);
+    const double pd = d.Dot(dir);
+    return std::max(lo1, std::min(pc, pd)) < std::min(hi1, std::max(pc, pd));
+  }
+  if (d1 == 0 && strictly_interior(c, d, a)) return true;
+  if (d2 == 0 && strictly_interior(c, d, b)) return true;
+  if (d3 == 0 && strictly_interior(a, b, c)) return true;
+  if (d4 == 0 && strictly_interior(a, b, d)) return true;
+  return false;
+}
+
+/// Last-resort triangulator: recursive splitting along exactly-validated
+/// diagonals. O(n^3) worst case, used only when ear clipping (plus the
+/// perturbation retries) fails on a weakly-simple ring; always correct
+/// when any valid diagonal exists.
+Status SplitTriangulate(const Ring& ring, std::vector<Triangle>* out) {
+  const std::size_t n = ring.size();
+  if (n < 3) return Status::OK();
+  if (n == 3) {
+    Triangle t{ring[0], ring[1], ring[2], -1};
+    if (t.DoubleSignedArea() != 0.0) out->push_back(t);
+    return Status::OK();
+  }
+
+  // Pinch split first: a vertex visited twice joins two lobes at a point;
+  // the correct decomposition cuts the ring at the repeated vertex (a
+  // zero-length "diagonal" the chord search below cannot express).
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (ring[i] != ring[j]) continue;
+      Ring lobe1(ring.begin() + i, ring.begin() + j);
+      Ring lobe2;
+      for (std::size_t k = j; k != i; k = (k + 1) % n) {
+        lobe2.push_back(ring[k]);
+      }
+      RJ_RETURN_NOT_OK(SplitTriangulate(lobe1, out));
+      RJ_RETURN_NOT_OK(SplitTriangulate(lobe2, out));
+      return Status::OK();
+    }
+  }
+
+  // Try diagonals from short chords to long ones (gap 2 = an ear).
+  for (std::size_t gap = 2; gap + 1 < n; ++gap) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t j = (i + gap) % n;
+      const Point& a = ring[i];
+      const Point& b = ring[j];
+      if (a == b) continue;
+      bool blocked = false;
+      for (std::size_t e = 0; e < n && !blocked; ++e) {
+        const std::size_t e2 = (e + 1) % n;
+        if (e == i || e2 == i || e == j || e2 == j) {
+          // Edges incident to the diagonal endpoints: only collinear
+          // overlap disqualifies (shared endpoints always touch).
+          if (Orient2D(a, b, ring[e]) == 0 && Orient2D(a, b, ring[e2]) == 0) {
+            blocked = DiagonalBlocked(a, b, ring[e], ring[e2]);
+          }
+          continue;
+        }
+        blocked = DiagonalBlocked(a, b, ring[e], ring[e2]);
+      }
+      if (blocked) continue;
+      // Midpoint must be interior (diagonal inside the polygon).
+      if (TestPointInRing(ring, (a + b) / 2.0) == PipResult::kOutside) {
+        continue;
+      }
+      // Split into [i..j] and [j..i] and recurse.
+      Ring left, right;
+      for (std::size_t k = i;; k = (k + 1) % n) {
+        left.push_back(ring[k]);
+        if (k == j) break;
+      }
+      for (std::size_t k = j;; k = (k + 1) % n) {
+        right.push_back(ring[k]);
+        if (k == i) break;
+      }
+      RJ_RETURN_NOT_OK(SplitTriangulate(left, out));
+      RJ_RETURN_NOT_OK(SplitTriangulate(right, out));
+      return Status::OK();
+    }
+  }
+  return Status::InvalidArgument(
+      "no valid diagonal found (ring is not weakly simple)");
+}
+
+}  // namespace
+
+Result<TriangleSoup> TriangulatePolygonSet(const PolygonSet& polys) {
+  TriangleSoup soup;
+  for (const Polygon& poly : polys) {
+    Ring ring;
+    if (poly.holes().empty()) {
+      ring = poly.outer();
+    } else {
+      RJ_ASSIGN_OR_RETURN(ring, BridgeHoles(poly));
+    }
+    Result<std::vector<Triangle>> tris = EarClipTriangulate(ring);
+    if (!tris.ok()) {
+      // Weakly-simple ring defeated the clipper — bridged rings share
+      // bridge anchors, and dissolved region outlines can pinch (visit a
+      // vertex twice). Retry with coincident vertices separated by a tiny
+      // perturbation.
+      for (const double delta : {1e-12, 1e-9, 1e-7}) {
+        tris = EarClipTriangulate(PerturbDuplicateVertices(ring, delta));
+        if (tris.ok()) break;
+      }
+    }
+    if (!tris.ok()) {
+      // Last resort: exact recursive diagonal splitting (always succeeds
+      // on weakly-simple input; O(n^3), rare).
+      std::vector<Triangle> split;
+      Ring ccw = ring;
+      if (!IsCounterClockwise(ccw)) ReverseRing(&ccw);
+      RJ_RETURN_NOT_OK(SplitTriangulate(ccw, &split));
+      tris = std::move(split);
+    }
+    for (Triangle& t : tris.value()) {
+      t.polygon_id = poly.id();
+      soup.push_back(t);
+    }
+  }
+  return soup;
+}
+
+double SoupArea(const TriangleSoup& soup) {
+  double area = 0.0;
+  for (const Triangle& t : soup) area += t.Area();
+  return area;
+}
+
+}  // namespace rj

@@ -1,0 +1,38 @@
+/// \file triangulation.h
+/// \brief Triangle soup produced by polygon triangulation.
+///
+/// Rendering polygons on the (simulated) GPU requires decomposing them into
+/// triangles first (§3 of the paper, "Triangulation"). Every triangle keeps
+/// the id of its source polygon so the fragment stage can accumulate into
+/// the right GROUP BY slot.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "geometry/point.h"
+#include "geometry/polygon.h"
+
+namespace rj {
+
+/// One triangle tagged with the id of the polygon it came from.
+struct Triangle {
+  Point a, b, c;
+  std::int64_t polygon_id = -1;
+
+  /// Twice the signed area (>0 when CCW).
+  double DoubleSignedArea() const { return Orient2D(a, b, c); }
+  double Area() const { return 0.5 * std::abs(DoubleSignedArea()); }
+};
+
+using TriangleSoup = std::vector<Triangle>;
+
+/// Triangulates every polygon in the set (ear clipping; holes bridged).
+/// Each triangle inherits its polygon's id. Fails on degenerate input.
+Result<TriangleSoup> TriangulatePolygonSet(const PolygonSet& polys);
+
+/// Total area of the soup (for area-preservation tests).
+double SoupArea(const TriangleSoup& soup);
+
+}  // namespace rj

@@ -1,0 +1,66 @@
+/// \file heatmap.h
+/// \brief Choropleth rendering of per-polygon aggregates to PPM images.
+///
+/// Used to reproduce Figure 6 of the paper (approximate vs accurate
+/// visualizations are perceptually indistinguishable) and by the Urbane-
+/// style example. Values are normalized and mapped through a sequential
+/// color map; the JND analysis in viz/jnd.h quantifies perceptibility.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "geometry/polygon.h"
+#include "triangulate/triangulation.h"
+
+namespace rj {
+
+/// 8-bit RGB color.
+struct Rgb {
+  std::uint8_t r = 0, g = 0, b = 0;
+};
+
+/// Sequential single-hue color map with `classes` perceivable classes
+/// (ColorBrewer-style; the paper cites a maximum of 9 usable classes).
+Rgb SequentialColor(double normalized, int classes = 9);
+
+/// A rasterized choropleth image.
+class HeatmapImage {
+ public:
+  HeatmapImage(std::int32_t width, std::int32_t height)
+      : width_(width), height_(height),
+        pixels_(static_cast<std::size_t>(width) * height) {}
+
+  std::int32_t width() const { return width_; }
+  std::int32_t height() const { return height_; }
+
+  Rgb& At(std::int32_t x, std::int32_t y) {
+    return pixels_[static_cast<std::size_t>(y) * width_ + x];
+  }
+  const Rgb& At(std::int32_t x, std::int32_t y) const {
+    return pixels_[static_cast<std::size_t>(y) * width_ + x];
+  }
+
+  /// Writes a binary PPM (P6). Rows are flipped so +y is up.
+  Status WritePpm(const std::string& path) const;
+
+ private:
+  std::int32_t width_;
+  std::int32_t height_;
+  std::vector<Rgb> pixels_;
+};
+
+/// Renders a choropleth: each polygon filled with the color of its
+/// normalized value (value / max over polygons). Background is white.
+Result<HeatmapImage> RenderChoropleth(const PolygonSet& polys,
+                                      const TriangleSoup& soup,
+                                      const std::vector<double>& values,
+                                      std::int32_t width, std::int32_t height,
+                                      int color_classes = 9);
+
+/// Normalizes values to [0, 1] by the max (NaN→0).
+std::vector<double> NormalizeValues(const std::vector<double>& values);
+
+}  // namespace rj

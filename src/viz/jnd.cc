@@ -1,0 +1,40 @@
+#include "viz/jnd.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rj {
+
+Result<JndReport> CompareForPerception(const std::vector<double>& approx,
+                                       const std::vector<double>& exact,
+                                       int classes) {
+  if (approx.size() != exact.size()) {
+    return Status::InvalidArgument("result vectors differ in size");
+  }
+  if (classes <= 0) {
+    return Status::InvalidArgument("classes must be positive");
+  }
+
+  double max_exact = 0.0;
+  for (const double v : exact) {
+    if (!std::isnan(v)) max_exact = std::max(max_exact, v);
+  }
+
+  JndReport report;
+  report.jnd = JndThreshold(classes);
+  if (max_exact <= 0.0) return report;
+
+  double sum_err = 0.0;
+  for (std::size_t i = 0; i < exact.size(); ++i) {
+    const double a = std::isnan(approx[i]) ? 0.0 : approx[i];
+    const double e = std::isnan(exact[i]) ? 0.0 : exact[i];
+    const double err = std::fabs(a - e) / max_exact;
+    report.max_normalized_error = std::max(report.max_normalized_error, err);
+    sum_err += err;
+    if (err >= report.jnd) ++report.perceivable_count;
+  }
+  report.mean_normalized_error = sum_err / static_cast<double>(exact.size());
+  return report;
+}
+
+}  // namespace rj

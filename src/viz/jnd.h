@@ -1,0 +1,35 @@
+/// \file jnd.h
+/// \brief Just-noticeable-difference analysis (§7.6 "Effect on
+/// Visualizations").
+///
+/// The paper argues approximate and accurate choropleths are perceptually
+/// identical: a sequential color map has at most 9 perceivable classes, so
+/// JND = 1/9 in normalized value, and the bounded join's maximum
+/// normalized error (< 0.002 at ε = 20 m) is far below it. These helpers
+/// compute that comparison for any pair of result vectors.
+#pragma once
+
+#include <vector>
+
+#include "common/status.h"
+
+namespace rj {
+
+/// JND threshold for a sequential map with `classes` perceivable classes.
+inline double JndThreshold(int classes = 9) { return 1.0 / classes; }
+
+struct JndReport {
+  double max_normalized_error = 0.0;   ///< max |approx - exact| / max(exact)
+  double mean_normalized_error = 0.0;
+  double jnd = 1.0 / 9.0;
+  /// Polygons whose color class could differ (error ≥ JND).
+  std::size_t perceivable_count = 0;
+  bool Indistinguishable() const { return perceivable_count == 0; }
+};
+
+/// Compares approximate vs exact per-polygon values under the JND model.
+Result<JndReport> CompareForPerception(const std::vector<double>& approx,
+                                       const std::vector<double>& exact,
+                                       int classes = 9);
+
+}  // namespace rj

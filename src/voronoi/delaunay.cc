@@ -1,0 +1,148 @@
+#include "voronoi/delaunay.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "common/math_utils.h"
+
+namespace rj {
+
+namespace {
+
+/// Returns > 0 if p lies strictly inside the circumcircle of CCW (a, b, c).
+double InCircle(const Point& a, const Point& b, const Point& c,
+                const Point& p) {
+  const double ax = a.x - p.x, ay = a.y - p.y;
+  const double bx = b.x - p.x, by = b.y - p.y;
+  const double cx = c.x - p.x, cy = c.y - p.y;
+  const double a2 = ax * ax + ay * ay;
+  const double b2 = bx * bx + by * by;
+  const double c2 = cx * cx + cy * cy;
+  return ax * (by * c2 - b2 * cy) - ay * (bx * c2 - b2 * cx) +
+         a2 * (bx * cy - by * cx);
+}
+
+struct Tri {
+  std::int32_t v[3];
+  bool alive = true;
+};
+
+}  // namespace
+
+Point DelaunayTriangulation::Circumcenter(const DelaunayTriangle& t) const {
+  const Point& a = sites[t.v[0]];
+  const Point& b = sites[t.v[1]];
+  const Point& c = sites[t.v[2]];
+  const double d = 2.0 * ((b - a).Cross(c - a));
+  if (d == 0.0) return (a + b + c) / 3.0;  // degenerate; fall back
+  const double a2 = a.NormSquared();
+  const double b2 = b.NormSquared();
+  const double c2 = c.NormSquared();
+  const double ux = (a2 * (b.y - c.y) + b2 * (c.y - a.y) + c2 * (a.y - b.y)) / d;
+  const double uy = (a2 * (c.x - b.x) + b2 * (a.x - c.x) + c2 * (b.x - a.x)) / d;
+  return {ux, uy};
+}
+
+Result<DelaunayTriangulation> ComputeDelaunay(std::vector<Point> sites) {
+  const std::size_t n = sites.size();
+  if (n < 3) {
+    return Status::InvalidArgument("Delaunay needs at least 3 sites");
+  }
+  {
+    std::set<std::pair<double, double>> seen;
+    for (const Point& p : sites) {
+      if (!seen.insert({p.x, p.y}).second) {
+        return Status::InvalidArgument("duplicate sites in Delaunay input");
+      }
+    }
+  }
+
+  // Super-triangle enclosing all sites with a wide margin.
+  BBox box;
+  for (const Point& p : sites) box.Expand(p);
+  const double span = std::max(box.Width(), box.Height()) * 16.0 + 1.0;
+  const Point mid = box.Center();
+  const std::int32_t s0 = static_cast<std::int32_t>(n);
+  const std::int32_t s1 = s0 + 1;
+  const std::int32_t s2 = s0 + 2;
+  std::vector<Point> pts = sites;
+  pts.push_back({mid.x - 2.0 * span, mid.y - span});
+  pts.push_back({mid.x + 2.0 * span, mid.y - span});
+  pts.push_back({mid.x, mid.y + 2.0 * span});
+
+  // Insertion order sorted by Morton-ish locality (simple x+y sweep keeps
+  // cavity sizes small on random input).
+  std::vector<std::int32_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = static_cast<std::int32_t>(i);
+  std::sort(order.begin(), order.end(), [&pts](std::int32_t i, std::int32_t j) {
+    return pts[i].x + pts[i].y < pts[j].x + pts[j].y;
+  });
+
+  std::vector<Tri> tris;
+  tris.push_back({{s0, s1, s2}, true});
+
+  std::vector<std::size_t> bad;
+  // Boundary edges of the cavity: edge -> count (edges shared by two bad
+  // triangles are interior and get removed).
+  std::map<std::pair<std::int32_t, std::int32_t>, int> edge_count;
+
+  for (const std::int32_t site : order) {
+    const Point& p = pts[site];
+    bad.clear();
+    edge_count.clear();
+
+    for (std::size_t t = 0; t < tris.size(); ++t) {
+      if (!tris[t].alive) continue;
+      const Point& a = pts[tris[t].v[0]];
+      const Point& b = pts[tris[t].v[1]];
+      const Point& c = pts[tris[t].v[2]];
+      if (InCircle(a, b, c, p) > 0) {
+        bad.push_back(t);
+        for (int e = 0; e < 3; ++e) {
+          std::int32_t u = tris[t].v[e];
+          std::int32_t w = tris[t].v[(e + 1) % 3];
+          auto key = std::minmax(u, w);
+          edge_count[{key.first, key.second}]++;
+        }
+      }
+    }
+    if (bad.empty()) {
+      // Numerically on an edge of everything; nudge is not acceptable for a
+      // library, so treat as internal error — in practice unreachable with
+      // the super-triangle margin used.
+      return Status::Internal("Bowyer-Watson found no containing cavity");
+    }
+
+    // Collect directed boundary edges (appear exactly once), preserving
+    // their orientation from the bad triangle so new triangles stay CCW.
+    std::vector<std::pair<std::int32_t, std::int32_t>> boundary;
+    for (std::size_t t_idx : bad) {
+      const Tri& t = tris[t_idx];
+      for (int e = 0; e < 3; ++e) {
+        std::int32_t u = t.v[e];
+        std::int32_t w = t.v[(e + 1) % 3];
+        auto key = std::minmax(u, w);
+        if (edge_count[{key.first, key.second}] == 1) {
+          boundary.push_back({u, w});
+        }
+      }
+      tris[t_idx].alive = false;
+    }
+    for (const auto& [u, w] : boundary) {
+      tris.push_back({{u, w, site}, true});
+    }
+  }
+
+  DelaunayTriangulation out;
+  out.sites = std::move(sites);
+  for (const Tri& t : tris) {
+    if (!t.alive) continue;
+    if (t.v[0] >= s0 || t.v[1] >= s0 || t.v[2] >= s0) continue;  // super-tri
+    out.triangles.push_back({{t.v[0], t.v[1], t.v[2]}});
+  }
+  return out;
+}
+
+}  // namespace rj

@@ -1,0 +1,38 @@
+/// \file delaunay.h
+/// \brief Bowyer–Watson Delaunay triangulation of a point set.
+///
+/// Substrate for the Voronoi diagram used by (a) the §7.4 synthetic polygon
+/// generator (Voronoi cells merged into concave regions) and (b) the
+/// restricted-Voronoi urban-planning example from the paper's introduction.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "geometry/bbox.h"
+#include "geometry/point.h"
+
+namespace rj {
+
+/// A Delaunay triangle referencing input sites by index.
+struct DelaunayTriangle {
+  std::array<std::int32_t, 3> v;  ///< site indices, CCW
+};
+
+/// Result of a Delaunay run: triangles over the input sites.
+struct DelaunayTriangulation {
+  std::vector<Point> sites;
+  std::vector<DelaunayTriangle> triangles;
+
+  /// Circumcenter of triangle t (Voronoi vertex in the dual).
+  Point Circumcenter(const DelaunayTriangle& t) const;
+};
+
+/// Computes the Delaunay triangulation with the incremental Bowyer–Watson
+/// algorithm (O(n^2) worst case, ~O(n log n) on random input with the
+/// locality-sorted insertion used here). Duplicate sites are rejected.
+Result<DelaunayTriangulation> ComputeDelaunay(std::vector<Point> sites);
+
+}  // namespace rj

@@ -1,0 +1,32 @@
+#include "voronoi/restricted_voronoi.h"
+
+namespace rj {
+
+Result<std::vector<CoverageRegion>> ComputeRestrictedVoronoi(
+    const std::vector<Point>& resources, const Polygon& region) {
+  if (!region.holes().empty()) {
+    return Status::NotImplemented(
+        "restricted Voronoi over regions with holes");
+  }
+  RJ_ASSIGN_OR_RETURN(
+      VoronoiDiagram vd,
+      ComputeVoronoi(resources, region.bbox().Inflated(1.0)));
+
+  std::vector<CoverageRegion> out;
+  for (std::size_t i = 0; i < vd.cells.size(); ++i) {
+    if (vd.cells[i].size() < 3) continue;
+    // Voronoi cells are convex: clip the (possibly concave) region against
+    // the cell.
+    Ring piece = ClipRingToConvex(region.outer(), vd.cells[i]);
+    if (piece.size() < 3 || SignedArea(piece) == 0.0) continue;
+    CoverageRegion cr;
+    cr.resource = static_cast<std::int32_t>(i);
+    cr.region = Polygon(std::move(piece));
+    cr.region.set_id(static_cast<std::int64_t>(i));
+    RJ_RETURN_NOT_OK(cr.region.Normalize());
+    out.push_back(std::move(cr));
+  }
+  return out;
+}
+
+}  // namespace rj

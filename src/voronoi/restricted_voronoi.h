@@ -1,0 +1,30 @@
+/// \file restricted_voronoi.h
+/// \brief Voronoi cells restricted to a polygonal region.
+///
+/// The paper's second motivating application (interactive urban planning)
+/// computes resource coverage by intersecting each resource's Voronoi cell
+/// with the city region, then aggregating urban data over those pieces.
+/// This module provides that substrate; examples/urban_planning.cc uses it.
+#pragma once
+
+#include <vector>
+
+#include "common/status.h"
+#include "geometry/polygon.h"
+#include "voronoi/voronoi.h"
+
+namespace rj {
+
+/// One resource's coverage region: its Voronoi cell ∩ the city region.
+struct CoverageRegion {
+  std::int32_t resource = -1;  ///< index into the input resource list
+  Polygon region;              ///< id == resource index
+};
+
+/// Computes the restricted Voronoi diagram of `resources` over `region`
+/// (a simple polygon without holes). Cells with empty intersection are
+/// omitted.
+Result<std::vector<CoverageRegion>> ComputeRestrictedVoronoi(
+    const std::vector<Point>& resources, const Polygon& region);
+
+}  // namespace rj

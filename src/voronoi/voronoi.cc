@@ -1,0 +1,113 @@
+#include "voronoi/voronoi.h"
+
+#include <algorithm>
+#include <set>
+
+namespace rj {
+
+namespace {
+
+/// Clips a convex ring by the half-plane { p : dot(p - a, n) <= 0 } where
+/// n = b - a rotated; concretely keeps points on the `keep` side of the
+/// perpendicular bisector between `site` and `other`.
+Ring ClipByBisector(const Ring& ring, const Point& site, const Point& other) {
+  // Half-plane: points closer to `site` than to `other`.
+  // dot(p, d) <= c where d = other - site, c = dot(midpoint, d).
+  const Point d = other - site;
+  const Point mid = (site + other) / 2.0;
+  const double c = mid.Dot(d);
+
+  Ring out;
+  const std::size_t n = ring.size();
+  if (n == 0) return out;
+  out.reserve(n + 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Point& cur = ring[i];
+    const Point& prev = ring[(i + n - 1) % n];
+    const double fc = cur.Dot(d) - c;
+    const double fp = prev.Dot(d) - c;
+    const bool cur_in = fc <= 0;
+    const bool prev_in = fp <= 0;
+    if (cur_in != prev_in) {
+      const double t = fp / (fp - fc);
+      out.push_back(prev + (cur - prev) * t);
+    }
+    if (cur_in) out.push_back(cur);
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<VoronoiDiagram> ComputeVoronoi(std::vector<Point> sites,
+                                      const BBox& domain) {
+  RJ_ASSIGN_OR_RETURN(DelaunayTriangulation dt, ComputeDelaunay(sites));
+
+  const std::size_t n = dt.sites.size();
+  std::vector<std::set<std::int32_t>> nbr_sets(n);
+  for (const DelaunayTriangle& t : dt.triangles) {
+    for (int e = 0; e < 3; ++e) {
+      const std::int32_t u = t.v[e];
+      const std::int32_t w = t.v[(e + 1) % 3];
+      nbr_sets[u].insert(w);
+      nbr_sets[w].insert(u);
+    }
+  }
+
+  VoronoiDiagram out;
+  out.sites = dt.sites;
+  out.cells.resize(n);
+  out.neighbors.resize(n);
+
+  const Ring domain_ring = {{domain.min_x, domain.min_y},
+                            {domain.max_x, domain.min_y},
+                            {domain.max_x, domain.max_y},
+                            {domain.min_x, domain.max_y}};
+
+  for (std::size_t i = 0; i < n; ++i) {
+    Ring cell = domain_ring;
+    for (const std::int32_t j : nbr_sets[i]) {
+      cell = ClipByBisector(cell, out.sites[i], out.sites[j]);
+      if (cell.empty()) break;
+    }
+    out.cells[i] = std::move(cell);
+    out.neighbors[i].assign(nbr_sets[i].begin(), nbr_sets[i].end());
+  }
+
+  // Sites whose Delaunay star was lost to degeneracy (collinear clusters)
+  // may produce empty cells; keep them empty rather than failing — callers
+  // (the region generator) skip empty cells.
+  return out;
+}
+
+Ring ClipRingToConvex(const Ring& subject, const Ring& clip) {
+  Ring output = subject;
+  const std::size_t m = clip.size();
+  // Ensure CCW clip ring so "inside" is to the left of each edge.
+  Ring clip_ccw = clip;
+  if (!IsCounterClockwise(clip_ccw)) ReverseRing(&clip_ccw);
+
+  for (std::size_t e = 0; e < m && !output.empty(); ++e) {
+    const Point& ca = clip_ccw[e];
+    const Point& cb = clip_ccw[(e + 1) % m];
+    Ring input = std::move(output);
+    output.clear();
+    const std::size_t n = input.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      const Point& cur = input[i];
+      const Point& prev = input[(i + n - 1) % n];
+      const double fc = Orient2D(ca, cb, cur);
+      const double fp = Orient2D(ca, cb, prev);
+      const bool cur_in = fc >= 0;
+      const bool prev_in = fp >= 0;
+      if (cur_in != prev_in) {
+        const double t = fp / (fp - fc);
+        output.push_back(prev + (cur - prev) * t);
+      }
+      if (cur_in) output.push_back(cur);
+    }
+  }
+  return output;
+}
+
+}  // namespace rj

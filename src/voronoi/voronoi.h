@@ -1,0 +1,37 @@
+/// \file voronoi.h
+/// \brief Clipped Voronoi diagrams derived from the Delaunay dual.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "geometry/bbox.h"
+#include "geometry/polygon.h"
+#include "voronoi/delaunay.h"
+
+namespace rj {
+
+/// A Voronoi diagram clipped to a rectangular domain.
+struct VoronoiDiagram {
+  std::vector<Point> sites;
+  /// cells[i] is the (convex) Voronoi cell of sites[i] clipped to the domain.
+  std::vector<Ring> cells;
+  /// neighbors[i] lists site indices Delaunay-adjacent to i (candidates for
+  /// the merge step of the §7.4 polygon generator).
+  std::vector<std::vector<std::int32_t>> neighbors;
+};
+
+/// Computes the Voronoi diagram of `sites` clipped to `domain`.
+///
+/// Each cell is built as the intersection of the domain rectangle with the
+/// bisector half-planes of the site's Delaunay neighbors — exactly the
+/// Voronoi cell, in near-linear total time for well-distributed sites.
+Result<VoronoiDiagram> ComputeVoronoi(std::vector<Point> sites,
+                                      const BBox& domain);
+
+/// Clips `subject` (any simple ring) against the convex ring `clip`
+/// (generalized Sutherland–Hodgman). Used by restricted Voronoi.
+Ring ClipRingToConvex(const Ring& subject, const Ring& clip);
+
+}  // namespace rj

@@ -1,0 +1,95 @@
+#include "agg/aggregate.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace rj {
+namespace {
+
+raster::ResultArrays MakeArrays() {
+  raster::ResultArrays a(3);
+  a.count = {4, 0, 2};
+  a.sum = {40, 0, 7};
+  a.min = {3, std::numeric_limits<double>::infinity(), 2};
+  a.max = {15, -std::numeric_limits<double>::infinity(), 5};
+  return a;
+}
+
+TEST(AggregateTest, Names) {
+  EXPECT_EQ(AggregateKindName(AggregateKind::kCount), "COUNT");
+  EXPECT_EQ(AggregateKindName(AggregateKind::kSum), "SUM");
+  EXPECT_EQ(AggregateKindName(AggregateKind::kAverage), "AVG");
+  EXPECT_EQ(AggregateKindName(AggregateKind::kMin), "MIN");
+  EXPECT_EQ(AggregateKindName(AggregateKind::kMax), "MAX");
+}
+
+TEST(AggregateTest, DistributiveClassification) {
+  EXPECT_TRUE(IsDistributive(AggregateKind::kCount));
+  EXPECT_TRUE(IsDistributive(AggregateKind::kSum));
+  EXPECT_TRUE(IsDistributive(AggregateKind::kMin));
+  EXPECT_TRUE(IsDistributive(AggregateKind::kMax));
+  EXPECT_FALSE(IsDistributive(AggregateKind::kAverage));  // algebraic
+}
+
+TEST(AggregateTest, FinalizeCount) {
+  const auto v = FinalizeAggregate(AggregateKind::kCount, MakeArrays());
+  EXPECT_DOUBLE_EQ(v[0], 4.0);
+  EXPECT_DOUBLE_EQ(v[1], 0.0);
+  EXPECT_DOUBLE_EQ(v[2], 2.0);
+}
+
+TEST(AggregateTest, FinalizeSum) {
+  const auto v = FinalizeAggregate(AggregateKind::kSum, MakeArrays());
+  EXPECT_DOUBLE_EQ(v[0], 40.0);
+  EXPECT_DOUBLE_EQ(v[2], 7.0);
+}
+
+TEST(AggregateTest, FinalizeAverageIsSumOverCount) {
+  const auto v = FinalizeAggregate(AggregateKind::kAverage, MakeArrays());
+  EXPECT_DOUBLE_EQ(v[0], 10.0);
+  EXPECT_TRUE(std::isnan(v[1]));  // empty group
+  EXPECT_DOUBLE_EQ(v[2], 3.5);
+}
+
+TEST(AggregateTest, FinalizeMinMax) {
+  const auto mn = FinalizeAggregate(AggregateKind::kMin, MakeArrays());
+  const auto mx = FinalizeAggregate(AggregateKind::kMax, MakeArrays());
+  EXPECT_DOUBLE_EQ(mn[0], 3.0);
+  EXPECT_TRUE(std::isnan(mn[1]));
+  EXPECT_DOUBLE_EQ(mx[0], 15.0);
+  EXPECT_DOUBLE_EQ(mx[2], 5.0);
+}
+
+TEST(AggregateTest, MergeIsDistributive) {
+  // Splitting the input into parts and merging must equal the whole —
+  // the identity that out-of-core batching relies on (§5).
+  raster::ResultArrays part1(2), part2(2);
+  part1.count = {2, 1};
+  part1.sum = {10, 5};
+  part1.min = {4, 5};
+  part1.max = {6, 5};
+  part2.count = {3, 0};
+  part2.sum = {30, 0};
+  part2.min = {1, std::numeric_limits<double>::infinity()};
+  part2.max = {20, -std::numeric_limits<double>::infinity()};
+
+  const raster::ResultArrays merged = MergeResults({part1, part2});
+  EXPECT_DOUBLE_EQ(merged.count[0], 5.0);
+  EXPECT_DOUBLE_EQ(merged.sum[0], 40.0);
+  EXPECT_DOUBLE_EQ(merged.min[0], 1.0);
+  EXPECT_DOUBLE_EQ(merged.max[0], 20.0);
+  EXPECT_DOUBLE_EQ(merged.count[1], 1.0);
+
+  // AVG finalized after merge equals AVG over the union.
+  const auto avg = FinalizeAggregate(AggregateKind::kAverage, merged);
+  EXPECT_DOUBLE_EQ(avg[0], 8.0);
+}
+
+TEST(AggregateTest, MergeEmptyListYieldsEmpty) {
+  EXPECT_EQ(MergeResults({}).count.size(), 0u);
+}
+
+}  // namespace
+}  // namespace rj

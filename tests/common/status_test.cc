@@ -1,0 +1,86 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace rj {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryConstructorsCarryCodeAndMessage) {
+  EXPECT_EQ(Status::InvalidArgument("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::CapacityError("x").code(), StatusCode::kCapacityError);
+  EXPECT_EQ(Status::IOError("x").code(), StatusCode::kIOError);
+  EXPECT_EQ(Status::NotImplemented("x").code(), StatusCode::kNotImplemented);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::InvalidArgument("bad input").message(), "bad input");
+}
+
+TEST(StatusTest, ToStringIncludesCodeName) {
+  EXPECT_EQ(Status::IOError("disk gone").ToString(), "IOError: disk gone");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::IOError("a"), Status::IOError("a"));
+  EXPECT_FALSE(Status::IOError("a") == Status::IOError("b"));
+  EXPECT_FALSE(Status::IOError("a") == Status::Internal("a"));
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::InvalidArgument("nope"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ResultTest, MoveValueUnsafeMovesOut) {
+  Result<std::string> r(std::string("payload"));
+  std::string v = std::move(r).MoveValueUnsafe();
+  EXPECT_EQ(v, "payload");
+}
+
+namespace {
+Status FailingOperation() { return Status::IOError("inner"); }
+Status Propagates() {
+  RJ_RETURN_NOT_OK(FailingOperation());
+  return Status::OK();
+}
+Result<int> InnerResult(bool ok) {
+  if (ok) return 7;
+  return Status::OutOfRange("no value");
+}
+Status UsesAssignOrReturn(bool ok, int* out) {
+  RJ_ASSIGN_OR_RETURN(*out, InnerResult(ok));
+  return Status::OK();
+}
+}  // namespace
+
+TEST(StatusMacroTest, ReturnNotOkPropagates) {
+  EXPECT_EQ(Propagates().code(), StatusCode::kIOError);
+}
+
+TEST(StatusMacroTest, AssignOrReturnAssignsOnSuccess) {
+  int out = 0;
+  ASSERT_TRUE(UsesAssignOrReturn(true, &out).ok());
+  EXPECT_EQ(out, 7);
+}
+
+TEST(StatusMacroTest, AssignOrReturnPropagatesOnError) {
+  int out = 0;
+  EXPECT_EQ(UsesAssignOrReturn(false, &out).code(), StatusCode::kOutOfRange);
+}
+
+}  // namespace
+}  // namespace rj

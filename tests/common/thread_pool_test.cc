@@ -1,0 +1,81 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace rj {
+namespace {
+
+TEST(ThreadPoolTest, ExecutesSubmittedTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) pool.Submit([&count] { ++count; });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitWithNoTasksReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.Wait();  // must not deadlock
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, SingleWorkerPoolRunsParallelForInline) {
+  ThreadPool pool(1);
+  std::vector<int> hits(10, 0);
+  pool.ParallelFor(10, [&](std::size_t begin, std::size_t end, std::size_t) {
+    for (std::size_t i = begin; i < end; ++i) hits[i]++;
+  });
+  for (const int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  const std::size_t n = 10000;
+  std::vector<std::atomic<int>> hits(n);
+  pool.ParallelFor(n, [&](std::size_t begin, std::size_t end, std::size_t) {
+    for (std::size_t i = begin; i < end; ++i) hits[i]++;
+  });
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForZeroElementsIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.ParallelFor(0, [&](std::size_t, std::size_t, std::size_t) {
+    called = true;
+  });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPoolTest, WorkerIndexWithinBounds) {
+  ThreadPool pool(3);
+  std::atomic<bool> in_bounds{true};
+  pool.ParallelFor(100, [&](std::size_t, std::size_t, std::size_t worker) {
+    if (worker >= pool.num_threads()) in_bounds = false;
+  });
+  EXPECT_TRUE(in_bounds.load());
+}
+
+TEST(ThreadPoolTest, DefaultPoolIsSingleton) {
+  EXPECT_EQ(&ThreadPool::Default(), &ThreadPool::Default());
+  EXPECT_GE(ThreadPool::Default().num_threads(), 1u);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossBarriers) {
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  for (int round = 0; round < 5; ++round) {
+    pool.ParallelFor(100, [&](std::size_t begin, std::size_t end,
+                              std::size_t) {
+      total += static_cast<int>(end - begin);
+    });
+  }
+  EXPECT_EQ(total.load(), 500);
+}
+
+}  // namespace
+}  // namespace rj

@@ -1,0 +1,63 @@
+#include "common/timer.h"
+
+#include <gtest/gtest.h>
+
+namespace rj {
+namespace {
+
+TEST(TimerTest, ElapsedIsNonNegativeAndMonotonic) {
+  Timer t;
+  const double a = t.ElapsedSeconds();
+  const double b = t.ElapsedSeconds();
+  EXPECT_GE(a, 0.0);
+  EXPECT_GE(b, a);
+}
+
+TEST(TimerTest, RestartResets) {
+  Timer t;
+  volatile double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink += i;
+  t.Restart();
+  EXPECT_LT(t.ElapsedSeconds(), 1.0);
+}
+
+TEST(PhaseTimerTest, AccumulatesNamedPhases) {
+  PhaseTimer pt;
+  pt.Add("transfer", 0.5);
+  pt.Add("transfer", 0.25);
+  pt.Add("processing", 1.0);
+  EXPECT_DOUBLE_EQ(pt.Get("transfer"), 0.75);
+  EXPECT_DOUBLE_EQ(pt.Get("processing"), 1.0);
+  EXPECT_DOUBLE_EQ(pt.Get("missing"), 0.0);
+  EXPECT_DOUBLE_EQ(pt.Total(), 1.75);
+}
+
+TEST(PhaseTimerTest, ClearEmpties) {
+  PhaseTimer pt;
+  pt.Add("a", 1.0);
+  pt.Clear();
+  EXPECT_DOUBLE_EQ(pt.Total(), 0.0);
+  EXPECT_TRUE(pt.phases().empty());
+}
+
+TEST(PhaseTimerTest, ToStringListsPhases) {
+  PhaseTimer pt;
+  pt.Add("alpha", 0.001);
+  pt.Add("beta", 0.002);
+  const std::string s = pt.ToString();
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("beta"), std::string::npos);
+}
+
+TEST(ScopedPhaseTest, AddsElapsedOnDestruction) {
+  PhaseTimer pt;
+  {
+    ScopedPhase sp(&pt, "scope");
+    volatile double sink = 0;
+    for (int i = 0; i < 10000; ++i) sink += i;
+  }
+  EXPECT_GT(pt.Get("scope"), 0.0);
+}
+
+}  // namespace
+}  // namespace rj

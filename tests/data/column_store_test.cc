@@ -1,0 +1,135 @@
+#include "data/column_store.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "common/rng.h"
+
+namespace rj {
+namespace {
+
+class ColumnStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/colstore_test.rjc";
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  PointTable MakeTable(std::size_t n) {
+    Rng rng(808);
+    PointTable t;
+    t.AddAttribute("fare");
+    t.AddAttribute("hour");
+    for (std::size_t i = 0; i < n; ++i) {
+      t.Append(rng.Uniform(0, 100), rng.Uniform(0, 100),
+               {static_cast<float>(rng.Uniform(0, 50)),
+                static_cast<float>(rng.UniformInt(24))});
+    }
+    return t;
+  }
+
+  std::string path_;
+};
+
+TEST_F(ColumnStoreTest, RoundTripWholeTable) {
+  const PointTable original = MakeTable(1000);
+  ASSERT_TRUE(WriteColumnStore(path_, original).ok());
+  auto loaded = ReadColumnStore(path_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded.value().size(), 1000u);
+  ASSERT_EQ(loaded.value().num_attributes(), 2u);
+  for (std::size_t i = 0; i < 1000; ++i) {
+    EXPECT_EQ(loaded.value().At(i), original.At(i));
+    EXPECT_EQ(loaded.value().attribute(0)[i], original.attribute(0)[i]);
+    EXPECT_EQ(loaded.value().attribute(1)[i], original.attribute(1)[i]);
+  }
+  EXPECT_EQ(loaded.value().attribute_name(1), "hour");
+}
+
+TEST_F(ColumnStoreTest, StreamingBatchesCoverAllRowsInOrder) {
+  const PointTable original = MakeTable(1234);
+  ASSERT_TRUE(WriteColumnStore(path_, original).ok());
+  auto reader = ColumnStoreReader::Open(path_, {0, 1});
+  ASSERT_TRUE(reader.ok());
+  PointTable batch;
+  std::size_t row = 0;
+  for (;;) {
+    auto n = reader.value().NextBatch(100, &batch);
+    ASSERT_TRUE(n.ok());
+    if (n.value() == 0) break;
+    for (std::size_t i = 0; i < n.value(); ++i, ++row) {
+      EXPECT_EQ(batch.At(i), original.At(row));
+      EXPECT_EQ(batch.attribute(0)[i], original.attribute(0)[i + row - i]);
+    }
+  }
+  EXPECT_EQ(row, 1234u);
+}
+
+TEST_F(ColumnStoreTest, ColumnProjection) {
+  const PointTable original = MakeTable(50);
+  ASSERT_TRUE(WriteColumnStore(path_, original).ok());
+  auto reader = ColumnStoreReader::Open(path_, {1});  // only "hour"
+  ASSERT_TRUE(reader.ok());
+  PointTable batch;
+  auto n = reader.value().NextBatch(50, &batch);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(batch.num_attributes(), 1u);
+  EXPECT_EQ(batch.attribute_name(0), "hour");
+  for (std::size_t i = 0; i < 50; ++i) {
+    EXPECT_EQ(batch.attribute(0)[i], original.attribute(1)[i]);
+  }
+}
+
+TEST_F(ColumnStoreTest, ResetRewinds) {
+  ASSERT_TRUE(WriteColumnStore(path_, MakeTable(20)).ok());
+  auto reader = ColumnStoreReader::Open(path_, {});
+  ASSERT_TRUE(reader.ok());
+  PointTable b1, b2;
+  ASSERT_TRUE(reader.value().NextBatch(20, &b1).ok());
+  ASSERT_TRUE(reader.value().Reset().ok());
+  ASSERT_TRUE(reader.value().NextBatch(20, &b2).ok());
+  ASSERT_EQ(b1.size(), b2.size());
+  for (std::size_t i = 0; i < b1.size(); ++i) EXPECT_EQ(b1.At(i), b2.At(i));
+}
+
+TEST_F(ColumnStoreTest, BytesReadMetered) {
+  ASSERT_TRUE(WriteColumnStore(path_, MakeTable(100)).ok());
+  auto reader = ColumnStoreReader::Open(path_, {0});
+  ASSERT_TRUE(reader.ok());
+  PointTable batch;
+  ASSERT_TRUE(reader.value().NextBatch(100, &batch).ok());
+  // 100 rows × (2 × 8 B locations + 4 B attr) = 2000 B.
+  EXPECT_EQ(reader.value().bytes_read(), 100u * (16 + 4));
+}
+
+TEST_F(ColumnStoreTest, OpenRejectsGarbage) {
+  {
+    std::ofstream out(path_, std::ios::binary);
+    out << "this is not a column store";
+  }
+  EXPECT_FALSE(ColumnStoreReader::Open(path_, {}).ok());
+}
+
+TEST_F(ColumnStoreTest, OpenRejectsMissingFile) {
+  EXPECT_FALSE(ColumnStoreReader::Open("/nonexistent/nope.rjc", {}).ok());
+}
+
+TEST_F(ColumnStoreTest, OpenRejectsBadColumnIndex) {
+  ASSERT_TRUE(WriteColumnStore(path_, MakeTable(5)).ok());
+  EXPECT_FALSE(ColumnStoreReader::Open(path_, {7}).ok());
+}
+
+TEST_F(ColumnStoreTest, EmptyTableRoundTrips) {
+  PointTable empty;
+  empty.AddAttribute("x");
+  ASSERT_TRUE(WriteColumnStore(path_, empty).ok());
+  auto loaded = ReadColumnStore(path_);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().size(), 0u);
+  EXPECT_EQ(loaded.value().num_attributes(), 1u);
+}
+
+}  // namespace
+}  // namespace rj

@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/datasets.h"
+#include "data/region_generator.h"
+#include "data/taxi_generator.h"
+#include "data/twitter_generator.h"
+#include "join/join_common.h"
+
+namespace rj {
+namespace {
+
+TEST(TaxiGeneratorTest, DeterministicForSameSeed) {
+  const PointTable a = GenerateTaxiPoints(100);
+  const PointTable b = GenerateTaxiPoints(100);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.At(i), b.At(i));
+    EXPECT_EQ(a.attribute(kTaxiFare)[i], b.attribute(kTaxiFare)[i]);
+  }
+}
+
+TEST(TaxiGeneratorTest, PointsWithinExtent) {
+  const PointTable t = GenerateTaxiPoints(5000);
+  const BBox extent = NycExtentMeters();
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    EXPECT_TRUE(extent.Contains(t.At(i))) << i;
+  }
+}
+
+TEST(TaxiGeneratorTest, SchemaHasFiveAttributes) {
+  const PointTable t = GenerateTaxiPoints(10);
+  EXPECT_EQ(t.num_attributes(), 5u);
+  EXPECT_EQ(t.FindAttribute("fare"), static_cast<std::size_t>(kTaxiFare));
+  EXPECT_EQ(t.FindAttribute("hour"), static_cast<std::size_t>(kTaxiHour));
+}
+
+TEST(TaxiGeneratorTest, DataIsSpatiallySkewed) {
+  // Hot spots concentrate points: the densest 10% of a coarse grid should
+  // hold far more than 10% of the data (paper: trips cluster in Manhattan
+  // and airports).
+  const PointTable t = GenerateTaxiPoints(50000);
+  const BBox extent = NycExtentMeters();
+  constexpr int kGrid = 20;
+  std::vector<std::size_t> cells(kGrid * kGrid, 0);
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    const int cx = std::min(kGrid - 1, static_cast<int>(
+        (t.xs()[i] - extent.min_x) / extent.Width() * kGrid));
+    const int cy = std::min(kGrid - 1, static_cast<int>(
+        (t.ys()[i] - extent.min_y) / extent.Height() * kGrid));
+    cells[cy * kGrid + cx]++;
+  }
+  std::sort(cells.begin(), cells.end(), std::greater<>());
+  std::size_t top10 = 0;
+  for (int i = 0; i < kGrid * kGrid / 10; ++i) top10 += cells[i];
+  EXPECT_GT(static_cast<double>(top10) / t.size(), 0.5);
+}
+
+TEST(TaxiGeneratorTest, AttributeMarginalsPlausible) {
+  const PointTable t = GenerateTaxiPoints(20000);
+  double fare_sum = 0.0;
+  float hour_max = 0.0f;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    const float fare = t.attribute(kTaxiFare)[i];
+    EXPECT_GT(fare, 0.0f);
+    fare_sum += fare;
+    hour_max = std::max(hour_max, t.attribute(kTaxiHour)[i]);
+    EXPECT_GE(t.attribute(kTaxiPassengers)[i], 1.0f);
+    EXPECT_LE(t.attribute(kTaxiPassengers)[i], 5.0f);
+  }
+  EXPECT_GT(fare_sum / t.size(), 5.0);
+  EXPECT_LT(fare_sum / t.size(), 30.0);
+  EXPECT_LE(hour_max, 23.0f);
+}
+
+TEST(TwitterGeneratorTest, PointsWithinExtentAndSkewed) {
+  const PointTable t = GenerateTwitterPoints(30000);
+  const BBox extent = UsExtentMeters();
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    ASSERT_TRUE(extent.Contains(t.At(i))) << i;
+  }
+  // Zipf city sizes → strong concentration.
+  constexpr int kGrid = 30;
+  std::vector<std::size_t> cells(kGrid * kGrid, 0);
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    const int cx = std::min(kGrid - 1, static_cast<int>(
+        t.xs()[i] / extent.Width() * kGrid));
+    const int cy = std::min(kGrid - 1, static_cast<int>(
+        t.ys()[i] / extent.Height() * kGrid));
+    cells[cy * kGrid + cx]++;
+  }
+  std::sort(cells.begin(), cells.end(), std::greater<>());
+  std::size_t top = 0;
+  for (int i = 0; i < 45; ++i) top += cells[i];  // top 5% of cells
+  EXPECT_GT(static_cast<double>(top) / t.size(), 0.4);
+}
+
+TEST(RegionGeneratorTest, ProducesRequestedCount) {
+  auto polys = GenerateRegions(25, BBox(0, 0, 1000, 1000));
+  ASSERT_TRUE(polys.ok()) << polys.status().ToString();
+  EXPECT_EQ(polys.value().size(), 25u);
+}
+
+TEST(RegionGeneratorTest, IdsAreSequential) {
+  auto polys = GenerateRegions(10, BBox(0, 0, 100, 100));
+  ASSERT_TRUE(polys.ok());
+  EXPECT_TRUE(ValidatePolygonIds(polys.value()).ok());
+}
+
+TEST(RegionGeneratorTest, PolygonsPartitionExtent) {
+  const BBox extent(0, 0, 2000, 1500);
+  auto polys = GenerateRegions(40, extent, {.seed = 99});
+  ASSERT_TRUE(polys.ok());
+  double total = 0.0;
+  for (const Polygon& p : polys.value()) total += p.Area();
+  EXPECT_NEAR(total, extent.Area(), extent.Area() * 1e-5);
+}
+
+TEST(RegionGeneratorTest, MergingCreatesConcaveShapes) {
+  // With 4 sites per polygon, merged regions are mostly concave — vertex
+  // counts exceed what single convex cells would have.
+  auto polys = GenerateRegions(20, BBox(0, 0, 1000, 1000), {.seed = 5});
+  ASSERT_TRUE(polys.ok());
+  std::size_t max_vertices = 0;
+  for (const Polygon& p : polys.value()) {
+    max_vertices = std::max(max_vertices, p.NumVertices());
+  }
+  EXPECT_GT(max_vertices, 10u);
+}
+
+TEST(RegionGeneratorTest, DifferentSeedsDifferentShapes) {
+  auto a = GenerateRegions(10, BBox(0, 0, 100, 100), {.seed = 1});
+  auto b = GenerateRegions(10, BBox(0, 0, 100, 100), {.seed = 2});
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  // Compare first polygon's area — overwhelmingly likely to differ.
+  EXPECT_NE(a.value()[0].Area(), b.value()[0].Area());
+}
+
+TEST(RegionGeneratorTest, RejectsBadArgs) {
+  EXPECT_FALSE(GenerateRegions(0, BBox(0, 0, 1, 1)).ok());
+  EXPECT_FALSE(
+      GenerateRegions(5, BBox(0, 0, 1, 1), {.seed = 1, .sites_per_polygon = 0})
+          .ok());
+}
+
+TEST(DatasetsTest, NycNeighborhoodsPreset) {
+  auto polys = NycNeighborhoods();
+  ASSERT_TRUE(polys.ok());
+  EXPECT_EQ(polys.value().size(), 260u);  // Table 1 row 1
+  EXPECT_TRUE(ValidatePolygonIds(polys.value()).ok());
+}
+
+}  // namespace
+}  // namespace rj

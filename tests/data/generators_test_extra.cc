@@ -1,0 +1,28 @@
+// Additional generator coverage kept in a separate TU so the main file
+// stays focused on core invariants (this one exercises larger presets).
+#include <gtest/gtest.h>
+
+#include "data/datasets.h"
+
+namespace rj {
+namespace {
+
+TEST(GeneratorsExtraTest, TinyRegionsSmallCounts) {
+  for (const std::size_t n : {1u, 2u, 3u, 5u}) {
+    auto polys = TinyRegions(n, BBox(0, 0, 100, 100), 7 + n);
+    ASSERT_TRUE(polys.ok()) << "n=" << n << ": " << polys.status().ToString();
+    EXPECT_EQ(polys.value().size(), n);
+  }
+}
+
+TEST(GeneratorsExtraTest, AllRegionsSimpleAndPositiveArea) {
+  auto polys = TinyRegions(30, BBox(0, 0, 500, 500), 17);
+  ASSERT_TRUE(polys.ok());
+  for (const Polygon& p : polys.value()) {
+    EXPECT_GT(p.Area(), 0.0);
+    EXPECT_GE(p.outer().size(), 3u);
+  }
+}
+
+}  // namespace
+}  // namespace rj

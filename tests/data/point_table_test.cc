@@ -1,0 +1,75 @@
+#include "data/point_table.h"
+
+#include <gtest/gtest.h>
+
+namespace rj {
+namespace {
+
+TEST(PointTableTest, AppendAndAccess) {
+  PointTable t;
+  t.AddAttribute("fare");
+  t.AddAttribute("tip");
+  t.Append(1.0, 2.0, {10.0f, 1.0f});
+  t.Append(3.0, 4.0, {20.0f, 2.0f});
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_EQ(t.At(0), Point(1.0, 2.0));
+  EXPECT_EQ(t.At(1), Point(3.0, 4.0));
+  EXPECT_EQ(t.attribute(0)[1], 20.0f);
+  EXPECT_EQ(t.attribute(1)[0], 1.0f);
+}
+
+TEST(PointTableTest, AttributeLookupByName) {
+  PointTable t;
+  t.AddAttribute("fare");
+  t.AddAttribute("tip");
+  EXPECT_EQ(t.FindAttribute("tip"), 1u);
+  EXPECT_EQ(t.FindAttribute("missing"), PointTable::npos);
+  EXPECT_EQ(t.attribute_name(0), "fare");
+}
+
+TEST(PointTableTest, MissingAttrValuesDefaultToZero) {
+  PointTable t;
+  t.AddAttribute("a");
+  t.AddAttribute("b");
+  t.Append(0, 0, {7.0f});  // second column omitted
+  EXPECT_EQ(t.attribute(0)[0], 7.0f);
+  EXPECT_EQ(t.attribute(1)[0], 0.0f);
+}
+
+TEST(PointTableTest, AddAttributeAfterRowsBackfillsZeros) {
+  PointTable t;
+  t.Append(1, 1);
+  t.Append(2, 2);
+  const std::size_t col = t.AddAttribute("late");
+  EXPECT_EQ(t.attribute(col).size(), 2u);
+  EXPECT_EQ(t.attribute(col)[0], 0.0f);
+}
+
+TEST(PointTableTest, ExtentCoversAllPoints) {
+  PointTable t;
+  t.Append(-5, 2);
+  t.Append(10, -3);
+  t.Append(0, 7);
+  EXPECT_EQ(t.Extent(), BBox(-5, -3, 10, 7));
+}
+
+TEST(PointTableTest, SlicePreservesSchemaAndValues) {
+  PointTable t;
+  t.AddAttribute("w");
+  for (int i = 0; i < 10; ++i) {
+    t.Append(i, i * 2, {static_cast<float>(i * 10)});
+  }
+  const PointTable s = t.Slice(3, 7);
+  EXPECT_EQ(s.size(), 4u);
+  EXPECT_EQ(s.At(0), Point(3, 6));
+  EXPECT_EQ(s.attribute(0)[0], 30.0f);
+  EXPECT_EQ(s.attribute_name(0), "w");
+}
+
+TEST(PointTableTest, DeviceBytesPerPoint) {
+  EXPECT_EQ(PointTable::DeviceBytesPerPoint(0), 8u);
+  EXPECT_EQ(PointTable::DeviceBytesPerPoint(3), 20u);
+}
+
+}  // namespace
+}  // namespace rj

@@ -1,0 +1,66 @@
+#include "geometry/bbox.h"
+
+#include <gtest/gtest.h>
+
+namespace rj {
+namespace {
+
+TEST(BBoxTest, DefaultIsEmpty) {
+  BBox box;
+  EXPECT_TRUE(box.IsEmpty());
+  EXPECT_DOUBLE_EQ(box.Area(), 0.0);
+}
+
+TEST(BBoxTest, ExpandAbsorbsPoints) {
+  BBox box;
+  box.Expand({1, 2});
+  EXPECT_FALSE(box.IsEmpty());
+  EXPECT_DOUBLE_EQ(box.Area(), 0.0);  // single point: degenerate box
+  box.Expand({3, 5});
+  EXPECT_DOUBLE_EQ(box.Width(), 2.0);
+  EXPECT_DOUBLE_EQ(box.Height(), 3.0);
+  EXPECT_DOUBLE_EQ(box.Area(), 6.0);
+}
+
+TEST(BBoxTest, ExpandAbsorbsBoxes) {
+  BBox a(0, 0, 1, 1);
+  a.Expand(BBox(2, 2, 3, 4));
+  EXPECT_EQ(a, BBox(0, 0, 3, 4));
+}
+
+TEST(BBoxTest, ContainsIsClosed) {
+  const BBox box(0, 0, 2, 2);
+  EXPECT_TRUE(box.Contains({1, 1}));
+  EXPECT_TRUE(box.Contains({0, 0}));   // corner
+  EXPECT_TRUE(box.Contains({2, 1}));   // edge
+  EXPECT_FALSE(box.Contains({2.0001, 1}));
+  EXPECT_FALSE(box.Contains({-0.0001, 1}));
+}
+
+TEST(BBoxTest, IntersectsIncludesTouching) {
+  const BBox a(0, 0, 1, 1);
+  EXPECT_TRUE(a.Intersects(BBox(0.5, 0.5, 2, 2)));
+  EXPECT_TRUE(a.Intersects(BBox(1, 0, 2, 1)));  // shared edge
+  EXPECT_FALSE(a.Intersects(BBox(1.1, 0, 2, 1)));
+  EXPECT_FALSE(a.Intersects(BBox(0, 1.1, 1, 2)));
+}
+
+TEST(BBoxTest, IntersectionComputesOverlap) {
+  const BBox a(0, 0, 2, 2), b(1, 1, 3, 3);
+  const BBox i = a.Intersection(b);
+  EXPECT_EQ(i, BBox(1, 1, 2, 2));
+  EXPECT_TRUE(a.Intersection(BBox(5, 5, 6, 6)).IsEmpty());
+}
+
+TEST(BBoxTest, InflatedGrowsAllSides) {
+  const BBox box(1, 1, 2, 2);
+  EXPECT_EQ(box.Inflated(0.5), BBox(0.5, 0.5, 2.5, 2.5));
+}
+
+TEST(BBoxTest, CenterIsMidpoint) {
+  const BBox box(0, 0, 4, 2);
+  EXPECT_EQ(box.Center(), Point(2, 1));
+}
+
+}  // namespace
+}  // namespace rj

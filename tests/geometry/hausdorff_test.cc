@@ -1,0 +1,71 @@
+#include "geometry/hausdorff.h"
+
+#include <gtest/gtest.h>
+
+namespace rj {
+namespace {
+
+Ring Square(double side, double offset = 0.0) {
+  return {{offset, offset},
+          {offset + side, offset},
+          {offset + side, offset + side},
+          {offset, offset + side}};
+}
+
+TEST(SampleRingTest, IncludesVerticesAndRespectsStep) {
+  const Ring square = Square(10.0);
+  const auto samples = SampleRing(square, 2.5);
+  // Each 10-long edge splits into 4 pieces → 4 samples per edge (vertex +
+  // 3 interior), 16 total.
+  EXPECT_EQ(samples.size(), 16u);
+  // All original vertices present.
+  for (const Point& v : square) {
+    bool found = false;
+    for (const Point& s : samples) found = found || (s == v);
+    EXPECT_TRUE(found);
+  }
+}
+
+TEST(SampleRingTest, ZeroStepYieldsVerticesOnly) {
+  EXPECT_EQ(SampleRing(Square(10.0), 0.0).size(), 4u);
+}
+
+TEST(HausdorffTest, IdenticalRingsZeroDistance) {
+  const Ring square = Square(10.0);
+  EXPECT_NEAR(RingHausdorffDistance(square, square, 1.0), 0.0, 1e-12);
+}
+
+TEST(HausdorffTest, TranslatedSquare) {
+  // Square shifted diagonally by (1,1): Hausdorff = sqrt(2) at corners...
+  // Actually the max deviation is attained at a corner; distance from
+  // corner (0,0) to the shifted square boundary is sqrt(2)·? — verified
+  // value: corner (0,0) to square [1,11]² boundary is sqrt(2).
+  const double d =
+      RingHausdorffDistance(Square(10.0), Square(10.0, 1.0), 0.5);
+  EXPECT_NEAR(d, std::sqrt(2.0), 0.05);
+}
+
+TEST(HausdorffTest, NestedSquares) {
+  // Unit square inside a 3x3 square centered at same origin corner: the
+  // directed distance from outer to inner dominates.
+  const Ring inner = Square(1.0, 1.0);  // [1,2]²
+  const Ring outer = Square(3.0);       // [0,3]²
+  const double d = RingHausdorffDistance(inner, outer, 0.1);
+  // Farthest point of outer from inner: corner (0,0) or (3,3) at distance
+  // sqrt(2) from corner (1,1)/(2,2).
+  EXPECT_NEAR(d, std::sqrt(2.0), 0.05);
+}
+
+TEST(HausdorffTest, DirectedAsymmetry) {
+  const Ring inner = Square(1.0, 1.0);
+  const Ring outer = Square(3.0);
+  const auto inner_samples = SampleRing(inner, 0.1);
+  const auto outer_samples = SampleRing(outer, 0.1);
+  const double d_inner_to_outer = DirectedHausdorff(inner_samples, outer);
+  const double d_outer_to_inner = DirectedHausdorff(outer_samples, inner);
+  EXPECT_LT(d_inner_to_outer, d_outer_to_inner);
+  EXPECT_NEAR(d_inner_to_outer, 1.0, 0.05);  // inner edges 1 away from outer
+}
+
+}  // namespace
+}  // namespace rj

@@ -1,0 +1,52 @@
+#include "geometry/point.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace rj {
+namespace {
+
+TEST(PointTest, ArithmeticOperators) {
+  const Point a{1.0, 2.0}, b{3.0, -1.0};
+  EXPECT_EQ(a + b, Point(4.0, 1.0));
+  EXPECT_EQ(a - b, Point(-2.0, 3.0));
+  EXPECT_EQ(a * 2.0, Point(2.0, 4.0));
+  EXPECT_EQ(b / 2.0, Point(1.5, -0.5));
+}
+
+TEST(PointTest, DotAndCross) {
+  const Point a{1.0, 0.0}, b{0.0, 1.0};
+  EXPECT_DOUBLE_EQ(a.Dot(b), 0.0);
+  EXPECT_DOUBLE_EQ(a.Cross(b), 1.0);
+  EXPECT_DOUBLE_EQ(b.Cross(a), -1.0);
+  EXPECT_DOUBLE_EQ(a.Dot(a), 1.0);
+}
+
+TEST(PointTest, NormAndDistance) {
+  const Point p{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(p.Norm(), 5.0);
+  EXPECT_DOUBLE_EQ(p.NormSquared(), 25.0);
+  EXPECT_DOUBLE_EQ(Point(0, 0).DistanceTo(p), 5.0);
+  EXPECT_DOUBLE_EQ(Point(0, 0).DistanceSquaredTo(p), 25.0);
+}
+
+TEST(PointTest, Orient2DSign) {
+  const Point a{0, 0}, b{1, 0}, c_left{0.5, 1.0}, c_right{0.5, -1.0};
+  EXPECT_GT(Orient2D(a, b, c_left), 0.0);   // CCW
+  EXPECT_LT(Orient2D(a, b, c_right), 0.0);  // CW
+  EXPECT_DOUBLE_EQ(Orient2D(a, b, Point{2, 0}), 0.0);  // collinear
+}
+
+TEST(PointTest, Orient2DIsTwiceTriangleArea) {
+  // Right triangle with legs 3, 4 has area 6 → Orient2D = 12.
+  EXPECT_DOUBLE_EQ(Orient2D({0, 0}, {3, 0}, {0, 4}), 12.0);
+}
+
+TEST(PointTest, EqualityIsExact) {
+  EXPECT_EQ(Point(1.0, 2.0), Point(1.0, 2.0));
+  EXPECT_NE(Point(1.0, 2.0), Point(1.0 + 1e-15, 2.0));
+}
+
+}  // namespace
+}  // namespace rj

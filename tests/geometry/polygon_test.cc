@@ -1,0 +1,162 @@
+#include "geometry/polygon.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace rj {
+namespace {
+
+Ring UnitSquare() { return {{0, 0}, {1, 0}, {1, 1}, {0, 1}}; }
+
+TEST(RingTest, SignedAreaCcwPositive) {
+  EXPECT_DOUBLE_EQ(SignedArea(UnitSquare()), 1.0);
+  Ring cw = UnitSquare();
+  ReverseRing(&cw);
+  EXPECT_DOUBLE_EQ(SignedArea(cw), -1.0);
+}
+
+TEST(RingTest, SignedAreaDegenerateIsZero) {
+  EXPECT_DOUBLE_EQ(SignedArea({{0, 0}, {1, 1}}), 0.0);
+  EXPECT_DOUBLE_EQ(SignedArea({{0, 0}, {1, 1}, {2, 2}}), 0.0);  // collinear
+}
+
+TEST(RingTest, IsCounterClockwise) {
+  EXPECT_TRUE(IsCounterClockwise(UnitSquare()));
+  Ring cw = UnitSquare();
+  ReverseRing(&cw);
+  EXPECT_FALSE(IsCounterClockwise(cw));
+}
+
+TEST(RingTest, IsSimpleRingAcceptsConvexAndConcave) {
+  EXPECT_TRUE(IsSimpleRing(UnitSquare()));
+  // Concave "L" shape.
+  EXPECT_TRUE(IsSimpleRing({{0, 0}, {2, 0}, {2, 1}, {1, 1}, {1, 2}, {0, 2}}));
+}
+
+TEST(RingTest, IsSimpleRingRejectsBowtie) {
+  EXPECT_FALSE(IsSimpleRing({{0, 0}, {1, 1}, {1, 0}, {0, 1}}));
+}
+
+TEST(RingTest, IsSimpleRingRejectsRepeatedVertex) {
+  EXPECT_FALSE(IsSimpleRing({{0, 0}, {0, 0}, {1, 0}, {1, 1}}));
+}
+
+TEST(RingTest, IsSimpleRingRejectsTooFewVertices) {
+  EXPECT_FALSE(IsSimpleRing({{0, 0}, {1, 0}}));
+}
+
+TEST(PolygonTest, NormalizeOrientsOuterCcwAndHolesCw) {
+  Ring outer = UnitSquare();
+  ReverseRing(&outer);  // give it CW
+  Ring hole = {{0.25, 0.25}, {0.75, 0.25}, {0.75, 0.75}, {0.25, 0.75}};  // CCW
+  Polygon poly(outer, {hole});
+  ASSERT_TRUE(poly.Normalize().ok());
+  EXPECT_TRUE(IsCounterClockwise(poly.outer()));
+  EXPECT_FALSE(IsCounterClockwise(poly.holes()[0]));
+}
+
+TEST(PolygonTest, NormalizeRejectsDegenerate) {
+  Polygon too_few(Ring{{0, 0}, {1, 0}});
+  EXPECT_FALSE(too_few.Normalize().ok());
+  Polygon zero_area(Ring{{0, 0}, {1, 1}, {2, 2}});
+  EXPECT_FALSE(zero_area.Normalize().ok());
+}
+
+TEST(PolygonTest, AreaSubtractsHoles) {
+  Polygon poly(UnitSquare(),
+               {{{0.25, 0.25}, {0.75, 0.25}, {0.75, 0.75}, {0.25, 0.75}}});
+  ASSERT_TRUE(poly.Normalize().ok());
+  EXPECT_NEAR(poly.Area(), 1.0 - 0.25, 1e-12);
+}
+
+TEST(PolygonTest, ContainsInteriorAndExterior) {
+  Polygon poly(UnitSquare());
+  ASSERT_TRUE(poly.Normalize().ok());
+  EXPECT_TRUE(poly.Contains({0.5, 0.5}));
+  EXPECT_FALSE(poly.Contains({1.5, 0.5}));
+  EXPECT_FALSE(poly.Contains({-0.1, 0.5}));
+}
+
+TEST(PolygonTest, BoundaryCountsAsInside) {
+  Polygon poly(UnitSquare());
+  ASSERT_TRUE(poly.Normalize().ok());
+  EXPECT_TRUE(poly.Contains({0.0, 0.5}));   // edge
+  EXPECT_TRUE(poly.Contains({0.0, 0.0}));   // vertex
+  EXPECT_TRUE(poly.Contains({0.5, 1.0}));   // top edge
+}
+
+TEST(PolygonTest, HoleExcludesInteriorButHoleEdgeIsInside) {
+  Polygon poly(UnitSquare(),
+               {{{0.25, 0.25}, {0.75, 0.25}, {0.75, 0.75}, {0.25, 0.75}}});
+  ASSERT_TRUE(poly.Normalize().ok());
+  EXPECT_FALSE(poly.Contains({0.5, 0.5}));        // inside hole
+  EXPECT_TRUE(poly.Contains({0.1, 0.1}));         // in the solid part
+  EXPECT_TRUE(poly.Contains({0.25, 0.5}));        // on hole edge
+}
+
+TEST(PolygonTest, ConcaveContainment) {
+  // "U" shape: the notch interior is outside.
+  Polygon poly(Ring{{0, 0}, {3, 0}, {3, 3}, {2, 3}, {2, 1}, {1, 1}, {1, 3},
+                    {0, 3}});
+  ASSERT_TRUE(poly.Normalize().ok());
+  EXPECT_TRUE(poly.Contains({0.5, 2.0}));   // left arm
+  EXPECT_TRUE(poly.Contains({2.5, 2.0}));   // right arm
+  EXPECT_FALSE(poly.Contains({1.5, 2.0}));  // notch
+  EXPECT_TRUE(poly.Contains({1.5, 0.5}));   // base
+}
+
+TEST(PolygonTest, DistanceToBoundary) {
+  Polygon poly(UnitSquare());
+  ASSERT_TRUE(poly.Normalize().ok());
+  EXPECT_NEAR(poly.DistanceToBoundary({0.5, 0.5}), 0.5, 1e-12);
+  EXPECT_NEAR(poly.DistanceToBoundary({2.0, 0.5}), 1.0, 1e-12);
+  EXPECT_NEAR(poly.DistanceToBoundary({0.5, 0.9}), 0.1, 1e-12);
+}
+
+TEST(PolygonTest, CentroidOfSquare) {
+  Polygon poly(UnitSquare());
+  ASSERT_TRUE(poly.Normalize().ok());
+  const Point c = poly.Centroid();
+  EXPECT_NEAR(c.x, 0.5, 1e-12);
+  EXPECT_NEAR(c.y, 0.5, 1e-12);
+}
+
+TEST(PolygonTest, BBoxCoversOuterRing) {
+  Polygon poly(Ring{{-1, 2}, {4, 2}, {4, 7}, {-1, 7}});
+  ASSERT_TRUE(poly.Normalize().ok());
+  EXPECT_EQ(poly.bbox(), BBox(-1, 2, 4, 7));
+}
+
+TEST(PolygonSetTest, ExtentAndVertexCount) {
+  PolygonSet polys;
+  polys.emplace_back(UnitSquare());
+  polys.emplace_back(Ring{{2, 2}, {3, 2}, {3, 3}});
+  EXPECT_EQ(ComputeExtent(polys), BBox(0, 0, 3, 3));
+  EXPECT_EQ(TotalVertices(polys), 7u);
+}
+
+TEST(PolygonPropertyTest, ContainsAgreesWithCentroidForRandomConvex) {
+  // Random convex polygons always contain their centroid.
+  Rng rng(99);
+  for (int trial = 0; trial < 50; ++trial) {
+    // Convex polygon from sorted angles on a circle.
+    Ring ring;
+    const int n = 3 + static_cast<int>(rng.UniformInt(8));
+    std::vector<double> angles;
+    for (int i = 0; i < n; ++i) angles.push_back(rng.Uniform(0, 6.283185));
+    std::sort(angles.begin(), angles.end());
+    for (const double a : angles) {
+      ring.push_back({std::cos(a) * 5.0, std::sin(a) * 5.0});
+    }
+    if (SignedArea(ring) == 0.0) continue;
+    Polygon poly(ring);
+    ASSERT_TRUE(poly.Normalize().ok());
+    EXPECT_TRUE(poly.Contains(poly.Centroid())) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace rj

@@ -1,0 +1,60 @@
+#include "geometry/segment.h"
+
+#include <gtest/gtest.h>
+
+namespace rj {
+namespace {
+
+TEST(SegmentTest, ClosestPointProjectsOntoInterior) {
+  const Point c = ClosestPointOnSegment({0, 0}, {10, 0}, {5, 3});
+  EXPECT_EQ(c, Point(5, 0));
+}
+
+TEST(SegmentTest, ClosestPointClampsToEndpoints) {
+  EXPECT_EQ(ClosestPointOnSegment({0, 0}, {10, 0}, {-5, 3}), Point(0, 0));
+  EXPECT_EQ(ClosestPointOnSegment({0, 0}, {10, 0}, {15, 3}), Point(10, 0));
+}
+
+TEST(SegmentTest, DegenerateSegmentReturnsEndpoint) {
+  EXPECT_EQ(ClosestPointOnSegment({2, 2}, {2, 2}, {5, 5}), Point(2, 2));
+}
+
+TEST(SegmentTest, DistanceToSegment) {
+  EXPECT_DOUBLE_EQ(DistancePointSegment({0, 0}, {10, 0}, {5, 3}), 3.0);
+  EXPECT_DOUBLE_EQ(DistancePointSegment({0, 0}, {10, 0}, {13, 4}), 5.0);
+}
+
+TEST(SegmentTest, PointOnSegmentDetectsMembership) {
+  EXPECT_TRUE(PointOnSegment({0, 0}, {10, 0}, {5, 0}, 0.0));
+  EXPECT_TRUE(PointOnSegment({0, 0}, {10, 10}, {5, 5}, 1e-12));
+  EXPECT_FALSE(PointOnSegment({0, 0}, {10, 0}, {5, 0.001}, 1e-12));
+}
+
+TEST(SegmentsIntersectTest, ProperCrossing) {
+  EXPECT_TRUE(SegmentsIntersect({0, 0}, {10, 10}, {0, 10}, {10, 0}));
+}
+
+TEST(SegmentsIntersectTest, DisjointSegments) {
+  EXPECT_FALSE(SegmentsIntersect({0, 0}, {1, 1}, {2, 2}, {3, 3}));
+  EXPECT_FALSE(SegmentsIntersect({0, 0}, {1, 0}, {0, 1}, {1, 1}));
+}
+
+TEST(SegmentsIntersectTest, TouchingAtEndpointCounts) {
+  EXPECT_TRUE(SegmentsIntersect({0, 0}, {1, 1}, {1, 1}, {2, 0}));
+}
+
+TEST(SegmentsIntersectTest, CollinearOverlapCounts) {
+  EXPECT_TRUE(SegmentsIntersect({0, 0}, {5, 0}, {3, 0}, {8, 0}));
+}
+
+TEST(SegmentsIntersectTest, CollinearDisjointDoesNot) {
+  EXPECT_FALSE(SegmentsIntersect({0, 0}, {2, 0}, {3, 0}, {5, 0}));
+}
+
+TEST(SegmentsIntersectTest, TJunctionCounts) {
+  // Endpoint of one segment in the interior of the other.
+  EXPECT_TRUE(SegmentsIntersect({0, 0}, {10, 0}, {5, 0}, {5, 5}));
+}
+
+}  // namespace
+}  // namespace rj

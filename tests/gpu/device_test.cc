@@ -1,0 +1,101 @@
+#include "gpu/device.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+namespace rj::gpu {
+namespace {
+
+DeviceOptions SmallDevice() {
+  DeviceOptions options;
+  options.memory_budget_bytes = 1024;
+  options.max_fbo_dim = 64;
+  options.num_workers = 1;
+  return options;
+}
+
+TEST(DeviceTest, AllocateWithinBudget) {
+  Device device(SmallDevice());
+  auto buf = device.Allocate(BufferKind::kVertexBuffer, 512);
+  ASSERT_TRUE(buf.ok());
+  EXPECT_EQ(device.bytes_allocated(), 512u);
+  EXPECT_EQ(device.bytes_free(), 512u);
+}
+
+TEST(DeviceTest, AllocateBeyondBudgetFails) {
+  Device device(SmallDevice());
+  auto a = device.Allocate(BufferKind::kVertexBuffer, 800);
+  ASSERT_TRUE(a.ok());
+  auto b = device.Allocate(BufferKind::kVertexBuffer, 300);
+  ASSERT_FALSE(b.ok());
+  EXPECT_EQ(b.status().code(), StatusCode::kCapacityError);
+}
+
+TEST(DeviceTest, FreeReturnsBudget) {
+  Device device(SmallDevice());
+  auto buf = device.Allocate(BufferKind::kShaderStorage, 1000);
+  ASSERT_TRUE(buf.ok());
+  device.Free(buf.value());
+  EXPECT_EQ(device.bytes_allocated(), 0u);
+  EXPECT_TRUE(device.Allocate(BufferKind::kShaderStorage, 1000).ok());
+}
+
+TEST(DeviceTest, CopyRoundTripAndMetering) {
+  Device device(SmallDevice());
+  auto buf = device.Allocate(BufferKind::kVertexBuffer, 256);
+  ASSERT_TRUE(buf.ok());
+  std::vector<std::uint8_t> src(256);
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    src[i] = static_cast<std::uint8_t>(i);
+  }
+  ASSERT_TRUE(
+      device.CopyToDevice(buf.value().get(), 0, src.data(), 256).ok());
+  std::vector<std::uint8_t> dst(256, 0);
+  ASSERT_TRUE(device.CopyToHost(buf.value().get(), 0, dst.data(), 256).ok());
+  EXPECT_EQ(std::memcmp(src.data(), dst.data(), 256), 0);
+  EXPECT_EQ(device.counters().bytes_transferred(), 512u);  // both directions
+}
+
+TEST(DeviceTest, CopyOverflowRejected) {
+  Device device(SmallDevice());
+  auto buf = device.Allocate(BufferKind::kVertexBuffer, 64);
+  ASSERT_TRUE(buf.ok());
+  std::vector<std::uint8_t> src(128);
+  const Status st = device.CopyToDevice(buf.value().get(), 0, src.data(), 128);
+  EXPECT_EQ(st.code(), StatusCode::kOutOfRange);
+  std::vector<std::uint8_t> dst(128);
+  const Status st2 = device.CopyToHost(buf.value().get(), 32, dst.data(), 64);
+  EXPECT_EQ(st2.code(), StatusCode::kOutOfRange);
+}
+
+TEST(DeviceTest, MaxResidentElements) {
+  Device device(SmallDevice());
+  EXPECT_EQ(device.MaxResidentElements(8), 128u);
+  auto buf = device.Allocate(BufferKind::kVertexBuffer, 512);
+  ASSERT_TRUE(buf.ok());
+  EXPECT_EQ(device.MaxResidentElements(8), 64u);
+  EXPECT_EQ(device.MaxResidentElements(0), 0u);
+}
+
+TEST(CountersTest, ResetClearsEverything) {
+  Counters counters;
+  counters.AddFragments(10);
+  counters.AddPipTests(5);
+  counters.AddBytesTransferred(100);
+  counters.Reset();
+  EXPECT_EQ(counters.fragments(), 0u);
+  EXPECT_EQ(counters.pip_tests(), 0u);
+  EXPECT_EQ(counters.bytes_transferred(), 0u);
+}
+
+TEST(CountersTest, ToStringContainsFields) {
+  Counters counters;
+  counters.AddFragments(42);
+  const std::string s = counters.ToString();
+  EXPECT_NE(s.find("fragments=42"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rj::gpu

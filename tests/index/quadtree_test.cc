@@ -1,0 +1,115 @@
+#include "index/quadtree.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+
+namespace rj {
+namespace {
+
+PointTable RandomPoints(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  PointTable t;
+  t.Reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    t.Append(rng.Uniform(0, 100), rng.Uniform(0, 100));
+  }
+  return t;
+}
+
+TEST(QuadtreeTest, RejectsBadCapacity) {
+  EXPECT_FALSE(Quadtree::Build(RandomPoints(10, 1), 0).ok());
+}
+
+TEST(QuadtreeTest, EmptyTableYieldsSingleLeaf) {
+  PointTable empty;
+  auto qt = Quadtree::Build(empty, 16);
+  ASSERT_TRUE(qt.ok());
+  EXPECT_EQ(qt.value().num_leaves(), 1u);
+}
+
+TEST(QuadtreeTest, LeafCapacityRespected) {
+  auto qt = Quadtree::Build(RandomPoints(1000, 2), 32);
+  ASSERT_TRUE(qt.ok());
+  for (const auto& node : qt.value().nodes()) {
+    if (node.IsLeaf()) {
+      EXPECT_LE(node.end - node.begin, 32);
+    }
+  }
+}
+
+TEST(QuadtreeTest, PermutationCoversAllPointsExactlyOnce) {
+  const PointTable pts = RandomPoints(500, 3);
+  auto qt = Quadtree::Build(pts, 16);
+  ASSERT_TRUE(qt.ok());
+  std::set<std::int64_t> seen(qt.value().point_order().begin(),
+                              qt.value().point_order().end());
+  EXPECT_EQ(seen.size(), 500u);
+  EXPECT_EQ(*seen.begin(), 0);
+  EXPECT_EQ(*seen.rbegin(), 499);
+}
+
+TEST(QuadtreeTest, LeafRangesPartitionOrderArray) {
+  const PointTable pts = RandomPoints(300, 4);
+  auto qt = Quadtree::Build(pts, 20);
+  ASSERT_TRUE(qt.ok());
+  std::int64_t covered = 0;
+  for (const auto& node : qt.value().nodes()) {
+    if (node.IsLeaf()) covered += node.end - node.begin;
+  }
+  EXPECT_EQ(covered, 300);
+}
+
+TEST(QuadtreeTest, PointsInLeafAreInsideLeafBounds) {
+  const PointTable pts = RandomPoints(400, 5);
+  auto qt = Quadtree::Build(pts, 25);
+  ASSERT_TRUE(qt.ok());
+  for (const auto& node : qt.value().nodes()) {
+    if (!node.IsLeaf()) continue;
+    for (std::int64_t k = node.begin; k < node.end; ++k) {
+      const std::int64_t row = qt.value().point_order()[k];
+      // Closed bounds (points on split lines belong to exactly one child
+      // by the partition rule, but bounds tests must still contain them).
+      EXPECT_TRUE(node.bounds.Inflated(1e-9).Contains(pts.At(row)));
+    }
+  }
+}
+
+TEST(QuadtreeTest, VisitLeavesFindsAllPointsInQuery) {
+  const PointTable pts = RandomPoints(600, 6);
+  auto qt = Quadtree::Build(pts, 30);
+  ASSERT_TRUE(qt.ok());
+  const BBox query(20, 20, 60, 55);
+
+  std::set<std::int64_t> via_tree;
+  qt.value().VisitLeaves(query, [&](const Quadtree::Node& leaf) {
+    for (std::int64_t k = leaf.begin; k < leaf.end; ++k) {
+      const std::int64_t row = qt.value().point_order()[k];
+      if (query.Contains(pts.At(row))) via_tree.insert(row);
+    }
+  });
+
+  std::set<std::int64_t> brute;
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    if (query.Contains(pts.At(i))) brute.insert(static_cast<std::int64_t>(i));
+  }
+  EXPECT_EQ(via_tree, brute);
+}
+
+TEST(QuadtreeTest, DuplicatePointsDontInfinitelyRecurse) {
+  PointTable pts;
+  for (int i = 0; i < 100; ++i) pts.Append(5.0, 5.0);
+  auto qt = Quadtree::Build(pts, 8, /*max_depth=*/10);
+  ASSERT_TRUE(qt.ok());
+  // Depth cap forces a leaf holding all duplicates.
+  std::int64_t covered = 0;
+  for (const auto& node : qt.value().nodes()) {
+    if (node.IsLeaf()) covered += node.end - node.begin;
+  }
+  EXPECT_EQ(covered, 100);
+}
+
+}  // namespace
+}  // namespace rj

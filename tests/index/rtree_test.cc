@@ -1,0 +1,70 @@
+#include "index/rtree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/rng.h"
+#include "data/datasets.h"
+
+namespace rj {
+namespace {
+
+TEST(RTreeTest, RejectsBadFanout) {
+  EXPECT_FALSE(RTree::Build({}, 1).ok());
+}
+
+TEST(RTreeTest, EmptySetQueriesCleanly) {
+  auto tree = RTree::Build({}, 8);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_TRUE(tree.value().Candidates({1, 1}).empty());
+}
+
+TEST(RTreeTest, CandidatesMatchBruteForceMbrTest) {
+  auto polys = TinyRegions(30, BBox(0, 0, 100, 100), 23);
+  ASSERT_TRUE(polys.ok());
+  auto tree = RTree::Build(polys.value(), 8);
+  ASSERT_TRUE(tree.ok());
+  Rng rng(29);
+  for (int i = 0; i < 1000; ++i) {
+    const Point p{rng.Uniform(0, 100), rng.Uniform(0, 100)};
+    std::vector<std::int32_t> got = tree.value().Candidates(p);
+    std::sort(got.begin(), got.end());
+    std::vector<std::int32_t> want;
+    for (const Polygon& poly : polys.value()) {
+      if (poly.bbox().Contains(p)) {
+        want.push_back(static_cast<std::int32_t>(poly.id()));
+      }
+    }
+    std::sort(want.begin(), want.end());
+    EXPECT_EQ(got, want) << "point (" << p.x << "," << p.y << ")";
+  }
+}
+
+TEST(RTreeTest, HeightGrowsLogarithmically) {
+  auto small = TinyRegions(10, BBox(0, 0, 100, 100), 31);
+  auto large = TinyRegions(300, BBox(0, 0, 100, 100), 31);
+  ASSERT_TRUE(small.ok());
+  ASSERT_TRUE(large.ok());
+  auto t_small = RTree::Build(small.value(), 8);
+  auto t_large = RTree::Build(large.value(), 8);
+  ASSERT_TRUE(t_small.ok());
+  ASSERT_TRUE(t_large.ok());
+  EXPECT_LE(t_small.value().height(), t_large.value().height());
+  EXPECT_LE(t_large.value().height(), 4);  // ceil(log8(300/8)) + 1
+}
+
+TEST(RTreeTest, SingleItemTree) {
+  PolygonSet polys;
+  polys.emplace_back(Ring{{0, 0}, {2, 0}, {2, 2}, {0, 2}});
+  polys[0].set_id(0);
+  ASSERT_TRUE(polys[0].Normalize().ok());
+  auto tree = RTree::Build(polys, 8);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree.value().Candidates({1, 1}).size(), 1u);
+  EXPECT_TRUE(tree.value().Candidates({5, 5}).empty());
+}
+
+}  // namespace
+}  // namespace rj

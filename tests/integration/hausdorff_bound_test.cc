@@ -1,0 +1,125 @@
+/// Direct verification of the §4.2 theorem: with pixel side ε' = ε/√2,
+/// the implicit pixelated polygon that the bounded raster join aggregates
+/// over lies within Hausdorff distance ε of the true polygon.
+///
+/// The implicit approximation's boundary is reconstructed from the raster
+/// coverage: the outline of the set of covered pixels. The test measures
+/// the distance both ways — every covered-region boundary point is within
+/// ε of the true boundary, and every true boundary point is within ε of
+/// the covered region's boundary.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <utility>
+
+#include "common/rng.h"
+#include "data/datasets.h"
+#include "geometry/hausdorff.h"
+#include "raster/rasterizer.h"
+#include "raster/viewport.h"
+#include "triangulate/triangulation.h"
+
+namespace rj {
+namespace {
+
+using PixelSet = std::set<std::pair<std::int32_t, std::int32_t>>;
+
+/// Rasterizes a polygon's triangulation at the ε-derived resolution and
+/// returns the covered pixel set plus the viewport used.
+PixelSet CoverPolygon(const Polygon& poly, const raster::Viewport& vp,
+                      const TriangleSoup& soup) {
+  PixelSet covered;
+  for (const Triangle& t : soup) {
+    if (t.polygon_id != poly.id()) continue;
+    raster::RasterizeTriangle(vp.ToScreen(t.a), vp.ToScreen(t.b),
+                              vp.ToScreen(t.c), vp.width(), vp.height(),
+                              [&covered](std::int32_t x, std::int32_t y) {
+                                covered.insert({x, y});
+                              });
+  }
+  return covered;
+}
+
+class HausdorffBoundTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(HausdorffBoundTest, PixelatedApproximationWithinEpsilon) {
+  const double eps = GetParam();
+  const BBox world(0, 0, 1000, 1000);
+  auto polys = TinyRegions(6, world, 99);
+  ASSERT_TRUE(polys.ok());
+  auto soup = TriangulatePolygonSet(polys.value());
+  ASSERT_TRUE(soup.ok());
+
+  auto tiles = raster::PlanCanvas(world, eps, 8192);
+  ASSERT_TRUE(tiles.ok());
+  ASSERT_EQ(tiles.value().size(), 1u);
+  const raster::CanvasTile& tile = tiles.value()[0];
+  raster::Viewport vp(tile.world, tile.width, tile.height);
+
+  for (const Polygon& poly : polys.value()) {
+    const PixelSet covered = CoverPolygon(poly, vp, soup.value());
+    ASSERT_FALSE(covered.empty()) << "polygon " << poly.id();
+
+    // Direction 1: dH measures max over p' ∈ approximation of the
+    // distance to the polygon *set* — interior points contribute 0, so
+    // only pixel corners OUTSIDE the polygon (the false-positive fringe)
+    // matter; each must be within ε of the polygon.
+    for (const auto& [x, y] : covered) {
+      const bool boundary_pixel =
+          !covered.count({x - 1, y}) || !covered.count({x + 1, y}) ||
+          !covered.count({x, y - 1}) || !covered.count({x, y + 1});
+      if (!boundary_pixel) continue;
+      const BBox rect = vp.PixelWorldRect(x, y);
+      const Point corners[4] = {{rect.min_x, rect.min_y},
+                                {rect.max_x, rect.min_y},
+                                {rect.max_x, rect.max_y},
+                                {rect.min_x, rect.max_y}};
+      for (const Point& corner : corners) {
+        if (poly.Contains(corner)) continue;  // distance to the set is 0
+        EXPECT_LE(poly.DistanceToBoundary(corner), eps + 1e-9)
+            << "polygon " << poly.id() << " pixel (" << x << "," << y
+            << ")";
+      }
+    }
+
+    // Direction 2: every sampled point of the true boundary is within ε
+    // of the pixelated region (some covered pixel's rectangle).
+    const std::vector<Point> samples =
+        SampleRing(poly.outer(), eps / 2.0);
+    for (const Point& s : samples) {
+      double best = std::numeric_limits<double>::infinity();
+      // Only pixels near s can be closest; scan a small window centered
+      // on s's pixel (clamped: boundary samples can sit exactly on the
+      // extent edge, one past the last pixel).
+      const Point sp = vp.ToScreen(s);
+      const std::int32_t cx = std::clamp(
+          static_cast<std::int32_t>(std::floor(sp.x)), 0, vp.width() - 1);
+      const std::int32_t cy = std::clamp(
+          static_cast<std::int32_t>(std::floor(sp.y)), 0, vp.height() - 1);
+      const std::int32_t window =
+          static_cast<std::int32_t>(std::ceil(eps / vp.PixelWidth())) + 2;
+      for (std::int32_t dy = -window; dy <= window; ++dy) {
+        for (std::int32_t dx = -window; dx <= window; ++dx) {
+          if (!covered.count({cx + dx, cy + dy})) continue;
+          const BBox rect = vp.PixelWorldRect(cx + dx, cy + dy);
+          const double ddx =
+              std::max({rect.min_x - s.x, 0.0, s.x - rect.max_x});
+          const double ddy =
+              std::max({rect.min_y - s.y, 0.0, s.y - rect.max_y});
+          best = std::min(best, std::hypot(ddx, ddy));
+        }
+      }
+      EXPECT_LE(best, eps + 1e-9)
+          << "polygon " << poly.id() << " boundary sample (" << s.x << ","
+          << s.y << ")";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Epsilons, HausdorffBoundTest,
+                         ::testing::Values(8.0, 16.0, 40.0));
+
+}  // namespace
+}  // namespace rj

@@ -1,0 +1,50 @@
+#include "query/filter.h"
+
+#include <gtest/gtest.h>
+
+namespace rj {
+namespace {
+
+TEST(AttributeFilterTest, AllOperators) {
+  EXPECT_TRUE((AttributeFilter{0, FilterOp::kGreater, 5.0f}.Evaluate(6.0f)));
+  EXPECT_FALSE((AttributeFilter{0, FilterOp::kGreater, 5.0f}.Evaluate(5.0f)));
+  EXPECT_TRUE(
+      (AttributeFilter{0, FilterOp::kGreaterEqual, 5.0f}.Evaluate(5.0f)));
+  EXPECT_TRUE((AttributeFilter{0, FilterOp::kLess, 5.0f}.Evaluate(4.9f)));
+  EXPECT_FALSE((AttributeFilter{0, FilterOp::kLess, 5.0f}.Evaluate(5.0f)));
+  EXPECT_TRUE((AttributeFilter{0, FilterOp::kLessEqual, 5.0f}.Evaluate(5.0f)));
+  EXPECT_TRUE((AttributeFilter{0, FilterOp::kEqual, 5.0f}.Evaluate(5.0f)));
+  EXPECT_FALSE((AttributeFilter{0, FilterOp::kEqual, 5.0f}.Evaluate(5.1f)));
+}
+
+TEST(FilterSetTest, CapsAtFiveConstraints) {
+  // §6.1: at most 5 conjunctive constraints (vertex stride is fixed at
+  // shader compile time).
+  FilterSet filters;
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(filters
+                    .Add({static_cast<std::size_t>(i), FilterOp::kGreater,
+                          0.0f})
+                    .ok());
+  }
+  EXPECT_EQ(filters.size(), 5u);
+  EXPECT_FALSE(filters.Add({0, FilterOp::kGreater, 0.0f}).ok());
+}
+
+TEST(FilterSetTest, ReferencedColumnsDeduplicated) {
+  FilterSet filters;
+  ASSERT_TRUE(filters.Add({3, FilterOp::kGreater, 0.0f}).ok());
+  ASSERT_TRUE(filters.Add({1, FilterOp::kLess, 9.0f}).ok());
+  ASSERT_TRUE(filters.Add({3, FilterOp::kLess, 5.0f}).ok());
+  const auto cols = filters.ReferencedColumns();
+  EXPECT_EQ(cols.size(), 2u);
+}
+
+TEST(FilterSetTest, EmptyByDefault) {
+  FilterSet filters;
+  EXPECT_TRUE(filters.empty());
+  EXPECT_TRUE(filters.ReferencedColumns().empty());
+}
+
+}  // namespace
+}  // namespace rj

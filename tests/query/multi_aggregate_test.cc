@@ -1,0 +1,125 @@
+#include "query/multi_aggregate.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "data/datasets.h"
+
+namespace rj {
+namespace {
+
+class MultiAggregateTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto polys = TinyRegions(8, BBox(0, 0, 500, 500), 141);
+    ASSERT_TRUE(polys.ok());
+    polys_ = polys.value();
+    Rng rng(142);
+    points_.AddAttribute("fare");
+    points_.AddAttribute("distance");
+    for (int i = 0; i < 8000; ++i) {
+      points_.Append(rng.Uniform(0, 500), rng.Uniform(0, 500),
+                     {static_cast<float>(rng.Uniform(1, 50)),
+                      static_cast<float>(rng.Uniform(0.1, 20))});
+    }
+    gpu::DeviceOptions dev_options;
+    dev_options.max_fbo_dim = 512;
+    dev_options.num_workers = 1;
+    device_ = std::make_unique<gpu::Device>(dev_options);
+    executor_ = std::make_unique<Executor>(device_.get(), &points_, &polys_);
+  }
+
+  PolygonSet polys_;
+  PointTable points_;
+  std::unique_ptr<gpu::Device> device_;
+  std::unique_ptr<Executor> executor_;
+};
+
+TEST_F(MultiAggregateTest, SharedAttributeSharesOnePass) {
+  SpatialAggQuery base;
+  base.variant = JoinVariant::kAccurateRaster;
+  // COUNT, SUM(fare), AVG(fare), MIN(fare), MAX(fare): one attribute →
+  // one render pass serves all five outputs.
+  const std::vector<AggregateRequest> requests = {
+      {AggregateKind::kCount, PointTable::npos},
+      {AggregateKind::kSum, 0},
+      {AggregateKind::kAverage, 0},
+      {AggregateKind::kMin, 0},
+      {AggregateKind::kMax, 0},
+  };
+  auto result = ExecuteMultiAggregate(executor_.get(), base, requests);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().passes, 1u);
+
+  const JoinResult exact = ReferenceJoin(points_, polys_, FilterSet(), 0);
+  for (std::size_t i = 0; i < polys_.size(); ++i) {
+    EXPECT_DOUBLE_EQ(result.value().values[0][i], exact.arrays.count[i]);
+    EXPECT_NEAR(result.value().values[1][i], exact.arrays.sum[i],
+                std::max(1.0, exact.arrays.sum[i]) * 1e-4);
+    if (exact.arrays.count[i] > 0) {
+      EXPECT_DOUBLE_EQ(result.value().values[3][i], exact.arrays.min[i]);
+      EXPECT_DOUBLE_EQ(result.value().values[4][i], exact.arrays.max[i]);
+    }
+  }
+}
+
+TEST_F(MultiAggregateTest, DistinctAttributesUseOnePassEach) {
+  SpatialAggQuery base;
+  base.variant = JoinVariant::kAccurateRaster;
+  const std::vector<AggregateRequest> requests = {
+      {AggregateKind::kAverage, 0},  // fare
+      {AggregateKind::kAverage, 1},  // distance
+      {AggregateKind::kCount, PointTable::npos},
+  };
+  auto result = ExecuteMultiAggregate(executor_.get(), base, requests);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().passes, 2u);  // COUNT piggybacks on a pass
+
+  const JoinResult fare = ReferenceJoin(points_, polys_, FilterSet(), 0);
+  const JoinResult dist = ReferenceJoin(points_, polys_, FilterSet(), 1);
+  for (std::size_t i = 0; i < polys_.size(); ++i) {
+    if (fare.arrays.count[i] == 0) continue;
+    EXPECT_NEAR(result.value().values[0][i],
+                fare.arrays.sum[i] / fare.arrays.count[i], 1e-2);
+    EXPECT_NEAR(result.value().values[1][i],
+                dist.arrays.sum[i] / dist.arrays.count[i], 1e-2);
+    EXPECT_DOUBLE_EQ(result.value().values[2][i], fare.arrays.count[i]);
+  }
+}
+
+TEST_F(MultiAggregateTest, CountOnlyRunsOnePass) {
+  SpatialAggQuery base;
+  base.variant = JoinVariant::kAccurateRaster;
+  auto result = ExecuteMultiAggregate(
+      executor_.get(), base, {{AggregateKind::kCount, PointTable::npos}});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().passes, 1u);
+}
+
+TEST_F(MultiAggregateTest, RejectsEmptyAndInvalidRequests) {
+  SpatialAggQuery base;
+  EXPECT_FALSE(ExecuteMultiAggregate(executor_.get(), base, {}).ok());
+  EXPECT_FALSE(ExecuteMultiAggregate(
+                   executor_.get(), base,
+                   {{AggregateKind::kSum, PointTable::npos}})
+                   .ok());
+}
+
+TEST_F(MultiAggregateTest, FiltersApplyToEveryAggregate) {
+  SpatialAggQuery base;
+  base.variant = JoinVariant::kAccurateRaster;
+  ASSERT_TRUE(base.filters.Add({0, FilterOp::kGreater, 25.0f}).ok());
+  auto result = ExecuteMultiAggregate(
+      executor_.get(), base,
+      {{AggregateKind::kCount, PointTable::npos}, {AggregateKind::kSum, 0}});
+  ASSERT_TRUE(result.ok());
+  const JoinResult exact = ReferenceJoin(points_, polys_, base.filters, 0);
+  for (std::size_t i = 0; i < polys_.size(); ++i) {
+    EXPECT_DOUBLE_EQ(result.value().values[0][i], exact.arrays.count[i]);
+  }
+}
+
+}  // namespace
+}  // namespace rj

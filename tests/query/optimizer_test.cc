@@ -1,0 +1,85 @@
+#include "query/optimizer.h"
+
+#include <gtest/gtest.h>
+
+namespace rj {
+namespace {
+
+CostModelInputs TypicalInputs() {
+  CostModelInputs inputs;
+  inputs.num_points = 10'000'000;
+  inputs.num_polygons = 260;
+  inputs.total_polygon_vertices = 260 * 80;
+  inputs.world = BBox(0, 0, 45000, 40000);
+  inputs.total_perimeter = 260 * 4000.0;
+  inputs.max_fbo_dim = 8192;
+  return inputs;
+}
+
+TEST(OptimizerTest, BoundedCostGrowsAsEpsilonShrinks) {
+  const CostModelParams params;
+  const CostModelInputs inputs = TypicalInputs();
+  const double coarse = EstimateBoundedSeconds(params, inputs, 20.0);
+  const double mid = EstimateBoundedSeconds(params, inputs, 2.0);
+  const double fine = EstimateBoundedSeconds(params, inputs, 0.25);
+  EXPECT_LE(coarse, mid);
+  EXPECT_LT(mid, fine);
+}
+
+TEST(OptimizerTest, AccurateCostIndependentOfEpsilon) {
+  const CostModelParams params;
+  const CostModelInputs inputs = TypicalInputs();
+  const double a = EstimateAccurateSeconds(params, inputs);
+  EXPECT_GT(a, 0.0);
+}
+
+TEST(OptimizerTest, CrossoverExists) {
+  // §8: for coarse ε bounded wins; small enough ε flips to accurate.
+  const CostModelParams params;
+  const CostModelInputs inputs = TypicalInputs();
+  EXPECT_EQ(ChooseRasterVariant(params, inputs, 20.0),
+            JoinVariant::kBoundedRaster);
+  // Find some ε where the decision flips.
+  bool flipped = false;
+  for (double eps = 10.0; eps > 0.001; eps /= 2.0) {
+    if (ChooseRasterVariant(params, inputs, eps) ==
+        JoinVariant::kAccurateRaster) {
+      flipped = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(flipped);
+}
+
+TEST(OptimizerTest, DecisionMonotoneInEpsilon) {
+  // Once accurate wins at some ε, it keeps winning for all smaller ε.
+  const CostModelParams params;
+  const CostModelInputs inputs = TypicalInputs();
+  bool seen_accurate = false;
+  for (double eps = 50.0; eps > 0.0005; eps /= 1.7) {
+    const bool accurate = ChooseRasterVariant(params, inputs, eps) ==
+                          JoinVariant::kAccurateRaster;
+    if (seen_accurate) {
+      EXPECT_TRUE(accurate) << "decision flipped back at eps " << eps;
+    }
+    seen_accurate = seen_accurate || accurate;
+  }
+  EXPECT_TRUE(seen_accurate);
+}
+
+TEST(OptimizerTest, CostsIncreaseWithPoints) {
+  const CostModelParams params;
+  CostModelInputs inputs = TypicalInputs();
+  const double eps = 5.0;
+  inputs.num_points = 1'000'000;
+  const double b_small = EstimateBoundedSeconds(params, inputs, eps);
+  const double a_small = EstimateAccurateSeconds(params, inputs);
+  inputs.num_points = 100'000'000;
+  const double b_large = EstimateBoundedSeconds(params, inputs, eps);
+  const double a_large = EstimateAccurateSeconds(params, inputs);
+  EXPECT_GT(b_large, b_small);
+  EXPECT_GT(a_large, a_small);
+}
+
+}  // namespace
+}  // namespace rj

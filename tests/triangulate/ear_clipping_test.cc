@@ -1,0 +1,125 @@
+#include "triangulate/ear_clipping.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "geometry/pip.h"
+
+namespace rj {
+namespace {
+
+double TotalArea(const std::vector<Triangle>& tris) {
+  double a = 0.0;
+  for (const Triangle& t : tris) a += t.Area();
+  return a;
+}
+
+TEST(EarClippingTest, TriangleYieldsItself) {
+  const Ring tri = {{0, 0}, {4, 0}, {0, 3}};
+  auto r = EarClipTriangulate(tri);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.value().size(), 1u);
+  EXPECT_NEAR(TotalArea(r.value()), 6.0, 1e-12);
+}
+
+TEST(EarClippingTest, SquareYieldsTwoTriangles) {
+  const Ring square = {{0, 0}, {1, 0}, {1, 1}, {0, 1}};
+  auto r = EarClipTriangulate(square);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().size(), 2u);
+  EXPECT_NEAR(TotalArea(r.value()), 1.0, 1e-12);
+}
+
+TEST(EarClippingTest, ConvexNGonYieldsNMinus2) {
+  Ring hex;
+  for (int i = 0; i < 6; ++i) {
+    const double a = i * 3.14159265358979 / 3.0;
+    hex.push_back({std::cos(a), std::sin(a)});
+  }
+  auto r = EarClipTriangulate(hex);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().size(), 4u);
+  EXPECT_NEAR(TotalArea(r.value()), std::fabs(SignedArea(hex)), 1e-12);
+}
+
+TEST(EarClippingTest, ConcavePolygonAreaPreserved) {
+  // L-shape. Degenerate (collinear) ears are dropped, so the triangle
+  // count may be below n-2; the covered area must still be exact.
+  const Ring l = {{0, 0}, {2, 0}, {2, 1}, {1, 1}, {1, 2}, {0, 2}};
+  auto r = EarClipTriangulate(l);
+  ASSERT_TRUE(r.ok());
+  EXPECT_LE(r.value().size(), 4u);
+  EXPECT_GE(r.value().size(), 3u);
+  EXPECT_NEAR(TotalArea(r.value()), 3.0, 1e-12);
+}
+
+TEST(EarClippingTest, SpiralPolygon) {
+  // Strongly concave spiral-like shape.
+  const Ring spiral = {{0, 0}, {5, 0}, {5, 5}, {1, 5}, {1, 2},
+                       {2, 2}, {2, 4}, {4, 4}, {4, 1}, {0, 1}};
+  auto r = EarClipTriangulate(spiral);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(TotalArea(r.value()), std::fabs(SignedArea(spiral)), 1e-9);
+}
+
+TEST(EarClippingTest, CwInputHandled) {
+  Ring square = {{0, 0}, {1, 0}, {1, 1}, {0, 1}};
+  ReverseRing(&square);
+  auto r = EarClipTriangulate(square);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(TotalArea(r.value()), 1.0, 1e-12);
+}
+
+TEST(EarClippingTest, RejectsTooFewVertices) {
+  EXPECT_FALSE(EarClipTriangulate({{0, 0}, {1, 0}}).ok());
+}
+
+TEST(EarClippingTest, CollinearVerticesHandled) {
+  // Square with redundant midpoints on each edge.
+  const Ring square = {{0, 0}, {0.5, 0}, {1, 0}, {1, 0.5}, {1, 1},
+                       {0.5, 1}, {0, 1}, {0, 0.5}};
+  auto r = EarClipTriangulate(square);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(TotalArea(r.value()), 1.0, 1e-12);
+}
+
+TEST(EarClippingTest, TrianglesOrientedAndInsidePolygon) {
+  const Ring l = {{0, 0}, {3, 0}, {3, 1}, {1, 1}, {1, 3}, {0, 3}};
+  auto r = EarClipTriangulate(l);
+  ASSERT_TRUE(r.ok());
+  for (const Triangle& t : r.value()) {
+    // Centroid of each triangle must be inside the polygon.
+    const Point c = (t.a + t.b + t.c) / 3.0;
+    EXPECT_NE(TestPointInRing(l, c), PipResult::kOutside);
+  }
+}
+
+TEST(EarClippingPropertyTest, RandomStarShapedPolygons) {
+  Rng rng(4242);
+  for (int trial = 0; trial < 40; ++trial) {
+    // Star-shaped polygon: random radii at sorted angles (always simple).
+    const int n = 5 + static_cast<int>(rng.UniformInt(20));
+    std::vector<double> angles;
+    for (int i = 0; i < n; ++i) angles.push_back(rng.Uniform(0, 6.2831853));
+    std::sort(angles.begin(), angles.end());
+    // Enforce distinct angles to avoid duplicate vertices.
+    bool ok = true;
+    for (int i = 1; i < n; ++i) ok = ok && (angles[i] - angles[i - 1] > 1e-3);
+    if (!ok) continue;
+    Ring ring;
+    for (const double a : angles) {
+      const double radius = rng.Uniform(1.0, 10.0);
+      ring.push_back({radius * std::cos(a), radius * std::sin(a)});
+    }
+    auto r = EarClipTriangulate(ring);
+    ASSERT_TRUE(r.ok()) << "trial " << trial;
+    EXPECT_NEAR(TotalArea(r.value()), std::fabs(SignedArea(ring)), 1e-6)
+        << "trial " << trial;
+    EXPECT_LE(r.value().size(), static_cast<std::size_t>(n - 2));
+  }
+}
+
+}  // namespace
+}  // namespace rj

@@ -1,0 +1,78 @@
+#include "triangulate/triangulation.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/datasets.h"
+#include "geometry/pip.h"
+#include "query/executor.h"
+
+namespace rj {
+namespace {
+
+TEST(TriangulationTest, SetTriangulationTagsPolygonIds) {
+  PolygonSet polys;
+  polys.emplace_back(Ring{{0, 0}, {1, 0}, {1, 1}, {0, 1}});
+  polys.emplace_back(Ring{{2, 0}, {4, 0}, {3, 2}});
+  polys[0].set_id(0);
+  polys[1].set_id(1);
+  auto soup = TriangulatePolygonSet(polys);
+  ASSERT_TRUE(soup.ok());
+  EXPECT_EQ(soup.value().size(), 3u);  // 2 + 1
+  int id0 = 0, id1 = 0;
+  for (const Triangle& t : soup.value()) {
+    if (t.polygon_id == 0) ++id0;
+    if (t.polygon_id == 1) ++id1;
+  }
+  EXPECT_EQ(id0, 2);
+  EXPECT_EQ(id1, 1);
+}
+
+TEST(TriangulationTest, SoupAreaMatchesPolygonAreas) {
+  PolygonSet polys;
+  polys.emplace_back(Ring{{0, 0}, {3, 0}, {3, 3}, {0, 3}});
+  polys.emplace_back(Ring{{5, 0}, {9, 0}, {9, 2}, {5, 2}});
+  AssignSequentialIds(&polys);
+  auto soup = TriangulatePolygonSet(polys);
+  ASSERT_TRUE(soup.ok());
+  EXPECT_NEAR(SoupArea(soup.value()), 9.0 + 8.0, 1e-9);
+}
+
+TEST(TriangulationTest, PolygonWithHoleTriangulated) {
+  PolygonSet polys;
+  polys.emplace_back(Ring{{0, 0}, {8, 0}, {8, 8}, {0, 8}},
+                     std::vector<Ring>{{{3, 3}, {5, 3}, {5, 5}, {3, 5}}});
+  polys[0].set_id(0);
+  ASSERT_TRUE(polys[0].Normalize().ok());
+  auto soup = TriangulatePolygonSet(polys);
+  ASSERT_TRUE(soup.ok());
+  EXPECT_NEAR(SoupArea(soup.value()), 64.0 - 4.0, 1e-9);
+  // No triangle centroid may land inside the hole.
+  const Ring hole = {{3, 3}, {5, 3}, {5, 5}, {3, 5}};
+  for (const Triangle& t : soup.value()) {
+    const Point c = (t.a + t.b + t.c) / 3.0;
+    EXPECT_NE(TestPointInRing(hole, c), PipResult::kInside);
+  }
+}
+
+TEST(TriangulationTest, GeneratedRegionsTriangulate) {
+  auto polys = TinyRegions(12, BBox(0, 0, 1000, 1000), 5);
+  ASSERT_TRUE(polys.ok());
+  auto soup = TriangulatePolygonSet(polys.value());
+  ASSERT_TRUE(soup.ok());
+  double poly_area = 0.0;
+  for (const Polygon& p : polys.value()) poly_area += p.Area();
+  EXPECT_NEAR(SoupArea(soup.value()), poly_area, poly_area * 1e-6);
+  // Voronoi-partition polygons cover the extent.
+  EXPECT_NEAR(poly_area, 1000.0 * 1000.0, 1000.0 * 1000.0 * 1e-6);
+}
+
+TEST(TriangulationTest, EmptySetYieldsEmptySoup) {
+  auto soup = TriangulatePolygonSet({});
+  ASSERT_TRUE(soup.ok());
+  EXPECT_TRUE(soup.value().empty());
+}
+
+}  // namespace
+}  // namespace rj

@@ -1,0 +1,110 @@
+#include "viz/heatmap.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "data/datasets.h"
+#include "triangulate/triangulation.h"
+
+namespace rj {
+namespace {
+
+TEST(SequentialColorTest, EndpointsAndMonotonicity) {
+  const Rgb lo = SequentialColor(0.0);
+  const Rgb hi = SequentialColor(1.0);
+  // Low value ≈ white; high value darker in every channel.
+  EXPECT_GE(lo.r, 250);
+  EXPECT_LT(hi.r, lo.r);
+  EXPECT_LT(hi.g, lo.g);
+  EXPECT_LT(hi.b, lo.b);
+}
+
+TEST(SequentialColorTest, ClampsOutOfRange) {
+  const Rgb below = SequentialColor(-0.5);
+  const Rgb above = SequentialColor(1.5);
+  const Rgb lo = SequentialColor(0.0);
+  const Rgb hi = SequentialColor(1.0);
+  EXPECT_EQ(below.r, lo.r);
+  EXPECT_EQ(above.r, hi.r);
+}
+
+TEST(SequentialColorTest, DiscretizesIntoClasses) {
+  // Values within one of 9 bins map to the same color.
+  const Rgb a = SequentialColor(0.50, 9);
+  const Rgb b = SequentialColor(0.54, 9);
+  EXPECT_EQ(a.r, b.r);
+  EXPECT_EQ(a.g, b.g);
+  EXPECT_EQ(a.b, b.b);
+}
+
+TEST(NormalizeValuesTest, DividesByMaxAndHandlesNan) {
+  const auto norm = NormalizeValues(
+      {10.0, 5.0, std::numeric_limits<double>::quiet_NaN(), 0.0});
+  EXPECT_DOUBLE_EQ(norm[0], 1.0);
+  EXPECT_DOUBLE_EQ(norm[1], 0.5);
+  EXPECT_DOUBLE_EQ(norm[2], 0.0);
+  EXPECT_DOUBLE_EQ(norm[3], 0.0);
+}
+
+TEST(NormalizeValuesTest, AllZeroStaysZero) {
+  const auto norm = NormalizeValues({0.0, 0.0});
+  EXPECT_DOUBLE_EQ(norm[0], 0.0);
+}
+
+TEST(HeatmapTest, RenderAndWritePpm) {
+  auto polys = TinyRegions(6, BBox(0, 0, 100, 100), 91);
+  ASSERT_TRUE(polys.ok());
+  auto soup = TriangulatePolygonSet(polys.value());
+  ASSERT_TRUE(soup.ok());
+
+  std::vector<double> values = {1, 2, 3, 4, 5, 6};
+  auto img = RenderChoropleth(polys.value(), soup.value(), values, 64, 64);
+  ASSERT_TRUE(img.ok());
+
+  const std::string path = ::testing::TempDir() + "/heatmap_test.ppm";
+  ASSERT_TRUE(img.value().WritePpm(path).ok());
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.is_open());
+  std::string magic;
+  in >> magic;
+  EXPECT_EQ(magic, "P6");
+  int w, h, maxval;
+  in >> w >> h >> maxval;
+  EXPECT_EQ(w, 64);
+  EXPECT_EQ(h, 64);
+  EXPECT_EQ(maxval, 255);
+  std::remove(path.c_str());
+}
+
+TEST(HeatmapTest, PolygonsColoredNonWhite) {
+  // A partition choropleth must color (almost) every pixel.
+  auto polys = TinyRegions(4, BBox(0, 0, 100, 100), 92);
+  ASSERT_TRUE(polys.ok());
+  auto soup = TriangulatePolygonSet(polys.value());
+  ASSERT_TRUE(soup.ok());
+  std::vector<double> values = {10, 20, 30, 40};
+  auto img = RenderChoropleth(polys.value(), soup.value(), values, 32, 32);
+  ASSERT_TRUE(img.ok());
+  int colored = 0;
+  for (int y = 0; y < 32; ++y) {
+    for (int x = 0; x < 32; ++x) {
+      const Rgb& p = img.value().At(x, y);
+      if (!(p.r == 255 && p.g == 255 && p.b == 255)) ++colored;
+    }
+  }
+  EXPECT_GT(colored, 32 * 32 * 9 / 10);
+}
+
+TEST(HeatmapTest, RejectsSizeMismatch) {
+  auto polys = TinyRegions(3, BBox(0, 0, 10, 10), 93);
+  ASSERT_TRUE(polys.ok());
+  auto soup = TriangulatePolygonSet(polys.value());
+  ASSERT_TRUE(soup.ok());
+  EXPECT_FALSE(
+      RenderChoropleth(polys.value(), soup.value(), {1.0}, 16, 16).ok());
+}
+
+}  // namespace
+}  // namespace rj

@@ -1,0 +1,67 @@
+#include "viz/jnd.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace rj {
+namespace {
+
+TEST(JndTest, ThresholdIsOneOverClasses) {
+  EXPECT_DOUBLE_EQ(JndThreshold(9), 1.0 / 9.0);
+  EXPECT_DOUBLE_EQ(JndThreshold(5), 0.2);
+}
+
+TEST(JndTest, IdenticalVectorsIndistinguishable) {
+  auto report = CompareForPerception({10, 20, 30}, {10, 20, 30});
+  ASSERT_TRUE(report.ok());
+  EXPECT_DOUBLE_EQ(report.value().max_normalized_error, 0.0);
+  EXPECT_TRUE(report.value().Indistinguishable());
+}
+
+TEST(JndTest, SmallErrorBelowJndIndistinguishable) {
+  // Max exact = 1000; errors of 1 → normalized 0.001 ≪ 1/9.
+  auto report = CompareForPerception({999, 501, 101}, {1000, 500, 100});
+  ASSERT_TRUE(report.ok());
+  EXPECT_LT(report.value().max_normalized_error, 0.01);
+  EXPECT_TRUE(report.value().Indistinguishable());
+}
+
+TEST(JndTest, LargeErrorPerceivable) {
+  // One polygon off by 30% of max.
+  auto report = CompareForPerception({700, 500}, {1000, 500});
+  ASSERT_TRUE(report.ok());
+  EXPECT_NEAR(report.value().max_normalized_error, 0.3, 1e-12);
+  EXPECT_EQ(report.value().perceivable_count, 1u);
+  EXPECT_FALSE(report.value().Indistinguishable());
+}
+
+TEST(JndTest, NanTreatedAsZero) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  auto report = CompareForPerception({nan, 500}, {0.0, 500});
+  ASSERT_TRUE(report.ok());
+  EXPECT_DOUBLE_EQ(report.value().max_normalized_error, 0.0);
+}
+
+TEST(JndTest, SizeMismatchRejected) {
+  EXPECT_FALSE(CompareForPerception({1, 2}, {1, 2, 3}).ok());
+}
+
+TEST(JndTest, BadClassesRejected) {
+  EXPECT_FALSE(CompareForPerception({1}, {1}, 0).ok());
+}
+
+TEST(JndTest, AllZeroExactYieldsCleanReport) {
+  auto report = CompareForPerception({0, 0}, {0, 0});
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report.value().Indistinguishable());
+}
+
+TEST(JndTest, MeanErrorAveragesOverPolygons) {
+  auto report = CompareForPerception({90, 100}, {100, 100});
+  ASSERT_TRUE(report.ok());
+  EXPECT_NEAR(report.value().mean_normalized_error, 0.05, 1e-12);
+}
+
+}  // namespace
+}  // namespace rj

@@ -1,0 +1,125 @@
+#include "voronoi/delaunay.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <utility>
+
+#include "common/rng.h"
+
+namespace rj {
+namespace {
+
+/// Strict in-circumcircle test duplicated here as an oracle.
+double InCircleOracle(const Point& a, const Point& b, const Point& c,
+                      const Point& p) {
+  const double ax = a.x - p.x, ay = a.y - p.y;
+  const double bx = b.x - p.x, by = b.y - p.y;
+  const double cx = c.x - p.x, cy = c.y - p.y;
+  const double a2 = ax * ax + ay * ay;
+  const double b2 = bx * bx + by * by;
+  const double c2 = cx * cx + cy * cy;
+  return ax * (by * c2 - b2 * cy) - ay * (bx * c2 - b2 * cx) +
+         a2 * (bx * cy - by * cx);
+}
+
+TEST(DelaunayTest, RejectsTooFewSites) {
+  EXPECT_FALSE(ComputeDelaunay({{0, 0}, {1, 1}}).ok());
+}
+
+TEST(DelaunayTest, RejectsDuplicateSites) {
+  EXPECT_FALSE(ComputeDelaunay({{0, 0}, {1, 1}, {0, 0}, {2, 0}}).ok());
+}
+
+TEST(DelaunayTest, ThreeSitesOneTriangle) {
+  auto dt = ComputeDelaunay({{0, 0}, {4, 0}, {2, 3}});
+  ASSERT_TRUE(dt.ok());
+  EXPECT_EQ(dt.value().triangles.size(), 1u);
+}
+
+TEST(DelaunayTest, SquareYieldsTwoTriangles) {
+  auto dt = ComputeDelaunay({{0, 0}, {1, 0}, {1, 1}, {0, 1}});
+  ASSERT_TRUE(dt.ok());
+  EXPECT_EQ(dt.value().triangles.size(), 2u);
+}
+
+TEST(DelaunayTest, TriangleCountMatchesEulerFormula) {
+  // For points in general position: T = 2n - 2 - h where h = hull size.
+  Rng rng(55);
+  std::vector<Point> sites;
+  for (int i = 0; i < 100; ++i) {
+    sites.push_back({rng.Uniform(0, 100), rng.Uniform(0, 100)});
+  }
+  auto dt = ComputeDelaunay(sites);
+  ASSERT_TRUE(dt.ok());
+  // Count hull edges: edges used by exactly one triangle.
+  std::map<std::pair<int, int>, int> edge_uses;
+  for (const auto& t : dt.value().triangles) {
+    for (int e = 0; e < 3; ++e) {
+      int u = t.v[e], w = t.v[(e + 1) % 3];
+      if (u > w) std::swap(u, w);
+      edge_uses[{u, w}]++;
+    }
+  }
+  int hull = 0;
+  for (const auto& [edge, uses] : edge_uses) hull += (uses == 1);
+  EXPECT_EQ(dt.value().triangles.size(), 2u * 100 - 2 - hull);
+}
+
+TEST(DelaunayTest, EmptyCircumcircleProperty) {
+  Rng rng(66);
+  std::vector<Point> sites;
+  for (int i = 0; i < 60; ++i) {
+    sites.push_back({rng.Uniform(0, 10), rng.Uniform(0, 10)});
+  }
+  auto dt = ComputeDelaunay(sites);
+  ASSERT_TRUE(dt.ok());
+  const auto& tri = dt.value();
+  for (const auto& t : tri.triangles) {
+    const Point& a = tri.sites[t.v[0]];
+    const Point& b = tri.sites[t.v[1]];
+    const Point& c = tri.sites[t.v[2]];
+    for (std::size_t s = 0; s < tri.sites.size(); ++s) {
+      if (static_cast<std::int32_t>(s) == t.v[0] ||
+          static_cast<std::int32_t>(s) == t.v[1] ||
+          static_cast<std::int32_t>(s) == t.v[2]) {
+        continue;
+      }
+      // No site strictly inside any circumcircle (allow tiny numeric slop
+      // scaled by the coordinate magnitude).
+      EXPECT_LT(InCircleOracle(a, b, c, tri.sites[s]), 1e-5)
+          << "site " << s << " violates empty-circumcircle";
+    }
+  }
+}
+
+TEST(DelaunayTest, TrianglesAreCcw) {
+  Rng rng(77);
+  std::vector<Point> sites;
+  for (int i = 0; i < 40; ++i) {
+    sites.push_back({rng.Uniform(0, 10), rng.Uniform(0, 10)});
+  }
+  auto dt = ComputeDelaunay(sites);
+  ASSERT_TRUE(dt.ok());
+  for (const auto& t : dt.value().triangles) {
+    EXPECT_GT(Orient2D(dt.value().sites[t.v[0]], dt.value().sites[t.v[1]],
+                       dt.value().sites[t.v[2]]),
+              0.0);
+  }
+}
+
+TEST(DelaunayTest, CircumcenterEquidistant) {
+  auto dt = ComputeDelaunay({{0, 0}, {4, 0}, {2, 3}});
+  ASSERT_TRUE(dt.ok());
+  const auto& t = dt.value().triangles[0];
+  const Point cc = dt.value().Circumcenter(t);
+  const double d0 = cc.DistanceTo(dt.value().sites[t.v[0]]);
+  const double d1 = cc.DistanceTo(dt.value().sites[t.v[1]]);
+  const double d2 = cc.DistanceTo(dt.value().sites[t.v[2]]);
+  EXPECT_NEAR(d0, d1, 1e-9);
+  EXPECT_NEAR(d1, d2, 1e-9);
+}
+
+}  // namespace
+}  // namespace rj

@@ -1,0 +1,64 @@
+#include "voronoi/restricted_voronoi.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace rj {
+namespace {
+
+TEST(RestrictedVoronoiTest, CellsCoverTheRegion) {
+  Polygon region(Ring{{0, 0}, {100, 0}, {100, 60}, {0, 60}});
+  ASSERT_TRUE(region.Normalize().ok());
+  std::vector<Point> resources = {{20, 30}, {50, 30}, {80, 30}, {50, 10}};
+  auto rv = ComputeRestrictedVoronoi(resources, region);
+  ASSERT_TRUE(rv.ok());
+  double total = 0.0;
+  for (const auto& cr : rv.value()) total += cr.region.Area();
+  EXPECT_NEAR(total, region.Area(), region.Area() * 1e-6);
+}
+
+TEST(RestrictedVoronoiTest, ConcaveRegionPiecesStayInside) {
+  // L-shaped city region.
+  Polygon region(Ring{{0, 0}, {60, 0}, {60, 30}, {30, 30}, {30, 60}, {0, 60}});
+  ASSERT_TRUE(region.Normalize().ok());
+  std::vector<Point> resources = {{10, 10}, {50, 10}, {10, 50}};
+  auto rv = ComputeRestrictedVoronoi(resources, region);
+  ASSERT_TRUE(rv.ok());
+  double total = 0.0;
+  for (const auto& cr : rv.value()) {
+    total += cr.region.Area();
+    // Sample the coverage centroid; must be inside the city region
+    // (clip of concave against convex can in principle split, but for this
+    // configuration pieces stay connected).
+    EXPECT_TRUE(region.Contains(cr.region.Centroid()));
+  }
+  EXPECT_NEAR(total, region.Area(), region.Area() * 1e-6);
+}
+
+TEST(RestrictedVoronoiTest, ResourceIdsPreserved) {
+  Polygon region(Ring{{0, 0}, {10, 0}, {10, 10}, {0, 10}});
+  ASSERT_TRUE(region.Normalize().ok());
+  std::vector<Point> resources = {{2, 5}, {8, 5}, {5, 9}};
+  auto rv = ComputeRestrictedVoronoi(resources, region);
+  ASSERT_TRUE(rv.ok());
+  for (const auto& cr : rv.value()) {
+    EXPECT_EQ(cr.region.id(), cr.resource);
+    // The resource point lies in its own coverage region.
+    EXPECT_TRUE(cr.region.Contains(resources[cr.resource]));
+  }
+}
+
+TEST(RestrictedVoronoiTest, RegionWithHolesNotImplemented) {
+  Polygon region(Ring{{0, 0}, {10, 0}, {10, 10}, {0, 10}},
+                 {Ring{{4, 4}, {6, 4}, {6, 6}, {4, 6}}});
+  ASSERT_TRUE(region.Normalize().ok());
+  auto rv = ComputeRestrictedVoronoi({{1, 1}, {9, 9}, {9, 1}}, region);
+  EXPECT_FALSE(rv.ok());
+  EXPECT_EQ(rv.status().code(), StatusCode::kNotImplemented);
+}
+
+}  // namespace
+}  // namespace rj

@@ -1,0 +1,123 @@
+#include "voronoi/voronoi.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace rj {
+namespace {
+
+TEST(VoronoiTest, TwoByTwoGridCells) {
+  // Four symmetric sites in a unit square → four equal quadrant cells.
+  const BBox domain(0, 0, 2, 2);
+  auto vd = ComputeVoronoi(
+      {{0.5, 0.5}, {1.5, 0.5}, {0.5, 1.5}, {1.5, 1.5}}, domain);
+  ASSERT_TRUE(vd.ok());
+  ASSERT_EQ(vd.value().cells.size(), 4u);
+  for (const Ring& cell : vd.value().cells) {
+    EXPECT_NEAR(std::fabs(SignedArea(cell)), 1.0, 1e-9);
+  }
+}
+
+TEST(VoronoiTest, CellsPartitionDomain) {
+  Rng rng(31);
+  std::vector<Point> sites;
+  for (int i = 0; i < 50; ++i) {
+    sites.push_back({rng.Uniform(0, 100), rng.Uniform(0, 100)});
+  }
+  const BBox domain(0, 0, 100, 100);
+  auto vd = ComputeVoronoi(sites, domain);
+  ASSERT_TRUE(vd.ok());
+  double total = 0.0;
+  for (const Ring& cell : vd.value().cells) {
+    total += std::fabs(SignedArea(cell));
+  }
+  EXPECT_NEAR(total, 100.0 * 100.0, 1e-6);
+}
+
+TEST(VoronoiTest, EachSiteInsideItsCell) {
+  Rng rng(37);
+  std::vector<Point> sites;
+  for (int i = 0; i < 50; ++i) {
+    sites.push_back({rng.Uniform(0, 10), rng.Uniform(0, 10)});
+  }
+  auto vd = ComputeVoronoi(sites, BBox(0, 0, 10, 10));
+  ASSERT_TRUE(vd.ok());
+  for (std::size_t i = 0; i < sites.size(); ++i) {
+    const Ring& cell = vd.value().cells[i];
+    ASSERT_GE(cell.size(), 3u);
+    // Site is in its cell: every cell edge has the site on the inner side.
+    Polygon p{Ring(cell)};
+    ASSERT_TRUE(p.Normalize().ok());
+    EXPECT_TRUE(p.Contains(sites[i])) << "site " << i;
+  }
+}
+
+TEST(VoronoiTest, CellPointsCloserToOwnSite) {
+  Rng rng(41);
+  std::vector<Point> sites;
+  for (int i = 0; i < 25; ++i) {
+    sites.push_back({rng.Uniform(0, 10), rng.Uniform(0, 10)});
+  }
+  auto vd = ComputeVoronoi(sites, BBox(0, 0, 10, 10));
+  ASSERT_TRUE(vd.ok());
+  // Sample each cell's centroid; it must be (weakly) closest to its site.
+  for (std::size_t i = 0; i < sites.size(); ++i) {
+    const Ring& cell = vd.value().cells[i];
+    if (cell.size() < 3) continue;
+    Point centroid{0, 0};
+    for (const Point& v : cell) centroid = centroid + v;
+    centroid = centroid / static_cast<double>(cell.size());
+    const double own = centroid.DistanceTo(sites[i]);
+    for (std::size_t j = 0; j < sites.size(); ++j) {
+      EXPECT_LE(own, centroid.DistanceTo(sites[j]) + 1e-9);
+    }
+  }
+}
+
+TEST(VoronoiTest, NeighborsAreSymmetric) {
+  Rng rng(43);
+  std::vector<Point> sites;
+  for (int i = 0; i < 30; ++i) {
+    sites.push_back({rng.Uniform(0, 10), rng.Uniform(0, 10)});
+  }
+  auto vd = ComputeVoronoi(sites, BBox(0, 0, 10, 10));
+  ASSERT_TRUE(vd.ok());
+  const auto& nb = vd.value().neighbors;
+  for (std::size_t i = 0; i < nb.size(); ++i) {
+    for (const std::int32_t j : nb[i]) {
+      bool back = false;
+      for (const std::int32_t k : nb[j]) back = back || (k == static_cast<std::int32_t>(i));
+      EXPECT_TRUE(back) << i << " -> " << j << " not symmetric";
+    }
+  }
+}
+
+TEST(ClipRingToConvexTest, SquareClipDiamond) {
+  const Ring subject = {{0, 0}, {10, 0}, {10, 10}, {0, 10}};
+  // Diamond |x-5| + |y-5| <= 5, entirely inside the square.
+  const Ring clip = {{5, 0}, {10, 5}, {5, 10}, {0, 5}};
+  const Ring out = ClipRingToConvex(subject, clip);
+  ASSERT_GE(out.size(), 3u);
+  // Square ∩ diamond = the diamond itself: area = d1·d2/2 = 10·10/2 = 50.
+  EXPECT_NEAR(std::fabs(SignedArea(out)), 50.0, 1e-9);
+}
+
+TEST(ClipRingToConvexTest, DisjointYieldsEmpty) {
+  const Ring subject = {{0, 0}, {1, 0}, {1, 1}, {0, 1}};
+  const Ring clip = {{5, 5}, {6, 5}, {6, 6}, {5, 6}};
+  EXPECT_TRUE(ClipRingToConvex(subject, clip).empty());
+}
+
+TEST(ClipRingToConvexTest, CwClipRingHandled) {
+  const Ring subject = {{0, 0}, {10, 0}, {10, 10}, {0, 10}};
+  Ring clip = {{2, 2}, {8, 2}, {8, 8}, {2, 8}};
+  ReverseRing(&clip);  // CW
+  const Ring out = ClipRingToConvex(subject, clip);
+  EXPECT_NEAR(std::fabs(SignedArea(out)), 36.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace rj
