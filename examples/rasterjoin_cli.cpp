@@ -11,9 +11,10 @@
 ///
 /// Examples:
 ///   rasterjoin_cli generate --kind taxi --n 1000000 --out taxi.rjc
-///   rasterjoin_cli query --points taxi.rjc --regions 260 \
-///       --variant bounded --epsilon 20 --agg avg --column 0 \
+///   rasterjoin_cli query --points taxi.rjc --regions 260
+///       --variant bounded --epsilon 20 --agg avg --column 0
 ///       --filter 4,lt,12
+///   (the query flags above form one command line)
 #include <cstdio>
 #include <cstring>
 #include <map>

@@ -84,7 +84,10 @@ class Result {
 
   const Status& status() const {
     static const Status kOk = Status::OK();
-    return ok() ? kOk : std::get<Status>(v_);
+    // get_if instead of get: the throwing branch of std::get trips GCC 12's
+    // -Wmaybe-uninitialized through the inlined string member at -O2.
+    const Status* s = std::get_if<Status>(&v_);
+    return s != nullptr ? *s : kOk;
   }
 
   /// Precondition: ok().

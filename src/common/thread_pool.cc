@@ -40,18 +40,15 @@ void ThreadPool::Wait() {
 void ThreadPool::ParallelFor(
     std::size_t n,
     const std::function<void(std::size_t, std::size_t, std::size_t)>& fn) {
-  if (n == 0) return;
-  const std::size_t workers = num_threads();
-  if (workers <= 1 || n == 1) {
+  const ChunkPlan plan = PlanChunks(n, num_threads());
+  if (plan.count == 0) return;
+  if (plan.count == 1) {
     fn(0, n, 0);
     return;
   }
-  const std::size_t chunks = std::min(n, workers);
-  const std::size_t chunk = (n + chunks - 1) / chunks;
-  for (std::size_t c = 0; c < chunks; ++c) {
-    const std::size_t begin = c * chunk;
-    const std::size_t end = std::min(n, begin + chunk);
-    if (begin >= end) break;
+  for (std::size_t c = 0; c < plan.count; ++c) {
+    const std::size_t begin = c * plan.size;
+    const std::size_t end = std::min(n, begin + plan.size);
     Submit([&fn, begin, end, c] { fn(begin, end, c); });
   }
   Wait();

@@ -35,8 +35,17 @@ class ThreadPool {
   /// Blocks until every submitted task has finished executing.
   void Wait();
 
-  /// Splits [0, n) into contiguous chunks and runs
-  /// `fn(begin, end, worker_index)` on the pool, blocking until done.
+  /// Number of contiguous chunks ParallelFor(n, ...) will split [0, n)
+  /// into. Chunk index c covers an ascending range; parallel reductions
+  /// size their per-chunk state with this so merge order is well defined.
+  /// ParallelFor derives its partition from the same PlanChunks call, so
+  /// the two can never drift apart.
+  std::size_t NumChunks(std::size_t n) const {
+    return PlanChunks(n, num_threads()).count;
+  }
+
+  /// Splits [0, n) into NumChunks(n) contiguous chunks and runs
+  /// `fn(begin, end, chunk_index)` on the pool, blocking until done.
   /// Runs inline when the pool has a single worker (avoids queue overhead).
   void ParallelFor(std::size_t n,
                    const std::function<void(std::size_t, std::size_t,
@@ -46,6 +55,19 @@ class ThreadPool {
   static ThreadPool& Default();
 
  private:
+  /// The single source of truth for ParallelFor's partition of [0, n).
+  struct ChunkPlan {
+    std::size_t size = 0;   ///< elements per chunk (last one may be short)
+    std::size_t count = 0;  ///< number of non-empty chunks
+  };
+  static ChunkPlan PlanChunks(std::size_t n, std::size_t workers) {
+    if (n == 0) return {0, 0};
+    if (workers <= 1 || n == 1) return {n, 1};
+    const std::size_t chunks = std::min(n, workers);
+    const std::size_t size = (n + chunks - 1) / chunks;
+    return {size, (n + size - 1) / size};
+  }
+
   void WorkerLoop();
 
   std::vector<std::thread> workers_;

@@ -17,17 +17,9 @@ void JoinPointRange(const PointTable& points, const PolygonSet& polys,
                     std::size_t begin, std::size_t end,
                     raster::ResultArrays* out) {
   const bool has_weight = options.weight_column != PointTable::npos;
-  const auto& conjuncts = options.filters.filters();
 
   for (std::size_t i = begin; i < end; ++i) {
-    bool pass = true;
-    for (const AttributeFilter& f : conjuncts) {
-      if (!f.Evaluate(points.attribute(f.column)[i])) {
-        pass = false;
-        break;
-      }
-    }
-    if (!pass) continue;
+    if (!options.filters.Matches(points, i)) continue;
 
     const Point p = points.At(i);
     const float w =

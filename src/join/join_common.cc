@@ -24,17 +24,9 @@ JoinResult ReferenceJoin(const PointTable& points, const PolygonSet& polys,
                          const FilterSet& filters, std::size_t weight_column) {
   JoinResult result(polys.size());
   const bool has_weight = weight_column != PointTable::npos;
-  const auto& conjuncts = filters.filters();
 
   for (std::size_t i = 0; i < points.size(); ++i) {
-    bool pass = true;
-    for (const AttributeFilter& f : conjuncts) {
-      if (!f.Evaluate(points.attribute(f.column)[i])) {
-        pass = false;
-        break;
-      }
-    }
-    if (!pass) continue;
+    if (!filters.Matches(points, i)) continue;
 
     const Point p = points.At(i);
     const float w = has_weight ? points.attribute(weight_column)[i] : 0.0f;

@@ -31,7 +31,6 @@ Result<JoinResult> MaterializingJoin(gpu::Device* device,
 
   JoinResult result(polys.size());
   const bool has_weight = options.weight_column != PointTable::npos;
-  const auto& conjuncts = options.filters.filters();
 
   // Index the points with a quadtree (comparator's structure).
   Timer index_timer;
@@ -54,14 +53,9 @@ Result<JoinResult> MaterializingJoin(gpu::Device* device,
       qt.VisitLeaves(mbr, [&](const Quadtree::Node& leaf) {
         for (std::int64_t k = leaf.begin; k < leaf.end; ++k) {
           const std::int64_t row = qt.point_order()[k];
-          bool pass = true;
-          for (const AttributeFilter& f : conjuncts) {
-            if (!f.Evaluate(points.attribute(f.column)[row])) {
-              pass = false;
-              break;
-            }
+          if (!options.filters.Matches(points, static_cast<std::size_t>(row))) {
+            continue;
           }
-          if (!pass) continue;
 
           Point p = points.At(row);
           if (!mbr.Contains(p)) continue;

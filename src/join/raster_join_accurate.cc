@@ -51,7 +51,6 @@ Result<JoinResult> AccurateRasterJoin(gpu::Device* device,
       }());
 
   const bool has_weight = options.weight_column != PointTable::npos;
-  const auto& conjuncts = options.filters.filters();
 
   // Batch planning for out-of-core inputs.
   std::vector<std::size_t> columns = options.filters.ReferencedColumns();
@@ -91,51 +90,91 @@ Result<JoinResult> AccurateRasterJoin(gpu::Device* device,
     }
 
     ScopedPhase sp(&result.timing, phase::kProcessing);
-    for (std::size_t i = begin; i < end; ++i) {
-      bool pass = true;
-      for (const AttributeFilter& f : conjuncts) {
-        if (!f.Evaluate(points.attribute(f.column)[i])) {
-          pass = false;
-          break;
-        }
-      }
-      if (!pass) continue;
+
+    // Procedure AccuratePoints for point i. Boundary-pixel points take the
+    // exact PIP path into `acc`; interior points are handed to
+    // `emit_interior` (either a direct FBO blend or a staged fragment).
+    // Returns 0 = filtered/clipped, 1 = interior, 2 = boundary.
+    const auto process_point = [&](std::size_t i, raster::ResultArrays* acc,
+                                   const auto& emit_interior) -> int {
+      if (!options.filters.Matches(points, i)) return 0;
 
       const Point p = points.At(i);
       const Point s = vp.ToScreen(p);
       const auto px = static_cast<std::int32_t>(std::floor(s.x));
       const auto py = static_cast<std::int32_t>(std::floor(s.y));
-      if (px < 0 || px >= dim || py < 0 || py >= dim) continue;  // clipped
+      if (px < 0 || px >= dim || py < 0 || py >= dim) return 0;  // clipped
 
       const float w = has_weight
                           ? points.attribute(options.weight_column)[i]
                           : 0.0f;
       if (raster::IsBoundaryPixel(boundary_fbo, px, py)) {
         // Procedure JoinPoint: index lookup + exact PIP per candidate.
-        ++boundary_points;
         auto [cand_begin, cand_end] = index.Candidates(p);
         for (const std::int32_t* c = cand_begin; c != cand_end; ++c) {
           const Polygon& poly = polys[static_cast<std::size_t>(*c)];
           if (!poly.Contains(p)) continue;
           const std::size_t id = static_cast<std::size_t>(poly.id());
-          result.arrays.count[id] += 1.0;
+          acc->count[id] += 1.0;
           if (has_weight) {
-            result.arrays.sum[id] += w;
-            result.arrays.min[id] =
-                std::min(result.arrays.min[id], static_cast<double>(w));
-            result.arrays.max[id] =
-                std::max(result.arrays.max[id], static_cast<double>(w));
+            acc->sum[id] += w;
+            acc->min[id] = std::min(acc->min[id], static_cast<double>(w));
+            acc->max[id] = std::max(acc->max[id], static_cast<double>(w));
           }
         }
-      } else {
-        // Fast path: blend the partial aggregate into the point FBO.
-        ++interior_points;
-        point_fbo.Add(px, py, raster::kChannelCount, 1.0f);
-        if (has_weight) {
-          point_fbo.Add(px, py, raster::kChannelSum, w);
-          point_fbo.BlendMin(px, py, raster::kChannelMin, w);
-          point_fbo.BlendMax(px, py, raster::kChannelMax, w);
+        return 2;
+      }
+      emit_interior(raster::PointFrag{px, py, w});
+      return 1;
+    };
+
+    const auto blend = [&](const raster::PointFrag& f) {
+      raster::BlendPointFrag(&point_fbo, f, has_weight);
+    };
+
+    ThreadPool& pool = device->pool();
+    const std::size_t batch_n = end - begin;
+    const std::size_t num_chunks = pool.NumChunks(batch_n);
+    if (num_chunks <= 1) {
+      for (std::size_t i = begin; i < end; ++i) {
+        switch (process_point(i, &result.arrays, blend)) {
+          case 1: ++interior_points; break;
+          case 2: ++boundary_points; break;
+          default: break;
         }
+      }
+    } else {
+      // Tiled-parallel AccuratePoints: each chunk classifies its slice of
+      // the batch, staging interior fragments per row band and accumulating
+      // boundary-point PIP results into a private ResultArrays; both are
+      // merged deterministically (ascending chunk order) afterwards.
+      raster::BandBinner binner(num_chunks, dim, /*expected_frags=*/batch_n);
+      std::vector<raster::ResultArrays> partials(
+          num_chunks, raster::ResultArrays(polys.size()));
+      std::vector<std::uint64_t> boundary_per_chunk(num_chunks, 0);
+      std::vector<std::uint64_t> interior_per_chunk(num_chunks, 0);
+      pool.ParallelFor(batch_n, [&](std::size_t c_begin, std::size_t c_end,
+                                    std::size_t chunk) {
+        for (std::size_t k = c_begin; k < c_end; ++k) {
+          switch (process_point(begin + k, &partials[chunk],
+                                [&](const raster::PointFrag& f) {
+                                  binner.Push(chunk, f);
+                                })) {
+            case 1: ++interior_per_chunk[chunk]; break;
+            case 2: ++boundary_per_chunk[chunk]; break;
+            default: break;
+          }
+        }
+      });
+      pool.ParallelFor(
+          binner.num_bands(),
+          [&](std::size_t band_begin, std::size_t band_end, std::size_t) {
+            binner.ReplayBands(band_begin, band_end, blend);
+          });
+      for (std::size_t c = 0; c < num_chunks; ++c) {
+        result.arrays.AddFrom(partials[c]);
+        boundary_points += boundary_per_chunk[c];
+        interior_points += interior_per_chunk[c];
       }
     }
     device->counters().AddBatches(1);
@@ -146,7 +185,7 @@ Result<JoinResult> AccurateRasterJoin(gpu::Device* device,
     ScopedPhase sp(&result.timing, phase::kProcessing);
     raster::ResultArrays poly_pass(polys.size());
     raster::DrawPolygons(vp, soup, point_fbo, &boundary_fbo, &poly_pass,
-                         &device->counters());
+                         &device->counters(), &device->pool());
     result.arrays.AddFrom(poly_pass);
   }
   device->counters().AddRenderPasses(1);

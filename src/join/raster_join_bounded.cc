@@ -111,7 +111,8 @@ Result<JoinResult> BoundedRasterJoin(gpu::Device* device,
         PointTable slice = points.Slice(begin, end);
         drawn_total += raster::DrawPoints(vp, slice, options.filters,
                                           options.weight_column, &point_fbo,
-                                          &device->counters());
+                                          &device->counters(),
+                                          &device->pool());
       }
       device->counters().AddBatches(1);
     }
@@ -136,7 +137,8 @@ Result<JoinResult> BoundedRasterJoin(gpu::Device* device,
       ScopedPhase sp(&result.timing, phase::kProcessing);
       raster::ResultArrays tile_result(polys.size());
       raster::DrawPolygons(vp, soup, point_fbo, /*boundary_fbo=*/nullptr,
-                           &tile_result, &device->counters());
+                           &tile_result, &device->counters(),
+                           &device->pool());
       result.arrays.AddFrom(tile_result);
     }
     device->counters().AddRenderPasses(1);

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "data/point_table.h"
 
 namespace rj {
 
@@ -56,6 +57,16 @@ class FilterSet {
   bool empty() const { return filters_.empty(); }
   std::size_t size() const { return filters_.size(); }
   const std::vector<AttributeFilter>& filters() const { return filters_; }
+
+  /// True when point `i` of `points` satisfies every conjunct. The single
+  /// definition of filter semantics shared by all join variants — they must
+  /// agree exactly or their results diverge on filtered queries.
+  bool Matches(const PointTable& points, std::size_t i) const {
+    for (const AttributeFilter& f : filters_) {
+      if (!f.Evaluate(points.attribute(f.column)[i])) return false;
+    }
+    return true;
+  }
 
   /// Columns referenced by any conjunct (these are the extra columns that
   /// must be transferred to the device).

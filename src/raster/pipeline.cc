@@ -9,6 +9,31 @@
 
 namespace rj::raster {
 
+namespace {
+
+/// Row bands per canvas: enough to keep every worker busy in the fragment
+/// stage without shattering the buckets. Clamped to the canvas height so a
+/// band always owns at least one full row (exclusive writes).
+std::size_t PlanBands(std::int32_t height, std::size_t workers) {
+  return std::min<std::size_t>(static_cast<std::size_t>(height),
+                               std::max<std::size_t>(workers, 1));
+}
+
+}  // namespace
+
+BandBinner::BandBinner(std::size_t num_chunks, std::int32_t height,
+                       std::size_t expected_frags)
+    : num_chunks_(num_chunks),
+      num_bands_(PlanBands(height, num_chunks)),
+      height_(height),
+      buckets_(num_chunks * num_bands_) {
+  if (expected_frags > 0) {
+    // Pre-size for a uniform spread; skewed inputs still grow as needed.
+    const std::size_t per_bucket = expected_frags / buckets_.size() + 1;
+    for (auto& bucket : buckets_) bucket.reserve(per_bucket);
+  }
+}
+
 void ResultArrays::Resize(std::size_t num_polygons) {
   count.assign(num_polygons, 0.0);
   sum.assign(num_polygons, 0.0);
@@ -27,43 +52,68 @@ void ResultArrays::AddFrom(const ResultArrays& other) {
 
 std::uint64_t DrawPoints(const Viewport& vp, const PointTable& points,
                          const FilterSet& filters, std::size_t weight_column,
-                         Fbo* fbo, gpu::Counters* counters) {
+                         Fbo* fbo, gpu::Counters* counters, ThreadPool* pool) {
   const std::size_t n = points.size();
   const bool has_weight = weight_column != PointTable::npos;
   const std::vector<float>* weights =
       has_weight ? &points.attribute(weight_column) : nullptr;
-  const auto& conjuncts = filters.filters();
+
+  const std::int32_t width = fbo->width();
+  const std::int32_t height = fbo->height();
 
   std::uint64_t drawn = 0;
-  for (std::size_t i = 0; i < n; ++i) {
-    // Vertex stage: filter constraints first — failing points are
-    // positioned outside the viewport by the paper's vertex shader and
-    // clipped; here we just skip them before the transform.
-    bool pass = true;
-    for (const AttributeFilter& f : conjuncts) {
-      if (!f.Evaluate(points.attribute(f.column)[i])) {
-        pass = false;
-        break;
+  const std::size_t num_chunks = pool != nullptr ? pool->NumChunks(n) : 1;
+  if (num_chunks <= 1) {
+    // Sequential path: vertex and fragment stage fused per point.
+    for (std::size_t i = 0; i < n; ++i) {
+      // Vertex stage: filter constraints first — failing points are
+      // positioned outside the viewport by the paper's vertex shader and
+      // clipped; here we just skip them before the transform.
+      if (!filters.Matches(points, i)) continue;
+
+      const Point s = vp.ToScreen(points.At(i));
+      const auto px = static_cast<std::int32_t>(std::floor(s.x));
+      const auto py = static_cast<std::int32_t>(std::floor(s.y));
+      if (px < 0 || px >= width || py < 0 || py >= height) {
+        continue;  // clipped by the pipeline
       }
-    }
-    if (!pass) continue;
 
-    const Point s = vp.ToScreen(points.At(i));
-    const auto px = static_cast<std::int32_t>(std::floor(s.x));
-    const auto py = static_cast<std::int32_t>(std::floor(s.y));
-    if (px < 0 || px >= fbo->width() || py < 0 || py >= fbo->height()) {
-      continue;  // clipped by the pipeline
+      // Fragment stage: additive blend of the partial aggregate.
+      BlendPointFrag(fbo, {px, py, has_weight ? (*weights)[i] : 0.0f},
+                     has_weight);
+      ++drawn;
     }
+  } else {
+    // Tiled-parallel path. Vertex stage: each chunk filters, transforms and
+    // clips its contiguous slice of the point stream, staging surviving
+    // fragments per row band.
+    BandBinner binner(num_chunks, height, /*expected_frags=*/n);
+    std::vector<std::uint64_t> drawn_per_chunk(num_chunks, 0);
+    pool->ParallelFor(n, [&](std::size_t begin, std::size_t end,
+                             std::size_t chunk) {
+      std::uint64_t local_drawn = 0;
+      for (std::size_t i = begin; i < end; ++i) {
+        if (!filters.Matches(points, i)) continue;
+        const Point s = vp.ToScreen(points.At(i));
+        const auto px = static_cast<std::int32_t>(std::floor(s.x));
+        const auto py = static_cast<std::int32_t>(std::floor(s.y));
+        if (px < 0 || px >= width || py < 0 || py >= height) continue;
+        binner.Push(chunk, {px, py, has_weight ? (*weights)[i] : 0.0f});
+        ++local_drawn;
+      }
+      drawn_per_chunk[chunk] = local_drawn;
+    });
 
-    // Fragment stage: additive blend of the partial aggregate.
-    fbo->Add(px, py, kChannelCount, 1.0f);
-    if (has_weight) {
-      const float w = (*weights)[i];
-      fbo->Add(px, py, kChannelSum, w);
-      fbo->BlendMin(px, py, kChannelMin, w);
-      fbo->BlendMax(px, py, kChannelMax, w);
-    }
-    ++drawn;
+    // Fragment stage: each worker owns a contiguous run of row bands and
+    // blends its fragments in sequential point order (see BandBinner).
+    pool->ParallelFor(
+        binner.num_bands(),
+        [&](std::size_t band_begin, std::size_t band_end, std::size_t) {
+          binner.ReplayBands(band_begin, band_end, [&](const PointFrag& f) {
+            BlendPointFrag(fbo, f, has_weight);
+          });
+        });
+    for (const std::uint64_t d : drawn_per_chunk) drawn += d;
   }
 
   if (counters != nullptr) {
@@ -75,12 +125,21 @@ std::uint64_t DrawPoints(const Viewport& vp, const PointTable& points,
 
 void DrawPolygons(const Viewport& vp, const TriangleSoup& soup,
                   const Fbo& point_fbo, const Fbo* boundary_fbo,
-                  ResultArrays* result, gpu::Counters* counters) {
-  std::uint64_t fragments = 0;
-  std::uint64_t atomics = 0;
+                  ResultArrays* result, gpu::Counters* counters,
+                  ThreadPool* pool) {
   const bool min_max_tracked = !result->min.empty();
+  const std::size_t num_polygons = result->count.size();
 
-  for (const Triangle& tri : soup) {
+  // Per-worker meter kept in plain integers so the fragment loop never
+  // touches the shared atomics; merged into `counters` once at the end.
+  struct Meter {
+    std::uint64_t fragments = 0;
+    std::uint64_t atomics = 0;
+  };
+
+  // Shades one triangle into `acc`, metering into `meter`.
+  const auto shade = [&](const Triangle& tri, ResultArrays* acc,
+                         Meter* meter) {
     const std::size_t id = static_cast<std::size_t>(tri.polygon_id);
     const Point a = vp.ToScreen(tri.a);
     const Point b = vp.ToScreen(tri.b);
@@ -88,30 +147,54 @@ void DrawPolygons(const Viewport& vp, const TriangleSoup& soup,
     RasterizeTriangle(
         a, b, c, point_fbo.width(), point_fbo.height(),
         [&](std::int32_t x, std::int32_t y) {
-          ++fragments;
+          ++meter->fragments;
           if (boundary_fbo != nullptr && IsBoundaryPixel(*boundary_fbo, x, y)) {
             // Accurate variant: boundary pixels were handled point-by-point.
             return;
           }
           const float cnt = point_fbo.At(x, y, kChannelCount);
           if (cnt == 0.0f) return;  // empty pixel, nothing to accumulate
-          result->count[id] += cnt;
-          result->sum[id] += point_fbo.At(x, y, kChannelSum);
+          acc->count[id] += cnt;
+          acc->sum[id] += point_fbo.At(x, y, kChannelSum);
           if (min_max_tracked) {
-            result->min[id] = std::min(
-                result->min[id],
-                static_cast<double>(point_fbo.At(x, y, kChannelMin)));
-            result->max[id] = std::max(
-                result->max[id],
-                static_cast<double>(point_fbo.At(x, y, kChannelMax)));
+            acc->min[id] = std::min(
+                acc->min[id], static_cast<double>(point_fbo.At(x, y,
+                                                               kChannelMin)));
+            acc->max[id] = std::max(
+                acc->max[id], static_cast<double>(point_fbo.At(x, y,
+                                                               kChannelMax)));
           }
-          ++atomics;
+          ++meter->atomics;
         });
+  };
+
+  Meter totals;
+  const std::size_t num_chunks =
+      pool != nullptr ? pool->NumChunks(soup.size()) : 1;
+  if (num_chunks <= 1) {
+    for (const Triangle& tri : soup) shade(tri, result, &totals);
+  } else {
+    // Triangles split across workers; each accumulates into a private
+    // ResultArrays (the per-worker SSBO analogue) merged in chunk order.
+    std::vector<ResultArrays> partials(num_chunks, ResultArrays(num_polygons));
+    std::vector<Meter> meters(num_chunks);
+    pool->ParallelFor(soup.size(), [&](std::size_t begin, std::size_t end,
+                                       std::size_t chunk) {
+      for (std::size_t t = begin; t < end; ++t) {
+        shade(soup[t], &partials[chunk], &meters[chunk]);
+      }
+    });
+    for (std::size_t c = 0; c < num_chunks; ++c) {
+      result->AddFrom(partials[c]);
+      totals.fragments += meters[c].fragments;
+      totals.atomics += meters[c].atomics;
+    }
   }
+
   if (counters != nullptr) {
     counters->AddVerticesProcessed(soup.size() * 3);
-    counters->AddFragments(fragments);
-    counters->AddAtomicAdds(atomics);
+    counters->AddFragments(totals.fragments);
+    counters->AddAtomicAdds(totals.atomics);
   }
 }
 

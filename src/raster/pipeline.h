@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "data/point_table.h"
 #include "gpu/counters.h"
 #include "query/filter.h"
@@ -33,23 +34,106 @@ struct ResultArrays {
   void AddFrom(const ResultArrays& other);
 };
 
+/// One staged point fragment: screen position plus the pre-fetched weight
+/// attribute (0 when the query has no weight column).
+struct PointFrag {
+  std::int32_t x;
+  std::int32_t y;
+  float w;
+};
+
+/// The point-pass fragment stage: blends one fragment's partial aggregate
+/// into `fbo`. The single definition shared by the sequential and staged
+/// paths (and the accurate join) — the bitwise-determinism guarantee
+/// requires every path to perform these exact operations in this order.
+inline void BlendPointFrag(Fbo* fbo, const PointFrag& f, bool has_weight) {
+  fbo->Add(f.x, f.y, kChannelCount, 1.0f);
+  if (has_weight) {
+    fbo->Add(f.x, f.y, kChannelSum, f.w);
+    fbo->BlendMin(f.x, f.y, kChannelMin, f.w);
+    fbo->BlendMax(f.x, f.y, kChannelMax, f.w);
+  }
+}
+
+/// Deterministic sort-middle staging for parallel additive blending.
+///
+/// The canvas is tiled into horizontal row bands, one exclusive owner per
+/// band. Producers (the parallel "vertex stage") append fragments into a
+/// per-(chunk, band) bucket; consumers (the parallel "fragment stage") each
+/// replay one band's buckets in ascending chunk order. Because ParallelFor
+/// chunks are contiguous ascending index ranges, every pixel sees its
+/// fragments in exactly the order a sequential loop would produce — the
+/// N-thread result is bitwise identical to the 1-thread result.
+class BandBinner {
+ public:
+  /// `num_chunks` producer chunks over a canvas of `height` rows.
+  /// `expected_frags` (when non-zero) pre-sizes the buckets for a uniform
+  /// spread, avoiding growth reallocations on the hot path.
+  BandBinner(std::size_t num_chunks, std::int32_t height,
+             std::size_t expected_frags = 0);
+
+  std::size_t num_bands() const { return num_bands_; }
+
+  /// Appends a fragment produced by chunk `chunk` (its ParallelFor index).
+  void Push(std::size_t chunk, const PointFrag& f) {
+    buckets_[chunk * num_bands_ + BandOf(f.y)].push_back(f);
+  }
+
+  /// Invokes `fn(frag)` for every fragment of bands [band_begin, band_end),
+  /// band by band, in ascending chunk order within each band.
+  template <typename Fn>
+  void ReplayBands(std::size_t band_begin, std::size_t band_end,
+                   const Fn& fn) const {
+    for (std::size_t b = band_begin; b < band_end; ++b) {
+      for (std::size_t c = 0; c < num_chunks_; ++c) {
+        for (const PointFrag& f : buckets_[c * num_bands_ + b]) fn(f);
+      }
+    }
+  }
+
+ private:
+  std::size_t BandOf(std::int32_t y) const {
+    return static_cast<std::size_t>(y) * num_bands_ /
+           static_cast<std::size_t>(height_);
+  }
+
+  std::size_t num_chunks_;
+  std::size_t num_bands_;
+  std::int32_t height_;
+  std::vector<std::vector<PointFrag>> buckets_;
+};
+
 /// Procedure DrawPoints (§4.1): renders every point passing `filters` into
 /// `fbo` with additive blending. Channel 0 += 1; channel 1 += weight
 /// attribute (if `weight_column` != npos); channels 2/3 track min/max.
 /// Points outside the viewport are clipped. Returns the number of points
 /// actually drawn (post-filter, post-clip).
+///
+/// When `pool` has more than one worker the call runs tiled-parallel: the
+/// vertex stage splits the point stream across workers, fragments are
+/// staged per row band (BandBinner), and the fragment stage blends each
+/// band on its owning worker. Results are bitwise identical to the
+/// sequential path for any worker count.
 std::uint64_t DrawPoints(const Viewport& vp, const PointTable& points,
                          const FilterSet& filters, std::size_t weight_column,
-                         Fbo* fbo, gpu::Counters* counters);
+                         Fbo* fbo, gpu::Counters* counters,
+                         ThreadPool* pool = nullptr);
 
 /// Procedure DrawPolygons (§4.1): rasterizes the triangle soup (world
 /// coordinates) and, for each fragment of polygon i, adds the point FBO's
 /// partial aggregates at that pixel into `result` slot i.
 /// If `boundary_fbo` is non-null, fragments on boundary pixels are skipped
 /// (Procedure AccuratePolygons, §4.3).
+///
+/// When `pool` has more than one worker, triangles are split across
+/// workers, each accumulating into a private ResultArrays + gpu::Counters
+/// merged in chunk order at the end. COUNT/MIN/MAX merge exactly; SUM is
+/// merged per worker, so it matches the sequential result exactly whenever
+/// the partial sums are exactly representable (e.g. integer weights).
 void DrawPolygons(const Viewport& vp, const TriangleSoup& soup,
                   const Fbo& point_fbo, const Fbo* boundary_fbo,
-                  ResultArrays* result, gpu::Counters* counters);
+                  ResultArrays* result, gpu::Counters* counters,
+                  ThreadPool* pool = nullptr);
 
 /// Step 1 of the accurate variant (§4.3): renders all polygon outlines into
 /// `boundary_fbo` (channel 0 = 1 marks a boundary pixel). Conservative
