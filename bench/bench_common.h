@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/timer.h"
@@ -62,6 +63,93 @@ double TimeOnce(const Fn& fn) {
   fn();
   return timer.ElapsedSeconds();
 }
+
+/// Machine-readable bench output: rows of key→value fields written as
+/// `BENCH_<name>.json` next to the human-readable tables, so perf
+/// trajectories (queries/sec over PRs, figure reproductions over scales)
+/// can be tracked by tooling instead of scraped from stdout.
+///
+///   BenchJson json("fig8_scaling_points_inmem");
+///   json.Row().Field("points", n).Field("bounded_ms", ms);
+///   json.Write();   // or rely on the destructor
+///
+/// Output directory: $RJ_BENCH_JSON_DIR (default: current directory).
+/// Set RJ_BENCH_JSON=0 to disable emission entirely.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string name) : name_(std::move(name)) {}
+  ~BenchJson() { Write(); }
+
+  BenchJson(const BenchJson&) = delete;
+  BenchJson& operator=(const BenchJson&) = delete;
+
+  /// Starts a new row; Field() calls apply to the most recent row.
+  BenchJson& Row() {
+    rows_.emplace_back();
+    return *this;
+  }
+
+  BenchJson& Field(const char* key, double value) {
+    char buf[64];
+    // %.17g round-trips doubles; integral values print without exponent.
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    return RawField(key, buf);
+  }
+  BenchJson& Field(const char* key, std::size_t value) {
+    return RawField(key, std::to_string(value));
+  }
+  BenchJson& Field(const char* key, int value) {
+    return RawField(key, std::to_string(value));
+  }
+  BenchJson& Field(const char* key, const std::string& value) {
+    return RawField(key, "\"" + Escaped(value) + "\"");
+  }
+
+  /// Writes BENCH_<name>.json (idempotent; later calls rewrite the file).
+  void Write() {
+    const char* toggle = std::getenv("RJ_BENCH_JSON");
+    if (toggle != nullptr && std::string(toggle) == "0") return;
+    const char* dir = std::getenv("RJ_BENCH_JSON_DIR");
+    const std::string path =
+        (dir != nullptr && dir[0] != '\0' ? std::string(dir) + "/" : "") +
+        "BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return;  // benches never fail on reporting
+    std::fprintf(f, "{\"bench\":\"%s\",\"scale\":%.4f,\"rows\":[",
+                 Escaped(name_).c_str(), Scale());
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+      std::fprintf(f, "%s{", r == 0 ? "" : ",");
+      for (std::size_t i = 0; i < rows_[r].size(); ++i) {
+        std::fprintf(f, "%s\"%s\":%s", i == 0 ? "" : ",",
+                     Escaped(rows_[r][i].first).c_str(),
+                     rows_[r][i].second.c_str());
+      }
+      std::fprintf(f, "}");
+    }
+    std::fprintf(f, "]}\n");
+    std::fclose(f);
+  }
+
+ private:
+  BenchJson& RawField(const char* key, std::string rendered) {
+    if (rows_.empty()) rows_.emplace_back();
+    rows_.back().emplace_back(key, std::move(rendered));
+    return *this;
+  }
+
+  static std::string Escaped(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  std::string name_;
+  std::vector<std::vector<std::pair<std::string, std::string>>> rows_;
+};
 
 /// Formats seconds as "123.4 ms".
 inline std::string Ms(double seconds) {

@@ -37,6 +37,8 @@ int main() {
   const double kEps = 80.0;
   const std::int32_t kAccurateCanvas = 1024;
 
+  BenchJson json("fig8_scaling_points_inmem");
+
   std::printf(
       "%-12s | %12s %12s %12s %12s %12s | %9s %9s %9s %9s\n", "points",
       "1CPU(ms)", "mtCPU(ms)", "IdxDev(ms)", "Accur(ms)", "Bound(ms)",
@@ -77,6 +79,15 @@ int main() {
         "%8.2fx %8.2fx\n",
         n, one_cpu, mt_cpu, idx_dev, accurate, bounded, one_cpu / mt_cpu,
         one_cpu / idx_dev, one_cpu / accurate, one_cpu / bounded);
+
+    json.Row()
+        .Field("section", std::string("variant_scaling"))
+        .Field("points", n)
+        .Field("one_cpu_ms", one_cpu)
+        .Field("mt_cpu_ms", mt_cpu)
+        .Field("index_device_ms", idx_dev)
+        .Field("accurate_ms", accurate)
+        .Field("bounded_ms", bounded);
   }
 
   // --- Worker scaling of the tiled-parallel bounded join. -----------------
@@ -129,6 +140,12 @@ int main() {
       }
       std::printf("%-8zu | %12.1f %8.2fx %10s\n", workers, ms,
                   baseline_ms / ms, identical ? "yes" : "NO");
+      json.Row()
+          .Field("section", std::string("worker_scaling"))
+          .Field("points", n)
+          .Field("workers", workers)
+          .Field("bounded_ms", ms)
+          .Field("speedup", baseline_ms / ms);
       if (!identical) {
         std::fprintf(stderr, "aggregate mismatch at %zu workers\n", workers);
         return 1;

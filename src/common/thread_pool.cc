@@ -46,12 +46,27 @@ void ThreadPool::ParallelFor(
     fn(0, n, 0);
     return;
   }
+  // Per-call completion state: concurrent ParallelFor calls share the pool
+  // (the QueryService runs many queries against one device), so waiting on
+  // the pool-global in-flight count would block one query on another's
+  // tasks — and never unblock under a steady stream of submissions.
+  struct CallState {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::size_t remaining;
+  };
+  CallState call{{}, {}, plan.count};
   for (std::size_t c = 0; c < plan.count; ++c) {
     const std::size_t begin = c * plan.size;
     const std::size_t end = std::min(n, begin + plan.size);
-    Submit([&fn, begin, end, c] { fn(begin, end, c); });
+    Submit([&fn, &call, begin, end, c] {
+      fn(begin, end, c);
+      std::lock_guard<std::mutex> lock(call.mutex);
+      if (--call.remaining == 0) call.cv.notify_all();
+    });
   }
-  Wait();
+  std::unique_lock<std::mutex> lock(call.mutex);
+  call.cv.wait(lock, [&call] { return call.remaining == 0; });
 }
 
 ThreadPool& ThreadPool::Default() {

@@ -47,6 +47,9 @@ class ThreadPool {
   /// Splits [0, n) into NumChunks(n) contiguous chunks and runs
   /// `fn(begin, end, chunk_index)` on the pool, blocking until done.
   /// Runs inline when the pool has a single worker (avoids queue overhead).
+  /// Safe to call from multiple threads concurrently: each call waits only
+  /// for its own chunks, not for other callers' tasks (QueryService runs
+  /// concurrent queries against one shared device pool).
   void ParallelFor(std::size_t n,
                    const std::function<void(std::size_t, std::size_t,
                                             std::size_t)>& fn);

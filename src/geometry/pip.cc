@@ -8,6 +8,7 @@ namespace rj {
 
 namespace {
 std::atomic<std::size_t> g_pip_tests{0};
+thread_local std::size_t t_pip_tests = 0;
 }  // namespace
 
 void ResetPipTestCounter() { g_pip_tests.store(0, std::memory_order_relaxed); }
@@ -16,9 +17,12 @@ std::size_t GetPipTestCount() {
   return g_pip_tests.load(std::memory_order_relaxed);
 }
 
+std::size_t GetThreadPipTestCount() { return t_pip_tests; }
+
 namespace internal {
 void IncrementPipCounter() {
   g_pip_tests.fetch_add(1, std::memory_order_relaxed);
+  ++t_pip_tests;
 }
 }  // namespace internal
 

@@ -14,10 +14,49 @@
 
 namespace rj::gpu {
 
+/// Plain-value copy of a Counters instance at one point in time. Copyable
+/// (unlike Counters, whose atomics pin it in place), so QueryService can
+/// attach per-query accounting snapshots to futures-based results.
+struct CountersSnapshot {
+  std::uint64_t fragments = 0;
+  std::uint64_t vertices = 0;
+  std::uint64_t bytes_transferred = 0;
+  std::uint64_t atomic_adds = 0;
+  std::uint64_t pip_tests = 0;
+  std::uint64_t render_passes = 0;
+  std::uint64_t batches = 0;
+
+  /// Per-field difference (work performed between two snapshots).
+  CountersSnapshot DeltaSince(const CountersSnapshot& earlier) const {
+    CountersSnapshot d;
+    d.fragments = fragments - earlier.fragments;
+    d.vertices = vertices - earlier.vertices;
+    d.bytes_transferred = bytes_transferred - earlier.bytes_transferred;
+    d.atomic_adds = atomic_adds - earlier.atomic_adds;
+    d.pip_tests = pip_tests - earlier.pip_tests;
+    d.render_passes = render_passes - earlier.render_passes;
+    d.batches = batches - earlier.batches;
+    return d;
+  }
+};
+
 /// Aggregated counters for one query execution. Thread-safe increments.
 class Counters {
  public:
   void Reset();
+
+  /// Point-in-time copy of every counter (thread-safe reads).
+  CountersSnapshot Snapshot() const {
+    CountersSnapshot s;
+    s.fragments = fragments();
+    s.vertices = vertices();
+    s.bytes_transferred = bytes_transferred();
+    s.atomic_adds = atomic_adds();
+    s.pip_tests = pip_tests();
+    s.render_passes = render_passes();
+    s.batches = batches();
+    return s;
+  }
 
   void AddFragments(std::uint64_t n) { fragments_ += n; }
   void AddVerticesProcessed(std::uint64_t n) { vertices_ += n; }

@@ -1,5 +1,6 @@
 #include "gpu/device.h"
 
+#include <algorithm>
 #include <cassert>
 #include <chrono>
 #include <cstring>
@@ -7,25 +8,144 @@
 
 namespace rj::gpu {
 
-Device::Device(DeviceOptions options) : options_(options) {
+MemoryReservation::MemoryReservation(MemoryReservation&& other) noexcept
+    : device_(other.device_), bytes_(other.bytes_) {
+  other.device_ = nullptr;
+  other.bytes_ = 0;
+}
+
+MemoryReservation& MemoryReservation::operator=(
+    MemoryReservation&& other) noexcept {
+  if (this != &other) {
+    Release();
+    device_ = other.device_;
+    bytes_ = other.bytes_;
+    other.device_ = nullptr;
+    other.bytes_ = 0;
+  }
+  return *this;
+}
+
+MemoryReservation::~MemoryReservation() { Release(); }
+
+void MemoryReservation::Release() {
+  if (device_ != nullptr) {
+    device_->ReleaseReservation(bytes_);
+    device_ = nullptr;
+    bytes_ = 0;
+  }
+}
+
+Device::Device(DeviceOptions options)
+    : options_(options), memory_budget_bytes_(options.memory_budget_bytes) {
   pool_ = std::make_unique<ThreadPool>(options_.num_workers);
+}
+
+std::size_t Device::memory_budget_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return memory_budget_bytes_;
+}
+
+std::size_t Device::bytes_allocated() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return bytes_allocated_;
+}
+
+namespace {
+// Clamp: the budget may have been shrunk below the used bytes, and an
+// unsigned wrap here would report a near-infinite remainder (the executor's
+// batch planner consumes it via MaxResidentElements).
+std::size_t ClampedRemaining(std::size_t used, std::size_t budget) {
+  return used >= budget ? 0 : budget - used;
+}
+}  // namespace
+
+std::size_t Device::bytes_free() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return ClampedRemaining(bytes_allocated_, memory_budget_bytes_);
+}
+
+std::size_t Device::bytes_reserved() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return bytes_reserved_;
+}
+
+std::size_t Device::peak_bytes_allocated() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return peak_bytes_allocated_;
+}
+
+std::size_t Device::peak_bytes_reserved() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return peak_bytes_reserved_;
+}
+
+void Device::set_memory_budget_bytes(std::size_t bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  memory_budget_bytes_ = bytes;
 }
 
 Result<std::shared_ptr<Buffer>> Device::Allocate(BufferKind kind,
                                                  std::size_t bytes) {
-  if (bytes_allocated_ + bytes > options_.memory_budget_bytes) {
-    return Status::CapacityError(
-        "device memory budget exceeded: requested " + std::to_string(bytes) +
-        " bytes with " + std::to_string(bytes_free()) + " free");
+  std::size_t peak_before = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (bytes_allocated_ + bytes > memory_budget_bytes_) {
+      return Status::CapacityError(
+          "device memory budget exceeded: requested " + std::to_string(bytes) +
+          " bytes with " +
+          std::to_string(
+              ClampedRemaining(bytes_allocated_, memory_budget_bytes_)) +
+          " free");
+    }
+    peak_before = peak_bytes_allocated_;
+    bytes_allocated_ += bytes;
+    peak_bytes_allocated_ = std::max(peak_bytes_allocated_, bytes_allocated_);
   }
-  bytes_allocated_ += bytes;
-  return std::make_shared<Buffer>(kind, bytes);
+  // Buffer construction (a host-RAM allocation) happens outside the lock;
+  // roll the accounting back if the host is out of memory, or the charged
+  // bytes would leak from the budget with no buffer to Free.
+  try {
+    return std::make_shared<Buffer>(kind, bytes);
+  } catch (const std::bad_alloc&) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    bytes_allocated_ -= bytes;
+    // Drop the phantom high-water mark too (best effort: a concurrent
+    // allocation during this failed window keeps its own peak update).
+    peak_bytes_allocated_ =
+        std::max(peak_before, std::max(peak_bytes_allocated_ - bytes,
+                                       bytes_allocated_));
+    return Status::CapacityError("host allocation of " +
+                                 std::to_string(bytes) +
+                                 " bytes for device buffer failed");
+  }
 }
 
 void Device::Free(const std::shared_ptr<Buffer>& buffer) {
   assert(buffer != nullptr);
+  std::lock_guard<std::mutex> lock(mutex_);
   assert(bytes_allocated_ >= buffer->size());
   bytes_allocated_ -= buffer->size();
+}
+
+Result<MemoryReservation> Device::TryReserve(std::size_t bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (bytes_reserved_ + bytes > memory_budget_bytes_) {
+    return Status::CapacityError(
+        "device budget cannot grant " + std::to_string(bytes) + " bytes: " +
+        std::to_string(
+            ClampedRemaining(bytes_reserved_, memory_budget_bytes_)) +
+        " unreserved");
+  }
+  bytes_reserved_ += bytes;
+  peak_bytes_reserved_ = std::max(peak_bytes_reserved_, bytes_reserved_);
+  return MemoryReservation(this, bytes);
+}
+
+void Device::ReleaseReservation(std::size_t bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  assert(bytes_reserved_ >= bytes);
+  bytes_reserved_ -= bytes;
 }
 
 Status Device::CopyToDevice(Buffer* dst, std::size_t offset, const void* src,

@@ -9,10 +9,19 @@
 /// Host→device uploads go through CopyToDevice(), which both meters bytes
 /// (gpu::Counters) and spends real wall time proportional to a configurable
 /// bandwidth, so transfer/compute breakdowns have the paper's shape.
+///
+/// Thread-safety contract (docs/SERVICE.md): a Device may be shared by
+/// concurrent queries. Allocation, freeing, reservation, and budget
+/// queries are serialized on an internal mutex; transfers touch only the
+/// caller-owned buffer plus atomic counters, so they run without a lock.
+/// Admission layers (rj::QueryService) carve the budget into per-query
+/// grants with TryReserve() before dispatching, so concurrent queries'
+/// allocations can never oversubscribe `memory_budget_bytes`.
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "common/status.h"
@@ -40,28 +49,86 @@ struct DeviceOptions {
   std::size_t num_workers = 0;
 };
 
+class Device;
+
+/// RAII admission grant against a Device's memory budget. Obtained from
+/// Device::TryReserve; releases its bytes on destruction (or Release()).
+/// A reservation is an accounting ticket for an admission controller, not
+/// backing store: the holder promises its concurrent Allocate() peak stays
+/// within the granted bytes, and because every admitted query holds such a
+/// ticket and Σ grants ≤ budget, the device can never oversubscribe.
+class MemoryReservation {
+ public:
+  MemoryReservation() = default;
+  MemoryReservation(MemoryReservation&& other) noexcept;
+  MemoryReservation& operator=(MemoryReservation&& other) noexcept;
+  MemoryReservation(const MemoryReservation&) = delete;
+  MemoryReservation& operator=(const MemoryReservation&) = delete;
+  ~MemoryReservation();
+
+  /// True when this token holds bytes against a device.
+  bool active() const { return device_ != nullptr; }
+  std::size_t bytes() const { return bytes_; }
+
+  /// Returns the granted bytes to the device budget (idempotent).
+  void Release();
+
+ private:
+  friend class Device;
+  MemoryReservation(Device* device, std::size_t bytes)
+      : device_(device), bytes_(bytes) {}
+
+  Device* device_ = nullptr;
+  std::size_t bytes_ = 0;
+};
+
 /// A simulated graphics device instance.
 class Device {
  public:
   explicit Device(DeviceOptions options = {});
 
+  /// Construction-time configuration. `options().memory_budget_bytes` is
+  /// the initial budget; the live (possibly resized) value is
+  /// memory_budget_bytes().
   const DeviceOptions& options() const { return options_; }
   Counters& counters() { return counters_; }
   const Counters& counters() const { return counters_; }
   ThreadPool& pool() { return *pool_; }
 
-  std::size_t bytes_allocated() const { return bytes_allocated_; }
-  std::size_t bytes_free() const {
-    return options_.memory_budget_bytes - bytes_allocated_;
-  }
+  /// Current budget (thread-safe; see set_memory_budget_bytes).
+  std::size_t memory_budget_bytes() const;
+
+  std::size_t bytes_allocated() const;
+  /// Remaining budget, clamped at zero: shrinking the budget below the
+  /// allocated bytes (tests do this to force the out-of-core regime) must
+  /// not wrap around to a huge value.
+  std::size_t bytes_free() const;
+
+  /// Bytes currently promised to admitted-but-possibly-running queries.
+  std::size_t bytes_reserved() const;
+
+  /// High-water marks since construction (admission-test observability).
+  std::size_t peak_bytes_allocated() const;
+  std::size_t peak_bytes_reserved() const;
+
+  /// Shrinks/grows the budget at runtime (tests; capacity reconfiguration).
+  /// Existing allocations and reservations are not revoked; a budget below
+  /// the allocated bytes simply reports zero free until frees catch up.
+  void set_memory_budget_bytes(std::size_t bytes);
 
   /// Allocates a device buffer; CapacityError when the budget is exceeded
-  /// (the trigger for out-of-core batching in the executor).
+  /// (the trigger for out-of-core batching in the executor). Thread-safe.
   Result<std::shared_ptr<Buffer>> Allocate(BufferKind kind, std::size_t bytes);
 
   /// Releases a buffer's reservation. The buffer must have come from this
-  /// device; double-free is a programming error (assert).
+  /// device; double-free is a programming error (assert). Thread-safe.
   void Free(const std::shared_ptr<Buffer>& buffer);
+
+  /// Grants `bytes` of the budget to an admission controller, or
+  /// CapacityError when the unreserved budget is smaller (the caller
+  /// queues and retries after another grant releases — it must not treat
+  /// this as query failure). Thread-safe.
+  Result<MemoryReservation> TryReserve(std::size_t bytes);
 
   /// Copies host memory into a device buffer at `offset`, metering bytes
   /// and (optionally) spending bandwidth-proportional wall time.
@@ -77,12 +144,23 @@ class Device {
   std::size_t MaxResidentElements(std::size_t point_bytes) const;
 
  private:
+  friend class MemoryReservation;
+  void ReleaseReservation(std::size_t bytes);
+
   void SimulateTransferTime(std::size_t bytes);
 
   DeviceOptions options_;
   Counters counters_;
   std::unique_ptr<ThreadPool> pool_;
+
+  /// Guards the budget accounting below. `options_` itself stays immutable
+  /// after construction so options() can be read without synchronization.
+  mutable std::mutex mutex_;
+  std::size_t memory_budget_bytes_ = 0;
   std::size_t bytes_allocated_ = 0;
+  std::size_t bytes_reserved_ = 0;
+  std::size_t peak_bytes_allocated_ = 0;
+  std::size_t peak_bytes_reserved_ = 0;
 };
 
 }  // namespace rj::gpu

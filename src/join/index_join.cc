@@ -60,13 +60,8 @@ Result<JoinResult> IndexJoinDevice(gpu::Device* device,
 
   // Out-of-core batching: transfer each batch once, then run the PIP
   // compute stage over it.
-  std::vector<std::size_t> columns = options.filters.ReferencedColumns();
-  if (options.weight_column != PointTable::npos) {
-    bool present = false;
-    for (std::size_t c : columns) present = present || c == options.weight_column;
-    if (!present) columns.push_back(options.weight_column);
-  }
-  const std::size_t bytes_per_point = (2 + columns.size()) * sizeof(float);
+  const std::size_t bytes_per_point =
+      UploadBytesPerPoint(options.filters, options.weight_column);
   std::size_t batch = options.batch_size;
   if (batch == 0) {
     const std::size_t resident = device->MaxResidentElements(bytes_per_point);
@@ -76,7 +71,10 @@ Result<JoinResult> IndexJoinDevice(gpu::Device* device,
   const std::size_t num_batches =
       points.empty() ? 0 : (points.size() + batch - 1) / batch;
 
-  const std::size_t pip_before = GetPipTestCount();
+  // Per-thread metering window (see pip.h): a global-counter window would
+  // absorb concurrent queries' tests on a shared device.
+  std::uint64_t worker_pips = 0;
+  const std::size_t pip_before = GetThreadPipTestCount();
   for (std::size_t b = 0; b < num_batches; ++b) {
     const std::size_t begin = b * batch;
     const std::size_t end = std::min(points.size(), begin + batch);
@@ -92,26 +90,37 @@ Result<JoinResult> IndexJoinDevice(gpu::Device* device,
     }
     {
       // PIP compute stage: split across the device's workers (the SIMT
-      // analogue), each accumulating into a private result array.
+      // analogue), each accumulating into a private result array. Guard on
+      // the chunk count, not the worker count: ParallelFor runs a single
+      // chunk inline on the calling thread, whose PIP tests the outer
+      // window below already captures (counting them per-chunk too would
+      // double-meter them).
       ScopedPhase sp(&result.timing, phase::kProcessing);
       ThreadPool& pool = device->pool();
-      if (pool.num_threads() <= 1) {
+      const std::size_t num_chunks = pool.NumChunks(end - begin);
+      if (num_chunks <= 1) {
         JoinPointRange(points, polys, index, options, begin, end,
                        &result.arrays);
       } else {
         std::vector<raster::ResultArrays> partials(
-            pool.num_threads(), raster::ResultArrays(polys.size()));
+            num_chunks, raster::ResultArrays(polys.size()));
+        std::vector<std::uint64_t> pips_per_chunk(num_chunks, 0);
         pool.ParallelFor(end - begin, [&](std::size_t lo, std::size_t hi,
                                           std::size_t worker) {
+          const std::size_t chunk_pips_before = GetThreadPipTestCount();
           JoinPointRange(points, polys, index, options, begin + lo,
                          begin + hi, &partials[worker]);
+          pips_per_chunk[worker] += GetThreadPipTestCount() -
+                                    chunk_pips_before;
         });
         for (const auto& partial : partials) result.arrays.AddFrom(partial);
+        for (const std::uint64_t p : pips_per_chunk) worker_pips += p;
       }
     }
     device->counters().AddBatches(1);
   }
-  device->counters().AddPipTests(GetPipTestCount() - pip_before);
+  device->counters().AddPipTests((GetThreadPipTestCount() - pip_before) +
+                                 worker_pips);
   return result;
 }
 

@@ -20,6 +20,17 @@ Status ValidatePolygonIds(const PolygonSet& polys) {
   return Status::OK();
 }
 
+std::vector<std::size_t> UploadColumns(const FilterSet& filters,
+                                       std::size_t weight_column) {
+  std::vector<std::size_t> columns = filters.ReferencedColumns();
+  if (weight_column != PointTable::npos) {
+    bool present = false;
+    for (const std::size_t c : columns) present = present || c == weight_column;
+    if (!present) columns.push_back(weight_column);
+  }
+  return columns;
+}
+
 JoinResult ReferenceJoin(const PointTable& points, const PolygonSet& polys,
                          const FilterSet& filters, std::size_t weight_column) {
   JoinResult result(polys.size());

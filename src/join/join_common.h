@@ -44,6 +44,30 @@ struct JoinResult {
 /// every operator assumes).
 Status ValidatePolygonIds(const PolygonSet& polys);
 
+/// Attribute columns shipped to the device for a query: the filters'
+/// referenced columns plus the aggregated column (§5: "the data
+/// corresponding to the attributes over which constraints are imposed is
+/// also transferred to the GPU"). Filter columns first, weight appended if
+/// not already present — the interleaved VBO layout every join uses.
+std::vector<std::size_t> UploadColumns(const FilterSet& filters,
+                                       std::size_t weight_column);
+
+/// Width of one uploaded point: [x, y, col...] float32 interleaved. The
+/// unit of every batch plan and admission grant (Executor, QueryService).
+inline std::size_t UploadBytesPerPoint(const FilterSet& filters,
+                                       std::size_t weight_column) {
+  return (2 + UploadColumns(filters, weight_column).size()) * sizeof(float);
+}
+
+/// Bytes of the triangle VBO the bounded raster join uploads per tile pass
+/// (id + 3 vertices per triangle). The single definition shared by the
+/// join's allocation and Executor::PlanAdmission — if they drifted apart,
+/// admission grants would stop covering the actual allocation and the
+/// no-oversubscription invariant would silently break.
+inline std::size_t TriangleVboBytes(std::size_t num_triangles) {
+  return num_triangles * (6 * sizeof(float) + sizeof(std::int32_t));
+}
+
 inline Status ValidateWeightColumn(const PointTable& points,
                                    std::size_t weight_column) {
   if (weight_column != PointTable::npos &&

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "geometry/pip.h"
+#include "raster/fbo_pool.h"
 #include "raster/pipeline.h"
 
 namespace rj {
@@ -29,14 +30,17 @@ Result<JoinResult> AccurateRasterJoin(gpu::Device* device,
 
   JoinResult result(polys.size());
   raster::Viewport vp(world, dim, dim);
-  raster::Fbo boundary_fbo(dim, dim);
-  raster::Fbo point_fbo(dim, dim);
+  // Pooled canvases (see fbo_pool.h).
+  raster::FboLease boundary_lease = raster::FboPool::Shared().Acquire(dim, dim);
+  raster::FboLease point_lease = raster::FboPool::Shared().Acquire(dim, dim);
+  raster::Fbo& boundary_fbo = *boundary_lease;
+  raster::Fbo& point_fbo = *point_lease;
 
   // --- Step 1: draw polygon outlines (conservative rasterization). -------
   {
     ScopedPhase sp(&result.timing, phase::kProcessing);
     raster::DrawBoundaries(vp, polys, /*conservative=*/true, &boundary_fbo,
-                           &device->counters());
+                           &device->counters(), &device->pool());
   }
 
   // Build the grid index on the device, on the fly (§6.1 "Polygon Index").
@@ -53,13 +57,8 @@ Result<JoinResult> AccurateRasterJoin(gpu::Device* device,
   const bool has_weight = options.weight_column != PointTable::npos;
 
   // Batch planning for out-of-core inputs.
-  std::vector<std::size_t> columns = options.filters.ReferencedColumns();
-  if (has_weight) {
-    bool present = false;
-    for (std::size_t c : columns) present = present || c == options.weight_column;
-    if (!present) columns.push_back(options.weight_column);
-  }
-  const std::size_t bytes_per_point = (2 + columns.size()) * sizeof(float);
+  const std::size_t bytes_per_point =
+      UploadBytesPerPoint(options.filters, options.weight_column);
   std::size_t batch = options.batch_size;
   if (batch == 0) {
     const std::size_t resident = device->MaxResidentElements(bytes_per_point);
@@ -71,7 +70,11 @@ Result<JoinResult> AccurateRasterJoin(gpu::Device* device,
 
   std::uint64_t boundary_points = 0;
   std::uint64_t interior_points = 0;
-  const std::size_t pip_before = GetPipTestCount();
+  // Per-thread metering window so concurrent queries on a shared device
+  // don't absorb each other's PIP tests; parallel chunks contribute their
+  // own workers' deltas below.
+  std::uint64_t worker_pips = 0;
+  const std::size_t pip_before = GetThreadPipTestCount();
 
   // --- Step 2: draw points (Procedure AccuratePoints). -------------------
   for (std::size_t b = 0; b < num_batches; ++b) {
@@ -153,8 +156,10 @@ Result<JoinResult> AccurateRasterJoin(gpu::Device* device,
           num_chunks, raster::ResultArrays(polys.size()));
       std::vector<std::uint64_t> boundary_per_chunk(num_chunks, 0);
       std::vector<std::uint64_t> interior_per_chunk(num_chunks, 0);
+      std::vector<std::uint64_t> pips_per_chunk(num_chunks, 0);
       pool.ParallelFor(batch_n, [&](std::size_t c_begin, std::size_t c_end,
                                     std::size_t chunk) {
+        const std::size_t chunk_pips_before = GetThreadPipTestCount();
         for (std::size_t k = c_begin; k < c_end; ++k) {
           switch (process_point(begin + k, &partials[chunk],
                                 [&](const raster::PointFrag& f) {
@@ -165,6 +170,7 @@ Result<JoinResult> AccurateRasterJoin(gpu::Device* device,
             default: break;
           }
         }
+        pips_per_chunk[chunk] = GetThreadPipTestCount() - chunk_pips_before;
       });
       pool.ParallelFor(
           binner.num_bands(),
@@ -175,6 +181,7 @@ Result<JoinResult> AccurateRasterJoin(gpu::Device* device,
         result.arrays.AddFrom(partials[c]);
         boundary_points += boundary_per_chunk[c];
         interior_points += interior_per_chunk[c];
+        worker_pips += pips_per_chunk[c];
       }
     }
     device->counters().AddBatches(1);
@@ -190,7 +197,8 @@ Result<JoinResult> AccurateRasterJoin(gpu::Device* device,
   }
   device->counters().AddRenderPasses(1);
 
-  const std::uint64_t pips = GetPipTestCount() - pip_before;
+  const std::uint64_t pips =
+      (GetThreadPipTestCount() - pip_before) + worker_pips;
   device->counters().AddPipTests(pips);
   if (stats != nullptr) {
     stats->boundary_points = boundary_points;

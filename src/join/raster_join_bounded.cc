@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "raster/fbo_pool.h"
+
 namespace rj {
 
 namespace {
@@ -64,15 +66,10 @@ Result<JoinResult> BoundedRasterJoin(gpu::Device* device,
   }
 
   // Columns shipped to the device: filters' columns plus the aggregated one.
-  std::vector<std::size_t> columns = options.filters.ReferencedColumns();
-  if (options.weight_column != PointTable::npos) {
-    bool present = false;
-    for (std::size_t c : columns) present = present || c == options.weight_column;
-    if (!present) columns.push_back(options.weight_column);
-  }
-  // Position of the weight column within the uploaded stride (unused here:
-  // the pipeline reads from the host table directly; upload is for
-  // transfer-cost fidelity — see DESIGN.md §2).
+  // (The pipeline reads from the host table directly; the upload is for
+  // transfer-cost fidelity — see DESIGN.md §2.)
+  const std::vector<std::size_t> columns =
+      UploadColumns(options.filters, options.weight_column);
   const std::size_t bytes_per_point = (2 + columns.size()) * sizeof(float);
 
   // Batch planning: points are transferred exactly once per tile pass set.
@@ -89,7 +86,11 @@ Result<JoinResult> BoundedRasterJoin(gpu::Device* device,
 
   for (const raster::CanvasTile& tile : tiles) {
     raster::Viewport vp(tile.world, tile.width, tile.height);
-    raster::Fbo point_fbo(tile.width, tile.height);
+    // Pooled canvas: per-query FBO allocation is the dominant transient
+    // under concurrent traffic (see fbo_pool.h).
+    raster::FboLease point_lease =
+        raster::FboPool::Shared().Acquire(tile.width, tile.height);
+    raster::Fbo& point_fbo = *point_lease;
 
     // --- Step I: draw points (batched when out-of-core). -----------------
     for (std::size_t b = 0; b < num_batches; ++b) {
@@ -120,9 +121,7 @@ Result<JoinResult> BoundedRasterJoin(gpu::Device* device,
     // --- Step II: draw polygons over the tile. ---------------------------
     {
       ScopedPhase sp(&result.timing, phase::kTransfer);
-      // Triangle VBO upload (ids + 3 vertices as floats).
-      const std::size_t tri_bytes = soup.size() * (6 * sizeof(float) +
-                                                   sizeof(std::int32_t));
+      const std::size_t tri_bytes = TriangleVboBytes(soup.size());
       if (tri_bytes > 0) {
         RJ_ASSIGN_OR_RETURN(
             auto tri_vbo,
@@ -150,7 +149,7 @@ Result<JoinResult> BoundedRasterJoin(gpu::Device* device,
           ComputeResultRanges(vp, polys, soup, point_fbo,
                               FinalizeAggregate(AggregateKind::kCount,
                                                 result.arrays),
-                              &device->counters()));
+                              &device->counters(), &device->pool()));
     }
   }
 

@@ -132,19 +132,12 @@ Status StreamingAccurateJoin::AddBatch(const PointTable& batch) {
   RJ_RETURN_NOT_OK(ValidateFilters(batch, options_.filters));
 
   const bool has_weight = options_.weight_column != PointTable::npos;
-  const auto& conjuncts = options_.filters.filters();
-  const std::size_t pip_before = GetPipTestCount();
+  // Per-thread window: see pip.h (this loop is single-threaded).
+  const std::size_t pip_before = GetThreadPipTestCount();
 
   ScopedPhase sp(&result_.timing, phase::kProcessing);
   for (std::size_t i = 0; i < batch.size(); ++i) {
-    bool pass = true;
-    for (const AttributeFilter& f : conjuncts) {
-      if (!f.Evaluate(batch.attribute(f.column)[i])) {
-        pass = false;
-        break;
-      }
-    }
-    if (!pass) continue;
+    if (!options_.filters.Matches(batch, i)) continue;
 
     const Point p = batch.At(i);
     const Point s = vp_->ToScreen(p);
@@ -180,7 +173,7 @@ Status StreamingAccurateJoin::AddBatch(const PointTable& batch) {
       }
     }
   }
-  device_->counters().AddPipTests(GetPipTestCount() - pip_before);
+  device_->counters().AddPipTests(GetThreadPipTestCount() - pip_before);
   device_->counters().AddBatches(1);
   return Status::OK();
 }

@@ -1,5 +1,6 @@
 #include "query/executor.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "join/index_join.h"
@@ -7,6 +8,19 @@
 #include "join/raster_join_bounded.h"
 
 namespace rj {
+
+namespace {
+
+/// Points per batch that keep per-batch VBO allocations within `cap`.
+std::size_t CappedBatch(std::size_t cap_bytes, std::size_t bytes_per_point,
+                        std::size_t num_points) {
+  if (cap_bytes == 0 || bytes_per_point == 0) return 0;  // no cap requested
+  const std::size_t batch =
+      std::max<std::size_t>(1, cap_bytes / bytes_per_point);
+  return std::min(batch, std::max<std::size_t>(num_points, 1));
+}
+
+}  // namespace
 
 void AssignSequentialIds(PolygonSet* polys) {
   for (std::size_t i = 0; i < polys->size(); ++i) {
@@ -24,9 +38,23 @@ Executor::Executor(gpu::Device* device, const PointTable* points,
   const double pad =
       1e-9 * std::max(1.0, std::max(world_.Width(), world_.Height()));
   world_ = world_.Inflated(pad);
+
+  // Cost-model inputs depend only on the (immutable) datasets and device,
+  // so the O(total vertices) scan runs once here instead of per kAuto
+  // query — ResolveVariant is on the per-query dispatch path twice
+  // (admission planning and execution).
+  cost_inputs_.num_points = points_->size();
+  cost_inputs_.num_polygons = polys_->size();
+  cost_inputs_.total_polygon_vertices = TotalVertices(*polys_);
+  cost_inputs_.world = world_;
+  for (const Polygon& poly : *polys_) {
+    cost_inputs_.total_perimeter += poly.OuterPerimeter();
+  }
+  cost_inputs_.max_fbo_dim = device_->options().max_fbo_dim;
 }
 
 Result<const TriangleSoup*> Executor::GetTriangulation() {
+  std::lock_guard<std::mutex> lock(prep_mutex_);
   if (!soup_built_) {
     Timer t;
     RJ_ASSIGN_OR_RETURN(soup_, TriangulatePolygonSet(*polys_));
@@ -37,14 +65,45 @@ Result<const TriangleSoup*> Executor::GetTriangulation() {
 }
 
 Result<const GridIndex*> Executor::GetCpuIndex(std::int32_t resolution) {
-  if (cpu_index_ == nullptr || cpu_index_resolution_ != resolution) {
+  std::lock_guard<std::mutex> lock(prep_mutex_);
+  auto it = cpu_indexes_.find(resolution);
+  if (it == cpu_indexes_.end()) {
     RJ_ASSIGN_OR_RETURN(GridIndex index,
                         GridIndex::Build(*polys_, world_, resolution,
                                          GridAssignMode::kExactGeometry));
-    cpu_index_ = std::make_unique<GridIndex>(std::move(index));
-    cpu_index_resolution_ = resolution;
+    it = cpu_indexes_
+             .emplace(resolution, std::make_unique<GridIndex>(std::move(index)))
+             .first;
   }
-  return cpu_index_.get();
+  return it->second.get();
+}
+
+JoinVariant Executor::ResolveVariant(const SpatialAggQuery& query) const {
+  if (query.variant != JoinVariant::kAuto) return query.variant;
+  return ChooseRasterVariant(cost_params_, cost_inputs_, query.epsilon);
+}
+
+Result<AdmissionPlan> Executor::PlanAdmission(const SpatialAggQuery& query) {
+  AdmissionPlan plan;
+  const JoinVariant variant = ResolveVariant(query);
+  if (variant == JoinVariant::kIndexCpu) {
+    return plan;  // never touches device memory
+  }
+  const std::size_t weight_column =
+      query.aggregate == AggregateKind::kCount ? PointTable::npos
+                                               : query.aggregate_column;
+  plan.bytes_per_point = UploadBytesPerPoint(query.filters, weight_column);
+  if (variant == JoinVariant::kBoundedRaster) {
+    RJ_ASSIGN_OR_RETURN(const TriangleSoup* soup, GetTriangulation());
+    plan.fixed_bytes = TriangleVboBytes(soup->size());
+  }
+  // Point and triangle VBOs are allocated sequentially and freed right
+  // after upload, so the peak is their max, not their sum.
+  plan.min_bytes = std::max(plan.fixed_bytes, plan.bytes_per_point);
+  plan.full_bytes = std::max(
+      {plan.fixed_bytes, points_->size() * plan.bytes_per_point,
+       plan.min_bytes});
+  return plan;
 }
 
 Result<QueryResult> Executor::Execute(const SpatialAggQuery& query) {
@@ -60,19 +119,10 @@ Result<QueryResult> Executor::Execute(const SpatialAggQuery& query) {
         "non-COUNT aggregates require aggregate_column");
   }
 
-  JoinVariant variant = query.variant;
-  if (variant == JoinVariant::kAuto) {
-    CostModelInputs inputs;
-    inputs.num_points = points_->size();
-    inputs.num_polygons = polys_->size();
-    inputs.total_polygon_vertices = TotalVertices(*polys_);
-    inputs.world = world_;
-    for (const Polygon& poly : *polys_) {
-      inputs.total_perimeter += poly.OuterPerimeter();
-    }
-    inputs.max_fbo_dim = device_->options().max_fbo_dim;
-    variant = ChooseRasterVariant(cost_params_, inputs, query.epsilon);
-  }
+  const JoinVariant variant = ResolveVariant(query);
+  const std::size_t batch_cap = CappedBatch(
+      query.device_memory_cap_bytes,
+      UploadBytesPerPoint(query.filters, weight_column), points_->size());
 
   JoinResult join;
   switch (variant) {
@@ -82,6 +132,7 @@ Result<QueryResult> Executor::Execute(const SpatialAggQuery& query) {
       options.epsilon = query.epsilon;
       options.weight_column = weight_column;
       options.filters = query.filters;
+      options.batch_size = batch_cap;
       options.compute_result_ranges = query.with_result_ranges;
       RJ_ASSIGN_OR_RETURN(
           join, BoundedRasterJoin(device_, *points_, *polys_, *soup, world_,
@@ -96,6 +147,7 @@ Result<QueryResult> Executor::Execute(const SpatialAggQuery& query) {
       options.canvas_dim = query.accurate_canvas_dim;
       options.weight_column = weight_column;
       options.filters = query.filters;
+      options.batch_size = batch_cap;
       RJ_ASSIGN_OR_RETURN(join,
                           AccurateRasterJoin(device_, *points_, *polys_,
                                              *soup, world_, options));
@@ -105,6 +157,7 @@ Result<QueryResult> Executor::Execute(const SpatialAggQuery& query) {
       IndexJoinOptions options;
       options.weight_column = weight_column;
       options.filters = query.filters;
+      options.batch_size = batch_cap;
       RJ_ASSIGN_OR_RETURN(
           join, IndexJoinDevice(device_, *points_, *polys_, world_, options));
       break;

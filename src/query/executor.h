@@ -5,9 +5,19 @@
 /// Owns the per-query polygon processing the paper measures in Table 1
 /// (triangulation for the raster variants, grid-index construction for the
 /// baselines) and the device it executes on.
+///
+/// Thread-safety contract (docs/SERVICE.md): one Executor may serve
+/// concurrent Execute() calls from many threads. The preprocessing caches
+/// (triangulation, CPU grid indexes) are built once under an internal
+/// mutex and then shared read-only; everything else in Execute() works on
+/// per-call state. Mutating cost_params() while queries are in flight is
+/// not synchronized — configure it before serving traffic.
 #pragma once
 
+#include <cstdint>
+#include <map>
 #include <memory>
+#include <mutex>
 
 #include "gpu/device.h"
 #include "index/grid_index.h"
@@ -18,6 +28,24 @@
 #include "triangulate/triangulation.h"
 
 namespace rj {
+
+/// Device-memory footprint of one query, in the units the admission
+/// controller reserves. All sizes derive from the upload stride (x, y plus
+/// referenced attribute columns, float32 each) and the fixed per-query
+/// uploads (the triangle VBO for the bounded raster variant).
+struct AdmissionPlan {
+  /// Interleaved VBO bytes per point (0 when the variant never touches
+  /// device memory, e.g. the CPU index join).
+  std::size_t bytes_per_point = 0;
+  /// Batch-independent peak allocation (triangle VBO upload).
+  std::size_t fixed_bytes = 0;
+  /// Smallest grant the query can make progress with: one-point batches
+  /// plus the fixed uploads. A query whose min_bytes exceed the device
+  /// budget can never run and must be rejected, not queued.
+  std::size_t min_bytes = 0;
+  /// Grant that holds the full point set resident (no batching).
+  std::size_t full_bytes = 0;
+};
 
 /// Executes spatial aggregation queries against one (points, polygons)
 /// pair. Polygon preprocessing (triangulation; CPU index) is computed
@@ -30,11 +58,27 @@ class Executor {
   Executor(gpu::Device* device, const PointTable* points,
            const PolygonSet* polys);
 
-  /// Runs the query and returns finalized per-polygon values.
+  /// Runs the query and returns finalized per-polygon values. Thread-safe;
+  /// concurrent calls share the preprocessing caches. When
+  /// query.device_memory_cap_bytes is set, point batches are sized so the
+  /// query's device allocations stay within that grant.
   Result<QueryResult> Execute(const SpatialAggQuery& query);
+
+  /// Resolves kAuto to a concrete variant via the cost model; other
+  /// variants pass through unchanged.
+  JoinVariant ResolveVariant(const SpatialAggQuery& query) const;
+
+  /// Device-memory footprint of `query` for admission control. Builds (and
+  /// caches) the triangulation when the resolved variant needs its VBO
+  /// size. Thread-safe.
+  Result<AdmissionPlan> PlanAdmission(const SpatialAggQuery& query);
 
   /// World extent used for the canvas: polygon extent ∪ point extent.
   const BBox& world() const { return world_; }
+
+  const PointTable* points() const { return points_; }
+  const PolygonSet* polys() const { return polys_; }
+  gpu::Device* device() const { return device_; }
 
   /// Cached triangulation (built on first raster-variant query).
   Result<const TriangleSoup*> GetTriangulation();
@@ -42,7 +86,8 @@ class Executor {
   /// Cached exact-geometry CPU grid index at `resolution`.
   Result<const GridIndex*> GetCpuIndex(std::int32_t resolution);
 
-  /// Cost-model parameters for the kAuto variant.
+  /// Cost-model parameters for the kAuto variant. Not synchronized:
+  /// configure before serving concurrent queries.
   CostModelParams* cost_params() { return &cost_params_; }
 
  private:
@@ -51,13 +96,18 @@ class Executor {
   const PolygonSet* polys_;
   BBox world_;
   CostModelParams cost_params_;
+  /// Computed once at construction (datasets are immutable); makes kAuto
+  /// resolution O(1) on the per-query dispatch path.
+  CostModelInputs cost_inputs_;
 
+  /// Guards the lazily-built caches below. Once built they are immutable
+  /// (indexes are per-resolution map entries with stable addresses), so
+  /// returned pointers stay valid for the Executor's lifetime.
+  std::mutex prep_mutex_;
   bool soup_built_ = false;
   TriangleSoup soup_;
   double triangulation_seconds_ = 0.0;
-
-  std::int32_t cpu_index_resolution_ = 0;
-  std::unique_ptr<GridIndex> cpu_index_;
+  std::map<std::int32_t, std::unique_ptr<GridIndex>> cpu_indexes_;
 };
 
 /// Sets poly[i].id = i for all i.

@@ -44,6 +44,12 @@ struct SpatialAggQuery {
   std::int32_t accurate_canvas_dim = 0;
   /// Compute §5 result ranges (bounded variant, single tile only).
   bool with_result_ranges = false;
+  /// Cap on this query's device-memory working set in bytes; the executor
+  /// sizes point batches so per-batch allocations stay within it. 0 = plan
+  /// against the device's whole free budget. QueryService sets this to the
+  /// query's admission grant so concurrent queries cannot oversubscribe
+  /// the shared device.
+  std::size_t device_memory_cap_bytes = 0;
 };
 
 }  // namespace rj

@@ -200,31 +200,66 @@ void DrawPolygons(const Viewport& vp, const TriangleSoup& soup,
 
 void DrawBoundaries(const Viewport& vp, const PolygonSet& polys,
                     bool conservative, Fbo* boundary_fbo,
-                    gpu::Counters* counters) {
-  std::uint64_t fragments = 0;
-  const auto mark = [&](std::int32_t x, std::int32_t y) {
-    boundary_fbo->Set(x, y, kChannelCount, 1.0f);
-    ++fragments;
-  };
+                    gpu::Counters* counters, ThreadPool* pool) {
+  const std::int32_t width = boundary_fbo->width();
+  const std::int32_t height = boundary_fbo->height();
 
-  auto draw_ring = [&](const Ring& ring) {
-    const std::size_t n = ring.size();
-    for (std::size_t i = 0; i < n; ++i) {
-      const Point a = vp.ToScreen(ring[i]);
-      const Point b = vp.ToScreen(ring[(i + 1) % n]);
-      if (conservative) {
-        RasterizeSegmentConservative(a, b, boundary_fbo->width(),
-                                     boundary_fbo->height(), mark);
-      } else {
-        RasterizeSegment(a, b, boundary_fbo->width(), boundary_fbo->height(),
-                         mark);
+  // Rasterizes one polygon's rings, invoking `mark(x, y)` per fragment.
+  const auto draw_polygon = [&](const Polygon& poly, const auto& mark) {
+    const auto draw_ring = [&](const Ring& ring) {
+      const std::size_t n = ring.size();
+      for (std::size_t i = 0; i < n; ++i) {
+        const Point a = vp.ToScreen(ring[i]);
+        const Point b = vp.ToScreen(ring[(i + 1) % n]);
+        if (conservative) {
+          RasterizeSegmentConservative(a, b, width, height, mark);
+        } else {
+          RasterizeSegment(a, b, width, height, mark);
+        }
       }
-    }
-  };
-
-  for (const Polygon& poly : polys) {
+    };
     draw_ring(poly.outer());
     for (const Ring& hole : poly.holes()) draw_ring(hole);
+  };
+
+  std::uint64_t fragments = 0;
+  const std::size_t num_chunks =
+      pool != nullptr ? pool->NumChunks(polys.size()) : 1;
+  if (num_chunks <= 1) {
+    for (const Polygon& poly : polys) {
+      draw_polygon(poly, [&](std::int32_t x, std::int32_t y) {
+        boundary_fbo->Set(x, y, kChannelCount, 1.0f);
+        ++fragments;
+      });
+    }
+  } else {
+    // Parallel path: each chunk rasterizes its polygons into per-band
+    // fragment buckets; each band's owner then sets the pixels. The mark
+    // is an idempotent Set(…, 1), so replay order within a band cannot
+    // matter — bitwise identity with the sequential pass is free. The
+    // fragment meter is counted at staging time so duplicates are counted
+    // exactly as the sequential loop counts them.
+    BandBinner binner(num_chunks, height);
+    std::vector<std::uint64_t> frags_per_chunk(num_chunks, 0);
+    pool->ParallelFor(polys.size(), [&](std::size_t begin, std::size_t end,
+                                        std::size_t chunk) {
+      std::uint64_t local = 0;
+      for (std::size_t i = begin; i < end; ++i) {
+        draw_polygon(polys[i], [&](std::int32_t x, std::int32_t y) {
+          binner.Push(chunk, {x, y, 0.0f});
+          ++local;
+        });
+      }
+      frags_per_chunk[chunk] = local;
+    });
+    pool->ParallelFor(
+        binner.num_bands(),
+        [&](std::size_t band_begin, std::size_t band_end, std::size_t) {
+          binner.ReplayBands(band_begin, band_end, [&](const PointFrag& f) {
+            boundary_fbo->Set(f.x, f.y, kChannelCount, 1.0f);
+          });
+        });
+    for (const std::uint64_t f : frags_per_chunk) fragments += f;
   }
   if (counters != nullptr) counters->AddFragments(fragments);
 }

@@ -138,9 +138,15 @@ void DrawPolygons(const Viewport& vp, const TriangleSoup& soup,
 /// Step 1 of the accurate variant (§4.3): renders all polygon outlines into
 /// `boundary_fbo` (channel 0 = 1 marks a boundary pixel). Conservative
 /// rasterization guarantees no partially-covered pixel is missed.
+///
+/// When `pool` has more than one worker, polygons are split across workers
+/// with their outline fragments staged per row band (BandBinner) and each
+/// band's pixels set by its owning worker — the marks are idempotent
+/// (Set(…, 1)), so the FBO is bitwise identical to the sequential pass and
+/// the fragment meter counts every mark exactly as the sequential loop.
 void DrawBoundaries(const Viewport& vp, const PolygonSet& polys,
                     bool conservative, Fbo* boundary_fbo,
-                    gpu::Counters* counters);
+                    gpu::Counters* counters, ThreadPool* pool = nullptr);
 
 /// True if the boundary FBO marks pixel (x, y) as a polygon boundary.
 inline bool IsBoundaryPixel(const Fbo& boundary_fbo, std::int32_t x,

@@ -1,0 +1,275 @@
+#include "service/query_service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+namespace rj::service {
+
+QueryService::QueryService(gpu::Device* device, ServiceOptions options)
+    : device_(device), options_(options) {
+  if (options_.num_dispatchers == 0) {
+    options_.num_dispatchers =
+        std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  options_.max_queue_depth = std::max<std::size_t>(1, options_.max_queue_depth);
+  options_.max_device_share =
+      std::clamp(options_.max_device_share, 0.0, 1.0);
+  slots_.resize(options_.num_dispatchers);
+  idle_.reserve(options_.num_dispatchers);
+  dispatchers_.reserve(options_.num_dispatchers);
+  for (std::size_t i = 0; i < options_.num_dispatchers; ++i) {
+    dispatchers_.emplace_back([this, i] { DispatchLoop(i); });
+  }
+}
+
+QueryService::~QueryService() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+    for (DispatcherSlot& slot : slots_) {
+      slot.wake = true;
+      slot.cv.notify_one();
+    }
+  }
+  cv_space_.notify_all();  // release any blocked submitters (caller error,
+                           // but fail their queries instead of hanging)
+  // Dispatchers drain the remaining queue before exiting, so every
+  // accepted promise is fulfilled.
+  for (std::thread& t : dispatchers_) t.join();
+}
+
+std::size_t QueryService::RegisterDataset(const PointTable* points,
+                                          const PolygonSet* polys) {
+  auto executor = std::make_unique<Executor>(device_, points, polys);
+  std::lock_guard<std::mutex> lock(mutex_);
+  executors_.push_back(std::move(executor));
+  return executors_.size() - 1;
+}
+
+Executor* QueryService::dataset_executor(std::size_t dataset_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dataset_id < executors_.size() ? executors_[dataset_id].get()
+                                        : nullptr;
+}
+
+std::future<ServiceResponse> QueryService::Submit(std::size_t dataset_id,
+                                                  const SpatialAggQuery& query,
+                                                  SubmitOptions options) {
+  return Enqueue(dataset_id, query, options, /*blocking=*/true, nullptr);
+}
+
+Result<std::future<ServiceResponse>> QueryService::TrySubmit(
+    std::size_t dataset_id, const SpatialAggQuery& query,
+    SubmitOptions options) {
+  Status reject = Status::OK();
+  std::future<ServiceResponse> future =
+      Enqueue(dataset_id, query, options, /*blocking=*/false, &reject);
+  if (!reject.ok()) return reject;
+  return future;
+}
+
+std::future<ServiceResponse> QueryService::Enqueue(
+    std::size_t dataset_id, const SpatialAggQuery& query,
+    SubmitOptions options, bool blocking, Status* reject_status) {
+  Pending pending;
+  pending.dataset = dataset_id;
+  pending.query = query;
+  pending.priority = options.priority;
+  std::future<ServiceResponse> future = pending.promise.get_future();
+
+  // Validation failures resolve the future immediately (a structured
+  // per-query error, not a service-level reject).
+  Status invalid = Status::OK();
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (dataset_id >= executors_.size()) {
+      invalid = Status::InvalidArgument(
+          "unknown dataset id " + std::to_string(dataset_id));
+    } else if (stop_) {
+      invalid = Status::CapacityError("query service is shutting down");
+    } else if (!blocking &&
+               QueueDepthLocked() >= options_.max_queue_depth) {
+      // Fast-fail lane: report queue-full to the caller, not the future.
+      ++rejected_;
+      if (reject_status != nullptr) {
+        *reject_status = Status::CapacityError(
+            "submission queue full (" +
+            std::to_string(options_.max_queue_depth) + " queued)");
+      }
+      return future;  // TrySubmit discards it via the error path
+    } else if (blocking) {
+      // Backpressure: hold the submitter until a slot frees up.
+      cv_space_.wait(lock, [this] {
+        return stop_ || QueueDepthLocked() < options_.max_queue_depth;
+      });
+      if (stop_) {
+        invalid = Status::CapacityError("query service is shutting down");
+      }
+    }
+    if (invalid.ok()) {
+      pending.sequence = next_sequence_++;
+      pending.queued.Restart();
+      ++submitted_;
+      (options.priority == Priority::kHigh ? priority_ : fifo_)
+          .push_back(std::move(pending));
+      WakeOneLocked();
+    }
+  }
+  if (!invalid.ok()) {
+    QueryStats stats;
+    pending.promise.set_value(ServiceResponse{std::move(invalid), stats});
+  }
+  return future;
+}
+
+void QueryService::WakeOneLocked() {
+  if (idle_.empty()) return;  // all dispatchers busy; one will pop later
+  const std::size_t slot = idle_.back();
+  idle_.pop_back();
+  slots_[slot].wake = true;
+  slots_[slot].cv.notify_one();
+}
+
+void QueryService::DispatchLoop(std::size_t slot) {
+  for (;;) {
+    Pending pending;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      while (priority_.empty() && fifo_.empty()) {
+        if (stop_) return;
+        // Park on this dispatcher's own slot, most-recently-idle at the
+        // back of the stack, so the next submission reuses a warm thread.
+        idle_.push_back(slot);
+        slots_[slot].wake = false;
+        slots_[slot].cv.wait(lock, [this, slot] {
+          return slots_[slot].wake;
+        });
+      }
+      std::deque<Pending>& lane = priority_.empty() ? fifo_ : priority_;
+      pending = std::move(lane.front());
+      lane.pop_front();
+      pending.dispatch_order = next_dispatch_order_++;
+      ++running_;
+    }
+    cv_space_.notify_one();  // a queue slot freed up
+    RunQuery(std::move(pending));
+  }
+}
+
+void QueryService::RunQuery(Pending pending) {
+  QueryStats stats;
+  stats.sequence = pending.sequence;
+  stats.dispatch_order = pending.dispatch_order;
+
+  Executor* executor = dataset_executor(pending.dataset);
+  // Registration precedes submission validation, so this cannot be null.
+
+  // --- Admission: size and reserve this query's device-memory grant. -----
+  Result<AdmissionPlan> plan = executor->PlanAdmission(pending.query);
+  if (!plan.ok()) {
+    Respond(&pending, plan.status(), stats);
+    return;
+  }
+
+  gpu::MemoryReservation grant;
+  if (plan.value().min_bytes > 0) {
+    // The try/wait cycle runs under mutex_ so a grant release (which takes
+    // mutex_ before notifying) cannot slip between a failed TryReserve and
+    // the wait — no lost wakeups. Lock order is always mutex_ → device
+    // mutex, never the reverse.
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+      const std::size_t budget = device_->memory_budget_bytes();
+      if (plan.value().min_bytes > budget) {
+        // Can never run, even alone on the device: reject, don't queue.
+        lock.unlock();
+        Respond(&pending,
+                Status::CapacityError(
+                    "query needs " + std::to_string(plan.value().min_bytes) +
+                    " bytes of device memory; budget is " +
+                    std::to_string(budget)),
+                stats);
+        return;
+      }
+      // Grant policy: hold the full working set when it fits under the
+      // per-query share cap (no batching); otherwise the capped share,
+      // floored at the minimum the query can make progress with.
+      const auto share_cap = static_cast<std::size_t>(
+          static_cast<double>(budget) * options_.max_device_share);
+      const std::size_t target = std::min(
+          plan.value().full_bytes,
+          std::max(share_cap, plan.value().min_bytes));
+
+      Result<gpu::MemoryReservation> reservation =
+          device_->TryReserve(target);
+      if (reservation.ok()) {
+        grant = std::move(reservation).MoveValueUnsafe();
+        break;
+      }
+      // Insufficient unreserved budget right now: queue (do not fail)
+      // until a running query releases its grant. Bounded wait: grant
+      // releases notify cv_capacity_, but budget resizes
+      // (set_memory_budget_bytes) and reservations released by non-service
+      // holders of the shared device do not — the timeout re-runs the
+      // budget checks so those paths cannot wedge the dispatcher.
+      cv_capacity_.wait_for(lock, std::chrono::milliseconds(100));
+    }
+  }
+  stats.granted_bytes = grant.bytes();
+
+  // --- Execution, batched to the grant. ----------------------------------
+  SpatialAggQuery query = pending.query;
+  query.device_memory_cap_bytes = grant.bytes();
+  stats.queue_seconds = pending.queued.ElapsedSeconds();
+  stats.device_counters_before = device_->counters().Snapshot();
+  Timer exec;
+  Result<QueryResult> result = executor->Execute(query);
+  stats.execute_seconds = exec.ElapsedSeconds();
+  stats.device_counters_after = device_->counters().Snapshot();
+
+  if (grant.active()) {
+    grant.Release();
+    // Empty critical section pairs with the waiters' locked try/wait cycle
+    // so the notify cannot be lost.
+    { std::lock_guard<std::mutex> lock(mutex_); }
+    cv_capacity_.notify_all();
+  }
+
+  Respond(&pending, std::move(result), stats);
+}
+
+void QueryService::Respond(Pending* pending, Result<QueryResult> result,
+                           QueryStats stats) {
+  // Accounting first: a client whose future just resolved must not read a
+  // stats() snapshot that still lags behind its own completion.
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++completed_;
+    if (!result.ok()) ++failed_;
+    if (running_ > 0) --running_;
+  }
+  pending->promise.set_value(ServiceResponse{std::move(result), stats});
+  cv_drain_.notify_all();
+}
+
+void QueryService::Drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_drain_.wait(lock, [this] {
+    return priority_.empty() && fifo_.empty() && running_ == 0;
+  });
+}
+
+ServiceStats QueryService::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ServiceStats s;
+  s.submitted = submitted_;
+  s.rejected = rejected_;
+  s.completed = completed_;
+  s.failed = failed_;
+  s.queue_depth = QueueDepthLocked();
+  s.running = running_;
+  return s;
+}
+
+}  // namespace rj::service

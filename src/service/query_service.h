@@ -1,0 +1,228 @@
+/// \file query_service.h
+/// \brief Concurrent query service: shared-device admission control,
+/// scheduling, and futures-based results.
+///
+/// The paper evaluates one query at a time; the production direction
+/// (ROADMAP "multi-query throughput") needs many client threads sharing
+/// one gpu::Device without oversubscribing its memory budget. QueryService
+/// is that admission/isolation layer:
+///
+///   * a bounded submission queue — Submit() blocks when the queue is full
+///     (backpressure), TrySubmit() fails fast with CapacityError;
+///   * an admission controller — before a query is dispatched, its
+///     device-memory working set (Executor::PlanAdmission) is reserved
+///     against the device budget (gpu::MemoryReservation), and the query's
+///     point batches are sized to the grant, so the sum of concurrent
+///     queries' allocations can never exceed memory_budget_bytes. A query
+///     that cannot get its grant *queues* until a running query releases
+///     capacity — it does not fail;
+///   * a small scheduler — two FIFO lanes (high-priority first) drained by
+///     a fixed pool of dispatcher threads; the dispatcher count bounds how
+///     many queries execute concurrently;
+///   * futures-based results — Submit returns std::future<ServiceResponse>
+///     carrying the QueryResult plus per-query accounting (queue/execute
+///     wall time, granted bytes, device counter snapshots).
+///
+/// Results are bitwise identical to a sequential Executor::Execute of the
+/// same query: admission only changes batch sizes, and the raster
+/// pipeline's per-pixel blend order is independent of batching (see
+/// docs/SERVICE.md for the argument and tests/service/ for the proof).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "gpu/device.h"
+#include "query/executor.h"
+#include "query/query.h"
+#include "query/result.h"
+
+namespace rj::service {
+
+/// Scheduling lane for a submitted query.
+enum class Priority {
+  kNormal = 0,  ///< FIFO lane
+  kHigh = 1,    ///< drained before the FIFO lane at every dispatch point
+};
+
+/// Configuration of a QueryService instance.
+struct ServiceOptions {
+  /// Dispatcher threads; bounds the number of concurrently executing
+  /// queries (0 = hardware concurrency).
+  std::size_t num_dispatchers = 0;
+
+  /// Maximum queries waiting in the submission queue (both lanes combined)
+  /// before Submit() blocks / TrySubmit() fails.
+  std::size_t max_queue_depth = 64;
+
+  /// Per-query cap on the admission grant as a fraction of the device
+  /// budget, so one giant query cannot monopolize the device and starve
+  /// concurrency. A query whose minimum footprint exceeds the cap still
+  /// gets its minimum (progress beats fairness).
+  double max_device_share = 0.5;
+};
+
+/// Per-submission options.
+struct SubmitOptions {
+  Priority priority = Priority::kNormal;
+};
+
+/// Per-query accounting attached to every response.
+struct QueryStats {
+  /// Service-wide submission sequence number (admission order).
+  std::uint64_t sequence = 0;
+  /// Service-wide dispatch order (when a dispatcher picked the query up;
+  /// the observable effect of the priority lane).
+  std::uint64_t dispatch_order = 0;
+  /// Wall time from submission until execution started (queueing plus
+  /// waiting for the memory grant).
+  double queue_seconds = 0.0;
+  /// Wall time of Executor::Execute.
+  double execute_seconds = 0.0;
+  /// Device memory reserved for this query while it ran.
+  std::size_t granted_bytes = 0;
+  /// Device counters snapshotted around execution. The device is shared,
+  /// so the delta (after.DeltaSince(before)) is exact accounting only when
+  /// no query overlapped; under concurrency it is device-level attribution
+  /// of the window in which this query ran.
+  gpu::CountersSnapshot device_counters_before;
+  gpu::CountersSnapshot device_counters_after;
+};
+
+/// What a submitted query's future resolves to.
+struct ServiceResponse {
+  Result<QueryResult> result;
+  QueryStats stats;
+};
+
+/// Service-level accounting snapshot (all monotonic except depth/running).
+struct ServiceStats {
+  std::uint64_t submitted = 0;  ///< accepted into the queue
+  std::uint64_t rejected = 0;   ///< TrySubmit refusals (queue full)
+  std::uint64_t completed = 0;  ///< futures fulfilled (ok or error)
+  std::uint64_t failed = 0;     ///< completed with a non-OK status
+  std::size_t queue_depth = 0;  ///< currently queued, both lanes
+  std::size_t running = 0;      ///< currently executing
+};
+
+/// Accepts SpatialAggQuery submissions from many client threads and runs
+/// them against one shared gpu::Device. Thread-safe throughout; see the
+/// file comment for the architecture and docs/SERVICE.md for the policy.
+class QueryService {
+ public:
+  /// `device` must outlive the service. Registered datasets must outlive
+  /// it too (they are not copied).
+  explicit QueryService(gpu::Device* device, ServiceOptions options = {});
+
+  /// Drains every accepted query, then stops the dispatchers. Submitting
+  /// concurrently with destruction is a caller error.
+  ~QueryService();
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// Registers a (points, polygons) dataset and returns its id. The
+  /// per-dataset Executor is cached so preprocessing (triangulation, CPU
+  /// index) is shared across every query against the dataset.
+  std::size_t RegisterDataset(const PointTable* points,
+                              const PolygonSet* polys);
+
+  /// The cached executor for a registered dataset (e.g. to warm caches or
+  /// run a sequential baseline against the very same preprocessing).
+  Executor* dataset_executor(std::size_t dataset_id);
+
+  /// Enqueues a query. Blocks while the submission queue is full
+  /// (backpressure); the returned future resolves when the query has
+  /// executed (or failed validation/admission).
+  std::future<ServiceResponse> Submit(std::size_t dataset_id,
+                                      const SpatialAggQuery& query,
+                                      SubmitOptions options = {});
+
+  /// Non-blocking Submit: CapacityError when the queue is full.
+  Result<std::future<ServiceResponse>> TrySubmit(std::size_t dataset_id,
+                                                 const SpatialAggQuery& query,
+                                                 SubmitOptions options = {});
+
+  /// Blocks until every accepted query has completed.
+  void Drain();
+
+  ServiceStats stats() const;
+  gpu::Device* device() const { return device_; }
+  const ServiceOptions& options() const { return options_; }
+
+ private:
+  /// One queued submission.
+  struct Pending {
+    std::uint64_t sequence = 0;
+    std::uint64_t dispatch_order = 0;
+    std::size_t dataset = 0;
+    SpatialAggQuery query;
+    Priority priority = Priority::kNormal;
+    std::promise<ServiceResponse> promise;
+    Timer queued;  ///< started at submission (queue_seconds)
+  };
+
+  std::future<ServiceResponse> Enqueue(std::size_t dataset_id,
+                                       const SpatialAggQuery& query,
+                                       SubmitOptions options, bool blocking,
+                                       Status* reject_status);
+
+  void DispatchLoop(std::size_t slot);
+
+  /// Wakes the most recently idle dispatcher (MRU / hot-thread dispatch):
+  /// under light load consecutive queries land on the same thread, whose
+  /// malloc arenas and caches still hold the previous query's working-set
+  /// pages — measurably faster than FIFO condvar wakeup rotating every
+  /// query onto a cold thread. Caller holds mutex_.
+  void WakeOneLocked();
+
+  /// Admission + execution of one popped query (dispatcher thread).
+  void RunQuery(Pending pending);
+
+  /// Fulfills a pending promise and updates completion accounting.
+  void Respond(Pending* pending, Result<QueryResult> result,
+               QueryStats stats);
+
+  std::size_t QueueDepthLocked() const {
+    return fifo_.size() + priority_.size();
+  }
+
+  gpu::Device* device_;
+  ServiceOptions options_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_space_;     ///< submitters: queue has room
+  std::condition_variable cv_capacity_;  ///< dispatchers: grant released
+  std::condition_variable cv_drain_;     ///< Drain(): everything finished
+
+  /// Per-dispatcher wakeup slot; `idle_` is a stack of waiting slots with
+  /// the most recently idle dispatcher at the back (see WakeOneLocked).
+  struct DispatcherSlot {
+    std::condition_variable cv;
+    bool wake = false;
+  };
+  std::deque<DispatcherSlot> slots_;
+  std::vector<std::size_t> idle_;
+
+  std::vector<std::unique_ptr<Executor>> executors_;
+  std::deque<Pending> fifo_;
+  std::deque<Pending> priority_;
+  bool stop_ = false;
+  std::uint64_t next_sequence_ = 0;
+  std::uint64_t next_dispatch_order_ = 0;
+  std::uint64_t submitted_ = 0;
+  std::uint64_t rejected_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t failed_ = 0;
+  std::size_t running_ = 0;
+
+  std::vector<std::thread> dispatchers_;
+};
+
+}  // namespace rj::service

@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 namespace rj {
@@ -58,6 +59,36 @@ TEST(ThreadPoolTest, WorkerIndexWithinBounds) {
     if (worker >= pool.num_threads()) in_bounds = false;
   });
   EXPECT_TRUE(in_bounds.load());
+}
+
+TEST(ThreadPoolTest, ConcurrentParallelForCallersAreIndependent) {
+  // The QueryService runs many queries against one shared device pool, so
+  // ParallelFor must wait only for its own chunks: with the old pool-global
+  // in-flight wait, a steady stream of calls from other threads could hold
+  // a caller hostage (or starve it forever). Hammer the pool from several
+  // client threads and check every call completes with full coverage.
+  ThreadPool pool(4);
+  constexpr std::size_t kClients = 6;
+  constexpr std::size_t kRounds = 50;
+  constexpr std::size_t kN = 512;
+  std::atomic<std::uint64_t> total{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (std::size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&] {
+      for (std::size_t round = 0; round < kRounds; ++round) {
+        std::atomic<std::uint64_t> covered{0};
+        pool.ParallelFor(kN, [&covered](std::size_t begin, std::size_t end,
+                                        std::size_t) {
+          covered += end - begin;
+        });
+        EXPECT_EQ(covered.load(), kN);
+        total += covered.load();
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(total.load(), kClients * kRounds * kN);
 }
 
 TEST(ThreadPoolTest, DefaultPoolIsSingleton) {

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <utility>
 #include <vector>
 
 namespace rj::gpu {
@@ -77,6 +78,70 @@ TEST(DeviceTest, MaxResidentElements) {
   ASSERT_TRUE(buf.ok());
   EXPECT_EQ(device.MaxResidentElements(8), 64u);
   EXPECT_EQ(device.MaxResidentElements(0), 0u);
+}
+
+TEST(DeviceTest, BytesFreeClampsWhenBudgetShrinksBelowAllocated) {
+  // Regression: shrinking the budget below the allocated bytes used to
+  // wrap bytes_free() to a near-2^64 value, which the executor's batch
+  // planner then treated as unlimited memory.
+  Device device(SmallDevice());
+  auto buf = device.Allocate(BufferKind::kVertexBuffer, 800);
+  ASSERT_TRUE(buf.ok());
+  device.set_memory_budget_bytes(512);
+  EXPECT_EQ(device.memory_budget_bytes(), 512u);
+  EXPECT_EQ(device.bytes_free(), 0u);
+  EXPECT_EQ(device.MaxResidentElements(8), 0u);
+  EXPECT_FALSE(device.Allocate(BufferKind::kVertexBuffer, 1).ok());
+  device.Free(buf.value());
+  EXPECT_EQ(device.bytes_free(), 512u);
+}
+
+TEST(DeviceTest, ReservationsGateAdmission) {
+  Device device(SmallDevice());  // 1024-byte budget
+  auto r1 = device.TryReserve(600);
+  ASSERT_TRUE(r1.ok());
+  EXPECT_EQ(device.bytes_reserved(), 600u);
+
+  // The unreserved remainder is too small for a second 600-byte grant...
+  auto r2 = device.TryReserve(600);
+  ASSERT_FALSE(r2.ok());
+  EXPECT_EQ(r2.status().code(), StatusCode::kCapacityError);
+  // ...but a grant that fits is admitted alongside.
+  auto r3 = device.TryReserve(424);
+  ASSERT_TRUE(r3.ok());
+  EXPECT_EQ(device.bytes_reserved(), 1024u);
+
+  r1.value().Release();
+  EXPECT_EQ(device.bytes_reserved(), 424u);
+  EXPECT_TRUE(device.TryReserve(600).ok());  // released on scope exit
+  EXPECT_EQ(device.bytes_reserved(), 424u);
+  EXPECT_EQ(device.peak_bytes_reserved(), 1024u);
+}
+
+TEST(DeviceTest, ReservationMoveTransfersOwnership) {
+  Device device(SmallDevice());
+  auto r = device.TryReserve(512);
+  ASSERT_TRUE(r.ok());
+  MemoryReservation moved = std::move(r.value());
+  EXPECT_FALSE(r.value().active());
+  EXPECT_TRUE(moved.active());
+  EXPECT_EQ(moved.bytes(), 512u);
+  r.value().Release();  // releasing a moved-from token is a no-op
+  EXPECT_EQ(device.bytes_reserved(), 512u);
+  moved.Release();
+  EXPECT_EQ(device.bytes_reserved(), 0u);
+}
+
+TEST(DeviceTest, PeakAllocationTracking) {
+  Device device(SmallDevice());
+  auto a = device.Allocate(BufferKind::kVertexBuffer, 400);
+  ASSERT_TRUE(a.ok());
+  auto b = device.Allocate(BufferKind::kVertexBuffer, 500);
+  ASSERT_TRUE(b.ok());
+  device.Free(a.value());
+  device.Free(b.value());
+  EXPECT_EQ(device.bytes_allocated(), 0u);
+  EXPECT_EQ(device.peak_bytes_allocated(), 900u);
 }
 
 TEST(CountersTest, ResetClearsEverything) {

@@ -137,5 +137,33 @@ TEST(IndexJoinDeviceTest, PipCounterMetered) {
   EXPECT_GT(device.counters().pip_tests(), 0u);
 }
 
+TEST(IndexJoinDeviceTest, PipMeteringExactAcrossWorkersAndBatchSizes) {
+  // Regression: single-chunk ParallelFor calls run inline on the calling
+  // thread, whose PIP tests the join's outer per-thread window already
+  // counts — a worker-count guard (instead of chunk-count) double-metered
+  // 1-point batches on multi-worker devices.
+  JoinSetup s = MakeSetup(6, 37, 48);
+  IndexJoinOptions base;
+
+  gpu::DeviceOptions one_opts;
+  one_opts.num_workers = 1;
+  gpu::Device one(one_opts);
+  ASSERT_TRUE(IndexJoinDevice(&one, s.points, s.polys, s.world, base).ok());
+  const std::uint64_t expected_pips = one.counters().pip_tests();
+  ASSERT_GT(expected_pips, 0u);
+
+  for (const std::size_t batch : {std::size_t{1}, std::size_t{16}}) {
+    gpu::DeviceOptions many_opts;
+    many_opts.num_workers = 4;
+    gpu::Device many(many_opts);
+    IndexJoinOptions options = base;
+    options.batch_size = batch;
+    ASSERT_TRUE(
+        IndexJoinDevice(&many, s.points, s.polys, s.world, options).ok());
+    EXPECT_EQ(many.counters().pip_tests(), expected_pips)
+        << "batch=" << batch;
+  }
+}
+
 }  // namespace
 }  // namespace rj

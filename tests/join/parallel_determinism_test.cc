@@ -12,6 +12,8 @@
 #include <cstddef>
 #include <vector>
 
+#include "agg/aggregate.h"
+#include "agg/result_range.h"
 #include "common/rng.h"
 #include "data/datasets.h"
 #include "gpu/device.h"
@@ -155,6 +157,71 @@ TEST(ParallelDeterminismTest, DrawPointsBitwiseIdentical) {
   EXPECT_EQ(seq_drawn, par_drawn);
   ASSERT_EQ(seq_fbo.data().size(), par_fbo.data().size());
   EXPECT_EQ(seq_fbo.data(), par_fbo.data());
+}
+
+TEST(ParallelDeterminismTest, DrawBoundariesBitwiseIdentical) {
+  // The boundary pass stages outline fragments per row band; marks are
+  // idempotent sets, so any worker count must produce a bitwise-identical
+  // FBO and the exact sequential fragment count.
+  JoinSetup s = MakeSetup(12, 0, 16);
+  raster::Viewport vp(s.world, 640, 480);
+
+  for (const bool conservative : {false, true}) {
+    gpu::Counters seq_counters;
+    raster::Fbo seq_fbo(640, 480);
+    raster::DrawBoundaries(vp, s.polys, conservative, &seq_fbo,
+                           &seq_counters);
+
+    for (const std::size_t workers : {2, 8}) {
+      ThreadPool pool(workers);
+      gpu::Counters par_counters;
+      raster::Fbo par_fbo(640, 480);
+      raster::DrawBoundaries(vp, s.polys, conservative, &par_fbo,
+                             &par_counters, &pool);
+      EXPECT_EQ(seq_fbo.data(), par_fbo.data())
+          << "conservative=" << conservative << " workers=" << workers;
+      EXPECT_EQ(seq_counters.fragments(), par_counters.fragments());
+    }
+  }
+}
+
+TEST(ParallelDeterminismTest, ComputeResultRangesMatchesAcrossThreadCounts) {
+  // Result ranges are computed per polygon (independent output slots), so
+  // the parallel pass must reproduce the sequential intervals exactly.
+  JoinSetup s = MakeSetup(10, 20000, 17);
+  raster::Viewport vp(s.world, 512, 512);
+  FilterSet no_filters;
+
+  raster::Fbo point_fbo(512, 512);
+  raster::DrawPoints(vp, s.points, no_filters, PointTable::npos, &point_fbo,
+                     nullptr);
+  raster::ResultArrays arrays(s.polys.size());
+  raster::DrawPolygons(vp, s.soup, point_fbo, nullptr, &arrays, nullptr);
+  const std::vector<double> approx =
+      FinalizeAggregate(AggregateKind::kCount, arrays);
+
+  gpu::Counters seq_counters;
+  auto seq = ComputeResultRanges(vp, s.polys, s.soup, point_fbo, approx,
+                                 &seq_counters);
+  ASSERT_TRUE(seq.ok()) << seq.status().ToString();
+
+  for (const std::size_t workers : {2, 8}) {
+    ThreadPool pool(workers);
+    gpu::Counters par_counters;
+    auto par = ComputeResultRanges(vp, s.polys, s.soup, point_fbo, approx,
+                                   &par_counters, &pool);
+    ASSERT_TRUE(par.ok()) << par.status().ToString();
+    ASSERT_EQ(seq.value().loose.size(), par.value().loose.size());
+    for (std::size_t i = 0; i < seq.value().loose.size(); ++i) {
+      EXPECT_EQ(seq.value().loose[i].lower, par.value().loose[i].lower);
+      EXPECT_EQ(seq.value().loose[i].upper, par.value().loose[i].upper);
+      EXPECT_EQ(seq.value().expected[i].lower,
+                par.value().expected[i].lower);
+      EXPECT_EQ(seq.value().expected[i].upper,
+                par.value().expected[i].upper);
+    }
+    EXPECT_EQ(seq_counters.fragments(), par_counters.fragments());
+  }
 }
 
 TEST(ParallelDeterminismTest, DrawPolygonsCountersMatch) {

@@ -1,0 +1,72 @@
+#include "raster/fbo_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace rj::raster {
+namespace {
+
+TEST(FboPoolTest, ReusesReleasedCanvasCleared) {
+  FboPool pool;
+  Fbo* first = nullptr;
+  {
+    FboLease lease = pool.Acquire(64, 32);
+    first = lease.get();
+    lease->Set(3, 4, kChannelCount, 7.0f);
+    lease->Set(3, 4, kChannelMin, -1.0f);
+  }
+  EXPECT_EQ(pool.misses(), 1u);
+  EXPECT_GT(pool.retained_bytes(), 0u);
+
+  FboLease lease = pool.Acquire(64, 32);
+  EXPECT_EQ(lease.get(), first);  // same canvas handed back...
+  EXPECT_EQ(pool.hits(), 1u);
+  // ...restored to the cleared identity state.
+  EXPECT_EQ(lease->At(3, 4, kChannelCount), 0.0f);
+  EXPECT_EQ(lease->At(3, 4, kChannelMin),
+            std::numeric_limits<float>::infinity());
+}
+
+TEST(FboPoolTest, DimensionMismatchAllocatesFresh) {
+  FboPool pool;
+  { FboLease lease = pool.Acquire(64, 64); }
+  FboLease other = pool.Acquire(128, 64);
+  EXPECT_EQ(pool.hits(), 0u);
+  EXPECT_EQ(pool.misses(), 2u);
+  EXPECT_EQ(other->width(), 128);
+}
+
+TEST(FboPoolTest, EvictsBeyondRetainedByteCap) {
+  // Cap fits exactly one 64×64 canvas (64*64*4 ch * 4 B = 64 KiB).
+  FboPool pool(/*max_retained_bytes=*/64 * 64 * kChannels * sizeof(float));
+  {
+    FboLease a = pool.Acquire(64, 64);
+    FboLease b = pool.Acquire(64, 64);
+  }
+  EXPECT_LE(pool.retained_bytes(),
+            64u * 64u * kChannels * sizeof(float));
+}
+
+TEST(FboPoolTest, ConcurrentAcquireReleaseHammer) {
+  FboPool pool;
+  constexpr std::size_t kThreads = 8;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&pool, t] {
+      for (int i = 0; i < 200; ++i) {
+        FboLease lease =
+            pool.Acquire(32 + static_cast<std::int32_t>(t % 2) * 32, 32);
+        lease->Add(1, 1, kChannelCount, 1.0f);
+        EXPECT_EQ(lease->At(1, 1, kChannelCount), 1.0f);  // always cleared
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_GT(pool.hits(), 0u);
+}
+
+}  // namespace
+}  // namespace rj::raster
