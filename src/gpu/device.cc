@@ -182,8 +182,21 @@ void Device::SimulateTransferTime(std::size_t bytes) {
   const auto deadline = std::chrono::steady_clock::now() +
                         std::chrono::duration_cast<std::chrono::nanoseconds>(
                             std::chrono::duration<double>(seconds));
-  // Busy-wait: sleep granularity is too coarse for per-batch transfers.
-  while (std::chrono::steady_clock::now() < deadline) {
+  // Hybrid wait: sleep through the bulk of the simulated transfer and spin
+  // only the final slice. A pure busy-wait would pin a hardware thread for
+  // the whole transfer — with uploads running on join::BatchPipeline's
+  // prefetch thread that would starve the draw workers the overlap is
+  // supposed to feed; a pure sleep is too coarse for small per-batch
+  // transfers. The spin slice absorbs the scheduler's wakeup jitter.
+  constexpr std::chrono::microseconds kSpinSlice(50);
+  for (;;) {
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) return;
+    const auto remaining = deadline - now;
+    if (remaining > kSpinSlice) {
+      std::this_thread::sleep_for(remaining - kSpinSlice);
+    }
+    // else: spin; the loop re-checks the clock until the deadline.
   }
 }
 

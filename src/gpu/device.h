@@ -40,9 +40,10 @@ struct DeviceOptions {
   /// Maximum FBO side length in pixels (paper: 8192).
   std::int32_t max_fbo_dim = 8192;
 
-  /// Simulated host→device bandwidth in bytes/second. Transfers busy-wait
-  /// a proportional amount so phase breakdowns are realistic. 0 disables
-  /// the wait (bytes are still metered).
+  /// Simulated host→device bandwidth in bytes/second. Transfers wait a
+  /// proportional amount (hybrid sleep+spin, so a prefetch thread does not
+  /// pin a core the draw workers need) so phase breakdowns are realistic.
+  /// 0 disables the wait (bytes are still metered).
   double transfer_bandwidth_bytes_per_sec = 0.0;
 
   /// Worker threads for shader-stage execution (0 = hardware concurrency).

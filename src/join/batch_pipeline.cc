@@ -1,0 +1,333 @@
+#include "join/batch_pipeline.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace rj::join {
+
+BatchPipeline::BatchPipeline(gpu::Device* device, const PointTable* points,
+                             std::vector<std::size_t> columns,
+                             std::size_t batch_size,
+                             BatchPipelineOptions options)
+    : device_(device),
+      points_(points),
+      columns_(std::move(columns)),
+      batch_size_(std::max<std::size_t>(batch_size, 1)),
+      mode_(Mode::kPull) {
+  num_batches_ = points_->empty()
+                     ? 0
+                     : (points_->size() + batch_size_ - 1) / batch_size_;
+  // A single batch has nothing to prefetch behind it; stay serialized and
+  // keep the working set at one buffer (full_bytes in the admission plan).
+  overlap_ = options.overlap_transfers && num_batches_ > 1;
+  slots_.resize(overlap_ ? 2 : 1);
+  if (overlap_) {
+    thread_ = std::thread([this] { TransferLoopPull(); });
+  }
+}
+
+BatchPipeline::BatchPipeline(gpu::Device* device,
+                             std::vector<std::size_t> columns,
+                             BatchPipelineOptions options)
+    : device_(device), columns_(std::move(columns)), mode_(Mode::kPush) {
+  overlap_ = options.overlap_transfers;
+  slots_.resize(overlap_ ? 2 : 1);
+  if (overlap_) {
+    thread_ = std::thread([this] { TransferLoopPush(); });
+  }
+}
+
+BatchPipeline::~BatchPipeline() { Drain(nullptr); }
+
+Result<std::shared_ptr<gpu::Buffer>> BatchPipeline::AllocateWithBackoff(
+    const Slot* slot, std::size_t bytes) {
+  bool retried_after_free = false;
+  for (;;) {
+    Result<std::shared_ptr<gpu::Buffer>> vbo =
+        device_->Allocate(gpu::BufferKind::kVertexBuffer, bytes);
+    if (vbo.ok() || vbo.status().code() != StatusCode::kCapacityError) {
+      return vbo;
+    }
+    // Memory pressure while the previously uploaded batch is still
+    // resident (double-buffering needs 2× the batch bytes): degrade to
+    // serialized — wait for the consumer to draw and free that batch,
+    // then retry. Progress beats prefetch.
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (canceled_) return vbo;
+    const Slot* other = nullptr;
+    for (const Slot& s : slots_) {
+      if (&s != slot && (s.state == Slot::State::kReady ||
+                         s.state == Slot::State::kDrawing)) {
+        other = &s;
+        break;
+      }
+    }
+    if (other == nullptr) {
+      // Nothing of ours to wait for. The consumer may have freed its
+      // batch between the failed Allocate and this check, so retry once
+      // before declaring a genuine capacity failure.
+      if (retried_after_free) return vbo;
+      retried_after_free = true;
+      continue;
+    }
+    retried_after_free = false;
+    cv_producer_.wait(lock, [&] {
+      return canceled_ || other->state == Slot::State::kFree;
+    });
+    if (canceled_) return vbo;
+  }
+}
+
+Status BatchPipeline::UploadSlot(Slot* slot, const PointTable& table,
+                                 std::size_t begin, std::size_t end) {
+  Timer timer;
+  // Stride from the layout's single definition, so the packed/metered
+  // bytes can never drift from what PlanUpload/PlanAdmission reserve.
+  const std::size_t stride = UploadStrideBytes(columns_) / sizeof(float);
+  slot->staging.resize((end - begin) * stride);
+  float* out = slot->staging.data();
+  for (std::size_t i = begin; i < end; ++i) {
+    *out++ = static_cast<float>(table.xs()[i]);
+    *out++ = static_cast<float>(table.ys()[i]);
+    for (const std::size_t c : columns_) *out++ = table.attribute(c)[i];
+  }
+
+  Status status = Status::OK();
+  const std::size_t bytes = slot->staging.size() * sizeof(float);
+  if (bytes > 0) {
+    Result<std::shared_ptr<gpu::Buffer>> vbo =
+        AllocateWithBackoff(slot, bytes);
+    if (vbo.ok()) {
+      slot->vbo = std::move(vbo).MoveValueUnsafe();
+      status = device_->CopyToDevice(slot->vbo.get(), 0,
+                                     slot->staging.data(), bytes);
+      if (!status.ok()) {
+        device_->Free(slot->vbo);
+        slot->vbo.reset();
+      }
+    } else {
+      status = vbo.status();
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    transfer_seconds_ += timer.ElapsedSeconds();
+  }
+  return status;
+}
+
+void BatchPipeline::TransferLoopPull() {
+  for (std::size_t b = 0; b < num_batches_; ++b) {
+    Slot& slot = slots_[b % slots_.size()];
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_producer_.wait(lock, [&] {
+        return canceled_ || slot.state == Slot::State::kFree;
+      });
+      if (canceled_) return;
+    }
+    const std::size_t begin = b * batch_size_;
+    const std::size_t end = std::min(points_->size(), begin + batch_size_);
+    const Status status = UploadSlot(&slot, *points_, begin, end);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!status.ok()) {
+        error_ = status;
+        cv_consumer_.notify_all();
+        return;
+      }
+      slot.batch_index = b;
+      slot.begin = begin;
+      slot.end = end;
+      slot.state = Slot::State::kReady;
+      cv_consumer_.notify_all();
+    }
+  }
+}
+
+void BatchPipeline::TransferLoopPush() {
+  for (std::size_t b = 0;; ++b) {
+    Slot* slot = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_producer_.wait(lock,
+                        [&] { return canceled_ || b < pushed_ || flushed_; });
+      if (canceled_) return;
+      if (b >= pushed_) return;  // flushed: no further batches will arrive
+      slot = &slots_[b % slots_.size()];
+      assert(slot->state == Slot::State::kQueued && slot->batch_index == b);
+    }
+    // The slot's table is private to this thread until the state flips to
+    // kReady below: the caller re-uses the slot only two pushes later, and
+    // only after this batch was returned for drawing.
+    const Status status = UploadSlot(slot, slot->table, 0, slot->table.size());
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!status.ok()) {
+        error_ = status;
+        cv_consumer_.notify_all();
+        return;
+      }
+      slot->state = Slot::State::kReady;
+      cv_consumer_.notify_all();
+    }
+  }
+}
+
+Result<std::optional<BatchPipeline::BatchView>> BatchPipeline::Acquire() {
+  assert(mode_ == Mode::kPull);
+  if (next_acquire_ >= num_batches_) {
+    return std::optional<BatchView>();
+  }
+  Slot& slot = slots_[next_acquire_ % slots_.size()];
+  if (!overlap_) {
+    assert(slot.state == Slot::State::kFree && "Release the previous batch");
+    const std::size_t begin = next_acquire_ * batch_size_;
+    const std::size_t end = std::min(points_->size(), begin + batch_size_);
+    RJ_RETURN_NOT_OK(UploadSlot(&slot, *points_, begin, end));
+    slot.batch_index = next_acquire_;
+    slot.begin = begin;
+    slot.end = end;
+    slot.state = Slot::State::kReady;
+    return std::optional<BatchView>(BatchView{next_acquire_++, begin, end});
+  }
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_consumer_.wait(lock, [&] {
+    return !error_.ok() || (slot.state == Slot::State::kReady &&
+                            slot.batch_index == next_acquire_);
+  });
+  // A batch that made it to the device is consumable even when a *later*
+  // prefetch already failed; the error surfaces when the consumer reaches
+  // the batch that never became ready.
+  if (slot.state == Slot::State::kReady &&
+      slot.batch_index == next_acquire_) {
+    const BatchView view{slot.batch_index, slot.begin, slot.end};
+    ++next_acquire_;
+    return std::optional<BatchView>(view);
+  }
+  return error_;
+}
+
+void BatchPipeline::Release(const BatchView& view) {
+  assert(mode_ == Mode::kPull);
+  Slot& slot = slots_[view.index % slots_.size()];
+  // Free before flipping the state: the prefetcher touches the slot only
+  // after observing kFree under the mutex.
+  if (slot.vbo != nullptr) {
+    device_->Free(slot.vbo);
+    slot.vbo.reset();
+  }
+  if (overlap_) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    slot.state = Slot::State::kFree;
+    cv_producer_.notify_all();
+  } else {
+    slot.state = Slot::State::kFree;
+  }
+}
+
+Status BatchPipeline::UploadSerialized(const PointTable& batch) {
+  assert(mode_ == Mode::kPush && !overlap_);
+  Slot& slot = slots_[0];
+  RJ_RETURN_NOT_OK(UploadSlot(&slot, batch, 0, batch.size()));
+  // Serialized: one buffer in flight, freed right after the metered
+  // upload (the draw reads the caller's table) — the pre-pipeline
+  // streaming timing, with no batch copy.
+  if (slot.vbo != nullptr) {
+    device_->Free(slot.vbo);
+    slot.vbo.reset();
+  }
+  ++pushed_;
+  return Status::OK();
+}
+
+Result<std::optional<PointTable>> BatchPipeline::Push(PointTable batch) {
+  assert(mode_ == Mode::kPush && overlap_);
+  ReleaseDrawn();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!error_.ok()) return error_;
+    Slot& slot = slots_[pushed_ % slots_.size()];
+    assert(slot.state == Slot::State::kFree);
+    slot.table = std::move(batch);
+    slot.batch_index = pushed_;
+    slot.state = Slot::State::kQueued;
+    ++pushed_;
+    cv_producer_.notify_all();
+  }
+  if (pushed_ == 1) return std::optional<PointTable>();  // nothing ready yet
+  return WaitUploaded(pushed_ - 2);
+}
+
+Result<std::optional<PointTable>> BatchPipeline::Flush() {
+  assert(mode_ == Mode::kPush);
+  ReleaseDrawn();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    flushed_ = true;
+    cv_producer_.notify_all();
+    if (!error_.ok()) return error_;
+  }
+  if (!overlap_ || pushed_ == 0) return std::optional<PointTable>();
+  return WaitUploaded(pushed_ - 1);
+}
+
+Result<std::optional<PointTable>> BatchPipeline::WaitUploaded(
+    std::size_t index) {
+  Slot& slot = slots_[index % slots_.size()];
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_consumer_.wait(lock, [&] {
+    return !error_.ok() ||
+           (slot.state == Slot::State::kReady && slot.batch_index == index);
+  });
+  // Prefer an uploaded batch over a later-latched error (see Acquire).
+  if (slot.state == Slot::State::kReady && slot.batch_index == index) {
+    slot.state = Slot::State::kDrawing;
+    drawn_slot_ = index % slots_.size();
+    return std::optional<PointTable>(std::move(slot.table));
+  }
+  return error_;
+}
+
+void BatchPipeline::ReleaseDrawn() {
+  if (!drawn_slot_.has_value()) return;
+  Slot& slot = slots_[*drawn_slot_];
+  drawn_slot_.reset();
+  if (slot.vbo != nullptr) {
+    device_->Free(slot.vbo);
+    slot.vbo.reset();
+  }
+  slot.table = PointTable();
+  std::lock_guard<std::mutex> lock(mutex_);
+  slot.state = Slot::State::kFree;
+  cv_producer_.notify_all();
+}
+
+Status BatchPipeline::Drain(PhaseTimer* timing) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    canceled_ = true;
+    flushed_ = true;
+    cv_producer_.notify_all();
+  }
+  if (thread_.joinable()) thread_.join();
+  // Free whatever is still resident: a prefetched-but-unconsumed batch, or
+  // the buffer of a batch the consumer abandoned mid-draw.
+  drawn_slot_.reset();
+  for (Slot& slot : slots_) {
+    if (slot.vbo != nullptr) {
+      device_->Free(slot.vbo);
+      slot.vbo.reset();
+    }
+    slot.table = PointTable();
+    slot.state = Slot::State::kFree;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (timing != nullptr && !drained_) {
+    timing->Add(phase::kTransfer, transfer_seconds_);
+  }
+  drained_ = true;
+  return error_;
+}
+
+}  // namespace rj::join

@@ -1,0 +1,212 @@
+/// \file batch_pipeline.h
+/// \brief Double-buffered host→device upload pipeline for the out-of-core
+/// regime (§5, Figures 9/13).
+///
+/// The paper's out-of-core analysis assumes the host→device transfer of
+/// point batch b+1 is hidden behind the draw of batch b. BatchPipeline
+/// implements that overlap for the simulated device: a dedicated transfer
+/// thread packs the interleaved [x, y, col...] VBO image of the next batch
+/// into a persistent staging buffer and uploads it through
+/// Device::CopyToDevice — which meters the bytes and spends the simulated
+/// PCIe wait — while the caller's draw workers rasterize the current
+/// batch. Two device VBO slots bound the look-ahead: at most batches b and
+/// b+1 are resident at once, which is why admission plans
+/// (Executor::PlanAdmission) reserve 2× the upload stride when overlap is
+/// enabled.
+///
+/// Results are bitwise independent of the overlap: batches are handed to
+/// the consumer strictly in order and every draw runs on the consumer's
+/// thread(s) exactly as in the serialized path — the pipeline only moves
+/// the transfer wait off the critical path. `overlap_transfers = false`
+/// reproduces today's serialized transfer→draw timing (one buffer in
+/// flight, uploads inline), which the paper-shape breakdown benches use as
+/// the comparison baseline.
+///
+/// Two modes:
+///  * pull (table scan): the pipeline slices a resident PointTable into
+///    fixed-size batches; the consumer loops Acquire()/Release() until
+///    Acquire returns nullopt, then calls Drain().
+///  * push (streaming): the caller feeds externally-sized batches
+///    (Streaming*Join::AddBatch). Push(b) starts the upload of batch b and
+///    returns batch b-1 — whose upload has completed — for drawing;
+///    Flush() returns the final batch, then Drain() joins the thread.
+///
+/// Error handling: the first failure (device allocation, upload) is
+/// latched; batches that already made it to the device are still handed
+/// out in order, and the error surfaces from Acquire/Push/Flush when the
+/// consumer reaches the batch that never became ready (and from Drain).
+/// Memory pressure is not an error: when the budget cannot hold two
+/// batches, the prefetcher waits for the in-flight batch to be drawn and
+/// freed before allocating (AllocateWithBackoff) — double-buffering
+/// degrades to serialized instead of failing a query that fits one batch.
+/// The destructor always cancels and joins the transfer thread and frees
+/// any slot buffers, so an error — or a consumer that stops mid-stream —
+/// can never leak the thread or device memory.
+///
+/// Transfer time accounting: the wall time of pack + upload is accumulated
+/// internally (the PhaseTimer API is not thread-safe) and folded into
+/// phase::kTransfer by Drain(). With overlap on, that phase reports the
+/// time *spent* transferring, which no longer adds to end-to-end latency —
+/// exactly the paper's "transfer is hidden" claim the Fig. 9 bench checks.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "common/timer.h"
+#include "data/point_table.h"
+#include "gpu/device.h"
+#include "join/join_common.h"
+
+namespace rj::join {
+
+struct BatchPipelineOptions {
+  /// Prefetch batch b+1 on the transfer thread while batch b draws. Off
+  /// reproduces the serialized transfer→draw loop (and halves the device
+  /// working set: one buffer in flight instead of two).
+  bool overlap_transfers = true;
+};
+
+class BatchPipeline {
+ public:
+  /// One uploaded batch, resident on the device until Release()d.
+  struct BatchView {
+    std::size_t index = 0;  ///< batch ordinal (ascending)
+    std::size_t begin = 0;  ///< first point row (pull mode)
+    std::size_t end = 0;    ///< one past the last point row (pull mode)
+  };
+
+  /// Pull mode: scans `points` (not copied; must outlive the pipeline) in
+  /// `batch_size`-point slices, uploading columns `columns` interleaved
+  /// with x and y. Starts the transfer thread when overlap is enabled and
+  /// there is more than one batch to prefetch.
+  BatchPipeline(gpu::Device* device, const PointTable* points,
+                std::vector<std::size_t> columns, std::size_t batch_size,
+                BatchPipelineOptions options);
+
+  /// Push mode: batch sizes are unknown up front; the caller feeds them
+  /// through Push()/Flush().
+  BatchPipeline(gpu::Device* device, std::vector<std::size_t> columns,
+                BatchPipelineOptions options);
+
+  /// Cancels and joins the transfer thread, freeing any slot buffers.
+  ~BatchPipeline();
+
+  BatchPipeline(const BatchPipeline&) = delete;
+  BatchPipeline& operator=(const BatchPipeline&) = delete;
+
+  /// Planned batch count (pull mode).
+  std::size_t num_batches() const { return num_batches_; }
+
+  /// Pull mode: blocks until the next batch is resident on the device and
+  /// returns its row range; nullopt once every batch has been consumed.
+  /// The caller must Release() the previous batch before acquiring the one
+  /// after next (two slots).
+  Result<std::optional<BatchView>> Acquire();
+
+  /// Pull mode: marks the batch drawn; its slot becomes available to the
+  /// prefetcher.
+  void Release(const BatchView& view);
+
+  /// Whether this pipeline prefetches on a transfer thread. Push-mode
+  /// callers branch on this: overlapping pipelines take Push() (which
+  /// must retain a copy of the batch across calls), serialized ones take
+  /// UploadSerialized() and draw the caller's own table copy-free.
+  bool overlapping() const { return overlap_; }
+
+  /// Push mode, overlapping pipelines only: retains a copy of `batch`,
+  /// starts its upload, and returns the *previous* batch (upload
+  /// complete, ready to draw) — nullopt on the first push.
+  Result<std::optional<PointTable>> Push(PointTable batch);
+
+  /// Push mode, serialized pipelines only: packs and uploads `batch`
+  /// inline (one buffer in flight, freed after the metered upload). The
+  /// caller draws `batch` itself afterwards — no copy is made.
+  Status UploadSerialized(const PointTable& batch);
+
+  /// Push mode: returns the final batch once its upload completes
+  /// (nullopt when nothing is pending or the pipeline is serialized).
+  Result<std::optional<PointTable>> Flush();
+
+  /// Joins the transfer thread, folds the accumulated transfer wall time
+  /// into `timing` under phase::kTransfer (once; pass nullptr to skip),
+  /// and returns the first pipeline error. Idempotent.
+  Status Drain(PhaseTimer* timing);
+
+ private:
+  enum class Mode { kPull, kPush };
+
+  struct Slot {
+    /// Persistent staging buffer: resized per batch but never reallocated
+    /// once it has reached the steady-state batch size (the same
+    /// transient-allocation fix FboPool applies to canvases).
+    std::vector<float> staging;
+    std::shared_ptr<gpu::Buffer> vbo;
+    PointTable table;  ///< push mode: retained copy of the pushed batch
+    std::size_t batch_index = 0;
+    std::size_t begin = 0;
+    std::size_t end = 0;
+    enum class State {
+      kFree,     ///< available to the prefetcher / the next Push
+      kQueued,   ///< push mode: table set, awaiting upload
+      kReady,    ///< upload complete, awaiting the consumer
+      kDrawing,  ///< push mode: returned to the caller, draw in progress
+    } state = State::kFree;
+  };
+
+  /// Allocates a slot's device buffer, backing off under memory pressure:
+  /// when the budget cannot hold this batch *and* the previously uploaded
+  /// one, waits for the consumer to draw and free that batch instead of
+  /// failing — double-buffering degrades to serialized, it never turns a
+  /// query that fits one batch into an error.
+  Result<std::shared_ptr<gpu::Buffer>> AllocateWithBackoff(const Slot* slot,
+                                                           std::size_t bytes);
+
+  /// Packs rows [begin, end) of `table` and uploads them, accumulating the
+  /// elapsed wall time into transfer_seconds_. Runs on the transfer thread
+  /// (overlap) or the caller (serialized).
+  Status UploadSlot(Slot* slot, const PointTable& table, std::size_t begin,
+                    std::size_t end);
+
+  void TransferLoopPull();
+  void TransferLoopPush();
+
+  /// Blocks until batch `index`'s upload completes and moves its table out
+  /// (push mode).
+  Result<std::optional<PointTable>> WaitUploaded(std::size_t index);
+
+  /// Frees the buffer of the batch previously returned for drawing (its
+  /// draw finished: the caller came back for the next batch). Push mode.
+  void ReleaseDrawn();
+
+  gpu::Device* device_;
+  const PointTable* points_ = nullptr;  ///< pull mode source
+  std::vector<std::size_t> columns_;
+  std::size_t batch_size_ = 0;
+  std::size_t num_batches_ = 0;
+  Mode mode_;
+  bool overlap_ = false;
+
+  std::vector<Slot> slots_;  ///< 2 with overlap, 1 serialized
+  std::size_t next_acquire_ = 0;              ///< pull consumer cursor
+  std::size_t pushed_ = 0;                    ///< push producer cursor
+  std::optional<std::size_t> drawn_slot_;     ///< push: slot pending free
+  bool flushed_ = false;
+  bool canceled_ = false;
+  bool drained_ = false;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_producer_;  ///< transfer thread: slot freed/queued
+  std::condition_variable cv_consumer_;  ///< consumer: upload finished/error
+  Status error_ = Status::OK();
+  double transfer_seconds_ = 0.0;
+
+  std::thread thread_;
+};
+
+}  // namespace rj::join

@@ -5,6 +5,7 @@
 
 #include "common/thread_pool.h"
 #include "geometry/pip.h"
+#include "join/batch_pipeline.h"
 
 namespace rj {
 
@@ -58,36 +59,32 @@ Result<JoinResult> IndexJoinDevice(gpu::Device* device,
                                        options.assign_mode));
   result.timing.Add(phase::kIndexBuild, index_timer.ElapsedSeconds());
 
-  // Out-of-core batching: transfer each batch once, then run the PIP
+  // Out-of-core batching: transfer each batch once (batch b+1 prefetched
+  // by the pipeline while batch b's PIP stage runs), then run the PIP
   // compute stage over it.
-  const std::size_t bytes_per_point =
-      UploadBytesPerPoint(options.filters, options.weight_column);
+  const std::vector<std::size_t> columns =
+      UploadColumns(options.filters, options.weight_column);
+  const std::size_t bytes_per_point = UploadStrideBytes(columns);
+  bool overlap = options.overlap_transfers;
   std::size_t batch = options.batch_size;
   if (batch == 0) {
-    const std::size_t resident = device->MaxResidentElements(bytes_per_point);
-    batch = std::max<std::size_t>(1, std::min(points.size(),
-                                              std::max<std::size_t>(resident, 1)));
+    const UploadPlan plan = PlanUpload(device->bytes_free(), bytes_per_point,
+                                       points.size(), overlap);
+    batch = plan.batch_size;
+    overlap = plan.overlap_transfers;
   }
-  const std::size_t num_batches =
-      points.empty() ? 0 : (points.size() + batch - 1) / batch;
 
   // Per-thread metering window (see pip.h): a global-counter window would
   // absorb concurrent queries' tests on a shared device.
   std::uint64_t worker_pips = 0;
   const std::size_t pip_before = GetThreadPipTestCount();
-  for (std::size_t b = 0; b < num_batches; ++b) {
-    const std::size_t begin = b * batch;
-    const std::size_t end = std::min(points.size(), begin + batch);
-    {
-      ScopedPhase sp(&result.timing, phase::kTransfer);
-      const std::size_t bytes = (end - begin) * bytes_per_point;
-      RJ_ASSIGN_OR_RETURN(
-          auto vbo, device->Allocate(gpu::BufferKind::kVertexBuffer, bytes));
-      std::vector<std::uint8_t> staging(bytes, 0);
-      RJ_RETURN_NOT_OK(
-          device->CopyToDevice(vbo.get(), 0, staging.data(), bytes));
-      device->Free(vbo);
-    }
+  join::BatchPipeline pipeline(device, &points, columns, batch, {overlap});
+  for (;;) {
+    RJ_ASSIGN_OR_RETURN(std::optional<join::BatchPipeline::BatchView> view,
+                        pipeline.Acquire());
+    if (!view.has_value()) break;
+    const std::size_t begin = view->begin;
+    const std::size_t end = view->end;
     {
       // PIP compute stage: split across the device's workers (the SIMT
       // analogue), each accumulating into a private result array. Guard on
@@ -117,8 +114,10 @@ Result<JoinResult> IndexJoinDevice(gpu::Device* device,
         for (const std::uint64_t p : pips_per_chunk) worker_pips += p;
       }
     }
+    pipeline.Release(*view);
     device->counters().AddBatches(1);
   }
+  RJ_RETURN_NOT_OK(pipeline.Drain(&result.timing));
   device->counters().AddPipTests((GetThreadPipTestCount() - pip_before) +
                                  worker_pips);
   return result;

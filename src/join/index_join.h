@@ -27,6 +27,11 @@ struct IndexJoinOptions {
   /// Device batch size for out-of-core inputs (device flavour only;
   /// 0 = derive from memory budget).
   std::size_t batch_size = 0;
+
+  /// Prefetch batch b+1 while batch b's PIP stage runs (device flavour;
+  /// join::BatchPipeline, two point VBOs in flight). See
+  /// BoundedRasterJoinOptions.
+  bool overlap_transfers = true;
 };
 
 /// Device (GPU-baseline) flavour; builds the index on the fly and meters

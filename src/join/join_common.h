@@ -2,6 +2,7 @@
 /// \brief Shared declarations for the spatial-aggregation join operators.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -11,6 +12,7 @@
 #include "data/point_table.h"
 #include "geometry/polygon.h"
 #include "gpu/counters.h"
+#include "gpu/device.h"
 #include "query/filter.h"
 
 namespace rj {
@@ -52,20 +54,70 @@ Status ValidatePolygonIds(const PolygonSet& polys);
 std::vector<std::size_t> UploadColumns(const FilterSet& filters,
                                        std::size_t weight_column);
 
+/// Width of one uploaded point for an explicit column set: [x, y, col...]
+/// float32 interleaved (PointTable::DeviceBytesPerPoint is the single
+/// definition of the layout).
+inline std::size_t UploadStrideBytes(const std::vector<std::size_t>& columns) {
+  return PointTable::DeviceBytesPerPoint(columns.size());
+}
+
 /// Width of one uploaded point: [x, y, col...] float32 interleaved. The
 /// unit of every batch plan and admission grant (Executor, QueryService).
 inline std::size_t UploadBytesPerPoint(const FilterSet& filters,
                                        std::size_t weight_column) {
-  return (2 + UploadColumns(filters, weight_column).size()) * sizeof(float);
+  return UploadStrideBytes(UploadColumns(filters, weight_column));
 }
 
-/// Bytes of the triangle VBO the bounded raster join uploads per tile pass
-/// (id + 3 vertices per triangle). The single definition shared by the
-/// join's allocation and Executor::PlanAdmission — if they drifted apart,
-/// admission grants would stop covering the actual allocation and the
-/// no-oversubscription invariant would silently break.
+/// Bytes of the triangle VBO the bounded raster join uploads once per
+/// query (id + 3 vertices per triangle). The single definition shared by
+/// the join's allocation and Executor::PlanAdmission — if they drifted
+/// apart, admission grants would stop covering the actual allocation and
+/// the no-oversubscription invariant would silently break.
 inline std::size_t TriangleVboBytes(std::size_t num_triangles) {
   return num_triangles * (6 * sizeof(float) + sizeof(std::int32_t));
+}
+
+/// Points per device batch for an upload pipeline working within
+/// `avail_bytes`. When the whole point set fits, it ships as one batch
+/// (one buffer ever lives). Otherwise the budget is split across the
+/// buffers the pipeline keeps in flight: 2 when transfers overlap the
+/// draw (BatchPipeline prefetches batch b+1 while b draws), 1 when
+/// serialized. Shared by the joins' own planning (avail = device free
+/// bytes) and Executor's grant-capped planning (avail = admission grant),
+/// so a grant of PlanAdmission::min_bytes always covers the in-flight
+/// buffers.
+inline std::size_t PlanPointBatch(std::size_t avail_bytes,
+                                  std::size_t bytes_per_point,
+                                  std::size_t num_points,
+                                  bool overlap_transfers) {
+  const std::size_t n = std::max<std::size_t>(num_points, 1);
+  if (bytes_per_point == 0) return n;
+  const std::size_t resident = avail_bytes / bytes_per_point;
+  if (resident >= n) return n;  // single batch, single buffer
+  const std::size_t slots = overlap_transfers ? 2 : 1;
+  return std::max<std::size_t>(1, resident / slots);
+}
+
+/// Batch size plus *effective* overlap for an upload pipeline working
+/// within `avail_bytes`: overlap is downgraded to serialized when the
+/// budget cannot hold two one-point buffers (progress beats prefetch), so
+/// the planned in-flight bytes never exceed the budget. The one planner
+/// shared by the joins (avail = device free bytes) and the Executor
+/// (avail = the query's admission grant).
+struct UploadPlan {
+  std::size_t batch_size = 0;
+  bool overlap_transfers = false;
+};
+
+inline UploadPlan PlanUpload(std::size_t avail_bytes,
+                             std::size_t bytes_per_point,
+                             std::size_t num_points, bool overlap_requested) {
+  UploadPlan plan;
+  plan.overlap_transfers =
+      overlap_requested && avail_bytes >= 2 * bytes_per_point;
+  plan.batch_size = PlanPointBatch(avail_bytes, bytes_per_point, num_points,
+                                   plan.overlap_transfers);
+  return plan;
 }
 
 inline Status ValidateWeightColumn(const PointTable& points,
@@ -86,6 +138,15 @@ inline Status ValidateFilters(const PointTable& points,
   }
   return Status::OK();
 }
+
+/// Ships and meters the bounded join's triangle VBO exactly once per
+/// query (allocate → zero-fill upload → free, timed under
+/// phase::kTransfer). Shared by BoundedRasterJoin and
+/// StreamingBoundedJoin::Finish so the two cannot drift in what they
+/// meter — TriangleVboBytes keeps them aligned with PlanAdmission's
+/// fixed_bytes.
+Status UploadTriangleVbo(gpu::Device* device, std::size_t num_triangles,
+                         PhaseTimer* timing);
 
 /// Brute-force all-pairs reference implementation (test oracle): for every
 /// point passing the filters, test every polygon. O(|P| · Σ|vertices|).

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "geometry/pip.h"
+#include "join/batch_pipeline.h"
 #include "raster/fbo_pool.h"
 #include "raster/pipeline.h"
 
@@ -56,14 +57,18 @@ Result<JoinResult> AccurateRasterJoin(gpu::Device* device,
 
   const bool has_weight = options.weight_column != PointTable::npos;
 
-  // Batch planning for out-of-core inputs.
-  const std::size_t bytes_per_point =
-      UploadBytesPerPoint(options.filters, options.weight_column);
+  // Batch planning for out-of-core inputs (see PlanPointBatch: the budget
+  // covers the pipeline's in-flight buffers, 2 when transfers overlap).
+  const std::vector<std::size_t> columns =
+      UploadColumns(options.filters, options.weight_column);
+  const std::size_t bytes_per_point = UploadStrideBytes(columns);
+  bool overlap = options.overlap_transfers;
   std::size_t batch = options.batch_size;
   if (batch == 0) {
-    const std::size_t resident = device->MaxResidentElements(bytes_per_point);
-    batch = std::max<std::size_t>(1, std::min(points.size(),
-                                              std::max<std::size_t>(resident, 1)));
+    const UploadPlan plan = PlanUpload(device->bytes_free(), bytes_per_point,
+                                       points.size(), overlap);
+    batch = plan.batch_size;
+    overlap = plan.overlap_transfers;
   }
   const std::size_t num_batches =
       points.empty() ? 0 : (points.size() + batch - 1) / batch;
@@ -77,20 +82,16 @@ Result<JoinResult> AccurateRasterJoin(gpu::Device* device,
   const std::size_t pip_before = GetThreadPipTestCount();
 
   // --- Step 2: draw points (Procedure AccuratePoints). -------------------
-  for (std::size_t b = 0; b < num_batches; ++b) {
-    const std::size_t begin = b * batch;
-    const std::size_t end = std::min(points.size(), begin + batch);
-
-    {
-      ScopedPhase sp(&result.timing, phase::kTransfer);
-      const std::size_t bytes = (end - begin) * bytes_per_point;
-      RJ_ASSIGN_OR_RETURN(
-          auto vbo, device->Allocate(gpu::BufferKind::kVertexBuffer, bytes));
-      std::vector<std::uint8_t> staging(bytes, 0);
-      RJ_RETURN_NOT_OK(
-          device->CopyToDevice(vbo.get(), 0, staging.data(), bytes));
-      device->Free(vbo);
-    }
+  // Batch b+1's host→device transfer runs on the pipeline's prefetch
+  // thread while this loop processes batch b.
+  join::BatchPipeline upload_pipeline(device, &points, columns, batch,
+                                      {overlap});
+  for (;;) {
+    RJ_ASSIGN_OR_RETURN(std::optional<join::BatchPipeline::BatchView> view,
+                        upload_pipeline.Acquire());
+    if (!view.has_value()) break;
+    const std::size_t begin = view->begin;
+    const std::size_t end = view->end;
 
     ScopedPhase sp(&result.timing, phase::kProcessing);
 
@@ -184,8 +185,10 @@ Result<JoinResult> AccurateRasterJoin(gpu::Device* device,
         worker_pips += pips_per_chunk[c];
       }
     }
+    upload_pipeline.Release(*view);
     device->counters().AddBatches(1);
   }
+  RJ_RETURN_NOT_OK(upload_pipeline.Drain(&result.timing));
 
   // --- Step 3: render polygons, skipping boundary fragments. -------------
   {

@@ -33,6 +33,10 @@ struct AccurateRasterJoinOptions {
 
   /// Maximum points per device batch (0 = derive from memory budget).
   std::size_t batch_size = 0;
+
+  /// Prefetch batch b+1 while batch b draws (join::BatchPipeline; two
+  /// point VBOs in flight). See BoundedRasterJoinOptions.
+  bool overlap_transfers = true;
 };
 
 struct AccurateRasterJoinStats {

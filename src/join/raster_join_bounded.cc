@@ -2,35 +2,10 @@
 
 #include <algorithm>
 
+#include "join/batch_pipeline.h"
 #include "raster/fbo_pool.h"
 
 namespace rj {
-
-namespace {
-
-/// Uploads one batch of points to the device VBO, metering transfer time.
-/// Only the columns the query references are shipped (§5: "the data
-/// corresponding to the attributes over which constraints are imposed is
-/// also transferred to the GPU").
-Status UploadBatch(gpu::Device* device, gpu::Buffer* vbo,
-                   const PointTable& points, std::size_t begin,
-                   std::size_t end, const std::vector<std::size_t>& columns) {
-  // Layout: interleaved [x, y, col0, col1, ...] float32 per point.
-  const std::size_t stride = 2 + columns.size();
-  std::vector<float> staging((end - begin) * stride);
-  for (std::size_t i = begin; i < end; ++i) {
-    const std::size_t base = (i - begin) * stride;
-    staging[base + 0] = static_cast<float>(points.xs()[i]);
-    staging[base + 1] = static_cast<float>(points.ys()[i]);
-    for (std::size_t c = 0; c < columns.size(); ++c) {
-      staging[base + 2 + c] = points.attribute(columns[c])[i];
-    }
-  }
-  return device->CopyToDevice(vbo, 0, staging.data(),
-                              staging.size() * sizeof(float));
-}
-
-}  // namespace
 
 Result<JoinResult> BoundedRasterJoin(gpu::Device* device,
                                      const PointTable& points,
@@ -70,17 +45,29 @@ Result<JoinResult> BoundedRasterJoin(gpu::Device* device,
   // transfer-cost fidelity — see DESIGN.md §2.)
   const std::vector<std::size_t> columns =
       UploadColumns(options.filters, options.weight_column);
-  const std::size_t bytes_per_point = (2 + columns.size()) * sizeof(float);
+  const std::size_t bytes_per_point = UploadStrideBytes(columns);
 
-  // Batch planning: points are transferred exactly once per tile pass set.
+  // Batch planning: points are transferred exactly once per tile pass set,
+  // sized so the pipeline's in-flight buffers (2 when transfers overlap
+  // the draw) fit the available budget.
+  bool overlap = options.overlap_transfers;
   std::size_t batch = options.batch_size;
   if (batch == 0) {
-    const std::size_t resident = device->MaxResidentElements(bytes_per_point);
-    batch = std::max<std::size_t>(1, std::min(points.size(),
-                                              std::max<std::size_t>(resident, 1)));
+    const UploadPlan plan = PlanUpload(device->bytes_free(), bytes_per_point,
+                                       points.size(), overlap);
+    batch = plan.batch_size;
+    overlap = plan.overlap_transfers;
   }
   const std::size_t num_batches =
       points.empty() ? 0 : (points.size() + batch - 1) / batch;
+
+  // Ship and meter the triangle VBO exactly once per query: it is the
+  // same bytes for every tile pass, so re-uploading it per tile both
+  // distorts the transfer breakdown and breaks PlanAdmission's
+  // fixed_bytes assumption (the grant covers one triangle upload). Freed
+  // before the point pipeline starts, so the device peak stays
+  // max(fixed_bytes, in-flight point VBOs), never the sum.
+  RJ_RETURN_NOT_OK(UploadTriangleVbo(device, soup.size(), &result.timing));
 
   std::uint64_t drawn_total = 0;
 
@@ -93,45 +80,29 @@ Result<JoinResult> BoundedRasterJoin(gpu::Device* device,
     raster::Fbo& point_fbo = *point_lease;
 
     // --- Step I: draw points (batched when out-of-core). -----------------
-    for (std::size_t b = 0; b < num_batches; ++b) {
-      const std::size_t begin = b * batch;
-      const std::size_t end = std::min(points.size(), begin + batch);
-
-      // Host→device transfer of this batch's VBO.
-      {
-        ScopedPhase sp(&result.timing, phase::kTransfer);
-        RJ_ASSIGN_OR_RETURN(
-            auto vbo, device->Allocate(gpu::BufferKind::kVertexBuffer,
-                                       (end - begin) * bytes_per_point));
-        RJ_RETURN_NOT_OK(
-            UploadBatch(device, vbo.get(), points, begin, end, columns));
-        device->Free(vbo);
-      }
+    // The pipeline prefetches batch b+1 (pack + CopyToDevice on its
+    // transfer thread, metered under phase::kTransfer) while the draw
+    // workers rasterize batch b.
+    join::BatchPipeline pipeline(device, &points, columns, batch,
+                                 {overlap});
+    for (;;) {
+      RJ_ASSIGN_OR_RETURN(std::optional<join::BatchPipeline::BatchView> view,
+                          pipeline.Acquire());
+      if (!view.has_value()) break;
       {
         ScopedPhase sp(&result.timing, phase::kProcessing);
-        PointTable slice = points.Slice(begin, end);
+        PointTable slice = points.Slice(view->begin, view->end);
         drawn_total += raster::DrawPoints(vp, slice, options.filters,
                                           options.weight_column, &point_fbo,
                                           &device->counters(),
                                           &device->pool());
       }
+      pipeline.Release(*view);
       device->counters().AddBatches(1);
     }
+    RJ_RETURN_NOT_OK(pipeline.Drain(&result.timing));
 
     // --- Step II: draw polygons over the tile. ---------------------------
-    {
-      ScopedPhase sp(&result.timing, phase::kTransfer);
-      const std::size_t tri_bytes = TriangleVboBytes(soup.size());
-      if (tri_bytes > 0) {
-        RJ_ASSIGN_OR_RETURN(
-            auto tri_vbo,
-            device->Allocate(gpu::BufferKind::kVertexBuffer, tri_bytes));
-        std::vector<std::uint8_t> zeros(tri_bytes, 0);
-        RJ_RETURN_NOT_OK(device->CopyToDevice(tri_vbo.get(), 0, zeros.data(),
-                                              tri_bytes));
-        device->Free(tri_vbo);
-      }
-    }
     {
       ScopedPhase sp(&result.timing, phase::kProcessing);
       raster::ResultArrays tile_result(polys.size());

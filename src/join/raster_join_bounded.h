@@ -41,6 +41,14 @@ struct BoundedRasterJoinOptions {
   /// budget (out-of-core processing, §5).
   std::size_t batch_size = 0;
 
+  /// Prefetch batch b+1 on a transfer thread while batch b draws
+  /// (join::BatchPipeline), hiding the simulated PCIe wait behind the
+  /// draw as the paper's Fig. 9/13 analysis assumes. Needs two point VBOs
+  /// in flight (admission reserves 2× the upload stride). Off reproduces
+  /// the serialized transfer→draw timing; results are bitwise identical
+  /// either way.
+  bool overlap_transfers = true;
+
   /// When set, also compute per-polygon result ranges (§5). Requires the
   /// canvas to fit in a single tile.
   bool compute_result_ranges = false;

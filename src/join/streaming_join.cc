@@ -19,6 +19,8 @@ StreamingBoundedJoin::StreamingBoundedJoin(gpu::Device* device,
     : device_(device), polys_(polys), soup_(soup), world_(world),
       options_(std::move(options)) {}
 
+StreamingBoundedJoin::~StreamingBoundedJoin() = default;
+
 Status StreamingBoundedJoin::Init() {
   if (initialized_) return Status::Internal("Init() called twice");
   RJ_RETURN_NOT_OK(ValidatePolygonIds(*polys_));
@@ -33,32 +35,18 @@ Status StreamingBoundedJoin::Init() {
   for (const raster::CanvasTile& tile : tiles_) {
     fbos_.push_back(std::make_unique<raster::Fbo>(tile.width, tile.height));
   }
+  // Upload pipeline in push mode: AddBatch(b) starts b's transfer on the
+  // prefetch thread and draws batch b-1 (whose upload has completed)
+  // meanwhile. UploadColumns dedupes the weight column against the filter
+  // columns, so streaming meters exactly the bytes the one-shot join ships.
+  pipeline_ = std::make_unique<join::BatchPipeline>(
+      device_, UploadColumns(options_.filters, options_.weight_column),
+      join::BatchPipelineOptions{options_.overlap_transfers});
   initialized_ = true;
   return Status::OK();
 }
 
-Status StreamingBoundedJoin::AddBatch(const PointTable& batch) {
-  if (!initialized_) return Status::Internal("AddBatch before Init");
-  if (finished_) return Status::Internal("AddBatch after Finish");
-  RJ_RETURN_NOT_OK(ValidateWeightColumn(batch, options_.weight_column));
-  RJ_RETURN_NOT_OK(ValidateFilters(batch, options_.filters));
-
-  // Meter the host→device transfer of this batch (shipped exactly once).
-  {
-    ScopedPhase sp(&result_.timing, phase::kTransfer);
-    const std::size_t bytes =
-        batch.size() *
-        PointTable::DeviceBytesPerPoint(
-            options_.filters.ReferencedColumns().size() +
-            (options_.weight_column != PointTable::npos ? 1 : 0));
-    RJ_ASSIGN_OR_RETURN(
-        auto vbo, device_->Allocate(gpu::BufferKind::kVertexBuffer,
-                                    std::max<std::size_t>(bytes, 1)));
-    std::vector<std::uint8_t> staging(std::max<std::size_t>(bytes, 1), 0);
-    RJ_RETURN_NOT_OK(device_->CopyToDevice(vbo.get(), 0, staging.data(),
-                                           staging.size()));
-    device_->Free(vbo);
-  }
+void StreamingBoundedJoin::DrawBatch(const PointTable& batch) {
   ScopedPhase sp(&result_.timing, phase::kProcessing);
   for (std::size_t t = 0; t < tiles_.size(); ++t) {
     raster::Viewport vp(tiles_[t].world, tiles_[t].width, tiles_[t].height);
@@ -68,6 +56,23 @@ Status StreamingBoundedJoin::AddBatch(const PointTable& batch) {
                            &device_->counters());
   }
   device_->counters().AddBatches(1);
+}
+
+Status StreamingBoundedJoin::AddBatch(const PointTable& batch) {
+  if (!initialized_) return Status::Internal("AddBatch before Init");
+  if (finished_) return Status::Internal("AddBatch after Finish");
+  RJ_RETURN_NOT_OK(ValidateWeightColumn(batch, options_.weight_column));
+  RJ_RETURN_NOT_OK(ValidateFilters(batch, options_.filters));
+
+  if (!pipeline_->overlapping()) {
+    // Serialized: upload then draw the caller's table in place (no copy).
+    RJ_RETURN_NOT_OK(pipeline_->UploadSerialized(batch));
+    DrawBatch(batch);
+    return Status::OK();
+  }
+  RJ_ASSIGN_OR_RETURN(std::optional<PointTable> ready,
+                      pipeline_->Push(batch));
+  if (ready.has_value()) DrawBatch(*ready);
   return Status::OK();
 }
 
@@ -75,6 +80,16 @@ Result<JoinResult> StreamingBoundedJoin::Finish() {
   if (!initialized_) return Status::Internal("Finish before Init");
   if (finished_) return Status::Internal("Finish called twice");
   finished_ = true;
+  RJ_ASSIGN_OR_RETURN(std::optional<PointTable> last, pipeline_->Flush());
+  if (last.has_value()) DrawBatch(*last);
+  RJ_RETURN_NOT_OK(pipeline_->Drain(&result_.timing));
+
+  // Ship and meter the polygon pass's triangle VBO exactly once per query,
+  // mirroring the one-shot BoundedRasterJoin so the two meter identical
+  // bytes for identical inputs.
+  RJ_RETURN_NOT_OK(UploadTriangleVbo(device_, soup_->size(),
+                                     &result_.timing));
+
   ScopedPhase sp(&result_.timing, phase::kProcessing);
   for (std::size_t t = 0; t < tiles_.size(); ++t) {
     raster::Viewport vp(tiles_[t].world, tiles_[t].width, tiles_[t].height);
@@ -96,6 +111,8 @@ StreamingAccurateJoin::StreamingAccurateJoin(
     const BBox& world, AccurateRasterJoinOptions options)
     : device_(device), polys_(polys), soup_(soup), world_(world),
       options_(std::move(options)) {}
+
+StreamingAccurateJoin::~StreamingAccurateJoin() = default;
 
 Status StreamingAccurateJoin::Init() {
   if (initialized_) return Status::Internal("Init() called twice");
@@ -121,16 +138,14 @@ Status StreamingAccurateJoin::Init() {
                        GridAssignMode::kMbr));
   index_ = std::make_unique<GridIndex>(std::move(index));
   result_.timing.Add(phase::kIndexBuild, t.ElapsedSeconds());
+  pipeline_ = std::make_unique<join::BatchPipeline>(
+      device_, UploadColumns(options_.filters, options_.weight_column),
+      join::BatchPipelineOptions{options_.overlap_transfers});
   initialized_ = true;
   return Status::OK();
 }
 
-Status StreamingAccurateJoin::AddBatch(const PointTable& batch) {
-  if (!initialized_) return Status::Internal("AddBatch before Init");
-  if (finished_) return Status::Internal("AddBatch after Finish");
-  RJ_RETURN_NOT_OK(ValidateWeightColumn(batch, options_.weight_column));
-  RJ_RETURN_NOT_OK(ValidateFilters(batch, options_.filters));
-
+void StreamingAccurateJoin::ProcessBatch(const PointTable& batch) {
   const bool has_weight = options_.weight_column != PointTable::npos;
   // Per-thread window: see pip.h (this loop is single-threaded).
   const std::size_t pip_before = GetThreadPipTestCount();
@@ -175,6 +190,22 @@ Status StreamingAccurateJoin::AddBatch(const PointTable& batch) {
   }
   device_->counters().AddPipTests(GetThreadPipTestCount() - pip_before);
   device_->counters().AddBatches(1);
+}
+
+Status StreamingAccurateJoin::AddBatch(const PointTable& batch) {
+  if (!initialized_) return Status::Internal("AddBatch before Init");
+  if (finished_) return Status::Internal("AddBatch after Finish");
+  RJ_RETURN_NOT_OK(ValidateWeightColumn(batch, options_.weight_column));
+  RJ_RETURN_NOT_OK(ValidateFilters(batch, options_.filters));
+
+  if (!pipeline_->overlapping()) {
+    RJ_RETURN_NOT_OK(pipeline_->UploadSerialized(batch));
+    ProcessBatch(batch);
+    return Status::OK();
+  }
+  RJ_ASSIGN_OR_RETURN(std::optional<PointTable> ready,
+                      pipeline_->Push(batch));
+  if (ready.has_value()) ProcessBatch(*ready);
   return Status::OK();
 }
 
@@ -182,6 +213,9 @@ Result<JoinResult> StreamingAccurateJoin::Finish() {
   if (!initialized_) return Status::Internal("Finish before Init");
   if (finished_) return Status::Internal("Finish called twice");
   finished_ = true;
+  RJ_ASSIGN_OR_RETURN(std::optional<PointTable> last, pipeline_->Flush());
+  if (last.has_value()) ProcessBatch(*last);
+  RJ_RETURN_NOT_OK(pipeline_->Drain(&result_.timing));
   ScopedPhase sp(&result_.timing, phase::kProcessing);
   raster::ResultArrays poly_pass(polys_->size());
   raster::DrawPolygons(*vp_, *soup_, *point_fbo_, boundary_fbo_.get(),

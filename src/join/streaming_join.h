@@ -20,6 +20,7 @@
 
 #include "gpu/device.h"
 #include "index/grid_index.h"
+#include "join/batch_pipeline.h"
 #include "join/raster_join_accurate.h"
 #include "join/raster_join_bounded.h"
 #include "raster/fbo.h"
@@ -29,18 +30,29 @@ namespace rj {
 
 /// Streaming bounded raster join: per-tile FBOs stay resident across
 /// batches; Finish() runs the polygon pass per tile and merges.
+///
+/// With options.overlap_transfers (default) the upload pipeline keeps the
+/// current and previous batch resident on the device (2× the largest
+/// pushed batch in flight). When the device cannot hold both, the
+/// prefetcher waits for the drawn batch's buffer instead of failing
+/// (BatchPipeline::AllocateWithBackoff) — throughput degrades to the
+/// serialized 1× behavior, results are unchanged.
 class StreamingBoundedJoin {
  public:
   /// Neither polys nor soup are copied; both must outlive this object.
   StreamingBoundedJoin(gpu::Device* device, const PolygonSet* polys,
                        const TriangleSoup* soup, const BBox& world,
                        BoundedRasterJoinOptions options);
+  ~StreamingBoundedJoin();
 
   /// Plans the canvas and allocates the tile FBOs (all tiles stay live —
   /// the memory trade for touching each point once).
   Status Init();
 
-  /// Draws one batch of points into every tile.
+  /// Draws one batch of points into every tile. With
+  /// options.overlap_transfers (default), batch b's host→device transfer
+  /// runs on the pipeline's prefetch thread while batch b-1 draws, so the
+  /// draw of `batch` itself completes during the *next* AddBatch/Finish.
   Status AddBatch(const PointTable& batch);
 
   /// Runs the polygon pass over every tile and returns the result.
@@ -51,6 +63,10 @@ class StreamingBoundedJoin {
   std::uint64_t points_drawn() const { return points_drawn_; }
 
  private:
+  /// Draws one uploaded batch into every tile FBO (the pipeline's
+  /// prefetch thread transfers the next batch meanwhile).
+  void DrawBatch(const PointTable& batch);
+
   gpu::Device* device_;
   const PolygonSet* polys_;
   const TriangleSoup* soup_;
@@ -59,6 +75,7 @@ class StreamingBoundedJoin {
 
   std::vector<raster::CanvasTile> tiles_;
   std::vector<std::unique_ptr<raster::Fbo>> fbos_;
+  std::unique_ptr<join::BatchPipeline> pipeline_;
   JoinResult result_;
   std::uint64_t points_drawn_ = 0;
   bool initialized_ = false;
@@ -73,8 +90,11 @@ class StreamingAccurateJoin {
   StreamingAccurateJoin(gpu::Device* device, const PolygonSet* polys,
                         const TriangleSoup* soup, const BBox& world,
                         AccurateRasterJoinOptions options);
+  ~StreamingAccurateJoin();
 
   Status Init();
+  /// Like StreamingBoundedJoin::AddBatch: the batch's transfer is started
+  /// here and its processing happens while the *next* batch transfers.
   Status AddBatch(const PointTable& batch);
   Result<JoinResult> Finish();
 
@@ -82,6 +102,9 @@ class StreamingAccurateJoin {
   std::uint64_t interior_points() const { return interior_points_; }
 
  private:
+  /// Classifies one uploaded batch (raster fast path vs exact PIP path).
+  void ProcessBatch(const PointTable& batch);
+
   gpu::Device* device_;
   const PolygonSet* polys_;
   const TriangleSoup* soup_;
@@ -93,6 +116,7 @@ class StreamingAccurateJoin {
   std::unique_ptr<raster::Fbo> boundary_fbo_;
   std::unique_ptr<raster::Fbo> point_fbo_;
   std::unique_ptr<GridIndex> index_;
+  std::unique_ptr<join::BatchPipeline> pipeline_;
   JoinResult result_;
   std::uint64_t boundary_points_ = 0;
   std::uint64_t interior_points_ = 0;

@@ -11,13 +11,18 @@ namespace rj {
 
 namespace {
 
-/// Points per batch that keep per-batch VBO allocations within `cap`.
-std::size_t CappedBatch(std::size_t cap_bytes, std::size_t bytes_per_point,
-                        std::size_t num_points) {
-  if (cap_bytes == 0 || bytes_per_point == 0) return 0;  // no cap requested
-  const std::size_t batch =
-      std::max<std::size_t>(1, cap_bytes / bytes_per_point);
-  return std::min(batch, std::max<std::size_t>(num_points, 1));
+/// Batch size + effective overlap that keep the upload pipeline's
+/// in-flight VBOs (two when transfers overlap the draw) within `cap` —
+/// the query's admission grant. A cap too small to double-buffer
+/// downgrades to the serialized path instead of overshooting the grant.
+/// batch_size 0 = no cap requested (the join derives its own plan).
+UploadPlan CappedBatch(std::size_t cap_bytes, std::size_t bytes_per_point,
+                       std::size_t num_points, bool overlap_transfers) {
+  if (cap_bytes == 0 || bytes_per_point == 0) {
+    return UploadPlan{0, overlap_transfers};
+  }
+  return PlanUpload(cap_bytes, bytes_per_point, num_points,
+                    overlap_transfers);
 }
 
 }  // namespace
@@ -97,9 +102,14 @@ Result<AdmissionPlan> Executor::PlanAdmission(const SpatialAggQuery& query) {
     RJ_ASSIGN_OR_RETURN(const TriangleSoup* soup, GetTriangulation());
     plan.fixed_bytes = TriangleVboBytes(soup->size());
   }
-  // Point and triangle VBOs are allocated sequentially and freed right
-  // after upload, so the peak is their max, not their sum.
-  plan.min_bytes = std::max(plan.fixed_bytes, plan.bytes_per_point);
+  // The triangle VBO is uploaded and freed before the point pipeline
+  // starts, so the peak is the max of the fixed upload and the point
+  // buffers in flight — 2× the stride when transfers overlap the draw
+  // (BatchPipeline keeps batches b and b+1 resident), 1× serialized. A
+  // single full-set batch never double-buffers, so full_bytes stays 1×.
+  const std::size_t in_flight = query.overlap_transfers ? 2 : 1;
+  plan.min_bytes =
+      std::max(plan.fixed_bytes, in_flight * plan.bytes_per_point);
   plan.full_bytes = std::max(
       {plan.fixed_bytes, points_->size() * plan.bytes_per_point,
        plan.min_bytes});
@@ -120,9 +130,11 @@ Result<QueryResult> Executor::Execute(const SpatialAggQuery& query) {
   }
 
   const JoinVariant variant = ResolveVariant(query);
-  const std::size_t batch_cap = CappedBatch(
+  const UploadPlan capped = CappedBatch(
       query.device_memory_cap_bytes,
-      UploadBytesPerPoint(query.filters, weight_column), points_->size());
+      UploadBytesPerPoint(query.filters, weight_column), points_->size(),
+      query.overlap_transfers);
+  const std::size_t batch_cap = capped.batch_size;
 
   JoinResult join;
   switch (variant) {
@@ -133,6 +145,7 @@ Result<QueryResult> Executor::Execute(const SpatialAggQuery& query) {
       options.weight_column = weight_column;
       options.filters = query.filters;
       options.batch_size = batch_cap;
+      options.overlap_transfers = capped.overlap_transfers;
       options.compute_result_ranges = query.with_result_ranges;
       RJ_ASSIGN_OR_RETURN(
           join, BoundedRasterJoin(device_, *points_, *polys_, *soup, world_,
@@ -148,6 +161,7 @@ Result<QueryResult> Executor::Execute(const SpatialAggQuery& query) {
       options.weight_column = weight_column;
       options.filters = query.filters;
       options.batch_size = batch_cap;
+      options.overlap_transfers = capped.overlap_transfers;
       RJ_ASSIGN_OR_RETURN(join,
                           AccurateRasterJoin(device_, *points_, *polys_,
                                              *soup, world_, options));
@@ -158,6 +172,7 @@ Result<QueryResult> Executor::Execute(const SpatialAggQuery& query) {
       options.weight_column = weight_column;
       options.filters = query.filters;
       options.batch_size = batch_cap;
+      options.overlap_transfers = capped.overlap_transfers;
       RJ_ASSIGN_OR_RETURN(
           join, IndexJoinDevice(device_, *points_, *polys_, world_, options));
       break;

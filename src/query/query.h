@@ -50,6 +50,13 @@ struct SpatialAggQuery {
   /// query's admission grant so concurrent queries cannot oversubscribe
   /// the shared device.
   std::size_t device_memory_cap_bytes = 0;
+  /// Overlap each point batch's host→device transfer with the previous
+  /// batch's draw (join::BatchPipeline double-buffering, §5 out-of-core
+  /// regime). Two upload buffers are in flight, so admission plans
+  /// reserve 2× the upload stride. Off reproduces the serialized
+  /// transfer→draw timing for paper-shape breakdowns; results are bitwise
+  /// identical either way.
+  bool overlap_transfers = true;
 };
 
 }  // namespace rj

@@ -6,6 +6,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/timer.h"
+
 namespace rj::gpu {
 namespace {
 
@@ -160,6 +162,33 @@ TEST(CountersTest, ToStringContainsFields) {
   counters.AddFragments(42);
   const std::string s = counters.ToString();
   EXPECT_NE(s.find("fragments=42"), std::string::npos);
+}
+
+TEST(DeviceTest, SimulatedTransferHybridWaitStaysAccurate) {
+  // The simulated PCIe wait sleeps through the bulk and spins only the
+  // final slice (a pure busy-wait would pin the core BatchPipeline's
+  // prefetch thread shares with the draw workers). Regression: the hybrid
+  // wait must neither undershoot the simulated duration nor overshoot it
+  // by more than scheduler jitter.
+  DeviceOptions options;
+  options.memory_budget_bytes = 1 << 20;
+  options.num_workers = 1;
+  options.transfer_bandwidth_bytes_per_sec = 50.0e6;  // 1 MiB ≈ 21 ms
+  Device device(options);
+  auto buf = device.Allocate(BufferKind::kVertexBuffer, 1 << 20);
+  ASSERT_TRUE(buf.ok());
+  std::vector<std::uint8_t> src(1 << 20, 7);
+
+  Timer timer;
+  ASSERT_TRUE(
+      device.CopyToDevice(buf.value().get(), 0, src.data(), src.size()).ok());
+  const double elapsed = timer.ElapsedSeconds();
+  const double expected = static_cast<double>(1 << 20) / 50.0e6;
+  EXPECT_GE(elapsed, expected * 0.95);
+  // Upper bound only guards against a grossly coarse wait (e.g. a whole
+  // scheduler quantum per transfer); generous because loaded CI runners
+  // can oversleep a single sleep_for by tens of milliseconds.
+  EXPECT_LE(elapsed, expected + 0.25);
 }
 
 }  // namespace
