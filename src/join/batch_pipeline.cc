@@ -2,8 +2,16 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 
 namespace rj::join {
+
+namespace {
+// Retry budget for capacity pressure none of our own buffers can relieve
+// (a concurrent query on a shared device): one immediate retry, then
+// sleeps of 2/4/8/16/32 ms before latching CapacityError.
+constexpr int kMaxTransientRetries = 6;
+}  // namespace
 
 BatchPipeline::BatchPipeline(gpu::Device* device, const PointTable* points,
                              std::vector<std::size_t> columns,
@@ -41,12 +49,15 @@ BatchPipeline::~BatchPipeline() { Drain(nullptr); }
 
 Result<std::shared_ptr<gpu::Buffer>> BatchPipeline::AllocateWithBackoff(
     const Slot* slot, std::size_t bytes) {
-  bool retried_after_free = false;
+  int transient_retries = 0;
   for (;;) {
     Result<std::shared_ptr<gpu::Buffer>> vbo =
         device_->Allocate(gpu::BufferKind::kVertexBuffer, bytes);
     if (vbo.ok() || vbo.status().code() != StatusCode::kCapacityError) {
       return vbo;
+    }
+    if (bytes > device_->memory_budget_bytes()) {
+      return vbo;  // can never fit, no matter what gets freed
     }
     // Memory pressure while the previously uploaded batch is still
     // resident (double-buffering needs 2× the batch bytes): degrade to
@@ -54,27 +65,42 @@ Result<std::shared_ptr<gpu::Buffer>> BatchPipeline::AllocateWithBackoff(
     // then retry. Progress beats prefetch.
     std::unique_lock<std::mutex> lock(mutex_);
     if (canceled_) return vbo;
-    const Slot* other = nullptr;
+    bool ours_resident = false;
     for (const Slot& s : slots_) {
       if (&s != slot && (s.state == Slot::State::kReady ||
                          s.state == Slot::State::kDrawing)) {
-        other = &s;
+        ours_resident = true;
         break;
       }
     }
-    if (other == nullptr) {
-      // Nothing of ours to wait for. The consumer may have freed its
-      // batch between the failed Allocate and this check, so retry once
-      // before declaring a genuine capacity failure.
-      if (retried_after_free) return vbo;
-      retried_after_free = true;
+    if (ours_resident) {
+      // Wait on the free *generation*, not on the neighbor slot reaching
+      // kFree: the consumer frees the buffer and may re-queue the slot
+      // (kDrawing → kFree → kQueued) in two separate critical sections,
+      // so a state predicate can miss the kFree window entirely and wait
+      // forever while the consumer blocks on this very upload. The
+      // counter only moves forward, so the freed buffer is observed no
+      // matter how far the state has moved on.
+      const std::uint64_t observed = frees_;
+      cv_producer_.wait(lock,
+                        [&] { return canceled_ || frees_ > observed; });
+      if (canceled_) return vbo;
+      transient_retries = 0;
       continue;
     }
-    retried_after_free = false;
-    cv_producer_.wait(lock, [&] {
-      return canceled_ || other->state == Slot::State::kFree;
-    });
-    if (canceled_) return vbo;
+    // None of our buffers is resident — the neighbor slot is empty or
+    // merely queued behind this very upload — so no consumer progress
+    // can return memory to us. The pressure is a concurrent query on a
+    // shared device: retry with a bounded backoff so a transient
+    // neighbor allocation degrades throughput instead of failing the
+    // stream.
+    if (transient_retries >= kMaxTransientRetries) return vbo;
+    ++transient_retries;
+    lock.unlock();
+    if (transient_retries > 1) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(1u << (transient_retries - 1)));
+    }
   }
 }
 
@@ -117,31 +143,39 @@ Status BatchPipeline::UploadSlot(Slot* slot, const PointTable& table,
 }
 
 void BatchPipeline::TransferLoopPull() {
-  for (std::size_t b = 0; b < num_batches_; ++b) {
-    Slot& slot = slots_[b % slots_.size()];
-    {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_producer_.wait(lock, [&] {
-        return canceled_ || slot.state == Slot::State::kFree;
-      });
-      if (canceled_) return;
-    }
-    const std::size_t begin = b * batch_size_;
-    const std::size_t end = std::min(points_->size(), begin + batch_size_);
-    const Status status = UploadSlot(&slot, *points_, begin, end);
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      if (!status.ok()) {
-        error_ = status;
-        cv_consumer_.notify_all();
-        return;
+  for (std::size_t pass = 0;; ++pass) {
+    for (std::size_t b = 0; b < num_batches_; ++b) {
+      Slot& slot = slots_[b % slots_.size()];
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        cv_producer_.wait(lock, [&] {
+          return canceled_ || slot.state == Slot::State::kFree;
+        });
+        if (canceled_) return;
       }
-      slot.batch_index = b;
-      slot.begin = begin;
-      slot.end = end;
-      slot.state = Slot::State::kReady;
-      cv_consumer_.notify_all();
+      const std::size_t begin = b * batch_size_;
+      const std::size_t end = std::min(points_->size(), begin + batch_size_);
+      const Status status = UploadSlot(&slot, *points_, begin, end);
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!status.ok()) {
+          error_ = status;
+          cv_consumer_.notify_all();
+          return;
+        }
+        slot.batch_index = b;
+        slot.begin = begin;
+        slot.end = end;
+        slot.state = Slot::State::kReady;
+        cv_consumer_.notify_all();
+      }
     }
+    // Pass complete. Park until the consumer rewinds for the next tile
+    // pass (or drains) — the thread and the slots' staging buffers stay
+    // warm across passes.
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_producer_.wait(lock, [&] { return canceled_ || rewinds_ > pass; });
+    if (canceled_) return;
   }
 }
 
@@ -176,6 +210,9 @@ void BatchPipeline::TransferLoopPush() {
 
 Result<std::optional<BatchPipeline::BatchView>> BatchPipeline::Acquire() {
   assert(mode_ == Mode::kPull);
+  // Holding a view starves AllocateWithBackoff when the budget fits only
+  // one batch: the prefetcher waits for a free only Release can produce.
+  assert(!view_outstanding_ && "Release the previous batch before Acquire");
   if (next_acquire_ >= num_batches_) {
     return std::optional<BatchView>();
   }
@@ -189,6 +226,7 @@ Result<std::optional<BatchPipeline::BatchView>> BatchPipeline::Acquire() {
     slot.begin = begin;
     slot.end = end;
     slot.state = Slot::State::kReady;
+    view_outstanding_ = true;
     return std::optional<BatchView>(BatchView{next_acquire_++, begin, end});
   }
   std::unique_lock<std::mutex> lock(mutex_);
@@ -203,6 +241,7 @@ Result<std::optional<BatchPipeline::BatchView>> BatchPipeline::Acquire() {
       slot.batch_index == next_acquire_) {
     const BatchView view{slot.batch_index, slot.begin, slot.end};
     ++next_acquire_;
+    view_outstanding_ = true;
     return std::optional<BatchView>(view);
   }
   return error_;
@@ -210,6 +249,7 @@ Result<std::optional<BatchPipeline::BatchView>> BatchPipeline::Acquire() {
 
 void BatchPipeline::Release(const BatchView& view) {
   assert(mode_ == Mode::kPull);
+  view_outstanding_ = false;
   Slot& slot = slots_[view.index % slots_.size()];
   // Free before flipping the state: the prefetcher touches the slot only
   // after observing kFree under the mutex.
@@ -220,10 +260,24 @@ void BatchPipeline::Release(const BatchView& view) {
   if (overlap_) {
     std::lock_guard<std::mutex> lock(mutex_);
     slot.state = Slot::State::kFree;
+    ++frees_;
     cv_producer_.notify_all();
   } else {
     slot.state = Slot::State::kFree;
   }
+}
+
+Status BatchPipeline::Rewind() {
+  assert(mode_ == Mode::kPull);
+  assert(next_acquire_ >= num_batches_ && "Rewind mid-pass");
+  assert(!view_outstanding_ && "Release the final batch before Rewind");
+  next_acquire_ = 0;
+  if (!overlap_) return Status::OK();  // serialized: uploads happen inline
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!error_.ok()) return error_;
+  ++rewinds_;
+  cv_producer_.notify_all();
+  return Status::OK();
 }
 
 Status BatchPipeline::UploadSerialized(const PointTable& batch) {
@@ -300,6 +354,7 @@ void BatchPipeline::ReleaseDrawn() {
   slot.table = PointTable();
   std::lock_guard<std::mutex> lock(mutex_);
   slot.state = Slot::State::kFree;
+  ++frees_;
   cv_producer_.notify_all();
 }
 

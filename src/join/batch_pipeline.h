@@ -25,7 +25,9 @@
 /// Two modes:
 ///  * pull (table scan): the pipeline slices a resident PointTable into
 ///    fixed-size batches; the consumer loops Acquire()/Release() until
-///    Acquire returns nullopt, then calls Drain().
+///    Acquire returns nullopt, then calls Rewind() to re-stream every
+///    batch for the next tile pass (the transfer thread and staging
+///    buffers survive across passes) or Drain() when done.
 ///  * push (streaming): the caller feeds externally-sized batches
 ///    (Streaming*Join::AddBatch). Push(b) starts the upload of batch b and
 ///    returns batch b-1 — whose upload has completed — for drawing;
@@ -105,13 +107,23 @@ class BatchPipeline {
 
   /// Pull mode: blocks until the next batch is resident on the device and
   /// returns its row range; nullopt once every batch has been consumed.
-  /// The caller must Release() the previous batch before acquiring the one
-  /// after next (two slots).
+  /// The caller must Release() the previous batch before the next
+  /// Acquire(): under memory pressure the prefetcher waits for that free
+  /// (AllocateWithBackoff), so holding a view while acquiring the next
+  /// batch would deadlock when the budget fits only one batch. Asserted.
   Result<std::optional<BatchView>> Acquire();
 
   /// Pull mode: marks the batch drawn; its slot becomes available to the
   /// prefetcher.
   void Release(const BatchView& view);
+
+  /// Pull mode: restarts the scan from batch 0 for the next tile pass,
+  /// once every batch of the current pass has been consumed and released.
+  /// Keeps the transfer thread and the slots' staging buffers alive —
+  /// multi-tile joins re-stream the points without paying a thread spawn
+  /// and two batch-sized staging allocations per tile. Returns the
+  /// latched pipeline error, if any.
+  Status Rewind();
 
   /// Whether this pipeline prefetches on a transfer thread. Push-mode
   /// callers branch on this: overlapping pipelines take Push() (which
@@ -194,8 +206,16 @@ class BatchPipeline {
 
   std::vector<Slot> slots_;  ///< 2 with overlap, 1 serialized
   std::size_t next_acquire_ = 0;              ///< pull consumer cursor
+  bool view_outstanding_ = false;  ///< pull consumer-private: unreleased view
   std::size_t pushed_ = 0;                    ///< push producer cursor
   std::optional<std::size_t> drawn_slot_;     ///< push: slot pending free
+  /// Free generation: bumped (under mutex_) whenever the consumer returns
+  /// a slot's device buffer (Release / ReleaseDrawn). AllocateWithBackoff
+  /// waits for this to advance rather than for a slot to *be* kFree — the
+  /// consumer may re-queue the slot before the waiter re-acquires the
+  /// mutex, but a counter advance can never be un-observed.
+  std::uint64_t frees_ = 0;
+  std::size_t rewinds_ = 0;  ///< pull: completed-pass rewind count (mutex_)
   bool flushed_ = false;
   bool canceled_ = false;
   bool drained_ = false;

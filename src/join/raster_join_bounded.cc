@@ -71,7 +71,14 @@ Result<JoinResult> BoundedRasterJoin(gpu::Device* device,
 
   std::uint64_t drawn_total = 0;
 
-  for (const raster::CanvasTile& tile : tiles) {
+  // One pipeline for every tile pass: the transfer thread and the slots'
+  // staging buffers stay warm across tiles (Rewind re-streams the points
+  // per pass), instead of paying a thread spawn and two batch-sized
+  // staging allocations per tile.
+  join::BatchPipeline pipeline(device, &points, columns, batch, {overlap});
+
+  for (std::size_t t = 0; t < tiles.size(); ++t) {
+    const raster::CanvasTile& tile = tiles[t];
     raster::Viewport vp(tile.world, tile.width, tile.height);
     // Pooled canvas: per-query FBO allocation is the dominant transient
     // under concurrent traffic (see fbo_pool.h).
@@ -83,8 +90,7 @@ Result<JoinResult> BoundedRasterJoin(gpu::Device* device,
     // The pipeline prefetches batch b+1 (pack + CopyToDevice on its
     // transfer thread, metered under phase::kTransfer) while the draw
     // workers rasterize batch b.
-    join::BatchPipeline pipeline(device, &points, columns, batch,
-                                 {overlap});
+    if (t > 0) RJ_RETURN_NOT_OK(pipeline.Rewind());
     for (;;) {
       RJ_ASSIGN_OR_RETURN(std::optional<join::BatchPipeline::BatchView> view,
                           pipeline.Acquire());
@@ -100,7 +106,6 @@ Result<JoinResult> BoundedRasterJoin(gpu::Device* device,
       pipeline.Release(*view);
       device->counters().AddBatches(1);
     }
-    RJ_RETURN_NOT_OK(pipeline.Drain(&result.timing));
 
     // --- Step II: draw polygons over the tile. ---------------------------
     {
@@ -123,6 +128,7 @@ Result<JoinResult> BoundedRasterJoin(gpu::Device* device,
                               &device->counters(), &device->pool()));
     }
   }
+  RJ_RETURN_NOT_OK(pipeline.Drain(&result.timing));
 
   if (stats != nullptr) {
     stats->num_tiles = tiles.size();

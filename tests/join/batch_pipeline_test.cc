@@ -117,6 +117,42 @@ TEST(BatchPipelineTest, OverlapKeepsAtMostTwoBatchesResident) {
   EXPECT_EQ(device.bytes_allocated(), 0u);
 }
 
+TEST(BatchPipelineTest, RewindRestreamsEveryBatchPerTilePass) {
+  JoinSetup s = MakeSetup(4, 5000, 91);
+  // Multi-tile joins re-stream the points once per tile pass through the
+  // same pipeline (Rewind), keeping the transfer thread and staging
+  // buffers warm instead of rebuilding the pipeline per tile.
+  constexpr std::size_t kPasses = 3;
+  for (const bool overlap : {false, true}) {
+    gpu::Device device = MakeDevice();
+    join::BatchPipeline pipeline(&device, &s.points, {0}, 777, {overlap});
+    for (std::size_t pass = 0; pass < kPasses; ++pass) {
+      if (pass > 0) {
+        ASSERT_TRUE(pipeline.Rewind().ok());
+      }
+      std::size_t expected_begin = 0;
+      std::size_t index = 0;
+      for (;;) {
+        auto view = pipeline.Acquire();
+        ASSERT_TRUE(view.ok()) << view.status().ToString();
+        if (!view.value().has_value()) break;
+        EXPECT_EQ(view.value()->index, index);
+        EXPECT_EQ(view.value()->begin, expected_begin);
+        expected_begin = view.value()->end;
+        ++index;
+        pipeline.Release(*view.value());
+      }
+      EXPECT_EQ(expected_begin, s.points.size()) << "pass " << pass;
+    }
+    EXPECT_TRUE(pipeline.Drain(nullptr).ok());
+    EXPECT_EQ(device.counters().bytes_transferred(),
+              kPasses * s.points.size() * 3 * sizeof(float));
+    EXPECT_LE(device.peak_bytes_allocated(),
+              (overlap ? 2u : 1u) * 777 * 3 * sizeof(float));
+    EXPECT_EQ(device.bytes_allocated(), 0u);
+  }
+}
+
 // --- Determinism: overlap on vs off, 1..8 workers. -----------------------
 
 TEST(BatchPipelineTest, BoundedJoinOverlapBitwiseIdenticalAcrossWorkers) {
@@ -312,6 +348,45 @@ TEST(BatchPipelineTest, PrefetchBacksOffToSerializedUnderMemoryPressure) {
   ExpectIdenticalArrays(serial.value().arrays, overlapped.value().arrays);
   EXPECT_EQ(serial_device.counters().bytes_transferred(),
             overlap_device.counters().bytes_transferred());
+}
+
+TEST(BatchPipelineTest, PushModeBacksOffToSerializedUnderMemoryPressure) {
+  JoinSetup s = MakeSetup(4, 8000, 99);
+  // One 400-point batch at the (x, y, w) stride is 4800 B; the 6000-byte
+  // budget holds one buffer in flight, never two, so every prefetch after
+  // the first backs off while the consumer is blocked inside Push on that
+  // very upload. This is the lost-wakeup regression shape: the consumer
+  // frees the drawn buffer and immediately re-queues the slot
+  // (kDrawing → kFree → kQueued) in two critical sections, so a waiter
+  // watching for the slot's kFree state could miss the window and hang
+  // both threads. 20 batches give the race plenty of chances; the stream
+  // must complete serialized, within budget, bitwise equal to overlap-off.
+  BoundedRasterJoinOptions options;
+  options.epsilon = 12.0;
+  options.weight_column = 0;
+
+  raster::ResultArrays arrays[2] = {raster::ResultArrays(0),
+                                    raster::ResultArrays(0)};
+  for (const bool overlap : {false, true}) {
+    options.overlap_transfers = overlap;
+    gpu::Device device = MakeDevice(1, /*budget=*/6000);
+    StreamingBoundedJoin streaming(&device, &s.polys, &s.soup, s.world,
+                                   options);
+    ASSERT_TRUE(streaming.Init().ok());
+    for (std::size_t b = 0; b < s.points.size(); b += 400) {
+      ASSERT_TRUE(
+          streaming
+              .AddBatch(s.points.Slice(b, std::min(s.points.size(), b + 400)))
+              .ok());
+    }
+    auto result = streaming.Finish();
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_EQ(streaming.points_drawn(), s.points.size());
+    EXPECT_LE(device.peak_bytes_allocated(), 6000u);
+    EXPECT_EQ(device.bytes_allocated(), 0u);
+    arrays[overlap ? 1 : 0] = std::move(result.value().arrays);
+  }
+  ExpectIdenticalArrays(arrays[0], arrays[1]);
 }
 
 TEST(BatchPipelineTest, DerivedBatchSizeCoversDoubleBufferWithinBudget) {
