@@ -1,24 +1,31 @@
 /// \file bench_multi_query_throughput.cpp
 /// \brief Multi-query throughput of rj::service::QueryService: queries/sec
-/// with 1–16 client threads sharing one device.
+/// with 1–16 client threads sharing one device, plus a shard-count axis
+/// (1–4 shards over a device pool).
 ///
 /// Not a paper figure — the paper evaluates one query at a time. This
 /// bench drives the ROADMAP "millions of users" direction: many client
 /// threads submit a mixed query load (bounded / accurate / CPU-index)
 /// through the admission layer, which reserves per-query device-memory
-/// grants so the shared budget is never oversubscribed. Reported signals:
+/// grants so no shared budget is ever oversubscribed. Reported signals:
 ///   * queries/sec per client count (scaling on a multi-core host;
 ///     on a single-core host the curve flattens at ~1×),
 ///   * single-threaded service throughput vs. a bare Executor loop
 ///     (the admission layer's overhead — must be ≈1×),
-///   * bitwise identity of every service result with the sequential
-///     baseline (hard failure otherwise).
+///   * queries/sec per shard count at a fixed client load (scatter-gather
+///     scaling across the device pool; ≥1.5× at 4 shards expected on a
+///     multi-core host, ~1× on a single-core container),
+///   * bitwise identity of every service result — single-device *and*
+///     every shard count — with the sequential baseline (hard failure,
+///     exit 1, otherwise).
 #include <atomic>
 #include <cmath>
 #include <thread>
 #include <vector>
 
 #include "bench_common.h"
+#include "data/sharded_table.h"
+#include "gpu/device_pool.h"
 #include "query/executor.h"
 #include "service/query_service.h"
 
@@ -174,12 +181,119 @@ int main() {
         .Field("speedup_vs_1_client", qps / one_client_qps);
   }
 
+  // --- Shard scaling: one client over a growing device pool. --------------
+  // One shard per device; each query scatter-gathers across the pool. A
+  // single client isolates *intra-query* scaling — each added device adds
+  // raster hardware (its own worker pool), so the point pass splits S
+  // ways while the polygon pass replays on every device concurrently.
+  // The workload is point-dominated (coarse canvases, index variants) so
+  // the replayed polygon work stays a small share; a point-starved
+  // workload would instead measure the duplication overhead.
+  std::vector<SpatialAggQuery> shard_mix;
+  {
+    SpatialAggQuery bounded;
+    bounded.variant = JoinVariant::kBoundedRaster;
+    bounded.epsilon = 200.0;
+    shard_mix.push_back(bounded);
+
+    SpatialAggQuery bounded_sum;
+    bounded_sum.variant = JoinVariant::kBoundedRaster;
+    bounded_sum.epsilon = 250.0;
+    bounded_sum.aggregate = AggregateKind::kSum;
+    // Sum the integer-valued "passengers" column: partial sums stay
+    // exactly representable, so the scatter-gather merge is bitwise
+    // identical to single-device execution (summing float fares would
+    // drift by FP regrouping across shard boundaries).
+    bounded_sum.aggregate_column = 3;
+    shard_mix.push_back(bounded_sum);
+
+    // No index-device here: it rebuilds its 1024² device grid index per
+    // query (paper semantics), a fixed cost every shard would replay —
+    // that variant's sharded correctness is covered by tests/query/.
+    SpatialAggQuery index_cpu;
+    index_cpu.variant = JoinVariant::kIndexCpu;
+    shard_mix.push_back(index_cpu);
+  }
+  std::vector<std::vector<double>> shard_expected;
+  for (const SpatialAggQuery& q : shard_mix) {
+    auto r = baseline_executor.Execute(q);
+    if (!r.ok()) {
+      std::fprintf(stderr, "shard baseline failed: %s\n",
+                   r.status().ToString().c_str());
+      return 1;
+    }
+    shard_expected.push_back(r.value().values);
+  }
+
+  constexpr std::size_t kShardQueries = 12;
+  std::printf("\nshard scaling (1 client x %zu queries):\n", kShardQueries);
+  std::printf("%-8s | %12s %12s %9s %12s %10s\n", "shards", "queries",
+              "wall(ms)", "qps", "sp.vs1shard", "identical");
+
+  double one_shard_qps = 0.0;
+  for (const std::size_t shards : {1, 2, 4}) {
+    gpu::DevicePoolOptions pool_options;
+    pool_options.num_devices = shards;
+    pool_options.device = PaperDeviceOptions(kBudget);
+    pool_options.device.num_workers = 1;
+    gpu::DevicePool pool(pool_options);
+
+    rj::data::ShardingOptions sharding;
+    sharding.num_shards = shards;
+    sharding.policy = rj::data::ShardPolicy::kHilbert;
+    auto table = rj::data::ShardedTable::Partition(points, sharding);
+    if (!table.ok()) {
+      std::fprintf(stderr, "sharding failed: %s\n",
+                   table.status().ToString().c_str());
+      return 1;
+    }
+
+    service::ServiceOptions sopts;
+    sopts.num_dispatchers = 2;
+    service::QueryService service(&pool, sopts);
+    const std::size_t dataset =
+        service.RegisterShardedDataset(&table.value(), &polys);
+    (void)service.dataset_executor(dataset)->GetTriangulation();
+    (void)service.dataset_executor(dataset)->GetCpuIndex(1024);
+
+    std::atomic<bool> identical{true};
+    const double seconds = TimeOnce([&] {
+      for (std::size_t q = 0; q < kShardQueries; ++q) {
+        const std::size_t pick = q % shard_mix.size();
+        service::ServiceResponse response =
+            service.Submit(dataset, shard_mix[pick]).get();
+        if (!response.result.ok() ||
+            !Identical(shard_expected[pick],
+                       response.result.value().values)) {
+          identical = false;
+        }
+      }
+    });
+
+    const double qps = static_cast<double>(kShardQueries) / seconds;
+    if (shards == 1) one_shard_qps = qps;
+    all_identical = all_identical && identical.load();
+    std::printf("%-8zu | %12zu %12.1f %9.1f %11.2fx %10s\n", shards,
+                kShardQueries, seconds * 1e3, qps, qps / one_shard_qps,
+                identical.load() ? "yes" : "NO");
+
+    json.Row()
+        .Field("section", std::string("shard_scaling"))
+        .Field("shards", shards)
+        .Field("queries", kShardQueries)
+        .Field("wall_ms", seconds * 1e3)
+        .Field("qps", qps)
+        .Field("speedup_vs_1_shard", qps / one_shard_qps);
+  }
+
   std::printf(
       "\nShape check: queries/sec grows with client threads up to the\n"
       "dispatcher count on a multi-core host (this host: %d hardware\n"
-      "thread(s); at 1 the curve flattens near 1x). Single-client service\n"
+      "thread(s); at 1 both curves flatten near 1x). Single-client service\n"
       "throughput tracks the bare Executor loop (admission overhead ~0);\n"
-      "every response is bitwise identical to sequential execution.\n",
+      "the shard axis should reach >=1.5x at 4 shards on a multi-core\n"
+      "host; every response — sharded or not — is bitwise identical to\n"
+      "sequential execution.\n",
       hw);
 
   if (!all_identical) {

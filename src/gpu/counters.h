@@ -38,6 +38,21 @@ struct CountersSnapshot {
     d.batches = batches - earlier.batches;
     return d;
   }
+
+  /// Per-field sum (the dual of DeltaSince; pool totals and sharded
+  /// gather both merge snapshots with this, so the field list lives in
+  /// exactly one place besides DeltaSince).
+  CountersSnapshot Plus(const CountersSnapshot& other) const {
+    CountersSnapshot s;
+    s.fragments = fragments + other.fragments;
+    s.vertices = vertices + other.vertices;
+    s.bytes_transferred = bytes_transferred + other.bytes_transferred;
+    s.atomic_adds = atomic_adds + other.atomic_adds;
+    s.pip_tests = pip_tests + other.pip_tests;
+    s.render_passes = render_passes + other.render_passes;
+    s.batches = batches + other.batches;
+    return s;
+  }
 };
 
 /// Aggregated counters for one query execution. Thread-safe increments.

@@ -1,0 +1,115 @@
+#include "gpu/device_pool.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace rj::gpu {
+
+DevicePool::DevicePool(DevicePoolOptions options) {
+  const std::size_t n = std::max<std::size_t>(1, options.num_devices);
+  owned_.reserve(n);
+  devices_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    owned_.push_back(std::make_unique<Device>(options.device));
+    devices_.push_back(owned_.back().get());
+  }
+}
+
+DevicePool::DevicePool(const std::vector<DeviceOptions>& per_device) {
+  owned_.reserve(std::max<std::size_t>(1, per_device.size()));
+  devices_.reserve(owned_.capacity());
+  if (per_device.empty()) {
+    owned_.push_back(std::make_unique<Device>());
+    devices_.push_back(owned_.back().get());
+    return;
+  }
+  for (const DeviceOptions& options : per_device) {
+    owned_.push_back(std::make_unique<Device>(options));
+    devices_.push_back(owned_.back().get());
+  }
+}
+
+DevicePool::DevicePool(std::vector<Device*> external)
+    : devices_(std::move(external)) {
+  if (devices_.empty()) {
+    // Uphold the never-empty invariant the owned constructors guarantee
+    // (primary() must always be valid): fall back to one owned device.
+    owned_.push_back(std::make_unique<Device>());
+    devices_.push_back(owned_.back().get());
+  }
+}
+
+bool DevicePool::UniformFboLimit() const {
+  for (const Device* d : devices_) {
+    if (d->options().max_fbo_dim != primary()->options().max_fbo_dim) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<DeviceUtilization> DevicePool::Utilization() const {
+  std::vector<DeviceUtilization> out;
+  out.reserve(devices_.size());
+  for (const Device* d : devices_) {
+    DeviceUtilization u;
+    u.budget_bytes = d->memory_budget_bytes();
+    u.allocated_bytes = d->bytes_allocated();
+    u.reserved_bytes = d->bytes_reserved();
+    u.peak_allocated_bytes = d->peak_bytes_allocated();
+    u.peak_reserved_bytes = d->peak_bytes_reserved();
+    u.counters = d->counters().Snapshot();
+    out.push_back(u);
+  }
+  return out;
+}
+
+CountersSnapshot DevicePool::TotalCounters() const {
+  CountersSnapshot total;
+  for (const Device* d : devices_) {
+    total = total.Plus(d->counters().Snapshot());
+  }
+  return total;
+}
+
+bool PoolReservation::active() const {
+  for (const MemoryReservation& g : grants_) {
+    if (g.active()) return true;
+  }
+  return false;
+}
+
+std::size_t PoolReservation::total_bytes() const {
+  std::size_t total = 0;
+  for (const MemoryReservation& g : grants_) total += g.bytes();
+  return total;
+}
+
+void PoolReservation::Release() {
+  for (MemoryReservation& g : grants_) g.Release();
+  grants_.clear();
+}
+
+Result<PoolReservation> TryReservePool(
+    DevicePool* pool, const std::vector<std::size_t>& bytes_per_device) {
+  if (bytes_per_device.size() > pool->size()) {
+    return Status::InvalidArgument(
+        "reservation names more devices than the pool holds");
+  }
+  PoolReservation out;
+  out.grants_.resize(pool->size());
+  for (std::size_t i = 0; i < bytes_per_device.size(); ++i) {
+    if (bytes_per_device[i] == 0) continue;
+    Result<MemoryReservation> grant =
+        pool->device(i)->TryReserve(bytes_per_device[i]);
+    if (!grant.ok()) {
+      // All-or-nothing: drop what we already hold before reporting.
+      out.Release();
+      return grant.status();
+    }
+    out.grants_[i] = std::move(grant).MoveValueUnsafe();
+  }
+  return out;
+}
+
+}  // namespace rj::gpu

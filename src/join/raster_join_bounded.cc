@@ -14,7 +14,8 @@ Result<JoinResult> BoundedRasterJoin(gpu::Device* device,
                                      const BBox& world,
                                      const BoundedRasterJoinOptions& options,
                                      BoundedRasterJoinStats* stats,
-                                     ResultRanges* ranges_out) {
+                                     ResultRanges* ranges_out,
+                                     std::optional<raster::Fbo>* point_fbo_out) {
   RJ_RETURN_NOT_OK(ValidatePolygonIds(polys));
   RJ_RETURN_NOT_OK(ValidateWeightColumn(points, options.weight_column));
   RJ_RETURN_NOT_OK(ValidateFilters(points, options.filters));
@@ -38,6 +39,10 @@ Result<JoinResult> BoundedRasterJoin(gpu::Device* device,
           "result ranges require a single-tile canvas (reduce epsilon "
           "resolution or raise max_fbo_dim)");
     }
+  }
+  if (point_fbo_out != nullptr && tiles.size() != 1) {
+    return Status::NotImplemented(
+        "point-FBO export requires a single-tile canvas");
   }
 
   // Columns shipped to the device: filters' columns plus the aggregated one.
@@ -105,6 +110,12 @@ Result<JoinResult> BoundedRasterJoin(gpu::Device* device,
       }
       pipeline.Release(*view);
       device->counters().AddBatches(1);
+    }
+
+    if (point_fbo_out != nullptr) {
+      // Single tile (validated above): copy the canvas out of its pooled
+      // lease for the caller's cross-shard gather.
+      point_fbo_out->emplace(point_fbo);
     }
 
     // --- Step II: draw polygons over the tile. ---------------------------

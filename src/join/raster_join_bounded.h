@@ -67,6 +67,13 @@ struct BoundedRasterJoinStats {
 /// Returns per-polygon partial aggregates; finalize with JoinResult::
 /// Finalize. When options.compute_result_ranges is set, `ranges_out`
 /// receives the §5 intervals (must be non-null in that case).
+///
+/// When `point_fbo_out` is non-null the post-Step-I point FBO is copied
+/// out (single-tile canvases only — the same restriction as result
+/// ranges). This is the sharded gather hook: per-shard point FBOs sum
+/// pixel-wise to exactly the single-device FBO (integer-valued channel
+/// partials), letting the Executor recompute §5 ranges bitwise-identically
+/// across any shard count (docs/SERVICE.md).
 Result<JoinResult> BoundedRasterJoin(gpu::Device* device,
                                      const PointTable& points,
                                      const PolygonSet& polys,
@@ -74,6 +81,8 @@ Result<JoinResult> BoundedRasterJoin(gpu::Device* device,
                                      const BBox& world,
                                      const BoundedRasterJoinOptions& options,
                                      BoundedRasterJoinStats* stats = nullptr,
-                                     ResultRanges* ranges_out = nullptr);
+                                     ResultRanges* ranges_out = nullptr,
+                                     std::optional<raster::Fbo>* point_fbo_out =
+                                         nullptr);
 
 }  // namespace rj

@@ -2,10 +2,15 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
+#include <thread>
+#include <utility>
 
+#include "agg/merge_partials.h"
 #include "join/index_join.h"
 #include "join/raster_join_accurate.h"
 #include "join/raster_join_bounded.h"
+#include "raster/viewport.h"
 
 namespace rj {
 
@@ -25,6 +30,29 @@ UploadPlan CappedBatch(std::size_t cap_bytes, std::size_t bytes_per_point,
                     overlap_transfers);
 }
 
+/// Pixel-wise accumulation of one shard's point FBO into the gather
+/// canvas, channel-appropriately: count/sum add, min/max blend. Because
+/// every channel's per-shard partial is exactly representable in the
+/// integer-weight regime, the accumulated FBO is bitwise identical to the
+/// one a single device would have produced from the whole point stream.
+void AccumulateFbo(raster::Fbo* dst, const raster::Fbo& src) {
+  std::vector<float>& d = dst->mutable_data();
+  const std::vector<float>& s = src.data();
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    switch (static_cast<int>(i % raster::kChannels)) {
+      case raster::kChannelMin:
+        d[i] = std::min(d[i], s[i]);
+        break;
+      case raster::kChannelMax:
+        d[i] = std::max(d[i], s[i]);
+        break;
+      default:  // kChannelCount, kChannelSum
+        d[i] += s[i];
+        break;
+    }
+  }
+}
+
 }  // namespace
 
 void AssignSequentialIds(PolygonSet* polys) {
@@ -33,11 +61,10 @@ void AssignSequentialIds(PolygonSet* polys) {
   }
 }
 
-Executor::Executor(gpu::Device* device, const PointTable* points,
-                   const PolygonSet* polys)
-    : device_(device), points_(points), polys_(polys) {
-  world_ = ComputeExtent(*polys);
-  world_.Expand(points->Extent());
+void Executor::InitWorldAndCosts(const BBox& points_extent,
+                                 std::size_t num_points) {
+  world_ = ComputeExtent(*polys_);
+  world_.Expand(points_extent);
   // Inflate a hair so max-coordinate points land inside the last pixel
   // rather than exactly on the canvas edge.
   const double pad =
@@ -48,7 +75,7 @@ Executor::Executor(gpu::Device* device, const PointTable* points,
   // so the O(total vertices) scan runs once here instead of per kAuto
   // query — ResolveVariant is on the per-query dispatch path twice
   // (admission planning and execution).
-  cost_inputs_.num_points = points_->size();
+  cost_inputs_.num_points = num_points;
   cost_inputs_.num_polygons = polys_->size();
   cost_inputs_.total_polygon_vertices = TotalVertices(*polys_);
   cost_inputs_.world = world_;
@@ -56,6 +83,32 @@ Executor::Executor(gpu::Device* device, const PointTable* points,
     cost_inputs_.total_perimeter += poly.OuterPerimeter();
   }
   cost_inputs_.max_fbo_dim = device_->options().max_fbo_dim;
+}
+
+Executor::Executor(gpu::Device* device, const PointTable* points,
+                   const PolygonSet* polys)
+    : device_(device), points_(points), polys_(polys) {
+  InitWorldAndCosts(points->Extent(), points->size());
+}
+
+Executor::Executor(gpu::DevicePool* pool, const data::ShardedTable* shards,
+                   const PolygonSet* polys)
+    : device_(pool->primary()), pool_(pool), shards_(shards),
+      points_(nullptr), polys_(polys) {
+  // The sharded world must equal the single-device world for the same
+  // dataset — shards_->extent() is the *whole* dataset's extent, so the
+  // canvas (and every rasterized pixel) lines up bitwise with an unsharded
+  // run.
+  InitWorldAndCosts(shards->extent(), shards->total_points());
+}
+
+std::vector<std::size_t> Executor::ShardsPerDevice() const {
+  if (!sharded()) return {1};
+  std::vector<std::size_t> hosted(pool_->size(), 0);
+  for (std::size_t s = 0; s < shards_->num_shards(); ++s) {
+    ++hosted[s % pool_->size()];
+  }
+  return hosted;
 }
 
 Result<const TriangleSoup*> Executor::GetTriangulation() {
@@ -111,90 +164,232 @@ Result<AdmissionPlan> Executor::PlanAdmission(const SpatialAggQuery& query) {
   plan.min_bytes =
       std::max(plan.fixed_bytes, in_flight * plan.bytes_per_point);
   plan.full_bytes = std::max(
-      {plan.fixed_bytes, points_->size() * plan.bytes_per_point,
+      {plan.fixed_bytes, PlanningPointCount() * plan.bytes_per_point,
        plan.min_bytes});
   return plan;
 }
 
-Result<QueryResult> Executor::Execute(const SpatialAggQuery& query) {
-  Timer total;
-  QueryResult out;
-
-  const std::size_t weight_column =
-      query.aggregate == AggregateKind::kCount ? PointTable::npos
-                                               : query.aggregate_column;
-  if (query.aggregate != AggregateKind::kCount &&
-      weight_column == PointTable::npos) {
-    return Status::InvalidArgument(
-        "non-COUNT aggregates require aggregate_column");
-  }
-
-  const JoinVariant variant = ResolveVariant(query);
-  const UploadPlan capped = CappedBatch(
-      query.device_memory_cap_bytes,
-      UploadBytesPerPoint(query.filters, weight_column), points_->size(),
-      query.overlap_transfers);
-  const std::size_t batch_cap = capped.batch_size;
-
-  JoinResult join;
+Result<JoinResult> Executor::RunVariant(
+    gpu::Device* device, const PointTable& points, JoinVariant variant,
+    const SpatialAggQuery& query, std::size_t weight_column,
+    const UploadPlan& capped, const TriangleSoup* soup,
+    const GridIndex* cpu_index, ResultRanges* ranges_out,
+    std::optional<raster::Fbo>* point_fbo_out) {
   switch (variant) {
     case JoinVariant::kBoundedRaster: {
-      RJ_ASSIGN_OR_RETURN(const TriangleSoup* soup, GetTriangulation());
       BoundedRasterJoinOptions options;
       options.epsilon = query.epsilon;
       options.weight_column = weight_column;
       options.filters = query.filters;
-      options.batch_size = batch_cap;
+      options.batch_size = capped.batch_size;
       options.overlap_transfers = capped.overlap_transfers;
-      options.compute_result_ranges = query.with_result_ranges;
-      RJ_ASSIGN_OR_RETURN(
-          join, BoundedRasterJoin(device_, *points_, *polys_, *soup, world_,
-                                  options, nullptr,
-                                  query.with_result_ranges ? &out.ranges
-                                                           : nullptr));
-      break;
+      options.compute_result_ranges = ranges_out != nullptr;
+      return BoundedRasterJoin(device, points, *polys_, *soup, world_,
+                               options, nullptr, ranges_out, point_fbo_out);
     }
     case JoinVariant::kAccurateRaster: {
-      RJ_ASSIGN_OR_RETURN(const TriangleSoup* soup, GetTriangulation());
       AccurateRasterJoinOptions options;
       options.canvas_dim = query.accurate_canvas_dim;
       options.weight_column = weight_column;
       options.filters = query.filters;
-      options.batch_size = batch_cap;
+      options.batch_size = capped.batch_size;
       options.overlap_transfers = capped.overlap_transfers;
-      RJ_ASSIGN_OR_RETURN(join,
-                          AccurateRasterJoin(device_, *points_, *polys_,
-                                             *soup, world_, options));
-      break;
+      return AccurateRasterJoin(device, points, *polys_, *soup, world_,
+                                options);
     }
     case JoinVariant::kIndexDevice: {
       IndexJoinOptions options;
       options.weight_column = weight_column;
       options.filters = query.filters;
-      options.batch_size = batch_cap;
+      options.batch_size = capped.batch_size;
       options.overlap_transfers = capped.overlap_transfers;
-      RJ_ASSIGN_OR_RETURN(
-          join, IndexJoinDevice(device_, *points_, *polys_, world_, options));
-      break;
+      return IndexJoinDevice(device, points, *polys_, world_, options);
     }
     case JoinVariant::kIndexCpu: {
       IndexJoinOptions options;
       options.weight_column = weight_column;
       options.filters = query.filters;
       options.assign_mode = GridAssignMode::kExactGeometry;
-      RJ_ASSIGN_OR_RETURN(const GridIndex* index,
-                          GetCpuIndex(options.index_resolution));
-      RJ_ASSIGN_OR_RETURN(join, IndexJoinCpu(*points_, *polys_, *index,
-                                             options, query.cpu_threads));
-      break;
+      return IndexJoinCpu(points, *polys_, *cpu_index, options,
+                          query.cpu_threads);
     }
     case JoinVariant::kAuto:
-      return Status::Internal("kAuto should have been resolved");
+      break;
   }
+  return Status::Internal("kAuto should have been resolved");
+}
+
+Result<Executor::QuerySetup> Executor::PrepareQuery(
+    const SpatialAggQuery& query) {
+  QuerySetup setup;
+  setup.weight_column =
+      query.aggregate == AggregateKind::kCount ? PointTable::npos
+                                               : query.aggregate_column;
+  if (query.aggregate != AggregateKind::kCount &&
+      setup.weight_column == PointTable::npos) {
+    return Status::InvalidArgument(
+        "non-COUNT aggregates require aggregate_column");
+  }
+  setup.variant = ResolveVariant(query);
+  setup.bytes_per_point =
+      UploadBytesPerPoint(query.filters, setup.weight_column);
+  if (setup.variant == JoinVariant::kBoundedRaster ||
+      setup.variant == JoinVariant::kAccurateRaster) {
+    RJ_ASSIGN_OR_RETURN(setup.soup, GetTriangulation());
+  }
+  if (setup.variant == JoinVariant::kIndexCpu) {
+    RJ_ASSIGN_OR_RETURN(setup.cpu_index,
+                        GetCpuIndex(IndexJoinOptions{}.index_resolution));
+  }
+  return setup;
+}
+
+Result<QueryResult> Executor::Execute(const SpatialAggQuery& query) {
+  if (sharded()) return ExecuteSharded(query);
+
+  Timer total;
+  QueryResult out;
+
+  RJ_ASSIGN_OR_RETURN(QuerySetup setup, PrepareQuery(query));
+  const UploadPlan capped =
+      CappedBatch(query.device_memory_cap_bytes, setup.bytes_per_point,
+                  points_->size(), query.overlap_transfers);
+
+  JoinResult join;
+  RJ_ASSIGN_OR_RETURN(
+      join, RunVariant(device_, *points_, setup.variant, query,
+                       setup.weight_column, capped, setup.soup,
+                       setup.cpu_index,
+                       query.with_result_ranges ? &out.ranges : nullptr,
+                       nullptr));
 
   out.values = join.Finalize(query.aggregate);
   out.arrays = std::move(join.arrays);
   out.timing = join.timing;
+  out.total_seconds = total.ElapsedSeconds();
+  return out;
+}
+
+Result<QueryResult> Executor::ExecuteSharded(const SpatialAggQuery& query) {
+  Timer total;
+  QueryResult out;
+
+  // Same preamble as the single-device path (PrepareQuery builds the
+  // shared preprocessing once; every shard reuses the cached soup/index —
+  // the polygon side of the join is identical across shards).
+  RJ_ASSIGN_OR_RETURN(QuerySetup setup, PrepareQuery(query));
+  if (!pool_->UniformFboLimit()) {
+    // Shards must rasterize on one pixel grid; a pool with mixed FBO
+    // limits would tile the canvas differently per shard.
+    return Status::InvalidArgument(
+        "sharded execution requires a uniform max_fbo_dim across the pool");
+  }
+
+  // Ranges gather (bounded variant only): shards export their point FBOs
+  // and the §5 classification runs once over the pixel-wise sum, which is
+  // bitwise identical to the single-device FBO — merging per-shard
+  // *intervals* instead would regroup the per-pixel area×count products
+  // and drift by FP rounding (see merge_partials.h).
+  const bool want_ranges = query.with_result_ranges &&
+                           setup.variant == JoinVariant::kBoundedRaster;
+
+  const std::size_t num_shards = shards_->num_shards();
+  std::vector<agg::ShardPartial> partials(num_shards);
+  std::vector<Status> shard_status(num_shards, Status::OK());
+  std::vector<std::optional<raster::Fbo>> shard_fbos(num_shards);
+
+  // --- Scatter: every shard joins on its own device in parallel. ---------
+  const auto run_shard = [&](std::size_t s) {
+    gpu::Device* dev = shard_device(s);
+    const PointTable& shard_points = shards_->shard(s);
+    // The admission grant is per shard: each shard batches within its own
+    // device_memory_cap_bytes slice, independent of sibling shard sizes.
+    const UploadPlan capped =
+        CappedBatch(query.device_memory_cap_bytes, setup.bytes_per_point,
+                    shard_points.size(), query.overlap_transfers);
+
+    Result<JoinResult> join =
+        RunVariant(dev, shard_points, setup.variant, query,
+                   setup.weight_column, capped, setup.soup, setup.cpu_index,
+                   /*ranges_out=*/nullptr,
+                   want_ranges ? &shard_fbos[s] : nullptr);
+    if (!join.ok()) {
+      shard_status[s] = join.status();
+      return;
+    }
+    JoinResult shard_result = std::move(join).MoveValueUnsafe();
+    partials[s].arrays = std::move(shard_result.arrays);
+    partials[s].timing = shard_result.timing;
+  };
+
+  // Counter attribution is per *device*, not per shard: when the pool is
+  // smaller than the shard count, sibling shards share a device and their
+  // delta windows would overlap (double-counting the shared work). Shard
+  // d is the first shard on device d, so its partial carries the device's
+  // whole delta — the merged total is the true pool delta (exact when no
+  // other query overlapped, the same contract as QueryStats).
+  const std::size_t devices_used = std::min(num_shards, pool_->size());
+  std::vector<gpu::CountersSnapshot> before(devices_used);
+  for (std::size_t d = 0; d < devices_used; ++d) {
+    before[d] = pool_->device(d)->counters().Snapshot();
+  }
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(num_shards);
+    for (std::size_t s = 0; s < num_shards; ++s) {
+      threads.emplace_back(run_shard, s);
+    }
+    for (std::thread& t : threads) t.join();
+  }
+  for (std::size_t d = 0; d < devices_used; ++d) {
+    partials[d].counters =
+        pool_->device(d)->counters().Snapshot().DeltaSince(before[d]);
+  }
+
+  // First failure in shard order: error reporting stays deterministic no
+  // matter which shard thread lost the race.
+  for (const Status& st : shard_status) RJ_RETURN_NOT_OK(st);
+
+  // --- Gather: deterministic merge in ascending shard order. -------------
+  RJ_ASSIGN_OR_RETURN(agg::MergedPartials merged, agg::MergePartials(partials));
+  out.arrays = std::move(merged.arrays);
+  out.values = FinalizeAggregate(query.aggregate, out.arrays);
+  out.timing = merged.timing;
+  out.counters = merged.counters;
+
+  if (want_ranges) {
+    raster::Fbo gathered = std::move(*shard_fbos[0]);
+    shard_fbos[0].reset();
+    for (std::size_t s = 1; s < num_shards; ++s) {
+      // Accumulate and free shard by shard: canvases are multi-megabyte,
+      // so holding all S copies through the range pass would multiply the
+      // gather's transient footprint for nothing.
+      AccumulateFbo(&gathered, *shard_fbos[s]);
+      shard_fbos[s].reset();
+    }
+    // Re-derive the (single-tile — the per-shard joins validated that)
+    // canvas the shards rendered on.
+    RJ_ASSIGN_OR_RETURN(
+        std::vector<raster::CanvasTile> tiles,
+        raster::PlanCanvas(world_, query.epsilon,
+                           device_->options().max_fbo_dim));
+    raster::Viewport vp(tiles[0].world, tiles[0].width, tiles[0].height);
+    ScopedPhase sp(&out.timing, phase::kProcessing);
+    // The range pass is part of this query's device work too: meter its
+    // primary-device delta into the attributed counters, keeping the
+    // "exact when no other query overlapped" contract (result.h).
+    const gpu::CountersSnapshot gather_before =
+        device_->counters().Snapshot();
+    RJ_ASSIGN_OR_RETURN(
+        out.ranges,
+        ComputeResultRanges(vp, *polys_, *setup.soup, gathered,
+                            FinalizeAggregate(AggregateKind::kCount,
+                                              out.arrays),
+                            &device_->counters(), &device_->pool()));
+    out.counters = out.counters.Plus(
+        device_->counters().Snapshot().DeltaSince(gather_before));
+  }
+
   out.total_seconds = total.ElapsedSeconds();
   return out;
 }

@@ -4,7 +4,16 @@
 ///
 /// Owns the per-query polygon processing the paper measures in Table 1
 /// (triangulation for the raster variants, grid-index construction for the
-/// baselines) and the device it executes on.
+/// baselines) and the device(s) it executes on. Two execution shapes:
+///
+///  * single-device — the paper's setup: one gpu::Device runs the whole
+///    point set (batched when out of core);
+///  * sharded scatter-gather — a data::ShardedTable places one shard per
+///    gpu::DevicePool device (shard s on device s mod pool size); each
+///    shard runs the full join on its own device in parallel and the
+///    partials merge through agg::MergePartials in ascending shard order,
+///    so results are bitwise identical to single-device execution for any
+///    shard/worker count (docs/SERVICE.md "Determinism under sharding").
 ///
 /// Thread-safety contract (docs/SERVICE.md): one Executor may serve
 /// concurrent Execute() calls from many threads. The preprocessing caches
@@ -18,13 +27,18 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
+#include <vector>
 
+#include "data/sharded_table.h"
 #include "gpu/device.h"
+#include "gpu/device_pool.h"
 #include "index/grid_index.h"
 #include "join/join_common.h"
 #include "query/optimizer.h"
 #include "query/query.h"
 #include "query/result.h"
+#include "raster/fbo.h"
 #include "triangulate/triangulation.h"
 
 namespace rj {
@@ -33,6 +47,12 @@ namespace rj {
 /// controller reserves. All sizes derive from the upload stride (x, y plus
 /// referenced attribute columns, float32 each) and the fixed per-query
 /// uploads (the triangle VBO for the bounded raster variant).
+///
+/// For a sharded executor these are **per-shard** figures: every shard
+/// uploads its own triangle VBO and runs its own batch pipeline on its
+/// device, so a device hosting k shards needs k× the grant
+/// (Executor::ShardsPerDevice gives the placement shape; QueryService
+/// multiplies).
 struct AdmissionPlan {
   /// Interleaved VBO bytes per point (0 when the variant never touches
   /// device memory, e.g. the CPU index join).
@@ -43,7 +63,8 @@ struct AdmissionPlan {
   /// plus the fixed uploads. A query whose min_bytes exceed the device
   /// budget can never run and must be rejected, not queued.
   std::size_t min_bytes = 0;
-  /// Grant that holds the full point set resident (no batching).
+  /// Grant that holds the full point set (largest shard, when sharded)
+  /// resident (no batching).
   std::size_t full_bytes = 0;
 };
 
@@ -53,32 +74,63 @@ struct AdmissionPlan {
 /// CPU indexes are pre-built but device structures are per-query.
 class Executor {
  public:
-  /// Neither `points` nor `polys` are copied; both must outlive this.
-  /// Polygon ids must be 0..n-1 (use AssignSequentialIds if needed).
+  /// Single-device executor. Neither `points` nor `polys` are copied; both
+  /// must outlive this. Polygon ids must be 0..n-1 (use AssignSequentialIds
+  /// if needed).
   Executor(gpu::Device* device, const PointTable* points,
+           const PolygonSet* polys);
+
+  /// Sharded executor: every Execute() scatters across `shards` (shard s
+  /// on pool device s mod pool->size()) and gathers via agg::MergePartials.
+  /// `pool`, `shards`, and `polys` must outlive this. The pool must have a
+  /// uniform max_fbo_dim (validated per query) so all shards rasterize on
+  /// one pixel grid.
+  Executor(gpu::DevicePool* pool, const data::ShardedTable* shards,
            const PolygonSet* polys);
 
   /// Runs the query and returns finalized per-polygon values. Thread-safe;
   /// concurrent calls share the preprocessing caches. When
   /// query.device_memory_cap_bytes is set, point batches are sized so the
-  /// query's device allocations stay within that grant.
+  /// query's device allocations stay within that grant (per shard, when
+  /// sharded).
   Result<QueryResult> Execute(const SpatialAggQuery& query);
 
   /// Resolves kAuto to a concrete variant via the cost model; other
   /// variants pass through unchanged.
   JoinVariant ResolveVariant(const SpatialAggQuery& query) const;
 
-  /// Device-memory footprint of `query` for admission control. Builds (and
-  /// caches) the triangulation when the resolved variant needs its VBO
-  /// size. Thread-safe.
+  /// Device-memory footprint of `query` for admission control (per shard,
+  /// when sharded). Builds (and caches) the triangulation when the
+  /// resolved variant needs its VBO size. Thread-safe.
   Result<AdmissionPlan> PlanAdmission(const SpatialAggQuery& query);
+
+  /// True when Execute() takes the scatter-gather path.
+  bool sharded() const { return shards_ != nullptr; }
+  std::size_t num_shards() const {
+    return sharded() ? shards_->num_shards() : 1;
+  }
+  /// Device that executes shard s (the pool wraps around when there are
+  /// more shards than devices).
+  gpu::Device* shard_device(std::size_t s) const {
+    return sharded() ? pool_->device(s % pool_->size()) : device_;
+  }
+  /// Shards hosted per pool device, in device order — the placement shape
+  /// the admission controller multiplies per-shard grants by. A
+  /// single-device executor reports {1}.
+  std::vector<std::size_t> ShardsPerDevice() const;
 
   /// World extent used for the canvas: polygon extent ∪ point extent.
   const BBox& world() const { return world_; }
 
+  /// The full point table (null for a sharded executor — rows live only in
+  /// the shards).
   const PointTable* points() const { return points_; }
   const PolygonSet* polys() const { return polys_; }
+  /// Single-device: the device. Sharded: the pool's primary device (hosts
+  /// gather-phase work such as the result-range recomputation).
   gpu::Device* device() const { return device_; }
+  gpu::DevicePool* device_pool() const { return pool_; }
+  const data::ShardedTable* shards() const { return shards_; }
 
   /// Cached triangulation (built on first raster-variant query).
   Result<const TriangleSoup*> GetTriangulation();
@@ -91,7 +143,50 @@ class Executor {
   CostModelParams* cost_params() { return &cost_params_; }
 
  private:
+  /// Shared constructor tail: world extent and cost-model inputs.
+  void InitWorldAndCosts(const BBox& points_extent, std::size_t num_points);
+
+  /// Per-query preamble shared by both execution paths: aggregate
+  /// validation, variant resolution, upload stride, and the preprocessing
+  /// the resolved variant needs (triangulation / CPU index). One copy, so
+  /// sharded and single-device behavior cannot drift.
+  struct QuerySetup {
+    std::size_t weight_column = PointTable::npos;
+    JoinVariant variant = JoinVariant::kAuto;
+    std::size_t bytes_per_point = 0;
+    const TriangleSoup* soup = nullptr;     ///< raster variants
+    const GridIndex* cpu_index = nullptr;   ///< kIndexCpu
+  };
+  Result<QuerySetup> PrepareQuery(const SpatialAggQuery& query);
+
+  /// Runs one (device, points) pair through the resolved variant — the
+  /// single variant-dispatch switch shared by the single-device path and
+  /// every shard of the scatter path, so per-variant option wiring cannot
+  /// drift between them. `soup` is required for the raster variants,
+  /// `cpu_index` for kIndexCpu; `ranges_out`/`point_fbo_out` are the
+  /// bounded variant's optional outputs.
+  Result<JoinResult> RunVariant(gpu::Device* device, const PointTable& points,
+                                JoinVariant variant,
+                                const SpatialAggQuery& query,
+                                std::size_t weight_column,
+                                const UploadPlan& capped,
+                                const TriangleSoup* soup,
+                                const GridIndex* cpu_index,
+                                ResultRanges* ranges_out,
+                                std::optional<raster::Fbo>* point_fbo_out);
+
+  /// The scatter-gather path (sharded executors only).
+  Result<QueryResult> ExecuteSharded(const SpatialAggQuery& query);
+
+  /// Points the batch planner sizes against: the whole table, or the
+  /// largest shard (each device holds at most its shards).
+  std::size_t PlanningPointCount() const {
+    return sharded() ? shards_->max_shard_points() : points_->size();
+  }
+
   gpu::Device* device_;
+  gpu::DevicePool* pool_ = nullptr;
+  const data::ShardedTable* shards_ = nullptr;
   const PointTable* points_;
   const PolygonSet* polys_;
   BBox world_;

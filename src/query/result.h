@@ -6,6 +6,7 @@
 
 #include "agg/result_range.h"
 #include "common/timer.h"
+#include "gpu/counters.h"
 #include "join/join_common.h"
 
 namespace rj {
@@ -20,6 +21,12 @@ struct QueryResult {
   ResultRanges ranges;
   /// Phase breakdown (transfer / processing / index_build / ...).
   PhaseTimer timing;
+  /// Device work attributed to this query. Filled by the sharded
+  /// scatter-gather path (per-device deltas merged in shard order via
+  /// agg::MergePartials; exact when no other query overlapped). The
+  /// single-device path leaves it zero — counters live on the Device,
+  /// where concurrent queries share one meter.
+  gpu::CountersSnapshot counters;
   /// Total wall time of Execute().
   double total_seconds = 0.0;
 };

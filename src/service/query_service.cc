@@ -2,12 +2,25 @@
 
 #include <algorithm>
 #include <chrono>
+#include <limits>
+#include <string>
 #include <utility>
 
 namespace rj::service {
 
 QueryService::QueryService(gpu::Device* device, ServiceOptions options)
-    : device_(device), options_(options) {
+    : QueryService(std::make_unique<gpu::DevicePool>(
+                       std::vector<gpu::Device*>{device}),
+                   nullptr, options) {}
+
+QueryService::QueryService(gpu::DevicePool* pool, ServiceOptions options)
+    : QueryService(nullptr, pool, options) {}
+
+QueryService::QueryService(std::unique_ptr<gpu::DevicePool> owned,
+                           gpu::DevicePool* pool, ServiceOptions options)
+    : owned_pool_(std::move(owned)),
+      pool_(pool != nullptr ? pool : owned_pool_.get()),
+      options_(options) {
   if (options_.num_dispatchers == 0) {
     options_.num_dispatchers =
         std::max<std::size_t>(1, std::thread::hardware_concurrency());
@@ -41,7 +54,15 @@ QueryService::~QueryService() {
 
 std::size_t QueryService::RegisterDataset(const PointTable* points,
                                           const PolygonSet* polys) {
-  auto executor = std::make_unique<Executor>(device_, points, polys);
+  auto executor = std::make_unique<Executor>(pool_->primary(), points, polys);
+  std::lock_guard<std::mutex> lock(mutex_);
+  executors_.push_back(std::move(executor));
+  return executors_.size() - 1;
+}
+
+std::size_t QueryService::RegisterShardedDataset(
+    const data::ShardedTable* shards, const PolygonSet* polys) {
+  auto executor = std::make_unique<Executor>(pool_, shards, polys);
   std::lock_guard<std::mutex> lock(mutex_);
   executors_.push_back(std::move(executor));
   return executors_.size() - 1;
@@ -165,68 +186,100 @@ void QueryService::RunQuery(Pending pending) {
   Executor* executor = dataset_executor(pending.dataset);
   // Registration precedes submission validation, so this cannot be null.
 
-  // --- Admission: size and reserve this query's device-memory grant. -----
+  // --- Admission: size and reserve per-device memory grants. -------------
   Result<AdmissionPlan> plan = executor->PlanAdmission(pending.query);
   if (!plan.ok()) {
     Respond(&pending, plan.status(), stats);
     return;
   }
 
-  gpu::MemoryReservation grant;
+  // Placement shape: hosted[d] shards of this query run (concurrently) on
+  // pool device d, so device d's grant is hosted[d] × the per-shard grant.
+  // Unsharded executors report {1} — one "shard" on the primary device —
+  // which reduces everything below to the single-budget policy.
+  const std::vector<std::size_t> hosted = executor->ShardsPerDevice();
+
+  gpu::PoolReservation grant;
+  std::size_t per_shard_grant = 0;
   if (plan.value().min_bytes > 0) {
     // The try/wait cycle runs under mutex_ so a grant release (which takes
-    // mutex_ before notifying) cannot slip between a failed TryReserve and
-    // the wait — no lost wakeups. Lock order is always mutex_ → device
-    // mutex, never the reverse.
+    // mutex_ before notifying) cannot slip between a failed reservation
+    // and the wait — no lost wakeups. All-or-nothing acquisition
+    // (TryReservePool) plus serialization on mutex_ means two queries can
+    // never hold partial multi-device grants and wait on each other. Lock
+    // order is always mutex_ → device mutex, never the reverse.
     std::unique_lock<std::mutex> lock(mutex_);
     for (;;) {
-      const std::size_t budget = device_->memory_budget_bytes();
-      if (plan.value().min_bytes > budget) {
-        // Can never run, even alone on the device: reject, don't queue.
+      // Placement check: every device must be able to host its shards'
+      // minimum footprint even when the query runs alone — otherwise the
+      // query can never run and is rejected, not queued. The share cap is
+      // evaluated per device and the tightest device bounds the uniform
+      // per-shard grant (deterministically sized batches need one cap).
+      std::size_t tightest_share = std::numeric_limits<std::size_t>::max();
+      Status impossible = Status::OK();
+      for (std::size_t d = 0; d < hosted.size(); ++d) {
+        if (hosted[d] == 0) continue;
+        const std::size_t budget = pool_->device(d)->memory_budget_bytes();
+        if (hosted[d] * plan.value().min_bytes > budget) {
+          impossible = Status::CapacityError(
+              "query needs " +
+              std::to_string(hosted[d] * plan.value().min_bytes) +
+              " bytes of device memory on device " + std::to_string(d) +
+              " (" + std::to_string(hosted[d]) + " shard(s)); budget is " +
+              std::to_string(budget));
+          break;
+        }
+        const auto share = static_cast<std::size_t>(
+            static_cast<double>(budget) * options_.max_device_share /
+            static_cast<double>(hosted[d]));
+        tightest_share = std::min(tightest_share, share);
+      }
+      if (!impossible.ok()) {
         lock.unlock();
-        Respond(&pending,
-                Status::CapacityError(
-                    "query needs " + std::to_string(plan.value().min_bytes) +
-                    " bytes of device memory; budget is " +
-                    std::to_string(budget)),
-                stats);
+        Respond(&pending, std::move(impossible), stats);
         return;
       }
-      // Grant policy: hold the full working set when it fits under the
-      // per-query share cap (no batching); otherwise the capped share,
-      // floored at the minimum the query can make progress with.
-      const auto share_cap = static_cast<std::size_t>(
-          static_cast<double>(budget) * options_.max_device_share);
-      const std::size_t target = std::min(
+      // Grant policy (per shard): hold the full working set when it fits
+      // under the per-device share cap (no batching); otherwise the capped
+      // share, floored at the minimum the query can make progress with.
+      per_shard_grant = std::min(
           plan.value().full_bytes,
-          std::max(share_cap, plan.value().min_bytes));
+          std::max(tightest_share, plan.value().min_bytes));
 
-      Result<gpu::MemoryReservation> reservation =
-          device_->TryReserve(target);
+      std::vector<std::size_t> bytes_per_device(hosted.size(), 0);
+      for (std::size_t d = 0; d < hosted.size(); ++d) {
+        bytes_per_device[d] = hosted[d] * per_shard_grant;
+      }
+      Result<gpu::PoolReservation> reservation =
+          gpu::TryReservePool(pool_, bytes_per_device);
       if (reservation.ok()) {
         grant = std::move(reservation).MoveValueUnsafe();
         break;
       }
       // Insufficient unreserved budget right now: queue (do not fail)
-      // until a running query releases its grant. Bounded wait: grant
+      // until a running query releases its grants. Bounded wait: grant
       // releases notify cv_capacity_, but budget resizes
       // (set_memory_budget_bytes) and reservations released by non-service
-      // holders of the shared device do not — the timeout re-runs the
+      // holders of the shared devices do not — the timeout re-runs the
       // budget checks so those paths cannot wedge the dispatcher.
       cv_capacity_.wait_for(lock, std::chrono::milliseconds(100));
     }
   }
-  stats.granted_bytes = grant.bytes();
+  stats.granted_bytes = grant.total_bytes();
+  stats.granted_bytes_per_device.resize(pool_->size(), 0);
+  for (std::size_t d = 0; d < pool_->size(); ++d) {
+    stats.granted_bytes_per_device[d] = grant.bytes_on(d);
+  }
 
-  // --- Execution, batched to the grant. ----------------------------------
+  // --- Execution, batched to the per-shard grant. -------------------------
   SpatialAggQuery query = pending.query;
-  query.device_memory_cap_bytes = grant.bytes();
+  query.device_memory_cap_bytes = per_shard_grant;
   stats.queue_seconds = pending.queued.ElapsedSeconds();
-  stats.device_counters_before = device_->counters().Snapshot();
+  stats.device_counters_before = pool_->TotalCounters();
   Timer exec;
   Result<QueryResult> result = executor->Execute(query);
   stats.execute_seconds = exec.ElapsedSeconds();
-  stats.device_counters_after = device_->counters().Snapshot();
+  stats.device_counters_after = pool_->TotalCounters();
 
   if (grant.active()) {
     grant.Release();
@@ -261,8 +314,12 @@ void QueryService::Drain() {
 }
 
 ServiceStats QueryService::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
   ServiceStats s;
+  // Device snapshots take each device's own lock; gather them outside
+  // mutex_ to keep the service lock-order (mutex_ → device mutex) trivially
+  // acyclic.
+  s.devices = pool_->Utilization();
+  std::lock_guard<std::mutex> lock(mutex_);
   s.submitted = submitted_;
   s.rejected = rejected_;
   s.completed = completed_;

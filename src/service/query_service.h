@@ -1,32 +1,37 @@
 /// \file query_service.h
-/// \brief Concurrent query service: shared-device admission control,
+/// \brief Concurrent query service: pool-wide admission control,
 /// scheduling, and futures-based results.
 ///
 /// The paper evaluates one query at a time; the production direction
-/// (ROADMAP "multi-query throughput") needs many client threads sharing
-/// one gpu::Device without oversubscribing its memory budget. QueryService
-/// is that admission/isolation layer:
+/// (ROADMAP "multi-query throughput", "dataset sharding") needs many
+/// client threads sharing a pool of gpu::Device instances without
+/// oversubscribing any device's memory budget. QueryService is that
+/// admission/isolation layer:
 ///
 ///   * a bounded submission queue — Submit() blocks when the queue is full
 ///     (backpressure), TrySubmit() fails fast with CapacityError;
 ///   * an admission controller — before a query is dispatched, its
-///     device-memory working set (Executor::PlanAdmission) is reserved
-///     against the device budget (gpu::MemoryReservation), and the query's
-///     point batches are sized to the grant, so the sum of concurrent
-///     queries' allocations can never exceed memory_budget_bytes. A query
-///     that cannot get its grant *queues* until a running query releases
+///     device-memory working set (Executor::PlanAdmission, per-shard when
+///     the dataset is sharded) is reserved against every device the query
+///     places shards on (gpu::PoolReservation: one MemoryReservation per
+///     device, acquired all-or-nothing), and the query's point batches are
+///     sized to the per-shard grant, so the sum of concurrent queries'
+///     allocations can never exceed any device's memory_budget_bytes. A
+///     query admitted only when every shard's grant fits its device; one
+///     that cannot get its grants *queues* until a running query releases
 ///     capacity — it does not fail;
 ///   * a small scheduler — two FIFO lanes (high-priority first) drained by
 ///     a fixed pool of dispatcher threads; the dispatcher count bounds how
 ///     many queries execute concurrently;
 ///   * futures-based results — Submit returns std::future<ServiceResponse>
 ///     carrying the QueryResult plus per-query accounting (queue/execute
-///     wall time, granted bytes, device counter snapshots).
+///     wall time, granted bytes per device, pool counter snapshots).
 ///
 /// Results are bitwise identical to a sequential Executor::Execute of the
-/// same query: admission only changes batch sizes, and the raster
-/// pipeline's per-pixel blend order is independent of batching (see
-/// docs/SERVICE.md for the argument and tests/service/ for the proof).
+/// same query: admission only changes batch sizes, sharded scatter-gather
+/// merges in fixed shard order, and the raster pipeline's per-pixel blend
+/// order is independent of batching (see docs/SERVICE.md for the argument
+/// and tests/service/ for the proof).
 #pragma once
 
 #include <condition_variable>
@@ -38,7 +43,9 @@
 #include <thread>
 #include <vector>
 
+#include "data/sharded_table.h"
 #include "gpu/device.h"
+#include "gpu/device_pool.h"
 #include "query/executor.h"
 #include "query/query.h"
 #include "query/result.h"
@@ -61,8 +68,8 @@ struct ServiceOptions {
   /// before Submit() blocks / TrySubmit() fails.
   std::size_t max_queue_depth = 64;
 
-  /// Per-query cap on the admission grant as a fraction of the device
-  /// budget, so one giant query cannot monopolize the device and starve
+  /// Per-query cap on the admission grant as a fraction of each device's
+  /// budget, so one giant query cannot monopolize a device and starve
   /// concurrency. A query whose minimum footprint exceeds the cap still
   /// gets its minimum (progress beats fairness).
   double max_device_share = 0.5;
@@ -81,15 +88,19 @@ struct QueryStats {
   /// the observable effect of the priority lane).
   std::uint64_t dispatch_order = 0;
   /// Wall time from submission until execution started (queueing plus
-  /// waiting for the memory grant).
+  /// waiting for the memory grants).
   double queue_seconds = 0.0;
   /// Wall time of Executor::Execute.
   double execute_seconds = 0.0;
-  /// Device memory reserved for this query while it ran.
+  /// Device memory reserved for this query while it ran, summed across
+  /// the pool.
   std::size_t granted_bytes = 0;
-  /// Device counters snapshotted around execution. The device is shared,
+  /// The per-device breakdown of granted_bytes, in pool-device order
+  /// (zeros on devices the query placed no shards on).
+  std::vector<std::size_t> granted_bytes_per_device;
+  /// Pool-wide counters snapshotted around execution. Devices are shared,
   /// so the delta (after.DeltaSince(before)) is exact accounting only when
-  /// no query overlapped; under concurrency it is device-level attribution
+  /// no query overlapped; under concurrency it is pool-level attribution
   /// of the window in which this query ran.
   gpu::CountersSnapshot device_counters_before;
   gpu::CountersSnapshot device_counters_after;
@@ -101,7 +112,8 @@ struct ServiceResponse {
   QueryStats stats;
 };
 
-/// Service-level accounting snapshot (all monotonic except depth/running).
+/// Service-level accounting snapshot (all monotonic except depth/running
+/// and the per-device utilization).
 struct ServiceStats {
   std::uint64_t submitted = 0;  ///< accepted into the queue
   std::uint64_t rejected = 0;   ///< TrySubmit refusals (queue full)
@@ -109,16 +121,25 @@ struct ServiceStats {
   std::uint64_t failed = 0;     ///< completed with a non-OK status
   std::size_t queue_depth = 0;  ///< currently queued, both lanes
   std::size_t running = 0;      ///< currently executing
+  /// Per-device budgets/reservations/counters, in pool order (the
+  /// scheduler-visibility surface for placement decisions).
+  std::vector<gpu::DeviceUtilization> devices;
 };
 
 /// Accepts SpatialAggQuery submissions from many client threads and runs
-/// them against one shared gpu::Device. Thread-safe throughout; see the
+/// them against a shared gpu::DevicePool. Thread-safe throughout; see the
 /// file comment for the architecture and docs/SERVICE.md for the policy.
 class QueryService {
  public:
-  /// `device` must outlive the service. Registered datasets must outlive
+  /// Single-device convenience: wraps `device` in a non-owning pool.
+  /// `device` must outlive the service; registered datasets must outlive
   /// it too (they are not copied).
   explicit QueryService(gpu::Device* device, ServiceOptions options = {});
+
+  /// Pool service: queries run on the devices their datasets are placed
+  /// on (unsharded datasets on the primary device, sharded datasets
+  /// across the pool). `pool` must outlive the service.
+  explicit QueryService(gpu::DevicePool* pool, ServiceOptions options = {});
 
   /// Drains every accepted query, then stops the dispatchers. Submitting
   /// concurrently with destruction is a caller error.
@@ -129,9 +150,16 @@ class QueryService {
 
   /// Registers a (points, polygons) dataset and returns its id. The
   /// per-dataset Executor is cached so preprocessing (triangulation, CPU
-  /// index) is shared across every query against the dataset.
+  /// index) is shared across every query against the dataset. Runs on the
+  /// pool's primary device.
   std::size_t RegisterDataset(const PointTable* points,
                               const PolygonSet* polys);
+
+  /// Registers a sharded dataset: queries scatter across the pool (shard
+  /// s on device s mod pool size) and gather through agg::MergePartials.
+  /// `shards` and `polys` must outlive the service.
+  std::size_t RegisterShardedDataset(const data::ShardedTable* shards,
+                                     const PolygonSet* polys);
 
   /// The cached executor for a registered dataset (e.g. to warm caches or
   /// run a sequential baseline against the very same preprocessing).
@@ -153,10 +181,19 @@ class QueryService {
   void Drain();
 
   ServiceStats stats() const;
-  gpu::Device* device() const { return device_; }
+  /// The pool's primary device (back-compat accessor).
+  gpu::Device* device() const { return pool_->primary(); }
+  gpu::DevicePool* pool() const { return pool_; }
   const ServiceOptions& options() const { return options_; }
 
  private:
+  /// Real constructor: `owned` (may be null) is the internally-created
+  /// pool backing the single-device convenience constructor; `pool` (null
+  /// = use `owned`) is the caller's pool. Runs before the dispatcher
+  /// threads start, so pool_ is set before any query can execute.
+  QueryService(std::unique_ptr<gpu::DevicePool> owned, gpu::DevicePool* pool,
+               ServiceOptions options);
+
   /// One queued submission.
   struct Pending {
     std::uint64_t sequence = 0;
@@ -193,7 +230,10 @@ class QueryService {
     return fifo_.size() + priority_.size();
   }
 
-  gpu::Device* device_;
+  /// Backing pool for the single-device constructor (non-owning wrap of
+  /// the caller's device); declared before pool_ so pool_ may point at it.
+  std::unique_ptr<gpu::DevicePool> owned_pool_;
+  gpu::DevicePool* pool_;
   ServiceOptions options_;
 
   mutable std::mutex mutex_;
