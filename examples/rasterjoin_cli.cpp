@@ -8,10 +8,13 @@
 ///         index-cpu|index-device|auto [--epsilon <m>] [--agg count|sum|
 ///         avg|min|max] [--column <idx>] [--filter <col,op,value>]...
 ///         [--shards <n>] [--shard-policy rr|hilbert]
+///         [--cache-mb <mb>] [--repeat <n>]
 ///       Runs a spatial aggregation query and prints per-region values.
 ///       --shards > 1 partitions the points across a pool of simulated
 ///       devices (scatter-gather execution) and the summary reports
-///       per-device counters.
+///       per-device counters. --cache-mb > 0 attaches a result cache and
+///       --repeat re-runs the query (repeats are served from the cache;
+///       the summary reports per-iteration time and hit/miss counts).
 ///
 /// Examples:
 ///   rasterjoin_cli generate --kind taxi --n 1000000 --out taxi.rjc
@@ -34,6 +37,7 @@
 #include "gpu/device_pool.h"
 #include "query/calibration.h"
 #include "query/executor.h"
+#include "query/result_cache.h"
 
 namespace {
 
@@ -233,12 +237,35 @@ int Query(const Args& args) {
     }
   }
 
-  auto result = executor.Execute(query);
-  if (!result.ok()) {
-    std::fprintf(stderr, "query failed: %s\n",
-                 result.status().ToString().c_str());
-    return 1;
+  // --cache-mb > 0: attach a result cache so --repeat iterations after the
+  // first are served from it (the interactive-exploration pattern: the
+  // same query re-issued over and over).
+  const std::size_t cache_mb = std::stoull(args.Get("cache-mb", "0"));
+  const std::size_t repeat =
+      std::max<std::size_t>(1, std::stoull(args.Get("repeat", "1")));
+  std::optional<query::ResultCache> cache;
+  if (cache_mb > 0) {
+    query::ResultCacheOptions cache_options;
+    cache_options.capacity_bytes = cache_mb << 20;
+    cache.emplace(cache_options);
+    executor.set_result_cache(&*cache);
   }
+
+  std::optional<Result<QueryResult>> last;
+  for (std::size_t it = 0; it < repeat; ++it) {
+    last.emplace(executor.Execute(query));
+    if (!last->ok()) {
+      std::fprintf(stderr, "query failed: %s\n",
+                   last->status().ToString().c_str());
+      return 1;
+    }
+    if (repeat > 1) {
+      std::fprintf(stderr, "iteration %zu: %.2f ms (%s)\n", it,
+                   last->value().total_seconds * 1e3,
+                   last->value().cache_hit ? "cache hit" : "miss");
+    }
+  }
+  Result<QueryResult>& result = *last;
 
   std::printf("# %s over %zu points x %zu regions (%s", agg.c_str(),
               points.value().size(), regions.value().size(),
@@ -255,6 +282,16 @@ int Query(const Args& args) {
   std::fprintf(stderr, "query time: %.1f ms (%s)\n",
                result.value().total_seconds * 1e3,
                result.value().timing.ToString().c_str());
+  if (cache.has_value()) {
+    const query::ResultCacheStats cs = cache->stats();
+    std::fprintf(stderr,
+                 "result cache: %llu hit(s), %llu miss(es), %zu entr%s, "
+                 "%zu / %zu bytes\n",
+                 static_cast<unsigned long long>(cs.hits),
+                 static_cast<unsigned long long>(cs.misses), cs.entries,
+                 cs.entries == 1 ? "y" : "ies", cs.bytes_used,
+                 cs.capacity_bytes);
+  }
   // Per-device work breakdown: with one shard per device this is the
   // scatter balance (skew shows up as one device dominating).
   for (std::size_t d = 0; d < pool.size(); ++d) {

@@ -87,7 +87,6 @@ void Device::set_memory_budget_bytes(std::size_t bytes) {
 
 Result<std::shared_ptr<Buffer>> Device::Allocate(BufferKind kind,
                                                  std::size_t bytes) {
-  std::size_t peak_before = 0;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (bytes_allocated_ + bytes > memory_budget_bytes_) {
@@ -98,23 +97,21 @@ Result<std::shared_ptr<Buffer>> Device::Allocate(BufferKind kind,
               ClampedRemaining(bytes_allocated_, memory_budget_bytes_)) +
           " free");
     }
-    peak_before = peak_bytes_allocated_;
     bytes_allocated_ += bytes;
     peak_bytes_allocated_ = std::max(peak_bytes_allocated_, bytes_allocated_);
   }
   // Buffer construction (a host-RAM allocation) happens outside the lock;
   // roll the accounting back if the host is out of memory, or the charged
-  // bytes would leak from the budget with no buffer to Free.
+  // bytes would leak from the budget with no buffer to Free. The peak is
+  // deliberately NOT rolled back: peaks are monotone lifetime high-water
+  // marks (DeviceUtilization contract) — the bytes really were charged for
+  // a moment, and lowering the mark here could make a later Utilization()
+  // snapshot report a smaller peak than an earlier one.
   try {
     return std::make_shared<Buffer>(kind, bytes);
   } catch (const std::bad_alloc&) {
     std::lock_guard<std::mutex> lock(mutex_);
     bytes_allocated_ -= bytes;
-    // Drop the phantom high-water mark too (best effort: a concurrent
-    // allocation during this failed window keeps its own peak update).
-    peak_bytes_allocated_ =
-        std::max(peak_before, std::max(peak_bytes_allocated_ - bytes,
-                                       bytes_allocated_));
     return Status::CapacityError("host allocation of " +
                                  std::to_string(bytes) +
                                  " bytes for device buffer failed");

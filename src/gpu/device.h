@@ -109,6 +109,10 @@ class Device {
   std::size_t bytes_reserved() const;
 
   /// High-water marks since construction (admission-test observability).
+  /// Monotone for the device's lifetime: reading them (here or via
+  /// DevicePool::Utilization snapshots) never resets them, and no code
+  /// path lowers them — two snapshots taken in order always satisfy
+  /// `later.peak_* >= earlier.peak_*`.
   std::size_t peak_bytes_allocated() const;
   std::size_t peak_bytes_reserved() const;
 

@@ -38,6 +38,10 @@ struct DevicePoolOptions {
 };
 
 /// Point-in-time utilization of one pool device (ServiceStats plumbing).
+/// Snapshots are pure reads: `peak_*` are monotone lifetime high-water
+/// marks (Device contract) — an intervening snapshot never resets them, so
+/// for two snapshots taken in order, `later.peak_* >= earlier.peak_*`
+/// always holds (regression-tested in tests/gpu/device_pool_test.cc).
 struct DeviceUtilization {
   std::size_t budget_bytes = 0;
   std::size_t allocated_bytes = 0;

@@ -68,11 +68,18 @@ Status StreamingBoundedJoin::AddBatch(const PointTable& batch) {
     // Serialized: upload then draw the caller's table in place (no copy).
     RJ_RETURN_NOT_OK(pipeline_->UploadSerialized(batch));
     DrawBatch(batch);
-    return Status::OK();
+  } else {
+    RJ_ASSIGN_OR_RETURN(std::optional<PointTable> ready,
+                        pipeline_->Push(batch));
+    if (ready.has_value()) DrawBatch(*ready);
   }
-  RJ_ASSIGN_OR_RETURN(std::optional<PointTable> ready,
-                      pipeline_->Push(batch));
-  if (ready.has_value()) DrawBatch(*ready);
+  // Invalidate cached results only after the append is in flight: bumping
+  // before it would let a concurrent query cache a pre-append result
+  // under the *new* version (a result computed mid-append lands under the
+  // old version instead, which is already dead).
+  if (version_counter_ != nullptr) {
+    version_counter_->fetch_add(1, std::memory_order_acq_rel);
+  }
   return Status::OK();
 }
 
@@ -201,11 +208,16 @@ Status StreamingAccurateJoin::AddBatch(const PointTable& batch) {
   if (!pipeline_->overlapping()) {
     RJ_RETURN_NOT_OK(pipeline_->UploadSerialized(batch));
     ProcessBatch(batch);
-    return Status::OK();
+  } else {
+    RJ_ASSIGN_OR_RETURN(std::optional<PointTable> ready,
+                        pipeline_->Push(batch));
+    if (ready.has_value()) ProcessBatch(*ready);
   }
-  RJ_ASSIGN_OR_RETURN(std::optional<PointTable> ready,
-                      pipeline_->Push(batch));
-  if (ready.has_value()) ProcessBatch(*ready);
+  // See StreamingBoundedJoin::AddBatch: bump only after the append is in
+  // flight so no pre-append result can be cached under the new version.
+  if (version_counter_ != nullptr) {
+    version_counter_->fetch_add(1, std::memory_order_acq_rel);
+  }
   return Status::OK();
 }
 

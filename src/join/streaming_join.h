@@ -15,6 +15,8 @@
 ///   RJ_ASSIGN_OR_RETURN(JoinResult result, join.Finish());
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -59,6 +61,14 @@ class StreamingBoundedJoin {
   /// The instance cannot be reused afterwards.
   Result<JoinResult> Finish();
 
+  /// Attaches a dataset-version counter (Executor::dataset_version_counter)
+  /// that every successful AddBatch bumps: a streaming append changes the
+  /// dataset, so result-cache entries keyed on the previous version must
+  /// stop matching. Optional; not synchronized — attach before streaming.
+  void set_version_counter(std::atomic<std::uint64_t>* counter) {
+    version_counter_ = counter;
+  }
+
   std::size_t num_tiles() const { return tiles_.size(); }
   std::uint64_t points_drawn() const { return points_drawn_; }
 
@@ -76,6 +86,7 @@ class StreamingBoundedJoin {
   std::vector<raster::CanvasTile> tiles_;
   std::vector<std::unique_ptr<raster::Fbo>> fbos_;
   std::unique_ptr<join::BatchPipeline> pipeline_;
+  std::atomic<std::uint64_t>* version_counter_ = nullptr;
   JoinResult result_;
   std::uint64_t points_drawn_ = 0;
   bool initialized_ = false;
@@ -98,6 +109,11 @@ class StreamingAccurateJoin {
   Status AddBatch(const PointTable& batch);
   Result<JoinResult> Finish();
 
+  /// See StreamingBoundedJoin::set_version_counter.
+  void set_version_counter(std::atomic<std::uint64_t>* counter) {
+    version_counter_ = counter;
+  }
+
   std::uint64_t boundary_points() const { return boundary_points_; }
   std::uint64_t interior_points() const { return interior_points_; }
 
@@ -117,6 +133,7 @@ class StreamingAccurateJoin {
   std::unique_ptr<raster::Fbo> point_fbo_;
   std::unique_ptr<GridIndex> index_;
   std::unique_ptr<join::BatchPipeline> pipeline_;
+  std::atomic<std::uint64_t>* version_counter_ = nullptr;
   JoinResult result_;
   std::uint64_t boundary_points_ = 0;
   std::uint64_t interior_points_ = 0;

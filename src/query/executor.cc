@@ -10,6 +10,7 @@
 #include "join/index_join.h"
 #include "join/raster_join_accurate.h"
 #include "join/raster_join_bounded.h"
+#include "query/result_cache.h"
 #include "raster/viewport.h"
 
 namespace rj {
@@ -87,19 +88,35 @@ void Executor::InitWorldAndCosts(const BBox& points_extent,
 
 Executor::Executor(gpu::Device* device, const PointTable* points,
                    const PolygonSet* polys)
-    : device_(device), points_(points), polys_(polys) {
+    : device_(device), points_(points), polys_(polys),
+      plan_cache_(std::make_unique<query::PlanCache>()) {
   InitWorldAndCosts(points->Extent(), points->size());
 }
 
 Executor::Executor(gpu::DevicePool* pool, const data::ShardedTable* shards,
                    const PolygonSet* polys)
     : device_(pool->primary()), pool_(pool), shards_(shards),
-      points_(nullptr), polys_(polys) {
+      points_(nullptr), polys_(polys),
+      plan_cache_(std::make_unique<query::PlanCache>()) {
   // The sharded world must equal the single-device world for the same
   // dataset — shards_->extent() is the *whole* dataset's extent, so the
   // canvas (and every rasterized pixel) lines up bitwise with an unsharded
   // run.
   InitWorldAndCosts(shards->extent(), shards->total_points());
+}
+
+Executor::~Executor() = default;
+
+query::PlanCacheStats Executor::plan_cache_stats() const {
+  return plan_cache_->stats();
+}
+
+void Executor::BumpDatasetVersion() {
+  dataset_version_.fetch_add(1, std::memory_order_acq_rel);
+  // The dataset changed, so memoized plans may be stale too: full_bytes
+  // derives from the point count, and serving an old full-working-set
+  // figure would mis-size grants for every future query of that shape.
+  plan_cache_->Clear();
 }
 
 std::vector<std::size_t> Executor::ShardsPerDevice() const {
@@ -142,31 +159,40 @@ JoinVariant Executor::ResolveVariant(const SpatialAggQuery& query) const {
 }
 
 Result<AdmissionPlan> Executor::PlanAdmission(const SpatialAggQuery& query) {
-  AdmissionPlan plan;
   const JoinVariant variant = ResolveVariant(query);
   if (variant == JoinVariant::kIndexCpu) {
-    return plan;  // never touches device memory
+    return AdmissionPlan{};  // never touches device memory
   }
-  const std::size_t weight_column =
-      query.aggregate == AggregateKind::kCount ? PointTable::npos
-                                               : query.aggregate_column;
-  plan.bytes_per_point = UploadBytesPerPoint(query.filters, weight_column);
-  if (variant == JoinVariant::kBoundedRaster) {
-    RJ_ASSIGN_OR_RETURN(const TriangleSoup* soup, GetTriangulation());
-    plan.fixed_bytes = TriangleVboBytes(soup->size());
-  }
-  // The triangle VBO is uploaded and freed before the point pipeline
-  // starts, so the peak is the max of the fixed upload and the point
-  // buffers in flight — 2× the stride when transfers overlap the draw
-  // (BatchPipeline keeps batches b and b+1 resident), 1× serialized. A
-  // single full-set batch never double-buffers, so full_bytes stays 1×.
-  const std::size_t in_flight = query.overlap_transfers ? 2 : 1;
-  plan.min_bytes =
-      std::max(plan.fixed_bytes, in_flight * plan.bytes_per_point);
-  plan.full_bytes = std::max(
-      {plan.fixed_bytes, PlanningPointCount() * plan.bytes_per_point,
-       plan.min_bytes});
-  return plan;
+  const std::size_t weight_column = query.EffectiveAggregateColumn();
+  const std::size_t bytes_per_point =
+      UploadBytesPerPoint(query.filters, weight_column);
+  // Everything below is a pure function of (variant, stride, overlap) for
+  // this dataset — the triangle-VBO term depends only on the immutable
+  // polygon set — so repeats skip the triangulation-cache mutex entirely.
+  query::PlanCache::AdmissionKey key;
+  key.variant = variant;
+  key.bytes_per_point = bytes_per_point;
+  key.overlap = query.overlap_transfers;
+  return plan_cache_->GetAdmission(key, [&]() -> Result<AdmissionPlan> {
+    AdmissionPlan plan;
+    plan.bytes_per_point = bytes_per_point;
+    if (variant == JoinVariant::kBoundedRaster) {
+      RJ_ASSIGN_OR_RETURN(const TriangleSoup* soup, GetTriangulation());
+      plan.fixed_bytes = TriangleVboBytes(soup->size());
+    }
+    // The triangle VBO is uploaded and freed before the point pipeline
+    // starts, so the peak is the max of the fixed upload and the point
+    // buffers in flight — 2× the stride when transfers overlap the draw
+    // (BatchPipeline keeps batches b and b+1 resident), 1× serialized. A
+    // single full-set batch never double-buffers, so full_bytes stays 1×.
+    const std::size_t in_flight = query.overlap_transfers ? 2 : 1;
+    plan.min_bytes =
+        std::max(plan.fixed_bytes, in_flight * plan.bytes_per_point);
+    plan.full_bytes = std::max(
+        {plan.fixed_bytes, PlanningPointCount() * plan.bytes_per_point,
+         plan.min_bytes});
+    return plan;
+  });
 }
 
 Result<JoinResult> Executor::RunVariant(
@@ -222,9 +248,7 @@ Result<JoinResult> Executor::RunVariant(
 Result<Executor::QuerySetup> Executor::PrepareQuery(
     const SpatialAggQuery& query) {
   QuerySetup setup;
-  setup.weight_column =
-      query.aggregate == AggregateKind::kCount ? PointTable::npos
-                                               : query.aggregate_column;
+  setup.weight_column = query.EffectiveAggregateColumn();
   if (query.aggregate != AggregateKind::kCount &&
       setup.weight_column == PointTable::npos) {
     return Status::InvalidArgument(
@@ -245,15 +269,45 @@ Result<Executor::QuerySetup> Executor::PrepareQuery(
 }
 
 Result<QueryResult> Executor::Execute(const SpatialAggQuery& query) {
+  if (result_cache_ == nullptr) return ExecuteUncached(query);
+
+  // Cached path: key on semantics only (execution knobs excluded — results
+  // are bitwise identical across them), single-flight on misses.
+  Timer fetch;
+  const query::CacheKey key = query::MakeCacheKey(
+      dataset_cache_key_, dataset_version(), query, ResolveVariant(query));
+  bool hit = false;
+  RJ_ASSIGN_OR_RETURN(
+      std::shared_ptr<const QueryResult> shared,
+      result_cache_->GetOrCompute(
+          key, [&] { return ExecuteUncached(query); }, &hit));
+  QueryResult out = *shared;
+  if (hit) {
+    // A hit performed no device work: scrub the miss's diagnostics so the
+    // caller never mistakes replayed stats for this call's execution.
+    out.cache_hit = true;
+    out.timing = PhaseTimer();
+    out.counters = gpu::CountersSnapshot();
+    out.total_seconds = fetch.ElapsedSeconds();
+  }
+  return out;
+}
+
+Result<QueryResult> Executor::ExecuteUncached(const SpatialAggQuery& query) {
   if (sharded()) return ExecuteSharded(query);
 
   Timer total;
   QueryResult out;
 
   RJ_ASSIGN_OR_RETURN(QuerySetup setup, PrepareQuery(query));
-  const UploadPlan capped =
-      CappedBatch(query.device_memory_cap_bytes, setup.bytes_per_point,
-                  points_->size(), query.overlap_transfers);
+  const UploadPlan capped = plan_cache_->GetUpload(
+      {query.device_memory_cap_bytes, setup.bytes_per_point,
+       points_->size(), query.overlap_transfers},
+      [&] {
+        return CappedBatch(query.device_memory_cap_bytes,
+                           setup.bytes_per_point, points_->size(),
+                           query.overlap_transfers);
+      });
 
   JoinResult join;
   RJ_ASSIGN_OR_RETURN(
@@ -304,9 +358,14 @@ Result<QueryResult> Executor::ExecuteSharded(const SpatialAggQuery& query) {
     const PointTable& shard_points = shards_->shard(s);
     // The admission grant is per shard: each shard batches within its own
     // device_memory_cap_bytes slice, independent of sibling shard sizes.
-    const UploadPlan capped =
-        CappedBatch(query.device_memory_cap_bytes, setup.bytes_per_point,
-                    shard_points.size(), query.overlap_transfers);
+    const UploadPlan capped = plan_cache_->GetUpload(
+        {query.device_memory_cap_bytes, setup.bytes_per_point,
+         shard_points.size(), query.overlap_transfers},
+        [&] {
+          return CappedBatch(query.device_memory_cap_bytes,
+                             setup.bytes_per_point, shard_points.size(),
+                             query.overlap_transfers);
+        });
 
     Result<JoinResult> join =
         RunVariant(dev, shard_points, setup.variant, query,

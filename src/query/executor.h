@@ -23,6 +23,7 @@
 /// not synchronized — configure it before serving traffic.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -42,6 +43,12 @@
 #include "triangulate/triangulation.h"
 
 namespace rj {
+
+namespace query {
+class ResultCache;   // result_cache.h — result memoization (optional)
+class PlanCache;     // result_cache.h — admission/batch-plan memoization
+struct PlanCacheStats;
+}  // namespace query
 
 /// Device-memory footprint of one query, in the units the admission
 /// controller reserves. All sizes derive from the upload stride (x, y plus
@@ -88,12 +95,22 @@ class Executor {
   Executor(gpu::DevicePool* pool, const data::ShardedTable* shards,
            const PolygonSet* polys);
 
+  ~Executor();
+
   /// Runs the query and returns finalized per-polygon values. Thread-safe;
   /// concurrent calls share the preprocessing caches. When
   /// query.device_memory_cap_bytes is set, point batches are sized so the
   /// query's device allocations stay within that grant (per shard, when
-  /// sharded).
+  /// sharded). With a result cache attached (set_result_cache), repeats of
+  /// a semantically-equal query are served from the cache (single-flight:
+  /// concurrent identical queries execute once) with scrubbed diagnostics
+  /// and cache_hit set; the semantic payload is bitwise identical.
   Result<QueryResult> Execute(const SpatialAggQuery& query);
+
+  /// Execute without consulting the result cache (always runs the join).
+  /// The uncached baseline for tests/benches, and the compute path a
+  /// caching layer that does its own key lookup (QueryService) wraps.
+  Result<QueryResult> ExecuteUncached(const SpatialAggQuery& query);
 
   /// Resolves kAuto to a concrete variant via the cost model; other
   /// variants pass through unchanged.
@@ -142,6 +159,39 @@ class Executor {
   /// configure before serving concurrent queries.
   CostModelParams* cost_params() { return &cost_params_; }
 
+  /// Attaches a (non-owning, shared) result cache; Execute() then serves
+  /// repeated queries from it. `dataset_key` is this dataset's identity
+  /// within the cache (several executors may share one cache under
+  /// distinct keys). Not synchronized: attach before serving traffic.
+  void set_result_cache(query::ResultCache* cache,
+                        std::uint64_t dataset_key = 0) {
+    result_cache_ = cache;
+    dataset_cache_key_ = dataset_key;
+  }
+  query::ResultCache* result_cache() const { return result_cache_; }
+  std::uint64_t dataset_cache_key() const { return dataset_cache_key_; }
+
+  /// Monotone dataset version, part of every cache key: bump it whenever
+  /// the underlying data changes (streaming appends, re-registration) and
+  /// all prior cached results become unreachable (they age out of the
+  /// LRU). BumpDatasetVersion also drops the memoized admission/batch
+  /// plans, whose full-working-set term depends on the point count.
+  /// Thread-safe.
+  std::uint64_t dataset_version() const {
+    return dataset_version_.load(std::memory_order_acquire);
+  }
+  void BumpDatasetVersion();
+  /// The raw counter, for wiring into mutators that must invalidate on
+  /// write (Streaming*Join::set_version_counter). Streaming appends don't
+  /// change the registered table the plan cache is sized against, so the
+  /// bare-counter bump (no plan-cache clear) is sufficient there.
+  std::atomic<std::uint64_t>* dataset_version_counter() {
+    return &dataset_version_;
+  }
+
+  /// Plan-cache counters (admission/batch-plan memoization hits).
+  query::PlanCacheStats plan_cache_stats() const;
+
  private:
   /// Shared constructor tail: world extent and cost-model inputs.
   void InitWorldAndCosts(const BBox& points_extent, std::size_t num_points);
@@ -189,6 +239,12 @@ class Executor {
   const data::ShardedTable* shards_ = nullptr;
   const PointTable* points_;
   const PolygonSet* polys_;
+  query::ResultCache* result_cache_ = nullptr;
+  std::uint64_t dataset_cache_key_ = 0;
+  std::atomic<std::uint64_t> dataset_version_{0};
+  /// Memoizes admission footprints and grant-capped batch plans across
+  /// queries (internally synchronized; see result_cache.h).
+  std::unique_ptr<query::PlanCache> plan_cache_;
   BBox world_;
   CostModelParams cost_params_;
   /// Computed once at construction (datasets are immutable); makes kAuto

@@ -8,13 +8,54 @@
 /// operators >, >=, <, <=, = — mirrored exactly here.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <functional>
 #include <vector>
 
 #include "common/status.h"
 #include "data/point_table.h"
 
 namespace rj {
+
+namespace detail {
+/// boost::hash_combine's mixing step — the one hash-merge used by every
+/// semantic hash in query/ (FilterSet, SpatialAggQuery, cache keys).
+inline std::size_t HashCombine(std::size_t seed, std::size_t v) {
+  return seed ^ (v + 0x9e3779b97f4a7c15ull + (seed << 6) + (seed >> 2));
+}
+
+/// Canonical bit pattern of a float for hashing and ordering: -0.0f
+/// collapses to +0.0f so numerically-equal values (operator== is numeric)
+/// always canonicalize identically — the unordered_map requirement that
+/// equal keys hash equally. NaNs keep their payload bits: they are never
+/// numerically equal to anything (so no equal-hash obligation), and
+/// comparing their bits keeps the canonical sort a strict total order
+/// where a numeric `<` would break strict-weak-ordering.
+inline std::uint32_t CanonicalFloatBits(float v) {
+  if (v == 0.0f) v = 0.0f;  // -0.0f → +0.0f
+  std::uint32_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+inline std::uint64_t CanonicalDoubleBits(double v) {
+  if (v == 0.0) v = 0.0;  // -0.0 → +0.0
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+inline std::size_t HashFloatBits(float v) {
+  return std::hash<std::uint32_t>{}(CanonicalFloatBits(v));
+}
+
+inline std::size_t HashDoubleBits(double v) {
+  return std::hash<std::uint64_t>{}(CanonicalDoubleBits(v));
+}
+}  // namespace detail
 
 enum class FilterOp { kGreater, kGreaterEqual, kLess, kLessEqual, kEqual };
 
@@ -35,6 +76,28 @@ struct AttributeFilter {
     return false;
   }
 };
+
+inline bool operator==(const AttributeFilter& a, const AttributeFilter& b) {
+  return a.column == b.column && a.op == b.op && a.value == b.value;
+}
+inline bool operator!=(const AttributeFilter& a, const AttributeFilter& b) {
+  return !(a == b);
+}
+
+/// Canonical ordering by (column, op, value). A FilterSet is a conjunction,
+/// so insertion order carries no semantics — everything keyed on filter
+/// semantics (FilterSet::operator==, Hash, query::CacheKey) sorts conjuncts
+/// into this order first so `{x>3, y<5}` and `{y<5, x>3}` key identically.
+/// Values order by canonical bits, a strict total order even for NaN
+/// (where numeric `<` would hand std::sort a broken weak ordering) that
+/// agrees with numeric equality on everything else (±0.0 collapse).
+inline bool CanonicalFilterLess(const AttributeFilter& a,
+                                const AttributeFilter& b) {
+  if (a.column != b.column) return a.column < b.column;
+  if (a.op != b.op) return static_cast<int>(a.op) < static_cast<int>(b.op);
+  return detail::CanonicalFloatBits(a.value) <
+         detail::CanonicalFloatBits(b.value);
+}
 
 /// Maximum number of conjuncts, fixed at (shader) compile time in the
 /// paper's implementation (§6.1, "Query Options").
@@ -78,6 +141,37 @@ class FilterSet {
       if (!seen) cols.push_back(f.column);
     }
     return cols;
+  }
+
+  /// The conjuncts in canonical (column, op, value) order. Evaluation is
+  /// order-independent (a conjunction), so this is the semantic identity of
+  /// the set — the form cache keys and equality compare.
+  std::vector<AttributeFilter> Canonical() const {
+    std::vector<AttributeFilter> sorted = filters_;
+    std::sort(sorted.begin(), sorted.end(), CanonicalFilterLess);
+    return sorted;
+  }
+
+  /// Order-insensitive equality: two sets are equal when they impose the
+  /// same conjunction, regardless of Add() order. Exact duplicates are
+  /// significant only for multiplicity (a degenerate case with identical
+  /// semantics either way; keeping multiset equality keeps == transitive).
+  bool operator==(const FilterSet& other) const {
+    return Canonical() == other.Canonical();
+  }
+  bool operator!=(const FilterSet& other) const { return !(*this == other); }
+
+  /// Hash over the canonical order, so permuted-but-equivalent sets collide
+  /// (the property the result cache's key depends on).
+  std::size_t Hash() const {
+    std::size_t seed = std::hash<std::size_t>{}(filters_.size());
+    for (const AttributeFilter& f : Canonical()) {
+      seed = detail::HashCombine(seed, std::hash<std::size_t>{}(f.column));
+      seed = detail::HashCombine(
+          seed, std::hash<int>{}(static_cast<int>(f.op)));
+      seed = detail::HashCombine(seed, detail::HashFloatBits(f.value));
+    }
+    return seed;
   }
 
  private:

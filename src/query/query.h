@@ -57,6 +57,51 @@ struct SpatialAggQuery {
   /// transfer→draw timing for paper-shape breakdowns; results are bitwise
   /// identical either way.
   bool overlap_transfers = true;
+
+  /// The column the aggregate actually reads: COUNT ignores
+  /// aggregate_column, so its semantic identity canonicalizes to npos —
+  /// `COUNT(col 3)` and `COUNT(col 7)` are the same query.
+  std::size_t EffectiveAggregateColumn() const {
+    return aggregate == AggregateKind::kCount ? PointTable::npos
+                                              : aggregate_column;
+  }
 };
+
+/// *Semantic* equality: true when the two queries must produce bitwise
+/// identical results — aggregate (with COUNT's column canonicalized away),
+/// order-insensitive filters, variant, epsilon, canvas dim, and the ranges
+/// flag. Execution-only knobs are deliberately excluded
+/// (`device_memory_cap_bytes`, `cpu_threads`, `overlap_transfers`): the
+/// determinism suites prove results are identical across them, and the
+/// result cache keys on this equality — including the knobs would split
+/// identical traffic across cache entries and mask every hit.
+inline bool operator==(const SpatialAggQuery& a, const SpatialAggQuery& b) {
+  return a.aggregate == b.aggregate &&
+         a.EffectiveAggregateColumn() == b.EffectiveAggregateColumn() &&
+         a.filters == b.filters && a.variant == b.variant &&
+         a.epsilon == b.epsilon &&
+         a.accurate_canvas_dim == b.accurate_canvas_dim &&
+         a.with_result_ranges == b.with_result_ranges;
+}
+inline bool operator!=(const SpatialAggQuery& a, const SpatialAggQuery& b) {
+  return !(a == b);
+}
+
+/// Hash consistent with the semantic operator== above (equal queries hash
+/// equally; execution-only knobs do not contribute).
+inline std::size_t HashQuery(const SpatialAggQuery& q) {
+  std::size_t seed = std::hash<int>{}(static_cast<int>(q.aggregate));
+  seed = detail::HashCombine(
+      seed, std::hash<std::size_t>{}(q.EffectiveAggregateColumn()));
+  seed = detail::HashCombine(seed, q.filters.Hash());
+  seed = detail::HashCombine(seed,
+                             std::hash<int>{}(static_cast<int>(q.variant)));
+  seed = detail::HashCombine(seed, detail::HashDoubleBits(q.epsilon));
+  seed = detail::HashCombine(
+      seed, std::hash<std::int32_t>{}(q.accurate_canvas_dim));
+  seed = detail::HashCombine(seed,
+                             std::hash<bool>{}(q.with_result_ranges));
+  return seed;
+}
 
 }  // namespace rj

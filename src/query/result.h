@@ -29,6 +29,12 @@ struct QueryResult {
   gpu::CountersSnapshot counters;
   /// Total wall time of Execute().
   double total_seconds = 0.0;
+  /// True when this result was served from a query::ResultCache instead of
+  /// executing the join. The semantic payload (values/arrays/ranges) is
+  /// bitwise identical to a fresh execution; the diagnostics above are
+  /// scrubbed on a hit (empty timing, zero counters, lookup-only
+  /// total_seconds) so a hit never replays the miss's execution stats.
+  bool cache_hit = false;
 };
 
 }  // namespace rj

@@ -28,6 +28,13 @@ QueryService::QueryService(std::unique_ptr<gpu::DevicePool> owned,
   options_.max_queue_depth = std::max<std::size_t>(1, options_.max_queue_depth);
   options_.max_device_share =
       std::clamp(options_.max_device_share, 0.0, 1.0);
+  if (options_.result_cache_bytes > 0) {
+    query::ResultCacheOptions cache_options;
+    cache_options.capacity_bytes = options_.result_cache_bytes;
+    cache_options.num_shards =
+        std::max<std::size_t>(1, options_.result_cache_shards);
+    cache_ = std::make_unique<query::ResultCache>(cache_options);
+  }
   slots_.resize(options_.num_dispatchers);
   idle_.reserve(options_.num_dispatchers);
   dispatchers_.reserve(options_.num_dispatchers);
@@ -52,10 +59,41 @@ QueryService::~QueryService() {
   for (std::thread& t : dispatchers_) t.join();
 }
 
+namespace {
+/// Index of the executor registered for the same backing tables, or npos.
+/// `points`/`shards` are matched as identity pointers (one of them null
+/// depending on the registration shape).
+std::size_t FindDatasetLocked(
+    const std::vector<std::unique_ptr<Executor>>& executors,
+    const PointTable* points, const data::ShardedTable* shards,
+    const PolygonSet* polys) {
+  for (std::size_t id = 0; id < executors.size(); ++id) {
+    if (executors[id]->points() == points &&
+        executors[id]->shards() == shards &&
+        executors[id]->polys() == polys) {
+      return id;
+    }
+  }
+  return static_cast<std::size_t>(-1);
+}
+}  // namespace
+
 std::size_t QueryService::RegisterDataset(const PointTable* points,
                                           const PolygonSet* polys) {
+  // Re-registration: same backing tables ⇒ same dataset id, but the
+  // caller is announcing a change — bump the version so cached results
+  // for the previous contents stop matching. The executor is constructed
+  // optimistically outside mutex_ (it scans the polygon set) and the
+  // find-or-insert decision is a single critical section, so two racing
+  // registrations of the same pair cannot mint two ids.
   auto executor = std::make_unique<Executor>(pool_->primary(), points, polys);
   std::lock_guard<std::mutex> lock(mutex_);
+  const std::size_t existing =
+      FindDatasetLocked(executors_, points, nullptr, polys);
+  if (existing != static_cast<std::size_t>(-1)) {
+    executors_[existing]->BumpDatasetVersion();
+    return existing;
+  }
   executors_.push_back(std::move(executor));
   return executors_.size() - 1;
 }
@@ -64,8 +102,19 @@ std::size_t QueryService::RegisterShardedDataset(
     const data::ShardedTable* shards, const PolygonSet* polys) {
   auto executor = std::make_unique<Executor>(pool_, shards, polys);
   std::lock_guard<std::mutex> lock(mutex_);
+  const std::size_t existing =
+      FindDatasetLocked(executors_, nullptr, shards, polys);
+  if (existing != static_cast<std::size_t>(-1)) {
+    executors_[existing]->BumpDatasetVersion();
+    return existing;
+  }
   executors_.push_back(std::move(executor));
   return executors_.size() - 1;
+}
+
+void QueryService::InvalidateDataset(std::size_t dataset_id) {
+  Executor* executor = dataset_executor(dataset_id);
+  if (executor != nullptr) executor->BumpDatasetVersion();
 }
 
 Executor* QueryService::dataset_executor(std::size_t dataset_id) {
@@ -186,12 +235,59 @@ void QueryService::RunQuery(Pending pending) {
   Executor* executor = dataset_executor(pending.dataset);
   // Registration precedes submission validation, so this cannot be null.
 
-  // --- Admission: size and reserve per-device memory grants. -------------
-  Result<AdmissionPlan> plan = executor->PlanAdmission(pending.query);
-  if (!plan.ok()) {
-    Respond(&pending, plan.status(), stats);
+  if (cache_ != nullptr) {
+    // Cached path. The key is the query's semantic identity (dataset id +
+    // version, aggregate/filters/variant/ε/canvas/ranges — execution knobs
+    // excluded); a hit — fast lookup or single-flight share of a running
+    // identical query — bypasses admission entirely: no grant, no
+    // capacity queueing, no device work. Only a miss's leader enters
+    // AdmitAndExecute, which fills the grant/counter fields of `stats`.
+    Timer fetch;
+    const query::CacheKey key = query::MakeCacheKey(
+        pending.dataset, executor->dataset_version(), pending.query,
+        executor->ResolveVariant(pending.query));
+    bool hit = false;
+    Result<std::shared_ptr<const QueryResult>> shared = cache_->GetOrCompute(
+        key, [&] { return AdmitAndExecute(executor, pending, &stats); },
+        &hit);
+    if (!shared.ok()) {
+      Respond(&pending, shared.status(), stats);
+      return;
+    }
+    QueryResult out = *shared.value();
+    if (hit) {
+      // Fresh per-query stats: a hit must not replay the miss's grants,
+      // phase timings, or counter windows (it did none of that work).
+      stats.cache_hit = true;
+      stats.granted_bytes = 0;
+      stats.granted_bytes_per_device.assign(pool_->size(), 0);
+      stats.queue_seconds = pending.queued.ElapsedSeconds();
+      stats.execute_seconds = fetch.ElapsedSeconds();
+      const gpu::CountersSnapshot now = pool_->TotalCounters();
+      stats.device_counters_before = now;
+      stats.device_counters_after = now;
+      out.cache_hit = true;
+      out.timing = PhaseTimer();
+      out.counters = gpu::CountersSnapshot();
+      out.total_seconds = fetch.ElapsedSeconds();
+    }
+    Respond(&pending, std::move(out), stats);
     return;
   }
+
+  // Sequence the execution before the call: AdmitAndExecute fills `stats`
+  // through the pointer, and function-argument evaluation order would
+  // otherwise be free to copy `stats` first.
+  Result<QueryResult> result = AdmitAndExecute(executor, pending, &stats);
+  Respond(&pending, std::move(result), stats);
+}
+
+Result<QueryResult> QueryService::AdmitAndExecute(Executor* executor,
+                                                  const Pending& pending,
+                                                  QueryStats* stats) {
+  // --- Admission: size and reserve per-device memory grants. -------------
+  Result<AdmissionPlan> plan = executor->PlanAdmission(pending.query);
+  if (!plan.ok()) return plan.status();
 
   // Placement shape: hosted[d] shards of this query run (concurrently) on
   // pool device d, so device d's grant is hosted[d] × the per-shard grant.
@@ -234,11 +330,7 @@ void QueryService::RunQuery(Pending pending) {
             static_cast<double>(hosted[d]));
         tightest_share = std::min(tightest_share, share);
       }
-      if (!impossible.ok()) {
-        lock.unlock();
-        Respond(&pending, std::move(impossible), stats);
-        return;
-      }
+      if (!impossible.ok()) return impossible;
       // Grant policy (per shard): hold the full working set when it fits
       // under the per-device share cap (no batching); otherwise the capped
       // share, floored at the minimum the query can make progress with.
@@ -265,21 +357,24 @@ void QueryService::RunQuery(Pending pending) {
       cv_capacity_.wait_for(lock, std::chrono::milliseconds(100));
     }
   }
-  stats.granted_bytes = grant.total_bytes();
-  stats.granted_bytes_per_device.resize(pool_->size(), 0);
+  stats->granted_bytes = grant.total_bytes();
+  stats->granted_bytes_per_device.resize(pool_->size(), 0);
   for (std::size_t d = 0; d < pool_->size(); ++d) {
-    stats.granted_bytes_per_device[d] = grant.bytes_on(d);
+    stats->granted_bytes_per_device[d] = grant.bytes_on(d);
   }
 
   // --- Execution, batched to the per-shard grant. -------------------------
   SpatialAggQuery query = pending.query;
   query.device_memory_cap_bytes = per_shard_grant;
-  stats.queue_seconds = pending.queued.ElapsedSeconds();
-  stats.device_counters_before = pool_->TotalCounters();
+  stats->queue_seconds = pending.queued.ElapsedSeconds();
+  stats->device_counters_before = pool_->TotalCounters();
   Timer exec;
-  Result<QueryResult> result = executor->Execute(query);
-  stats.execute_seconds = exec.ElapsedSeconds();
-  stats.device_counters_after = pool_->TotalCounters();
+  // Always the uncached path: with caching on, this runs as the
+  // single-flight leader inside the service's own GetOrCompute — the
+  // executor's cache layer must not re-enter it.
+  Result<QueryResult> result = executor->ExecuteUncached(query);
+  stats->execute_seconds = exec.ElapsedSeconds();
+  stats->device_counters_after = pool_->TotalCounters();
 
   if (grant.active()) {
     grant.Release();
@@ -289,7 +384,7 @@ void QueryService::RunQuery(Pending pending) {
     cv_capacity_.notify_all();
   }
 
-  Respond(&pending, std::move(result), stats);
+  return result;
 }
 
 void QueryService::Respond(Pending* pending, Result<QueryResult> result,
@@ -317,8 +412,9 @@ ServiceStats QueryService::stats() const {
   ServiceStats s;
   // Device snapshots take each device's own lock; gather them outside
   // mutex_ to keep the service lock-order (mutex_ → device mutex) trivially
-  // acyclic.
+  // acyclic. Cache stats likewise use only the cache's shard locks.
   s.devices = pool_->Utilization();
+  if (cache_ != nullptr) s.cache = cache_->stats();
   std::lock_guard<std::mutex> lock(mutex_);
   s.submitted = submitted_;
   s.rejected = rejected_;

@@ -49,6 +49,7 @@
 #include "query/executor.h"
 #include "query/query.h"
 #include "query/result.h"
+#include "query/result_cache.h"
 
 namespace rj::service {
 
@@ -73,6 +74,17 @@ struct ServiceOptions {
   /// concurrency. A query whose minimum footprint exceeds the cap still
   /// gets its minimum (progress beats fairness).
   double max_device_share = 0.5;
+
+  /// Byte budget of the service-level result cache (0 = caching off).
+  /// When on, repeats of a semantically-equal query — execution knobs
+  /// excluded — are served from the cache and **bypass admission
+  /// entirely**: no device grant, no capacity queueing, no device work;
+  /// concurrent identical queries single-flight through one execution.
+  /// See docs/SERVICE.md "Result & plan cache".
+  std::size_t result_cache_bytes = 0;
+
+  /// Lock shards of the result cache (concurrency of the hit path).
+  std::size_t result_cache_shards = 8;
 };
 
 /// Per-submission options.
@@ -101,9 +113,15 @@ struct QueryStats {
   /// Pool-wide counters snapshotted around execution. Devices are shared,
   /// so the delta (after.DeltaSince(before)) is exact accounting only when
   /// no query overlapped; under concurrency it is pool-level attribution
-  /// of the window in which this query ran.
+  /// of the window in which this query ran. On a cache hit both snapshots
+  /// are taken at response time (delta zero — a hit does no device work).
   gpu::CountersSnapshot device_counters_before;
   gpu::CountersSnapshot device_counters_after;
+  /// True when the response was served from the result cache (fast hit or
+  /// single-flight share). Hits report granted_bytes == 0, an all-zero
+  /// granted_bytes_per_device, lookup-only execute_seconds, and equal
+  /// counter snapshots — never the original miss's execution stats.
+  bool cache_hit = false;
 };
 
 /// What a submitted query's future resolves to.
@@ -124,6 +142,8 @@ struct ServiceStats {
   /// Per-device budgets/reservations/counters, in pool order (the
   /// scheduler-visibility surface for placement decisions).
   std::vector<gpu::DeviceUtilization> devices;
+  /// Result-cache counters (all zero when caching is off).
+  query::ResultCacheStats cache;
 };
 
 /// Accepts SpatialAggQuery submissions from many client threads and runs
@@ -151,15 +171,26 @@ class QueryService {
   /// Registers a (points, polygons) dataset and returns its id. The
   /// per-dataset Executor is cached so preprocessing (triangulation, CPU
   /// index) is shared across every query against the dataset. Runs on the
-  /// pool's primary device.
+  /// pool's primary device. Re-registering an already-registered pair
+  /// returns the existing id and bumps its dataset version (the caller is
+  /// telling us the data changed — cached results for the old version
+  /// stop matching).
   std::size_t RegisterDataset(const PointTable* points,
                               const PolygonSet* polys);
 
   /// Registers a sharded dataset: queries scatter across the pool (shard
   /// s on device s mod pool size) and gather through agg::MergePartials.
-  /// `shards` and `polys` must outlive the service.
+  /// `shards` and `polys` must outlive the service. Re-registration bumps
+  /// the dataset version, like RegisterDataset.
   std::size_t RegisterShardedDataset(const data::ShardedTable* shards,
                                      const PolygonSet* polys);
+
+  /// Bumps `dataset_id`'s version: cached results stop matching and the
+  /// next query of each shape re-executes. For out-of-band mutations the
+  /// service cannot observe (no-op on an unknown id). Streaming appends
+  /// invalidate automatically when the join is wired to the executor's
+  /// version counter (Streaming*Join::set_version_counter).
+  void InvalidateDataset(std::size_t dataset_id);
 
   /// The cached executor for a registered dataset (e.g. to warm caches or
   /// run a sequential baseline against the very same preprocessing).
@@ -185,6 +216,8 @@ class QueryService {
   gpu::Device* device() const { return pool_->primary(); }
   gpu::DevicePool* pool() const { return pool_; }
   const ServiceOptions& options() const { return options_; }
+  /// The service-level result cache (null when result_cache_bytes == 0).
+  query::ResultCache* result_cache() const { return cache_.get(); }
 
  private:
   /// Real constructor: `owned` (may be null) is the internally-created
@@ -222,6 +255,15 @@ class QueryService {
   /// Admission + execution of one popped query (dispatcher thread).
   void RunQuery(Pending pending);
 
+  /// The uncached execution path: sizes and reserves the per-device
+  /// grants, executes batched to the per-shard grant, releases. Fills the
+  /// grant/counter/timing fields of `stats`. With caching on, this is the
+  /// single-flight leader's compute function — followers and hits never
+  /// enter it (cache hits bypass admission entirely).
+  Result<QueryResult> AdmitAndExecute(Executor* executor,
+                                      const Pending& pending,
+                                      QueryStats* stats);
+
   /// Fulfills a pending promise and updates completion accounting.
   void Respond(Pending* pending, Result<QueryResult> result,
                QueryStats stats);
@@ -235,6 +277,9 @@ class QueryService {
   std::unique_ptr<gpu::DevicePool> owned_pool_;
   gpu::DevicePool* pool_;
   ServiceOptions options_;
+  /// Result cache shared by every dataset (keys carry the dataset id);
+  /// null when options_.result_cache_bytes == 0.
+  std::unique_ptr<query::ResultCache> cache_;
 
   mutable std::mutex mutex_;
   std::condition_variable cv_space_;     ///< submitters: queue has room

@@ -76,6 +76,46 @@ TEST(DevicePoolTest, UtilizationSnapshotsPerDevice) {
   EXPECT_EQ(u[1].peak_reserved_bytes, 4096u);
 }
 
+TEST(DevicePoolTest, UtilizationPeaksAreMonotoneAcrossSnapshots) {
+  // Regression lock for the peak-accounting contract: peak_allocated /
+  // peak_reserved are monotone *lifetime* high-water marks. An intervening
+  // snapshot read must not reset them, and later activity below the old
+  // peak must not lower them — a second snapshot is always >= the first,
+  // field by field, even after the high allocation is long gone.
+  DevicePool pool(PoolOf(1, 1 << 20));
+  Device* dev = pool.device(0);
+
+  auto big = dev->Allocate(BufferKind::kVertexBuffer, 512 << 10);
+  ASSERT_TRUE(big.ok());
+  auto big_grant = dev->TryReserve(256 << 10);
+  ASSERT_TRUE(big_grant.ok());
+
+  const DeviceUtilization first = pool.Utilization()[0];
+  EXPECT_EQ(first.allocated_bytes, std::size_t{512} << 10);
+  EXPECT_EQ(first.peak_allocated_bytes, std::size_t{512} << 10);
+  EXPECT_EQ(first.reserved_bytes, std::size_t{256} << 10);
+  EXPECT_EQ(first.peak_reserved_bytes, std::size_t{256} << 10);
+
+  // Drop the high-water usage, then run far below it.
+  dev->Free(big.value());
+  big_grant.value().Release();
+  auto small = dev->Allocate(BufferKind::kVertexBuffer, 64 << 10);
+  ASSERT_TRUE(small.ok());
+  auto small_grant = dev->TryReserve(16 << 10);
+  ASSERT_TRUE(small_grant.ok());
+
+  const DeviceUtilization second = pool.Utilization()[0];
+  EXPECT_EQ(second.allocated_bytes, std::size_t{64} << 10);
+  EXPECT_EQ(second.reserved_bytes, std::size_t{16} << 10);
+  // Monotone: the first snapshot's read did not reset the peaks, and the
+  // smaller second-phase usage did not lower them.
+  EXPECT_GE(second.peak_allocated_bytes, first.peak_allocated_bytes);
+  EXPECT_GE(second.peak_reserved_bytes, first.peak_reserved_bytes);
+  EXPECT_EQ(second.peak_allocated_bytes, std::size_t{512} << 10);
+  EXPECT_EQ(second.peak_reserved_bytes, std::size_t{256} << 10);
+  dev->Free(small.value());
+}
+
 TEST(DevicePoolTest, TotalCountersSumAcrossDevices) {
   DevicePool pool(PoolOf(2, 1 << 20));
   pool.device(0)->counters().AddFragments(10);
