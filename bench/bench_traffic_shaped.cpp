@@ -1,0 +1,456 @@
+/// \file bench_traffic_shaped.cpp
+/// \brief Open-loop traffic bench for the HTTP/JSON front end: Poisson
+/// arrivals, Zipf query popularity, and pan/zoom session traces driven
+/// through net::QueryServer over loopback sockets.
+///
+/// Not a paper figure — this drives the ROADMAP "serve heavy traffic"
+/// direction end-to-end: the v1 wire schema (query/query_spec.h +
+/// net/wire.h), QueryService admission + result cache, and the server's
+/// load shedding, all under a traffic shape a tile/map front end actually
+/// sees:
+///   * arrivals are an open-loop Poisson process — latency is measured
+///     from each request's *scheduled* arrival, so queue buildup at
+///     saturation is charged to the requests (no coordinated omission);
+///   * query popularity is Zipf over a catalog of map views, so the
+///     result cache sees realistic skewed repetition;
+///   * the catalog itself is generated from pan/zoom session traces
+///     (zoom = ε ladder, pan = sliding filter windows over trip
+///     attributes), the way interactive exploration walks query space.
+///
+/// The offered load sweeps a multiplier ladder over a measured closed-loop
+/// capacity estimate; per step we report achieved qps, shed counts
+/// (429/503), and p50/p95/p99 latency, then derive the saturation qps —
+/// the highest offered load the server absorbed with ≥90% goodput. Every
+/// 200 body is checked bitwise against Executor::ExecuteUncached ground
+/// truth; any divergence, hang (client timeout), or unexpected status is
+/// a hard failure (exit 1).
+///
+/// Flags: --seconds <s> (duration per load step, default 4; CI smokes
+/// with 2), --workers <n> (open-loop sender threads, default 8).
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/rng.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "net/wire.h"
+#include "query/executor.h"
+#include "query/query_spec.h"
+#include "service/query_service.h"
+
+using namespace rj;
+using namespace rj::bench;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// Zipf(s) sampler over ranks [0, n) via inverse-CDF table lookup.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double s) : cdf_(n) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      total += 1.0 / std::pow(static_cast<double>(i + 1), s);
+      cdf_[i] = total;
+    }
+    for (double& c : cdf_) c /= total;
+  }
+
+  std::size_t Sample(Rng* rng) const {
+    const double u = rng->Uniform(0.0, 1.0);
+    const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    return static_cast<std::size_t>(it - cdf_.begin());
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+/// Catalog of map views from pan/zoom session traces. Each session starts
+/// at a zoom level (ε ladder — coarser bound when zoomed out) and a filter
+/// window over one trip attribute, then alternates pans (slide the window)
+/// and zooms (step the ladder). The same views recur across sessions, so
+/// Zipf popularity over the catalog models many users exploring the same
+/// popular neighborhoods.
+std::vector<QuerySpec> BuildCatalog(std::size_t sessions,
+                                    std::size_t steps_per_session) {
+  const double kZoomLadder[] = {400.0, 200.0, 100.0, 50.0};
+  std::vector<QuerySpec> catalog;
+  Rng rng(20170406);
+  for (std::size_t s = 0; s < sessions; ++s) {
+    std::size_t zoom = rng.UniformInt(4);
+    // Pan over the hour-of-day column: a 6-hour window sliding in 2-hour
+    // steps, the way a time-brushing UI replays a day.
+    double window_lo = static_cast<double>(rng.UniformInt(9)) * 2.0;
+    for (std::size_t step = 0; step < steps_per_session; ++step) {
+      QuerySpecBuilder builder;
+      builder.Dataset("taxi")
+          .Variant(JoinVariant::kBoundedRaster)
+          .Epsilon(kZoomLadder[zoom])
+          .Filter(kTaxiHour, FilterOp::kGreaterEqual,
+                  static_cast<float>(window_lo))
+          .Filter(kTaxiHour, FilterOp::kLess,
+                  static_cast<float>(window_lo + 6.0));
+      // Alternate the aggregate the way dashboards flip metrics.
+      if (step % 3 == 1) {
+        builder.Sum(kTaxiPassengers);
+      } else if (step % 3 == 2) {
+        builder.Average(kTaxiFare);
+      }
+      auto spec = builder.Build();
+      if (spec.ok()) catalog.push_back(spec.value());
+
+      // Next move: 50/50 pan vs zoom.
+      if (rng.UniformInt(2) == 0) {
+        window_lo = std::fmod(window_lo + 2.0, 18.0);
+      } else {
+        zoom = (zoom + 1) % 4;
+      }
+    }
+  }
+  return catalog;
+}
+
+bool BitwiseEqual(const std::vector<double>& a, const std::vector<double>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const bool both_nan = std::isnan(a[i]) && std::isnan(b[i]);
+    if (!both_nan && a[i] != b[i]) return false;
+  }
+  return true;
+}
+
+double Percentile(std::vector<double> sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const double idx = p * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(idx);
+  const double frac = idx - static_cast<double>(lo);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  return sorted[lo] * (1 - frac) + sorted[lo + 1] * frac;
+}
+
+/// Outcome counters for one load step (all across worker threads).
+struct StepOutcome {
+  std::atomic<std::uint64_t> ok{0};
+  std::atomic<std::uint64_t> rate_limited{0};  // 429
+  std::atomic<std::uint64_t> shed{0};          // 503
+  std::atomic<std::uint64_t> divergent{0};
+  std::atomic<std::uint64_t> hung{0};
+  std::atomic<std::uint64_t> protocol_errors{0};
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double step_seconds = 4.0;
+  // Open-loop senders: must exceed the service's total admission capacity
+  // (dispatchers + queue) or the client pool itself becomes the bottleneck
+  // and the shed path is never reached.
+  std::size_t num_workers = 24;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--seconds") == 0 && i + 1 < argc) {
+      step_seconds = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
+      num_workers = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--seconds <per-step>] [--workers <n>]\n",
+                   argv[0]);
+      return 1;
+    }
+  }
+  if (step_seconds <= 0.0) step_seconds = 4.0;
+  if (num_workers == 0) num_workers = 8;
+
+  PrintHeader("Traffic-shaped open loop: HTTP front end under Poisson/Zipf",
+              "ROADMAP network-serving direction (not a paper figure)");
+
+  // --- Stack: dataset -> service -> server on an ephemeral port. ----------
+  auto regions = TinyRegions(12, NycExtentMeters(), 7);
+  if (!regions.ok()) return 1;
+  PolygonSet polys = regions.value();
+  const PointTable points = GenerateTaxiPoints(Scaled(60'000));
+
+  gpu::Device device(PaperDeviceOptions(32ull << 20));
+  service::ServiceOptions sopts;
+  sopts.num_dispatchers = 2;
+  sopts.max_queue_depth = 8;  // small queue => TrySubmit sheds visibly
+  sopts.result_cache_bytes = 4 << 20;
+  service::QueryService service(&device, sopts);
+  const std::size_t dataset = service.RegisterDataset(&points, &polys,
+                                                      "taxi");
+
+  net::QueryServerOptions qopts;
+  qopts.http.num_workers = num_workers + 2;
+  net::QueryServer server(&service, qopts);
+  if (Status st = server.Start(); !st.ok()) {
+    std::fprintf(stderr, "server start failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  const int port = server.port();
+
+  // --- Catalog + ground truth (uncached, straight through the Executor).
+  const std::vector<QuerySpec> catalog = BuildCatalog(/*sessions=*/8,
+                                                      /*steps_per_session=*/6);
+  Executor* executor = service.dataset_executor(dataset);
+  std::vector<std::vector<double>> expected;
+  std::vector<std::string> bodies;
+  std::vector<std::string> bodies_bypass;  // exec.use_result_cache=false
+  expected.reserve(catalog.size());
+  bodies.reserve(catalog.size());
+  bodies_bypass.reserve(catalog.size());
+  for (const QuerySpec& spec : catalog) {
+    auto r = executor->ExecuteUncached(spec.ToQuery());
+    if (!r.ok()) {
+      std::fprintf(stderr, "ground truth failed: %s\n",
+                   r.status().ToString().c_str());
+      return 1;
+    }
+    expected.push_back(r.value().values);
+    QueryRequest request;
+    request.spec = spec;
+    bodies.push_back(QueryRequestToJson(request));
+    request.policy.use_result_cache = false;
+    bodies_bypass.push_back(QueryRequestToJson(request));
+  }
+  std::printf("catalog: %zu views (8 pan/zoom sessions), dataset: %zu "
+              "points, %zu polygons\n",
+              catalog.size(), points.size(), polys.size());
+
+  // --- Closed-loop capacity estimate (one warm client). -------------------
+  // The traffic blend: most views are popular repeats the result cache
+  // absorbs; 1 in kBypassEvery is a first-time view (exec cache bypass),
+  // which pays full admission + device execution. Capacity is measured on
+  // the same blend the sweep offers, so the multiplier ladder brackets the
+  // real knee.
+  constexpr std::uint64_t kBypassEvery = 16;
+  ZipfSampler zipf(catalog.size(), 1.1);
+  double capacity_qps = 0.0;
+  {
+    net::HttpClient probe("127.0.0.1", port);
+    Rng rng(1);
+    std::size_t done = 0;
+    const Clock::time_point t0 = Clock::now();
+    while (SecondsSince(t0) < std::max(1.0, step_seconds / 2)) {
+      const bool bypass = rng.UniformInt(kBypassEvery) == 0;
+      const std::size_t view = zipf.Sample(&rng);
+      auto response = probe.Post(
+          "/v1/query", (bypass ? bodies_bypass : bodies)[view]);
+      if (!response.ok() || response.value().status != 200) {
+        std::fprintf(stderr, "capacity probe failed: %s\n",
+                     response.ok() ? response.value().body.c_str()
+                                   : response.status().ToString().c_str());
+        return 1;
+      }
+      ++done;
+    }
+    capacity_qps = static_cast<double>(done) / SecondsSince(t0);
+  }
+  std::printf("closed-loop capacity estimate: %.1f qps (Zipf blend, 1/%llu "
+              "cache-bypass)\n\n", capacity_qps,
+              static_cast<unsigned long long>(kBypassEvery));
+
+  std::printf("%-10s | %9s %9s %7s %7s %7s %9s %9s %9s\n", "offered",
+              "achieved", "sent", "ok", "429", "503", "p50(ms)", "p95(ms)",
+              "p99(ms)");
+
+  BenchJson json("traffic_shaped");
+  json.Row()
+      .Field("section", std::string("setup"))
+      .Field("catalog_views", catalog.size())
+      .Field("capacity_qps", capacity_qps)
+      .Field("workers", num_workers);
+
+  // --- Open-loop sweep over offered-load multipliers. ---------------------
+  const double kMultipliers[] = {0.25, 0.5, 1.0, 1.5, 2.0};
+  double saturation_qps = 0.0;
+  bool failed = false;
+  for (const double mult : kMultipliers) {
+    const double offered_qps = std::max(1.0, capacity_qps * mult);
+
+    // Pre-draw the Poisson arrival schedule and the Zipf picks so workers
+    // share one deterministic trace.
+    Rng rng(static_cast<std::uint64_t>(mult * 1000) + 42);
+    std::vector<double> arrival;  // seconds from step start
+    std::vector<std::size_t> pick;
+    std::vector<char> bypass;
+    double t = 0.0;
+    while (t < step_seconds) {
+      t += -std::log(1.0 - rng.Uniform(0.0, 1.0)) / offered_qps;
+      if (t >= step_seconds) break;
+      arrival.push_back(t);
+      pick.push_back(zipf.Sample(&rng));
+      bypass.push_back(rng.UniformInt(kBypassEvery) == 0 ? 1 : 0);
+    }
+
+    StepOutcome outcome;
+    std::vector<double> latencies(arrival.size(), -1.0);
+    std::atomic<std::size_t> next{0};
+    const Clock::time_point t0 = Clock::now();
+
+    std::vector<std::thread> workers;
+    workers.reserve(num_workers);
+    for (std::size_t w = 0; w < num_workers; ++w) {
+      workers.emplace_back([&] {
+        net::HttpClient client("127.0.0.1", port,
+                               /*response_timeout_seconds=*/30.0);
+        for (;;) {
+          const std::size_t i = next.fetch_add(1);
+          if (i >= arrival.size()) return;
+          // Open loop: wait for the scheduled arrival, then charge all
+          // time from that instant — including any backlog wait — to this
+          // request.
+          const double now = SecondsSince(t0);
+          if (now < arrival[i]) {
+            std::this_thread::sleep_for(
+                std::chrono::duration<double>(arrival[i] - now));
+          }
+          auto response = client.Post(
+              "/v1/query",
+              (bypass[i] != 0 ? bodies_bypass : bodies)[pick[i]]);
+          const double latency = SecondsSince(t0) - arrival[i];
+          if (!response.ok()) {
+            // Client-side timeout = a hung request; hard failure.
+            ++outcome.hung;
+            continue;
+          }
+          const int status = response.value().status;
+          if (status == 200) {
+            auto decoded = net::ParseQueryResponse(response.value().body);
+            if (!decoded.ok() ||
+                !BitwiseEqual(expected[pick[i]], decoded.value().values)) {
+              ++outcome.divergent;
+            } else {
+              ++outcome.ok;
+              latencies[i] = latency;
+            }
+          } else if (status == 429) {
+            ++outcome.rate_limited;
+          } else if (status == 503) {
+            ++outcome.shed;
+          } else {
+            ++outcome.protocol_errors;
+          }
+        }
+      });
+    }
+    for (std::thread& worker : workers) worker.join();
+    const double wall = SecondsSince(t0);
+
+    std::vector<double> ok_latencies;
+    ok_latencies.reserve(latencies.size());
+    for (const double l : latencies) {
+      if (l >= 0.0) ok_latencies.push_back(l * 1e3);
+    }
+    std::sort(ok_latencies.begin(), ok_latencies.end());
+    const double p50 = Percentile(ok_latencies, 0.50);
+    const double p95 = Percentile(ok_latencies, 0.95);
+    const double p99 = Percentile(ok_latencies, 0.99);
+    const double achieved =
+        static_cast<double>(outcome.ok.load()) / wall;
+    const double goodput_share =
+        arrival.empty() ? 1.0
+                        : static_cast<double>(outcome.ok.load()) /
+                              static_cast<double>(arrival.size());
+    if (goodput_share >= 0.9) saturation_qps = std::max(saturation_qps,
+                                                        achieved);
+
+    std::printf("%7.1fqps | %9.1f %9zu %7llu %7llu %7llu %9.1f %9.1f %9.1f\n",
+                offered_qps, achieved, arrival.size(),
+                static_cast<unsigned long long>(outcome.ok.load()),
+                static_cast<unsigned long long>(outcome.rate_limited.load()),
+                static_cast<unsigned long long>(outcome.shed.load()),
+                p50, p95, p99);
+
+    json.Row()
+        .Field("section", std::string("open_loop"))
+        .Field("offered_qps", offered_qps)
+        .Field("achieved_qps", achieved)
+        .Field("sent", arrival.size())
+        .Field("ok", static_cast<std::size_t>(outcome.ok.load()))
+        .Field("rate_limited",
+               static_cast<std::size_t>(outcome.rate_limited.load()))
+        .Field("shed", static_cast<std::size_t>(outcome.shed.load()))
+        .Field("p50_ms", p50)
+        .Field("p95_ms", p95)
+        .Field("p99_ms", p99);
+
+    if (outcome.divergent.load() != 0 || outcome.hung.load() != 0 ||
+        outcome.protocol_errors.load() != 0) {
+      std::fprintf(stderr,
+                   "FAIL at %.1f qps: %llu divergent, %llu hung, %llu "
+                   "protocol errors\n",
+                   offered_qps,
+                   static_cast<unsigned long long>(outcome.divergent.load()),
+                   static_cast<unsigned long long>(outcome.hung.load()),
+                   static_cast<unsigned long long>(
+                       outcome.protocol_errors.load()));
+      failed = true;
+    }
+  }
+
+  // --- Rate-limiter spot check: a bursty client meets its 429s. -----------
+  // The sweep above runs unlimited (the shedding under test is TrySubmit's
+  // 503 path); this phase pins the per-client token bucket end to end.
+  std::uint64_t burst_429 = 0;
+  {
+    service::QueryService rl_service(&device, sopts);
+    (void)rl_service.RegisterDataset(&points, &polys, "taxi");
+    net::QueryServerOptions rl_opts;
+    rl_opts.rate_limit_qps = 0.5;
+    rl_opts.rate_limit_burst = 3.0;
+    net::QueryServer rl_server(&rl_service, rl_opts);
+    if (Status st = rl_server.Start(); !st.ok()) {
+      std::fprintf(stderr, "rate-limit server start failed: %s\n",
+                   st.ToString().c_str());
+      return 1;
+    }
+    net::HttpClient client("127.0.0.1", rl_server.port());
+    for (int i = 0; i < 10; ++i) {
+      auto response = client.Post("/v1/query", bodies[0],
+                                  {{"X-Client-Id", "bursty"}});
+      if (response.ok() && response.value().status == 429) ++burst_429;
+    }
+    rl_server.Shutdown();
+    rl_service.Shutdown();
+  }
+  std::printf("\nrate limiter: 10-deep burst at 0.5 qps/burst 3 -> %llu "
+              "429s\n", static_cast<unsigned long long>(burst_429));
+  if (burst_429 == 0) {
+    std::fprintf(stderr, "FAIL: rate limiter never engaged\n");
+    failed = true;
+  }
+
+  server.Shutdown();
+  service.Shutdown();
+
+  std::printf("saturation: %.1f qps (highest load with >=90%% goodput)\n",
+              saturation_qps);
+  json.Row()
+      .Field("section", std::string("summary"))
+      .Field("saturation_qps", saturation_qps)
+      .Field("rate_limited_burst_429s",
+             static_cast<std::size_t>(burst_429));
+
+  std::printf(
+      "\nShape check: at low offered load goodput tracks offered and tails\n"
+      "stay flat; past the capacity estimate the queue sheds (503s rise)\n"
+      "while p99 of served requests stays bounded — open-loop latency is\n"
+      "charged from scheduled arrival, so a saturated server cannot hide\n"
+      "backlog. Every 200 is bitwise-identical to ExecuteUncached.\n");
+
+  if (failed) return 1;
+  return 0;
+}

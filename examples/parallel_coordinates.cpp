@@ -13,6 +13,7 @@
 #include "data/datasets.h"
 #include "data/taxi_generator.h"
 #include "query/executor.h"
+#include "query/query_spec.h"
 
 int main() {
   using namespace rj;
@@ -42,12 +43,17 @@ int main() {
   std::vector<std::vector<double>> columns;
   std::printf("# per-dimension query times (bounded raster join, eps=20m)\n");
   for (const Dimension& dim : dims) {
-    SpatialAggQuery query;
-    query.variant = JoinVariant::kBoundedRaster;
-    query.epsilon = 20.0;
-    query.aggregate = dim.agg;
-    query.aggregate_column = dim.column;
-    auto result = executor.Execute(query);
+    auto spec = QuerySpecBuilder()
+                    .Variant(JoinVariant::kBoundedRaster)
+                    .Epsilon(20.0)
+                    .Aggregate(dim.agg, dim.column)
+                    .Build();
+    if (!spec.ok()) {
+      std::fprintf(stderr, "%s: %s\n", dim.name,
+                   spec.status().ToString().c_str());
+      return 1;
+    }
+    auto result = executor.Execute(spec.value().ToQuery());
     if (!result.ok()) {
       std::fprintf(stderr, "%s: %s\n", dim.name,
                    result.status().ToString().c_str());

@@ -12,6 +12,7 @@
 #include "data/datasets.h"
 #include "data/taxi_generator.h"
 #include "query/executor.h"
+#include "query/query_spec.h"
 
 int main() {
   using namespace rj;
@@ -35,12 +36,20 @@ int main() {
   gpu::Device device(dev_options);
   Executor executor(&device, &points, &regions);
 
-  // 3. Bounded raster join at ε = 20 m, with §5 result ranges.
-  SpatialAggQuery query;
-  query.variant = JoinVariant::kBoundedRaster;
-  query.epsilon = 20.0;
-  query.with_result_ranges = true;
-  auto approx = executor.Execute(query);
+  // 3. Bounded raster join at ε = 20 m, with §5 result ranges. Queries are
+  //    built through the validating QuerySpecBuilder — malformed requests
+  //    fail at Build(), before touching the executor.
+  auto bounded_spec = QuerySpecBuilder()
+                          .Variant(JoinVariant::kBoundedRaster)
+                          .Epsilon(20.0)
+                          .WithResultRanges()
+                          .Build();
+  if (!bounded_spec.ok()) {
+    std::fprintf(stderr, "bad query: %s\n",
+                 bounded_spec.status().ToString().c_str());
+    return 1;
+  }
+  auto approx = executor.Execute(bounded_spec.value().ToQuery());
   if (!approx.ok()) {
     std::fprintf(stderr, "bounded join failed: %s\n",
                  approx.status().ToString().c_str());
@@ -48,9 +57,15 @@ int main() {
   }
 
   // 4. Accurate raster join for ground truth.
-  query.variant = JoinVariant::kAccurateRaster;
-  query.with_result_ranges = false;
-  auto exact = executor.Execute(query);
+  auto exact_spec = QuerySpecBuilder()
+                        .Variant(JoinVariant::kAccurateRaster)
+                        .Build();
+  if (!exact_spec.ok()) {
+    std::fprintf(stderr, "bad query: %s\n",
+                 exact_spec.status().ToString().c_str());
+    return 1;
+  }
+  auto exact = executor.Execute(exact_spec.value().ToQuery());
   if (!exact.ok()) {
     std::fprintf(stderr, "accurate join failed: %s\n",
                  exact.status().ToString().c_str());

@@ -15,18 +15,28 @@
 ///       per-device counters. --cache-mb > 0 attaches a result cache and
 ///       --repeat re-runs the query (repeats are served from the cache;
 ///       the summary reports per-iteration time and hit/miss counts).
+///   serve --points <file.rjc> [--regions <n>] [--port <p>]
+///         [--dataset <name>] [--dispatchers <n>] [--queue-depth <n>]
+///         [--cache-mb <mb>] [--rate-limit <qps>] [--burst <n>]
+///       Serves the v1 HTTP/JSON API (docs/API.md) on the dataset until
+///       SIGINT/SIGTERM, then drains gracefully.
 ///
 /// Examples:
 ///   rasterjoin_cli generate --kind taxi --n 1000000 --out taxi.rjc
 ///   rasterjoin_cli query --points taxi.rjc --regions 260
 ///       --variant bounded --epsilon 20 --agg avg --column 0
 ///       --filter 4,lt,12 --shards 4 --shard-policy hilbert
+///   rasterjoin_cli serve --points taxi.rjc --port 8080 --cache-mb 64
 ///   (the query flags above form one command line)
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <map>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "data/column_store.h"
@@ -35,9 +45,12 @@
 #include "data/taxi_generator.h"
 #include "data/twitter_generator.h"
 #include "gpu/device_pool.h"
+#include "net/server.h"
 #include "query/calibration.h"
 #include "query/executor.h"
+#include "query/query_spec.h"
 #include "query/result_cache.h"
+#include "service/query_service.h"
 
 namespace {
 
@@ -92,13 +105,13 @@ int Generate(const Args& args) {
   return 0;
 }
 
-Result<FilterOp> ParseOp(const std::string& op) {
-  if (op == "gt") return FilterOp::kGreater;
-  if (op == "ge") return FilterOp::kGreaterEqual;
-  if (op == "lt") return FilterOp::kLess;
-  if (op == "le") return FilterOp::kLessEqual;
-  if (op == "eq") return FilterOp::kEqual;
-  return Status::InvalidArgument("unknown op (gt|ge|lt|le|eq): " + op);
+/// CLI spellings use '-', the wire schema '_' ("index-cpu" == "index_cpu");
+/// both parse, so shell flags and docs/API.md names never conflict.
+Result<JoinVariant> ParseVariant(std::string name) {
+  for (char& c : name) {
+    if (c == '-') c = '_';
+  }
+  return VariantFromWireName(name);
 }
 
 int Query(const Args& args) {
@@ -174,44 +187,34 @@ int Query(const Args& args) {
   }
   Executor& executor = *executor_storage;
 
-  SpatialAggQuery query;
+  // Build the query through the validating QuerySpecBuilder: the flag
+  // strings are the wire names from docs/API.md, and malformed requests
+  // fail at Build() with the same errors an HTTP client would see.
+  QuerySpecBuilder builder;
   const std::string variant = args.Get("variant", "bounded");
-  if (variant == "bounded") {
-    query.variant = JoinVariant::kBoundedRaster;
-  } else if (variant == "accurate") {
-    query.variant = JoinVariant::kAccurateRaster;
-  } else if (variant == "index-cpu") {
-    query.variant = JoinVariant::kIndexCpu;
-  } else if (variant == "index-device") {
-    query.variant = JoinVariant::kIndexDevice;
-  } else if (variant == "auto") {
-    query.variant = JoinVariant::kAuto;
+  auto parsed_variant = ParseVariant(variant);
+  if (!parsed_variant.ok()) {
+    std::fprintf(stderr, "%s\n",
+                 parsed_variant.status().ToString().c_str());
+    return 2;
+  }
+  builder.Variant(parsed_variant.value());
+  if (parsed_variant.value() == JoinVariant::kAuto) {
     auto params = CalibrateCostModel(pool.primary());
     if (params.ok()) *executor.cost_params() = params.value();
-  } else {
-    std::fprintf(stderr, "unknown --variant %s\n", variant.c_str());
-    return 2;
   }
-  query.epsilon = std::stod(args.Get("epsilon", "20"));
+  builder.Epsilon(std::stod(args.Get("epsilon", "20")));
 
   const std::string agg = args.Get("agg", "count");
-  if (agg == "count") {
-    query.aggregate = AggregateKind::kCount;
-  } else if (agg == "sum") {
-    query.aggregate = AggregateKind::kSum;
-  } else if (agg == "avg") {
-    query.aggregate = AggregateKind::kAverage;
-  } else if (agg == "min") {
-    query.aggregate = AggregateKind::kMin;
-  } else if (agg == "max") {
-    query.aggregate = AggregateKind::kMax;
-  } else {
-    std::fprintf(stderr, "unknown --agg %s\n", agg.c_str());
+  auto aggregate = AggregateFromWireName(agg);
+  if (!aggregate.ok()) {
+    std::fprintf(stderr, "%s\n", aggregate.status().ToString().c_str());
     return 2;
   }
-  if (query.aggregate != AggregateKind::kCount) {
-    query.aggregate_column = std::stoull(args.Get("column", "0"));
-  }
+  builder.Aggregate(aggregate.value(),
+                    aggregate.value() == AggregateKind::kCount
+                        ? PointTable::npos
+                        : std::stoull(args.Get("column", "0")));
 
   for (const std::string& spec : args.filters) {
     // col,op,value
@@ -222,20 +225,28 @@ int Query(const Args& args) {
                    spec.c_str());
       return 2;
     }
-    auto op = ParseOp(spec.substr(c1 + 1, c2 - c1 - 1));
+    auto op = FilterOpFromWireName(spec.substr(c1 + 1, c2 - c1 - 1));
     if (!op.ok()) {
       std::fprintf(stderr, "%s\n", op.status().ToString().c_str());
       return 2;
     }
-    AttributeFilter filter;
-    filter.column = std::stoull(spec.substr(0, c1));
-    filter.op = op.value();
-    filter.value = std::stof(spec.substr(c2 + 1));
-    if (!query.filters.Add(filter).ok()) {
-      std::fprintf(stderr, "too many filters (max 5)\n");
-      return 2;
-    }
+    builder.Filter(std::stoull(spec.substr(0, c1)), op.value(),
+                   std::stof(spec.substr(c2 + 1)));
   }
+
+  auto built = builder.Build();
+  if (!built.ok()) {
+    std::fprintf(stderr, "invalid query: %s\n",
+                 built.status().ToString().c_str());
+    return 2;
+  }
+  if (Status cols = ValidateSpecColumns(built.value(),
+                                        points.value().num_attributes());
+      !cols.ok()) {
+    std::fprintf(stderr, "invalid query: %s\n", cols.ToString().c_str());
+    return 2;
+  }
+  const SpatialAggQuery query = built.value().ToQuery();
 
   // --cache-mb > 0: attach a result cache so --repeat iterations after the
   // first are served from it (the interactive-exploration pattern: the
@@ -310,18 +321,96 @@ int Query(const Args& args) {
   return 0;
 }
 
+std::atomic<bool> g_stop{false};
+
+void HandleStopSignal(int) { g_stop.store(true); }
+
+int Serve(const Args& args) {
+  const std::string points_path = args.Get("points", "");
+  if (points_path.empty()) {
+    std::fprintf(stderr, "--points <file.rjc> is required\n");
+    return 2;
+  }
+  auto points = ReadColumnStore(points_path);
+  if (!points.ok()) {
+    std::fprintf(stderr, "read failed: %s\n",
+                 points.status().ToString().c_str());
+    return 1;
+  }
+  const std::size_t n_regions = std::stoull(args.Get("regions", "64"));
+  RegionGeneratorOptions gen_options;
+  gen_options.seed = std::stoull(args.Get("region-seed", "7"));
+  auto regions =
+      GenerateRegions(n_regions, points.value().Extent(), gen_options);
+  if (!regions.ok()) {
+    std::fprintf(stderr, "regions: %s\n",
+                 regions.status().ToString().c_str());
+    return 1;
+  }
+
+  gpu::DeviceOptions dev_options;
+  dev_options.max_fbo_dim = std::stoi(args.Get("max-fbo", "4096"));
+  gpu::Device device(dev_options);
+
+  service::ServiceOptions sopts;
+  sopts.num_dispatchers = std::stoull(args.Get("dispatchers", "0"));
+  sopts.max_queue_depth = std::stoull(args.Get("queue-depth", "64"));
+  sopts.result_cache_bytes = std::stoull(args.Get("cache-mb", "0")) << 20;
+  service::QueryService service(&device, sopts);
+  service.RegisterDataset(&points.value(), &regions.value(),
+                          args.Get("dataset", "points"));
+
+  net::QueryServerOptions qopts;
+  qopts.http.port = std::stoi(args.Get("port", "8080"));
+  qopts.rate_limit_qps = std::stod(args.Get("rate-limit", "0"));
+  qopts.rate_limit_burst = std::stod(args.Get("burst", "10"));
+  net::QueryServer server(&service, qopts);
+  if (Status st = server.Start(); !st.ok()) {
+    std::fprintf(stderr, "server start failed: %s\n",
+                 st.ToString().c_str());
+    return 1;
+  }
+
+  std::signal(SIGINT, HandleStopSignal);
+  std::signal(SIGTERM, HandleStopSignal);
+  std::printf("serving %zu points x %zu regions on "
+              "http://127.0.0.1:%d (POST /v1/query, GET /v1/datasets, "
+              "GET /v1/stats, GET /healthz); Ctrl-C drains and exits\n",
+              points.value().size(), regions.value().size(),
+              server.port());
+  while (!g_stop.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+
+  // Graceful drain: stop accepting first (in-flight responses carry
+  // "Connection: close"), then let the service finish accepted work.
+  std::printf("draining...\n");
+  server.Shutdown();
+  service.Shutdown();
+  const net::HttpServerStats http = server.http_stats();
+  std::printf("served %llu request(s), shed %llu connection(s), "
+              "%llu rate-limited, %llu query shed(s)\n",
+              static_cast<unsigned long long>(http.requests),
+              static_cast<unsigned long long>(http.connections_shed),
+              static_cast<unsigned long long>(server.rate_limited()),
+              static_cast<unsigned long long>(server.shed()));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: rasterjoin_cli generate|query [--flag value]...\n");
+                 "usage: rasterjoin_cli generate|query|serve "
+                 "[--flag value]...\n");
     return 2;
   }
   const std::string command = argv[1];
   const Args args = Args::Parse(argc, argv, 2);
   if (command == "generate") return Generate(args);
   if (command == "query") return Query(args);
+  if (command == "serve") return Serve(args);
   std::fprintf(stderr, "unknown command: %s\n", command.c_str());
   return 2;
 }

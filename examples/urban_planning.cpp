@@ -14,6 +14,7 @@
 #include "common/rng.h"
 #include "data/taxi_generator.h"
 #include "query/executor.h"
+#include "query/query_spec.h"
 #include "voronoi/restricted_voronoi.h"
 
 int main() {
@@ -61,10 +62,16 @@ int main() {
     }
 
     Executor executor(&device, &demand, &regions);
-    SpatialAggQuery query;
-    query.variant = JoinVariant::kBoundedRaster;
-    query.epsilon = 50.0;  // coarse bound: planning is an overview task
-    auto result = executor.Execute(query);
+    auto spec = QuerySpecBuilder()
+                    .Variant(JoinVariant::kBoundedRaster)
+                    .Epsilon(50.0)  // coarse bound: planning is an overview
+                    .Build();
+    if (!spec.ok()) {
+      std::fprintf(stderr, "bad query: %s\n",
+                   spec.status().ToString().c_str());
+      return 1;
+    }
+    auto result = executor.Execute(spec.value().ToQuery());
     if (!result.ok()) {
       std::fprintf(stderr, "query: %s\n",
                    result.status().ToString().c_str());

@@ -12,6 +12,7 @@
 #include "data/datasets.h"
 #include "data/taxi_generator.h"
 #include "query/executor.h"
+#include "query/query_spec.h"
 #include "viz/heatmap.h"
 #include "viz/jnd.h"
 
@@ -35,12 +36,18 @@ int RunResolution(const char* label, std::size_t num_regions,
   Executor executor(&device, &points, &regions);
 
   // Approximate heat map (bounded, ε = 20 m) and exact reference.
-  SpatialAggQuery query;
-  query.variant = JoinVariant::kBoundedRaster;
-  query.epsilon = 20.0;
-  auto approx = executor.Execute(query);
-  query.variant = JoinVariant::kAccurateRaster;
-  auto exact = executor.Execute(query);
+  auto approx_spec = QuerySpecBuilder()
+                         .Variant(JoinVariant::kBoundedRaster)
+                         .Epsilon(20.0)
+                         .Build();
+  auto exact_spec =
+      QuerySpecBuilder().Variant(JoinVariant::kAccurateRaster).Build();
+  if (!approx_spec.ok() || !exact_spec.ok()) {
+    std::fprintf(stderr, "bad query\n");
+    return 1;
+  }
+  auto approx = executor.Execute(approx_spec.value().ToQuery());
+  auto exact = executor.Execute(exact_spec.value().ToQuery());
   if (!approx.ok() || !exact.ok()) {
     std::fprintf(stderr, "query failed\n");
     return 1;

@@ -1,0 +1,355 @@
+#include "common/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace rj::json {
+
+const Value* Value::Find(const std::string& key) const {
+  for (const auto& [k, v] : members_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+Value& Value::Set(const std::string& key, Value v) {
+  for (auto& [k, existing] : members_) {
+    if (k == key) {
+      existing = std::move(v);
+      return existing;
+    }
+  }
+  members_.emplace_back(key, std::move(v));
+  return members_.back().second;
+}
+
+std::string Escape(const std::string& s) { return json_detail::EscapeForJson(s); }
+
+std::string Value::Serialize() const {
+  std::string out;
+  SerializeTo(&out);
+  return out;
+}
+
+void Value::SerializeTo(std::string* out) const {
+  switch (type_) {
+    case Type::kNull:
+      *out += "null";
+      return;
+    case Type::kBool:
+      *out += bool_ ? "true" : "false";
+      return;
+    case Type::kNumber: {
+      if (!std::isfinite(number_)) {
+        // JSON has no NaN/Inf literal; the schema encodes them as null and
+        // readers treat null numbers as NaN (§5 ranges of empty groups).
+        *out += "null";
+        return;
+      }
+      char buf[32];
+      // %.17g round-trips every double; integral values print plainly.
+      std::snprintf(buf, sizeof(buf), "%.17g", number_);
+      *out += buf;
+      return;
+    }
+    case Type::kString:
+      *out += '"';
+      *out += Escape(string_);
+      *out += '"';
+      return;
+    case Type::kArray:
+      *out += '[';
+      for (std::size_t i = 0; i < items_.size(); ++i) {
+        if (i > 0) *out += ',';
+        items_[i].SerializeTo(out);
+      }
+      *out += ']';
+      return;
+    case Type::kObject:
+      *out += '{';
+      for (std::size_t i = 0; i < members_.size(); ++i) {
+        if (i > 0) *out += ',';
+        *out += '"';
+        *out += Escape(members_[i].first);
+        *out += "\":";
+        members_[i].second.SerializeTo(out);
+      }
+      *out += '}';
+      return;
+  }
+}
+
+namespace {
+
+/// Recursive-descent parser over a bounded string. Depth-limited so hostile
+/// network input cannot overflow the stack.
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Result<Value> Run() {
+    Value v;
+    RJ_RETURN_NOT_OK(ParseValue(&v, 0));
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Fail("trailing characters after JSON document");
+    }
+    return v;
+  }
+
+ private:
+  static constexpr std::size_t kMaxDepth = 64;
+
+  Status Fail(const std::string& what) const {
+    return Status::InvalidArgument("JSON parse error at byte " +
+                                   std::to_string(pos_) + ": " + what);
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status Expect(char c) {
+    if (!Consume(c)) {
+      return Fail(std::string("expected '") + c + "'");
+    }
+    return Status::OK();
+  }
+
+  Status ParseValue(Value* out, std::size_t depth) {
+    if (depth > kMaxDepth) return Fail("nesting too deep");
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Fail("unexpected end of input");
+    const char c = text_[pos_];
+    switch (c) {
+      case '{': return ParseObject(out, depth);
+      case '[': return ParseArray(out, depth);
+      case '"': return ParseString(out);
+      case 't': return ParseLiteral("true", Value::Bool(true), out);
+      case 'f': return ParseLiteral("false", Value::Bool(false), out);
+      case 'n': return ParseLiteral("null", Value::Null(), out);
+      default: return ParseNumber(out);
+    }
+  }
+
+  Status ParseLiteral(const char* lit, Value v, Value* out) {
+    for (const char* p = lit; *p != '\0'; ++p, ++pos_) {
+      if (pos_ >= text_.size() || text_[pos_] != *p) {
+        return Fail(std::string("invalid literal (expected ") + lit + ")");
+      }
+    }
+    *out = std::move(v);
+    return Status::OK();
+  }
+
+  bool AtDigit() const {
+    return pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]));
+  }
+
+  // Strict JSON number grammar: -?(0|[1-9][0-9]*)(\.[0-9]+)?([eE][+-]?[0-9]+)?
+  // strtod alone is too permissive (leading zeros, "+1", hex, "inf").
+  Status ParseNumber(Value* out) {
+    const std::size_t start = pos_;
+    Consume('-');
+    if (!AtDigit()) return Fail("invalid value");
+    if (text_[pos_] == '0') {
+      ++pos_;
+      if (AtDigit()) return Fail("leading zeros are not allowed");
+    } else {
+      while (AtDigit()) ++pos_;
+    }
+    if (Consume('.')) {
+      if (!AtDigit()) return Fail("expected digit after decimal point");
+      while (AtDigit()) ++pos_;
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() &&
+          (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (!AtDigit()) return Fail("expected digit in exponent");
+      while (AtDigit()) ++pos_;
+    }
+    const std::string token = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    const double d = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0' || end == token.c_str()) {
+      return Fail("invalid number '" + token + "'");
+    }
+    *out = Value::Number(d);
+    return Status::OK();
+  }
+
+  Status ParseString(Value* out) {
+    std::string s;
+    RJ_RETURN_NOT_OK(ParseRawString(&s));
+    *out = Value::Str(std::move(s));
+    return Status::OK();
+  }
+
+  Status ParseRawString(std::string* out) {
+    RJ_RETURN_NOT_OK(Expect('"'));
+    std::string s;
+    while (true) {
+      if (pos_ >= text_.size()) return Fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') break;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Fail("unescaped control character in string");
+      }
+      if (c != '\\') {
+        s.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) return Fail("unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': s.push_back('"'); break;
+        case '\\': s.push_back('\\'); break;
+        case '/': s.push_back('/'); break;
+        case 'b': s.push_back('\b'); break;
+        case 'f': s.push_back('\f'); break;
+        case 'n': s.push_back('\n'); break;
+        case 'r': s.push_back('\r'); break;
+        case 't': s.push_back('\t'); break;
+        case 'u': {
+          unsigned cp = 0;
+          RJ_RETURN_NOT_OK(ParseHex4(&cp));
+          // Surrogate pair → single code point.
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            if (pos_ + 1 < text_.size() && text_[pos_] == '\\' &&
+                text_[pos_ + 1] == 'u') {
+              pos_ += 2;
+              unsigned lo = 0;
+              RJ_RETURN_NOT_OK(ParseHex4(&lo));
+              if (lo < 0xDC00 || lo > 0xDFFF) {
+                return Fail("invalid low surrogate");
+              }
+              cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+            } else {
+              return Fail("unpaired high surrogate");
+            }
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            return Fail("unpaired low surrogate");
+          }
+          AppendUtf8(cp, &s);
+          break;
+        }
+        default: return Fail("invalid escape character");
+      }
+    }
+    *out = std::move(s);
+    return Status::OK();
+  }
+
+  Status ParseHex4(unsigned* out) {
+    unsigned v = 0;
+    for (int i = 0; i < 4; ++i) {
+      if (pos_ >= text_.size()) return Fail("truncated \\u escape");
+      const char c = text_[pos_++];
+      v <<= 4;
+      if (c >= '0' && c <= '9') {
+        v |= static_cast<unsigned>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        v |= static_cast<unsigned>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        v |= static_cast<unsigned>(c - 'A' + 10);
+      } else {
+        return Fail("invalid hex digit in \\u escape");
+      }
+    }
+    *out = v;
+    return Status::OK();
+  }
+
+  static void AppendUtf8(unsigned cp, std::string* s) {
+    if (cp < 0x80) {
+      s->push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      s->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      s->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      s->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      s->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      s->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      s->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      s->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      s->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      s->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  Status ParseArray(Value* out, std::size_t depth) {
+    RJ_RETURN_NOT_OK(Expect('['));
+    Value arr = Value::Array();
+    SkipWhitespace();
+    if (Consume(']')) {
+      *out = std::move(arr);
+      return Status::OK();
+    }
+    while (true) {
+      Value item;
+      RJ_RETURN_NOT_OK(ParseValue(&item, depth + 1));
+      arr.Append(std::move(item));
+      SkipWhitespace();
+      if (Consume(']')) break;
+      RJ_RETURN_NOT_OK(Expect(','));
+    }
+    *out = std::move(arr);
+    return Status::OK();
+  }
+
+  Status ParseObject(Value* out, std::size_t depth) {
+    RJ_RETURN_NOT_OK(Expect('{'));
+    Value obj = Value::Object();
+    SkipWhitespace();
+    if (Consume('}')) {
+      *out = std::move(obj);
+      return Status::OK();
+    }
+    while (true) {
+      SkipWhitespace();
+      std::string key;
+      RJ_RETURN_NOT_OK(ParseRawString(&key));
+      if (obj.Find(key) != nullptr) {
+        return Fail("duplicate object key '" + key + "'");
+      }
+      SkipWhitespace();
+      RJ_RETURN_NOT_OK(Expect(':'));
+      Value v;
+      RJ_RETURN_NOT_OK(ParseValue(&v, depth + 1));
+      obj.Set(key, std::move(v));
+      SkipWhitespace();
+      if (Consume('}')) break;
+      RJ_RETURN_NOT_OK(Expect(','));
+    }
+    *out = std::move(obj);
+    return Status::OK();
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Value> Parse(const std::string& text) { return Parser(text).Run(); }
+
+}  // namespace rj::json

@@ -1,0 +1,113 @@
+/// \file json.h
+/// \brief Minimal dependency-free JSON value, parser, and serializer.
+///
+/// The v1 network schema (docs/API.md) is the single serialization shared
+/// by the HTTP server, the client, the CLI, and the traffic bench, so the
+/// JSON layer lives in common/ with no dependencies beyond Status. Scope is
+/// deliberately small: UTF-8 text, doubles for every number (the schema
+/// never carries integers that lose precision in a double), objects that
+/// preserve insertion order so serialization is deterministic, and strict
+/// parsing (no trailing garbage, bounded nesting depth).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace rj::json {
+
+/// A JSON document node. Value-semantic; copies are deep.
+class Value {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Value() : type_(Type::kNull) {}
+
+  static Value Null() { return Value(); }
+  static Value Bool(bool b) {
+    Value v;
+    v.type_ = Type::kBool;
+    v.bool_ = b;
+    return v;
+  }
+  static Value Number(double d) {
+    Value v;
+    v.type_ = Type::kNumber;
+    v.number_ = d;
+    return v;
+  }
+  static Value Str(std::string s) {
+    Value v;
+    v.type_ = Type::kString;
+    v.string_ = std::move(s);
+    return v;
+  }
+  static Value Array() {
+    Value v;
+    v.type_ = Type::kArray;
+    return v;
+  }
+  static Value Object() {
+    Value v;
+    v.type_ = Type::kObject;
+    return v;
+  }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  /// Preconditions: the matching is_*() holds.
+  bool AsBool() const { return bool_; }
+  double AsNumber() const { return number_; }
+  const std::string& AsString() const { return string_; }
+
+  /// Array access.
+  std::size_t size() const { return items_.size(); }
+  const Value& operator[](std::size_t i) const { return items_[i]; }
+  Value& Append(Value v) {
+    items_.push_back(std::move(v));
+    return items_.back();
+  }
+
+  /// Object access (insertion order preserved; duplicate keys rejected by
+  /// the parser, last-write-wins through Set).
+  const std::vector<std::pair<std::string, Value>>& members() const {
+    return members_;
+  }
+  /// The member value, or nullptr when absent.
+  const Value* Find(const std::string& key) const;
+  Value& Set(const std::string& key, Value v);
+
+  /// Compact serialization (no whitespace). Numbers render with %.17g so
+  /// doubles round-trip bit-exactly through parse(serialize(v)).
+  std::string Serialize() const;
+
+ private:
+  void SerializeTo(std::string* out) const;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<Value> items_;                              // kArray
+  std::vector<std::pair<std::string, Value>> members_;    // kObject
+};
+
+/// Parses a complete JSON document. InvalidArgument on malformed input,
+/// duplicate object keys, nesting deeper than 64 levels, or trailing
+/// non-whitespace.
+Result<Value> Parse(const std::string& text);
+
+/// Escapes `s` for embedding inside a JSON string literal (quotes not
+/// included). Shared by Status::ToJson, which cannot depend on Value.
+std::string Escape(const std::string& s);
+
+}  // namespace rj::json

@@ -2,8 +2,7 @@
 
 namespace rj {
 
-namespace {
-const char* CodeName(StatusCode code) {
+const char* StatusCodeName(StatusCode code) {
   switch (code) {
     case StatusCode::kOk: return "OK";
     case StatusCode::kInvalidArgument: return "InvalidArgument";
@@ -12,17 +11,80 @@ const char* CodeName(StatusCode code) {
     case StatusCode::kIOError: return "IOError";
     case StatusCode::kNotImplemented: return "NotImplemented";
     case StatusCode::kInternal: return "Internal";
+    case StatusCode::kNotFound: return "NotFound";
   }
   return "Unknown";
 }
-}  // namespace
+
+bool IsRetryable(StatusCode code) {
+  return code == StatusCode::kCapacityError;
+}
+
+int HttpStatusFor(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return 200;
+    case StatusCode::kInvalidArgument: return 400;
+    case StatusCode::kOutOfRange: return 400;
+    case StatusCode::kCapacityError: return 503;
+    case StatusCode::kIOError: return 500;
+    case StatusCode::kNotImplemented: return 501;
+    case StatusCode::kInternal: return 500;
+    case StatusCode::kNotFound: return 404;
+  }
+  return 500;
+}
 
 std::string Status::ToString() const {
   if (ok()) return "OK";
-  std::string s = CodeName(code_);
+  std::string s = StatusCodeName(code_);
   s += ": ";
   s += message_;
   return s;
 }
+
+std::string Status::ToJson() const {
+  // Manual rendering (not json::Value) keeps status.h free of any json.h
+  // dependency; the escaping helper is shared so the two cannot disagree.
+  std::string out = "{\"code\":";
+  out += std::to_string(static_cast<int>(code_));
+  out += ",\"name\":\"";
+  out += StatusCodeName(code_);
+  out += "\",\"retryable\":";
+  out += retryable() ? "true" : "false";
+  out += ",\"http\":";
+  out += std::to_string(HttpStatusFor(code_));
+  out += ",\"message\":\"";
+  out += json_detail::EscapeForJson(message_);
+  out += "\"}";
+  return out;
+}
+
+namespace json_detail {
+std::string EscapeForJson(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  static const char* kHex = "0123456789abcdef";
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += "\\u00";
+          out.push_back(kHex[(c >> 4) & 0xF]);
+          out.push_back(kHex[c & 0xF]);
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+}  // namespace json_detail
 
 }  // namespace rj

@@ -14,15 +14,43 @@
 namespace rj {
 
 /// Machine-readable error categories.
+///
+/// The numeric values are a stable public contract: they appear verbatim in
+/// the v1 network schema (`error.code`, docs/API.md) and in persisted bench
+/// output, so existing values must never be renumbered — new codes append.
 enum class StatusCode {
   kOk = 0,
-  kInvalidArgument,
-  kOutOfRange,
-  kCapacityError,   ///< Simulated device memory exhausted.
-  kIOError,
-  kNotImplemented,
-  kInternal,
+  kInvalidArgument = 1,  ///< Malformed request; retrying cannot succeed.
+  kOutOfRange = 2,       ///< Index/interval outside the valid domain.
+  kCapacityError = 3,    ///< Resource exhausted (queue, device memory) —
+                         ///< transient; retry after backoff.
+  kIOError = 4,
+  kNotImplemented = 5,
+  kInternal = 6,
+  kNotFound = 7,         ///< Named entity (dataset) does not exist.
 };
+
+/// Stable name of a code ("CapacityError", ...), for logs and the wire.
+const char* StatusCodeName(StatusCode code);
+
+namespace json_detail {
+/// JSON string-literal escaping shared by Status::ToJson and json::Escape
+/// (status.h must stay dependency-free, so the helper lives here).
+std::string EscapeForJson(const std::string& s);
+}  // namespace json_detail
+
+/// True when the condition is transient and the same request may succeed if
+/// retried after backoff (queue full, device memory exhausted, draining).
+/// Validation, not-found, and internal errors are fatal for the request —
+/// clients must not spin on them.
+bool IsRetryable(StatusCode code);
+
+/// The HTTP status the v1 protocol maps this code to: kOk → 200,
+/// validation (kInvalidArgument/kOutOfRange) → 400, kNotFound → 404,
+/// kCapacityError → 503 (with Retry-After), kNotImplemented → 501,
+/// everything else → 500. Used by the HTTP front end and by clients that
+/// reverse the mapping.
+int HttpStatusFor(StatusCode code);
 
 /// \brief Outcome of a fallible operation, carrying a code and message.
 ///
@@ -51,6 +79,9 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -58,6 +89,16 @@ class Status {
 
   /// Human-readable "<Code>: <message>" rendering for logs and test output.
   std::string ToString() const;
+
+  /// True when retrying the failed operation may succeed (IsRetryable of
+  /// the code); OK statuses are trivially not retryable.
+  bool retryable() const { return IsRetryable(code_); }
+
+  /// The v1 wire rendering of this status, used verbatim by the HTTP front
+  /// end's error responses and available to ServiceResponse consumers:
+  ///   {"code":3,"name":"CapacityError","retryable":true,"http":503,
+  ///    "message":"..."}
+  std::string ToJson() const;
 
   bool operator==(const Status& other) const {
     return code_ == other.code_ && message_ == other.message_;

@@ -1,0 +1,211 @@
+#include "net/client.h"
+
+#include <sys/socket.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+
+namespace rj::net {
+
+namespace {
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::string ToLower(std::string s) {
+  for (char& c : s) {
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+  }
+  return s;
+}
+
+std::string Trim(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && (s[b] == ' ' || s[b] == '\t')) ++b;
+  while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t')) --e;
+  return s.substr(b, e - b);
+}
+
+// Parses "HTTP/1.1 200 OK\r\n<headers>\r\n\r\n" in [0, head_end) of buf.
+Status ParseResponseHead(const std::string& buf, std::size_t head_end,
+                         HttpClientResponse* out) {
+  std::size_t line_end = buf.find("\r\n");
+  if (line_end == std::string::npos || line_end > head_end) {
+    return Status::IOError("http client: missing status line");
+  }
+  const std::string status_line = buf.substr(0, line_end);
+  std::size_t sp1 = status_line.find(' ');
+  if (sp1 == std::string::npos || status_line.compare(0, 5, "HTTP/") != 0) {
+    return Status::IOError("http client: malformed status line '" +
+                           status_line + "'");
+  }
+  char* end = nullptr;
+  long code = std::strtol(status_line.c_str() + sp1 + 1, &end, 10);
+  if (code < 100 || code > 599) {
+    return Status::IOError("http client: bad status code in '" +
+                           status_line + "'");
+  }
+  out->status = static_cast<int>(code);
+
+  std::size_t pos = line_end + 2;
+  while (pos < head_end) {
+    std::size_t eol = buf.find("\r\n", pos);
+    if (eol == std::string::npos || eol > head_end) {
+      return Status::IOError("http client: malformed header block");
+    }
+    const std::string line = buf.substr(pos, eol - pos);
+    pos = eol + 2;
+    if (line.empty()) break;
+    std::size_t colon = line.find(':');
+    if (colon == std::string::npos || colon == 0) {
+      return Status::IOError("http client: malformed header line");
+    }
+    out->headers.emplace_back(ToLower(Trim(line.substr(0, colon))),
+                              Trim(line.substr(colon + 1)));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+const std::string* HttpClientResponse::FindHeader(
+    const std::string& name_lower) const {
+  for (const auto& h : headers) {
+    if (h.first == name_lower) return &h.second;
+  }
+  return nullptr;
+}
+
+HttpClient::HttpClient(std::string address, int port,
+                       double response_timeout_seconds)
+    : address_(std::move(address)),
+      port_(port),
+      response_timeout_seconds_(response_timeout_seconds) {}
+
+HttpClient::~HttpClient() { Close(); }
+
+void HttpClient::Close() {
+  CloseFd(fd_);
+  fd_ = -1;
+  carry_.clear();
+}
+
+Result<HttpClientResponse> HttpClient::Get(const std::string& path) {
+  return Request("GET", path, "", {});
+}
+
+Result<HttpClientResponse> HttpClient::Post(
+    const std::string& path, const std::string& body,
+    const std::vector<std::pair<std::string, std::string>>& headers) {
+  return Request("POST", path, body, headers);
+}
+
+Result<HttpClientResponse> HttpClient::Request(
+    const std::string& method, const std::string& path,
+    const std::string& body,
+    const std::vector<std::pair<std::string, std::string>>& headers) {
+  std::ostringstream wire;
+  wire << method << ' ' << path << " HTTP/1.1\r\n";
+  wire << "Host: " << address_ << ':' << port_ << "\r\n";
+  for (const auto& h : headers) {
+    wire << h.first << ": " << h.second << "\r\n";
+  }
+  if (!body.empty() || method == "POST") {
+    wire << "Content-Type: application/json\r\n";
+    wire << "Content-Length: " << body.size() << "\r\n";
+  }
+  wire << "\r\n" << body;
+  const std::string request = wire.str();
+
+  const bool had_connection = fd_ >= 0;
+  Result<HttpClientResponse> response = RoundTrip(request);
+  if (!response.ok() && had_connection) {
+    // The reused keep-alive connection may have been closed by the server
+    // (drain, idle timeout) between requests; retry once on a fresh one.
+    Close();
+    response = RoundTrip(request);
+  }
+  if (!response.ok()) Close();
+  return response;
+}
+
+Result<HttpClientResponse> HttpClient::RoundTrip(const std::string& wire) {
+  if (fd_ < 0) {
+    RJ_ASSIGN_OR_RETURN(fd_, ConnectTcp(address_, port_));
+    carry_.clear();
+  }
+  RJ_RETURN_NOT_OK(WriteAll(fd_, wire));
+  Result<HttpClientResponse> response = ReadResponse();
+  if (response.ok()) {
+    const std::string* conn = response.value().FindHeader("connection");
+    if (conn != nullptr && *conn == "close") Close();
+  }
+  return response;
+}
+
+Result<HttpClientResponse> HttpClient::ReadResponse() {
+  // Poll in short slices so the deadline is enforced even when the server
+  // trickles bytes.
+  RJ_RETURN_NOT_OK(SetRecvTimeout(fd_, 0.2));
+  const double deadline = NowSeconds() + response_timeout_seconds_;
+
+  HttpClientResponse out;
+  std::string& buf = carry_;
+  std::size_t head_end = std::string::npos;
+  std::size_t body_len = 0;
+  bool head_parsed = false;
+  char chunk[8192];
+
+  while (true) {
+    if (!head_parsed) {
+      head_end = buf.find("\r\n\r\n");
+      if (head_end != std::string::npos) {
+        RJ_RETURN_NOT_OK(ParseResponseHead(buf, head_end + 2, &out));
+        head_parsed = true;
+        if (const std::string* cl = out.FindHeader("content-length")) {
+          char* end = nullptr;
+          errno = 0;
+          unsigned long long v = std::strtoull(cl->c_str(), &end, 10);
+          if (errno != 0 || end == cl->c_str() || *end != '\0') {
+            return Status::IOError("http client: bad Content-Length");
+          }
+          body_len = static_cast<std::size_t>(v);
+        }
+      }
+    }
+    if (head_parsed) {
+      const std::size_t total = head_end + 4 + body_len;
+      if (buf.size() >= total) {
+        out.body = buf.substr(head_end + 4, body_len);
+        buf.erase(0, total);
+        return out;
+      }
+    }
+
+    ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      buf.append(chunk, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n == 0) {
+      return Status::IOError("http client: connection closed mid-response");
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
+      if (NowSeconds() > deadline) {
+        return Status::IOError("http client: response timed out");
+      }
+      continue;
+    }
+    return Status::IOError(std::string("http client: recv failed: ") +
+                           std::strerror(errno));
+  }
+}
+
+}  // namespace rj::net

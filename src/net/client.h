@@ -1,0 +1,64 @@
+/// \file client.h
+/// \brief Minimal blocking HTTP/1.1 client for the v1 front end.
+///
+/// Used by the loopback end-to-end tests and by bench_traffic_shaped's
+/// open-loop workers. One HttpClient owns one connection and reuses it
+/// across requests (keep-alive); a server "Connection: close" (or any
+/// socket error) drops the connection and the next request reconnects,
+/// so callers can hammer a draining or shedding server without managing
+/// sockets themselves.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "net/http.h"
+
+namespace rj::net {
+
+/// One parsed response. Header names lowercased, like HttpRequest.
+struct HttpClientResponse {
+  int status = 0;
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+
+  /// First header with this (lowercase) name, or nullptr.
+  const std::string* FindHeader(const std::string& name_lower) const;
+};
+
+class HttpClient {
+ public:
+  /// Does not connect; the first request does.
+  HttpClient(std::string address, int port,
+             double response_timeout_seconds = 60.0);
+  ~HttpClient();
+
+  HttpClient(const HttpClient&) = delete;
+  HttpClient& operator=(const HttpClient&) = delete;
+
+  Result<HttpClientResponse> Get(const std::string& path);
+  Result<HttpClientResponse> Post(
+      const std::string& path, const std::string& body,
+      const std::vector<std::pair<std::string, std::string>>& headers = {});
+
+  /// Drops the connection (next request reconnects).
+  void Close();
+
+ private:
+  Result<HttpClientResponse> Request(
+      const std::string& method, const std::string& path,
+      const std::string& body,
+      const std::vector<std::pair<std::string, std::string>>& headers);
+  Result<HttpClientResponse> RoundTrip(const std::string& wire);
+  Result<HttpClientResponse> ReadResponse();
+
+  std::string address_;
+  int port_;
+  double response_timeout_seconds_;
+  int fd_ = -1;
+  std::string carry_;  ///< bytes past the previous response
+};
+
+}  // namespace rj::net

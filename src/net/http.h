@@ -1,0 +1,106 @@
+/// \file http.h
+/// \brief Dependency-free HTTP/1.1 primitives over blocking POSIX sockets.
+///
+/// Scope is exactly what the v1 protocol needs (docs/API.md): request
+/// parsing with Content-Length bodies (no chunked transfer), keep-alive
+/// connections, bounded header/body sizes so hostile input cannot balloon
+/// memory, and a cancellation hook so a draining server can interrupt a
+/// blocked read without closing the socket mid-request. TLS, compression,
+/// and HTTP/2 are deliberately out of scope — the front end targets a
+/// trusted edge proxy doing those.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace rj::net {
+
+/// One parsed request. Header names are lowercased at parse (HTTP headers
+/// are case-insensitive); values keep their bytes.
+struct HttpRequest {
+  std::string method;   ///< "GET", "POST", ... (uppercase as received)
+  std::string target;   ///< origin-form path, e.g. "/v1/query"
+  std::string version;  ///< "HTTP/1.1"
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+  /// Peer address ("ip:port"), filled by the server accept path — the
+  /// default rate-limiting key when no X-Client-Id header is present.
+  std::string peer;
+
+  /// First header with this (lowercase) name, or nullptr.
+  const std::string* FindHeader(const std::string& name_lower) const;
+};
+
+/// One response to serialize. Content-Length, Content-Type, and Connection
+/// headers are emitted automatically.
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "application/json";
+  std::string body;
+  /// Extra headers (e.g. Retry-After). Names used verbatim.
+  std::vector<std::pair<std::string, std::string>> headers;
+  /// Force "Connection: close" (also set by the server while draining).
+  bool close = false;
+
+  static HttpResponse Json(int status, std::string body);
+  HttpResponse& SetHeader(std::string name, std::string value);
+};
+
+/// Reason phrase for the status codes the protocol emits.
+const char* HttpStatusText(int status);
+
+/// Input-size bounds enforced by ReadHttpRequest.
+struct HttpLimits {
+  std::size_t max_head_bytes = 16 * 1024;   ///< request line + headers
+  std::size_t max_body_bytes = 1024 * 1024; ///< Content-Length ceiling
+};
+
+/// Outcome classification for one read request (beyond Status).
+enum class ReadOutcome {
+  kRequest,    ///< a complete request was parsed
+  kEof,        ///< peer closed cleanly before sending a new request
+  kCancelled,  ///< `cancelled` returned true while waiting
+  kTimeout,    ///< idle longer than `idle_timeout_seconds`
+};
+
+/// Reads one HTTP/1.1 request from `fd` (blocking, with a short SO_RCVTIMEO
+/// so `cancelled` is polled a few times per second). `carry` holds bytes
+/// read past the end of a previous request on the same connection
+/// (pipelining) and must persist across calls for one connection.
+///
+/// Status is OK for all four outcomes above; InvalidArgument = malformed
+/// request (respond 400, close), CapacityError = limits exceeded (respond
+/// 413, close), IOError = socket failure (just close).
+Result<ReadOutcome> ReadHttpRequest(int fd, const HttpLimits& limits,
+                                    double idle_timeout_seconds,
+                                    const std::function<bool()>& cancelled,
+                                    std::string* carry, HttpRequest* out);
+
+/// Serializes `response` (status line, automatic headers, body).
+std::string SerializeResponse(const HttpResponse& response);
+
+/// Writes the whole buffer; IOError on failure.
+Status WriteAll(int fd, const std::string& data);
+
+/// Creates a listening TCP socket bound to address:port (port 0 =
+/// ephemeral; SO_REUSEADDR set). Returns the fd.
+Result<int> ListenTcp(const std::string& address, int port, int backlog);
+
+/// The port a bound socket listens on (resolves ephemeral port 0).
+Result<int> LocalPort(int fd);
+
+/// Blocking connect to address:port. Returns the fd.
+Result<int> ConnectTcp(const std::string& address, int port);
+
+/// Sets SO_RCVTIMEO (used by both server reads and the client).
+Status SetRecvTimeout(int fd, double seconds);
+
+/// Close that ignores EINTR (never throws, safe on -1).
+void CloseFd(int fd);
+
+}  // namespace rj::net

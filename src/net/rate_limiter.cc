@@ -1,0 +1,61 @@
+#include "net/rate_limiter.h"
+
+#include <algorithm>
+
+namespace rj::net {
+
+RateLimiter::Decision RateLimiter::Admit(const std::string& key,
+                                         double now_seconds) {
+  Decision decision;
+  if (!enabled()) return decision;
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (buckets_.size() >= options_.max_clients &&
+      buckets_.find(key) == buckets_.end()) {
+    SweepLocked(now_seconds);
+  }
+
+  auto it = buckets_.find(key);
+  if (it == buckets_.end()) {
+    Bucket fresh;
+    fresh.tokens = options_.burst;
+    fresh.last_refill = now_seconds;
+    it = buckets_.emplace(key, fresh).first;
+  }
+
+  Bucket& bucket = it->second;
+  const double elapsed = std::max(0.0, now_seconds - bucket.last_refill);
+  bucket.tokens = std::min(options_.burst,
+                           bucket.tokens + elapsed * options_.rate_per_sec);
+  bucket.last_refill = now_seconds;
+
+  if (bucket.tokens >= 1.0) {
+    bucket.tokens -= 1.0;
+    return decision;
+  }
+  decision.allowed = false;
+  decision.retry_after_seconds =
+      (1.0 - bucket.tokens) / options_.rate_per_sec;
+  return decision;
+}
+
+std::size_t RateLimiter::num_clients() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return buckets_.size();
+}
+
+void RateLimiter::SweepLocked(double now_seconds) {
+  // A bucket whose refill since last touch would have filled it back to
+  // burst carries no state a fresh bucket wouldn't — safe to drop.
+  const double full_refill_seconds =
+      options_.burst / std::max(options_.rate_per_sec, 1e-9);
+  for (auto it = buckets_.begin(); it != buckets_.end();) {
+    if (now_seconds - it->second.last_refill > full_refill_seconds) {
+      it = buckets_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace rj::net

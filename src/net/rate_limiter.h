@@ -1,0 +1,61 @@
+/// \file rate_limiter.h
+/// \brief Per-client token-bucket rate limiting for the HTTP front end.
+///
+/// Each client key (X-Client-Id header, falling back to peer address) owns
+/// a bucket holding up to `burst` tokens refilled at `rate_per_sec`. A
+/// request costs one token; an empty bucket means HTTP 429 with a
+/// Retry-After hint equal to the time until the next token.
+///
+/// Time is injected as a double (seconds, any monotonic origin) so tests
+/// drive the clock deterministically instead of sleeping.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace rj::net {
+
+class RateLimiter {
+ public:
+  struct Options {
+    double rate_per_sec = 0.0;  ///< tokens/sec; <= 0 disables limiting
+    double burst = 10.0;        ///< bucket capacity (initially full)
+    /// Buckets idle long enough to have refilled completely are dropped
+    /// on the next sweep so one-shot clients don't accumulate forever.
+    std::size_t max_clients = 4096;
+  };
+
+  struct Decision {
+    bool allowed = true;
+    /// When rejected: seconds until one token is available (>= 0).
+    double retry_after_seconds = 0.0;
+  };
+
+  explicit RateLimiter(Options options) : options_(options) {}
+
+  /// Spends one token from `key`'s bucket at time `now_seconds`.
+  Decision Admit(const std::string& key, double now_seconds);
+
+  /// Buckets currently tracked (after any sweep). For /v1/stats.
+  std::size_t num_clients() const;
+
+  bool enabled() const { return options_.rate_per_sec > 0.0; }
+  const Options& options() const { return options_; }
+
+ private:
+  struct Bucket {
+    double tokens = 0.0;
+    double last_refill = 0.0;
+  };
+
+  void SweepLocked(double now_seconds);
+
+  Options options_;
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, Bucket> buckets_;
+};
+
+}  // namespace rj::net

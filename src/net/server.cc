@@ -1,0 +1,326 @@
+#include "net/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+
+#include "net/wire.h"
+#include "query/query_spec.h"
+
+namespace rj::net {
+
+namespace {
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+HttpResponse ErrorResponse(const Status& status) {
+  return HttpResponse::Json(HttpStatusFor(status.code()),
+                            ErrorJson(status));
+}
+
+}  // namespace
+
+std::string RetryAfterValue(double seconds) {
+  long whole = static_cast<long>(std::ceil(std::max(seconds, 1.0)));
+  return std::to_string(whole);
+}
+
+// ---------------------------------------------------------------------------
+// HttpServer
+
+HttpServer::HttpServer(HttpServerOptions options)
+    : options_(std::move(options)) {
+  if (options_.num_workers == 0) {
+    options_.num_workers =
+        std::max<std::size_t>(4, std::thread::hardware_concurrency());
+  }
+  if (options_.max_connections == 0) {
+    options_.max_connections = options_.num_workers;
+  }
+}
+
+HttpServer::~HttpServer() { Shutdown(); }
+
+void HttpServer::Route(std::string method, std::string path,
+                       Handler handler) {
+  routes_[{std::move(method), std::move(path)}] = std::move(handler);
+}
+
+Status HttpServer::Start() {
+  if (started_) return Status::Internal("http: server already started");
+  RJ_ASSIGN_OR_RETURN(
+      listen_fd_,
+      ListenTcp(options_.bind_address, options_.port,
+                static_cast<int>(options_.max_connections) + 16));
+  Result<int> port = LocalPort(listen_fd_);
+  if (!port.ok()) {
+    CloseFd(listen_fd_);
+    listen_fd_ = -1;
+    return port.status();
+  }
+  port_ = port.value();
+  pool_ = std::make_unique<ThreadPool>(options_.num_workers);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  started_ = true;
+  return Status::OK();
+}
+
+void HttpServer::Shutdown() {
+  std::call_once(shutdown_once_, [this] {
+    draining_.store(true, std::memory_order_release);
+    if (listen_fd_ >= 0) {
+      // shutdown() wakes the blocked accept() even on platforms where
+      // close() alone does not; the loop then observes draining_.
+      ::shutdown(listen_fd_, SHUT_RDWR);
+      CloseFd(listen_fd_);
+      listen_fd_ = -1;
+    }
+    if (accept_thread_.joinable()) accept_thread_.join();
+    {
+      // In-flight handlers poll draining_ between requests and their
+      // blocked reads wake within the poll interval, so this converges.
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_idle_.wait(lock, [this] { return active_connections_ == 0; });
+    }
+    if (pool_ != nullptr) pool_->Wait();
+  });
+}
+
+HttpServerStats HttpServer::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void HttpServer::AcceptLoop() {
+  while (!draining_.load(std::memory_order_acquire)) {
+    sockaddr_in peer_addr;
+    socklen_t peer_len = sizeof(peer_addr);
+    int fd = ::accept(listen_fd_,
+                      reinterpret_cast<sockaddr*>(&peer_addr), &peer_len);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      // Listen socket closed by Shutdown (or a hard error): stop.
+      return;
+    }
+
+    char ip[INET_ADDRSTRLEN] = "?";
+    ::inet_ntop(AF_INET, &peer_addr.sin_addr, ip, sizeof(ip));
+    std::string peer =
+        std::string(ip) + ":" + std::to_string(ntohs(peer_addr.sin_port));
+
+    bool shed = false;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (active_connections_ >= options_.max_connections) {
+        shed = true;
+        ++stats_.connections_shed;
+        ++stats_.responses_5xx;
+      } else {
+        ++active_connections_;
+        ++stats_.connections_accepted;
+      }
+    }
+    if (shed) {
+      HttpResponse busy = HttpResponse::Json(
+          503, ErrorJson(Status::CapacityError(
+                   "server at connection capacity")));
+      busy.close = true;
+      busy.SetHeader("Retry-After",
+                     RetryAfterValue(options_.shed_retry_after_seconds));
+      (void)WriteAll(fd, SerializeResponse(busy));
+      CloseFd(fd);
+      continue;
+    }
+
+    pool_->Submit([this, fd, peer = std::move(peer)]() mutable {
+      HandleConnection(fd, std::move(peer));
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--active_connections_ == 0) cv_idle_.notify_all();
+    });
+  }
+}
+
+void HttpServer::HandleConnection(int fd, std::string peer) {
+  std::string carry;
+  const auto cancelled = [this] {
+    return draining_.load(std::memory_order_acquire);
+  };
+
+  while (!draining_.load(std::memory_order_acquire)) {
+    HttpRequest request;
+    Result<ReadOutcome> outcome =
+        ReadHttpRequest(fd, options_.limits,
+                        options_.keep_alive_timeout_seconds, cancelled,
+                        &carry, &request);
+    if (!outcome.ok()) {
+      const Status& st = outcome.status();
+      if (st.code() == StatusCode::kInvalidArgument ||
+          st.code() == StatusCode::kCapacityError) {
+        int http = st.code() == StatusCode::kCapacityError ? 413 : 400;
+        HttpResponse bad = HttpResponse::Json(http, ErrorJson(st));
+        bad.close = true;
+        CountResponse(http);
+        (void)WriteAll(fd, SerializeResponse(bad));
+      }
+      break;  // IOError or malformed: nothing more to read
+    }
+    if (outcome.value() != ReadOutcome::kRequest) break;
+
+    request.peer = peer;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.requests;
+    }
+    HttpResponse response = Dispatch(request);
+    if (draining_.load(std::memory_order_acquire)) response.close = true;
+    const std::string* conn = request.FindHeader("connection");
+    if (conn != nullptr && *conn == "close") response.close = true;
+    CountResponse(response.status);
+    if (!WriteAll(fd, SerializeResponse(response)).ok()) break;
+    if (response.close) break;
+  }
+  CloseFd(fd);
+}
+
+HttpResponse HttpServer::Dispatch(const HttpRequest& request) {
+  auto it = routes_.find({request.method, request.target});
+  if (it != routes_.end()) return it->second(request);
+
+  // Distinguish 405 (path known, method not) from 404.
+  for (const auto& route : routes_) {
+    if (route.first.second == request.target) {
+      return HttpResponse::Json(
+          405, ErrorJson(Status::InvalidArgument(
+                   "method " + request.method + " not allowed on " +
+                   request.target)));
+    }
+  }
+  return HttpResponse::Json(
+      404, ErrorJson(Status::NotFound("no route for " + request.method +
+                                      " " + request.target)));
+}
+
+void HttpServer::CountResponse(int status) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (status >= 500) {
+    ++stats_.responses_5xx;
+  } else if (status >= 400) {
+    ++stats_.responses_4xx;
+  } else {
+    ++stats_.responses_2xx;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// QueryServer
+
+QueryServer::QueryServer(service::QueryService* service,
+                         QueryServerOptions options)
+    : service_(service),
+      options_(options),
+      limiter_([&] {
+        RateLimiter::Options lo;
+        lo.rate_per_sec = options.rate_limit_qps;
+        lo.burst = options.rate_limit_burst;
+        return lo;
+      }()),
+      http_(options.http) {
+  http_.Route("POST", "/v1/query",
+              [this](const HttpRequest& r) { return HandleQuery(r); });
+  http_.Route("GET", "/v1/datasets",
+              [this](const HttpRequest& r) { return HandleDatasets(r); });
+  http_.Route("GET", "/v1/stats",
+              [this](const HttpRequest& r) { return HandleStats(r); });
+  http_.Route("GET", "/healthz",
+              [this](const HttpRequest& r) { return HandleHealthz(r); });
+}
+
+Status QueryServer::Start() { return http_.Start(); }
+
+HttpResponse QueryServer::HandleQuery(const HttpRequest& request) {
+  // Rate limit before any parsing: the cheapest possible reject path.
+  if (limiter_.enabled()) {
+    const std::string* id = request.FindHeader("x-client-id");
+    const std::string& key = id != nullptr ? *id : request.peer;
+    RateLimiter::Decision d = limiter_.Admit(key, NowSeconds());
+    if (!d.allowed) {
+      rate_limited_.fetch_add(1, std::memory_order_relaxed);
+      HttpResponse r = HttpResponse::Json(
+          429, ErrorJson(Status::CapacityError(
+                   "rate limit exceeded for client '" + key + "'")));
+      r.SetHeader("Retry-After", RetryAfterValue(d.retry_after_seconds));
+      return r;
+    }
+  }
+
+  Result<QueryRequest> parsed = ParseQueryRequest(request.body);
+  if (!parsed.ok()) return ErrorResponse(parsed.status());
+  const QueryRequest& query = parsed.value();
+
+  Result<std::size_t> dataset = service_->ResolveDataset(query.spec.dataset);
+  if (!dataset.ok()) return ErrorResponse(dataset.status());
+
+  service::SubmitOptions submit;
+  if (query.high_priority) submit.priority = service::Priority::kHigh;
+  Result<std::future<service::ServiceResponse>> future =
+      service_->TrySubmit(dataset.value(), query.spec, query.policy,
+                          submit);
+  if (!future.ok()) {
+    // Queue full or service draining: shed fast, tell the client when to
+    // come back. This is the load-shedding path the bench drives to
+    // saturation.
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    HttpResponse r = ErrorResponse(future.status());
+    r.SetHeader("Retry-After",
+                RetryAfterValue(options_.shed_retry_after_seconds));
+    return r;
+  }
+
+  service::ServiceResponse response = future.MoveValueUnsafe().get();
+  if (!response.result.ok()) return ErrorResponse(response.result.status());
+  return HttpResponse::Json(200, QueryResponseJson(response));
+}
+
+HttpResponse QueryServer::HandleDatasets(const HttpRequest&) {
+  return HttpResponse::Json(200, DatasetsJson(service_->ListDatasets()));
+}
+
+HttpResponse QueryServer::HandleStats(const HttpRequest&) {
+  return HttpResponse::Json(
+      200, StatsJson(service_->stats(), ServerStatsJson()));
+}
+
+HttpResponse QueryServer::HandleHealthz(const HttpRequest&) {
+  if (http_.draining()) {
+    return HttpResponse::Json(503, "{\"status\":\"draining\"}");
+  }
+  return HttpResponse::Json(200, "{\"status\":\"ok\"}");
+}
+
+std::string QueryServer::ServerStatsJson() const {
+  HttpServerStats s = http_.stats();
+  std::string out = "{";
+  out += "\"connections_accepted\":" + std::to_string(s.connections_accepted);
+  out += ",\"connections_shed\":" + std::to_string(s.connections_shed);
+  out += ",\"requests\":" + std::to_string(s.requests);
+  out += ",\"responses_2xx\":" + std::to_string(s.responses_2xx);
+  out += ",\"responses_4xx\":" + std::to_string(s.responses_4xx);
+  out += ",\"responses_5xx\":" + std::to_string(s.responses_5xx);
+  out += ",\"rate_limited\":" + std::to_string(
+             rate_limited_.load(std::memory_order_relaxed));
+  out += ",\"shed\":" + std::to_string(shed_.load(std::memory_order_relaxed));
+  out += ",\"rate_limit_clients\":" + std::to_string(limiter_.num_clients());
+  out += "}";
+  return out;
+}
+
+}  // namespace rj::net

@@ -1,0 +1,172 @@
+/// \file server.h
+/// \brief The HTTP front end: a generic blocking-socket server plus the
+/// QueryServer that wires the v1 protocol onto service::QueryService.
+///
+/// Architecture (bottom-up):
+///
+///   HttpServer — accept thread + a ThreadPool of connection handlers.
+///   Each accepted connection occupies one worker for its whole keep-alive
+///   lifetime, so admission is trivial: when `max_connections` handlers
+///   are busy the accept thread sheds the connection immediately with a
+///   canned 503 + Retry-After instead of letting it queue unserved
+///   (fail fast beats unbounded buffering at the edge — the same policy
+///   QueryService::TrySubmit applies one layer down). Shutdown() is a
+///   graceful drain: stop accepting, let in-flight requests finish (their
+///   responses carry "Connection: close"), interrupt idle keep-alive
+///   reads via the poll hook, then join.
+///
+///   QueryServer — routes
+///     POST /v1/query     submit a v1 QueryRequest, await the result
+///     GET  /v1/datasets  registered datasets
+///     GET  /v1/stats     service + front-end counters
+///     GET  /healthz      liveness ("ok" / 503 "draining")
+///   with per-client token-bucket rate limiting (429) ahead of
+///   QueryService::TrySubmit load shedding (503). Both reject bodies
+///   carry the stable error-code JSON from Status::ToJson plus a
+///   Retry-After header, so clients implement one backoff path.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "net/http.h"
+#include "net/rate_limiter.h"
+#include "service/query_service.h"
+
+namespace rj::net {
+
+struct HttpServerOptions {
+  std::string bind_address = "127.0.0.1";
+  int port = 0;  ///< 0 = ephemeral (read back via port())
+  /// Connection-handler threads; 0 = max(4, hardware_concurrency).
+  std::size_t num_workers = 0;
+  /// Concurrent connections before the accept thread sheds with 503;
+  /// 0 = num_workers (every accepted connection gets a worker at once).
+  std::size_t max_connections = 0;
+  HttpLimits limits;
+  /// Idle keep-alive connections are closed after this long.
+  double keep_alive_timeout_seconds = 5.0;
+  /// Retry-After value on shed (503) responses.
+  double shed_retry_after_seconds = 1.0;
+};
+
+/// Front-end counters (all monotonic; snapshot via stats()).
+struct HttpServerStats {
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t connections_shed = 0;  ///< 503 at the accept gate
+  std::uint64_t requests = 0;          ///< parsed requests dispatched
+  std::uint64_t responses_2xx = 0;
+  std::uint64_t responses_4xx = 0;
+  std::uint64_t responses_5xx = 0;
+};
+
+class HttpServer {
+ public:
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  explicit HttpServer(HttpServerOptions options = {});
+  ~HttpServer();  ///< Shutdown()
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Registers a handler for exact (method, path). Must precede Start().
+  void Route(std::string method, std::string path, Handler handler);
+
+  /// Binds, listens, and spawns the accept thread.
+  Status Start();
+
+  /// Bound port (valid after Start(); resolves ephemeral port 0).
+  int port() const { return port_; }
+
+  /// Graceful drain; idempotent and safe concurrently with itself.
+  void Shutdown();
+
+  bool draining() const { return draining_.load(std::memory_order_acquire); }
+
+  HttpServerStats stats() const;
+
+ private:
+  void AcceptLoop();
+  void HandleConnection(int fd, std::string peer);
+  HttpResponse Dispatch(const HttpRequest& request);
+  void CountResponse(int status);
+
+  HttpServerOptions options_;
+  std::map<std::pair<std::string, std::string>, Handler> routes_;
+
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::unique_ptr<ThreadPool> pool_;
+  std::thread accept_thread_;
+  std::atomic<bool> draining_{false};
+  std::once_flag shutdown_once_;
+  bool started_ = false;
+
+  mutable std::mutex mutex_;  ///< guards stats_ and active_connections_
+  std::condition_variable cv_idle_;
+  std::size_t active_connections_ = 0;
+  HttpServerStats stats_;
+};
+
+struct QueryServerOptions {
+  HttpServerOptions http;
+  /// Per-client token bucket on POST /v1/query; rate <= 0 disables.
+  double rate_limit_qps = 0.0;
+  double rate_limit_burst = 10.0;
+  /// Retry-After on 503 when QueryService::TrySubmit sheds.
+  double shed_retry_after_seconds = 1.0;
+};
+
+/// v1 protocol on top of a caller-owned QueryService. The service is not
+/// shut down by the server — callers that want a full drain stop the
+/// server first (no new submissions), then the service (finish accepted
+/// work).
+class QueryServer {
+ public:
+  QueryServer(service::QueryService* service, QueryServerOptions options = {});
+
+  Status Start();
+  int port() const { return http_.port(); }
+  void Shutdown() { http_.Shutdown(); }
+
+  HttpServerStats http_stats() const { return http_.stats(); }
+
+  /// Queries rejected by the rate limiter (429s).
+  std::uint64_t rate_limited() const {
+    return rate_limited_.load(std::memory_order_relaxed);
+  }
+  /// Queries shed because TrySubmit refused (503s).
+  std::uint64_t shed() const {
+    return shed_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  HttpResponse HandleQuery(const HttpRequest& request);
+  HttpResponse HandleDatasets(const HttpRequest& request);
+  HttpResponse HandleStats(const HttpRequest& request);
+  HttpResponse HandleHealthz(const HttpRequest& request);
+  std::string ServerStatsJson() const;
+
+  service::QueryService* service_;
+  QueryServerOptions options_;
+  RateLimiter limiter_;
+  HttpServer http_;
+  std::atomic<std::uint64_t> rate_limited_{0};
+  std::atomic<std::uint64_t> shed_{0};
+};
+
+/// Formats a Retry-After header value (whole seconds, >= 1).
+std::string RetryAfterValue(double seconds);
+
+}  // namespace rj::net

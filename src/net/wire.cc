@@ -1,0 +1,244 @@
+#include "net/wire.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/json.h"
+#include "query/query_spec.h"
+
+namespace rj::net {
+
+namespace {
+
+json::Value IntervalsToJson(const std::vector<ResultInterval>& intervals) {
+  json::Value arr = json::Value::Array();
+  for (const ResultInterval& iv : intervals) {
+    json::Value pair = json::Value::Array();
+    pair.Append(json::Value::Number(iv.lower));
+    pair.Append(json::Value::Number(iv.upper));
+    arr.Append(std::move(pair));
+  }
+  return arr;
+}
+
+Status SchemaError(const std::string& message) {
+  return Status::InvalidArgument("v1 query response: " + message);
+}
+
+Result<double> ReadWireDouble(const json::Value& v, const char* what) {
+  if (v.is_null()) return std::numeric_limits<double>::quiet_NaN();
+  if (!v.is_number()) return SchemaError(std::string(what) + " must be a number");
+  return v.AsNumber();
+}
+
+Result<std::vector<ResultInterval>> ParseIntervals(const json::Value& v,
+                                                   const char* what) {
+  if (!v.is_array()) return SchemaError(std::string(what) + " must be an array");
+  std::vector<ResultInterval> out;
+  out.reserve(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    const json::Value& pair = v[i];
+    if (!pair.is_array() || pair.size() != 2) {
+      return SchemaError(std::string(what) + "[" + std::to_string(i) +
+                         "] must be a [lower, upper] pair");
+    }
+    ResultInterval iv;
+    RJ_ASSIGN_OR_RETURN(iv.lower, ReadWireDouble(pair[0], what));
+    RJ_ASSIGN_OR_RETURN(iv.upper, ReadWireDouble(pair[1], what));
+    out.push_back(iv);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string QueryResponseJson(const service::ServiceResponse& response) {
+  const QueryResult& result = response.result.value();
+
+  json::Value root = json::Value::Object();
+  root.Set("v", json::Value::Number(kQuerySchemaVersion));
+
+  json::Value values = json::Value::Array();
+  for (double v : result.values) values.Append(json::Value::Number(v));
+  root.Set("values", std::move(values));
+
+  if (!result.ranges.loose.empty() || !result.ranges.expected.empty()) {
+    json::Value ranges = json::Value::Object();
+    ranges.Set("loose", IntervalsToJson(result.ranges.loose));
+    ranges.Set("expected", IntervalsToJson(result.ranges.expected));
+    root.Set("ranges", std::move(ranges));
+  }
+
+  json::Value stats = json::Value::Object();
+  stats.Set("cache_hit", json::Value::Bool(response.stats.cache_hit));
+  stats.Set("sequence",
+            json::Value::Number(static_cast<double>(response.stats.sequence)));
+  stats.Set("queue_seconds",
+            json::Value::Number(response.stats.queue_seconds));
+  stats.Set("execute_seconds",
+            json::Value::Number(response.stats.execute_seconds));
+  stats.Set("total_seconds", json::Value::Number(result.total_seconds));
+  stats.Set("granted_bytes",
+            json::Value::Number(
+                static_cast<double>(response.stats.granted_bytes)));
+  root.Set("stats", std::move(stats));
+
+  return root.Serialize();
+}
+
+std::string ErrorJson(const Status& status) {
+  // Status::ToJson already renders a complete object; splice it in rather
+  // than re-parsing it through json::Value.
+  return "{\"v\":1,\"error\":" + status.ToJson() + "}";
+}
+
+Result<DecodedQueryResponse> ParseQueryResponse(const std::string& body) {
+  RJ_ASSIGN_OR_RETURN(json::Value root, json::Parse(body));
+  if (!root.is_object()) return SchemaError("body must be an object");
+
+  DecodedQueryResponse out;
+  bool saw_version = false;
+  for (const auto& member : root.members()) {
+    const std::string& key = member.first;
+    const json::Value& value = member.second;
+    if (key == "v") {
+      if (!value.is_number() || value.AsNumber() != kQuerySchemaVersion) {
+        return SchemaError("unsupported schema version");
+      }
+      saw_version = true;
+    } else if (key == "values") {
+      if (!value.is_array()) return SchemaError("'values' must be an array");
+      out.values.reserve(value.size());
+      for (std::size_t i = 0; i < value.size(); ++i) {
+        RJ_ASSIGN_OR_RETURN(double d, ReadWireDouble(value[i], "values"));
+        out.values.push_back(d);
+      }
+    } else if (key == "ranges") {
+      if (!value.is_object()) return SchemaError("'ranges' must be an object");
+      for (const auto& rm : value.members()) {
+        if (rm.first == "loose") {
+          RJ_ASSIGN_OR_RETURN(out.ranges.loose,
+                              ParseIntervals(rm.second, "ranges.loose"));
+        } else if (rm.first == "expected") {
+          RJ_ASSIGN_OR_RETURN(out.ranges.expected,
+                              ParseIntervals(rm.second, "ranges.expected"));
+        } else {
+          return SchemaError("unknown field 'ranges." + rm.first + "'");
+        }
+      }
+    } else if (key == "stats") {
+      if (!value.is_object()) return SchemaError("'stats' must be an object");
+      for (const auto& sm : value.members()) {
+        const json::Value& sv = sm.second;
+        if (sm.first == "cache_hit") {
+          if (!sv.is_bool()) return SchemaError("'stats.cache_hit' must be a bool");
+          out.cache_hit = sv.AsBool();
+        } else if (sm.first == "sequence") {
+          if (!sv.is_number()) return SchemaError("'stats.sequence' must be a number");
+          out.sequence = static_cast<std::uint64_t>(sv.AsNumber());
+        } else if (sm.first == "queue_seconds") {
+          RJ_ASSIGN_OR_RETURN(out.queue_seconds,
+                              ReadWireDouble(sv, "stats.queue_seconds"));
+        } else if (sm.first == "execute_seconds") {
+          RJ_ASSIGN_OR_RETURN(out.execute_seconds,
+                              ReadWireDouble(sv, "stats.execute_seconds"));
+        } else if (sm.first == "total_seconds") {
+          RJ_ASSIGN_OR_RETURN(out.total_seconds,
+                              ReadWireDouble(sv, "stats.total_seconds"));
+        } else if (sm.first == "granted_bytes") {
+          if (!sv.is_number()) return SchemaError("'stats.granted_bytes' must be a number");
+          out.granted_bytes = static_cast<std::uint64_t>(sv.AsNumber());
+        } else {
+          return SchemaError("unknown field 'stats." + sm.first + "'");
+        }
+      }
+    } else {
+      return SchemaError("unknown field '" + key + "'");
+    }
+  }
+  if (!saw_version) return SchemaError("missing field 'v'");
+  return out;
+}
+
+std::string DatasetsJson(const std::vector<service::DatasetInfo>& datasets) {
+  json::Value root = json::Value::Object();
+  root.Set("v", json::Value::Number(kQuerySchemaVersion));
+  json::Value arr = json::Value::Array();
+  for (const service::DatasetInfo& d : datasets) {
+    json::Value e = json::Value::Object();
+    e.Set("id", json::Value::Number(static_cast<double>(d.id)));
+    e.Set("name", json::Value::Str(d.name));
+    e.Set("sharded", json::Value::Bool(d.sharded));
+    e.Set("shards", json::Value::Number(static_cast<double>(d.num_shards)));
+    e.Set("points", json::Value::Number(static_cast<double>(d.num_points)));
+    e.Set("polygons",
+          json::Value::Number(static_cast<double>(d.num_polygons)));
+    e.Set("attribute_columns",
+          json::Value::Number(static_cast<double>(d.num_attribute_columns)));
+    e.Set("version", json::Value::Number(static_cast<double>(d.version)));
+    arr.Append(std::move(e));
+  }
+  root.Set("datasets", std::move(arr));
+  return root.Serialize();
+}
+
+std::string StatsJson(const service::ServiceStats& stats,
+                      const std::string& server_json) {
+  json::Value service = json::Value::Object();
+  service.Set("submitted",
+              json::Value::Number(static_cast<double>(stats.submitted)));
+  service.Set("rejected",
+              json::Value::Number(static_cast<double>(stats.rejected)));
+  service.Set("completed",
+              json::Value::Number(static_cast<double>(stats.completed)));
+  service.Set("failed",
+              json::Value::Number(static_cast<double>(stats.failed)));
+  service.Set("queue_depth",
+              json::Value::Number(static_cast<double>(stats.queue_depth)));
+  service.Set("running",
+              json::Value::Number(static_cast<double>(stats.running)));
+
+  json::Value devices = json::Value::Array();
+  for (const gpu::DeviceUtilization& d : stats.devices) {
+    json::Value e = json::Value::Object();
+    e.Set("budget_bytes",
+          json::Value::Number(static_cast<double>(d.budget_bytes)));
+    e.Set("allocated_bytes",
+          json::Value::Number(static_cast<double>(d.allocated_bytes)));
+    e.Set("reserved_bytes",
+          json::Value::Number(static_cast<double>(d.reserved_bytes)));
+    e.Set("peak_reserved_bytes",
+          json::Value::Number(static_cast<double>(d.peak_reserved_bytes)));
+    devices.Append(std::move(e));
+  }
+  service.Set("devices", std::move(devices));
+
+  json::Value cache = json::Value::Object();
+  cache.Set("hits", json::Value::Number(static_cast<double>(stats.cache.hits)));
+  cache.Set("misses",
+            json::Value::Number(static_cast<double>(stats.cache.misses)));
+  cache.Set("inserts",
+            json::Value::Number(static_cast<double>(stats.cache.inserts)));
+  cache.Set("evictions",
+            json::Value::Number(static_cast<double>(stats.cache.evictions)));
+  cache.Set("shared_flights",
+            json::Value::Number(
+                static_cast<double>(stats.cache.shared_flights)));
+  cache.Set("entries",
+            json::Value::Number(static_cast<double>(stats.cache.entries)));
+  cache.Set("bytes_used",
+            json::Value::Number(static_cast<double>(stats.cache.bytes_used)));
+  service.Set("cache", std::move(cache));
+
+  json::Value root = json::Value::Object();
+  root.Set("v", json::Value::Number(kQuerySchemaVersion));
+  root.Set("service", std::move(service));
+  std::string body = root.Serialize();
+  // Graft the pre-rendered server object in before the closing brace so
+  // the front end's counters don't need a json::Value round-trip.
+  body.pop_back();
+  body += ",\"server\":" + server_json + "}";
+  return body;
+}
+
+}  // namespace rj::net

@@ -1,0 +1,57 @@
+/// \file wire.h
+/// \brief v1 response bodies for the HTTP front end (docs/API.md).
+///
+/// The request side of the wire lives with the query layer
+/// (query/query_spec.h: SpecToJson / ParseQueryRequest) because the spec
+/// schema is shared by the CLI and C++ embedders too. This file owns the
+/// response envelopes, which only network clients see:
+///
+///   success: {"v":1, "values":[...], "ranges":{...}?, "stats":{...}}
+///   error:   {"v":1, "error":{"code":...,"name":...,"retryable":...,
+///             "http":...,"message":...}}
+///
+/// Doubles are serialized with %.17g (see common/json.cc), so a value
+/// decoded from the wire is bitwise identical to the double the executor
+/// produced; NaN (empty AVG/MIN/MAX groups) crosses as JSON null.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "agg/result_range.h"
+#include "common/status.h"
+#include "service/query_service.h"
+
+namespace rj::net {
+
+/// Client-side view of a decoded success body.
+struct DecodedQueryResponse {
+  std::vector<double> values;
+  ResultRanges ranges;  ///< empty unless the spec asked for ranges
+  bool cache_hit = false;
+  std::uint64_t sequence = 0;
+  double queue_seconds = 0.0;
+  double execute_seconds = 0.0;
+  double total_seconds = 0.0;
+  std::uint64_t granted_bytes = 0;
+};
+
+/// Success body for a completed query (response.result must be OK).
+std::string QueryResponseJson(const service::ServiceResponse& response);
+
+/// Error body wrapping Status::ToJson().
+std::string ErrorJson(const Status& status);
+
+/// Decodes a success body (strict: unknown fields rejected).
+Result<DecodedQueryResponse> ParseQueryResponse(const std::string& body);
+
+/// Body for GET /v1/datasets.
+std::string DatasetsJson(const std::vector<service::DatasetInfo>& datasets);
+
+/// Body for GET /v1/stats. `server` carries front-end counters rendered
+/// under "server" (pass "{}" when serving stats without an HTTP server).
+std::string StatsJson(const service::ServiceStats& stats,
+                      const std::string& server_json);
+
+}  // namespace rj::net

@@ -268,8 +268,16 @@ Result<Executor::QuerySetup> Executor::PrepareQuery(
   return setup;
 }
 
+Result<QueryResult> Executor::Execute(const QuerySpec& spec,
+                                      const ExecPolicy& policy) {
+  RJ_RETURN_NOT_OK(ValidateSpecColumns(spec, num_attribute_columns()));
+  return Execute(spec.ToQuery(policy));
+}
+
 Result<QueryResult> Executor::Execute(const SpatialAggQuery& query) {
-  if (result_cache_ == nullptr) return ExecuteUncached(query);
+  if (result_cache_ == nullptr || query.bypass_result_cache) {
+    return ExecuteUncached(query);
+  }
 
   // Cached path: key on semantics only (execution knobs excluded — results
   // are bitwise identical across them), single-flight on misses.

@@ -38,6 +38,7 @@
 #include "join/join_common.h"
 #include "query/optimizer.h"
 #include "query/query.h"
+#include "query/query_spec.h"
 #include "query/result.h"
 #include "raster/fbo.h"
 #include "triangulate/triangulation.h"
@@ -107,6 +108,12 @@ class Executor {
   /// and cache_hit set; the semantic payload is bitwise identical.
   Result<QueryResult> Execute(const SpatialAggQuery& query);
 
+  /// Public-API form: validates the spec's column references against this
+  /// dataset, converts, and executes. Prefer this (with QuerySpecBuilder)
+  /// over poking SpatialAggQuery fields.
+  Result<QueryResult> Execute(const QuerySpec& spec,
+                              const ExecPolicy& policy = {});
+
   /// Execute without consulting the result cache (always runs the join).
   /// The uncached baseline for tests/benches, and the compute path a
   /// caching layer that does its own key lookup (QueryService) wraps.
@@ -142,6 +149,12 @@ class Executor {
   /// The full point table (null for a sharded executor — rows live only in
   /// the shards).
   const PointTable* points() const { return points_; }
+  /// Attribute columns of the dataset (uniform across shards), the bound
+  /// submit-time validation checks filter/aggregate columns against.
+  std::size_t num_attribute_columns() const {
+    return sharded() ? shards_->shard(0).num_attributes()
+                     : points_->num_attributes();
+  }
   const PolygonSet* polys() const { return polys_; }
   /// Single-device: the device. Sharded: the pool's primary device (hosts
   /// gather-phase work such as the result-range recomputation).

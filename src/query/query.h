@@ -28,6 +28,14 @@ enum class JoinVariant {
 std::string JoinVariantName(JoinVariant variant);
 
 /// A spatial aggregation query over a PointTable and PolygonSet.
+///
+/// This is the *internal* execution struct: it mixes semantic fields with
+/// execution-only knobs, which is exactly what the public API no longer
+/// exposes. New code should build a QuerySpec + ExecPolicy
+/// (query/query_spec.h) — the validating QuerySpecBuilder, the JSON wire
+/// schema, and the Executor/QueryService overloads all work in those
+/// terms; direct field-poking here is deprecated outside the execution
+/// layers.
 struct SpatialAggQuery {
   AggregateKind aggregate = AggregateKind::kCount;
   /// Attribute to aggregate (ignored for COUNT).
@@ -57,6 +65,11 @@ struct SpatialAggQuery {
   /// transfer→draw timing for paper-shape breakdowns; results are bitwise
   /// identical either way.
   bool overlap_transfers = true;
+  /// Skip the result cache for this execution: no lookup, no store, no
+  /// single-flight share — a fresh, admission-controlled run (ExecPolicy::
+  /// use_result_cache = false). Execution-only: results are identical
+  /// either way, so it is excluded from semantic equality below.
+  bool bypass_result_cache = false;
 
   /// The column the aggregate actually reads: COUNT ignores
   /// aggregate_column, so its semantic identity canonicalizes to npos —
@@ -71,7 +84,8 @@ struct SpatialAggQuery {
 /// identical results — aggregate (with COUNT's column canonicalized away),
 /// order-insensitive filters, variant, epsilon, canvas dim, and the ranges
 /// flag. Execution-only knobs are deliberately excluded
-/// (`device_memory_cap_bytes`, `cpu_threads`, `overlap_transfers`): the
+/// (`device_memory_cap_bytes`, `cpu_threads`, `overlap_transfers`,
+/// `bypass_result_cache`): the
 /// determinism suites prove results are identical across them, and the
 /// result cache keys on this equality — including the knobs would split
 /// identical traffic across cache entries and mask every hit.

@@ -43,20 +43,30 @@ QueryService::QueryService(std::unique_ptr<gpu::DevicePool> owned,
   }
 }
 
-QueryService::~QueryService() {
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    stop_ = true;
-    for (DispatcherSlot& slot : slots_) {
-      slot.wake = true;
-      slot.cv.notify_one();
+QueryService::~QueryService() { Shutdown(); }
+
+void QueryService::Shutdown() {
+  // One implementation for the destructor drain and the graceful-drain
+  // path, so the two can never diverge: mark the cut under mutex_ (every
+  // later Enqueue observes stop_ and fails with a retryable CapacityError),
+  // wake everything, then join the dispatchers — they drain every query
+  // accepted before the cut, so every accepted promise is fulfilled and no
+  // query can run after this returns (the destructor tears executors down
+  // only afterwards). call_once makes concurrent/repeat callers block
+  // until the first drain completes instead of double-joining.
+  std::call_once(shutdown_once_, [this] {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+      for (DispatcherSlot& slot : slots_) {
+        slot.wake = true;
+        slot.cv.notify_one();
+      }
     }
-  }
-  cv_space_.notify_all();  // release any blocked submitters (caller error,
-                           // but fail their queries instead of hanging)
-  // Dispatchers drain the remaining queue before exiting, so every
-  // accepted promise is fulfilled.
-  for (std::thread& t : dispatchers_) t.join();
+    cv_space_.notify_all();  // release blocked submitters (their queries
+                             // fail with the shutdown error, never hang)
+    for (std::thread& t : dispatchers_) t.join();
+  });
 }
 
 namespace {
@@ -79,7 +89,8 @@ std::size_t FindDatasetLocked(
 }  // namespace
 
 std::size_t QueryService::RegisterDataset(const PointTable* points,
-                                          const PolygonSet* polys) {
+                                          const PolygonSet* polys,
+                                          std::string name) {
   // Re-registration: same backing tables ⇒ same dataset id, but the
   // caller is announcing a change — bump the version so cached results
   // for the previous contents stop matching. The executor is constructed
@@ -92,24 +103,64 @@ std::size_t QueryService::RegisterDataset(const PointTable* points,
       FindDatasetLocked(executors_, points, nullptr, polys);
   if (existing != static_cast<std::size_t>(-1)) {
     executors_[existing]->BumpDatasetVersion();
+    if (!name.empty()) dataset_names_[existing] = std::move(name);
     return existing;
   }
   executors_.push_back(std::move(executor));
-  return executors_.size() - 1;
+  const std::size_t id = executors_.size() - 1;
+  dataset_names_.push_back(name.empty() ? "dataset-" + std::to_string(id)
+                                        : std::move(name));
+  return id;
 }
 
 std::size_t QueryService::RegisterShardedDataset(
-    const data::ShardedTable* shards, const PolygonSet* polys) {
+    const data::ShardedTable* shards, const PolygonSet* polys,
+    std::string name) {
   auto executor = std::make_unique<Executor>(pool_, shards, polys);
   std::lock_guard<std::mutex> lock(mutex_);
   const std::size_t existing =
       FindDatasetLocked(executors_, nullptr, shards, polys);
   if (existing != static_cast<std::size_t>(-1)) {
     executors_[existing]->BumpDatasetVersion();
+    if (!name.empty()) dataset_names_[existing] = std::move(name);
     return existing;
   }
   executors_.push_back(std::move(executor));
-  return executors_.size() - 1;
+  const std::size_t id = executors_.size() - 1;
+  dataset_names_.push_back(name.empty() ? "dataset-" + std::to_string(id)
+                                        : std::move(name));
+  return id;
+}
+
+Result<std::size_t> QueryService::ResolveDataset(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Latest registration wins when a name was reused (shadowing).
+  for (std::size_t i = dataset_names_.size(); i-- > 0;) {
+    if (dataset_names_[i] == name) return i;
+  }
+  return Status::NotFound("unknown dataset '" + name + "'");
+}
+
+std::vector<DatasetInfo> QueryService::ListDatasets() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<DatasetInfo> out;
+  out.reserve(executors_.size());
+  for (std::size_t id = 0; id < executors_.size(); ++id) {
+    const Executor& e = *executors_[id];
+    DatasetInfo info;
+    info.id = id;
+    info.name = dataset_names_[id];
+    info.sharded = e.sharded();
+    info.num_shards = e.num_shards();
+    info.num_points =
+        e.sharded() ? e.shards()->total_points() : e.points()->size();
+    info.num_polygons = e.polys()->size();
+    info.num_attribute_columns = e.num_attribute_columns();
+    info.version = e.dataset_version();
+    out.push_back(std::move(info));
+  }
+  return out;
 }
 
 void QueryService::InvalidateDataset(std::size_t dataset_id) {
@@ -139,6 +190,19 @@ Result<std::future<ServiceResponse>> QueryService::TrySubmit(
   return future;
 }
 
+std::future<ServiceResponse> QueryService::Submit(std::size_t dataset_id,
+                                                  const QuerySpec& spec,
+                                                  const ExecPolicy& policy,
+                                                  SubmitOptions options) {
+  return Submit(dataset_id, spec.ToQuery(policy), options);
+}
+
+Result<std::future<ServiceResponse>> QueryService::TrySubmit(
+    std::size_t dataset_id, const QuerySpec& spec, const ExecPolicy& policy,
+    SubmitOptions options) {
+  return TrySubmit(dataset_id, spec.ToQuery(policy), options);
+}
+
 std::future<ServiceResponse> QueryService::Enqueue(
     std::size_t dataset_id, const SpatialAggQuery& query,
     SubmitOptions options, bool blocking, Status* reject_status) {
@@ -154,8 +218,14 @@ std::future<ServiceResponse> QueryService::Enqueue(
   {
     std::unique_lock<std::mutex> lock(mutex_);
     if (dataset_id >= executors_.size()) {
-      invalid = Status::InvalidArgument(
-          "unknown dataset id " + std::to_string(dataset_id));
+      invalid = Status::NotFound("unknown dataset id " +
+                                 std::to_string(dataset_id));
+    } else if (Status columns = ValidateQueryColumns(
+                   query, executors_[dataset_id]->num_attribute_columns());
+               !columns.ok()) {
+      // Submit-time validation: bad column references are a structured
+      // per-query error, resolved through the future before admission.
+      invalid = std::move(columns);
     } else if (stop_) {
       invalid = Status::CapacityError("query service is shutting down");
     } else if (!blocking &&
@@ -235,7 +305,7 @@ void QueryService::RunQuery(Pending pending) {
   Executor* executor = dataset_executor(pending.dataset);
   // Registration precedes submission validation, so this cannot be null.
 
-  if (cache_ != nullptr) {
+  if (cache_ != nullptr && !pending.query.bypass_result_cache) {
     // Cached path. The key is the query's semantic identity (dataset id +
     // version, aggregate/filters/variant/ε/canvas/ranges — execution knobs
     // excluded); a hit — fast lookup or single-flight share of a running

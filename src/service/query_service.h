@@ -48,6 +48,7 @@
 #include "gpu/device_pool.h"
 #include "query/executor.h"
 #include "query/query.h"
+#include "query/query_spec.h"
 #include "query/result.h"
 #include "query/result_cache.h"
 
@@ -124,10 +125,25 @@ struct QueryStats {
   bool cache_hit = false;
 };
 
-/// What a submitted query's future resolves to.
+/// What a submitted query's future resolves to. `result.status()` carries
+/// the stable error-code contract (StatusCode values, IsRetryable,
+/// HttpStatusFor, ToJson) shared with the HTTP front end, so C++ clients
+/// and network clients classify failures identically.
 struct ServiceResponse {
   Result<QueryResult> result;
   QueryStats stats;
+};
+
+/// Metadata for one registered dataset (GET /v1/datasets).
+struct DatasetInfo {
+  std::size_t id = 0;
+  std::string name;
+  bool sharded = false;
+  std::size_t num_shards = 1;
+  std::size_t num_points = 0;
+  std::size_t num_polygons = 0;
+  std::size_t num_attribute_columns = 0;
+  std::uint64_t version = 0;
 };
 
 /// Service-level accounting snapshot (all monotonic except depth/running
@@ -161,8 +177,8 @@ class QueryService {
   /// across the pool). `pool` must outlive the service.
   explicit QueryService(gpu::DevicePool* pool, ServiceOptions options = {});
 
-  /// Drains every accepted query, then stops the dispatchers. Submitting
-  /// concurrently with destruction is a caller error.
+  /// Equivalent to Shutdown(): drains every accepted query, then stops the
+  /// dispatchers.
   ~QueryService();
 
   QueryService(const QueryService&) = delete;
@@ -175,15 +191,28 @@ class QueryService {
   /// returns the existing id and bumps its dataset version (the caller is
   /// telling us the data changed — cached results for the old version
   /// stop matching).
+  /// `name` is the dataset's wire identity (QuerySpec::dataset, the HTTP
+  /// /v1/datasets listing); empty defaults to "dataset-<id>". Registering a
+  /// *different* table pair under an existing name shadows it: ResolveDataset
+  /// returns the latest registration.
   std::size_t RegisterDataset(const PointTable* points,
-                              const PolygonSet* polys);
+                              const PolygonSet* polys,
+                              std::string name = "");
 
   /// Registers a sharded dataset: queries scatter across the pool (shard
   /// s on device s mod pool size) and gather through agg::MergePartials.
   /// `shards` and `polys` must outlive the service. Re-registration bumps
   /// the dataset version, like RegisterDataset.
   std::size_t RegisterShardedDataset(const data::ShardedTable* shards,
-                                     const PolygonSet* polys);
+                                     const PolygonSet* polys,
+                                     std::string name = "");
+
+  /// Dataset id for a registered name (latest registration wins when a
+  /// name was reused); NotFound otherwise.
+  Result<std::size_t> ResolveDataset(const std::string& name) const;
+
+  /// Snapshot of every registered dataset, in id order.
+  std::vector<DatasetInfo> ListDatasets() const;
 
   /// Bumps `dataset_id`'s version: cached results stop matching and the
   /// next query of each shape re-executes. For out-of-band mutations the
@@ -208,8 +237,31 @@ class QueryService {
                                                  const SpatialAggQuery& query,
                                                  SubmitOptions options = {});
 
+  /// Public-API submission: the semantic spec plus an execution policy.
+  /// Column references are validated against the dataset at submit; bad
+  /// specs resolve the future with InvalidArgument without reaching
+  /// admission. The spec's `dataset` name is not consulted — `dataset_id`
+  /// (from RegisterDataset/ResolveDataset) is authoritative.
+  std::future<ServiceResponse> Submit(std::size_t dataset_id,
+                                      const QuerySpec& spec,
+                                      const ExecPolicy& policy = {},
+                                      SubmitOptions options = {});
+  Result<std::future<ServiceResponse>> TrySubmit(std::size_t dataset_id,
+                                                 const QuerySpec& spec,
+                                                 const ExecPolicy& policy = {},
+                                                 SubmitOptions options = {});
+
   /// Blocks until every accepted query has completed.
   void Drain();
+
+  /// Graceful drain: stop accepting (Submit/TrySubmit fail with a
+  /// retryable CapacityError from this point on), finish every query
+  /// accepted before the cut, then stop the dispatchers. Idempotent and
+  /// safe to race with concurrent submissions: a submission either lands
+  /// before the cut (its future resolves normally) or observes the
+  /// shutdown error — it can never run against torn-down state. The
+  /// destructor runs the same implementation.
+  void Shutdown();
 
   ServiceStats stats() const;
   /// The pool's primary device (back-compat accessor).
@@ -296,6 +348,11 @@ class QueryService {
   std::vector<std::size_t> idle_;
 
   std::vector<std::unique_ptr<Executor>> executors_;
+  /// Wire names, parallel to executors_ (id = index).
+  std::vector<std::string> dataset_names_;
+  /// Shutdown() body runs exactly once (destructor re-entry, concurrent
+  /// callers); later callers block until the first finishes the join.
+  std::once_flag shutdown_once_;
   std::deque<Pending> fifo_;
   std::deque<Pending> priority_;
   bool stop_ = false;

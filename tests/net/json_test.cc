@@ -1,0 +1,154 @@
+/// \file json_test.cc
+/// \brief Strictness and round-trip tests for the dependency-free JSON
+/// layer the v1 wire schema rides on (common/json.h).
+#include "common/json.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "common/rng.h"
+
+namespace rj::json {
+namespace {
+
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(Parse("null").value().is_null());
+  EXPECT_TRUE(Parse("true").value().AsBool());
+  EXPECT_FALSE(Parse("false").value().AsBool());
+  EXPECT_EQ(Parse("42").value().AsNumber(), 42.0);
+  EXPECT_EQ(Parse("-1.5e3").value().AsNumber(), -1500.0);
+  EXPECT_EQ(Parse("\"hi\"").value().AsString(), "hi");
+}
+
+TEST(JsonParse, NestedStructure) {
+  Result<Value> r = Parse(R"({"a":[1,2,{"b":null}],"c":{"d":true}})");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const Value& v = r.value();
+  ASSERT_TRUE(v.is_object());
+  const Value* a = v.Find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_array());
+  ASSERT_EQ(a->size(), 3u);
+  EXPECT_EQ((*a)[1].AsNumber(), 2.0);
+  EXPECT_TRUE((*a)[2].Find("b")->is_null());
+  EXPECT_TRUE(v.Find("c")->Find("d")->AsBool());
+}
+
+TEST(JsonParse, StringEscapes) {
+  Result<Value> r = Parse(R"("a\"b\\c\/d\n\tAé")");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().AsString(), "a\"b\\c/d\n\tA\xc3\xa9");
+}
+
+TEST(JsonParse, SurrogatePairs) {
+  // U+1F600 as a surrogate pair.
+  Result<Value> r = Parse(R"("😀")");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().AsString(), "\xf0\x9f\x98\x80");
+  // A lone high surrogate is malformed.
+  EXPECT_FALSE(Parse(R"("\ud83d")").ok());
+}
+
+TEST(JsonParse, RejectsMalformedInput) {
+  EXPECT_FALSE(Parse("").ok());
+  EXPECT_FALSE(Parse("{").ok());
+  EXPECT_FALSE(Parse("[1,]").ok());
+  EXPECT_FALSE(Parse("{\"a\":1,}").ok());
+  EXPECT_FALSE(Parse("{'a':1}").ok());
+  EXPECT_FALSE(Parse("01").ok());
+  EXPECT_FALSE(Parse("nul").ok());
+  EXPECT_FALSE(Parse("\"unterminated").ok());
+  // Trailing garbage after a complete document.
+  EXPECT_FALSE(Parse("{} x").ok());
+  EXPECT_FALSE(Parse("1 2").ok());
+}
+
+TEST(JsonParse, RejectsDuplicateKeys) {
+  Result<Value> r = Parse(R"({"a":1,"a":2})");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(JsonParse, RejectsExcessiveNesting) {
+  std::string deep;
+  for (int i = 0; i < 100; ++i) deep += '[';
+  for (int i = 0; i < 100; ++i) deep += ']';
+  EXPECT_FALSE(Parse(deep).ok());
+  // 32 levels is fine.
+  std::string ok;
+  for (int i = 0; i < 32; ++i) ok += '[';
+  for (int i = 0; i < 32; ++i) ok += ']';
+  EXPECT_TRUE(Parse(ok).ok());
+}
+
+TEST(JsonSerialize, ObjectsPreserveInsertionOrder) {
+  Value v = Value::Object();
+  v.Set("z", Value::Number(1));
+  v.Set("a", Value::Number(2));
+  v.Set("m", Value::Str("x"));
+  EXPECT_EQ(v.Serialize(), R"({"z":1,"a":2,"m":"x"})");
+}
+
+TEST(JsonSerialize, EscapesControlCharacters) {
+  Value v = Value::Str(std::string("a\"b\\c\n\x01") + "d");
+  EXPECT_EQ(v.Serialize(), "\"a\\\"b\\\\c\\n\\u0001d\"");
+}
+
+TEST(JsonSerialize, NonFiniteNumbersBecomeNull) {
+  EXPECT_EQ(Value::Number(std::numeric_limits<double>::quiet_NaN()).Serialize(),
+            "null");
+  EXPECT_EQ(Value::Number(std::numeric_limits<double>::infinity()).Serialize(),
+            "null");
+}
+
+// The wire contract the loopback e2e test relies on: any finite double the
+// executor produces crosses the wire bit-exactly.
+TEST(JsonRoundTrip, DoublesAreBitExact) {
+  Rng rng(20260808);
+  for (int i = 0; i < 1000; ++i) {
+    double d;
+    if (i % 3 == 0) {
+      d = rng.Uniform(-1e18, 1e18);
+    } else if (i % 3 == 1) {
+      d = rng.Uniform(-1.0, 1.0) * 1e-300;
+    } else {
+      d = static_cast<double>(rng.UniformInt(1u << 30));
+    }
+    Result<Value> back = Parse(Value::Number(d).Serialize());
+    ASSERT_TRUE(back.ok()) << back.status().ToString();
+    EXPECT_EQ(back.value().AsNumber(), d) << "iteration " << i;
+  }
+  // Denormal min, max, and signed zero.
+  for (double d : {std::numeric_limits<double>::denorm_min(),
+                   std::numeric_limits<double>::max(),
+                   std::numeric_limits<double>::lowest(), -0.0, 0.0}) {
+    Result<Value> back = Parse(Value::Number(d).Serialize());
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back.value().AsNumber(), d);
+    EXPECT_EQ(std::signbit(back.value().AsNumber()), std::signbit(d));
+  }
+}
+
+TEST(JsonRoundTrip, DocumentsSurviveReserialization) {
+  const std::string doc =
+      R"({"v":1,"query":{"dataset":"taxi","aggregate":"sum","column":2,)"
+      R"("filters":[{"column":4,"op":"lt","value":12.5}],)"
+      R"("variant":"bounded","epsilon":20,"with_result_ranges":true}})";
+  Result<Value> first = Parse(doc);
+  ASSERT_TRUE(first.ok());
+  const std::string once = first.value().Serialize();
+  Result<Value> second = Parse(once);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second.value().Serialize(), once);
+}
+
+TEST(JsonEscape, MatchesSerializer) {
+  const std::string raw = "quote\" slash\\ newline\n";
+  EXPECT_EQ("\"" + Escape(raw) + "\"", Value::Str(raw).Serialize());
+}
+
+}  // namespace
+}  // namespace rj::json

@@ -1,0 +1,96 @@
+/// \file rate_limiter_test.cc
+/// \brief Token-bucket behavior under an injected clock (no sleeping).
+#include "net/rate_limiter.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace rj::net {
+namespace {
+
+RateLimiter::Options Opts(double rate, double burst,
+                          std::size_t max_clients = 4096) {
+  RateLimiter::Options o;
+  o.rate_per_sec = rate;
+  o.burst = burst;
+  o.max_clients = max_clients;
+  return o;
+}
+
+TEST(RateLimiter, BurstThenReject) {
+  RateLimiter limiter(Opts(1.0, 3.0));
+  double t = 100.0;
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(limiter.Admit("a", t).allowed) << "burst token " << i;
+  }
+  RateLimiter::Decision d = limiter.Admit("a", t);
+  EXPECT_FALSE(d.allowed);
+  // One token refills in one second at rate 1.
+  EXPECT_GT(d.retry_after_seconds, 0.0);
+  EXPECT_LE(d.retry_after_seconds, 1.0);
+}
+
+TEST(RateLimiter, TokensRefillOverTime) {
+  RateLimiter limiter(Opts(2.0, 2.0));  // 2 tokens/sec, bucket of 2
+  double t = 0.0;
+  EXPECT_TRUE(limiter.Admit("a", t).allowed);
+  EXPECT_TRUE(limiter.Admit("a", t).allowed);
+  EXPECT_FALSE(limiter.Admit("a", t).allowed);
+  // Half a second refills one token.
+  t += 0.5;
+  EXPECT_TRUE(limiter.Admit("a", t).allowed);
+  EXPECT_FALSE(limiter.Admit("a", t).allowed);
+  // The bucket never exceeds its burst even after a long idle.
+  t += 1000.0;
+  EXPECT_TRUE(limiter.Admit("a", t).allowed);
+  EXPECT_TRUE(limiter.Admit("a", t).allowed);
+  EXPECT_FALSE(limiter.Admit("a", t).allowed);
+}
+
+TEST(RateLimiter, ClientsAreIndependent) {
+  RateLimiter limiter(Opts(1.0, 1.0));
+  double t = 0.0;
+  EXPECT_TRUE(limiter.Admit("alice", t).allowed);
+  EXPECT_FALSE(limiter.Admit("alice", t).allowed);
+  // Bob still has his own full bucket.
+  EXPECT_TRUE(limiter.Admit("bob", t).allowed);
+  EXPECT_FALSE(limiter.Admit("bob", t).allowed);
+  EXPECT_EQ(limiter.num_clients(), 2u);
+}
+
+TEST(RateLimiter, DisabledWhenRateIsZero) {
+  RateLimiter limiter(Opts(0.0, 1.0));
+  EXPECT_FALSE(limiter.enabled());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(limiter.Admit("a", 0.0).allowed);
+  }
+}
+
+TEST(RateLimiter, RetryAfterShrinksAsTimePasses) {
+  RateLimiter limiter(Opts(0.5, 1.0));  // one token every 2 seconds
+  double t = 0.0;
+  EXPECT_TRUE(limiter.Admit("a", t).allowed);
+  double first = limiter.Admit("a", t).retry_after_seconds;
+  double later = limiter.Admit("a", t + 1.0).retry_after_seconds;
+  EXPECT_GT(first, later);
+  EXPECT_GT(later, 0.0);
+}
+
+TEST(RateLimiter, IdleBucketsAreSweptAtCapacity) {
+  RateLimiter limiter(Opts(10.0, 2.0, /*max_clients=*/8));
+  double t = 0.0;
+  // Fill the table with one-shot clients.
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_TRUE(limiter.Admit("client-" + std::to_string(i), t).allowed);
+  }
+  EXPECT_EQ(limiter.num_clients(), 8u);
+  // Much later every bucket has fully refilled; a new client triggers the
+  // sweep instead of growing the table without bound.
+  t += 60.0;
+  EXPECT_TRUE(limiter.Admit("fresh", t).allowed);
+  EXPECT_LE(limiter.num_clients(), 8u);
+}
+
+}  // namespace
+}  // namespace rj::net

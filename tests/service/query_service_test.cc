@@ -359,7 +359,8 @@ TEST(QueryServiceTest, UnknownDatasetResolvesFutureWithError) {
   SpatialAggQuery query;
   ServiceResponse response = service.Submit(42, query).get();
   ASSERT_FALSE(response.result.ok());
-  EXPECT_EQ(response.result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(response.result.status().code(), StatusCode::kNotFound);
+  EXPECT_FALSE(response.result.status().retryable());
 }
 
 TEST(QueryServiceTest, DestructorDrainsAcceptedQueries) {
