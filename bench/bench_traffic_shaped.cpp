@@ -240,6 +240,7 @@ int main(int argc, char** argv) {
   double capacity_qps = 0.0;
   {
     net::HttpClient probe("127.0.0.1", port);
+    probe.set_replay_safe_posts(true);  // /v1/query is read-only
     Rng rng(1);
     std::size_t done = 0;
     const Clock::time_point t0 = Clock::now();
@@ -306,6 +307,7 @@ int main(int argc, char** argv) {
       workers.emplace_back([&] {
         net::HttpClient client("127.0.0.1", port,
                                /*response_timeout_seconds=*/30.0);
+        client.set_replay_safe_posts(true);  // /v1/query is read-only
         for (;;) {
           const std::size_t i = next.fetch_add(1);
           if (i >= arrival.size()) return;

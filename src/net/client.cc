@@ -126,9 +126,15 @@ Result<HttpClientResponse> HttpClient::Request(
 
   const bool had_connection = fd_ >= 0;
   Result<HttpClientResponse> response = RoundTrip(request);
-  if (!response.ok() && had_connection) {
-    // The reused keep-alive connection may have been closed by the server
-    // (drain, idle timeout) between requests; retry once on a fresh one.
+  // The reused keep-alive connection may have been closed by the server
+  // (drain, idle timeout) between requests; retry once on a fresh one.
+  // Gated twice: (a) zero response bytes arrived — a drop *after* first
+  // byte means the server may have executed the request, and replaying it
+  // would double-submit; (b) the request is replayable — GET, or a POST
+  // the caller declared side-effect-free (set_replay_safe_posts).
+  const bool replayable = method == "GET" || replay_safe_posts_;
+  if (!response.ok() && had_connection && !response_bytes_received_ &&
+      replayable) {
     Close();
     response = RoundTrip(request);
   }
@@ -141,6 +147,10 @@ Result<HttpClientResponse> HttpClient::RoundTrip(const std::string& wire) {
     RJ_ASSIGN_OR_RETURN(fd_, ConnectTcp(address_, port_));
     carry_.clear();
   }
+  // Leftover bytes from the previous response count as received: they are
+  // this connection's response stream, so a failure past this point is
+  // never a clean "nothing happened" and must not be replayed.
+  response_bytes_received_ = !carry_.empty();
   RJ_RETURN_NOT_OK(WriteAll(fd_, wire));
   Result<HttpClientResponse> response = ReadResponse();
   if (response.ok()) {
@@ -191,6 +201,7 @@ Result<HttpClientResponse> HttpClient::ReadResponse() {
 
     ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
     if (n > 0) {
+      response_bytes_received_ = true;
       buf.append(chunk, static_cast<std::size_t>(n));
       continue;
     }

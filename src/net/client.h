@@ -43,6 +43,16 @@ class HttpClient {
       const std::string& path, const std::string& body,
       const std::vector<std::pair<std::string, std::string>>& headers = {});
 
+  /// Declares this client's POSTs safe to replay, enabling the stale
+  /// keep-alive reconnect-and-retry for them. POSTs are NOT retried by
+  /// default: a retry after the server already received the request
+  /// executes it twice, and the client cannot know the request is
+  /// side-effect-free. POST /v1/query is read-only, so query workloads
+  /// opt in. Retries (GET or opted-in POST) only ever happen when zero
+  /// response bytes arrived — a failure after first byte surfaces as an
+  /// error instead of a blind replay.
+  void set_replay_safe_posts(bool value) { replay_safe_posts_ = value; }
+
   /// Drops the connection (next request reconnects).
   void Close();
 
@@ -57,8 +67,12 @@ class HttpClient {
   std::string address_;
   int port_;
   double response_timeout_seconds_;
+  bool replay_safe_posts_ = false;
   int fd_ = -1;
   std::string carry_;  ///< bytes past the previous response
+  /// Whether any bytes of the current attempt's response arrived (the
+  /// replay gate: a mid-response drop is never silently retried).
+  bool response_bytes_received_ = false;
 };
 
 }  // namespace rj::net

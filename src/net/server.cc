@@ -132,7 +132,8 @@ void HttpServer::AcceptLoop() {
     if (shed) {
       HttpResponse busy = HttpResponse::Json(
           503, ErrorJson(Status::CapacityError(
-                   "server at connection capacity")));
+                   "server at connection capacity"),
+                         options_.shed_retry_after_seconds));
       busy.close = true;
       busy.SetHeader("Retry-After",
                      RetryAfterValue(options_.shed_retry_after_seconds));
@@ -256,7 +257,8 @@ HttpResponse QueryServer::HandleQuery(const HttpRequest& request) {
       rate_limited_.fetch_add(1, std::memory_order_relaxed);
       HttpResponse r = HttpResponse::Json(
           429, ErrorJson(Status::CapacityError(
-                   "rate limit exceeded for client '" + key + "'")));
+                   "rate limit exceeded for client '" + key + "'"),
+                         d.retry_after_seconds));
       r.SetHeader("Retry-After", RetryAfterValue(d.retry_after_seconds));
       return r;
     }
@@ -279,7 +281,9 @@ HttpResponse QueryServer::HandleQuery(const HttpRequest& request) {
     // come back. This is the load-shedding path the bench drives to
     // saturation.
     shed_.fetch_add(1, std::memory_order_relaxed);
-    HttpResponse r = ErrorResponse(future.status());
+    HttpResponse r = HttpResponse::Json(
+        HttpStatusFor(future.status().code()),
+        ErrorJson(future.status(), options_.shed_retry_after_seconds));
     r.SetHeader("Retry-After",
                 RetryAfterValue(options_.shed_retry_after_seconds));
     return r;

@@ -1,5 +1,6 @@
 #include "net/wire.h"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 
@@ -90,6 +91,15 @@ std::string ErrorJson(const Status& status) {
   // Status::ToJson already renders a complete object; splice it in rather
   // than re-parsing it through json::Value.
   return "{\"v\":1,\"error\":" + status.ToJson() + "}";
+}
+
+std::string ErrorJson(const Status& status, double retry_after_seconds) {
+  // Round up so the client never retries early, with a sub-microsecond
+  // slack absorbing binary-fraction noise (0.05 s must render 50, not 51).
+  const long long ms = static_cast<long long>(
+      std::ceil(std::max(retry_after_seconds, 0.0) * 1000.0 - 1e-6));
+  return "{\"v\":1,\"error\":" + status.ToJson() +
+         ",\"retry_after_ms\":" + std::to_string(ms) + "}";
 }
 
 Result<DecodedQueryResponse> ParseQueryResponse(const std::string& body) {

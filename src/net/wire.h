@@ -43,6 +43,15 @@ std::string QueryResponseJson(const service::ServiceResponse& response);
 /// Error body wrapping Status::ToJson().
 std::string ErrorJson(const Status& status);
 
+/// Error body plus a sub-second retry hint: the envelope gains a
+/// `"retry_after_ms"` field (milliseconds, rounded up, ≥ 0). The
+/// Retry-After *header* is spec-bound to whole seconds and rounds every
+/// hint up to ≥ 1 s — 20× too coarse for a 50 ms shed window — so
+/// limiter/shed responses carry the precise hint in the body while the
+/// header stays RFC-compliant. Additive only: clients that read just
+/// `error` are unaffected (error envelopes are not schema-strict).
+std::string ErrorJson(const Status& status, double retry_after_seconds);
+
 /// Decodes a success body (strict: unknown fields rejected).
 Result<DecodedQueryResponse> ParseQueryResponse(const std::string& body);
 

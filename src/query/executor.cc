@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "agg/merge_partials.h"
+#include "join/fused_join.h"
 #include "join/index_join.h"
 #include "join/raster_join_accurate.h"
 #include "join/raster_join_bounded.h"
@@ -52,6 +53,22 @@ void AccumulateFbo(raster::Fbo* dst, const raster::Fbo& src) {
         break;
     }
   }
+}
+
+/// Per-member half of a fusion group, derived from the queries. The §5
+/// range request is honored for the bounded variant only — the same wiring
+/// as RunVariant, where only BoundedRasterJoin takes ranges_out.
+std::vector<FusedMemberSpec> FusedMembers(
+    const std::vector<SpatialAggQuery>& queries, JoinVariant variant) {
+  std::vector<FusedMemberSpec> members(queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    members[i].weight_column = queries[i].EffectiveAggregateColumn();
+    members[i].filters = queries[i].filters;
+    members[i].compute_result_ranges =
+        queries[i].with_result_ranges &&
+        variant == JoinVariant::kBoundedRaster;
+  }
+  return members;
 }
 
 }  // namespace
@@ -288,7 +305,11 @@ Result<QueryResult> Executor::Execute(const SpatialAggQuery& query) {
   RJ_ASSIGN_OR_RETURN(
       std::shared_ptr<const QueryResult> shared,
       result_cache_->GetOrCompute(
-          key, [&] { return ExecuteUncached(query); }, &hit));
+          key, [&] { return ExecuteUncached(query); }, &hit,
+          // Publish guard: never cache a result whose key version was
+          // outrun by a concurrent dataset bump (streaming append,
+          // re-registration) while the flight computed.
+          [&] { return dataset_version() == key.version; }));
   QueryResult out = *shared;
   if (hit) {
     // A hit performed no device work: scrub the miss's diagnostics so the
@@ -329,6 +350,255 @@ Result<QueryResult> Executor::ExecuteUncached(const SpatialAggQuery& query) {
   out.arrays = std::move(join.arrays);
   out.timing = join.timing;
   out.total_seconds = total.ElapsedSeconds();
+  return out;
+}
+
+Result<std::vector<QueryResult>> Executor::ExecuteFused(
+    const std::vector<SpatialAggQuery>& queries) {
+  if (queries.empty()) {
+    return Status::InvalidArgument("fusion group is empty");
+  }
+  if (queries.size() == 1) {
+    RJ_ASSIGN_OR_RETURN(QueryResult only, ExecuteUncached(queries[0]));
+    std::vector<QueryResult> out;
+    out.push_back(std::move(only));
+    return out;
+  }
+
+  Timer total;
+  // Per-member preamble (validates aggregates/columns; the soup is shared
+  // across the group via the triangulation cache).
+  std::vector<QuerySetup> setups;
+  setups.reserve(queries.size());
+  for (const SpatialAggQuery& q : queries) {
+    RJ_ASSIGN_OR_RETURN(QuerySetup setup, PrepareQuery(q));
+    setups.push_back(setup);
+  }
+  const JoinVariant variant = setups[0].variant;
+  if (variant != JoinVariant::kBoundedRaster &&
+      variant != JoinVariant::kAccurateRaster) {
+    return Status::InvalidArgument(
+        "fusion requires a raster variant (bounded or accurate)");
+  }
+  // Re-check structural compatibility here even though the service's
+  // grouping predicate enforces it — the invariant that every member
+  // shares one canvas must hold locally for the shared scan to be valid.
+  for (std::size_t i = 1; i < queries.size(); ++i) {
+    const bool same_canvas =
+        variant == JoinVariant::kBoundedRaster
+            ? queries[i].epsilon == queries[0].epsilon
+            : queries[i].accurate_canvas_dim ==
+                  queries[0].accurate_canvas_dim;
+    if (setups[i].variant != variant || !same_canvas) {
+      return Status::InvalidArgument(
+          "incompatible fusion group: members must share the resolved "
+          "variant and canvas");
+    }
+  }
+
+  const std::vector<FusedMemberSpec> members = FusedMembers(queries, variant);
+  if (sharded()) {
+    return ExecuteFusedSharded(queries, members, variant, setups[0].soup);
+  }
+
+  const std::size_t stride = UploadStrideBytes(FusedUploadColumns(members));
+  const UploadPlan capped = plan_cache_->GetUpload(
+      {queries[0].device_memory_cap_bytes, stride, points_->size(),
+       queries[0].overlap_transfers},
+      [&] {
+        return CappedBatch(queries[0].device_memory_cap_bytes, stride,
+                           points_->size(), queries[0].overlap_transfers);
+      });
+
+  FusedJoinOptions options;
+  options.epsilon = queries[0].epsilon;
+  options.canvas_dim = queries[0].accurate_canvas_dim;
+  options.batch_size = capped.batch_size;
+  options.overlap_transfers = capped.overlap_transfers;
+
+  Result<FusedJoinOutput> fused_result =
+      variant == JoinVariant::kBoundedRaster
+          ? FusedBoundedRasterJoin(device_, *points_, *polys_,
+                                   *setups[0].soup, world_, options, members)
+          : FusedAccurateRasterJoin(device_, *points_, *polys_,
+                                    *setups[0].soup, world_, options,
+                                    members);
+  if (!fused_result.ok()) return fused_result.status();
+  FusedJoinOutput fused = std::move(fused_result).MoveValueUnsafe();
+
+  // Demultiplex: per-member payloads, group-level diagnostics replicated.
+  std::vector<QueryResult> out(queries.size());
+  const double seconds = total.ElapsedSeconds();
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    out[i].arrays = std::move(fused.arrays[i]);
+    out[i].values = FinalizeAggregate(queries[i].aggregate, out[i].arrays);
+    out[i].ranges = std::move(fused.ranges[i]);
+    out[i].timing = fused.timing;
+    out[i].total_seconds = seconds;
+  }
+  return out;
+}
+
+Result<AdmissionPlan> Executor::PlanFusedAdmission(
+    const std::vector<SpatialAggQuery>& queries) {
+  if (queries.empty()) {
+    return Status::InvalidArgument("fusion group is empty");
+  }
+  if (queries.size() == 1) return PlanAdmission(queries[0]);
+  const JoinVariant variant = ResolveVariant(queries[0]);
+  if (variant == JoinVariant::kIndexCpu) {
+    return AdmissionPlan{};  // never fused in practice, but keep the shape
+  }
+  // Union stride through the same definition the fused pipelines use
+  // (FusedUploadColumns) — the grant must cover exactly what ships. Group
+  // shapes vary too much for the admission memo, and the arithmetic is
+  // cheap; no PlanCache entry.
+  AdmissionPlan plan;
+  plan.bytes_per_point =
+      UploadStrideBytes(FusedUploadColumns(FusedMembers(queries, variant)));
+  if (variant == JoinVariant::kBoundedRaster) {
+    RJ_ASSIGN_OR_RETURN(const TriangleSoup* soup, GetTriangulation());
+    plan.fixed_bytes = TriangleVboBytes(soup->size());
+  }
+  const std::size_t in_flight = queries[0].overlap_transfers ? 2 : 1;
+  plan.min_bytes =
+      std::max(plan.fixed_bytes, in_flight * plan.bytes_per_point);
+  plan.full_bytes = std::max(
+      {plan.fixed_bytes, PlanningPointCount() * plan.bytes_per_point,
+       plan.min_bytes});
+  return plan;
+}
+
+Result<std::vector<QueryResult>> Executor::ExecuteFusedSharded(
+    const std::vector<SpatialAggQuery>& queries,
+    const std::vector<FusedMemberSpec>& members, JoinVariant variant,
+    const TriangleSoup* soup) {
+  Timer total;
+  const std::size_t m = queries.size();
+  if (!pool_->UniformFboLimit()) {
+    return Status::InvalidArgument(
+        "sharded execution requires a uniform max_fbo_dim across the pool");
+  }
+
+  // §5 ranges recompute on the gathered point FBO, exactly as in
+  // ExecuteSharded — shards export FBOs instead of computing intervals.
+  std::vector<FusedMemberSpec> shard_members = members;
+  bool any_ranges = false;
+  for (std::size_t i = 0; i < m; ++i) {
+    shard_members[i].export_point_fbo = members[i].compute_result_ranges;
+    shard_members[i].compute_result_ranges = false;
+    any_ranges = any_ranges || shard_members[i].export_point_fbo;
+  }
+
+  const std::size_t stride = UploadStrideBytes(FusedUploadColumns(members));
+  const std::size_t num_shards = shards_->num_shards();
+  std::vector<FusedJoinOutput> shard_out(num_shards);
+  std::vector<Status> shard_status(num_shards, Status::OK());
+
+  const auto run_shard = [&](std::size_t s) {
+    gpu::Device* dev = shard_device(s);
+    const PointTable& shard_points = shards_->shard(s);
+    const UploadPlan capped = plan_cache_->GetUpload(
+        {queries[0].device_memory_cap_bytes, stride, shard_points.size(),
+         queries[0].overlap_transfers},
+        [&] {
+          return CappedBatch(queries[0].device_memory_cap_bytes, stride,
+                             shard_points.size(),
+                             queries[0].overlap_transfers);
+        });
+    FusedJoinOptions options;
+    options.epsilon = queries[0].epsilon;
+    options.canvas_dim = queries[0].accurate_canvas_dim;
+    options.batch_size = capped.batch_size;
+    options.overlap_transfers = capped.overlap_transfers;
+    Result<FusedJoinOutput> join =
+        variant == JoinVariant::kBoundedRaster
+            ? FusedBoundedRasterJoin(dev, shard_points, *polys_, *soup,
+                                     world_, options, shard_members)
+            : FusedAccurateRasterJoin(dev, shard_points, *polys_, *soup,
+                                      world_, options, shard_members);
+    if (!join.ok()) {
+      shard_status[s] = join.status();
+      return;
+    }
+    shard_out[s] = std::move(join).MoveValueUnsafe();
+  };
+
+  // Device-window counter attribution, as in ExecuteSharded: shard d's
+  // window carries device d's whole delta.
+  const std::size_t devices_used = std::min(num_shards, pool_->size());
+  std::vector<gpu::CountersSnapshot> before(devices_used);
+  for (std::size_t d = 0; d < devices_used; ++d) {
+    before[d] = pool_->device(d)->counters().Snapshot();
+  }
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(num_shards);
+    for (std::size_t s = 0; s < num_shards; ++s) {
+      threads.emplace_back(run_shard, s);
+    }
+    for (std::thread& t : threads) t.join();
+  }
+  gpu::CountersSnapshot group_counters;
+  for (std::size_t d = 0; d < devices_used; ++d) {
+    group_counters = group_counters.Plus(
+        pool_->device(d)->counters().Snapshot().DeltaSince(before[d]));
+  }
+  for (const Status& st : shard_status) RJ_RETURN_NOT_OK(st);
+
+  // Per-member gather in ascending shard order — each member's merge is
+  // exactly what its solo ExecuteSharded would perform on these (bitwise
+  // identical) per-shard partials. Shard timings ride member 0's merge
+  // once; the group total is not multiplied per member.
+  std::vector<QueryResult> out(m);
+  PhaseTimer group_timing;
+  for (std::size_t i = 0; i < m; ++i) {
+    std::vector<agg::ShardPartial> partials(num_shards);
+    for (std::size_t s = 0; s < num_shards; ++s) {
+      partials[s].arrays = std::move(shard_out[s].arrays[i]);
+      if (i == 0) partials[s].timing = shard_out[s].timing;
+    }
+    RJ_ASSIGN_OR_RETURN(agg::MergedPartials merged,
+                        agg::MergePartials(partials));
+    out[i].arrays = std::move(merged.arrays);
+    out[i].values = FinalizeAggregate(queries[i].aggregate, out[i].arrays);
+    if (i == 0) group_timing = merged.timing;
+  }
+
+  if (any_ranges) {
+    RJ_ASSIGN_OR_RETURN(
+        std::vector<raster::CanvasTile> tiles,
+        raster::PlanCanvas(world_, queries[0].epsilon,
+                           device_->options().max_fbo_dim));
+    raster::Viewport vp(tiles[0].world, tiles[0].width, tiles[0].height);
+    for (std::size_t i = 0; i < m; ++i) {
+      if (!shard_members[i].export_point_fbo) continue;
+      raster::Fbo gathered = std::move(*shard_out[0].point_fbos[i]);
+      shard_out[0].point_fbos[i].reset();
+      for (std::size_t s = 1; s < num_shards; ++s) {
+        AccumulateFbo(&gathered, *shard_out[s].point_fbos[i]);
+        shard_out[s].point_fbos[i].reset();
+      }
+      ScopedPhase sp(&group_timing, phase::kProcessing);
+      const gpu::CountersSnapshot gather_before =
+          device_->counters().Snapshot();
+      RJ_ASSIGN_OR_RETURN(
+          out[i].ranges,
+          ComputeResultRanges(vp, *polys_, *soup, gathered,
+                              FinalizeAggregate(AggregateKind::kCount,
+                                                out[i].arrays),
+                              &device_->counters(), &device_->pool()));
+      group_counters = group_counters.Plus(
+          device_->counters().Snapshot().DeltaSince(gather_before));
+    }
+  }
+
+  const double seconds = total.ElapsedSeconds();
+  for (std::size_t i = 0; i < m; ++i) {
+    out[i].timing = group_timing;
+    out[i].counters = group_counters;
+    out[i].total_seconds = seconds;
+  }
   return out;
 }
 

@@ -35,6 +35,7 @@
 #include "gpu/device.h"
 #include "gpu/device_pool.h"
 #include "index/grid_index.h"
+#include "join/fused_join.h"
 #include "join/join_common.h"
 #include "query/optimizer.h"
 #include "query/query.h"
@@ -118,6 +119,33 @@ class Executor {
   /// The uncached baseline for tests/benches, and the compute path a
   /// caching layer that does its own key lookup (QueryService) wraps.
   Result<QueryResult> ExecuteUncached(const SpatialAggQuery& query);
+
+  /// Executes a fusion group — compatible queries over this dataset (same
+  /// resolved raster variant; equal ε for bounded, equal canvas_dim for
+  /// accurate; aggregates/filters/§5-range requests free per member) — as
+  /// ONE shared point scan: one upload pipeline, one vertex stage per
+  /// point, per-member fragment accumulation targets (join/fused_join.h).
+  /// Returns one QueryResult per query, in input order, each bitwise
+  /// identical to ExecuteUncached of that query alone — values, arrays,
+  /// and §5 ranges — for any worker/shard count.
+  ///
+  /// Group-level diagnostics: timing, counters, and total_seconds describe
+  /// the shared execution and are replicated across members (per-member
+  /// attribution of a shared scan would be fiction). The first member's
+  /// execution knobs (device_memory_cap_bytes, overlap_transfers) govern
+  /// the shared pipeline — the service reserves one grant for the whole
+  /// group and stamps it on every member; knobs never change result bits.
+  /// A single-member group degenerates to ExecuteUncached. Never consults
+  /// the result cache (the service layers caching per member on top).
+  Result<std::vector<QueryResult>> ExecuteFused(
+      const std::vector<SpatialAggQuery>& queries);
+
+  /// Admission footprint of a fusion group: PlanAdmission arithmetic with
+  /// the upload stride of the UNION of all members' referenced columns
+  /// (the fused scan ships one interleaved VBO covering every member — see
+  /// FusedUploadColumns). Per shard, when sharded, like PlanAdmission.
+  Result<AdmissionPlan> PlanFusedAdmission(
+      const std::vector<SpatialAggQuery>& queries);
 
   /// Resolves kAuto to a concrete variant via the cost model; other
   /// variants pass through unchanged.
@@ -240,6 +268,14 @@ class Executor {
 
   /// The scatter-gather path (sharded executors only).
   Result<QueryResult> ExecuteSharded(const SpatialAggQuery& query);
+
+  /// Scatter-gather for a fusion group: per-shard fused joins, then a
+  /// per-member merge in ascending shard order (plus per-member point-FBO
+  /// gathers for §5 ranges) — the fused mirror of ExecuteSharded.
+  Result<std::vector<QueryResult>> ExecuteFusedSharded(
+      const std::vector<SpatialAggQuery>& queries,
+      const std::vector<FusedMemberSpec>& members, JoinVariant variant,
+      const TriangleSoup* soup);
 
   /// Points the batch planner sizes against: the whole table, or the
   /// largest shard (each device holds at most its shards).

@@ -77,7 +77,8 @@ std::shared_ptr<const QueryResult> ResultCache::Lookup(const CacheKey& key) {
 }
 
 Result<std::shared_ptr<const QueryResult>> ResultCache::GetOrCompute(
-    const CacheKey& key, const ComputeFn& compute, bool* was_hit) {
+    const CacheKey& key, const ComputeFn& compute, bool* was_hit,
+    const std::function<bool()>& still_valid) {
   Shard& shard = ShardFor(key);
   std::shared_ptr<InFlight> flight;
   bool leader = false;
@@ -119,10 +120,16 @@ Result<std::shared_ptr<const QueryResult>> ResultCache::GetOrCompute(
     value = std::make_shared<const QueryResult>(
         std::move(computed).MoveValueUnsafe());
   }
+  // Re-validate before publishing to the LRU: a value computed against a
+  // key whose world changed mid-flight (dataset version bump) is a correct
+  // answer for this caller and its followers, but must not become a
+  // persistent entry a later caller could hit.
+  const bool publishable =
+      value != nullptr && (still_valid == nullptr || still_valid());
   {
     std::lock_guard<std::mutex> lock(shard.mutex);
     shard.inflight.erase(key);
-    if (value != nullptr) InsertLocked(shard, key, value);
+    if (publishable) InsertLocked(shard, key, value);
   }
   {
     std::lock_guard<std::mutex> lock(flight->mutex);

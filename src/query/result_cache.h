@@ -131,8 +131,17 @@ class ResultCache {
   /// is not cached; concurrent followers receive that same error, later
   /// callers retry as new leaders. `*was_hit` (optional) reports whether
   /// this caller avoided executing (fast hit or follower).
+  ///
+  /// `still_valid` (optional) is re-checked by the leader after computing
+  /// and before storing: when it returns false — e.g. the dataset version
+  /// was bumped while the flight was in the air, so `key.version` no
+  /// longer matches the live dataset — the value is still returned to this
+  /// caller and shared with its followers (they asked for exactly this
+  /// key), but it is NOT inserted, so later callers can never hit a result
+  /// stamped with a stale version.
   Result<std::shared_ptr<const QueryResult>> GetOrCompute(
-      const CacheKey& key, const ComputeFn& compute, bool* was_hit = nullptr);
+      const CacheKey& key, const ComputeFn& compute, bool* was_hit = nullptr,
+      const std::function<bool()>& still_valid = nullptr);
 
   /// Stores a finished result (replacing any entry under the same key).
   void Insert(const CacheKey& key, QueryResult result);

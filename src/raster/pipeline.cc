@@ -123,6 +123,114 @@ std::uint64_t DrawPoints(const Viewport& vp, const PointTable& points,
   return drawn;
 }
 
+std::vector<std::uint64_t> DrawPointsMulti(
+    const Viewport& vp, const PointTable& points,
+    const std::vector<MultiTarget>& targets, gpu::Counters* counters,
+    ThreadPool* pool) {
+  const std::size_t n = points.size();
+  const std::size_t m = targets.size();
+  std::vector<std::uint64_t> drawn(m, 0);
+  if (m == 0) return drawn;
+
+  std::vector<const std::vector<float>*> weights(m, nullptr);
+  for (std::size_t t = 0; t < m; ++t) {
+    if (targets[t].weight_column != PointTable::npos) {
+      weights[t] = &points.attribute(targets[t].weight_column);
+    }
+  }
+
+  const std::int32_t width = targets[0].fbo->width();
+  const std::int32_t height = targets[0].fbo->height();
+
+  // Shared vertex stage per point: the filter decision is per target, but
+  // the transform+clip runs at most once (it is a pure function of the
+  // point, so reusing it is bit-identical to each target recomputing it).
+  const std::size_t num_chunks = pool != nullptr ? pool->NumChunks(n) : 1;
+  if (num_chunks <= 1) {
+    for (std::size_t i = 0; i < n; ++i) {
+      bool transformed = false;
+      bool clipped = false;
+      std::int32_t px = 0;
+      std::int32_t py = 0;
+      for (std::size_t t = 0; t < m; ++t) {
+        if (!targets[t].filters->Matches(points, i)) continue;
+        if (!transformed) {
+          const Point s = vp.ToScreen(points.At(i));
+          px = static_cast<std::int32_t>(std::floor(s.x));
+          py = static_cast<std::int32_t>(std::floor(s.y));
+          clipped = px < 0 || px >= width || py < 0 || py >= height;
+          transformed = true;
+        }
+        if (clipped) continue;
+        BlendPointFrag(targets[t].fbo,
+                       {px, py, weights[t] != nullptr ? (*weights[t])[i] : 0.0f},
+                       weights[t] != nullptr);
+        ++drawn[t];
+      }
+    }
+  } else {
+    // One binner per target: all share the band layout (same height, same
+    // chunk count), so one fragment-stage ParallelFor can replay every
+    // target's run of bands. Targets' FBOs are disjoint, which keeps each
+    // target's per-pixel blend order exactly the sequential point order.
+    std::vector<BandBinner> binners;
+    binners.reserve(m);
+    for (std::size_t t = 0; t < m; ++t) {
+      binners.emplace_back(num_chunks, height, /*expected_frags=*/n);
+    }
+    std::vector<std::vector<std::uint64_t>> drawn_per_chunk(
+        m, std::vector<std::uint64_t>(num_chunks, 0));
+    pool->ParallelFor(n, [&](std::size_t begin, std::size_t end,
+                             std::size_t chunk) {
+      for (std::size_t i = begin; i < end; ++i) {
+        bool transformed = false;
+        bool clipped = false;
+        std::int32_t px = 0;
+        std::int32_t py = 0;
+        for (std::size_t t = 0; t < m; ++t) {
+          if (!targets[t].filters->Matches(points, i)) continue;
+          if (!transformed) {
+            const Point s = vp.ToScreen(points.At(i));
+            px = static_cast<std::int32_t>(std::floor(s.x));
+            py = static_cast<std::int32_t>(std::floor(s.y));
+            clipped = px < 0 || px >= width || py < 0 || py >= height;
+            transformed = true;
+          }
+          if (clipped) continue;
+          binners[t].Push(
+              chunk,
+              {px, py, weights[t] != nullptr ? (*weights[t])[i] : 0.0f});
+          ++drawn_per_chunk[t][chunk];
+        }
+      }
+    });
+
+    pool->ParallelFor(
+        binners[0].num_bands(),
+        [&](std::size_t band_begin, std::size_t band_end, std::size_t) {
+          for (std::size_t t = 0; t < m; ++t) {
+            binners[t].ReplayBands(
+                band_begin, band_end, [&](const PointFrag& f) {
+                  BlendPointFrag(targets[t].fbo, f, weights[t] != nullptr);
+                });
+          }
+        });
+    for (std::size_t t = 0; t < m; ++t) {
+      for (const std::uint64_t d : drawn_per_chunk[t]) drawn[t] += d;
+    }
+  }
+
+  if (counters != nullptr) {
+    // The scan is shared: meter the vertex stage once for the whole group,
+    // and the fragment stage as the sum of what every target blended.
+    counters->AddVerticesProcessed(n);
+    std::uint64_t total = 0;
+    for (const std::uint64_t d : drawn) total += d;
+    counters->AddFragments(total);
+  }
+  return drawn;
+}
+
 void DrawPolygons(const Viewport& vp, const TriangleSoup& soup,
                   const Fbo& point_fbo, const Fbo* boundary_fbo,
                   ResultArrays* result, gpu::Counters* counters,

@@ -119,6 +119,34 @@ std::uint64_t DrawPoints(const Viewport& vp, const PointTable& points,
                          Fbo* fbo, gpu::Counters* counters,
                          ThreadPool* pool = nullptr);
 
+/// One member of a fused point pass (DrawPointsMulti): the member's
+/// filters decide which points it sees, its weight column supplies the
+/// blended attribute, and its FBO receives the fragments. FBOs of a fused
+/// pass must be distinct and share one canvas size.
+struct MultiTarget {
+  const FilterSet* filters = nullptr;
+  std::size_t weight_column = PointTable::npos;
+  Fbo* fbo = nullptr;
+};
+
+/// Fused point pass: one scan of `points` feeding every target. Per point
+/// the world→screen transform and clip run once; each target whose filters
+/// match blends the fragment into its own FBO — exactly the operations
+/// DrawPoints would perform for that target alone, in the same order, so
+/// every target's FBO is bitwise identical to a solo DrawPoints call
+/// (per-target FBOs are disjoint, so cross-target order cannot matter).
+/// Returns the per-target drawn counts.
+///
+/// Parallel path: one shared vertex stage stages fragments into one
+/// BandBinner per target (same band layout — the FBOs share a height), and
+/// one fragment stage replays every target's bands. Counters meter the
+/// shared scan once: vertices += points.size() (not once per target),
+/// fragments += the sum of per-target drawn counts.
+std::vector<std::uint64_t> DrawPointsMulti(
+    const Viewport& vp, const PointTable& points,
+    const std::vector<MultiTarget>& targets, gpu::Counters* counters,
+    ThreadPool* pool = nullptr);
+
 /// Procedure DrawPolygons (§4.1): rasterizes the triangle soup (world
 /// coordinates) and, for each fragment of polygon i, adds the point FBO's
 /// partial aggregates at that pixel into `result` slot i.

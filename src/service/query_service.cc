@@ -28,6 +28,8 @@ QueryService::QueryService(std::unique_ptr<gpu::DevicePool> owned,
   options_.max_queue_depth = std::max<std::size_t>(1, options_.max_queue_depth);
   options_.max_device_share =
       std::clamp(options_.max_device_share, 0.0, 1.0);
+  options_.max_fusion_group_size =
+      std::max<std::size_t>(1, options_.max_fusion_group_size);
   if (options_.result_cache_bytes > 0) {
     query::ResultCacheOptions cache_options;
     cache_options.capacity_bytes = options_.result_cache_bytes;
@@ -273,7 +275,7 @@ void QueryService::WakeOneLocked() {
 
 void QueryService::DispatchLoop(std::size_t slot) {
   for (;;) {
-    Pending pending;
+    std::vector<Pending> group;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       while (priority_.empty() && fifo_.empty()) {
@@ -287,13 +289,57 @@ void QueryService::DispatchLoop(std::size_t slot) {
         });
       }
       std::deque<Pending>& lane = priority_.empty() ? fifo_ : priority_;
-      pending = std::move(lane.front());
+      Pending pending = std::move(lane.front());
       lane.pop_front();
       pending.dispatch_order = next_dispatch_order_++;
       ++running_;
+      group.push_back(std::move(pending));
+      if (options_.max_fusion_group_size > 1) {
+        CollectFusionGroupLocked(&group);
+      }
     }
-    cv_space_.notify_one();  // a queue slot freed up
-    RunQuery(std::move(pending));
+    if (group.size() > 1) {
+      cv_space_.notify_all();  // fusion drained several queue slots at once
+      RunGroup(std::move(group));
+    } else {
+      cv_space_.notify_one();  // a queue slot freed up
+      RunQuery(std::move(group.front()));
+    }
+  }
+}
+
+void QueryService::CollectFusionGroupLocked(std::vector<Pending>* group) {
+  const Pending& head = group->front();
+  Executor* executor = executors_[head.dataset].get();
+  const JoinVariant head_variant = executor->ResolveVariant(head.query);
+  if (head_variant != JoinVariant::kBoundedRaster &&
+      head_variant != JoinVariant::kAccurateRaster) {
+    return;  // index variants have no shared point scan to fuse
+  }
+  // Compatibility is everything that shapes the shared scan: dataset,
+  // resolved variant, and canvas. Aggregates, columns, filters, priority,
+  // and §5 range requests are free per member.
+  const auto compatible = [&](const Pending& p) {
+    if (p.dataset != head.dataset) return false;
+    if (executor->ResolveVariant(p.query) != head_variant) return false;
+    return head_variant == JoinVariant::kBoundedRaster
+               ? p.query.epsilon == head.query.epsilon
+               : p.query.accurate_canvas_dim ==
+                     head.query.accurate_canvas_dim;
+  };
+  for (std::deque<Pending>* lane : {&priority_, &fifo_}) {
+    for (auto it = lane->begin();
+         it != lane->end() &&
+         group->size() < options_.max_fusion_group_size;) {
+      if (compatible(*it)) {
+        it->dispatch_order = next_dispatch_order_++;
+        ++running_;
+        group->push_back(std::move(*it));
+        it = lane->erase(it);
+      } else {
+        ++it;
+      }
+    }
   }
 }
 
@@ -319,7 +365,11 @@ void QueryService::RunQuery(Pending pending) {
     bool hit = false;
     Result<std::shared_ptr<const QueryResult>> shared = cache_->GetOrCompute(
         key, [&] { return AdmitAndExecute(executor, pending, &stats); },
-        &hit);
+        &hit,
+        // Publish guard: a version bump during the flight means the key no
+        // longer describes the live dataset — hand the result to this
+        // flight's waiters but do not let later lookups hit it.
+        [&] { return executor->dataset_version() == key.version; });
     if (!shared.ok()) {
       Respond(&pending, shared.status(), stats);
       return;
@@ -352,6 +402,230 @@ void QueryService::RunQuery(Pending pending) {
   Respond(&pending, std::move(result), stats);
 }
 
+void QueryService::RunGroup(std::vector<Pending> group) {
+  Executor* executor = dataset_executor(group[0].dataset);
+
+  // --- Phase A: cache probe; hits leave the group before any admission
+  // work. Fusion leaves cache semantics untouched — every member keeps its
+  // own semantic key. Accepted trade (docs/SERVICE.md "Fusion groups"):
+  // fused members use Lookup/Insert rather than the single-flight
+  // GetOrCompute, so two concurrent *groups* containing the same query may
+  // both execute it — correctness is unaffected, only deduplication.
+  std::vector<Pending> misses;
+  std::vector<query::CacheKey> keys;
+  std::vector<bool> cacheable;
+  misses.reserve(group.size());
+  for (Pending& p : group) {
+    if (cache_ != nullptr && !p.query.bypass_result_cache) {
+      Timer fetch;
+      const query::CacheKey key = query::MakeCacheKey(
+          p.dataset, executor->dataset_version(), p.query,
+          executor->ResolveVariant(p.query));
+      if (std::shared_ptr<const QueryResult> shared = cache_->Lookup(key)) {
+        // Same scrub as the solo hit path: a hit did no device work and
+        // never reports the original miss's grants or counters.
+        QueryStats stats;
+        stats.sequence = p.sequence;
+        stats.dispatch_order = p.dispatch_order;
+        stats.cache_hit = true;
+        stats.granted_bytes_per_device.assign(pool_->size(), 0);
+        stats.queue_seconds = p.queued.ElapsedSeconds();
+        stats.execute_seconds = fetch.ElapsedSeconds();
+        const gpu::CountersSnapshot now = pool_->TotalCounters();
+        stats.device_counters_before = now;
+        stats.device_counters_after = now;
+        QueryResult out = *shared;
+        out.cache_hit = true;
+        out.timing = PhaseTimer();
+        out.counters = gpu::CountersSnapshot();
+        out.total_seconds = fetch.ElapsedSeconds();
+        Respond(&p, std::move(out), stats);
+        continue;
+      }
+      misses.push_back(std::move(p));
+      keys.push_back(key);
+      cacheable.push_back(true);
+    } else {
+      misses.push_back(std::move(p));
+      keys.push_back(query::CacheKey{});
+      cacheable.push_back(false);
+    }
+  }
+  if (misses.empty()) return;
+  if (misses.size() == 1) {
+    // Degenerate group: the solo path, with its single-flight semantics.
+    RunQuery(std::move(misses[0]));
+    return;
+  }
+
+  // --- Phase B: in-group dedupe. Semantically identical members share one
+  // fused slot; the slot's first member (its leader) is the one that
+  // inserts into the cache. Members that bypass the cache never dedupe.
+  std::vector<std::size_t> slot_of(misses.size());
+  std::vector<std::size_t> slot_leader;  // member index of each slot
+  for (std::size_t i = 0; i < misses.size(); ++i) {
+    std::size_t slot = slot_leader.size();
+    if (cacheable[i]) {
+      for (std::size_t s = 0; s < slot_leader.size(); ++s) {
+        if (cacheable[slot_leader[s]] && keys[slot_leader[s]] == keys[i]) {
+          slot = s;
+          break;
+        }
+      }
+    }
+    if (slot == slot_leader.size()) slot_leader.push_back(i);
+    slot_of[i] = slot;
+  }
+  std::vector<SpatialAggQuery> queries;
+  queries.reserve(slot_leader.size());
+  for (const std::size_t leader : slot_leader) {
+    queries.push_back(misses[leader].query);
+  }
+
+  const auto fail_all = [&](const Status& status) {
+    for (std::size_t i = 0; i < misses.size(); ++i) {
+      QueryStats stats;
+      stats.sequence = misses[i].sequence;
+      stats.dispatch_order = misses[i].dispatch_order;
+      stats.fused_group_size = queries.size();
+      stats.queue_seconds = misses[i].queued.ElapsedSeconds();
+      Respond(&misses[i], status, stats);
+    }
+  };
+
+  // --- Phase C: fused admission — ONE grant for the whole group, sized by
+  // the union upload plan (PlanFusedAdmission), instead of N per-member
+  // grants. The group then executes as one shared scan.
+  Result<AdmissionPlan> plan = executor->PlanFusedAdmission(queries);
+  if (!plan.ok()) {
+    fail_all(plan.status());
+    return;
+  }
+  const std::vector<std::size_t> hosted = executor->ShardsPerDevice();
+  std::size_t per_shard_grant = 0;
+  Result<gpu::PoolReservation> acquired =
+      AcquireGrant(plan.value(), hosted, &per_shard_grant);
+  if (!acquired.ok()) {
+    fail_all(acquired.status());
+    return;
+  }
+  gpu::PoolReservation grant = std::move(acquired).MoveValueUnsafe();
+  const std::size_t granted_total = grant.total_bytes();
+  std::vector<std::size_t> granted_per_device(pool_->size(), 0);
+  for (std::size_t d = 0; d < pool_->size(); ++d) {
+    granted_per_device[d] = grant.bytes_on(d);
+  }
+
+  for (SpatialAggQuery& q : queries) {
+    q.device_memory_cap_bytes = per_shard_grant;
+  }
+  const gpu::CountersSnapshot before = pool_->TotalCounters();
+  Timer exec;
+  Result<std::vector<QueryResult>> fused = executor->ExecuteFused(queries);
+  const double execute_seconds = exec.ElapsedSeconds();
+  const gpu::CountersSnapshot after = pool_->TotalCounters();
+
+  if (grant.active()) {
+    grant.Release();
+    // Empty critical section pairs with the waiters' locked try/wait cycle
+    // so the notify cannot be lost.
+    { std::lock_guard<std::mutex> lock(mutex_); }
+    cv_capacity_.notify_all();
+  }
+
+  if (!fused.ok()) {
+    fail_all(fused.status());
+    return;
+  }
+  std::vector<QueryResult>& results = fused.value();
+
+  // --- Phase D: demultiplex. Per-member response and cache insert under
+  // the member's own key; group-level grant/counter attribution is
+  // replicated (the scan was shared — per-member splits would be fiction).
+  // The version re-check mirrors the single-flight publish guard: a result
+  // computed against version V is never published after a bump.
+  for (std::size_t i = 0; i < misses.size(); ++i) {
+    QueryResult out = results[slot_of[i]];
+    QueryStats stats;
+    stats.sequence = misses[i].sequence;
+    stats.dispatch_order = misses[i].dispatch_order;
+    stats.fused_group_size = queries.size();
+    stats.queue_seconds = misses[i].queued.ElapsedSeconds();
+    stats.execute_seconds = execute_seconds;
+    stats.granted_bytes = granted_total;
+    stats.granted_bytes_per_device = granted_per_device;
+    stats.device_counters_before = before;
+    stats.device_counters_after = after;
+    if (cacheable[i] && i == slot_leader[slot_of[i]] &&
+        executor->dataset_version() == keys[i].version) {
+      cache_->Insert(keys[i], out);
+    }
+    Respond(&misses[i], std::move(out), stats);
+  }
+}
+
+Result<gpu::PoolReservation> QueryService::AcquireGrant(
+    const AdmissionPlan& plan, const std::vector<std::size_t>& hosted,
+    std::size_t* per_shard_grant) {
+  *per_shard_grant = 0;
+  gpu::PoolReservation grant;
+  if (plan.min_bytes == 0) return grant;
+
+  // The try/wait cycle runs under mutex_ so a grant release (which takes
+  // mutex_ before notifying) cannot slip between a failed reservation
+  // and the wait — no lost wakeups. All-or-nothing acquisition
+  // (TryReservePool) plus serialization on mutex_ means two queries can
+  // never hold partial multi-device grants and wait on each other. Lock
+  // order is always mutex_ → device mutex, never the reverse.
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    // Placement check: every device must be able to host its shards'
+    // minimum footprint even when the query runs alone — otherwise the
+    // query can never run and is rejected, not queued. The share cap is
+    // evaluated per device and the tightest device bounds the uniform
+    // per-shard grant (deterministically sized batches need one cap).
+    std::size_t tightest_share = std::numeric_limits<std::size_t>::max();
+    Status impossible = Status::OK();
+    for (std::size_t d = 0; d < hosted.size(); ++d) {
+      if (hosted[d] == 0) continue;
+      const std::size_t budget = pool_->device(d)->memory_budget_bytes();
+      if (hosted[d] * plan.min_bytes > budget) {
+        impossible = Status::CapacityError(
+            "query needs " + std::to_string(hosted[d] * plan.min_bytes) +
+            " bytes of device memory on device " + std::to_string(d) +
+            " (" + std::to_string(hosted[d]) + " shard(s)); budget is " +
+            std::to_string(budget));
+        break;
+      }
+      const auto share = static_cast<std::size_t>(
+          static_cast<double>(budget) * options_.max_device_share /
+          static_cast<double>(hosted[d]));
+      tightest_share = std::min(tightest_share, share);
+    }
+    if (!impossible.ok()) return impossible;
+    // Grant policy (per shard): hold the full working set when it fits
+    // under the per-device share cap (no batching); otherwise the capped
+    // share, floored at the minimum the query can make progress with.
+    *per_shard_grant =
+        std::min(plan.full_bytes, std::max(tightest_share, plan.min_bytes));
+
+    std::vector<std::size_t> bytes_per_device(hosted.size(), 0);
+    for (std::size_t d = 0; d < hosted.size(); ++d) {
+      bytes_per_device[d] = hosted[d] * *per_shard_grant;
+    }
+    Result<gpu::PoolReservation> reservation =
+        gpu::TryReservePool(pool_, bytes_per_device);
+    if (reservation.ok()) return reservation;
+    // Insufficient unreserved budget right now: queue (do not fail)
+    // until a running query releases its grants. Bounded wait: grant
+    // releases notify cv_capacity_, but budget resizes
+    // (set_memory_budget_bytes) and reservations released by non-service
+    // holders of the shared devices do not — the timeout re-runs the
+    // budget checks so those paths cannot wedge the dispatcher.
+    cv_capacity_.wait_for(lock, std::chrono::milliseconds(100));
+  }
+}
+
 Result<QueryResult> QueryService::AdmitAndExecute(Executor* executor,
                                                   const Pending& pending,
                                                   QueryStats* stats) {
@@ -365,68 +639,11 @@ Result<QueryResult> QueryService::AdmitAndExecute(Executor* executor,
   // which reduces everything below to the single-budget policy.
   const std::vector<std::size_t> hosted = executor->ShardsPerDevice();
 
-  gpu::PoolReservation grant;
   std::size_t per_shard_grant = 0;
-  if (plan.value().min_bytes > 0) {
-    // The try/wait cycle runs under mutex_ so a grant release (which takes
-    // mutex_ before notifying) cannot slip between a failed reservation
-    // and the wait — no lost wakeups. All-or-nothing acquisition
-    // (TryReservePool) plus serialization on mutex_ means two queries can
-    // never hold partial multi-device grants and wait on each other. Lock
-    // order is always mutex_ → device mutex, never the reverse.
-    std::unique_lock<std::mutex> lock(mutex_);
-    for (;;) {
-      // Placement check: every device must be able to host its shards'
-      // minimum footprint even when the query runs alone — otherwise the
-      // query can never run and is rejected, not queued. The share cap is
-      // evaluated per device and the tightest device bounds the uniform
-      // per-shard grant (deterministically sized batches need one cap).
-      std::size_t tightest_share = std::numeric_limits<std::size_t>::max();
-      Status impossible = Status::OK();
-      for (std::size_t d = 0; d < hosted.size(); ++d) {
-        if (hosted[d] == 0) continue;
-        const std::size_t budget = pool_->device(d)->memory_budget_bytes();
-        if (hosted[d] * plan.value().min_bytes > budget) {
-          impossible = Status::CapacityError(
-              "query needs " +
-              std::to_string(hosted[d] * plan.value().min_bytes) +
-              " bytes of device memory on device " + std::to_string(d) +
-              " (" + std::to_string(hosted[d]) + " shard(s)); budget is " +
-              std::to_string(budget));
-          break;
-        }
-        const auto share = static_cast<std::size_t>(
-            static_cast<double>(budget) * options_.max_device_share /
-            static_cast<double>(hosted[d]));
-        tightest_share = std::min(tightest_share, share);
-      }
-      if (!impossible.ok()) return impossible;
-      // Grant policy (per shard): hold the full working set when it fits
-      // under the per-device share cap (no batching); otherwise the capped
-      // share, floored at the minimum the query can make progress with.
-      per_shard_grant = std::min(
-          plan.value().full_bytes,
-          std::max(tightest_share, plan.value().min_bytes));
-
-      std::vector<std::size_t> bytes_per_device(hosted.size(), 0);
-      for (std::size_t d = 0; d < hosted.size(); ++d) {
-        bytes_per_device[d] = hosted[d] * per_shard_grant;
-      }
-      Result<gpu::PoolReservation> reservation =
-          gpu::TryReservePool(pool_, bytes_per_device);
-      if (reservation.ok()) {
-        grant = std::move(reservation).MoveValueUnsafe();
-        break;
-      }
-      // Insufficient unreserved budget right now: queue (do not fail)
-      // until a running query releases its grants. Bounded wait: grant
-      // releases notify cv_capacity_, but budget resizes
-      // (set_memory_budget_bytes) and reservations released by non-service
-      // holders of the shared devices do not — the timeout re-runs the
-      // budget checks so those paths cannot wedge the dispatcher.
-      cv_capacity_.wait_for(lock, std::chrono::milliseconds(100));
-    }
-  }
+  Result<gpu::PoolReservation> acquired =
+      AcquireGrant(plan.value(), hosted, &per_shard_grant);
+  if (!acquired.ok()) return acquired.status();
+  gpu::PoolReservation grant = std::move(acquired).MoveValueUnsafe();
   stats->granted_bytes = grant.total_bytes();
   stats->granted_bytes_per_device.resize(pool_->size(), 0);
   for (std::size_t d = 0; d < pool_->size(); ++d) {

@@ -76,6 +76,19 @@ struct ServiceOptions {
   /// gets its minimum (progress beats fairness).
   double max_device_share = 0.5;
 
+  /// Maximum queries fused into one shared-scan execution (1 = fusion
+  /// off, the default). When > 1, a dispatcher that pops a raster query
+  /// scans the waiting lanes for up to this many *compatible* queries —
+  /// same dataset, same resolved variant, same canvas (ε for bounded,
+  /// canvas_dim for accurate); aggregates, columns, and filters are free —
+  /// and executes them as ONE fused point scan (Executor::ExecuteFused)
+  /// under ONE admission grant sized by the group's union upload plan.
+  /// Every member's result stays bitwise identical to running it alone,
+  /// and fusion is invisible at the wire level (no new response fields).
+  /// See docs/SERVICE.md "Fusion groups" for the policy and the
+  /// determinism argument.
+  std::size_t max_fusion_group_size = 1;
+
   /// Byte budget of the service-level result cache (0 = caching off).
   /// When on, repeats of a semantically-equal query — execution knobs
   /// excluded — are served from the cache and **bypass admission
@@ -123,6 +136,12 @@ struct QueryStats {
   /// granted_bytes_per_device, lookup-only execute_seconds, and equal
   /// counter snapshots — never the original miss's execution stats.
   bool cache_hit = false;
+  /// Number of distinct queries that executed in the same fused point scan
+  /// as this one (1 = executed alone; cache hits always report 1). Fused
+  /// members share the group's grant and counter window, replicated here.
+  /// C++-visible accounting only — never serialized on the wire; the HTTP
+  /// response schema is unchanged and fusion is invisible to clients.
+  std::size_t fused_group_size = 1;
 };
 
 /// What a submitted query's future resolves to. `result.status()` carries
@@ -306,6 +325,29 @@ class QueryService {
 
   /// Admission + execution of one popped query (dispatcher thread).
   void RunQuery(Pending pending);
+
+  /// Scans the waiting lanes (priority first, then FIFO, queue order) for
+  /// queries fusion-compatible with group->front() and moves up to
+  /// max_fusion_group_size − 1 of them into the group, dispatch-ordered
+  /// and counted running. Caller holds mutex_.
+  void CollectFusionGroupLocked(std::vector<Pending>* group);
+
+  /// Fused execution of a collected group: per-member cache probe (hits
+  /// leave the group), in-group dedupe of semantically identical members,
+  /// ONE admission grant sized by Executor::PlanFusedAdmission, one
+  /// ExecuteFused scan, then per-member demux / cache insert / respond.
+  /// Degenerates to RunQuery when one miss remains.
+  void RunGroup(std::vector<Pending> group);
+
+  /// The admission try/wait cycle shared by the solo and fused paths:
+  /// places `plan` against the per-device shard counts, waits (bounded)
+  /// for pool capacity, and returns the all-or-nothing reservation plus
+  /// the uniform per-shard grant (empty reservation and grant 0 when
+  /// plan.min_bytes == 0). CapacityError when the plan cannot fit even on
+  /// an idle pool.
+  Result<gpu::PoolReservation> AcquireGrant(
+      const AdmissionPlan& plan, const std::vector<std::size_t>& hosted,
+      std::size_t* per_shard_grant);
 
   /// The uncached execution path: sizes and reserves the per-device
   /// grants, executes batched to the per-shard grant, releases. Fills the

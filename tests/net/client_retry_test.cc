@@ -1,0 +1,194 @@
+/// \file client_retry_test.cc
+/// \brief HttpClient reconnect-and-retry safety under injected connection
+/// drops.
+///
+/// The retry exists for one case: a keep-alive connection the server
+/// closed between requests (drain, idle timeout), where the next request
+/// observes a dead socket before any response byte arrives. Anything past
+/// that — a drop *mid-response* — must surface as an error, because the
+/// server may already have executed the request and a blind replay would
+/// double-submit it. POSTs additionally require the caller's
+/// set_replay_safe_posts opt-in (the client cannot know a POST is
+/// side-effect-free).
+#include "net/client.h"
+
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "net/http.h"
+
+namespace rj::net {
+namespace {
+
+/// How the scripted server treats one request on the current connection.
+enum class Action {
+  kRespond,       ///< full 200, keep the connection open
+  kRespondClose,  ///< full 200, then close WITHOUT a Connection: close
+                  ///< header — the client believes the socket is alive
+                  ///< (the stale-keep-alive injection)
+  kPartialClose,  ///< status line + headers + part of the body, then close
+                  ///< (the mid-response drop injection)
+};
+
+/// Reads one full HTTP request from `fd` into oblivion (leftovers kept in
+/// `buf`). False when the peer closed or the read timed out.
+bool ReadOneRequest(int fd, std::string* buf) {
+  (void)SetRecvTimeout(fd, 0.2);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  char chunk[4096];
+  for (;;) {
+    const std::size_t head_end = buf->find("\r\n\r\n");
+    if (head_end != std::string::npos) {
+      std::size_t body_len = 0;
+      const std::string head = buf->substr(0, head_end);
+      const std::size_t cl = head.find("Content-Length:");
+      if (cl != std::string::npos) {
+        body_len = std::strtoul(head.c_str() + cl + 15, nullptr, 10);
+      }
+      const std::size_t total = head_end + 4 + body_len;
+      if (buf->size() >= total) {
+        buf->erase(0, total);
+        return true;
+      }
+    }
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      buf->append(chunk, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n == 0) return false;
+    if ((errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) &&
+        std::chrono::steady_clock::now() < deadline) {
+      continue;
+    }
+    return false;
+  }
+}
+
+/// Single-threaded TCP server following a per-request script. Counts every
+/// request it actually *read* — the double-submit metric: a replayed
+/// request the server processes twice counts twice.
+class ScriptedServer {
+ public:
+  explicit ScriptedServer(std::vector<Action> script)
+      : script_(std::move(script)) {
+    Result<int> listen = ListenTcp("127.0.0.1", 0, 4);
+    EXPECT_TRUE(listen.ok()) << listen.status().ToString();
+    listen_fd_ = listen.value();
+    port_ = LocalPort(listen_fd_).value();
+    thread_ = std::thread([this] { Run(); });
+  }
+
+  ~ScriptedServer() {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    CloseFd(listen_fd_);
+    if (thread_.joinable()) thread_.join();
+  }
+
+  int port() const { return port_; }
+  int requests_received() const { return requests_.load(); }
+
+ private:
+  void Run() {
+    std::size_t step = 0;
+    while (step < script_.size()) {
+      const int fd = ::accept(listen_fd_, nullptr, nullptr);
+      if (fd < 0) return;  // listener shut down
+      std::string buf;
+      while (step < script_.size() && ReadOneRequest(fd, &buf)) {
+        requests_.fetch_add(1);
+        const Action action = script_[step++];
+        if (action == Action::kPartialClose) {
+          (void)WriteAll(fd,
+                         "HTTP/1.1 200 OK\r\nContent-Length: 10\r\n\r\nabc");
+          break;
+        }
+        (void)WriteAll(fd, "HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\nok");
+        if (action == Action::kRespondClose) break;
+      }
+      CloseFd(fd);
+    }
+  }
+
+  std::vector<Action> script_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<int> requests_{0};
+  std::thread thread_;
+};
+
+TEST(HttpClientRetry, StaleKeepAlivePostRetriesWhenReplaySafe) {
+  // Request 1 succeeds; the server then closes the idle connection without
+  // telling the client. Request 2 hits the dead socket, gets zero response
+  // bytes, and — being an opted-in replay-safe POST — retries once on a
+  // fresh connection. The server processes each request exactly once.
+  ScriptedServer server({Action::kRespondClose, Action::kRespond});
+  HttpClient client("127.0.0.1", server.port(), 5.0);
+  client.set_replay_safe_posts(true);
+
+  Result<HttpClientResponse> first = client.Post("/v1/query", "{}");
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_EQ(first.value().status, 200);
+
+  Result<HttpClientResponse> second = client.Post("/v1/query", "{}");
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_EQ(second.value().status, 200);
+  EXPECT_EQ(server.requests_received(), 2);
+}
+
+TEST(HttpClientRetry, MidResponseDropIsNeverRetried) {
+  // Request 2's response is cut off mid-body. The server may have executed
+  // the request (here it did — it read it), so even a replay-safe client
+  // must surface the error instead of silently double-submitting. The
+  // third scripted action stays unconsumed: a (buggy) retry would have
+  // reached it and turned the error into a 200.
+  ScriptedServer server(
+      {Action::kRespond, Action::kPartialClose, Action::kRespond});
+  HttpClient client("127.0.0.1", server.port(), 5.0);
+  client.set_replay_safe_posts(true);
+
+  ASSERT_TRUE(client.Post("/v1/query", "{}").ok());
+  Result<HttpClientResponse> dropped = client.Post("/v1/query", "{}");
+  EXPECT_FALSE(dropped.ok());
+  EXPECT_EQ(server.requests_received(), 2);
+}
+
+TEST(HttpClientRetry, PostIsNotRetriedWithoutOptIn) {
+  // Default client: POSTs are never replayed, even on the "safe" zero-byte
+  // stale-keep-alive drop — the client cannot know the POST lacks side
+  // effects. The error surfaces; the server never sees a second request.
+  ScriptedServer server({Action::kRespondClose, Action::kRespond});
+  HttpClient client("127.0.0.1", server.port(), 5.0);
+
+  ASSERT_TRUE(client.Post("/v1/query", "{}").ok());
+  Result<HttpClientResponse> second = client.Post("/v1/query", "{}");
+  EXPECT_FALSE(second.ok());
+  EXPECT_EQ(server.requests_received(), 1);
+}
+
+TEST(HttpClientRetry, GetRetriesOnStaleKeepAliveByDefault) {
+  // GETs are idempotent: the zero-byte stale-keep-alive retry stays on
+  // without any opt-in.
+  ScriptedServer server({Action::kRespondClose, Action::kRespond});
+  HttpClient client("127.0.0.1", server.port(), 5.0);
+
+  Result<HttpClientResponse> first = client.Get("/healthz");
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  Result<HttpClientResponse> second = client.Get("/healthz");
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_EQ(second.value().status, 200);
+  EXPECT_EQ(server.requests_received(), 2);
+}
+
+}  // namespace
+}  // namespace rj::net

@@ -261,6 +261,10 @@ TEST(HttpServerTest, PerClientRateLimiting) {
   EXPECT_NE(limited.value().body.find("\"retryable\":true"),
             std::string::npos)
       << limited.value().body;
+  // The body carries the millisecond-fidelity hint the header cannot.
+  EXPECT_NE(limited.value().body.find("\"retry_after_ms\":"),
+            std::string::npos)
+      << limited.value().body;
 
   // Distinct clients own distinct buckets.
   EXPECT_EQ(client.Post("/v1/query", PostBody(spec), bob).value().status,

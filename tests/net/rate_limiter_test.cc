@@ -1,10 +1,14 @@
 /// \file rate_limiter_test.cc
-/// \brief Token-bucket behavior under an injected clock (no sleeping).
+/// \brief Token-bucket behavior under an injected clock (no sleeping),
+/// plus the retry-hint rendering the limiter's decisions feed.
 #include "net/rate_limiter.h"
 
 #include <gtest/gtest.h>
 
 #include <string>
+
+#include "net/server.h"
+#include "net/wire.h"
 
 namespace rj::net {
 namespace {
@@ -90,6 +94,48 @@ TEST(RateLimiter, IdleBucketsAreSweptAtCapacity) {
   t += 60.0;
   EXPECT_TRUE(limiter.Admit("fresh", t).allowed);
   EXPECT_LE(limiter.num_clients(), 8u);
+}
+
+TEST(RetryAfterHints, HeaderRoundsUpToWholeSecondsAtLeastOne) {
+  // The Retry-After header is spec-bound to whole seconds: everything
+  // rounds up, and sub-second hints clamp to "1".
+  EXPECT_EQ(RetryAfterValue(0.05), "1");
+  EXPECT_EQ(RetryAfterValue(0.999), "1");
+  EXPECT_EQ(RetryAfterValue(1.0), "1");
+  EXPECT_EQ(RetryAfterValue(1.2), "2");
+  EXPECT_EQ(RetryAfterValue(3.0), "3");
+}
+
+TEST(RetryAfterHints, BodyCarriesMillisecondFidelity) {
+  // A 50 ms shed window must not be inflated 20× for clients that can
+  // honor it: the JSON envelope carries the precise hint in
+  // "retry_after_ms" while the header stays at "1".
+  const std::string body = ErrorJson(Status::CapacityError("shed"), 0.05);
+  EXPECT_NE(body.find("\"retry_after_ms\":50"), std::string::npos) << body;
+  EXPECT_NE(body.find("\"error\":"), std::string::npos) << body;
+  EXPECT_NE(ErrorJson(Status::CapacityError("x"), 0.0)
+                .find("\"retry_after_ms\":0"),
+            std::string::npos);
+  // Fractional milliseconds still round up — never tell a client to retry
+  // before the bucket has the token.
+  EXPECT_NE(ErrorJson(Status::CapacityError("x"), 0.0505)
+                .find("\"retry_after_ms\":51"),
+            std::string::npos);
+}
+
+TEST(RateLimiter, SubSecondDecisionSurvivesTheEnvelope) {
+  RateLimiter limiter(Opts(10.0, 1.0));  // one token every 100 ms
+  double t = 0.0;
+  EXPECT_TRUE(limiter.Admit("a", t).allowed);
+  RateLimiter::Decision d = limiter.Admit("a", t);
+  ASSERT_FALSE(d.allowed);
+  EXPECT_GT(d.retry_after_seconds, 0.0);
+  EXPECT_LE(d.retry_after_seconds, 0.1 + 1e-9);
+  // The exact decision reaches the body; the header collapses to 1 s.
+  const std::string body =
+      ErrorJson(Status::CapacityError("rl"), d.retry_after_seconds);
+  EXPECT_NE(body.find("\"retry_after_ms\":100"), std::string::npos) << body;
+  EXPECT_EQ(RetryAfterValue(d.retry_after_seconds), "1");
 }
 
 }  // namespace

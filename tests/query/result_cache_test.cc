@@ -313,6 +313,68 @@ TEST(ResultCacheTest, LeaderErrorIsSharedWithFollowersButNotCached) {
   EXPECT_NE(cache.Lookup(key), nullptr);
 }
 
+TEST(ResultCacheTest, VersionBumpDuringFlightIsNotPublished) {
+  // Regression: a single-flight leader computes against dataset version V;
+  // the dataset is bumped to V+1 while the flight is in the air. The
+  // still_valid re-check must keep the V-stamped result out of the LRU —
+  // otherwise a later Lookup of the (now historically-keyed) entry serves
+  // data the caller believes is fresh-at-miss-time.
+  ResultCache cache({1 << 20, 1});
+  SpatialAggQuery q;
+  std::atomic<std::uint64_t> version{0};
+  const CacheKey key =
+      MakeCacheKey(0, version.load(), q, JoinVariant::kBoundedRaster);
+
+  bool hit = true;
+  auto result = cache.GetOrCompute(
+      key,
+      [&]() -> Result<QueryResult> {
+        version.fetch_add(1);  // streaming append lands mid-flight
+        return MakeResult(4.0);
+      },
+      &hit, /*still_valid=*/[&] { return version.load() == key.version; });
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(hit);
+  // The caller still gets the value (a correct answer to the query as
+  // admitted)...
+  EXPECT_EQ(result.value()->values[0], 4.0);
+  // ...but nothing was published.
+  EXPECT_EQ(cache.stats().inserts, 0u);
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_EQ(cache.Lookup(key), nullptr);
+}
+
+TEST(ResultCacheTest, FollowersShareTheFlightValueEvenWhenUnpublishable) {
+  ResultCache cache({1 << 20, 1});
+  SpatialAggQuery q;
+  const CacheKey key = MakeCacheKey(0, 0, q, JoinVariant::kBoundedRaster);
+  std::atomic<std::uint64_t> version{0};
+  std::atomic<int> wrong{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 6; ++t) {
+    threads.emplace_back([&] {
+      auto r = cache.GetOrCompute(
+          key,
+          [&]() -> Result<QueryResult> {
+            // Give followers time to pile on, then bump before publishing.
+            std::this_thread::sleep_for(std::chrono::milliseconds(20));
+            version.fetch_add(1);
+            return MakeResult(6.0);
+          },
+          nullptr,
+          /*still_valid=*/[&] { return version.load() == key.version; });
+      if (!r.ok() || r.value()->values[0] != 6.0) ++wrong;
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  // Every caller — leader(s) and followers — received the flight's value,
+  // yet the post-bump results never seeded the LRU.
+  EXPECT_EQ(wrong.load(), 0);
+  EXPECT_EQ(cache.stats().inserts, 0u);
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_EQ(cache.Lookup(key), nullptr);
+}
+
 // ---------------------------------------------------------------------------
 // PlanCache
 
