@@ -54,23 +54,60 @@ Result<ColumnStoreReader> ColumnStoreReader::Open(
   if (!reader.file_.is_open()) {
     return Status::IOError("cannot open: " + path);
   }
+  // Everything in the header is untrusted until it is validated against
+  // the actual file size: a corrupt `len` must not drive a multi-GB
+  // std::string allocation, and a corrupt row/attribute count must not
+  // turn into out-of-range reads later.
+  reader.file_.seekg(0, std::ios::end);
+  const auto file_size = static_cast<std::uint64_t>(reader.file_.tellg());
+  reader.file_.seekg(0);
+  if (file_size < sizeof(reader.header_)) {
+    return Status::IOError("not a column-store file (truncated): " + path);
+  }
   reader.file_.read(reinterpret_cast<char*>(&reader.header_),
                     sizeof(reader.header_));
   if (!reader.file_.good() ||
       reader.header_.magic != ColumnStoreHeader::kMagic) {
     return Status::IOError("not a column-store file: " + path);
   }
+  if (reader.header_.version != 1) {
+    return Status::IOError(
+        "unsupported column-store version " +
+        std::to_string(reader.header_.version) +
+        " (v2 block files open via data::OpenPointBlockSource): " + path);
+  }
+  // Each attribute costs at least its 4-byte name-length prefix.
+  std::uint64_t offset = sizeof(reader.header_);
+  if (reader.header_.num_attributes >
+      (file_size - offset) / sizeof(std::uint32_t)) {
+    return Status::IOError("corrupt header (attribute count): " + path);
+  }
   for (std::uint32_t c = 0; c < reader.header_.num_attributes; ++c) {
     std::uint32_t len = 0;
+    if (offset + sizeof(len) > file_size) {
+      return Status::IOError("truncated header: " + path);
+    }
     reader.file_.read(reinterpret_cast<char*>(&len), sizeof(len));
+    offset += sizeof(len);
+    if (!reader.file_.good() || len > file_size - offset) {
+      return Status::IOError("truncated header: " + path);
+    }
     std::string name(len, '\0');
     reader.file_.read(name.data(), len);
+    offset += len;
     if (!reader.file_.good()) {
       return Status::IOError("truncated header: " + path);
     }
     reader.names_.push_back(std::move(name));
   }
   reader.data_offset_ = static_cast<std::uint64_t>(reader.file_.tellg());
+  // The column region must actually hold num_rows rows of x/y doubles plus
+  // one float per attribute.
+  const std::uint64_t row_bytes =
+      2 * sizeof(double) + reader.header_.num_attributes * sizeof(float);
+  if (reader.header_.num_rows > (file_size - reader.data_offset_) / row_bytes) {
+    return Status::IOError("truncated column data: " + path);
+  }
   for (const std::uint32_t c : columns) {
     if (c >= reader.header_.num_attributes) {
       return Status::InvalidArgument("column index out of range");
@@ -95,9 +132,9 @@ Result<std::uint64_t> ColumnStoreReader::NextBatch(std::uint64_t max_rows,
   const std::uint64_t remaining = header_.num_rows - cursor_;
   const std::uint64_t n = std::min(max_rows, remaining);
 
-  *out = PointTable();
-  for (const std::uint32_t c : columns_) out->AddAttribute(names_[c]);
-  if (n == 0) return std::uint64_t{0};
+  std::vector<std::string> batch_names;
+  batch_names.reserve(columns_.size());
+  for (const std::uint32_t c : columns_) batch_names.push_back(names_[c]);
 
   const std::uint64_t rows = header_.num_rows;
   const std::uint64_t x_off = data_offset_ + cursor_ * sizeof(double);
@@ -105,25 +142,26 @@ Result<std::uint64_t> ColumnStoreReader::NextBatch(std::uint64_t max_rows,
       data_offset_ + rows * sizeof(double) + cursor_ * sizeof(double);
 
   std::vector<double> xs(n), ys(n);
-  RJ_RETURN_NOT_OK(ReadAt(x_off, xs.data(), n * sizeof(double)));
-  RJ_RETURN_NOT_OK(ReadAt(y_off, ys.data(), n * sizeof(double)));
+  if (n > 0) {
+    RJ_RETURN_NOT_OK(ReadAt(x_off, xs.data(), n * sizeof(double)));
+    RJ_RETURN_NOT_OK(ReadAt(y_off, ys.data(), n * sizeof(double)));
+  }
 
   std::vector<std::vector<float>> cols(columns_.size());
   const std::uint64_t attrs_base = data_offset_ + 2 * rows * sizeof(double);
   for (std::size_t k = 0; k < columns_.size(); ++k) {
     cols[k].resize(n);
+    if (n == 0) continue;
     const std::uint64_t off =
         attrs_base + columns_[k] * rows * sizeof(float) +
         cursor_ * sizeof(float);
     RJ_RETURN_NOT_OK(ReadAt(off, cols[k].data(), n * sizeof(float)));
   }
 
-  out->Reserve(n);
-  std::vector<float> vals(columns_.size());
-  for (std::uint64_t i = 0; i < n; ++i) {
-    for (std::size_t k = 0; k < columns_.size(); ++k) vals[k] = cols[k][i];
-    out->Append(xs[i], ys[i], vals);
-  }
+  // The column vectors are already exactly the batch — move them in
+  // wholesale instead of re-copying every row through Append.
+  out->AdoptColumns(std::move(xs), std::move(ys), std::move(batch_names),
+                    std::move(cols));
   cursor_ += n;
   return n;
 }

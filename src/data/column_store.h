@@ -40,7 +40,11 @@ Result<PointTable> ReadColumnStore(const std::string& path);
 class ColumnStoreReader {
  public:
   /// Opens `path`; `columns` selects attribute columns by index
-  /// (locations are always read).
+  /// (locations are always read). Every header field is validated against
+  /// the actual file size before it is trusted: corrupt or truncated files
+  /// fail with IOError instead of driving allocations or reads. v2 block
+  /// files (block_file.h) are rejected here — open them through
+  /// data::OpenPointBlockSource, which serves both versions.
   static Result<ColumnStoreReader> Open(const std::string& path,
                                         std::vector<std::uint32_t> columns);
 

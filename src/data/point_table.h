@@ -7,6 +7,7 @@
 /// what the paper ships to the GPU in the VBO.
 #pragma once
 
+#include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <string>
@@ -40,6 +41,7 @@ class PointTable {
 
   /// Appends a point; `attr_values` must have one entry per declared column.
   void Append(double px, double py, const std::vector<float>& attr_values) {
+    extent_valid_ = false;
     x_.push_back(px);
     y_.push_back(py);
     for (std::size_t c = 0; c < attrs_.size(); ++c) {
@@ -48,12 +50,32 @@ class PointTable {
   }
   void Append(double px, double py) { Append(px, py, {}); }
 
+  /// Replaces the table's contents with fully-built columns, moved in
+  /// wholesale — the bulk-materialization path for readers that already
+  /// hold column vectors (ColumnStoreReader, BlockFileReader), which would
+  /// otherwise re-copy every row through Append. All column vectors must
+  /// share one length and `attrs` must match `names` in count.
+  void AdoptColumns(std::vector<double> xs, std::vector<double> ys,
+                    std::vector<std::string> names,
+                    std::vector<std::vector<float>> attrs) {
+    assert(xs.size() == ys.size());
+    assert(names.size() == attrs.size());
+    x_ = std::move(xs);
+    y_ = std::move(ys);
+    attr_names_ = std::move(names);
+    attrs_ = std::move(attrs);
+    extent_valid_ = false;
+  }
+
   Point At(std::size_t i) const { return {x_[i], y_[i]}; }
 
   const std::vector<double>& xs() const { return x_; }
   const std::vector<double>& ys() const { return y_; }
 
   std::size_t num_attributes() const { return attrs_.size(); }
+  const std::vector<std::string>& attribute_names() const {
+    return attr_names_;
+  }
   const std::vector<float>& attribute(std::size_t col) const {
     return attrs_[col];
   }
@@ -73,11 +95,24 @@ class PointTable {
     return npos;
   }
 
-  /// Bounding box of all locations.
+  /// Bounding box of all locations. O(n) unless CacheExtent() ran after
+  /// the last mutation, in which case the cached box is returned.
   BBox Extent() const {
+    if (extent_valid_) return cached_extent_;
     BBox box;
     for (std::size_t i = 0; i < size(); ++i) box.Expand(At(i));
     return box;
+  }
+
+  /// Computes and caches the extent so subsequent Extent() calls are O(1).
+  /// Call once after the table is fully built and *before* sharing it
+  /// across threads — the cache write is unsynchronized (single-writer-
+  /// before-sharing, like the rest of the table). Appending invalidates.
+  const BBox& CacheExtent() {
+    extent_valid_ = false;
+    cached_extent_ = Extent();
+    extent_valid_ = true;
+    return cached_extent_;
   }
 
   /// Bytes per point shipped to the device: x, y as float32 plus each
@@ -94,6 +129,8 @@ class PointTable {
   std::vector<double> y_;
   std::vector<std::vector<float>> attrs_;
   std::vector<std::string> attr_names_;
+  BBox cached_extent_;
+  bool extent_valid_ = false;
 };
 
 inline PointTable PointTable::Slice(std::size_t begin, std::size_t end) const {

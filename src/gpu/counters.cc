@@ -12,20 +12,24 @@ void Counters::Reset() {
   pip_tests_ = 0;
   render_passes_ = 0;
   batches_ = 0;
+  blocks_scanned_ = 0;
+  blocks_pruned_ = 0;
 }
 
 std::string Counters::ToString() const {
-  char buf[256];
+  char buf[320];
   std::snprintf(buf, sizeof(buf),
                 "fragments=%llu vertices=%llu bytes=%llu atomics=%llu "
-                "pip=%llu passes=%llu batches=%llu",
+                "pip=%llu passes=%llu batches=%llu blocks=%llu pruned=%llu",
                 static_cast<unsigned long long>(fragments()),
                 static_cast<unsigned long long>(vertices()),
                 static_cast<unsigned long long>(bytes_transferred()),
                 static_cast<unsigned long long>(atomic_adds()),
                 static_cast<unsigned long long>(pip_tests()),
                 static_cast<unsigned long long>(render_passes()),
-                static_cast<unsigned long long>(batches()));
+                static_cast<unsigned long long>(batches()),
+                static_cast<unsigned long long>(blocks_scanned()),
+                static_cast<unsigned long long>(blocks_pruned()));
   return buf;
 }
 

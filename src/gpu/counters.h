@@ -25,6 +25,8 @@ struct CountersSnapshot {
   std::uint64_t pip_tests = 0;
   std::uint64_t render_passes = 0;
   std::uint64_t batches = 0;
+  std::uint64_t blocks_scanned = 0;  ///< zone-map decisions: block read
+  std::uint64_t blocks_pruned = 0;   ///< zone-map decisions: block skipped
 
   /// Per-field difference (work performed between two snapshots).
   CountersSnapshot DeltaSince(const CountersSnapshot& earlier) const {
@@ -36,6 +38,8 @@ struct CountersSnapshot {
     d.pip_tests = pip_tests - earlier.pip_tests;
     d.render_passes = render_passes - earlier.render_passes;
     d.batches = batches - earlier.batches;
+    d.blocks_scanned = blocks_scanned - earlier.blocks_scanned;
+    d.blocks_pruned = blocks_pruned - earlier.blocks_pruned;
     return d;
   }
 
@@ -51,6 +55,8 @@ struct CountersSnapshot {
     s.pip_tests = pip_tests + other.pip_tests;
     s.render_passes = render_passes + other.render_passes;
     s.batches = batches + other.batches;
+    s.blocks_scanned = blocks_scanned + other.blocks_scanned;
+    s.blocks_pruned = blocks_pruned + other.blocks_pruned;
     return s;
   }
 };
@@ -70,6 +76,8 @@ class Counters {
     s.pip_tests = pip_tests();
     s.render_passes = render_passes();
     s.batches = batches();
+    s.blocks_scanned = blocks_scanned();
+    s.blocks_pruned = blocks_pruned();
     return s;
   }
 
@@ -80,6 +88,8 @@ class Counters {
   void AddPipTests(std::uint64_t n) { pip_tests_ += n; }
   void AddRenderPasses(std::uint64_t n) { render_passes_ += n; }
   void AddBatches(std::uint64_t n) { batches_ += n; }
+  void AddBlocksScanned(std::uint64_t n) { blocks_scanned_ += n; }
+  void AddBlocksPruned(std::uint64_t n) { blocks_pruned_ += n; }
 
   std::uint64_t fragments() const { return fragments_; }
   std::uint64_t vertices() const { return vertices_; }
@@ -88,6 +98,8 @@ class Counters {
   std::uint64_t pip_tests() const { return pip_tests_; }
   std::uint64_t render_passes() const { return render_passes_; }
   std::uint64_t batches() const { return batches_; }
+  std::uint64_t blocks_scanned() const { return blocks_scanned_; }
+  std::uint64_t blocks_pruned() const { return blocks_pruned_; }
 
   std::string ToString() const;
 
@@ -99,6 +111,8 @@ class Counters {
   std::atomic<std::uint64_t> pip_tests_{0};
   std::atomic<std::uint64_t> render_passes_{0};
   std::atomic<std::uint64_t> batches_{0};
+  std::atomic<std::uint64_t> blocks_scanned_{0};
+  std::atomic<std::uint64_t> blocks_pruned_{0};
 };
 
 }  // namespace rj::gpu

@@ -13,20 +13,49 @@ namespace {
 constexpr int kMaxTransientRetries = 6;
 }  // namespace
 
+BatchPipeline::BatchPipeline(gpu::Device* device,
+                             const data::PointBlockSource* source,
+                             std::vector<std::size_t> blocks,
+                             std::vector<std::size_t> columns,
+                             BatchPipelineOptions options)
+    : device_(device),
+      source_(source),
+      blocks_(std::move(blocks)),
+      columns_(std::move(columns)),
+      mode_(Mode::kPull) {
+  num_batches_ = blocks_.size();
+  // A single batch has nothing to prefetch behind it; stay serialized and
+  // keep the working set at one buffer (full_bytes in the admission plan).
+  overlap_ = options.overlap_transfers && num_batches_ > 1;
+  // Disk-resident sources add the third stage: a reader thread
+  // materializes block b+2 while block b+1 uploads and block b draws. The
+  // extra slot never holds a device buffer while loading, so the resident
+  // VBO count stays ≤ 2 — the same working set the admission plan
+  // reserves for plain double buffering.
+  disk_staged_ = overlap_ && source_->disk_resident();
+  slots_.resize(disk_staged_ ? 3 : (overlap_ ? 2 : 1));
+  if (overlap_) {
+    thread_ = std::thread([this] { TransferLoopPull(); });
+  }
+  if (disk_staged_) {
+    reader_thread_ = std::thread([this] { ReaderLoopPull(); });
+  }
+}
+
 BatchPipeline::BatchPipeline(gpu::Device* device, const PointTable* points,
                              std::vector<std::size_t> columns,
                              std::size_t batch_size,
                              BatchPipelineOptions options)
-    : device_(device),
-      points_(points),
-      columns_(std::move(columns)),
-      batch_size_(std::max<std::size_t>(batch_size, 1)),
-      mode_(Mode::kPull) {
-  num_batches_ = points_->empty()
-                     ? 0
-                     : (points_->size() + batch_size_ - 1) / batch_size_;
-  // A single batch has nothing to prefetch behind it; stay serialized and
-  // keep the working set at one buffer (full_bytes in the admission plan).
+    : device_(device), columns_(std::move(columns)), mode_(Mode::kPull) {
+  // The table path is the block path over an in-memory adapter whose
+  // blocks are exactly the old fixed-size slices: one core loop, bitwise
+  // identical batching.
+  owned_source_ = std::make_unique<data::TableBlockSource>(
+      points, std::max<std::size_t>(batch_size, 1));
+  source_ = owned_source_.get();
+  blocks_.resize(source_->num_blocks());
+  for (std::size_t b = 0; b < blocks_.size(); ++b) blocks_[b] = b;
+  num_batches_ = blocks_.size();
   overlap_ = options.overlap_transfers && num_batches_ > 1;
   slots_.resize(overlap_ ? 2 : 1);
   if (overlap_) {
@@ -142,7 +171,26 @@ Status BatchPipeline::UploadSlot(Slot* slot, const PointTable& table,
   return status;
 }
 
-void BatchPipeline::TransferLoopPull() {
+Status BatchPipeline::ReadBlockInto(Slot* slot, std::size_t ordinal) {
+  Timer timer;
+  Result<data::BlockRef> ref =
+      source_->ReadBlock(blocks_[ordinal], &slot->table);
+  // Transfer time and disk time are separate phases: only disk-resident
+  // sources spend wall time here worth reporting (the in-memory adapter's
+  // ReadBlock is a pointer assignment).
+  if (source_->disk_resident()) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    disk_seconds_ += timer.ElapsedSeconds();
+  }
+  if (!ref.ok()) return ref.status();
+  const data::BlockRef block = std::move(ref).MoveValueUnsafe();
+  slot->rows = block.table;
+  slot->begin = block.begin;
+  slot->end = block.end;
+  return Status::OK();
+}
+
+void BatchPipeline::ReaderLoopPull() {
   for (std::size_t pass = 0;; ++pass) {
     for (std::size_t b = 0; b < num_batches_; ++b) {
       Slot& slot = slots_[b % slots_.size()];
@@ -152,20 +200,74 @@ void BatchPipeline::TransferLoopPull() {
           return canceled_ || slot.state == Slot::State::kFree;
         });
         if (canceled_) return;
+        slot.state = Slot::State::kLoading;
       }
-      const std::size_t begin = b * batch_size_;
-      const std::size_t end = std::min(points_->size(), begin + batch_size_);
-      const Status status = UploadSlot(&slot, *points_, begin, end);
+      const Status status = ReadBlockInto(&slot, b);
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!status.ok()) {
+          error_ = status;
+          // Both downstream stages must observe the latch: the consumer
+          // waits on cv_consumer_, the transfer thread on cv_producer_.
+          cv_consumer_.notify_all();
+          cv_producer_.notify_all();
+          return;
+        }
+        slot.batch_index = b;
+        slot.state = Slot::State::kLoaded;
+        cv_producer_.notify_all();  // the transfer thread waits here too
+      }
+    }
+    // Pass complete. Park until the consumer rewinds for the next tile
+    // pass (or drains) — the thread and the slots' scratch tables stay
+    // warm across passes.
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_producer_.wait(lock, [&] { return canceled_ || rewinds_ > pass; });
+    if (canceled_) return;
+  }
+}
+
+void BatchPipeline::TransferLoopPull() {
+  for (std::size_t pass = 0;; ++pass) {
+    for (std::size_t b = 0; b < num_batches_; ++b) {
+      Slot& slot = slots_[b % slots_.size()];
+      if (disk_staged_) {
+        // Three-stage: wait for the reader thread to hand over the loaded
+        // block (mutex acquisition orders its rows/begin/end writes before
+        // the pack below).
+        std::unique_lock<std::mutex> lock(mutex_);
+        cv_producer_.wait(lock, [&] {
+          return canceled_ || !error_.ok() ||
+                 (slot.state == Slot::State::kLoaded && slot.batch_index == b);
+        });
+        if (canceled_ || !error_.ok()) return;
+      } else {
+        {
+          std::unique_lock<std::mutex> lock(mutex_);
+          cv_producer_.wait(lock, [&] {
+            return canceled_ || slot.state == Slot::State::kFree;
+          });
+          if (canceled_) return;
+        }
+        const Status status = ReadBlockInto(&slot, b);
+        if (!status.ok()) {
+          std::lock_guard<std::mutex> lock(mutex_);
+          error_ = status;
+          cv_consumer_.notify_all();
+          return;
+        }
+      }
+      const Status status =
+          UploadSlot(&slot, *slot.rows, slot.begin, slot.end);
       {
         std::lock_guard<std::mutex> lock(mutex_);
         if (!status.ok()) {
           error_ = status;
           cv_consumer_.notify_all();
+          cv_producer_.notify_all();  // wake the disk reader too
           return;
         }
         slot.batch_index = b;
-        slot.begin = begin;
-        slot.end = end;
         slot.state = Slot::State::kReady;
         cv_consumer_.notify_all();
       }
@@ -219,15 +321,13 @@ Result<std::optional<BatchPipeline::BatchView>> BatchPipeline::Acquire() {
   Slot& slot = slots_[next_acquire_ % slots_.size()];
   if (!overlap_) {
     assert(slot.state == Slot::State::kFree && "Release the previous batch");
-    const std::size_t begin = next_acquire_ * batch_size_;
-    const std::size_t end = std::min(points_->size(), begin + batch_size_);
-    RJ_RETURN_NOT_OK(UploadSlot(&slot, *points_, begin, end));
+    RJ_RETURN_NOT_OK(ReadBlockInto(&slot, next_acquire_));
+    RJ_RETURN_NOT_OK(UploadSlot(&slot, *slot.rows, slot.begin, slot.end));
     slot.batch_index = next_acquire_;
-    slot.begin = begin;
-    slot.end = end;
     slot.state = Slot::State::kReady;
     view_outstanding_ = true;
-    return std::optional<BatchView>(BatchView{next_acquire_++, begin, end});
+    const BatchView view{next_acquire_++, slot.begin, slot.end, slot.rows};
+    return std::optional<BatchView>(view);
   }
   std::unique_lock<std::mutex> lock(mutex_);
   cv_consumer_.wait(lock, [&] {
@@ -239,7 +339,7 @@ Result<std::optional<BatchPipeline::BatchView>> BatchPipeline::Acquire() {
   // the batch that never became ready.
   if (slot.state == Slot::State::kReady &&
       slot.batch_index == next_acquire_) {
-    const BatchView view{slot.batch_index, slot.begin, slot.end};
+    const BatchView view{slot.batch_index, slot.begin, slot.end, slot.rows};
     ++next_acquire_;
     view_outstanding_ = true;
     return std::optional<BatchView>(view);
@@ -366,6 +466,7 @@ Status BatchPipeline::Drain(PhaseTimer* timing) {
     cv_producer_.notify_all();
   }
   if (thread_.joinable()) thread_.join();
+  if (reader_thread_.joinable()) reader_thread_.join();
   // Free whatever is still resident: a prefetched-but-unconsumed batch, or
   // the buffer of a batch the consumer abandoned mid-draw.
   drawn_slot_.reset();
@@ -375,11 +476,15 @@ Status BatchPipeline::Drain(PhaseTimer* timing) {
       slot.vbo.reset();
     }
     slot.table = PointTable();
+    slot.rows = nullptr;
     slot.state = Slot::State::kFree;
   }
   std::lock_guard<std::mutex> lock(mutex_);
   if (timing != nullptr && !drained_) {
     timing->Add(phase::kTransfer, transfer_seconds_);
+    if (disk_seconds_ > 0.0) {
+      timing->Add(phase::kDiskRead, disk_seconds_);
+    }
   }
   drained_ = true;
   return error_;

@@ -23,11 +23,21 @@
 /// the comparison baseline.
 ///
 /// Two modes:
-///  * pull (table scan): the pipeline slices a resident PointTable into
-///    fixed-size batches; the consumer loops Acquire()/Release() until
-///    Acquire returns nullopt, then calls Rewind() to re-stream every
-///    batch for the next tile pass (the transfer thread and staging
-///    buffers survive across passes) or Drain() when done.
+///  * pull (block scan): the pipeline streams the selected blocks of a
+///    data::PointBlockSource — one device batch per block — and the
+///    consumer loops Acquire()/Release() until Acquire returns nullopt,
+///    then calls Rewind() to re-stream every block for the next tile pass
+///    (the threads and staging buffers survive across passes) or Drain()
+///    when done. The PointTable convenience ctor wraps the table in an
+///    in-memory adapter (data::TableBlockSource) whose blocks are exactly
+///    the old fixed-size slices, so in-memory scans are unchanged.
+///    When the source is disk-resident and transfers overlap, the scan
+///    runs three-staged: a reader thread materializes block b+2 from disk
+///    (metered under phase::kDiskRead) while the transfer thread packs and
+///    uploads block b+1 and the consumer draws block b. Three slots cover
+///    the three stages, but a loading slot holds no device buffer yet, so
+///    at most two VBOs are ever resident — the same 2× stride the
+///    admission plan reserves for plain double buffering.
 ///  * push (streaming): the caller feeds externally-sized batches
 ///    (Streaming*Join::AddBatch). Push(b) starts the upload of batch b and
 ///    returns batch b-1 — whose upload has completed — for drawing;
@@ -54,6 +64,7 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <thread>
@@ -61,6 +72,7 @@
 
 #include "common/status.h"
 #include "common/timer.h"
+#include "data/point_block_source.h"
 #include "data/point_table.h"
 #include "gpu/device.h"
 #include "join/join_common.h"
@@ -76,17 +88,34 @@ struct BatchPipelineOptions {
 
 class BatchPipeline {
  public:
-  /// One uploaded batch, resident on the device until Release()d.
+  /// One uploaded batch, resident on the device until Release()d. The
+  /// batch's rows are rows [begin, end) of `*rows`: for in-memory table
+  /// scans `rows` is the scanned table itself (begin/end are global row
+  /// indices, exactly the pre-block contract); for disk sources `rows` is
+  /// a pipeline-owned scratch holding just this block. Valid until
+  /// Release().
   struct BatchView {
     std::size_t index = 0;  ///< batch ordinal (ascending)
     std::size_t begin = 0;  ///< first point row (pull mode)
     std::size_t end = 0;    ///< one past the last point row (pull mode)
+    const PointTable* rows = nullptr;  ///< table the rows live in
   };
 
-  /// Pull mode: scans `points` (not copied; must outlive the pipeline) in
-  /// `batch_size`-point slices, uploading columns `columns` interleaved
-  /// with x and y. Starts the transfer thread when overlap is enabled and
-  /// there is more than one batch to prefetch.
+  /// Pull mode over a block source: streams blocks `blocks` (ordinals into
+  /// `source`, ascending — the zone-map-selected scan list) as one device
+  /// batch each. Neither is copied; `source` must outlive the pipeline.
+  /// Starts the transfer thread when overlap is enabled and there is more
+  /// than one batch, plus the disk reader thread for disk-resident
+  /// sources.
+  BatchPipeline(gpu::Device* device, const data::PointBlockSource* source,
+                std::vector<std::size_t> blocks,
+                std::vector<std::size_t> columns,
+                BatchPipelineOptions options);
+
+  /// Pull mode over a resident table: scans `points` (not copied; must
+  /// outlive the pipeline) in `batch_size`-point slices via an internal
+  /// in-memory adapter. BatchView row ranges are global indices into
+  /// `*points`.
   BatchPipeline(gpu::Device* device, const PointTable* points,
                 std::vector<std::size_t> columns, std::size_t batch_size,
                 BatchPipelineOptions options);
@@ -159,12 +188,18 @@ class BatchPipeline {
     /// transient-allocation fix FboPool applies to canvases).
     std::vector<float> staging;
     std::shared_ptr<gpu::Buffer> vbo;
-    PointTable table;  ///< push mode: retained copy of the pushed batch
+    /// Push mode: retained copy of the pushed batch. Pull mode over a
+    /// disk source: the scratch the block is materialized into (persists
+    /// across passes, like `staging`).
+    PointTable table;
+    const PointTable* rows = nullptr;  ///< pull: table the rows live in
     std::size_t batch_index = 0;
     std::size_t begin = 0;
     std::size_t end = 0;
     enum class State {
-      kFree,     ///< available to the prefetcher / the next Push
+      kFree,     ///< available to the reader / prefetcher / the next Push
+      kLoading,  ///< pull, disk: reader thread materializing the block
+      kLoaded,   ///< pull, disk: rows resident in host RAM, upload pending
       kQueued,   ///< push mode: table set, awaiting upload
       kReady,    ///< upload complete, awaiting the consumer
       kDrawing,  ///< push mode: returned to the caller, draw in progress
@@ -185,8 +220,18 @@ class BatchPipeline {
   Status UploadSlot(Slot* slot, const PointTable& table, std::size_t begin,
                     std::size_t end);
 
+  /// Materializes block ordinal `ordinal` of the scan list into `slot`
+  /// (setting rows/begin/end), accumulating disk wall time for
+  /// disk-resident sources. Runs on the reader thread (three-stage), the
+  /// transfer thread (two-stage), or the caller (serialized).
+  Status ReadBlockInto(Slot* slot, std::size_t ordinal);
+
   void TransferLoopPull();
   void TransferLoopPush();
+
+  /// Disk stage of the three-stage pull pipeline: materializes blocks from
+  /// the source into free slots ahead of the transfer thread.
+  void ReaderLoopPull();
 
   /// Blocks until batch `index`'s upload completes and moves its table out
   /// (push mode).
@@ -197,14 +242,18 @@ class BatchPipeline {
   void ReleaseDrawn();
 
   gpu::Device* device_;
-  const PointTable* points_ = nullptr;  ///< pull mode source
+  const data::PointBlockSource* source_ = nullptr;  ///< pull mode source
+  std::vector<std::size_t> blocks_;  ///< pull: scan list (block ordinals)
+  /// Backing adapter for the PointTable convenience ctor; source_ points
+  /// at it.
+  std::unique_ptr<data::TableBlockSource> owned_source_;
   std::vector<std::size_t> columns_;
-  std::size_t batch_size_ = 0;
   std::size_t num_batches_ = 0;
   Mode mode_;
   bool overlap_ = false;
+  bool disk_staged_ = false;  ///< three-stage: dedicated disk reader thread
 
-  std::vector<Slot> slots_;  ///< 2 with overlap, 1 serialized
+  std::vector<Slot> slots_;  ///< 3 disk-staged, 2 with overlap, 1 serialized
   std::size_t next_acquire_ = 0;              ///< pull consumer cursor
   bool view_outstanding_ = false;  ///< pull consumer-private: unreleased view
   std::size_t pushed_ = 0;                    ///< push producer cursor
@@ -225,8 +274,10 @@ class BatchPipeline {
   std::condition_variable cv_consumer_;  ///< consumer: upload finished/error
   Status error_ = Status::OK();
   double transfer_seconds_ = 0.0;
+  double disk_seconds_ = 0.0;  ///< accumulated block read wall time (mutex_)
 
   std::thread thread_;
+  std::thread reader_thread_;  ///< disk-staged pull only
 };
 
 }  // namespace rj::join

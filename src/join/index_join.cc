@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
+#include <utility>
 
 #include "common/thread_pool.h"
 #include "geometry/pip.h"
@@ -40,15 +42,21 @@ void JoinPointRange(const PointTable& points, const PolygonSet& polys,
   }
 }
 
-}  // namespace
-
-Result<JoinResult> IndexJoinDevice(gpu::Device* device,
-                                   const PointTable& points,
-                                   const PolygonSet& polys, const BBox& world,
-                                   const IndexJoinOptions& options) {
+/// The one device-flavour execution core both public overloads reach (see
+/// raster_join_bounded.cc for the pattern).
+Result<JoinResult> IndexDeviceBlockJoin(gpu::Device* device,
+                                        const data::PointBlockSource& source,
+                                        std::vector<std::size_t> scan,
+                                        const PolygonSet& polys,
+                                        const BBox& world,
+                                        const IndexJoinOptions& options,
+                                        bool overlap) {
   RJ_RETURN_NOT_OK(ValidatePolygonIds(polys));
-  RJ_RETURN_NOT_OK(ValidateWeightColumn(points, options.weight_column));
-  RJ_RETURN_NOT_OK(ValidateFilters(points, options.filters));
+  RJ_RETURN_NOT_OK(
+      ValidateWeightColumnCount(source.num_attributes(),
+                                options.weight_column));
+  RJ_RETURN_NOT_OK(
+      ValidateFiltersCount(source.num_attributes(), options.filters));
 
   JoinResult result(polys.size());
 
@@ -64,25 +72,18 @@ Result<JoinResult> IndexJoinDevice(gpu::Device* device,
   // compute stage over it.
   const std::vector<std::size_t> columns =
       UploadColumns(options.filters, options.weight_column);
-  const std::size_t bytes_per_point = UploadStrideBytes(columns);
-  bool overlap = options.overlap_transfers;
-  std::size_t batch = options.batch_size;
-  if (batch == 0) {
-    const UploadPlan plan = PlanUpload(device->bytes_free(), bytes_per_point,
-                                       points.size(), overlap);
-    batch = plan.batch_size;
-    overlap = plan.overlap_transfers;
-  }
 
   // Per-thread metering window (see pip.h): a global-counter window would
   // absorb concurrent queries' tests on a shared device.
   std::uint64_t worker_pips = 0;
   const std::size_t pip_before = GetThreadPipTestCount();
-  join::BatchPipeline pipeline(device, &points, columns, batch, {overlap});
+  join::BatchPipeline pipeline(device, &source, std::move(scan), columns,
+                               {overlap});
   for (;;) {
     RJ_ASSIGN_OR_RETURN(std::optional<join::BatchPipeline::BatchView> view,
                         pipeline.Acquire());
     if (!view.has_value()) break;
+    const PointTable& rows = *view->rows;
     const std::size_t begin = view->begin;
     const std::size_t end = view->end;
     {
@@ -96,7 +97,7 @@ Result<JoinResult> IndexJoinDevice(gpu::Device* device,
       ThreadPool& pool = device->pool();
       const std::size_t num_chunks = pool.NumChunks(end - begin);
       if (num_chunks <= 1) {
-        JoinPointRange(points, polys, index, options, begin, end,
+        JoinPointRange(rows, polys, index, options, begin, end,
                        &result.arrays);
       } else {
         std::vector<raster::ResultArrays> partials(
@@ -105,7 +106,7 @@ Result<JoinResult> IndexJoinDevice(gpu::Device* device,
         pool.ParallelFor(end - begin, [&](std::size_t lo, std::size_t hi,
                                           std::size_t worker) {
           const std::size_t chunk_pips_before = GetThreadPipTestCount();
-          JoinPointRange(points, polys, index, options, begin + lo,
+          JoinPointRange(rows, polys, index, options, begin + lo,
                          begin + hi, &partials[worker]);
           pips_per_chunk[worker] += GetThreadPipTestCount() -
                                     chunk_pips_before;
@@ -121,6 +122,44 @@ Result<JoinResult> IndexJoinDevice(gpu::Device* device,
   device->counters().AddPipTests((GetThreadPipTestCount() - pip_before) +
                                  worker_pips);
   return result;
+}
+
+}  // namespace
+
+Result<JoinResult> IndexJoinDevice(gpu::Device* device,
+                                   const PointTable& points,
+                                   const PolygonSet& polys, const BBox& world,
+                                   const IndexJoinOptions& options) {
+  const std::size_t bytes_per_point =
+      UploadBytesPerPoint(options.filters, options.weight_column);
+  bool overlap = options.overlap_transfers;
+  std::size_t batch = options.batch_size;
+  if (batch == 0) {
+    const UploadPlan plan = PlanUpload(device->bytes_free(), bytes_per_point,
+                                       points.size(), overlap);
+    batch = plan.batch_size;
+    overlap = plan.overlap_transfers;
+  }
+
+  data::TableBlockSource adapter(&points, std::max<std::size_t>(batch, 1));
+  std::vector<std::size_t> scan(adapter.num_blocks());
+  for (std::size_t b = 0; b < scan.size(); ++b) scan[b] = b;
+  return IndexDeviceBlockJoin(device, adapter, std::move(scan), polys, world,
+                              options, overlap);
+}
+
+Result<JoinResult> IndexJoinDevice(gpu::Device* device,
+                                   const data::PointBlockSource& source,
+                                   const PolygonSet& polys, const BBox& world,
+                                   const IndexJoinOptions& options) {
+  // Pruning against `world` is exact for this variant: the index is built
+  // over `world`, and Candidates yields nothing outside its extent.
+  BlockSelection sel = SelectBlocks(source, options.filters, &world,
+                                    options.enable_block_pruning);
+  device->counters().AddBlocksScanned(sel.scanned);
+  device->counters().AddBlocksPruned(sel.pruned);
+  return IndexDeviceBlockJoin(device, source, std::move(sel.blocks), polys,
+                              world, options, options.overlap_transfers);
 }
 
 Result<JoinResult> IndexJoinCpu(const PointTable& points,
@@ -155,6 +194,62 @@ Result<JoinResult> IndexJoinCpu(const PointTable& points,
                    &partials[worker]);
   });
   for (const auto& partial : partials) result.arrays.AddFrom(partial);
+  return result;
+}
+
+Result<JoinResult> IndexJoinCpu(const data::PointBlockSource& source,
+                                const PolygonSet& polys,
+                                const GridIndex& index,
+                                const IndexJoinOptions& options,
+                                int num_threads, IndexJoinBlockStats* stats) {
+  RJ_RETURN_NOT_OK(ValidatePolygonIds(polys));
+  RJ_RETURN_NOT_OK(
+      ValidateWeightColumnCount(source.num_attributes(),
+                                options.weight_column));
+  RJ_RETURN_NOT_OK(
+      ValidateFiltersCount(source.num_attributes(), options.filters));
+  if (num_threads < 1) {
+    return Status::InvalidArgument("num_threads must be >= 1");
+  }
+
+  const BlockSelection sel = SelectBlocks(source, options.filters,
+                                          &index.extent(),
+                                          options.enable_block_pruning);
+  if (stats != nullptr) {
+    stats->blocks_scanned = sel.scanned;
+    stats->blocks_pruned = sel.pruned;
+  }
+
+  JoinResult result(polys.size());
+  ScopedPhase sp(&result.timing, phase::kProcessing);
+
+  // One pool and one block scratch for the whole scan: the working set is
+  // a single block, never the table.
+  std::optional<ThreadPool> pool;
+  if (num_threads > 1) pool.emplace(static_cast<std::size_t>(num_threads));
+  PointTable scratch;
+  for (const std::size_t b : sel.blocks) {
+    RJ_ASSIGN_OR_RETURN(data::BlockRef ref, source.ReadBlock(b, &scratch));
+    const PointTable& rows = *ref.table;
+    if (pool.has_value()) {
+      // Per-block merge in ascending worker order: deterministic for any
+      // thread count (and exact for the integer-valued weights the repo's
+      // determinism suite uses).
+      std::vector<raster::ResultArrays> partials(
+          pool->num_threads(), raster::ResultArrays(polys.size()));
+      pool->ParallelFor(ref.end - ref.begin,
+                        [&](std::size_t lo, std::size_t hi,
+                            std::size_t worker) {
+                          JoinPointRange(rows, polys, index, options,
+                                         ref.begin + lo, ref.begin + hi,
+                                         &partials[worker]);
+                        });
+      for (const auto& partial : partials) result.arrays.AddFrom(partial);
+    } else {
+      JoinPointRange(rows, polys, index, options, ref.begin, ref.end,
+                     &result.arrays);
+    }
+  }
   return result;
 }
 

@@ -32,12 +32,34 @@ struct IndexJoinOptions {
   /// join::BatchPipeline, two point VBOs in flight). See
   /// BoundedRasterJoinOptions.
   bool overlap_transfers = true;
+
+  /// Block-source executions only: zone-map pruning (see
+  /// BoundedRasterJoinOptions::enable_block_pruning). Exact here too: a
+  /// pruned block's points either fail the filters or fall outside the
+  /// index extent, where GridIndex::Candidates returns no candidates — so
+  /// both results *and* the pip_tests counter are unchanged by pruning.
+  bool enable_block_pruning = true;
+};
+
+/// Zone-map accounting of one block-source index join (the CPU flavour
+/// has no gpu::Counters to meter into).
+struct IndexJoinBlockStats {
+  std::size_t blocks_scanned = 0;
+  std::size_t blocks_pruned = 0;
 };
 
 /// Device (GPU-baseline) flavour; builds the index on the fly and meters
 /// transfers, mirroring IndexJoin of §6.2.
 Result<JoinResult> IndexJoinDevice(gpu::Device* device,
                                    const PointTable& points,
+                                   const PolygonSet& polys, const BBox& world,
+                                   const IndexJoinOptions& options);
+
+/// Block-source execution (see the BoundedRasterJoin overload): streams
+/// the zone-map-selected blocks; bitwise identical to the in-memory
+/// overload on the materialized source.
+Result<JoinResult> IndexJoinDevice(gpu::Device* device,
+                                   const data::PointBlockSource& source,
                                    const PolygonSet& polys, const BBox& world,
                                    const IndexJoinOptions& options);
 
@@ -49,5 +71,16 @@ Result<JoinResult> IndexJoinCpu(const PointTable& points,
                                 const GridIndex& index,
                                 const IndexJoinOptions& options,
                                 int num_threads);
+
+/// CPU flavour over a block source: scans the zone-map-selected blocks
+/// one at a time (the working set is one block, not the table), pruning
+/// against the filters and the index extent. `stats` (optional) receives
+/// the scan/prune counts.
+Result<JoinResult> IndexJoinCpu(const data::PointBlockSource& source,
+                                const PolygonSet& polys,
+                                const GridIndex& index,
+                                const IndexJoinOptions& options,
+                                int num_threads,
+                                IndexJoinBlockStats* stats = nullptr);
 
 }  // namespace rj

@@ -31,6 +31,50 @@ std::vector<std::size_t> UploadColumns(const FilterSet& filters,
   return columns;
 }
 
+bool ZoneMapCanMatch(const data::BlockZoneMap& zone, const FilterSet& filters,
+                     const BBox* canvas_world) {
+  if (canvas_world != nullptr && !zone.bbox.Intersects(*canvas_world)) {
+    return false;
+  }
+  for (const AttributeFilter& f : filters.filters()) {
+    if (f.column >= zone.col_min.size()) continue;  // unknown range: keep
+    const float mn = zone.col_min[f.column];
+    const float mx = zone.col_max[f.column];
+    // Empty range (every value NaN): no row can pass a filter on this
+    // column. NaN fails all five FilterOps, so this prune is exact.
+    if (mn > mx) return false;
+    bool may_match = true;
+    switch (f.op) {
+      case FilterOp::kGreater: may_match = mx > f.value; break;
+      case FilterOp::kGreaterEqual: may_match = mx >= f.value; break;
+      case FilterOp::kLess: may_match = mn < f.value; break;
+      case FilterOp::kLessEqual: may_match = mn <= f.value; break;
+      case FilterOp::kEqual: may_match = mn <= f.value && f.value <= mx; break;
+    }
+    if (!may_match) return false;
+  }
+  return true;
+}
+
+BlockSelection SelectBlocks(const data::PointBlockSource& source,
+                            const FilterSet& filters, const BBox* canvas_world,
+                            bool enable_pruning) {
+  BlockSelection sel;
+  const std::size_t n = source.num_blocks();
+  sel.blocks.reserve(n);
+  for (std::size_t b = 0; b < n; ++b) {
+    const data::BlockZoneMap* zone = source.zone_map(b);
+    if (enable_pruning && zone != nullptr &&
+        !ZoneMapCanMatch(*zone, filters, canvas_world)) {
+      ++sel.pruned;
+      continue;
+    }
+    sel.blocks.push_back(b);
+  }
+  sel.scanned = sel.blocks.size();
+  return sel;
+}
+
 Status UploadTriangleVbo(gpu::Device* device, std::size_t num_triangles,
                          PhaseTimer* timing) {
   ScopedPhase sp(timing, phase::kTransfer);

@@ -9,7 +9,9 @@
 #include "agg/aggregate.h"
 #include "common/status.h"
 #include "common/timer.h"
+#include "data/point_block_source.h"
 #include "data/point_table.h"
+#include "geometry/bbox.h"
 #include "geometry/polygon.h"
 #include "gpu/counters.h"
 #include "gpu/device.h"
@@ -120,24 +122,67 @@ inline UploadPlan PlanUpload(std::size_t avail_bytes,
   return plan;
 }
 
+inline Status ValidateWeightColumnCount(std::size_t num_attributes,
+                                        std::size_t weight_column) {
+  if (weight_column != PointTable::npos && weight_column >= num_attributes) {
+    return Status::InvalidArgument("weight column out of range");
+  }
+  return Status::OK();
+}
+
 inline Status ValidateWeightColumn(const PointTable& points,
                                    std::size_t weight_column) {
-  if (weight_column != PointTable::npos &&
-      weight_column >= points.num_attributes()) {
-    return Status::InvalidArgument("weight column out of range");
+  return ValidateWeightColumnCount(points.num_attributes(), weight_column);
+}
+
+inline Status ValidateFiltersCount(std::size_t num_attributes,
+                                   const FilterSet& filters) {
+  for (const AttributeFilter& f : filters.filters()) {
+    if (f.column >= num_attributes) {
+      return Status::InvalidArgument("filter references unknown column");
+    }
   }
   return Status::OK();
 }
 
 inline Status ValidateFilters(const PointTable& points,
                               const FilterSet& filters) {
-  for (const AttributeFilter& f : filters.filters()) {
-    if (f.column >= points.num_attributes()) {
-      return Status::InvalidArgument("filter references unknown column");
-    }
-  }
-  return Status::OK();
+  return ValidateFiltersCount(points.num_attributes(), filters);
 }
+
+/// True when a block with zone map `zone` may contain rows that satisfy
+/// `filters` and fall inside `canvas_world` (pass nullptr to skip the
+/// spatial test). Strictly conservative: every comparison keeps the block
+/// on ties and treats missing information (a filter column beyond the zone
+/// map's range list) as "may match", so pruning can only skip blocks whose
+/// rows provably contribute nothing — which is what keeps disk execution
+/// bitwise identical to a full scan. The bbox test is closed
+/// (BBox::Intersects), matching GridIndex's closed Contains and the raster
+/// variants' boundary clipping: a block touching the canvas edge is
+/// scanned, never pruned. Column ranges exclude NaN (NaN fails every
+/// FilterOp, so excluding it never prunes a matching row); an all-NaN
+/// column yields an empty range (min > max) that legitimately prunes under
+/// any filter on that column.
+bool ZoneMapCanMatch(const data::BlockZoneMap& zone, const FilterSet& filters,
+                     const BBox* canvas_world);
+
+/// The scan list a block-source join executes: block ordinals that survive
+/// zone-map pruning, in ascending order, plus the counts the Counters
+/// meter (scanned + pruned == source.num_blocks()).
+struct BlockSelection {
+  std::vector<std::size_t> blocks;
+  std::size_t scanned = 0;
+  std::size_t pruned = 0;
+};
+
+/// Selects the blocks of `source` worth scanning for a query with
+/// `filters` over `canvas_world` (nullptr: no spatial restriction).
+/// Blocks without zone maps are always scanned; `enable_pruning = false`
+/// selects everything (the A/B baseline the determinism tests compare
+/// against).
+BlockSelection SelectBlocks(const data::PointBlockSource& source,
+                            const FilterSet& filters, const BBox* canvas_world,
+                            bool enable_pruning);
 
 /// Ships and meters the bounded join's triangle VBO exactly once per
 /// query (allocate → zero-fill upload → free, timed under

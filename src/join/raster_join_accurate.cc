@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "geometry/pip.h"
 #include "join/batch_pipeline.h"
@@ -10,16 +11,25 @@
 
 namespace rj {
 
-Result<JoinResult> AccurateRasterJoin(gpu::Device* device,
-                                      const PointTable& points,
-                                      const PolygonSet& polys,
-                                      const TriangleSoup& soup,
-                                      const BBox& world,
-                                      const AccurateRasterJoinOptions& options,
-                                      AccurateRasterJoinStats* stats) {
+namespace {
+
+/// The one execution core both public overloads reach (see
+/// raster_join_bounded.cc for the pattern): streams scan list `scan`
+/// through a BatchPipeline and runs Procedure AccuratePoints per batch
+/// over the batch's own row table, so in-memory and disk-resident inputs
+/// share one loop.
+Result<JoinResult> AccurateBlockJoin(
+    gpu::Device* device, const data::PointBlockSource& source,
+    std::vector<std::size_t> scan, const PolygonSet& polys,
+    const TriangleSoup& soup, const BBox& world,
+    const AccurateRasterJoinOptions& options, bool overlap,
+    AccurateRasterJoinStats* stats) {
   RJ_RETURN_NOT_OK(ValidatePolygonIds(polys));
-  RJ_RETURN_NOT_OK(ValidateWeightColumn(points, options.weight_column));
-  RJ_RETURN_NOT_OK(ValidateFilters(points, options.filters));
+  RJ_RETURN_NOT_OK(
+      ValidateWeightColumnCount(source.num_attributes(),
+                                options.weight_column));
+  RJ_RETURN_NOT_OK(
+      ValidateFiltersCount(source.num_attributes(), options.filters));
 
   const std::int32_t dim = options.canvas_dim > 0
                                ? options.canvas_dim
@@ -57,21 +67,9 @@ Result<JoinResult> AccurateRasterJoin(gpu::Device* device,
 
   const bool has_weight = options.weight_column != PointTable::npos;
 
-  // Batch planning for out-of-core inputs (see PlanPointBatch: the budget
-  // covers the pipeline's in-flight buffers, 2 when transfers overlap).
   const std::vector<std::size_t> columns =
       UploadColumns(options.filters, options.weight_column);
-  const std::size_t bytes_per_point = UploadStrideBytes(columns);
-  bool overlap = options.overlap_transfers;
-  std::size_t batch = options.batch_size;
-  if (batch == 0) {
-    const UploadPlan plan = PlanUpload(device->bytes_free(), bytes_per_point,
-                                       points.size(), overlap);
-    batch = plan.batch_size;
-    overlap = plan.overlap_transfers;
-  }
-  const std::size_t num_batches =
-      points.empty() ? 0 : (points.size() + batch - 1) / batch;
+  const std::size_t num_batches = scan.size();
 
   std::uint64_t boundary_points = 0;
   std::uint64_t interior_points = 0;
@@ -83,34 +81,36 @@ Result<JoinResult> AccurateRasterJoin(gpu::Device* device,
 
   // --- Step 2: draw points (Procedure AccuratePoints). -------------------
   // Batch b+1's host→device transfer runs on the pipeline's prefetch
-  // thread while this loop processes batch b.
-  join::BatchPipeline upload_pipeline(device, &points, columns, batch,
-                                      {overlap});
+  // thread while this loop processes batch b (plus, for disk sources, the
+  // reader thread materializing batch b+2).
+  join::BatchPipeline upload_pipeline(device, &source, std::move(scan),
+                                      columns, {overlap});
   for (;;) {
     RJ_ASSIGN_OR_RETURN(std::optional<join::BatchPipeline::BatchView> view,
                         upload_pipeline.Acquire());
     if (!view.has_value()) break;
+    const PointTable& rows = *view->rows;
     const std::size_t begin = view->begin;
     const std::size_t end = view->end;
 
     ScopedPhase sp(&result.timing, phase::kProcessing);
 
-    // Procedure AccuratePoints for point i. Boundary-pixel points take the
-    // exact PIP path into `acc`; interior points are handed to
+    // Procedure AccuratePoints for row i of `rows`. Boundary-pixel points
+    // take the exact PIP path into `acc`; interior points are handed to
     // `emit_interior` (either a direct FBO blend or a staged fragment).
     // Returns 0 = filtered/clipped, 1 = interior, 2 = boundary.
     const auto process_point = [&](std::size_t i, raster::ResultArrays* acc,
                                    const auto& emit_interior) -> int {
-      if (!options.filters.Matches(points, i)) return 0;
+      if (!options.filters.Matches(rows, i)) return 0;
 
-      const Point p = points.At(i);
+      const Point p = rows.At(i);
       const Point s = vp.ToScreen(p);
       const auto px = static_cast<std::int32_t>(std::floor(s.x));
       const auto py = static_cast<std::int32_t>(std::floor(s.y));
       if (px < 0 || px >= dim || py < 0 || py >= dim) return 0;  // clipped
 
       const float w = has_weight
-                          ? points.attribute(options.weight_column)[i]
+                          ? rows.attribute(options.weight_column)[i]
                           : 0.0f;
       if (raster::IsBoundaryPixel(boundary_fbo, px, py)) {
         // Procedure JoinPoint: index lookup + exact PIP per candidate.
@@ -210,6 +210,51 @@ Result<JoinResult> AccurateRasterJoin(gpu::Device* device,
     stats->num_batches = num_batches;
   }
   return result;
+}
+
+}  // namespace
+
+Result<JoinResult> AccurateRasterJoin(gpu::Device* device,
+                                      const PointTable& points,
+                                      const PolygonSet& polys,
+                                      const TriangleSoup& soup,
+                                      const BBox& world,
+                                      const AccurateRasterJoinOptions& options,
+                                      AccurateRasterJoinStats* stats) {
+  // Batch planning for out-of-core inputs (see PlanPointBatch: the budget
+  // covers the pipeline's in-flight buffers, 2 when transfers overlap).
+  const std::size_t bytes_per_point =
+      UploadBytesPerPoint(options.filters, options.weight_column);
+  bool overlap = options.overlap_transfers;
+  std::size_t batch = options.batch_size;
+  if (batch == 0) {
+    const UploadPlan plan = PlanUpload(device->bytes_free(), bytes_per_point,
+                                       points.size(), overlap);
+    batch = plan.batch_size;
+    overlap = plan.overlap_transfers;
+  }
+
+  data::TableBlockSource adapter(&points, std::max<std::size_t>(batch, 1));
+  std::vector<std::size_t> scan(adapter.num_blocks());
+  for (std::size_t b = 0; b < scan.size(); ++b) scan[b] = b;
+  return AccurateBlockJoin(device, adapter, std::move(scan), polys, soup,
+                           world, options, overlap, stats);
+}
+
+Result<JoinResult> AccurateRasterJoin(gpu::Device* device,
+                                      const data::PointBlockSource& source,
+                                      const PolygonSet& polys,
+                                      const TriangleSoup& soup,
+                                      const BBox& world,
+                                      const AccurateRasterJoinOptions& options,
+                                      AccurateRasterJoinStats* stats) {
+  BlockSelection sel = SelectBlocks(source, options.filters, &world,
+                                    options.enable_block_pruning);
+  device->counters().AddBlocksScanned(sel.scanned);
+  device->counters().AddBlocksPruned(sel.pruned);
+  if (stats != nullptr) stats->blocks_pruned = sel.pruned;
+  return AccurateBlockJoin(device, source, std::move(sel.blocks), polys, soup,
+                           world, options, options.overlap_transfers, stats);
 }
 
 }  // namespace rj

@@ -37,6 +37,10 @@ struct AccurateRasterJoinOptions {
   /// Prefetch batch b+1 while batch b draws (join::BatchPipeline; two
   /// point VBOs in flight). See BoundedRasterJoinOptions.
   bool overlap_transfers = true;
+
+  /// Block-source executions only: zone-map pruning (see
+  /// BoundedRasterJoinOptions::enable_block_pruning).
+  bool enable_block_pruning = true;
 };
 
 struct AccurateRasterJoinStats {
@@ -44,12 +48,24 @@ struct AccurateRasterJoinStats {
   std::uint64_t interior_points = 0;  ///< points on the fast raster path
   std::uint64_t pip_tests = 0;        ///< exact tests actually executed
   std::size_t num_batches = 0;
+  std::size_t blocks_pruned = 0;      ///< block-source executions only
 };
 
 /// Executes the accurate raster join; results are exact (equal to
 /// ReferenceJoin) for any canvas resolution.
 Result<JoinResult> AccurateRasterJoin(gpu::Device* device,
                                       const PointTable& points,
+                                      const PolygonSet& polys,
+                                      const TriangleSoup& soup,
+                                      const BBox& world,
+                                      const AccurateRasterJoinOptions& options,
+                                      AccurateRasterJoinStats* stats = nullptr);
+
+/// Block-source execution (see the BoundedRasterJoin overload): streams
+/// the zone-map-selected blocks; bitwise identical to the in-memory
+/// overload on the materialized source.
+Result<JoinResult> AccurateRasterJoin(gpu::Device* device,
+                                      const data::PointBlockSource& source,
                                       const PolygonSet& polys,
                                       const TriangleSoup& soup,
                                       const BBox& world,

@@ -1,24 +1,33 @@
 #include "join/raster_join_bounded.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "join/batch_pipeline.h"
 #include "raster/fbo_pool.h"
 
 namespace rj {
 
-Result<JoinResult> BoundedRasterJoin(gpu::Device* device,
-                                     const PointTable& points,
-                                     const PolygonSet& polys,
-                                     const TriangleSoup& soup,
-                                     const BBox& world,
-                                     const BoundedRasterJoinOptions& options,
-                                     BoundedRasterJoinStats* stats,
-                                     ResultRanges* ranges_out,
-                                     std::optional<raster::Fbo>* point_fbo_out) {
+namespace {
+
+/// The one execution core both public overloads reach: streams scan list
+/// `scan` (block ordinals into `source`) through a BatchPipeline, one
+/// device batch per block, for every canvas tile. The in-memory overload
+/// arrives here through a TableBlockSource whose blocks are exactly the
+/// planned batch slices, so both paths share one loop and cannot drift.
+Result<JoinResult> BoundedBlockJoin(
+    gpu::Device* device, const data::PointBlockSource& source,
+    std::vector<std::size_t> scan, const PolygonSet& polys,
+    const TriangleSoup& soup, const BBox& world,
+    const BoundedRasterJoinOptions& options, bool overlap,
+    BoundedRasterJoinStats* stats, ResultRanges* ranges_out,
+    std::optional<raster::Fbo>* point_fbo_out) {
   RJ_RETURN_NOT_OK(ValidatePolygonIds(polys));
-  RJ_RETURN_NOT_OK(ValidateWeightColumn(points, options.weight_column));
-  RJ_RETURN_NOT_OK(ValidateFilters(points, options.filters));
+  RJ_RETURN_NOT_OK(
+      ValidateWeightColumnCount(source.num_attributes(),
+                                options.weight_column));
+  RJ_RETURN_NOT_OK(
+      ValidateFiltersCount(source.num_attributes(), options.filters));
   if (options.epsilon <= 0.0) {
     return Status::InvalidArgument("epsilon must be positive");
   }
@@ -50,21 +59,7 @@ Result<JoinResult> BoundedRasterJoin(gpu::Device* device,
   // transfer-cost fidelity — see DESIGN.md §2.)
   const std::vector<std::size_t> columns =
       UploadColumns(options.filters, options.weight_column);
-  const std::size_t bytes_per_point = UploadStrideBytes(columns);
-
-  // Batch planning: points are transferred exactly once per tile pass set,
-  // sized so the pipeline's in-flight buffers (2 when transfers overlap
-  // the draw) fit the available budget.
-  bool overlap = options.overlap_transfers;
-  std::size_t batch = options.batch_size;
-  if (batch == 0) {
-    const UploadPlan plan = PlanUpload(device->bytes_free(), bytes_per_point,
-                                       points.size(), overlap);
-    batch = plan.batch_size;
-    overlap = plan.overlap_transfers;
-  }
-  const std::size_t num_batches =
-      points.empty() ? 0 : (points.size() + batch - 1) / batch;
+  const std::size_t num_batches = scan.size();
 
   // Ship and meter the triangle VBO exactly once per query: it is the
   // same bytes for every tile pass, so re-uploading it per tile both
@@ -76,11 +71,13 @@ Result<JoinResult> BoundedRasterJoin(gpu::Device* device,
 
   std::uint64_t drawn_total = 0;
 
-  // One pipeline for every tile pass: the transfer thread and the slots'
-  // staging buffers stay warm across tiles (Rewind re-streams the points
-  // per pass), instead of paying a thread spawn and two batch-sized
-  // staging allocations per tile.
-  join::BatchPipeline pipeline(device, &points, columns, batch, {overlap});
+  // One pipeline for every tile pass: the transfer (and, for disk
+  // sources, reader) thread and the slots' staging buffers stay warm
+  // across tiles (Rewind re-streams the blocks per pass), instead of
+  // paying a thread spawn and two batch-sized staging allocations per
+  // tile.
+  join::BatchPipeline pipeline(device, &source, std::move(scan), columns,
+                               {overlap});
 
   for (std::size_t t = 0; t < tiles.size(); ++t) {
     const raster::CanvasTile& tile = tiles[t];
@@ -102,11 +99,20 @@ Result<JoinResult> BoundedRasterJoin(gpu::Device* device,
       if (!view.has_value()) break;
       {
         ScopedPhase sp(&result.timing, phase::kProcessing);
-        PointTable slice = points.Slice(view->begin, view->end);
-        drawn_total += raster::DrawPoints(vp, slice, options.filters,
-                                          options.weight_column, &point_fbo,
-                                          &device->counters(),
-                                          &device->pool());
+        const PointTable& rows = *view->rows;
+        if (view->begin == 0 && view->end == rows.size()) {
+          // Whole-table/whole-block batch: draw in place, no slice copy.
+          drawn_total += raster::DrawPoints(vp, rows, options.filters,
+                                            options.weight_column, &point_fbo,
+                                            &device->counters(),
+                                            &device->pool());
+        } else {
+          PointTable slice = rows.Slice(view->begin, view->end);
+          drawn_total += raster::DrawPoints(vp, slice, options.filters,
+                                            options.weight_column, &point_fbo,
+                                            &device->counters(),
+                                            &device->pool());
+        }
       }
       pipeline.Release(*view);
       device->counters().AddBatches(1);
@@ -147,6 +153,60 @@ Result<JoinResult> BoundedRasterJoin(gpu::Device* device,
     stats->points_drawn = drawn_total;
   }
   return result;
+}
+
+}  // namespace
+
+Result<JoinResult> BoundedRasterJoin(gpu::Device* device,
+                                     const PointTable& points,
+                                     const PolygonSet& polys,
+                                     const TriangleSoup& soup,
+                                     const BBox& world,
+                                     const BoundedRasterJoinOptions& options,
+                                     BoundedRasterJoinStats* stats,
+                                     ResultRanges* ranges_out,
+                                     std::optional<raster::Fbo>* point_fbo_out) {
+  // Batch planning: points are transferred exactly once per tile pass set,
+  // sized so the pipeline's in-flight buffers (2 when transfers overlap
+  // the draw) fit the available budget.
+  const std::size_t bytes_per_point =
+      UploadBytesPerPoint(options.filters, options.weight_column);
+  bool overlap = options.overlap_transfers;
+  std::size_t batch = options.batch_size;
+  if (batch == 0) {
+    const UploadPlan plan = PlanUpload(device->bytes_free(), bytes_per_point,
+                                       points.size(), overlap);
+    batch = plan.batch_size;
+    overlap = plan.overlap_transfers;
+  }
+
+  // The adapter's blocks are exactly the planned batch slices, so the
+  // block core batches bitwise-identically to the historical table scan.
+  data::TableBlockSource adapter(&points, std::max<std::size_t>(batch, 1));
+  std::vector<std::size_t> scan(adapter.num_blocks());
+  for (std::size_t b = 0; b < scan.size(); ++b) scan[b] = b;
+  return BoundedBlockJoin(device, adapter, std::move(scan), polys, soup,
+                          world, options, overlap, stats, ranges_out,
+                          point_fbo_out);
+}
+
+Result<JoinResult> BoundedRasterJoin(gpu::Device* device,
+                                     const data::PointBlockSource& source,
+                                     const PolygonSet& polys,
+                                     const TriangleSoup& soup,
+                                     const BBox& world,
+                                     const BoundedRasterJoinOptions& options,
+                                     BoundedRasterJoinStats* stats,
+                                     ResultRanges* ranges_out,
+                                     std::optional<raster::Fbo>* point_fbo_out) {
+  BlockSelection sel = SelectBlocks(source, options.filters, &world,
+                                    options.enable_block_pruning);
+  device->counters().AddBlocksScanned(sel.scanned);
+  device->counters().AddBlocksPruned(sel.pruned);
+  if (stats != nullptr) stats->blocks_pruned = sel.pruned;
+  return BoundedBlockJoin(device, source, std::move(sel.blocks), polys, soup,
+                          world, options, options.overlap_transfers, stats,
+                          ranges_out, point_fbo_out);
 }
 
 }  // namespace rj

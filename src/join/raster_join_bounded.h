@@ -52,6 +52,12 @@ struct BoundedRasterJoinOptions {
   /// When set, also compute per-polygon result ranges (§5). Requires the
   /// canvas to fit in a single tile.
   bool compute_result_ranges = false;
+
+  /// Block-source executions only: skip blocks whose zone map proves no
+  /// row can pass the filters inside the canvas (SelectBlocks). Strictly
+  /// conservative, so results are bitwise identical with pruning on or
+  /// off — the knob exists for A/B timing and the determinism tests.
+  bool enable_block_pruning = true;
 };
 
 /// Diagnostics of one bounded execution.
@@ -59,6 +65,7 @@ struct BoundedRasterJoinStats {
   std::size_t num_tiles = 0;
   std::size_t num_batches = 0;
   std::uint64_t points_drawn = 0;
+  std::size_t blocks_pruned = 0;  ///< block-source executions only
 };
 
 /// Executes the bounded raster join on the simulated device.
@@ -76,6 +83,23 @@ struct BoundedRasterJoinStats {
 /// across any shard count (docs/SERVICE.md).
 Result<JoinResult> BoundedRasterJoin(gpu::Device* device,
                                      const PointTable& points,
+                                     const PolygonSet& polys,
+                                     const TriangleSoup& soup,
+                                     const BBox& world,
+                                     const BoundedRasterJoinOptions& options,
+                                     BoundedRasterJoinStats* stats = nullptr,
+                                     ResultRanges* ranges_out = nullptr,
+                                     std::optional<raster::Fbo>* point_fbo_out =
+                                         nullptr);
+
+/// Block-source execution: streams the zone-map-selected blocks of
+/// `source` (disk-resident files run the three-stage disk→host→device
+/// pipeline; options.batch_size is ignored — the block capacity is the
+/// batch size). Bitwise identical to running the in-memory overload on
+/// the materialized source (data::MaterializeBlocks), for any block size,
+/// worker count, or pruning setting.
+Result<JoinResult> BoundedRasterJoin(gpu::Device* device,
+                                     const data::PointBlockSource& source,
                                      const PolygonSet& polys,
                                      const TriangleSoup& soup,
                                      const BBox& world,

@@ -83,6 +83,53 @@ Status StreamingBoundedJoin::AddBatch(const PointTable& batch) {
   return Status::OK();
 }
 
+namespace {
+
+/// Shared AddSource body: streams the zone-map-selected blocks of `source`
+/// through `add_batch` (one batch per block), metering disk reads under
+/// phase::kDiskRead and the pruning decisions in the device counters.
+template <typename AddBatchFn>
+Status StreamBlocks(gpu::Device* device, const data::PointBlockSource& source,
+                    const FilterSet& filters, const BBox& world,
+                    bool enable_pruning, PhaseTimer* timing,
+                    const AddBatchFn& add_batch) {
+  const BlockSelection sel =
+      SelectBlocks(source, filters, &world, enable_pruning);
+  device->counters().AddBlocksScanned(sel.scanned);
+  device->counters().AddBlocksPruned(sel.pruned);
+  PointTable scratch;
+  for (const std::size_t b : sel.blocks) {
+    Timer t;
+    RJ_ASSIGN_OR_RETURN(data::BlockRef ref, source.ReadBlock(b, &scratch));
+    if (source.disk_resident()) {
+      timing->Add(phase::kDiskRead, t.ElapsedSeconds());
+    }
+    const PointTable& rows = *ref.table;
+    if (ref.begin == 0 && ref.end == rows.size()) {
+      RJ_RETURN_NOT_OK(add_batch(rows));
+    } else {
+      RJ_RETURN_NOT_OK(add_batch(rows.Slice(ref.begin, ref.end)));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status StreamingBoundedJoin::AddSource(const data::PointBlockSource& source) {
+  if (!initialized_) return Status::Internal("AddSource before Init");
+  if (finished_) return Status::Internal("AddSource after Finish");
+  RJ_RETURN_NOT_OK(ValidateWeightColumnCount(source.num_attributes(),
+                                             options_.weight_column));
+  RJ_RETURN_NOT_OK(
+      ValidateFiltersCount(source.num_attributes(), options_.filters));
+  return StreamBlocks(device_, source, options_.filters, world_,
+                      options_.enable_block_pruning, &result_.timing,
+                      [&](const PointTable& batch) {
+                        return AddBatch(batch);
+                      });
+}
+
 Result<JoinResult> StreamingBoundedJoin::Finish() {
   if (!initialized_) return Status::Internal("Finish before Init");
   if (finished_) return Status::Internal("Finish called twice");
@@ -219,6 +266,20 @@ Status StreamingAccurateJoin::AddBatch(const PointTable& batch) {
     version_counter_->fetch_add(1, std::memory_order_acq_rel);
   }
   return Status::OK();
+}
+
+Status StreamingAccurateJoin::AddSource(const data::PointBlockSource& source) {
+  if (!initialized_) return Status::Internal("AddSource before Init");
+  if (finished_) return Status::Internal("AddSource after Finish");
+  RJ_RETURN_NOT_OK(ValidateWeightColumnCount(source.num_attributes(),
+                                             options_.weight_column));
+  RJ_RETURN_NOT_OK(
+      ValidateFiltersCount(source.num_attributes(), options_.filters));
+  return StreamBlocks(device_, source, options_.filters, world_,
+                      options_.enable_block_pruning, &result_.timing,
+                      [&](const PointTable& batch) {
+                        return AddBatch(batch);
+                      });
 }
 
 Result<JoinResult> StreamingAccurateJoin::Finish() {

@@ -57,6 +57,12 @@ class StreamingBoundedJoin {
   /// draw of `batch` itself completes during the *next* AddBatch/Finish.
   Status AddBatch(const PointTable& batch);
 
+  /// Streams every zone-map-selected block of `source` through AddBatch
+  /// (one batch per block; block reads of disk-resident sources are
+  /// metered under phase::kDiskRead). Pruning uses the options' filters
+  /// and the canvas world, so results equal streaming every block.
+  Status AddSource(const data::PointBlockSource& source);
+
   /// Runs the polygon pass over every tile and returns the result.
   /// The instance cannot be reused afterwards.
   Result<JoinResult> Finish();
@@ -107,6 +113,8 @@ class StreamingAccurateJoin {
   /// Like StreamingBoundedJoin::AddBatch: the batch's transfer is started
   /// here and its processing happens while the *next* batch transfers.
   Status AddBatch(const PointTable& batch);
+  /// See StreamingBoundedJoin::AddSource.
+  Status AddSource(const data::PointBlockSource& source);
   Result<JoinResult> Finish();
 
   /// See StreamingBoundedJoin::set_version_counter.

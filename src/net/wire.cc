@@ -179,6 +179,7 @@ std::string DatasetsJson(const std::vector<service::DatasetInfo>& datasets) {
     e.Set("id", json::Value::Number(static_cast<double>(d.id)));
     e.Set("name", json::Value::Str(d.name));
     e.Set("sharded", json::Value::Bool(d.sharded));
+    e.Set("resident", json::Value::Str(d.disk_resident ? "disk" : "memory"));
     e.Set("shards", json::Value::Number(static_cast<double>(d.num_shards)));
     e.Set("points", json::Value::Number(static_cast<double>(d.num_points)));
     e.Set("polygons",

@@ -110,6 +110,16 @@ Executor::Executor(gpu::Device* device, const PointTable* points,
   InitWorldAndCosts(points->Extent(), points->size());
 }
 
+Executor::Executor(gpu::Device* device, const data::PointBlockSource* source,
+                   const PolygonSet* polys)
+    : device_(device), points_(nullptr), source_(source), polys_(polys),
+      plan_cache_(std::make_unique<query::PlanCache>()) {
+  // The source's extent is part of its header/metadata (O(1)), so the
+  // registration-time cost here is the polygon scan only — no block reads.
+  InitWorldAndCosts(source->extent(),
+                    static_cast<std::size_t>(source->num_rows()));
+}
+
 Executor::Executor(gpu::DevicePool* pool, const data::ShardedTable* shards,
                    const PolygonSet* polys)
     : device_(pool->primary()), pool_(pool), shards_(shards),
@@ -203,6 +213,23 @@ Result<AdmissionPlan> Executor::PlanAdmission(const SpatialAggQuery& query) {
     // (BatchPipeline keeps batches b and b+1 resident), 1× serialized. A
     // single full-set batch never double-buffers, so full_bytes stays 1×.
     const std::size_t in_flight = query.overlap_transfers ? 2 : 1;
+    if (source_backed()) {
+      // Block-source scans upload whole blocks: the batch size IS the
+      // block capacity (not grant-tunable), so the floor is in_flight
+      // blocks, not in_flight points. It is also the peak — the pipeline
+      // keeps at most in_flight block VBOs resident (disk-staged loading
+      // slots hold host rows, no VBO), so full_bytes never grows to the
+      // whole point set the way a fully-resident table batch would.
+      const std::size_t block_points = std::max<std::size_t>(
+          std::min<std::size_t>(source_->block_capacity(),
+                                PlanningPointCount()),
+          1);
+      plan.min_bytes = std::max(plan.fixed_bytes,
+                                in_flight * block_points *
+                                    plan.bytes_per_point);
+      plan.full_bytes = plan.min_bytes;
+      return plan;
+    }
     plan.min_bytes =
         std::max(plan.fixed_bytes, in_flight * plan.bytes_per_point);
     plan.full_bytes = std::max(
@@ -213,7 +240,8 @@ Result<AdmissionPlan> Executor::PlanAdmission(const SpatialAggQuery& query) {
 }
 
 Result<JoinResult> Executor::RunVariant(
-    gpu::Device* device, const PointTable& points, JoinVariant variant,
+    gpu::Device* device, const PointTable* points,
+    const data::PointBlockSource* source, JoinVariant variant,
     const SpatialAggQuery& query, std::size_t weight_column,
     const UploadPlan& capped, const TriangleSoup* soup,
     const GridIndex* cpu_index, ResultRanges* ranges_out,
@@ -227,7 +255,13 @@ Result<JoinResult> Executor::RunVariant(
       options.batch_size = capped.batch_size;
       options.overlap_transfers = capped.overlap_transfers;
       options.compute_result_ranges = ranges_out != nullptr;
-      return BoundedRasterJoin(device, points, *polys_, *soup, world_,
+      if (source != nullptr) {
+        options.enable_block_pruning = query.enable_block_pruning;
+        return BoundedRasterJoin(device, *source, *polys_, *soup, world_,
+                                 options, nullptr, ranges_out,
+                                 point_fbo_out);
+      }
+      return BoundedRasterJoin(device, *points, *polys_, *soup, world_,
                                options, nullptr, ranges_out, point_fbo_out);
     }
     case JoinVariant::kAccurateRaster: {
@@ -237,7 +271,12 @@ Result<JoinResult> Executor::RunVariant(
       options.filters = query.filters;
       options.batch_size = capped.batch_size;
       options.overlap_transfers = capped.overlap_transfers;
-      return AccurateRasterJoin(device, points, *polys_, *soup, world_,
+      if (source != nullptr) {
+        options.enable_block_pruning = query.enable_block_pruning;
+        return AccurateRasterJoin(device, *source, *polys_, *soup, world_,
+                                  options);
+      }
+      return AccurateRasterJoin(device, *points, *polys_, *soup, world_,
                                 options);
     }
     case JoinVariant::kIndexDevice: {
@@ -246,14 +285,23 @@ Result<JoinResult> Executor::RunVariant(
       options.filters = query.filters;
       options.batch_size = capped.batch_size;
       options.overlap_transfers = capped.overlap_transfers;
-      return IndexJoinDevice(device, points, *polys_, world_, options);
+      if (source != nullptr) {
+        options.enable_block_pruning = query.enable_block_pruning;
+        return IndexJoinDevice(device, *source, *polys_, world_, options);
+      }
+      return IndexJoinDevice(device, *points, *polys_, world_, options);
     }
     case JoinVariant::kIndexCpu: {
       IndexJoinOptions options;
       options.weight_column = weight_column;
       options.filters = query.filters;
       options.assign_mode = GridAssignMode::kExactGeometry;
-      return IndexJoinCpu(points, *polys_, *cpu_index, options,
+      if (source != nullptr) {
+        options.enable_block_pruning = query.enable_block_pruning;
+        return IndexJoinCpu(*source, *polys_, *cpu_index, options,
+                            query.cpu_threads);
+      }
+      return IndexJoinCpu(*points, *polys_, *cpu_index, options,
                           query.cpu_threads);
     }
     case JoinVariant::kAuto:
@@ -329,18 +377,34 @@ Result<QueryResult> Executor::ExecuteUncached(const SpatialAggQuery& query) {
   QueryResult out;
 
   RJ_ASSIGN_OR_RETURN(QuerySetup setup, PrepareQuery(query));
-  const UploadPlan capped = plan_cache_->GetUpload(
-      {query.device_memory_cap_bytes, setup.bytes_per_point,
-       points_->size(), query.overlap_transfers},
-      [&] {
-        return CappedBatch(query.device_memory_cap_bytes,
-                           setup.bytes_per_point, points_->size(),
-                           query.overlap_transfers);
-      });
+  UploadPlan capped{0, query.overlap_transfers};
+  if (source_backed()) {
+    // Block scans ignore batch_size — the block capacity is the batch. The
+    // only grant-sensitive knob left is double-buffering: a grant too
+    // small for two in-flight blocks downgrades to the serialized path
+    // instead of overshooting, mirroring CappedBatch's downgrade rule.
+    const std::size_t block_bytes =
+        std::min<std::size_t>(source_->block_capacity(),
+                              PlanningPointCount()) *
+        setup.bytes_per_point;
+    if (capped.overlap_transfers && query.device_memory_cap_bytes != 0 &&
+        2 * block_bytes > query.device_memory_cap_bytes) {
+      capped.overlap_transfers = false;
+    }
+  } else {
+    capped = plan_cache_->GetUpload(
+        {query.device_memory_cap_bytes, setup.bytes_per_point,
+         points_->size(), query.overlap_transfers},
+        [&] {
+          return CappedBatch(query.device_memory_cap_bytes,
+                             setup.bytes_per_point, points_->size(),
+                             query.overlap_transfers);
+        });
+  }
 
   JoinResult join;
   RJ_ASSIGN_OR_RETURN(
-      join, RunVariant(device_, *points_, setup.variant, query,
+      join, RunVariant(device_, points_, source_, setup.variant, query,
                        setup.weight_column, capped, setup.soup,
                        setup.cpu_index,
                        query.with_result_ranges ? &out.ranges : nullptr,
@@ -357,6 +421,20 @@ Result<std::vector<QueryResult>> Executor::ExecuteFused(
     const std::vector<SpatialAggQuery>& queries) {
   if (queries.empty()) {
     return Status::InvalidArgument("fusion group is empty");
+  }
+  if (source_backed()) {
+    // The fused pipelines share one resident upload scan over a
+    // PointTable; the block path streams from disk instead. QueryService
+    // never forms fusion groups over disk-resident datasets, but keep the
+    // API total: run the members individually — by the fusion contract
+    // each result is bitwise identical either way.
+    std::vector<QueryResult> out;
+    out.reserve(queries.size());
+    for (const SpatialAggQuery& q : queries) {
+      RJ_ASSIGN_OR_RETURN(QueryResult r, ExecuteUncached(q));
+      out.push_back(std::move(r));
+    }
+    return out;
   }
   if (queries.size() == 1) {
     RJ_ASSIGN_OR_RETURN(QueryResult only, ExecuteUncached(queries[0]));
@@ -646,9 +724,9 @@ Result<QueryResult> Executor::ExecuteSharded(const SpatialAggQuery& query) {
         });
 
     Result<JoinResult> join =
-        RunVariant(dev, shard_points, setup.variant, query,
-                   setup.weight_column, capped, setup.soup, setup.cpu_index,
-                   /*ranges_out=*/nullptr,
+        RunVariant(dev, &shard_points, /*source=*/nullptr, setup.variant,
+                   query, setup.weight_column, capped, setup.soup,
+                   setup.cpu_index, /*ranges_out=*/nullptr,
                    want_ranges ? &shard_fbos[s] : nullptr);
     if (!join.ok()) {
       shard_status[s] = join.status();

@@ -31,6 +31,7 @@
 #include <optional>
 #include <vector>
 
+#include "data/point_block_source.h"
 #include "data/sharded_table.h"
 #include "gpu/device.h"
 #include "gpu/device_pool.h"
@@ -87,6 +88,15 @@ class Executor {
   /// must outlive this. Polygon ids must be 0..n-1 (use AssignSequentialIds
   /// if needed).
   Executor(gpu::Device* device, const PointTable* points,
+           const PolygonSet* polys);
+
+  /// Single-device executor over a block source (typically an mmap-backed
+  /// data::BlockFileReader — the disk-resident registration path). Every
+  /// query streams the source's zone-map-selected blocks through the
+  /// three-stage disk→host→device pipeline; results are bitwise identical
+  /// to an in-memory executor over data::MaterializeBlocks(*source).
+  /// Neither `source` nor `polys` are copied; both must outlive this.
+  Executor(gpu::Device* device, const data::PointBlockSource* source,
            const PolygonSet* polys);
 
   /// Sharded executor: every Execute() scatters across `shards` (shard s
@@ -174,14 +184,19 @@ class Executor {
   /// World extent used for the canvas: polygon extent ∪ point extent.
   const BBox& world() const { return world_; }
 
-  /// The full point table (null for a sharded executor — rows live only in
-  /// the shards).
+  /// The full point table (null for a sharded or source-backed executor —
+  /// rows live in the shards / on disk).
   const PointTable* points() const { return points_; }
+  /// The block source (null unless constructed over one).
+  const data::PointBlockSource* block_source() const { return source_; }
+  /// True when queries scan a block source instead of a resident table.
+  bool source_backed() const { return source_ != nullptr; }
   /// Attribute columns of the dataset (uniform across shards), the bound
   /// submit-time validation checks filter/aggregate columns against.
   std::size_t num_attribute_columns() const {
-    return sharded() ? shards_->shard(0).num_attributes()
-                     : points_->num_attributes();
+    if (sharded()) return shards_->shard(0).num_attributes();
+    return source_backed() ? source_->num_attributes()
+                           : points_->num_attributes();
   }
   const PolygonSet* polys() const { return polys_; }
   /// Single-device: the device. Sharded: the pool's primary device (hosts
@@ -250,13 +265,17 @@ class Executor {
   };
   Result<QuerySetup> PrepareQuery(const SpatialAggQuery& query);
 
-  /// Runs one (device, points) pair through the resolved variant — the
-  /// single variant-dispatch switch shared by the single-device path and
-  /// every shard of the scatter path, so per-variant option wiring cannot
-  /// drift between them. `soup` is required for the raster variants,
-  /// `cpu_index` for kIndexCpu; `ranges_out`/`point_fbo_out` are the
-  /// bounded variant's optional outputs.
-  Result<JoinResult> RunVariant(gpu::Device* device, const PointTable& points,
+  /// Runs one (device, input) pair through the resolved variant — the
+  /// single variant-dispatch switch shared by the single-device path,
+  /// every shard of the scatter path, and the block-source path, so
+  /// per-variant option wiring cannot drift between them. Exactly one of
+  /// `points`/`source` is non-null (the source dispatch threads
+  /// query.enable_block_pruning into the join's block selection). `soup`
+  /// is required for the raster variants, `cpu_index` for kIndexCpu;
+  /// `ranges_out`/`point_fbo_out` are the bounded variant's optional
+  /// outputs.
+  Result<JoinResult> RunVariant(gpu::Device* device, const PointTable* points,
+                                const data::PointBlockSource* source,
                                 JoinVariant variant,
                                 const SpatialAggQuery& query,
                                 std::size_t weight_column,
@@ -277,16 +296,21 @@ class Executor {
       const std::vector<FusedMemberSpec>& members, JoinVariant variant,
       const TriangleSoup* soup);
 
-  /// Points the batch planner sizes against: the whole table, or the
-  /// largest shard (each device holds at most its shards).
+  /// Points the batch planner sizes against: the whole table, the largest
+  /// shard (each device holds at most its shards), or — source-backed —
+  /// the full row count (admission separately caps batches at the block
+  /// capacity; see PlanAdmission).
   std::size_t PlanningPointCount() const {
-    return sharded() ? shards_->max_shard_points() : points_->size();
+    if (sharded()) return shards_->max_shard_points();
+    return source_backed() ? static_cast<std::size_t>(source_->num_rows())
+                           : points_->size();
   }
 
   gpu::Device* device_;
   gpu::DevicePool* pool_ = nullptr;
   const data::ShardedTable* shards_ = nullptr;
   const PointTable* points_;
+  const data::PointBlockSource* source_ = nullptr;
   const PolygonSet* polys_;
   query::ResultCache* result_cache_ = nullptr;
   std::uint64_t dataset_cache_key_ = 0;

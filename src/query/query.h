@@ -70,6 +70,12 @@ struct SpatialAggQuery {
   /// use_result_cache = false). Execution-only: results are identical
   /// either way, so it is excluded from semantic equality below.
   bool bypass_result_cache = false;
+  /// Block-source datasets only: skip blocks whose zone maps prove no row
+  /// can match (join_common.h SelectBlocks). Pruning is conservative-exact
+  /// for every variant, so results are bitwise identical on/off; excluded
+  /// from semantic equality below like the other execution knobs. Ignored
+  /// for in-memory (PointTable-backed) datasets.
+  bool enable_block_pruning = true;
 
   /// The column the aggregate actually reads: COUNT ignores
   /// aggregate_column, so its semantic identity canonicalizes to npos —
@@ -85,7 +91,7 @@ struct SpatialAggQuery {
 /// order-insensitive filters, variant, epsilon, canvas dim, and the ranges
 /// flag. Execution-only knobs are deliberately excluded
 /// (`device_memory_cap_bytes`, `cpu_threads`, `overlap_transfers`,
-/// `bypass_result_cache`): the
+/// `bypass_result_cache`, `enable_block_pruning`): the
 /// determinism suites prove results are identical across them, and the
 /// result cache keys on this equality — including the knobs would split
 /// identical traffic across cache entries and mask every hit.

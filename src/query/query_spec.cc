@@ -172,6 +172,7 @@ SpatialAggQuery QuerySpec::ToQuery(const ExecPolicy& policy) const {
   q.cpu_threads = policy.cpu_threads;
   q.overlap_transfers = policy.overlap_transfers;
   q.bypass_result_cache = !policy.use_result_cache;
+  q.enable_block_pruning = policy.block_pruning;
   return q;
 }
 
@@ -439,13 +440,17 @@ json::Value ExecPolicyToJson(const ExecPolicy& policy) {
   if (!policy.use_result_cache) {
     v.Set("use_result_cache", json::Value::Bool(false));
   }
+  if (!policy.block_pruning) {
+    v.Set("block_pruning", json::Value::Bool(false));
+  }
   return v;
 }
 
 Status ExecPolicyFromJson(const json::Value& v, ExecPolicy* out) {
   RJ_RETURN_NOT_OK(RequireObject(v, "\"exec\""));
   static const char* kFields[] = {"memory_cap_bytes", "cpu_threads",
-                                  "overlap_transfers", "use_result_cache"};
+                                  "overlap_transfers", "use_result_cache",
+                                  "block_pruning"};
   RJ_RETURN_NOT_OK(
       CheckKnownFields(v, kFields, std::size(kFields), "\"exec\""));
   ExecPolicy policy;
@@ -460,6 +465,7 @@ Status ExecPolicyFromJson(const json::Value& v, ExecPolicy* out) {
   policy.cpu_threads = static_cast<int>(threads);
   RJ_RETURN_NOT_OK(ReadBool(v, "overlap_transfers", &policy.overlap_transfers));
   RJ_RETURN_NOT_OK(ReadBool(v, "use_result_cache", &policy.use_result_cache));
+  RJ_RETURN_NOT_OK(ReadBool(v, "block_pruning", &policy.block_pruning));
   *out = policy;
   return Status::OK();
 }

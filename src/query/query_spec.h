@@ -57,6 +57,11 @@ struct ExecPolicy {
   /// (still admission-controlled); the fresh result is not stored either —
   /// the knob exists for baselines and cache-bust debugging.
   bool use_result_cache = true;
+  /// Disk-resident (block-source) datasets only: zone-map block pruning
+  /// (docs/STORAGE.md). Pruning is conservative-exact, so results are
+  /// bitwise identical on/off; false exists for full-scan baselines and
+  /// the bench's pruning axis. Ignored for in-memory datasets.
+  bool block_pruning = true;
 };
 
 /// What a query computes. Equal specs (operator==) are guaranteed to

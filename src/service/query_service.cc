@@ -6,6 +6,8 @@
 #include <string>
 #include <utility>
 
+#include "data/block_file.h"
+
 namespace rj::service {
 
 QueryService::QueryService(gpu::Device* device, ServiceOptions options)
@@ -115,6 +117,35 @@ std::size_t QueryService::RegisterDataset(const PointTable* points,
   return id;
 }
 
+std::size_t QueryService::RegisterDataset(PointTable* points,
+                                          const PolygonSet* polys,
+                                          std::string name) {
+  // Registration is the single-writer-before-sharing point (the table must
+  // not mutate once queries run), so cache the O(n) extent scan here —
+  // the executor's world computation and every later Extent() are O(1).
+  points->CacheExtent();
+  return RegisterDataset(static_cast<const PointTable*>(points), polys,
+                         std::move(name));
+}
+
+Result<std::size_t> QueryService::RegisterDatasetFromFile(
+    const std::string& path, const PolygonSet* polys, std::string name) {
+  RJ_ASSIGN_OR_RETURN(std::unique_ptr<data::PointBlockSource> source,
+                      data::OpenPointBlockSource(path));
+  // Each open mints a fresh source (and id): identity-dedupe like
+  // RegisterDataset has nothing to key on, and re-registering a path is a
+  // deliberate reload — the old id keeps serving its (still-mapped) file.
+  auto executor =
+      std::make_unique<Executor>(pool_->primary(), source.get(), polys);
+  std::lock_guard<std::mutex> lock(mutex_);
+  executors_.push_back(std::move(executor));
+  owned_sources_.push_back(std::move(source));
+  const std::size_t id = executors_.size() - 1;
+  dataset_names_.push_back(name.empty() ? "dataset-" + std::to_string(id)
+                                        : std::move(name));
+  return id;
+}
+
 std::size_t QueryService::RegisterShardedDataset(
     const data::ShardedTable* shards, const PolygonSet* polys,
     std::string name) {
@@ -155,8 +186,14 @@ std::vector<DatasetInfo> QueryService::ListDatasets() const {
     info.name = dataset_names_[id];
     info.sharded = e.sharded();
     info.num_shards = e.num_shards();
-    info.num_points =
-        e.sharded() ? e.shards()->total_points() : e.points()->size();
+    if (e.sharded()) {
+      info.num_points = e.shards()->total_points();
+    } else if (e.source_backed()) {
+      info.num_points = static_cast<std::size_t>(e.block_source()->num_rows());
+      info.disk_resident = e.block_source()->disk_resident();
+    } else {
+      info.num_points = e.points()->size();
+    }
     info.num_polygons = e.polys()->size();
     info.num_attribute_columns = e.num_attribute_columns();
     info.version = e.dataset_version();
@@ -311,6 +348,9 @@ void QueryService::DispatchLoop(std::size_t slot) {
 void QueryService::CollectFusionGroupLocked(std::vector<Pending>* group) {
   const Pending& head = group->front();
   Executor* executor = executors_[head.dataset].get();
+  if (executor->source_backed()) {
+    return;  // disk scans stream blocks solo (no shared resident scan)
+  }
   const JoinVariant head_variant = executor->ResolveVariant(head.query);
   if (head_variant != JoinVariant::kBoundedRaster &&
       head_variant != JoinVariant::kAccurateRaster) {

@@ -43,6 +43,7 @@
 #include <thread>
 #include <vector>
 
+#include "data/point_block_source.h"
 #include "data/sharded_table.h"
 #include "gpu/device.h"
 #include "gpu/device_pool.h"
@@ -163,6 +164,11 @@ struct DatasetInfo {
   std::size_t num_polygons = 0;
   std::size_t num_attribute_columns = 0;
   std::uint64_t version = 0;
+  /// True when the dataset's blocks live on disk (RegisterDatasetFromFile
+  /// over a v2 block file): queries stream zone-map-selected blocks
+  /// through the disk→host→device pipeline instead of scanning RAM.
+  /// Serialized as the "resident" field ("disk"/"memory") on the wire.
+  bool disk_resident = false;
 };
 
 /// Service-level accounting snapshot (all monotonic except depth/running
@@ -217,6 +223,29 @@ class QueryService {
   std::size_t RegisterDataset(const PointTable* points,
                               const PolygonSet* polys,
                               std::string name = "");
+
+  /// Mutable-table convenience: caches the table's extent first
+  /// (PointTable::CacheExtent — registration is the single-writer-before-
+  /// sharing point), so the executor's world computation and every
+  /// subsequent Extent() call are O(1), then registers as above.
+  std::size_t RegisterDataset(PointTable* points, const PolygonSet* polys,
+                              std::string name = "");
+
+  /// Registers a disk-resident dataset from a column-store file
+  /// (data::OpenPointBlockSource: v2 block files mmap through
+  /// data::BlockFileReader and stream block by block; v1 flat files load
+  /// into RAM behind the same interface). The service owns the opened
+  /// source; `polys` must outlive the service. Queries run the
+  /// disk→host→device pipeline with zone-map pruning
+  /// (ExecPolicy::block_pruning) and results bitwise identical to an
+  /// in-memory registration of the same rows. Each call opens the file
+  /// anew and mints a fresh dataset id (an existing `name` is shadowed,
+  /// like re-using a name in RegisterDataset). Fusion groups are never
+  /// formed over disk-resident datasets — members execute as individual
+  /// block scans.
+  Result<std::size_t> RegisterDatasetFromFile(const std::string& path,
+                                              const PolygonSet* polys,
+                                              std::string name = "");
 
   /// Registers a sharded dataset: queries scatter across the pool (shard
   /// s on device s mod pool size) and gather through agg::MergePartials.
@@ -392,6 +421,10 @@ class QueryService {
   std::vector<std::unique_ptr<Executor>> executors_;
   /// Wire names, parallel to executors_ (id = index).
   std::vector<std::string> dataset_names_;
+  /// Block sources opened by RegisterDatasetFromFile, owned for the
+  /// service's lifetime (their executors point into them). Not parallel to
+  /// executors_ — table/sharded registrations add no entry.
+  std::vector<std::unique_ptr<data::PointBlockSource>> owned_sources_;
   /// Shutdown() body runs exactly once (destructor re-entry, concurrent
   /// callers); later callers block until the first finishes the join.
   std::once_flag shutdown_once_;

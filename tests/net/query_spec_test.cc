@@ -289,5 +289,46 @@ TEST(QuerySpecJson, MalformedValuesAreRejected) {
       ParseQueryRequest(R"({"v":1,"query":{"aggregate":"sum"}})").ok());
 }
 
+TEST(QuerySpecJson, BlockPruningPolicyRoundTrips) {
+  QueryRequest request;
+  request.spec = QuerySpecBuilder().Dataset("d").Build().value();
+  request.policy.block_pruning = false;
+
+  const std::string wire = QueryRequestToJson(request);
+  EXPECT_NE(wire.find("\"block_pruning\":false"), std::string::npos) << wire;
+  Result<QueryRequest> back = ParseQueryRequest(wire);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_FALSE(back.value().policy.block_pruning);
+
+  // The default (true) stays off the wire, like every other exec default.
+  request.policy.block_pruning = true;
+  EXPECT_EQ(QueryRequestToJson(request).find("block_pruning"),
+            std::string::npos);
+
+  // Explicit true parses too, and malformed values are rejected.
+  Result<QueryRequest> explicit_true = ParseQueryRequest(
+      R"({"v":1,"query":{"aggregate":"count"},"exec":{"block_pruning":true}})");
+  ASSERT_TRUE(explicit_true.ok());
+  EXPECT_TRUE(explicit_true.value().policy.block_pruning);
+  EXPECT_FALSE(
+      ParseQueryRequest(
+          R"({"v":1,"query":{"aggregate":"count"},"exec":{"block_pruning":1}})")
+          .ok());
+}
+
+TEST(QuerySpecIdentity, BlockPruningIsExecutionOnly) {
+  const QuerySpec spec = QuerySpecBuilder().Dataset("d").Build().value();
+  ExecPolicy policy;
+  policy.block_pruning = false;
+  const SpatialAggQuery query = spec.ToQuery(policy);
+  EXPECT_FALSE(query.enable_block_pruning);
+  // An execution knob, not semantics: identity and hash ignore it, so a
+  // cached result is shared across pruning settings.
+  SpatialAggQuery pruned = spec.ToQuery(ExecPolicy{});
+  EXPECT_TRUE(pruned.enable_block_pruning);
+  EXPECT_TRUE(query == pruned);
+  EXPECT_EQ(HashQuery(query), HashQuery(pruned));
+}
+
 }  // namespace
 }  // namespace rj
