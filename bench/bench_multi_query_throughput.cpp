@@ -211,12 +211,17 @@ int main() {
     bounded_sum.aggregate_column = 3;
     shard_mix.push_back(bounded_sum);
 
-    // No index-device here: it rebuilds its 1024² device grid index per
-    // query (paper semantics), a fixed cost every shard would replay —
-    // that variant's sharded correctness is covered by tests/query/.
     SpatialAggQuery index_cpu;
     index_cpu.variant = JoinVariant::kIndexCpu;
     shard_mix.push_back(index_cpu);
+
+    // Index-device rides the shard axis too: the §6.2 per-query grid
+    // rebuild is hoisted into Executor::GetDeviceIndex and cached across
+    // queries, so repeated traffic scans with a prebuilt index instead of
+    // replaying a fixed build cost on every shard of every query.
+    SpatialAggQuery index_device;
+    index_device.variant = JoinVariant::kIndexDevice;
+    shard_mix.push_back(index_device);
   }
   std::vector<std::vector<double>> shard_expected;
   for (const SpatialAggQuery& q : shard_mix) {
@@ -230,11 +235,19 @@ int main() {
   }
 
   constexpr std::size_t kShardQueries = 12;
-  std::printf("\nshard scaling (1 client x %zu queries):\n", kShardQueries);
-  std::printf("%-8s | %12s %12s %9s %12s %10s\n", "shards", "queries",
-              "wall(ms)", "qps", "sp.vs1shard", "identical");
+  std::printf("\nshard scaling (1 client x %zu queries, routing on/off):\n",
+              kShardQueries);
+  std::printf("%-8s | %7s %12s %12s %9s %12s %10s\n", "shards", "routing",
+              "queries", "wall(ms)", "qps", "sp.vs1shard", "identical");
 
-  double one_shard_qps = 0.0;
+  // Routed vs. unrouted must agree bitwise: selective routing only skips
+  // shards whose zone can never intersect the query's effective region, so
+  // both configurations merge the same non-empty partials. Any divergence
+  // is a routing-soundness bug — hard failure below, like the baseline
+  // identity check.
+  bool routing_identical = true;
+  double one_shard_qps_on = 0.0;
+  double one_shard_qps_off = 0.0;
   for (const std::size_t shards : {1, 2, 4}) {
     gpu::DevicePoolOptions pool_options;
     pool_options.num_devices = shards;
@@ -259,35 +272,52 @@ int main() {
         service.RegisterShardedDataset(&table.value(), &polys);
     (void)service.dataset_executor(dataset)->GetTriangulation();
     (void)service.dataset_executor(dataset)->GetCpuIndex(1024);
+    (void)service.dataset_executor(dataset)->GetDeviceIndex(1024);
 
-    std::atomic<bool> identical{true};
-    const double seconds = TimeOnce([&] {
-      for (std::size_t q = 0; q < kShardQueries; ++q) {
-        const std::size_t pick = q % shard_mix.size();
-        service::ServiceResponse response =
-            service.Submit(dataset, shard_mix[pick]).get();
-        if (!response.result.ok() ||
-            !Identical(shard_expected[pick],
-                       response.result.value().values)) {
-          identical = false;
+    std::vector<std::vector<std::vector<double>>> got(2);
+    for (const bool routing : {true, false}) {
+      std::atomic<bool> identical{true};
+      std::vector<std::vector<double>>& results = got[routing ? 1 : 0];
+      results.resize(kShardQueries);
+      const double seconds = TimeOnce([&] {
+        for (std::size_t q = 0; q < kShardQueries; ++q) {
+          const std::size_t pick = q % shard_mix.size();
+          SpatialAggQuery query = shard_mix[pick];
+          query.enable_shard_routing = routing;
+          service::ServiceResponse response =
+              service.Submit(dataset, query).get();
+          if (!response.result.ok() ||
+              !Identical(shard_expected[pick],
+                         response.result.value().values)) {
+            identical = false;
+          }
+          if (response.result.ok()) {
+            results[q] = response.result.value().values;
+          }
         }
-      }
-    });
+      });
 
-    const double qps = static_cast<double>(kShardQueries) / seconds;
-    if (shards == 1) one_shard_qps = qps;
-    all_identical = all_identical && identical.load();
-    std::printf("%-8zu | %12zu %12.1f %9.1f %11.2fx %10s\n", shards,
-                kShardQueries, seconds * 1e3, qps, qps / one_shard_qps,
-                identical.load() ? "yes" : "NO");
+      const double qps = static_cast<double>(kShardQueries) / seconds;
+      double& one_shard_qps = routing ? one_shard_qps_on : one_shard_qps_off;
+      if (shards == 1) one_shard_qps = qps;
+      all_identical = all_identical && identical.load();
+      std::printf("%-8zu | %7s %12zu %12.1f %9.1f %11.2fx %10s\n", shards,
+                  routing ? "on" : "off", kShardQueries, seconds * 1e3, qps,
+                  qps / one_shard_qps, identical.load() ? "yes" : "NO");
 
-    json.Row()
-        .Field("section", std::string("shard_scaling"))
-        .Field("shards", shards)
-        .Field("queries", kShardQueries)
-        .Field("wall_ms", seconds * 1e3)
-        .Field("qps", qps)
-        .Field("speedup_vs_1_shard", qps / one_shard_qps);
+      json.Row()
+          .Field("section", std::string("shard_scaling"))
+          .Field("shards", shards)
+          .Field("routing", routing)
+          .Field("queries", kShardQueries)
+          .Field("wall_ms", seconds * 1e3)
+          .Field("qps", qps)
+          .Field("speedup_vs_1_shard", qps / one_shard_qps);
+    }
+
+    for (std::size_t q = 0; q < kShardQueries; ++q) {
+      if (!Identical(got[0][q], got[1][q])) routing_identical = false;
+    }
   }
 
   // --- Fusion scaling: 4 compatible clients, shared scan vs. solo scans. --
@@ -407,6 +437,11 @@ int main() {
   if (!all_identical) {
     std::fprintf(stderr, "FAIL: service results diverged from sequential "
                          "execution\n");
+    return 1;
+  }
+  if (!routing_identical) {
+    std::fprintf(stderr, "FAIL: routed execution diverged from unrouted "
+                         "execution on the shard axis\n");
     return 1;
   }
   return 0;

@@ -413,6 +413,34 @@ Result<BlockRef> BlockFileReader::ReadBlock(std::size_t block,
   return BlockRef{scratch, 0, n};
 }
 
+Result<BlockView> BlockFileReader::ViewBlock(std::size_t block,
+                                             PointTable* scratch) const {
+  (void)scratch;  // the mapping is the block storage
+  if (block >= blocks_.size()) {
+    return Status::OutOfRange("block index out of range");
+  }
+  const BlockMeta& meta = blocks_[block];
+  const auto n = static_cast<std::size_t>(meta.num_rows);
+  const std::size_t num_attrs = names_.size();
+  // data_offset is validated 8-byte aligned by Open, and each column run
+  // starts at an offset that is a multiple of its element size (x at 0,
+  // y at 8n, attr c at 16n + 4cn), so the reinterpret casts below are
+  // aligned accesses.
+  const unsigned char* p = map_ + meta.data_offset;
+  BlockView view;
+  view.xs = reinterpret_cast<const double*>(p);
+  view.ys = reinterpret_cast<const double*>(p + n * sizeof(double));
+  const unsigned char* a = p + 2 * n * sizeof(double);
+  view.attrs.resize(num_attrs);
+  for (std::size_t c = 0; c < num_attrs; ++c) {
+    view.attrs[c] = reinterpret_cast<const float*>(a + c * n * sizeof(float));
+  }
+  view.size = n;
+  bytes_read_.fetch_add(BlockDataBytes(meta.num_rows, num_attrs),
+                        std::memory_order_relaxed);
+  return view;
+}
+
 Result<std::unique_ptr<PointBlockSource>> OpenPointBlockSource(
     const std::string& path, std::size_t v1_block_capacity) {
   ColumnStoreHeader header;

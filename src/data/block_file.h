@@ -25,11 +25,14 @@
 ///   block data ×num_blocks, each padded to 8 bytes:
 ///     f64 x[n], f64 y[n], f32 attr0[n], …, f32 attrK[n]
 ///
-/// Blocks are 8-byte aligned so a future zero-copy reader may reinterpret
-/// the mapped doubles in place; the current reader memcpy's each block's
-/// columns into a caller scratch table (see mmap lifetime rules in
-/// docs/STORAGE.md — a BlockRef into scratch never outlives the copy, so
-/// no caller ever holds pointers into the mapping).
+/// Blocks are 8-byte aligned so a zero-copy reader may reinterpret the
+/// mapped doubles in place — ViewBlock does exactly that, returning
+/// column pointers into the RAM-cached mapping; ReadBlock remains the
+/// copying path, memcpy'ing each block's columns into a caller scratch
+/// table (see mmap lifetime rules in docs/STORAGE.md — both a BlockRef
+/// into scratch and a BlockView into the mapping obey the same lifetime
+/// bound: invalidated by the next read into the same scratch or by the
+/// reader's death).
 #pragma once
 
 #include <atomic>
@@ -104,6 +107,16 @@ class BlockFileReader final : public PointBlockSource {
   const BBox& extent() const override { return extent_; }
   Result<BlockRef> ReadBlock(std::size_t block,
                              PointTable* scratch) const override;
+
+  /// Zero-copy read: returns column pointers directly into the mapping
+  /// (every block is 8-byte aligned by the format, so the f64/f32 runs
+  /// reinterpret in place; `scratch` is ignored). Meters bytes_read
+  /// exactly as ReadBlock does — the Fig. 13 metric counts block bytes
+  /// accessed, and a zero-copy scan accesses the same pages a copying
+  /// scan would.
+  Result<BlockView> ViewBlock(std::size_t block,
+                              PointTable* scratch) const override;
+
   std::uint64_t bytes_read() const override {
     return bytes_read_.load(std::memory_order_relaxed);
   }

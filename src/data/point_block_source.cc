@@ -24,6 +24,23 @@ BlockZoneMap ComputeZoneMap(const PointTable& table, std::size_t begin,
   return zone;
 }
 
+Result<BlockView> PointBlockSource::ViewBlock(std::size_t block,
+                                              PointTable* scratch) const {
+  RJ_ASSIGN_OR_RETURN(BlockRef ref, ReadBlock(block, scratch));
+  // Re-base the window to block-local indices by offsetting each column
+  // pointer — zero-copy over whatever storage ReadBlock returned (the
+  // parent table for in-memory adapters, `scratch` for disk readers).
+  BlockView view;
+  view.xs = ref.table->xs().data() + ref.begin;
+  view.ys = ref.table->ys().data() + ref.begin;
+  view.attrs.resize(ref.table->num_attributes());
+  for (std::size_t c = 0; c < view.attrs.size(); ++c) {
+    view.attrs[c] = ref.table->attribute(c).data() + ref.begin;
+  }
+  view.size = ref.size();
+  return view;
+}
+
 Result<PointTable> MaterializeBlocks(const PointBlockSource& source) {
   PointTable out;
   for (const std::string& name : source.attribute_names()) {
@@ -33,12 +50,12 @@ Result<PointTable> MaterializeBlocks(const PointBlockSource& source) {
   PointTable scratch;
   std::vector<float> vals(source.num_attributes());
   for (std::size_t b = 0; b < source.num_blocks(); ++b) {
-    RJ_ASSIGN_OR_RETURN(BlockRef ref, source.ReadBlock(b, &scratch));
-    for (std::size_t i = ref.begin; i < ref.end; ++i) {
+    RJ_ASSIGN_OR_RETURN(BlockView view, source.ViewBlock(b, &scratch));
+    for (std::size_t i = 0; i < view.size; ++i) {
       for (std::size_t c = 0; c < vals.size(); ++c) {
-        vals[c] = ref.table->attribute(c)[i];
+        vals[c] = view.attrs[c][i];
       }
-      out.Append(ref.table->xs()[i], ref.table->ys()[i], vals);
+      out.Append(view.xs[i], view.ys[i], vals);
     }
   }
   out.CacheExtent();

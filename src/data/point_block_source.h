@@ -53,6 +53,26 @@ struct BlockRef {
   std::size_t size() const { return end - begin; }
 };
 
+/// Zero-copy view of one block's columns, indexed block-locally: row i of
+/// the view is row i of the block, i in [0, size). Mirrors the PointTable
+/// read surface (At / attribute) so row-loop templates accept either.
+///
+/// Lifetime: the pointers belong to the source (mmap pages, a parent
+/// table) or to the caller's scratch, depending on which ViewBlock
+/// produced them — so a view is valid until the next ViewBlock/ReadBlock
+/// into the same scratch or until the source dies, whichever is first.
+/// Exactly the BlockRef contract; no caller may hold a view across either
+/// event.
+struct BlockView {
+  const double* xs = nullptr;
+  const double* ys = nullptr;
+  std::vector<const float*> attrs;  ///< one entry per schema column
+  std::size_t size = 0;
+
+  Point At(std::size_t i) const { return {xs[i], ys[i]}; }
+  const float* attribute(std::size_t c) const { return attrs[c]; }
+};
+
 /// Schema + extent + an ordered stream of fixed-capacity column blocks.
 class PointBlockSource {
  public:
@@ -81,6 +101,18 @@ class PointBlockSource {
   /// concurrency contract.
   virtual Result<BlockRef> ReadBlock(std::size_t block,
                                      PointTable* scratch) const = 0;
+
+  /// Column-pointer view of block `block`. The base implementation calls
+  /// ReadBlock and wraps the resulting window, so it is a copy for disk
+  /// sources but already zero-copy for in-memory adapters (whose ReadBlock
+  /// is a pointer adjustment). Sources whose storage is directly
+  /// addressable override it to skip the scratch copy entirely —
+  /// BlockFileReader returns pointers into its RAM-cached mapping
+  /// (the format 8-byte aligns every block for exactly this). Overrides
+  /// must meter bytes_read identically to ReadBlock: the Fig. 13 metric
+  /// counts block bytes *accessed*, not bytes memcpy'd.
+  virtual Result<BlockView> ViewBlock(std::size_t block,
+                                      PointTable* scratch) const;
 
   /// Total bytes read from disk so far (0 for in-memory sources) — the
   /// Fig. 13 disk-access metric.

@@ -13,10 +13,23 @@
 ///    spatial extent, so all shards rasterize all canvas tiles (the right
 ///    default for skew-free load spreading).
 ///  * kHilbert — points are ordered along a Hilbert space-filling curve
-///    over the dataset extent and cut into S equal contiguous runs. Each
+///    over the dataset extent and cut into S contiguous key ranges. Each
 ///    shard covers a compact region (cf. the LSST multi-petabyte design's
 ///    spatial chunking), which keeps per-shard working sets small for
-///    spatially-selective workloads at the cost of skew sensitivity.
+///    spatially-selective workloads. Where the cuts fall is governed by
+///    ShardingOptions::cut_mode:
+///      - kQuantile (default) places cuts at sample quantiles of the
+///        points' Hilbert keys, so row counts stay near-balanced even on
+///        heavily clustered (Zipf-like) data. Equal keys never split
+///        across a cut, so shard key ranges are disjoint.
+///      - kEqualRange cuts the key space [0, 4^order) into S equal
+///        ranges — spatially uniform shards, unbalanced under skew. Kept
+///        as the legacy baseline the quantile mode is measured against.
+///
+/// Every policy additionally records a per-shard BlockZoneMap (bounding
+/// box + per-column min/max) at construction; the executor's
+/// spatially-selective routing prunes shards with it exactly as the block
+/// scan prunes blocks (join::ZoneMapCanMatch, conservative-exact).
 ///
 /// Both policies are deterministic: the same table and options always
 /// produce byte-identical shards (Hilbert ties break on original index).
@@ -27,6 +40,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "data/point_block_source.h"
 #include "data/point_table.h"
 #include "geometry/bbox.h"
 
@@ -38,8 +52,17 @@ enum class ShardPolicy {
   kHilbert,
 };
 
+/// Where the kHilbert policy cuts the curve into shards.
+enum class HilbertCutMode {
+  kQuantile,    ///< cuts at sampled key quantiles: balanced under skew
+  kEqualRange,  ///< cuts at equal key-space ranges: legacy baseline
+};
+
 /// Human-readable policy name ("round-robin", "hilbert").
 std::string ShardPolicyName(ShardPolicy policy);
+
+/// Human-readable cut-mode name ("quantile", "equal-range").
+std::string HilbertCutModeName(HilbertCutMode mode);
 
 /// Configuration of one partitioning run.
 struct ShardingOptions {
@@ -49,6 +72,8 @@ struct ShardingOptions {
   /// grid before curve indexing. 16 gives ~65k cells per axis — far below
   /// double precision, far above any realistic shard count.
   std::uint32_t hilbert_order = 16;
+  /// Cut placement for kHilbert (ignored by kRoundRobin).
+  HilbertCutMode cut_mode = HilbertCutMode::kQuantile;
 };
 
 /// An immutable set of shards cut from one PointTable. Shards own copies
@@ -67,6 +92,11 @@ class ShardedTable {
   std::size_t num_shards() const { return shards_.size(); }
   const PointTable& shard(std::size_t i) const { return shards_[i]; }
 
+  /// Zone map of shard i (bounding box + per-column min/max), computed at
+  /// construction. Empty shards carry the canonical empty zone (default
+  /// BBox, ±inf column ranges) that ZoneMapCanMatch never matches.
+  const BlockZoneMap& shard_zone(std::size_t i) const { return zones_[i]; }
+
   /// Total rows across every shard (= the base table's size).
   std::size_t total_points() const { return total_points_; }
   /// Largest single shard (the per-device residency bound admission plans
@@ -83,6 +113,7 @@ class ShardedTable {
   ShardedTable() = default;
 
   std::vector<PointTable> shards_;
+  std::vector<BlockZoneMap> zones_;
   BBox extent_;
   std::size_t total_points_ = 0;
   std::size_t max_shard_points_ = 0;

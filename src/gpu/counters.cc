@@ -14,13 +14,16 @@ void Counters::Reset() {
   batches_ = 0;
   blocks_scanned_ = 0;
   blocks_pruned_ = 0;
+  shards_routed_ = 0;
+  shards_skipped_ = 0;
 }
 
 std::string Counters::ToString() const {
-  char buf[320];
+  char buf[384];
   std::snprintf(buf, sizeof(buf),
                 "fragments=%llu vertices=%llu bytes=%llu atomics=%llu "
-                "pip=%llu passes=%llu batches=%llu blocks=%llu pruned=%llu",
+                "pip=%llu passes=%llu batches=%llu blocks=%llu pruned=%llu "
+                "shards=%llu shards_skipped=%llu",
                 static_cast<unsigned long long>(fragments()),
                 static_cast<unsigned long long>(vertices()),
                 static_cast<unsigned long long>(bytes_transferred()),
@@ -29,7 +32,9 @@ std::string Counters::ToString() const {
                 static_cast<unsigned long long>(render_passes()),
                 static_cast<unsigned long long>(batches()),
                 static_cast<unsigned long long>(blocks_scanned()),
-                static_cast<unsigned long long>(blocks_pruned()));
+                static_cast<unsigned long long>(blocks_pruned()),
+                static_cast<unsigned long long>(shards_routed()),
+                static_cast<unsigned long long>(shards_skipped()));
   return buf;
 }
 

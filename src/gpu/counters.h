@@ -27,6 +27,8 @@ struct CountersSnapshot {
   std::uint64_t batches = 0;
   std::uint64_t blocks_scanned = 0;  ///< zone-map decisions: block read
   std::uint64_t blocks_pruned = 0;   ///< zone-map decisions: block skipped
+  std::uint64_t shards_routed = 0;   ///< routing decisions: shard executed
+  std::uint64_t shards_skipped = 0;  ///< routing decisions: shard skipped
 
   /// Per-field difference (work performed between two snapshots).
   CountersSnapshot DeltaSince(const CountersSnapshot& earlier) const {
@@ -40,6 +42,8 @@ struct CountersSnapshot {
     d.batches = batches - earlier.batches;
     d.blocks_scanned = blocks_scanned - earlier.blocks_scanned;
     d.blocks_pruned = blocks_pruned - earlier.blocks_pruned;
+    d.shards_routed = shards_routed - earlier.shards_routed;
+    d.shards_skipped = shards_skipped - earlier.shards_skipped;
     return d;
   }
 
@@ -57,6 +61,8 @@ struct CountersSnapshot {
     s.batches = batches + other.batches;
     s.blocks_scanned = blocks_scanned + other.blocks_scanned;
     s.blocks_pruned = blocks_pruned + other.blocks_pruned;
+    s.shards_routed = shards_routed + other.shards_routed;
+    s.shards_skipped = shards_skipped + other.shards_skipped;
     return s;
   }
 };
@@ -78,6 +84,8 @@ class Counters {
     s.batches = batches();
     s.blocks_scanned = blocks_scanned();
     s.blocks_pruned = blocks_pruned();
+    s.shards_routed = shards_routed();
+    s.shards_skipped = shards_skipped();
     return s;
   }
 
@@ -90,6 +98,8 @@ class Counters {
   void AddBatches(std::uint64_t n) { batches_ += n; }
   void AddBlocksScanned(std::uint64_t n) { blocks_scanned_ += n; }
   void AddBlocksPruned(std::uint64_t n) { blocks_pruned_ += n; }
+  void AddShardsRouted(std::uint64_t n) { shards_routed_ += n; }
+  void AddShardsSkipped(std::uint64_t n) { shards_skipped_ += n; }
 
   std::uint64_t fragments() const { return fragments_; }
   std::uint64_t vertices() const { return vertices_; }
@@ -100,6 +110,8 @@ class Counters {
   std::uint64_t batches() const { return batches_; }
   std::uint64_t blocks_scanned() const { return blocks_scanned_; }
   std::uint64_t blocks_pruned() const { return blocks_pruned_; }
+  std::uint64_t shards_routed() const { return shards_routed_; }
+  std::uint64_t shards_skipped() const { return shards_skipped_; }
 
   std::string ToString() const;
 
@@ -113,6 +125,8 @@ class Counters {
   std::atomic<std::uint64_t> batches_{0};
   std::atomic<std::uint64_t> blocks_scanned_{0};
   std::atomic<std::uint64_t> blocks_pruned_{0};
+  std::atomic<std::uint64_t> shards_routed_{0};
+  std::atomic<std::uint64_t> shards_skipped_{0};
 };
 
 }  // namespace rj::gpu

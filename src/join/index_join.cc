@@ -14,8 +14,12 @@ namespace rj {
 namespace {
 
 /// Procedure JoinPoint over one range of points using the given index;
-/// accumulates into `out`. Shared by all flavours.
-void JoinPointRange(const PointTable& points, const PolygonSet& polys,
+/// accumulates into `out`. Shared by all flavours; templated over the row
+/// accessor (PointTable or a zero-copy data::BlockView — both expose
+/// At(i) and attribute(c)[i]) so the block-source scan can run straight
+/// off the mmap without a scratch copy.
+template <typename Rows>
+void JoinPointRange(const Rows& points, const PolygonSet& polys,
                     const GridIndex& index, const IndexJoinOptions& options,
                     std::size_t begin, std::size_t end,
                     raster::ResultArrays* out) {
@@ -60,12 +64,22 @@ Result<JoinResult> IndexDeviceBlockJoin(gpu::Device* device,
 
   JoinResult result(polys.size());
 
-  // Build the grid index on the device, on the fly, per query (§6.1).
-  Timer index_timer;
-  RJ_ASSIGN_OR_RETURN(GridIndex index,
-                      GridIndex::Build(polys, world, options.index_resolution,
-                                       options.assign_mode));
-  result.timing.Add(phase::kIndexBuild, index_timer.ElapsedSeconds());
+  // Build the grid index on the device, on the fly, per query (§6.1) —
+  // unless the caller provides one it built (and cached) with identical
+  // parameters, in which case the rebuild (and its kIndexBuild phase) is
+  // skipped without changing any result bit.
+  std::optional<GridIndex> built;
+  const GridIndex* index = options.prebuilt_index;
+  if (index == nullptr) {
+    Timer index_timer;
+    RJ_ASSIGN_OR_RETURN(GridIndex fresh,
+                        GridIndex::Build(polys, world,
+                                         options.index_resolution,
+                                         options.assign_mode));
+    built.emplace(std::move(fresh));
+    index = &*built;
+    result.timing.Add(phase::kIndexBuild, index_timer.ElapsedSeconds());
+  }
 
   // Out-of-core batching: transfer each batch once (batch b+1 prefetched
   // by the pipeline while batch b's PIP stage runs), then run the PIP
@@ -97,7 +111,7 @@ Result<JoinResult> IndexDeviceBlockJoin(gpu::Device* device,
       ThreadPool& pool = device->pool();
       const std::size_t num_chunks = pool.NumChunks(end - begin);
       if (num_chunks <= 1) {
-        JoinPointRange(rows, polys, index, options, begin, end,
+        JoinPointRange(rows, polys, *index, options, begin, end,
                        &result.arrays);
       } else {
         std::vector<raster::ResultArrays> partials(
@@ -106,7 +120,7 @@ Result<JoinResult> IndexDeviceBlockJoin(gpu::Device* device,
         pool.ParallelFor(end - begin, [&](std::size_t lo, std::size_t hi,
                                           std::size_t worker) {
           const std::size_t chunk_pips_before = GetThreadPipTestCount();
-          JoinPointRange(rows, polys, index, options, begin + lo,
+          JoinPointRange(rows, polys, *index, options, begin + lo,
                          begin + hi, &partials[worker]);
           pips_per_chunk[worker] += GetThreadPipTestCount() -
                                     chunk_pips_before;
@@ -224,29 +238,29 @@ Result<JoinResult> IndexJoinCpu(const data::PointBlockSource& source,
   ScopedPhase sp(&result.timing, phase::kProcessing);
 
   // One pool and one block scratch for the whole scan: the working set is
-  // a single block, never the table.
+  // a single block, never the table — and for RAM-cached mappings
+  // (BlockFileReader) and table adapters ViewBlock skips even the block
+  // copy, scanning the source's storage in place.
   std::optional<ThreadPool> pool;
   if (num_threads > 1) pool.emplace(static_cast<std::size_t>(num_threads));
   PointTable scratch;
   for (const std::size_t b : sel.blocks) {
-    RJ_ASSIGN_OR_RETURN(data::BlockRef ref, source.ReadBlock(b, &scratch));
-    const PointTable& rows = *ref.table;
+    RJ_ASSIGN_OR_RETURN(data::BlockView view, source.ViewBlock(b, &scratch));
     if (pool.has_value()) {
       // Per-block merge in ascending worker order: deterministic for any
       // thread count (and exact for the integer-valued weights the repo's
       // determinism suite uses).
       std::vector<raster::ResultArrays> partials(
           pool->num_threads(), raster::ResultArrays(polys.size()));
-      pool->ParallelFor(ref.end - ref.begin,
+      pool->ParallelFor(view.size,
                         [&](std::size_t lo, std::size_t hi,
                             std::size_t worker) {
-                          JoinPointRange(rows, polys, index, options,
-                                         ref.begin + lo, ref.begin + hi,
+                          JoinPointRange(view, polys, index, options, lo, hi,
                                          &partials[worker]);
                         });
       for (const auto& partial : partials) result.arrays.AddFrom(partial);
     } else {
-      JoinPointRange(rows, polys, index, options, ref.begin, ref.end,
+      JoinPointRange(view, polys, index, options, 0, view.size,
                      &result.arrays);
     }
   }

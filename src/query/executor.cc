@@ -180,6 +180,33 @@ Result<const GridIndex*> Executor::GetCpuIndex(std::int32_t resolution) {
   return it->second.get();
 }
 
+Result<const GridIndex*> Executor::GetDeviceIndex(std::int32_t resolution) {
+  std::lock_guard<std::mutex> lock(prep_mutex_);
+  auto it = device_indexes_.find(resolution);
+  if (it == device_indexes_.end()) {
+    // Identical construction parameters to the per-query build inside
+    // IndexJoinDevice (MBR assignment over the executor's world), so the
+    // prebuilt index is bit-for-bit the one each query would have built.
+    RJ_ASSIGN_OR_RETURN(GridIndex index,
+                        GridIndex::Build(*polys_, world_, resolution,
+                                         GridAssignMode::kMbr));
+    it = device_indexes_
+             .emplace(resolution, std::make_unique<GridIndex>(std::move(index)))
+             .first;
+  }
+  return it->second.get();
+}
+
+void Executor::SetShardReplicas(std::vector<std::vector<std::size_t>> replicas) {
+  std::lock_guard<std::mutex> lock(replica_mutex_);
+  shard_replicas_ = std::move(replicas);
+}
+
+std::vector<std::vector<std::size_t>> Executor::shard_replicas() const {
+  std::lock_guard<std::mutex> lock(replica_mutex_);
+  return shard_replicas_;
+}
+
 JoinVariant Executor::ResolveVariant(const SpatialAggQuery& query) const {
   if (query.variant != JoinVariant::kAuto) return query.variant;
   return ChooseRasterVariant(cost_params_, cost_inputs_, query.epsilon);
@@ -244,8 +271,8 @@ Result<JoinResult> Executor::RunVariant(
     const data::PointBlockSource* source, JoinVariant variant,
     const SpatialAggQuery& query, std::size_t weight_column,
     const UploadPlan& capped, const TriangleSoup* soup,
-    const GridIndex* cpu_index, ResultRanges* ranges_out,
-    std::optional<raster::Fbo>* point_fbo_out) {
+    const GridIndex* cpu_index, const GridIndex* device_index,
+    ResultRanges* ranges_out, std::optional<raster::Fbo>* point_fbo_out) {
   switch (variant) {
     case JoinVariant::kBoundedRaster: {
       BoundedRasterJoinOptions options;
@@ -285,6 +312,7 @@ Result<JoinResult> Executor::RunVariant(
       options.filters = query.filters;
       options.batch_size = capped.batch_size;
       options.overlap_transfers = capped.overlap_transfers;
+      options.prebuilt_index = device_index;
       if (source != nullptr) {
         options.enable_block_pruning = query.enable_block_pruning;
         return IndexJoinDevice(device, *source, *polys_, world_, options);
@@ -330,6 +358,12 @@ Result<Executor::QuerySetup> Executor::PrepareQuery(
     RJ_ASSIGN_OR_RETURN(setup.cpu_index,
                         GetCpuIndex(IndexJoinOptions{}.index_resolution));
   }
+  if (setup.variant == JoinVariant::kIndexDevice) {
+    // The §6.2 baseline's per-query device index, hoisted into the prep
+    // cache: repeated queries (the multi-query workload) skip the rebuild.
+    RJ_ASSIGN_OR_RETURN(setup.device_index,
+                        GetDeviceIndex(IndexJoinOptions{}.index_resolution));
+  }
   return setup;
 }
 
@@ -371,7 +405,12 @@ Result<QueryResult> Executor::Execute(const SpatialAggQuery& query) {
 }
 
 Result<QueryResult> Executor::ExecuteUncached(const SpatialAggQuery& query) {
-  if (sharded()) return ExecuteSharded(query);
+  return ExecuteUncached(query, nullptr);
+}
+
+Result<QueryResult> Executor::ExecuteUncached(
+    const SpatialAggQuery& query, const ShardPlacement* placement) {
+  if (sharded()) return ExecuteSharded(query, placement);
 
   Timer total;
   QueryResult out;
@@ -406,7 +445,7 @@ Result<QueryResult> Executor::ExecuteUncached(const SpatialAggQuery& query) {
   RJ_ASSIGN_OR_RETURN(
       join, RunVariant(device_, points_, source_, setup.variant, query,
                        setup.weight_column, capped, setup.soup,
-                       setup.cpu_index,
+                       setup.cpu_index, setup.device_index,
                        query.with_result_ranges ? &out.ranges : nullptr,
                        nullptr));
 
@@ -680,7 +719,131 @@ Result<std::vector<QueryResult>> Executor::ExecuteFusedSharded(
   return out;
 }
 
-Result<QueryResult> Executor::ExecuteSharded(const SpatialAggQuery& query) {
+Result<BBox> Executor::RoutingRegion(JoinVariant variant,
+                                     const SpatialAggQuery& query) {
+  BBox region = ComputeExtent(*polys_);
+  double pad = 0.0;
+  if (variant == JoinVariant::kBoundedRaster) {
+    // One canvas pixel, from the very canvas plan the shards will render
+    // on (the widest pixel across tiles, applied on both axes — strictly
+    // conservative).
+    RJ_ASSIGN_OR_RETURN(
+        std::vector<raster::CanvasTile> tiles,
+        raster::PlanCanvas(world_, query.epsilon,
+                           device_->options().max_fbo_dim));
+    for (const raster::CanvasTile& t : tiles) {
+      pad = std::max({pad, t.world.Width() / t.width,
+                      t.world.Height() / t.height});
+    }
+  } else if (variant == JoinVariant::kAccurateRaster) {
+    // One pixel of the accurate canvas, over-approximated with the longer
+    // world side (the canvas is square over the world extent).
+    const std::int32_t dim = query.accurate_canvas_dim > 0
+                                 ? query.accurate_canvas_dim
+                                 : device_->options().max_fbo_dim;
+    pad = std::max(world_.Width(), world_.Height()) /
+          static_cast<double>(std::max<std::int32_t>(dim, 1));
+  }
+  // Index variants are PIP-exact: a contributing point lies inside a
+  // polygon, hence inside the unpadded extent (Intersects is closed).
+  return region.Inflated(pad);
+}
+
+Result<Executor::ShardPlacement> Executor::PlanPlacement(
+    const SpatialAggQuery& query) {
+  ShardPlacement p;
+  if (!sharded()) {
+    // Trivial single-device placement, so callers (QueryService) can plan
+    // uniformly; matches ShardsPerDevice()'s {1}.
+    p.device_of_shard.assign(1, 0);
+    p.cached.resize(1);
+    p.hosted.assign(1, 1);
+    p.executed = 1;
+    return p;
+  }
+
+  const std::size_t num_shards = shards_->num_shards();
+  const std::size_t pool_size = pool_->size();
+  p.device_of_shard.assign(num_shards, 0);
+  p.cached.resize(num_shards);
+  p.hosted.assign(pool_size, 0);
+
+  const JoinVariant variant = ResolveVariant(query);
+  const bool want_ranges = query.with_result_ranges &&
+                           variant == JoinVariant::kBoundedRaster;
+
+  std::optional<BBox> region;
+  if (query.enable_shard_routing) {
+    RJ_ASSIGN_OR_RETURN(BBox r, RoutingRegion(variant, query));
+    region = r;
+  }
+
+  // Per-shard partials are cacheable only when the whole pipeline is: a
+  // §5-ranges query needs the shard FBOs (not stored), and a bypass must
+  // not read stale entries either.
+  const bool use_cache = query.enable_shard_cache &&
+                         !query.bypass_result_cache &&
+                         result_cache_ != nullptr && !want_ranges;
+  query::CacheKey base_key;
+  if (use_cache) {
+    base_key = query::MakeCacheKey(dataset_cache_key_, dataset_version(),
+                                   query, variant);
+  }
+
+  std::vector<std::vector<std::size_t>> replicas = shard_replicas();
+
+  // Placement-local load: executing shards assigned so far per device. The
+  // tie-break (lowest device index) keeps placement deterministic for a
+  // fixed replica map.
+  std::vector<std::size_t> load(pool_size, 0);
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    if (region.has_value() &&
+        !ZoneMapCanMatch(shards_->shard_zone(s), query.filters, &*region)) {
+      p.device_of_shard[s] = ShardPlacement::kSkipped;
+      ++p.skipped;
+      continue;
+    }
+    if (use_cache) {
+      query::CacheKey key = base_key;
+      key.shard = s;
+      if (std::shared_ptr<const QueryResult> hit =
+              result_cache_->Lookup(key)) {
+        p.device_of_shard[s] = ShardPlacement::kCached;
+        p.cached[s] = std::move(hit);
+        ++p.cache_hits;
+        continue;
+      }
+    }
+    std::size_t best = s % pool_size;
+    if (s < replicas.size()) {
+      for (const std::size_t d : replicas[s]) {
+        if (d >= pool_size) continue;  // stale map from a smaller pool
+        if (load[d] < load[best] || (load[d] == load[best] && d < best)) {
+          best = d;
+        }
+      }
+    }
+    p.device_of_shard[s] = best;
+    ++load[best];
+    ++p.hosted[best];
+    ++p.executed;
+  }
+
+  if (p.executed == 0 && p.cache_hits == 0) {
+    // Forced keep: every shard was routed away, but the merge (and a
+    // ranges gather) still needs one correctly-shaped partial. Shard 0 on
+    // its home device joins zero-contributing rows — the result is the
+    // same all-zero aggregate, bitwise.
+    p.device_of_shard[0] = 0;
+    --p.skipped;
+    ++p.hosted[0];
+    ++p.executed;
+  }
+  return p;
+}
+
+Result<QueryResult> Executor::ExecuteSharded(const SpatialAggQuery& query,
+                                             const ShardPlacement* placement) {
   Timer total;
   QueryResult out;
 
@@ -703,14 +866,32 @@ Result<QueryResult> Executor::ExecuteSharded(const SpatialAggQuery& query) {
   const bool want_ranges = query.with_result_ranges &&
                            setup.variant == JoinVariant::kBoundedRaster;
 
+  // Routing/cache/replica placement — planned here unless the caller
+  // (QueryService) already planned it to size the admission grant.
+  ShardPlacement local_placement;
+  if (placement == nullptr) {
+    RJ_ASSIGN_OR_RETURN(local_placement, PlanPlacement(query));
+    placement = &local_placement;
+  }
+  const ShardPlacement& place = *placement;
+
   const std::size_t num_shards = shards_->num_shards();
   std::vector<agg::ShardPartial> partials(num_shards);
   std::vector<Status> shard_status(num_shards, Status::OK());
   std::vector<std::optional<raster::Fbo>> shard_fbos(num_shards);
 
-  // --- Scatter: every shard joins on its own device in parallel. ---------
+  // Cached shards contribute their stored arrays as-is (bitwise identical
+  // to re-executing them); skipped shards stay default — zero-size arrays
+  // the merge skips by contract (merge_partials.h).
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    if (place.device_of_shard[s] == ShardPlacement::kCached) {
+      partials[s].arrays = place.cached[s]->arrays;
+    }
+  }
+
+  // --- Scatter: every placed shard joins on its device in parallel. ------
   const auto run_shard = [&](std::size_t s) {
-    gpu::Device* dev = shard_device(s);
+    gpu::Device* dev = pool_->device(place.device_of_shard[s]);
     const PointTable& shard_points = shards_->shard(s);
     // The admission grant is per shard: each shard batches within its own
     // device_memory_cap_bytes slice, independent of sibling shard sizes.
@@ -726,7 +907,8 @@ Result<QueryResult> Executor::ExecuteSharded(const SpatialAggQuery& query) {
     Result<JoinResult> join =
         RunVariant(dev, &shard_points, /*source=*/nullptr, setup.variant,
                    query, setup.weight_column, capped, setup.soup,
-                   setup.cpu_index, /*ranges_out=*/nullptr,
+                   setup.cpu_index, setup.device_index,
+                   /*ranges_out=*/nullptr,
                    want_ranges ? &shard_fbos[s] : nullptr);
     if (!join.ok()) {
       shard_status[s] = join.status();
@@ -737,28 +919,47 @@ Result<QueryResult> Executor::ExecuteSharded(const SpatialAggQuery& query) {
     partials[s].timing = shard_result.timing;
   };
 
-  // Counter attribution is per *device*, not per shard: when the pool is
-  // smaller than the shard count, sibling shards share a device and their
-  // delta windows would overlap (double-counting the shared work). Shard
-  // d is the first shard on device d, so its partial carries the device's
-  // whole delta — the merged total is the true pool delta (exact when no
-  // other query overlapped, the same contract as QueryStats).
-  const std::size_t devices_used = std::min(num_shards, pool_->size());
-  std::vector<gpu::CountersSnapshot> before(devices_used);
-  for (std::size_t d = 0; d < devices_used; ++d) {
-    before[d] = pool_->device(d)->counters().Snapshot();
+  // Routing metering lands on the primary device *before* the delta
+  // windows open, so the per-shard deltas below don't re-report it (the
+  // merged total then carries it exactly once via the explicit add after
+  // the merge).
+  device_->counters().AddShardsRouted(place.executed);
+  device_->counters().AddShardsSkipped(place.skipped);
+
+  // Counter attribution is per *device*, not per shard: sibling shards on
+  // one device would have overlapping delta windows (double-counting the
+  // shared work). The first *executing* shard on device d carries device
+  // d's whole delta — the merged total is the true pool delta (exact when
+  // no other query overlapped, the same contract as QueryStats). Devices
+  // with no executing shard get no window (nothing ran there).
+  const std::size_t npos = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> first_shard_on_device(pool_->size(), npos);
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    const std::size_t d = place.device_of_shard[s];
+    if (d >= pool_->size()) continue;  // skipped or cached
+    if (first_shard_on_device[d] == npos) first_shard_on_device[d] = s;
+  }
+  std::vector<gpu::CountersSnapshot> before(pool_->size());
+  for (std::size_t d = 0; d < pool_->size(); ++d) {
+    if (first_shard_on_device[d] != npos) {
+      before[d] = pool_->device(d)->counters().Snapshot();
+    }
   }
   {
     std::vector<std::thread> threads;
-    threads.reserve(num_shards);
+    threads.reserve(place.executed);
     for (std::size_t s = 0; s < num_shards; ++s) {
-      threads.emplace_back(run_shard, s);
+      if (place.device_of_shard[s] < pool_->size()) {
+        threads.emplace_back(run_shard, s);
+      }
     }
     for (std::thread& t : threads) t.join();
   }
-  for (std::size_t d = 0; d < devices_used; ++d) {
-    partials[d].counters =
-        pool_->device(d)->counters().Snapshot().DeltaSince(before[d]);
+  for (std::size_t d = 0; d < pool_->size(); ++d) {
+    if (first_shard_on_device[d] != npos) {
+      partials[first_shard_on_device[d]].counters =
+          pool_->device(d)->counters().Snapshot().DeltaSince(before[d]);
+    }
   }
 
   // First failure in shard order: error reporting stays deterministic no
@@ -771,14 +972,49 @@ Result<QueryResult> Executor::ExecuteSharded(const SpatialAggQuery& query) {
   out.values = FinalizeAggregate(query.aggregate, out.arrays);
   out.timing = merged.timing;
   out.counters = merged.counters;
+  out.counters.shards_routed += place.executed;
+  out.counters.shards_skipped += place.skipped;
+
+  // Store fresh per-shard partials for pans that re-cover these shards.
+  // Unconditional on success; the version stamp in the key keeps entries
+  // from outliving a dataset bump (mirrors the service's publish guard).
+  if (query.enable_shard_cache && !query.bypass_result_cache &&
+      result_cache_ != nullptr && !want_ranges) {
+    const query::CacheKey base_key = query::MakeCacheKey(
+        dataset_cache_key_, dataset_version(), query, setup.variant);
+    for (std::size_t s = 0; s < num_shards; ++s) {
+      if (place.device_of_shard[s] >= pool_->size()) continue;
+      query::CacheKey key = base_key;
+      key.shard = s;
+      QueryResult partial;
+      partial.arrays = partials[s].arrays;
+      result_cache_->Insert(key, std::move(partial));
+    }
+  }
 
   if (want_ranges) {
-    raster::Fbo gathered = std::move(*shard_fbos[0]);
-    shard_fbos[0].reset();
-    for (std::size_t s = 1; s < num_shards; ++s) {
+    // The gather seed is the first executing shard's FBO — always present:
+    // the shard cache is disabled under want_ranges and forced keep
+    // guarantees at least one executing shard.
+    std::size_t first_fbo = npos;
+    for (std::size_t s = 0; s < num_shards; ++s) {
+      if (shard_fbos[s].has_value()) {
+        first_fbo = s;
+        break;
+      }
+    }
+    if (first_fbo == npos) {
+      return Status::Internal("ranges gather found no shard FBO");
+    }
+    raster::Fbo gathered = std::move(*shard_fbos[first_fbo]);
+    shard_fbos[first_fbo].reset();
+    for (std::size_t s = first_fbo + 1; s < num_shards; ++s) {
       // Accumulate and free shard by shard: canvases are multi-megabyte,
       // so holding all S copies through the range pass would multiply the
-      // gather's transient footprint for nothing.
+      // gather's transient footprint for nothing. Skipped shards exported
+      // no FBO — and an all-default FBO accumulates as the identity, so
+      // the gathered canvas equals the all-shard one bitwise.
+      if (!shard_fbos[s].has_value()) continue;
       AccumulateFbo(&gathered, *shard_fbos[s]);
       shard_fbos[s].reset();
     }

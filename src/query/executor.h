@@ -8,12 +8,25 @@
 ///
 ///  * single-device — the paper's setup: one gpu::Device runs the whole
 ///    point set (batched when out of core);
-///  * sharded scatter-gather — a data::ShardedTable places one shard per
-///    gpu::DevicePool device (shard s on device s mod pool size); each
-///    shard runs the full join on its own device in parallel and the
-///    partials merge through agg::MergePartials in ascending shard order,
-///    so results are bitwise identical to single-device execution for any
-///    shard/worker count (docs/SERVICE.md "Determinism under sharding").
+///  * sharded scatter-gather — a data::ShardedTable places shards onto
+///    gpu::DevicePool devices (home device s mod pool size; hot-shard read
+///    replicas widen the candidate set and the least-loaded candidate
+///    wins); each placed shard runs the full join on its own device in
+///    parallel and the partials merge through agg::MergePartials in
+///    ascending shard order, so results are bitwise identical to
+///    single-device execution for any shard/worker/replica count
+///    (docs/SERVICE.md "Determinism under sharding").
+///
+/// Sharded execution is additionally skew- and locality-aware
+/// (PlanPlacement): shards whose zone map (data::ShardedTable::shard_zone)
+/// provably cannot contribute to the query — no bbox overlap with the
+/// query's padded canvas region, or no row can pass its filters — are
+/// skipped outright (join::ZoneMapCanMatch, the same conservative-exact
+/// test as block pruning), and shards whose partial for this semantic
+/// query is already cached reuse it without re-executing. Skipped and
+/// cached shards contribute canonical partials, so the merged result —
+/// including §5 pixel-summed ranges — stays bitwise identical to all-shard
+/// execution.
 ///
 /// Thread-safety contract (docs/SERVICE.md): one Executor may serve
 /// concurrent Execute() calls from many threads. The preprocessing caches
@@ -125,10 +138,57 @@ class Executor {
   Result<QueryResult> Execute(const QuerySpec& spec,
                               const ExecPolicy& policy = {});
 
-  /// Execute without consulting the result cache (always runs the join).
-  /// The uncached baseline for tests/benches, and the compute path a
-  /// caching layer that does its own key lookup (QueryService) wraps.
+  /// Execute without consulting the whole-query result cache (always runs
+  /// the join; sharded executions still honor routing and the per-shard
+  /// partial cache unless the query disables them). The uncached baseline
+  /// for tests/benches, and the compute path a caching layer that does its
+  /// own key lookup (QueryService) wraps.
   Result<QueryResult> ExecuteUncached(const SpatialAggQuery& query);
+
+  /// One query's shard placement: which shards execute (and where), which
+  /// are routing-skipped, and which reuse a cached partial. `hosted` is the
+  /// grant-multiplication shape for exactly the devices that will execute —
+  /// admission covers placed work only, never skipped or cached shards.
+  struct ShardPlacement {
+    /// Sentinels in `device_of_shard` for shards that do not execute.
+    static constexpr std::size_t kSkipped = static_cast<std::size_t>(-1);
+    static constexpr std::size_t kCached = static_cast<std::size_t>(-2);
+    /// Per shard: the pool device index that executes it, or a sentinel.
+    std::vector<std::size_t> device_of_shard;
+    /// Per shard: the pinned cached partial (non-null iff kCached). Pinned
+    /// at plan time so a concurrent eviction cannot strand the execution.
+    std::vector<std::shared_ptr<const QueryResult>> cached;
+    /// Executing shards per pool device, in device order — what
+    /// QueryService multiplies per-shard grants by (all-or-nothing
+    /// reservation over exactly the devices doing work, replicas included).
+    std::vector<std::size_t> hosted;
+    std::size_t executed = 0;    ///< shards that will run a join
+    std::size_t cache_hits = 0;  ///< shards served from the partial cache
+    std::size_t skipped = 0;     ///< shards pruned by routing
+  };
+
+  /// Plans routing, per-shard cache reuse, and replica-aware device
+  /// placement for `query` (see the file comment). Unsharded executors
+  /// report the trivial single-device placement ({1} hosted). When every
+  /// shard would be skipped, shard 0 is kept on its home device so the
+  /// merge always sees one correctly-shaped partial. Thread-safe.
+  Result<ShardPlacement> PlanPlacement(const SpatialAggQuery& query);
+
+  /// ExecuteUncached against a placement already planned (and admitted) by
+  /// the caller — QueryService plans first so the grant covers exactly the
+  /// executing devices. `placement` may be null (plan internally); it must
+  /// come from PlanPlacement of a semantically-equal query.
+  Result<QueryResult> ExecuteUncached(const SpatialAggQuery& query,
+                                      const ShardPlacement* placement);
+
+  /// Installs the read-replica map: `replicas[s]` lists extra pool device
+  /// indexes that may execute shard s in addition to its home device
+  /// (s mod pool size). QueryService maintains this from its EWMA shard
+  /// heat; placement picks the least-loaded candidate. Replicas never
+  /// change result bits — every device runs the identical shard join.
+  /// Thread-safe; an empty vector (or entry) means home-only.
+  void SetShardReplicas(std::vector<std::vector<std::size_t>> replicas);
+  std::vector<std::vector<std::size_t>> shard_replicas() const;
 
   /// Executes a fusion group — compatible queries over this dataset (same
   /// resolved raster variant; equal ε for bounded, equal canvas_dim for
@@ -211,6 +271,13 @@ class Executor {
   /// Cached exact-geometry CPU grid index at `resolution`.
   Result<const GridIndex*> GetCpuIndex(std::int32_t resolution);
 
+  /// Cached MBR-mode grid index for the device index-join variant. The
+  /// paper's §6.2 baseline rebuilds this per query; caching it across
+  /// queries (it is a pure function of the immutable polygon set, world,
+  /// and resolution) removes the rebuild from repeated traffic without
+  /// changing results — IndexJoinDevice consumes it as a prebuilt index.
+  Result<const GridIndex*> GetDeviceIndex(std::int32_t resolution);
+
   /// Cost-model parameters for the kAuto variant. Not synchronized:
   /// configure before serving concurrent queries.
   CostModelParams* cost_params() { return &cost_params_; }
@@ -260,10 +327,20 @@ class Executor {
     std::size_t weight_column = PointTable::npos;
     JoinVariant variant = JoinVariant::kAuto;
     std::size_t bytes_per_point = 0;
-    const TriangleSoup* soup = nullptr;     ///< raster variants
-    const GridIndex* cpu_index = nullptr;   ///< kIndexCpu
+    const TriangleSoup* soup = nullptr;       ///< raster variants
+    const GridIndex* cpu_index = nullptr;     ///< kIndexCpu
+    const GridIndex* device_index = nullptr;  ///< kIndexDevice (prebuilt)
   };
   Result<QuerySetup> PrepareQuery(const SpatialAggQuery& query);
+
+  /// The query's effective spatial region for shard routing: the polygon
+  /// set's extent inflated by one canvas pixel for the raster variants
+  /// (a contributing point's pixel must touch a polygon-covered pixel, so
+  /// it lies within one pixel of the polygon extent; the index variants
+  /// are PIP-exact and need no pad). Conservative by construction — a
+  /// shard outside this region provably contributes nothing.
+  Result<BBox> RoutingRegion(JoinVariant variant,
+                             const SpatialAggQuery& query);
 
   /// Runs one (device, input) pair through the resolved variant — the
   /// single variant-dispatch switch shared by the single-device path,
@@ -271,7 +348,8 @@ class Executor {
   /// per-variant option wiring cannot drift between them. Exactly one of
   /// `points`/`source` is non-null (the source dispatch threads
   /// query.enable_block_pruning into the join's block selection). `soup`
-  /// is required for the raster variants, `cpu_index` for kIndexCpu;
+  /// is required for the raster variants, `cpu_index` for kIndexCpu,
+  /// `device_index` is the (optional) prebuilt index for kIndexDevice;
   /// `ranges_out`/`point_fbo_out` are the bounded variant's optional
   /// outputs.
   Result<JoinResult> RunVariant(gpu::Device* device, const PointTable* points,
@@ -282,11 +360,14 @@ class Executor {
                                 const UploadPlan& capped,
                                 const TriangleSoup* soup,
                                 const GridIndex* cpu_index,
+                                const GridIndex* device_index,
                                 ResultRanges* ranges_out,
                                 std::optional<raster::Fbo>* point_fbo_out);
 
-  /// The scatter-gather path (sharded executors only).
-  Result<QueryResult> ExecuteSharded(const SpatialAggQuery& query);
+  /// The scatter-gather path (sharded executors only). `placement` may be
+  /// null (planned internally).
+  Result<QueryResult> ExecuteSharded(const SpatialAggQuery& query,
+                                     const ShardPlacement* placement);
 
   /// Scatter-gather for a fusion group: per-shard fused joins, then a
   /// per-member merge in ascending shard order (plus per-member point-FBO
@@ -332,6 +413,13 @@ class Executor {
   TriangleSoup soup_;
   double triangulation_seconds_ = 0.0;
   std::map<std::int32_t, std::unique_ptr<GridIndex>> cpu_indexes_;
+  /// MBR-mode indexes for the device variant, cached like cpu_indexes_.
+  std::map<std::int32_t, std::unique_ptr<GridIndex>> device_indexes_;
+
+  /// Guards the replica map (written by QueryService's heat tracker while
+  /// queries are in flight; read by every PlanPlacement).
+  mutable std::mutex replica_mutex_;
+  std::vector<std::vector<std::size_t>> shard_replicas_;
 };
 
 /// Sets poly[i].id = i for all i.

@@ -123,8 +123,11 @@ class FilterSet {
 
   /// True when point `i` of `points` satisfies every conjunct. The single
   /// definition of filter semantics shared by all join variants — they must
-  /// agree exactly or their results diverge on filtered queries.
-  bool Matches(const PointTable& points, std::size_t i) const {
+  /// agree exactly or their results diverge on filtered queries. Templated
+  /// over the row accessor so a PointTable and a zero-copy data::BlockView
+  /// evaluate through the same code (both expose attribute(c)[i]).
+  template <typename Rows>
+  bool Matches(const Rows& points, std::size_t i) const {
     for (const AttributeFilter& f : filters_) {
       if (!f.Evaluate(points.attribute(f.column)[i])) return false;
     }

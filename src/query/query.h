@@ -76,6 +76,20 @@ struct SpatialAggQuery {
   /// from semantic equality below like the other execution knobs. Ignored
   /// for in-memory (PointTable-backed) datasets.
   bool enable_block_pruning = true;
+  /// Sharded datasets only: before scatter, skip shards whose zone map
+  /// (bounding box + column ranges) proves no row can land on the query's
+  /// effective canvas region or pass its filters. Routing reuses the
+  /// conservative-exact ZoneMapCanMatch semantics block pruning uses, so
+  /// skipped shards contribute canonical empty partials and results stay
+  /// bitwise identical to all-shard execution. Execution-only; excluded
+  /// from semantic equality below. Ignored for unsharded datasets.
+  bool enable_shard_routing = true;
+  /// Sharded datasets only: cache per-shard partial results keyed on
+  /// (semantic query, shard id) so a pan that re-covers some shards reuses
+  /// their partials instead of re-executing them. Execution-only; excluded
+  /// from semantic equality below. Per-shard entries are skipped when
+  /// with_result_ranges is set (ranges need the per-shard FBOs).
+  bool enable_shard_cache = true;
 
   /// The column the aggregate actually reads: COUNT ignores
   /// aggregate_column, so its semantic identity canonicalizes to npos —
@@ -91,7 +105,8 @@ struct SpatialAggQuery {
 /// order-insensitive filters, variant, epsilon, canvas dim, and the ranges
 /// flag. Execution-only knobs are deliberately excluded
 /// (`device_memory_cap_bytes`, `cpu_threads`, `overlap_transfers`,
-/// `bypass_result_cache`, `enable_block_pruning`): the
+/// `bypass_result_cache`, `enable_block_pruning`, `enable_shard_routing`,
+/// `enable_shard_cache`): the
 /// determinism suites prove results are identical across them, and the
 /// result cache keys on this equality — including the knobs would split
 /// identical traffic across cache entries and mask every hit.

@@ -173,6 +173,8 @@ SpatialAggQuery QuerySpec::ToQuery(const ExecPolicy& policy) const {
   q.overlap_transfers = policy.overlap_transfers;
   q.bypass_result_cache = !policy.use_result_cache;
   q.enable_block_pruning = policy.block_pruning;
+  q.enable_shard_routing = policy.shard_routing;
+  q.enable_shard_cache = policy.shard_cache;
   return q;
 }
 
@@ -443,6 +445,12 @@ json::Value ExecPolicyToJson(const ExecPolicy& policy) {
   if (!policy.block_pruning) {
     v.Set("block_pruning", json::Value::Bool(false));
   }
+  if (!policy.shard_routing) {
+    v.Set("shard_routing", json::Value::Bool(false));
+  }
+  if (!policy.shard_cache) {
+    v.Set("shard_cache", json::Value::Bool(false));
+  }
   return v;
 }
 
@@ -450,7 +458,8 @@ Status ExecPolicyFromJson(const json::Value& v, ExecPolicy* out) {
   RJ_RETURN_NOT_OK(RequireObject(v, "\"exec\""));
   static const char* kFields[] = {"memory_cap_bytes", "cpu_threads",
                                   "overlap_transfers", "use_result_cache",
-                                  "block_pruning"};
+                                  "block_pruning",    "shard_routing",
+                                  "shard_cache"};
   RJ_RETURN_NOT_OK(
       CheckKnownFields(v, kFields, std::size(kFields), "\"exec\""));
   ExecPolicy policy;
@@ -466,6 +475,8 @@ Status ExecPolicyFromJson(const json::Value& v, ExecPolicy* out) {
   RJ_RETURN_NOT_OK(ReadBool(v, "overlap_transfers", &policy.overlap_transfers));
   RJ_RETURN_NOT_OK(ReadBool(v, "use_result_cache", &policy.use_result_cache));
   RJ_RETURN_NOT_OK(ReadBool(v, "block_pruning", &policy.block_pruning));
+  RJ_RETURN_NOT_OK(ReadBool(v, "shard_routing", &policy.shard_routing));
+  RJ_RETURN_NOT_OK(ReadBool(v, "shard_cache", &policy.shard_cache));
   *out = policy;
   return Status::OK();
 }

@@ -62,6 +62,17 @@ struct ExecPolicy {
   /// bitwise identical on/off; false exists for full-scan baselines and
   /// the bench's pruning axis. Ignored for in-memory datasets.
   bool block_pruning = true;
+  /// Sharded datasets only: spatially-selective shard routing — skip
+  /// shards whose zone map proves no row can reach the query's canvas
+  /// region or pass its filters. Conservative-exact like block pruning,
+  /// so results are bitwise identical on/off; false exists for all-shard
+  /// baselines and the bench's routing axis. Ignored when unsharded.
+  bool shard_routing = true;
+  /// Sharded datasets only: reuse cached per-shard partials keyed on
+  /// (semantic query, shard id), so pans that re-cover some shards skip
+  /// re-executing them. Ignored when unsharded or when use_result_cache
+  /// is false.
+  bool shard_cache = true;
 };
 
 /// What a query computes. Equal specs (operator==) are guaranteed to

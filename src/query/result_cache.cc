@@ -10,7 +10,8 @@ bool CacheKey::operator==(const CacheKey& other) const {
          aggregate == other.aggregate && column == other.column &&
          filters == other.filters && variant == other.variant &&
          epsilon == other.epsilon && canvas_dim == other.canvas_dim &&
-         with_result_ranges == other.with_result_ranges;
+         with_result_ranges == other.with_result_ranges &&
+         shard == other.shard;
 }
 
 std::size_t CacheKeyHash::operator()(const CacheKey& key) const {
@@ -31,6 +32,7 @@ std::size_t CacheKeyHash::operator()(const CacheKey& key) const {
                              std::hash<std::int32_t>{}(key.canvas_dim));
   seed = detail::HashCombine(seed,
                              std::hash<bool>{}(key.with_result_ranges));
+  seed = detail::HashCombine(seed, std::hash<std::size_t>{}(key.shard));
   return seed;
 }
 

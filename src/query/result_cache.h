@@ -72,6 +72,14 @@ struct CacheKey {
   double epsilon = 0.0;
   std::int32_t canvas_dim = 0;
   bool with_result_ranges = false;
+  /// kNoShard for a whole-query entry (the common case). A concrete shard
+  /// id keys a *per-shard partial* — the executor's shard cache stores one
+  /// entry per (semantic query, shard) so a pan that re-covers a shard
+  /// reuses its partial without re-executing it. Partition identity rides
+  /// on `version` (re-registration bumps it), so reshards never alias.
+  std::size_t shard = kNoShard;
+
+  static constexpr std::size_t kNoShard = static_cast<std::size_t>(-1);
 
   bool operator==(const CacheKey& other) const;
   bool operator!=(const CacheKey& other) const { return !(*this == other); }

@@ -112,9 +112,22 @@ std::size_t QueryService::RegisterDataset(const PointTable* points,
   }
   executors_.push_back(std::move(executor));
   const std::size_t id = executors_.size() - 1;
+  AttachCacheLocked(id);
   dataset_names_.push_back(name.empty() ? "dataset-" + std::to_string(id)
                                         : std::move(name));
   return id;
+}
+
+void QueryService::AttachCacheLocked(std::size_t id) {
+  // The executor shares the service cache under the dataset id it is
+  // registered as, which is the same identity the service's whole-query
+  // keys carry — so the executor's per-shard partial entries
+  // (CacheKey::shard set) and the service's whole-query entries
+  // (CacheKey::kNoShard) live in one coherent key space and invalidate
+  // together on version bumps. Registration happens before any query can
+  // reference the id, satisfying set_result_cache's attach-before-traffic
+  // contract.
+  if (cache_ != nullptr) executors_[id]->set_result_cache(cache_.get(), id);
 }
 
 std::size_t QueryService::RegisterDataset(PointTable* points,
@@ -141,6 +154,7 @@ Result<std::size_t> QueryService::RegisterDatasetFromFile(
   executors_.push_back(std::move(executor));
   owned_sources_.push_back(std::move(source));
   const std::size_t id = executors_.size() - 1;
+  AttachCacheLocked(id);
   dataset_names_.push_back(name.empty() ? "dataset-" + std::to_string(id)
                                         : std::move(name));
   return id;
@@ -160,6 +174,7 @@ std::size_t QueryService::RegisterShardedDataset(
   }
   executors_.push_back(std::move(executor));
   const std::size_t id = executors_.size() - 1;
+  AttachCacheLocked(id);
   dataset_names_.push_back(name.empty() ? "dataset-" + std::to_string(id)
                                         : std::move(name));
   return id;
@@ -673,15 +688,26 @@ Result<QueryResult> QueryService::AdmitAndExecute(Executor* executor,
   Result<AdmissionPlan> plan = executor->PlanAdmission(pending.query);
   if (!plan.ok()) return plan.status();
 
-  // Placement shape: hosted[d] shards of this query run (concurrently) on
-  // pool device d, so device d's grant is hosted[d] × the per-shard grant.
-  // Unsharded executors report {1} — one "shard" on the primary device —
-  // which reduces everything below to the single-budget policy.
-  const std::vector<std::size_t> hosted = executor->ShardsPerDevice();
+  // Placement before the grant: routing, per-shard cache reuse, and
+  // replica-aware device selection decide which shards will actually
+  // execute and where, so hosted[d] — what device d's grant is multiplied
+  // by — covers exactly the executing work. Skipped and cached shards
+  // reserve nothing (all-or-nothing reservation over the executing devices
+  // only). Unsharded executors report the trivial {1} placement, which
+  // reduces everything below to the single-budget policy.
+  Result<Executor::ShardPlacement> placed =
+      executor->PlanPlacement(pending.query);
+  if (!placed.ok()) return placed.status();
+  const Executor::ShardPlacement& placement = placed.value();
+  if (executor->sharded()) {
+    stats->shards_routed = placement.executed;
+    stats->shards_skipped = placement.skipped;
+    stats->shard_cache_hits = placement.cache_hits;
+  }
 
   std::size_t per_shard_grant = 0;
   Result<gpu::PoolReservation> acquired =
-      AcquireGrant(plan.value(), hosted, &per_shard_grant);
+      AcquireGrant(plan.value(), placement.hosted, &per_shard_grant);
   if (!acquired.ok()) return acquired.status();
   gpu::PoolReservation grant = std::move(acquired).MoveValueUnsafe();
   stats->granted_bytes = grant.total_bytes();
@@ -698,8 +724,9 @@ Result<QueryResult> QueryService::AdmitAndExecute(Executor* executor,
   Timer exec;
   // Always the uncached path: with caching on, this runs as the
   // single-flight leader inside the service's own GetOrCompute — the
-  // executor's cache layer must not re-enter it.
-  Result<QueryResult> result = executor->ExecuteUncached(query);
+  // executor's cache layer must not re-enter it. The placement planned
+  // above is reused (the grant stamp changes no routing-relevant field).
+  Result<QueryResult> result = executor->ExecuteUncached(query, &placement);
   stats->execute_seconds = exec.ElapsedSeconds();
   stats->device_counters_after = pool_->TotalCounters();
 
@@ -711,7 +738,55 @@ Result<QueryResult> QueryService::AdmitAndExecute(Executor* executor,
     cv_capacity_.notify_all();
   }
 
+  if (result.ok()) UpdateShardHeat(executor, placement);
   return result;
+}
+
+void QueryService::UpdateShardHeat(
+    Executor* executor, const Executor::ShardPlacement& placement) {
+  if (!executor->sharded() || options_.replicate_hot_shards == 0) return;
+
+  std::vector<std::vector<std::size_t>> replicas;
+  bool install = false;
+  {
+    std::lock_guard<std::mutex> lock(heat_mutex_);
+    ShardHeat& h = shard_heat_[executor];
+    const std::size_t num_shards = placement.device_of_shard.size();
+    if (h.heat.size() != num_shards) h.heat.assign(num_shards, 0.0);
+    const double alpha = std::clamp(options_.shard_heat_alpha, 0.0, 1.0);
+    for (std::size_t s = 0; s < num_shards; ++s) {
+      // "Visited" = the query needed this shard's rows (executed or served
+      // from the partial cache); routing-skipped shards cool down.
+      const bool visited = placement.device_of_shard[s] !=
+                           Executor::ShardPlacement::kSkipped;
+      h.heat[s] = (1.0 - alpha) * h.heat[s] + (visited ? alpha : 0.0);
+    }
+    const std::uint64_t interval =
+        std::max<std::uint64_t>(1, options_.replica_update_interval);
+    if (++h.queries % interval == 0) {
+      // Top-K by heat (stable sort: ties resolve to the lower shard id, so
+      // the map is deterministic for a given query history). The K hottest
+      // shards may run on any pool device; placement's least-loaded rule
+      // does the actual balancing.
+      std::vector<std::size_t> order(num_shards);
+      for (std::size_t s = 0; s < num_shards; ++s) order[s] = s;
+      std::stable_sort(order.begin(), order.end(),
+                       [&](std::size_t a, std::size_t b) {
+                         return h.heat[a] > h.heat[b];
+                       });
+      replicas.assign(num_shards, {});
+      const std::size_t k =
+          std::min(options_.replicate_hot_shards, num_shards);
+      for (std::size_t i = 0; i < k; ++i) {
+        const std::size_t s = order[i];
+        for (std::size_t d = 0; d < pool_->size(); ++d) {
+          if (d != s % pool_->size()) replicas[s].push_back(d);
+        }
+      }
+      install = true;
+    }
+  }
+  if (install) executor->SetShardReplicas(std::move(replicas));
 }
 
 void QueryService::Respond(Pending* pending, Result<QueryResult> result,

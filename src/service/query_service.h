@@ -41,6 +41,7 @@
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "data/point_block_source.h"
@@ -100,6 +101,23 @@ struct ServiceOptions {
 
   /// Lock shards of the result cache (concurrency of the hit path).
   std::size_t result_cache_shards = 8;
+
+  /// Hot-shard replication (sharded datasets only): the K hottest shards —
+  /// by an EWMA over how often recent queries actually visited each shard
+  /// (routing-skipped shards don't heat up) — get read replicas on every
+  /// pool device, and placement routes each to the least-loaded candidate
+  /// device instead of pinning it to its home. 0 = off (home-only
+  /// placement). Replication never changes result bits: every device runs
+  /// the identical shard join and the merge order is fixed.
+  std::size_t replicate_hot_shards = 0;
+
+  /// EWMA smoothing factor for the per-shard heat counters (0..1; higher
+  /// = faster reaction to workload shifts).
+  double shard_heat_alpha = 0.3;
+
+  /// Re-derive the replica map from the heat counters every this many
+  /// sharded executions of a dataset (amortizes the sort; clamped ≥ 1).
+  std::uint64_t replica_update_interval = 16;
 };
 
 /// Per-submission options.
@@ -143,6 +161,14 @@ struct QueryStats {
   /// C++-visible accounting only — never serialized on the wire; the HTTP
   /// response schema is unchanged and fusion is invisible to clients.
   std::size_t fused_group_size = 1;
+  /// Sharded executions only (zero otherwise, including whole-query cache
+  /// hits and fused groups): shards that ran a join for this query, shards
+  /// the spatial router pruned, and shards served from the per-shard
+  /// partial cache. routed + skipped + cache hits == the dataset's shard
+  /// count.
+  std::size_t shards_routed = 0;
+  std::size_t shards_skipped = 0;
+  std::size_t shard_cache_hits = 0;
 };
 
 /// What a submitted query's future resolves to. `result.status()` carries
@@ -378,18 +404,34 @@ class QueryService {
       const AdmissionPlan& plan, const std::vector<std::size_t>& hosted,
       std::size_t* per_shard_grant);
 
-  /// The uncached execution path: sizes and reserves the per-device
-  /// grants, executes batched to the per-shard grant, releases. Fills the
-  /// grant/counter/timing fields of `stats`. With caching on, this is the
-  /// single-flight leader's compute function — followers and hits never
-  /// enter it (cache hits bypass admission entirely).
+  /// The uncached execution path: plans the shard placement (routing /
+  /// per-shard cache / replicas), sizes and reserves the per-device grants
+  /// against exactly the executing devices, executes batched to the
+  /// per-shard grant, releases, then feeds the placement into the shard
+  /// heat tracker. Fills the grant/counter/timing/routing fields of
+  /// `stats`. With caching on, this is the single-flight leader's compute
+  /// function — followers and hits never enter it (cache hits bypass
+  /// admission entirely).
   Result<QueryResult> AdmitAndExecute(Executor* executor,
                                       const Pending& pending,
                                       QueryStats* stats);
 
+  /// EWMA heat update from one executed placement; every
+  /// replica_update_interval-th execution of a dataset re-derives its
+  /// top-K replica map and installs it on the executor. No-op when
+  /// replication is off or the dataset is unsharded.
+  void UpdateShardHeat(Executor* executor,
+                       const Executor::ShardPlacement& placement);
+
   /// Fulfills a pending promise and updates completion accounting.
   void Respond(Pending* pending, Result<QueryResult> result,
                QueryStats stats);
+
+  /// Shares the service result cache with executors_[id] under the dataset
+  /// id, so whole-query entries and the executor's per-shard partial
+  /// entries live in one key space. Caller holds mutex_; no-op with
+  /// caching off.
+  void AttachCacheLocked(std::size_t id);
 
   std::size_t QueueDepthLocked() const {
     return fifo_.size() + priority_.size();
@@ -421,6 +463,16 @@ class QueryService {
   std::vector<std::unique_ptr<Executor>> executors_;
   /// Wire names, parallel to executors_ (id = index).
   std::vector<std::string> dataset_names_;
+  /// Per-dataset EWMA shard heat (see ServiceOptions::replicate_hot_shards),
+  /// keyed by executor (stable for the service's lifetime); guarded by
+  /// heat_mutex_ — its own lock, since heat updates happen on the
+  /// execution path, outside mutex_.
+  struct ShardHeat {
+    std::vector<double> heat;
+    std::uint64_t queries = 0;
+  };
+  std::mutex heat_mutex_;
+  std::unordered_map<const Executor*, ShardHeat> shard_heat_;
   /// Block sources opened by RegisterDatasetFromFile, owned for the
   /// service's lifetime (their executors point into them). Not parallel to
   /// executors_ — table/sharded registrations add no entry.

@@ -196,6 +196,71 @@ TEST_F(BlockFileTest, BytesReadMetered) {
   EXPECT_EQ(reader.value()->bytes_read(), 150u * (16 + 8));
 }
 
+/// The zero-copy read path: ViewBlock's columns must be bitwise the ones
+/// ReadBlock copies out, the pointers must land inside the mapping and
+/// stay put across repeated views (no hidden rematerialization), and
+/// bytes_read must meter identically to the copying path — Fig. 13 counts
+/// block bytes accessed, not bytes memcpy'd.
+TEST_F(BlockFileTest, ViewBlockIsZeroCopyAndMetersLikeReadBlock) {
+  BlockFileOptions options;
+  options.block_capacity = 100;
+  ASSERT_TRUE(BlockFileWriter(options).Write(path_, MakeTable(250)).ok());
+  auto reader = BlockFileReader::Open(path_);
+  ASSERT_TRUE(reader.ok());
+
+  PointTable scratch;
+  auto view = reader.value()->ViewBlock(0, &scratch);
+  ASSERT_TRUE(view.ok()) << view.status().ToString();
+  // Same metering as the ReadBlock test: 100 rows × (16 + 8) B.
+  EXPECT_EQ(reader.value()->bytes_read(), 100u * (16 + 8));
+  // Zero-copy: scratch was never touched.
+  EXPECT_TRUE(scratch.empty());
+  EXPECT_EQ(scratch.num_attributes(), 0u);
+
+  PointTable copied;
+  ASSERT_TRUE(reader.value()->ReadBlock(0, &copied).ok());
+  EXPECT_EQ(reader.value()->bytes_read(), 2u * 100u * (16 + 8));
+  ASSERT_EQ(view.value().size, copied.size());
+  ASSERT_EQ(view.value().attrs.size(), copied.num_attributes());
+  for (std::size_t i = 0; i < copied.size(); ++i) {
+    EXPECT_EQ(view.value().xs[i], copied.xs()[i]) << "row " << i;
+    EXPECT_EQ(view.value().ys[i], copied.ys()[i]) << "row " << i;
+    for (std::size_t c = 0; c < copied.num_attributes(); ++c) {
+      EXPECT_EQ(view.value().attribute(c)[i], copied.attribute(c)[i])
+          << "row " << i << " col " << c;
+    }
+  }
+
+  // Repeated views of the same block return the same mapped addresses —
+  // the view aliases the file mapping rather than any per-call buffer.
+  auto again = reader.value()->ViewBlock(0, &scratch);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again.value().xs, view.value().xs);
+  EXPECT_EQ(again.value().ys, view.value().ys);
+  EXPECT_EQ(again.value().attrs, view.value().attrs);
+  EXPECT_EQ(reader.value()->bytes_read(), 3u * 100u * (16 + 8));
+
+  EXPECT_FALSE(reader.value()->ViewBlock(99, &scratch).ok());
+}
+
+/// The base-class ViewBlock over an in-memory adapter: block-local column
+/// pointers straight into the parent table (already zero-copy because
+/// TableBlockSource::ReadBlock is a pointer adjustment).
+TEST_F(BlockFileTest, TableSourceViewBlockAliasesParentTable) {
+  const PointTable table = MakeTable(250);
+  TableBlockSource source(&table, 100);
+  PointTable scratch;
+  auto view = source.ViewBlock(2, &scratch);  // 50-row tail block
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(view.value().size, 50u);
+  EXPECT_EQ(view.value().xs, table.xs().data() + 200);
+  EXPECT_EQ(view.value().ys, table.ys().data() + 200);
+  ASSERT_EQ(view.value().attrs.size(), 2u);
+  EXPECT_EQ(view.value().attribute(1), table.attribute(1).data() + 200);
+  EXPECT_TRUE(scratch.empty());
+  EXPECT_EQ(source.bytes_read(), 0u);
+}
+
 TEST_F(BlockFileTest, OpenRejectsTruncatedAndCorruptFiles) {
   BlockFileOptions options;
   options.block_capacity = 64;

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <limits>
 #include <set>
 #include <tuple>
 #include <vector>
@@ -100,12 +101,126 @@ TEST(ShardedTableTest, HilbertBalancesAndPreservesRows) {
 
   std::multiset<std::tuple<double, double, float, float>> all;
   for (std::size_t s = 0; s < t.num_shards(); ++s) {
-    EXPECT_GE(t.shard(s).size(), 250u / 3);
-    EXPECT_LE(t.shard(s).size(), 250u / 3 + 1);
+    // Quantile cuts land within a few rows of perfect balance on uniform
+    // data (exact up to duplicate Hilbert keys at the cut ranks).
+    EXPECT_GE(t.shard(s).size() + 5, 250u / 3);
+    EXPECT_LE(t.shard(s).size(), 250u / 3 + 5);
     const auto rows = Rows(t.shard(s));
     all.insert(rows.begin(), rows.end());
   }
   EXPECT_EQ(all, Rows(base));
+}
+
+/// A Zipf-clustered dataset: cluster k holds ~(k+1)^-2 of the mass, so one
+/// tight cluster carries ~65% of all rows. The shape that breaks spatially
+/// uniform cuts.
+PointTable MakeZipfClustered(std::size_t n, std::uint64_t seed) {
+  PointTable t;
+  t.AddAttribute("w");
+  t.AddAttribute("v");
+  Rng rng(seed);
+  constexpr std::size_t kClusters = 8;
+  double weights[kClusters];
+  double total = 0;
+  for (std::size_t k = 0; k < kClusters; ++k) {
+    weights[k] = 1.0 / ((k + 1.0) * (k + 1.0));
+    total += weights[k];
+  }
+  // Deterministic, well-separated centers over a 100×50 extent.
+  const double cx[kClusters] = {12, 88, 35, 62, 8, 95, 50, 25};
+  const double cy[kClusters] = {40, 8, 22, 45, 10, 35, 5, 48};
+  for (std::size_t k = 0; k < kClusters; ++k) {
+    const auto rows = static_cast<std::size_t>(n * weights[k] / total);
+    for (std::size_t i = 0; i < rows; ++i) {
+      t.Append(rng.Uniform(cx[k] - 1.0, cx[k] + 1.0),
+               rng.Uniform(cy[k] - 1.0, cy[k] + 1.0),
+               {static_cast<float>(i), static_cast<float>(k)});
+    }
+  }
+  return t;
+}
+
+TEST(ShardedTableTest, QuantileCutsBalanceZipfClusteredData) {
+  const PointTable base = MakeZipfClustered(4000, 11);
+  ShardingOptions options;
+  options.num_shards = 4;
+  options.policy = ShardPolicy::kHilbert;
+  options.cut_mode = HilbertCutMode::kQuantile;
+  auto sharded = ShardedTable::Partition(base, options);
+  ASSERT_TRUE(sharded.ok());
+  const double balanced =
+      static_cast<double>(base.size()) / options.num_shards;
+  for (std::size_t s = 0; s < 4; ++s) {
+    const auto size = static_cast<double>(sharded.value().shard(s).size());
+    EXPECT_GE(size, 0.9 * balanced) << "shard " << s;
+    EXPECT_LE(size, 1.1 * balanced) << "shard " << s;
+  }
+}
+
+TEST(ShardedTableTest, EqualRangeCutsAreUnbalancedOnZipfClusteredData) {
+  // The legacy baseline: equal key-space ranges put the dominant cluster
+  // (~65% of rows, one compact key run) into a single shard.
+  const PointTable base = MakeZipfClustered(4000, 11);
+  ShardingOptions options;
+  options.num_shards = 4;
+  options.policy = ShardPolicy::kHilbert;
+  options.cut_mode = HilbertCutMode::kEqualRange;
+  auto sharded = ShardedTable::Partition(base, options);
+  ASSERT_TRUE(sharded.ok());
+  const double balanced =
+      static_cast<double>(base.size()) / options.num_shards;
+  std::size_t largest = 0;
+  std::size_t total = 0;
+  for (std::size_t s = 0; s < 4; ++s) {
+    largest = std::max(largest, sharded.value().shard(s).size());
+    total += sharded.value().shard(s).size();
+  }
+  EXPECT_EQ(total, base.size());  // still a partition
+  EXPECT_GT(static_cast<double>(largest), 1.5 * balanced);
+}
+
+TEST(ShardedTableTest, ShardZonesCoverExactlyTheirRows) {
+  const PointTable base = MakeTable(300, 12);
+  for (const ShardPolicy policy :
+       {ShardPolicy::kRoundRobin, ShardPolicy::kHilbert}) {
+    ShardingOptions options;
+    options.num_shards = 3;
+    options.policy = policy;
+    auto sharded = ShardedTable::Partition(base, options);
+    ASSERT_TRUE(sharded.ok());
+    for (std::size_t s = 0; s < 3; ++s) {
+      const PointTable& shard = sharded.value().shard(s);
+      const BlockZoneMap& zone = sharded.value().shard_zone(s);
+      const BBox shard_extent = shard.Extent();
+      EXPECT_EQ(zone.bbox.min_x, shard_extent.min_x);
+      EXPECT_EQ(zone.bbox.max_x, shard_extent.max_x);
+      EXPECT_EQ(zone.bbox.min_y, shard_extent.min_y);
+      EXPECT_EQ(zone.bbox.max_y, shard_extent.max_y);
+      ASSERT_EQ(zone.col_min.size(), 2u);
+      float lo = std::numeric_limits<float>::infinity();
+      float hi = -std::numeric_limits<float>::infinity();
+      for (const float v : shard.attribute(1)) {
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+      }
+      EXPECT_EQ(zone.col_min[1], lo);
+      EXPECT_EQ(zone.col_max[1], hi);
+    }
+  }
+}
+
+TEST(ShardedTableTest, EmptyShardsCarryEmptyZones) {
+  const PointTable base = MakeTable(2, 13);
+  ShardingOptions options;
+  options.num_shards = 5;
+  options.policy = ShardPolicy::kHilbert;
+  auto sharded = ShardedTable::Partition(base, options);
+  ASSERT_TRUE(sharded.ok());
+  for (std::size_t s = 0; s < 5; ++s) {
+    if (sharded.value().shard(s).size() != 0) continue;
+    const BlockZoneMap& zone = sharded.value().shard_zone(s);
+    EXPECT_GT(zone.bbox.min_x, zone.bbox.max_x);  // canonical empty BBox
+  }
 }
 
 TEST(ShardedTableTest, HilbertShardsAreSpatiallyCompact) {
@@ -178,17 +293,21 @@ TEST(ShardedTableTest, PartitionIsDeterministic) {
   const PointTable base = MakeTable(500, 8);
   for (const ShardPolicy policy :
        {ShardPolicy::kRoundRobin, ShardPolicy::kHilbert}) {
-    ShardingOptions options;
-    options.num_shards = 3;
-    options.policy = policy;
-    auto a = ShardedTable::Partition(base, options);
-    auto b = ShardedTable::Partition(base, options);
-    ASSERT_TRUE(a.ok());
-    ASSERT_TRUE(b.ok());
-    for (std::size_t s = 0; s < 3; ++s) {
-      ASSERT_EQ(a.value().shard(s).size(), b.value().shard(s).size());
-      EXPECT_EQ(a.value().shard(s).xs(), b.value().shard(s).xs());
-      EXPECT_EQ(a.value().shard(s).ys(), b.value().shard(s).ys());
+    for (const HilbertCutMode mode :
+         {HilbertCutMode::kQuantile, HilbertCutMode::kEqualRange}) {
+      ShardingOptions options;
+      options.num_shards = 3;
+      options.policy = policy;
+      options.cut_mode = mode;
+      auto a = ShardedTable::Partition(base, options);
+      auto b = ShardedTable::Partition(base, options);
+      ASSERT_TRUE(a.ok());
+      ASSERT_TRUE(b.ok());
+      for (std::size_t s = 0; s < 3; ++s) {
+        ASSERT_EQ(a.value().shard(s).size(), b.value().shard(s).size());
+        EXPECT_EQ(a.value().shard(s).xs(), b.value().shard(s).xs());
+        EXPECT_EQ(a.value().shard(s).ys(), b.value().shard(s).ys());
+      }
     }
   }
 }

@@ -240,6 +240,137 @@ TEST(ShardedServiceTest, MixedShardedAndUnshardedDatasetsCoexist) {
   EXPECT_EQ(a.stats.granted_bytes_per_device[1], 0u);
 }
 
+TEST(ShardedServiceTest, RoutingStatsPartitionTheShardCount) {
+  // Polygons in one corner of the data extent: routing must skip the
+  // Hilbert shards that cannot intersect them, and the response stats
+  // must partition the shard count exactly.
+  JoinSetup s;
+  auto polys = TinyRegions(5, BBox(0, 0, 250, 250), 41);
+  ASSERT_TRUE(polys.ok());
+  s.polys = polys.value();
+  Rng rng(991);
+  s.points.AddAttribute("w");
+  for (std::size_t i = 0; i < 8000; ++i) {
+    s.points.Append(rng.Uniform(0, 1000), rng.Uniform(0, 1000),
+                    {static_cast<float>(rng.UniformInt(50))});
+  }
+  gpu::Device baseline_device(PoolOptions(1, 64u << 20).device);
+  Executor baseline(&baseline_device, &s.points, &s.polys);
+
+  data::ShardingOptions sharding;
+  sharding.num_shards = 4;
+  sharding.policy = data::ShardPolicy::kHilbert;
+  auto table = data::ShardedTable::Partition(s.points, sharding);
+  ASSERT_TRUE(table.ok());
+  gpu::DevicePool pool(PoolOptions(4, 64u << 20));
+  QueryService service(&pool);
+  const std::size_t dataset =
+      service.RegisterShardedDataset(&table.value(), &s.polys);
+
+  SpatialAggQuery query;
+  query.variant = JoinVariant::kBoundedRaster;
+  query.epsilon = 8.0;
+  query.aggregate = AggregateKind::kSum;
+  query.aggregate_column = 0;
+  auto want = baseline.Execute(query);
+  ASSERT_TRUE(want.ok());
+
+  ServiceResponse routed = service.Submit(dataset, query).get();
+  ASSERT_TRUE(routed.result.ok()) << routed.result.status().ToString();
+  EXPECT_TRUE(Identical(want.value(), routed.result.value()));
+  EXPECT_GE(routed.stats.shards_skipped, 2u);  // >= 50% of 4 shards
+  EXPECT_EQ(routed.stats.shards_routed + routed.stats.shards_skipped +
+                routed.stats.shard_cache_hits,
+            4u);
+
+  SpatialAggQuery unrouted = query;
+  unrouted.enable_shard_routing = false;
+  ServiceResponse full = service.Submit(dataset, unrouted).get();
+  ASSERT_TRUE(full.result.ok());
+  EXPECT_TRUE(Identical(routed.result.value(), full.result.value()));
+  EXPECT_EQ(full.stats.shards_skipped, 0u);
+  EXPECT_EQ(full.stats.shards_routed, 4u);
+}
+
+TEST(ShardedServiceTest, HotShardReplicationStaysBitwiseIdentical) {
+  const JoinSetup s = MakeSetup(6, 8000, 35);
+  gpu::Device baseline_device(PoolOptions(1, 64u << 20).device);
+  Executor baseline(&baseline_device, &s.points, &s.polys);
+  std::vector<QueryResult> expected;
+  for (const SpatialAggQuery& q : Mix()) {
+    auto r = baseline.Execute(q);
+    ASSERT_TRUE(r.ok());
+    expected.push_back(std::move(r).MoveValueUnsafe());
+  }
+
+  data::ShardingOptions sharding;
+  sharding.num_shards = 3;
+  sharding.policy = data::ShardPolicy::kHilbert;
+  auto table = data::ShardedTable::Partition(s.points, sharding);
+  ASSERT_TRUE(table.ok());
+  gpu::DevicePool pool(PoolOptions(3, 64u << 20));
+
+  ServiceOptions service_options;
+  service_options.replicate_hot_shards = 2;
+  service_options.shard_heat_alpha = 1.0;  // heat == last visit
+  service_options.replica_update_interval = 2;
+  QueryService service(&pool, service_options);
+  const std::size_t dataset =
+      service.RegisterShardedDataset(&table.value(), &s.polys);
+
+  // Enough traffic to cross several replica-refresh intervals; every
+  // response — before and after replicas install — must stay identical
+  // to the single-device baseline.
+  const std::vector<SpatialAggQuery> mix = Mix();
+  for (std::size_t round = 0; round < 4; ++round) {
+    for (std::size_t q = 0; q < mix.size(); ++q) {
+      ServiceResponse response = service.Submit(dataset, mix[q]).get();
+      ASSERT_TRUE(response.result.ok())
+          << response.result.status().ToString();
+      EXPECT_TRUE(Identical(expected[q], response.result.value()))
+          << "round " << round << " query " << q;
+    }
+  }
+  // The heat tracker installed read replicas for the K hottest shards.
+  const auto replicas = service.dataset_executor(dataset)->shard_replicas();
+  ASSERT_EQ(replicas.size(), 3u);
+  std::size_t replicated = 0;
+  for (const auto& r : replicas) replicated += r.empty() ? 0 : 1;
+  EXPECT_EQ(replicated, 2u);
+}
+
+TEST(ShardedServiceTest, ShardedResultsServeFromServiceCache) {
+  const JoinSetup s = MakeSetup(5, 6000, 36);
+  data::ShardingOptions sharding;
+  sharding.num_shards = 2;
+  sharding.policy = data::ShardPolicy::kHilbert;
+  auto table = data::ShardedTable::Partition(s.points, sharding);
+  ASSERT_TRUE(table.ok());
+  gpu::DevicePool pool(PoolOptions(2, 64u << 20));
+
+  ServiceOptions service_options;
+  service_options.result_cache_bytes = 8u << 20;
+  QueryService service(&pool, service_options);
+  const std::size_t dataset =
+      service.RegisterShardedDataset(&table.value(), &s.polys);
+
+  SpatialAggQuery query;
+  query.variant = JoinVariant::kBoundedRaster;
+  query.epsilon = 10.0;
+  ServiceResponse first = service.Submit(dataset, query).get();
+  ASSERT_TRUE(first.result.ok());
+  EXPECT_FALSE(first.stats.cache_hit);
+  EXPECT_EQ(first.stats.shards_routed + first.stats.shards_skipped, 2u);
+
+  ServiceResponse second = service.Submit(dataset, query).get();
+  ASSERT_TRUE(second.result.ok());
+  EXPECT_TRUE(second.stats.cache_hit);
+  // Whole-query cache hits never touch the placement layer.
+  EXPECT_EQ(second.stats.shards_routed, 0u);
+  EXPECT_EQ(second.stats.shard_cache_hits, 0u);
+  EXPECT_TRUE(Identical(first.result.value(), second.result.value()));
+}
+
 TEST(ShardedServiceTest, StatsReportPerDeviceUtilization) {
   gpu::DevicePool pool(PoolOptions(3, 8u << 20));
   QueryService service(&pool);
