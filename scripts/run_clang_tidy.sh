@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Runs clang-tidy (config: .clang-tidy) over every first-party source in
+# compile_commands.json. Usage:
+#
+#   scripts/run_clang_tidy.sh [build-dir]       # default: build
+#
+# The build dir must have been configured with
+# -DCMAKE_EXPORT_COMPILE_COMMANDS=ON. ccache launcher prefixes in the
+# compile commands are fine — clang-tidy reads the flags, not the launcher.
+# Exits 0 with a notice when clang-tidy is not installed (local GCC-only
+# setups); CI installs it and gets the real run.
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+
+TIDY="${CLANG_TIDY:-}"
+if [[ -z "${TIDY}" ]]; then
+  for candidate in clang-tidy clang-tidy-20 clang-tidy-19 clang-tidy-18; do
+    if command -v "${candidate}" >/dev/null 2>&1; then
+      TIDY="${candidate}"
+      break
+    fi
+  done
+fi
+if [[ -z "${TIDY}" ]]; then
+  echo "run_clang_tidy: clang-tidy not found; skipping (install it or set CLANG_TIDY)" >&2
+  exit 0
+fi
+
+DB="${ROOT}/${BUILD_DIR}/compile_commands.json"
+if [[ ! -f "${DB}" ]]; then
+  echo "run_clang_tidy: ${DB} not found" >&2
+  echo "configure with: cmake -B ${BUILD_DIR} -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON" >&2
+  exit 2
+fi
+
+# First-party sources only: vendored deps (build/_deps) and generated files
+# are not ours to lint.
+mapfile -t FILES < <(cd "${ROOT}" && find src tests -name '*.cc' | sort)
+
+echo "run_clang_tidy: ${TIDY} over ${#FILES[@]} files (${DB})"
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+if RUNNER="$(command -v run-clang-tidy)"; then
+  "${RUNNER}" -clang-tidy-binary "${TIDY}" -p "${ROOT}/${BUILD_DIR}" \
+    -j "${JOBS}" -quiet "${FILES[@]/#/${ROOT}/}"
+else
+  printf '%s\n' "${FILES[@]/#/${ROOT}/}" \
+    | xargs -P "${JOBS}" -n 8 "${TIDY}" -p "${ROOT}/${BUILD_DIR}" --quiet
+fi
+echo "run_clang_tidy: clean"

@@ -2,13 +2,14 @@
 
 #include <atomic>
 #include <cstdio>
-#include <mutex>
+
+#include "common/mutex.h"
 
 namespace rj {
 
 namespace {
 std::atomic<int> g_min_level{static_cast<int>(LogLevel::kInfo)};
-std::mutex g_log_mutex;
+Mutex g_log_mutex;  // serializes whole lines onto stderr
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -35,7 +36,7 @@ void LogMessage(LogLevel level, const std::string& msg) {
       g_min_level.load(std::memory_order_relaxed)) {
     return;
   }
-  std::lock_guard<std::mutex> lock(g_log_mutex);
+  MutexLock lock(g_log_mutex);
   std::fprintf(stderr, "[%s] %s\n", LevelName(level), msg.c_str());
 }
 }  // namespace internal

@@ -1,0 +1,91 @@
+/// \file mutex.h
+/// \brief Annotated mutex / scoped-lock / condvar wrappers for clang's
+/// thread-safety analysis.
+///
+/// libstdc++'s std::mutex carries no capability attribute, so a field
+/// declared `RJ_GUARDED_BY(some_std_mutex_)` trips
+/// -Wthread-safety-attributes. These zero-overhead wrappers exist solely
+/// to carry the attributes; every locked subsystem in the repo uses them.
+///
+/// Wait discipline: CondVar::Wait keeps the capability "held" from the
+/// analysis's point of view across the wait. That is sound — wait()
+/// re-acquires the mutex before returning, so guarded state touched after
+/// Wait returns really is protected — but it means missed-wakeup bugs are
+/// still TSan's job, not this analysis's. Use explicit
+/// `while (!cond) cv.Wait(lock);` loops, never predicate lambdas (a lambda
+/// body is analyzed as a separate function that does not inherit the
+/// caller's held locks).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+namespace rj {
+
+/// std::mutex with the `capability` attribute. Lock it through MutexLock;
+/// `native()` exists only so CondVar can wait on it.
+class RJ_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() RJ_ACQUIRE() { mu_.lock(); }
+  void unlock() RJ_RELEASE() { mu_.unlock(); }
+  bool try_lock() RJ_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// The wrapped mutex, for std::condition_variable interop only.
+  std::mutex& native() { return mu_; }
+
+ private:
+  std::mutex mu_;
+};
+
+/// Scoped lock over Mutex (RAII, analysis-visible). Holds a
+/// std::unique_lock so CondVar can wait with it and so critical sections
+/// that must drop the lock mid-flight (e.g. Device::Allocate's rollback
+/// path) can Unlock()/Lock() explicitly without losing analysis coverage.
+class RJ_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) RJ_ACQUIRE(mu) : lock_(mu.native()) {}
+  ~MutexLock() RJ_RELEASE() {}
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// Drop the lock before a blocking or reentrant operation...
+  void Unlock() RJ_RELEASE() { lock_.unlock(); }
+  /// ...and re-take it afterwards.
+  void Lock() RJ_ACQUIRE() { lock_.lock(); }
+
+  /// The wrapped unique_lock, for std::condition_variable interop only.
+  std::unique_lock<std::mutex>& native() { return lock_; }
+
+ private:
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// Condition variable that waits on a MutexLock. No annotation on the
+/// wait methods: the capability is treated as continuously held across
+/// the wait, which is sound because wait() re-acquires before returning.
+class CondVar {
+ public:
+  void Wait(MutexLock& lock) { cv_.wait(lock.native()); }
+
+  template <class Rep, class Period>
+  std::cv_status WaitFor(MutexLock& lock,
+                         const std::chrono::duration<Rep, Period>& d) {
+    return cv_.wait_for(lock.native(), d);
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace rj

@@ -56,7 +56,7 @@ int HttpStatusFor(StatusCode code);
 ///
 /// Mirrors the Status idiom used by Arrow/RocksDB: cheap to move, explicit
 /// ok() check, factory constructors per error category.
-class Status {
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
 
@@ -114,7 +114,7 @@ class Status {
 
 /// \brief Either a value of type T or an error Status.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /*implicit*/ Result(T value) : v_(std::move(value)) {}
   /*implicit*/ Result(Status status) : v_(std::move(status)) {

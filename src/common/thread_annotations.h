@@ -1,0 +1,85 @@
+/// \file thread_annotations.h
+/// \brief Clang thread-safety-analysis attribute macros (no-ops elsewhere).
+///
+/// These macros make the lock discipline documented in docs/CONCURRENCY.md
+/// machine-checked: under clang, `-Wthread-safety -Werror` turns an
+/// unguarded read of an `RJ_GUARDED_BY` field — or a call to an
+/// `RJ_REQUIRES` helper without the lock held — into a compile error.
+/// Under GCC (and any compiler without the attributes) every macro expands
+/// to nothing, so the annotations cost nothing and cannot change codegen.
+///
+/// Conventions used throughout this repo:
+///  - Mutex members are `rj::Mutex` (an annotated wrapper over
+///    `std::mutex`; see mutex.h) — plain `std::mutex` is not a capability
+///    type and would trigger -Wthread-safety-attributes.
+///  - Fields a mutex protects carry `RJ_GUARDED_BY(mutex_)`.
+///  - Private helpers named `*Locked` carry `RJ_REQUIRES(mutex_)`.
+///  - Public entry points that take the lock themselves carry
+///    `RJ_EXCLUDES(mutex_)` when a reentrant call would self-deadlock.
+///  - Condition-variable waits use explicit `while (!cond) cv.Wait(lock);`
+///    loops, never predicate lambdas: clang analyzes a lambda body as a
+///    separate function that does not inherit the caller's held locks, so
+///    a predicate touching guarded state is a false positive by design.
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#define RJ_THREAD_ANNOTATION__(x) __attribute__((x))
+#else
+#define RJ_THREAD_ANNOTATION__(x)  // no-op: GCC/MSVC lack the attributes
+#endif
+
+/// Marks a type as a lockable capability ("mutex" names the kind in
+/// diagnostics). Applied to rj::Mutex.
+#define RJ_CAPABILITY(x) RJ_THREAD_ANNOTATION__(capability(x))
+
+/// Marks an RAII type whose constructor acquires and destructor releases a
+/// capability (rj::MutexLock).
+#define RJ_SCOPED_CAPABILITY RJ_THREAD_ANNOTATION__(scoped_lockable)
+
+/// Field may only be read or written while holding `x`.
+#define RJ_GUARDED_BY(x) RJ_THREAD_ANNOTATION__(guarded_by(x))
+
+/// Pointer field whose *pointee* may only be accessed while holding `x`
+/// (the pointer itself is unguarded).
+#define RJ_PT_GUARDED_BY(x) RJ_THREAD_ANNOTATION__(pt_guarded_by(x))
+
+/// Function requires the listed capabilities to be held on entry (and they
+/// remain held on exit). Used on `*Locked()` private helpers.
+#define RJ_REQUIRES(...) \
+  RJ_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+
+/// Function requires the listed capabilities held *shared* on entry.
+#define RJ_REQUIRES_SHARED(...) \
+  RJ_THREAD_ANNOTATION__(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires the capability and holds it on return.
+#define RJ_ACQUIRE(...) \
+  RJ_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+
+/// Function releases a capability that was held on entry.
+#define RJ_RELEASE(...) \
+  RJ_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+
+/// Function attempts to acquire; the first argument is the return value
+/// that signals success (true for try_lock).
+#define RJ_TRY_ACQUIRE(...) \
+  RJ_THREAD_ANNOTATION__(try_acquire_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the listed capabilities (the function acquires
+/// them itself; reentry would self-deadlock on std::mutex).
+#define RJ_EXCLUDES(...) RJ_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+
+/// Asserts (for the analysis only) that the capability is held at this
+/// point, for control flow the analysis cannot follow.
+#define RJ_ASSERT_CAPABILITY(x) \
+  RJ_THREAD_ANNOTATION__(assert_capability(x))
+
+/// Function returns a reference to the named capability.
+#define RJ_RETURN_CAPABILITY(x) RJ_THREAD_ANNOTATION__(lock_returned(x))
+
+/// Escape hatch: disables the analysis for one function. Reserved for
+/// ownership-handoff protocols the lattice cannot express (see
+/// join::BatchPipeline's slot state machine); every use carries a comment
+/// explaining why the code is correct anyway.
+#define RJ_NO_THREAD_SAFETY_ANALYSIS \
+  RJ_THREAD_ANNOTATION__(no_thread_safety_analysis)

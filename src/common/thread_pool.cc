@@ -16,25 +16,25 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     shutdown_ = true;
   }
-  task_cv_.notify_all();
+  task_cv_.NotifyAll();
   for (auto& w : workers_) w.join();
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     tasks_.push(std::move(task));
     ++in_flight_;
   }
-  task_cv_.notify_one();
+  task_cv_.NotifyOne();
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  done_cv_.wait(lock, [this] { return in_flight_ == 0; });
+  MutexLock lock(mutex_);
+  while (in_flight_ != 0) done_cv_.Wait(lock);
 }
 
 void ThreadPool::ParallelFor(
@@ -51,22 +51,26 @@ void ThreadPool::ParallelFor(
   // the pool-global in-flight count would block one query on another's
   // tasks — and never unblock under a steady stream of submissions.
   struct CallState {
-    std::mutex mutex;
-    std::condition_variable cv;
-    std::size_t remaining;
+    Mutex mutex;
+    CondVar cv;
+    std::size_t remaining RJ_GUARDED_BY(mutex) = 0;
   };
-  CallState call{{}, {}, plan.count};
+  CallState call;
+  {
+    MutexLock lock(call.mutex);
+    call.remaining = plan.count;
+  }
   for (std::size_t c = 0; c < plan.count; ++c) {
     const std::size_t begin = c * plan.size;
     const std::size_t end = std::min(n, begin + plan.size);
     Submit([&fn, &call, begin, end, c] {
       fn(begin, end, c);
-      std::lock_guard<std::mutex> lock(call.mutex);
-      if (--call.remaining == 0) call.cv.notify_all();
+      MutexLock lock(call.mutex);
+      if (--call.remaining == 0) call.cv.NotifyAll();
     });
   }
-  std::unique_lock<std::mutex> lock(call.mutex);
-  call.cv.wait(lock, [&call] { return call.remaining == 0; });
+  MutexLock lock(call.mutex);
+  while (call.remaining != 0) call.cv.Wait(lock);
 }
 
 ThreadPool& ThreadPool::Default() {
@@ -78,8 +82,8 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      task_cv_.wait(lock, [this] { return shutdown_ || !tasks_.empty(); });
+      MutexLock lock(mutex_);
+      while (!shutdown_ && tasks_.empty()) task_cv_.Wait(lock);
       if (tasks_.empty()) {
         if (shutdown_) return;
         continue;
@@ -89,9 +93,9 @@ void ThreadPool::WorkerLoop() {
     }
     task();
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       --in_flight_;
-      if (in_flight_ == 0) done_cv_.notify_all();
+      if (in_flight_ == 0) done_cv_.NotifyAll();
     }
   }
 }

@@ -8,13 +8,14 @@
 /// in bench output are work-proportional, see DESIGN.md §2).
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace rj {
 
@@ -30,10 +31,10 @@ class ThreadPool {
   std::size_t num_threads() const { return workers_.size(); }
 
   /// Enqueues a task; tasks may run on any worker in any order.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) RJ_EXCLUDES(mutex_);
 
   /// Blocks until every submitted task has finished executing.
-  void Wait();
+  void Wait() RJ_EXCLUDES(mutex_);
 
   /// Number of contiguous chunks ParallelFor(n, ...) will split [0, n)
   /// into. Chunk index c covers an ascending range; parallel reductions
@@ -71,15 +72,16 @@ class ThreadPool {
     return {size, (n + size - 1) / size};
   }
 
-  void WorkerLoop();
+  void WorkerLoop() RJ_EXCLUDES(mutex_);
 
-  std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
-  std::mutex mutex_;
-  std::condition_variable task_cv_;
-  std::condition_variable done_cv_;
-  std::size_t in_flight_ = 0;
-  bool shutdown_ = false;
+  std::vector<std::thread> workers_;  ///< immutable after construction
+  Mutex mutex_;
+  std::queue<std::function<void()>> tasks_ RJ_GUARDED_BY(mutex_);
+  CondVar task_cv_;
+  CondVar done_cv_;
+  /// Tasks submitted but not yet finished (queued + executing).
+  std::size_t in_flight_ RJ_GUARDED_BY(mutex_) = 0;
+  bool shutdown_ RJ_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace rj

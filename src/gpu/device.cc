@@ -42,12 +42,12 @@ Device::Device(DeviceOptions options)
 }
 
 std::size_t Device::memory_budget_bytes() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return memory_budget_bytes_;
 }
 
 std::size_t Device::bytes_allocated() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return bytes_allocated_;
 }
 
@@ -61,34 +61,34 @@ std::size_t ClampedRemaining(std::size_t used, std::size_t budget) {
 }  // namespace
 
 std::size_t Device::bytes_free() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return ClampedRemaining(bytes_allocated_, memory_budget_bytes_);
 }
 
 std::size_t Device::bytes_reserved() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return bytes_reserved_;
 }
 
 std::size_t Device::peak_bytes_allocated() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return peak_bytes_allocated_;
 }
 
 std::size_t Device::peak_bytes_reserved() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return peak_bytes_reserved_;
 }
 
 void Device::set_memory_budget_bytes(std::size_t bytes) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   memory_budget_bytes_ = bytes;
 }
 
 Result<std::shared_ptr<Buffer>> Device::Allocate(BufferKind kind,
                                                  std::size_t bytes) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (bytes_allocated_ + bytes > memory_budget_bytes_) {
       return Status::CapacityError(
           "device memory budget exceeded: requested " + std::to_string(bytes) +
@@ -110,7 +110,7 @@ Result<std::shared_ptr<Buffer>> Device::Allocate(BufferKind kind,
   try {
     return std::make_shared<Buffer>(kind, bytes);
   } catch (const std::bad_alloc&) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     bytes_allocated_ -= bytes;
     return Status::CapacityError("host allocation of " +
                                  std::to_string(bytes) +
@@ -120,13 +120,13 @@ Result<std::shared_ptr<Buffer>> Device::Allocate(BufferKind kind,
 
 void Device::Free(const std::shared_ptr<Buffer>& buffer) {
   assert(buffer != nullptr);
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   assert(bytes_allocated_ >= buffer->size());
   bytes_allocated_ -= buffer->size();
 }
 
 Result<MemoryReservation> Device::TryReserve(std::size_t bytes) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (bytes_reserved_ + bytes > memory_budget_bytes_) {
     return Status::CapacityError(
         "device budget cannot grant " + std::to_string(bytes) + " bytes: " +
@@ -140,7 +140,7 @@ Result<MemoryReservation> Device::TryReserve(std::size_t bytes) {
 }
 
 void Device::ReleaseReservation(std::size_t bytes) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   assert(bytes_reserved_ >= bytes);
   bytes_reserved_ -= bytes;
 }

@@ -21,10 +21,11 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 #include "gpu/buffer.h"
 #include "gpu/counters.h"
@@ -68,8 +69,8 @@ class MemoryReservation {
   ~MemoryReservation();
 
   /// True when this token holds bytes against a device.
-  bool active() const { return device_ != nullptr; }
-  std::size_t bytes() const { return bytes_; }
+  [[nodiscard]] bool active() const { return device_ != nullptr; }
+  [[nodiscard]] std::size_t bytes() const { return bytes_; }
 
   /// Returns the granted bytes to the device budget (idempotent).
   void Release();
@@ -97,43 +98,47 @@ class Device {
   ThreadPool& pool() { return *pool_; }
 
   /// Current budget (thread-safe; see set_memory_budget_bytes).
-  std::size_t memory_budget_bytes() const;
+  std::size_t memory_budget_bytes() const RJ_EXCLUDES(mutex_);
 
-  std::size_t bytes_allocated() const;
+  std::size_t bytes_allocated() const RJ_EXCLUDES(mutex_);
   /// Remaining budget, clamped at zero: shrinking the budget below the
   /// allocated bytes (tests do this to force the out-of-core regime) must
   /// not wrap around to a huge value.
-  std::size_t bytes_free() const;
+  std::size_t bytes_free() const RJ_EXCLUDES(mutex_);
 
   /// Bytes currently promised to admitted-but-possibly-running queries.
-  std::size_t bytes_reserved() const;
+  std::size_t bytes_reserved() const RJ_EXCLUDES(mutex_);
 
   /// High-water marks since construction (admission-test observability).
   /// Monotone for the device's lifetime: reading them (here or via
   /// DevicePool::Utilization snapshots) never resets them, and no code
   /// path lowers them — two snapshots taken in order always satisfy
   /// `later.peak_* >= earlier.peak_*`.
-  std::size_t peak_bytes_allocated() const;
-  std::size_t peak_bytes_reserved() const;
+  std::size_t peak_bytes_allocated() const RJ_EXCLUDES(mutex_);
+  std::size_t peak_bytes_reserved() const RJ_EXCLUDES(mutex_);
 
   /// Shrinks/grows the budget at runtime (tests; capacity reconfiguration).
   /// Existing allocations and reservations are not revoked; a budget below
   /// the allocated bytes simply reports zero free until frees catch up.
-  void set_memory_budget_bytes(std::size_t bytes);
+  void set_memory_budget_bytes(std::size_t bytes) RJ_EXCLUDES(mutex_);
 
   /// Allocates a device buffer; CapacityError when the budget is exceeded
   /// (the trigger for out-of-core batching in the executor). Thread-safe.
-  Result<std::shared_ptr<Buffer>> Allocate(BufferKind kind, std::size_t bytes);
+  Result<std::shared_ptr<Buffer>> Allocate(BufferKind kind, std::size_t bytes)
+      RJ_EXCLUDES(mutex_);
 
   /// Releases a buffer's reservation. The buffer must have come from this
   /// device; double-free is a programming error (assert). Thread-safe.
-  void Free(const std::shared_ptr<Buffer>& buffer);
+  void Free(const std::shared_ptr<Buffer>& buffer) RJ_EXCLUDES(mutex_);
 
   /// Grants `bytes` of the budget to an admission controller, or
   /// CapacityError when the unreserved budget is smaller (the caller
   /// queues and retries after another grant releases — it must not treat
-  /// this as query failure). Thread-safe.
-  Result<MemoryReservation> TryReserve(std::size_t bytes);
+  /// this as query failure). Thread-safe. Discarding the Result would
+  /// either leak the grant until the temporary dies or silently drop a
+  /// CapacityError, so it is a compile error.
+  [[nodiscard]] Result<MemoryReservation> TryReserve(std::size_t bytes)
+      RJ_EXCLUDES(mutex_);
 
   /// Copies host memory into a device buffer at `offset`, metering bytes
   /// and (optionally) spending bandwidth-proportional wall time.
@@ -146,11 +151,12 @@ class Device {
 
   /// Largest number of points (each `point_bytes` wide) that fits in the
   /// remaining budget — the executor's batch-size planner.
-  std::size_t MaxResidentElements(std::size_t point_bytes) const;
+  std::size_t MaxResidentElements(std::size_t point_bytes) const
+      RJ_EXCLUDES(mutex_);
 
  private:
   friend class MemoryReservation;
-  void ReleaseReservation(std::size_t bytes);
+  void ReleaseReservation(std::size_t bytes) RJ_EXCLUDES(mutex_);
 
   void SimulateTransferTime(std::size_t bytes);
 
@@ -160,12 +166,14 @@ class Device {
 
   /// Guards the budget accounting below. `options_` itself stays immutable
   /// after construction so options() can be read without synchronization.
-  mutable std::mutex mutex_;
-  std::size_t memory_budget_bytes_ = 0;
-  std::size_t bytes_allocated_ = 0;
-  std::size_t bytes_reserved_ = 0;
-  std::size_t peak_bytes_allocated_ = 0;
-  std::size_t peak_bytes_reserved_ = 0;
+  /// Leaf lock in the repo-wide hierarchy (docs/CONCURRENCY.md): nothing
+  /// else is ever acquired while it is held.
+  mutable Mutex mutex_;
+  std::size_t memory_budget_bytes_ RJ_GUARDED_BY(mutex_) = 0;
+  std::size_t bytes_allocated_ RJ_GUARDED_BY(mutex_) = 0;
+  std::size_t bytes_reserved_ RJ_GUARDED_BY(mutex_) = 0;
+  std::size_t peak_bytes_allocated_ RJ_GUARDED_BY(mutex_) = 0;
+  std::size_t peak_bytes_reserved_ RJ_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace rj::gpu

@@ -105,20 +105,27 @@ class PoolReservation {
   PoolReservation& operator=(const PoolReservation&) = delete;
 
   /// True when at least one per-device grant is held.
-  bool active() const;
+  [[nodiscard]] bool active() const;
   /// Total bytes held across every device.
-  std::size_t total_bytes() const;
+  [[nodiscard]] std::size_t total_bytes() const;
   /// Bytes held on device i (0 when the query places nothing there).
-  std::size_t bytes_on(std::size_t i) const {
+  [[nodiscard]] std::size_t bytes_on(std::size_t i) const {
     return i < grants_.size() ? grants_[i].bytes() : 0;
   }
 
-  /// Releases every per-device grant (idempotent).
+  /// Releases every per-device grant (idempotent). Takes each device's
+  /// internal (leaf) mutex in turn — never call while holding any lock
+  /// above Device in the hierarchy except QueryService::mutex_, whose
+  /// mutex_ → device-mutex order is the documented one.
   void Release();
 
  private:
   friend Result<PoolReservation> TryReservePool(
       DevicePool* pool, const std::vector<std::size_t>& bytes_per_device);
+  /// Single-owner move-only state: no mutex. A PoolReservation is handed
+  /// between threads only with external happens-before (the service queue),
+  /// never shared; the thread-safety lives inside each MemoryReservation's
+  /// Device.
   std::vector<MemoryReservation> grants_;
 };
 
@@ -128,7 +135,7 @@ class PoolReservation {
 /// never holds a partial multi-device grant — the hold-and-wait ingredient
 /// of admission deadlock between concurrent queries. `bytes_per_device`
 /// must not be longer than the pool.
-Result<PoolReservation> TryReservePool(
+[[nodiscard]] Result<PoolReservation> TryReservePool(
     DevicePool* pool, const std::vector<std::size_t>& bytes_per_device);
 
 }  // namespace rj::gpu

@@ -74,7 +74,11 @@ BatchPipeline::BatchPipeline(gpu::Device* device,
   }
 }
 
-BatchPipeline::~BatchPipeline() { Drain(nullptr); }
+BatchPipeline::~BatchPipeline() {
+  // Destructor cannot propagate the drain status; callers that care call
+  // Drain() themselves first (the executor paths all do).
+  (void)Drain(nullptr);
+}
 
 Result<std::shared_ptr<gpu::Buffer>> BatchPipeline::AllocateWithBackoff(
     const Slot* slot, std::size_t bytes) {
@@ -92,40 +96,40 @@ Result<std::shared_ptr<gpu::Buffer>> BatchPipeline::AllocateWithBackoff(
     // resident (double-buffering needs 2× the batch bytes): degrade to
     // serialized — wait for the consumer to draw and free that batch,
     // then retry. Progress beats prefetch.
-    std::unique_lock<std::mutex> lock(mutex_);
-    if (canceled_) return vbo;
-    bool ours_resident = false;
-    for (const Slot& s : slots_) {
-      if (&s != slot && (s.state == Slot::State::kReady ||
-                         s.state == Slot::State::kDrawing)) {
-        ours_resident = true;
-        break;
-      }
-    }
-    if (ours_resident) {
-      // Wait on the free *generation*, not on the neighbor slot reaching
-      // kFree: the consumer frees the buffer and may re-queue the slot
-      // (kDrawing → kFree → kQueued) in two separate critical sections,
-      // so a state predicate can miss the kFree window entirely and wait
-      // forever while the consumer blocks on this very upload. The
-      // counter only moves forward, so the freed buffer is observed no
-      // matter how far the state has moved on.
-      const std::uint64_t observed = frees_;
-      cv_producer_.wait(lock,
-                        [&] { return canceled_ || frees_ > observed; });
+    {
+      MutexLock lock(mutex_);
       if (canceled_) return vbo;
-      transient_retries = 0;
-      continue;
+      bool ours_resident = false;
+      for (const Slot& s : slots_) {
+        if (&s != slot && (s.state == Slot::State::kReady ||
+                           s.state == Slot::State::kDrawing)) {
+          ours_resident = true;
+          break;
+        }
+      }
+      if (ours_resident) {
+        // Wait on the free *generation*, not on the neighbor slot reaching
+        // kFree: the consumer frees the buffer and may re-queue the slot
+        // (kDrawing → kFree → kQueued) in two separate critical sections,
+        // so a state predicate can miss the kFree window entirely and wait
+        // forever while the consumer blocks on this very upload. The
+        // counter only moves forward, so the freed buffer is observed no
+        // matter how far the state has moved on.
+        const std::uint64_t observed = frees_;
+        while (!canceled_ && frees_ <= observed) cv_producer_.Wait(lock);
+        if (canceled_) return vbo;
+        transient_retries = 0;
+        continue;
+      }
+      // None of our buffers is resident — the neighbor slot is empty or
+      // merely queued behind this very upload — so no consumer progress
+      // can return memory to us. The pressure is a concurrent query on a
+      // shared device: retry with a bounded backoff so a transient
+      // neighbor allocation degrades throughput instead of failing the
+      // stream.
+      if (transient_retries >= kMaxTransientRetries) return vbo;
+      ++transient_retries;
     }
-    // None of our buffers is resident — the neighbor slot is empty or
-    // merely queued behind this very upload — so no consumer progress
-    // can return memory to us. The pressure is a concurrent query on a
-    // shared device: retry with a bounded backoff so a transient
-    // neighbor allocation degrades throughput instead of failing the
-    // stream.
-    if (transient_retries >= kMaxTransientRetries) return vbo;
-    ++transient_retries;
-    lock.unlock();
     if (transient_retries > 1) {
       std::this_thread::sleep_for(
           std::chrono::milliseconds(1u << (transient_retries - 1)));
@@ -165,7 +169,7 @@ Status BatchPipeline::UploadSlot(Slot* slot, const PointTable& table,
     }
   }
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     transfer_seconds_ += timer.ElapsedSeconds();
   }
   return status;
@@ -179,7 +183,7 @@ Status BatchPipeline::ReadBlockInto(Slot* slot, std::size_t ordinal) {
   // sources spend wall time here worth reporting (the in-memory adapter's
   // ReadBlock is a pointer assignment).
   if (source_->disk_resident()) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     disk_seconds_ += timer.ElapsedSeconds();
   }
   if (!ref.ok()) return ref.status();
@@ -195,34 +199,34 @@ void BatchPipeline::ReaderLoopPull() {
     for (std::size_t b = 0; b < num_batches_; ++b) {
       Slot& slot = slots_[b % slots_.size()];
       {
-        std::unique_lock<std::mutex> lock(mutex_);
-        cv_producer_.wait(lock, [&] {
-          return canceled_ || slot.state == Slot::State::kFree;
-        });
+        MutexLock lock(mutex_);
+        while (!canceled_ && slot.state != Slot::State::kFree) {
+          cv_producer_.Wait(lock);
+        }
         if (canceled_) return;
         slot.state = Slot::State::kLoading;
       }
       const Status status = ReadBlockInto(&slot, b);
       {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         if (!status.ok()) {
           error_ = status;
           // Both downstream stages must observe the latch: the consumer
           // waits on cv_consumer_, the transfer thread on cv_producer_.
-          cv_consumer_.notify_all();
-          cv_producer_.notify_all();
+          cv_consumer_.NotifyAll();
+          cv_producer_.NotifyAll();
           return;
         }
         slot.batch_index = b;
         slot.state = Slot::State::kLoaded;
-        cv_producer_.notify_all();  // the transfer thread waits here too
+        cv_producer_.NotifyAll();  // the transfer thread waits here too
       }
     }
     // Pass complete. Park until the consumer rewinds for the next tile
     // pass (or drains) — the thread and the slots' scratch tables stay
     // warm across passes.
-    std::unique_lock<std::mutex> lock(mutex_);
-    cv_producer_.wait(lock, [&] { return canceled_ || rewinds_ > pass; });
+    MutexLock lock(mutex_);
+    while (!canceled_ && rewinds_ <= pass) cv_producer_.Wait(lock);
     if (canceled_) return;
   }
 }
@@ -235,48 +239,49 @@ void BatchPipeline::TransferLoopPull() {
         // Three-stage: wait for the reader thread to hand over the loaded
         // block (mutex acquisition orders its rows/begin/end writes before
         // the pack below).
-        std::unique_lock<std::mutex> lock(mutex_);
-        cv_producer_.wait(lock, [&] {
-          return canceled_ || !error_.ok() ||
-                 (slot.state == Slot::State::kLoaded && slot.batch_index == b);
-        });
+        MutexLock lock(mutex_);
+        while (!canceled_ && error_.ok() &&
+               !(slot.state == Slot::State::kLoaded &&
+                 slot.batch_index == b)) {
+          cv_producer_.Wait(lock);
+        }
         if (canceled_ || !error_.ok()) return;
       } else {
         {
-          std::unique_lock<std::mutex> lock(mutex_);
-          cv_producer_.wait(lock, [&] {
-            return canceled_ || slot.state == Slot::State::kFree;
-          });
+          MutexLock lock(mutex_);
+          while (!canceled_ && slot.state != Slot::State::kFree) {
+            cv_producer_.Wait(lock);
+          }
           if (canceled_) return;
         }
         const Status status = ReadBlockInto(&slot, b);
         if (!status.ok()) {
-          std::lock_guard<std::mutex> lock(mutex_);
+          MutexLock lock(mutex_);
           error_ = status;
-          cv_consumer_.notify_all();
+          cv_consumer_.NotifyAll();
           return;
         }
       }
       const Status status =
           UploadSlot(&slot, *slot.rows, slot.begin, slot.end);
       {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         if (!status.ok()) {
           error_ = status;
-          cv_consumer_.notify_all();
-          cv_producer_.notify_all();  // wake the disk reader too
+          cv_consumer_.NotifyAll();
+          cv_producer_.NotifyAll();  // wake the disk reader too
           return;
         }
         slot.batch_index = b;
         slot.state = Slot::State::kReady;
-        cv_consumer_.notify_all();
+        cv_consumer_.NotifyAll();
       }
     }
     // Pass complete. Park until the consumer rewinds for the next tile
     // pass (or drains) — the thread and the slots' staging buffers stay
     // warm across passes.
-    std::unique_lock<std::mutex> lock(mutex_);
-    cv_producer_.wait(lock, [&] { return canceled_ || rewinds_ > pass; });
+    MutexLock lock(mutex_);
+    while (!canceled_ && rewinds_ <= pass) cv_producer_.Wait(lock);
     if (canceled_) return;
   }
 }
@@ -285,9 +290,10 @@ void BatchPipeline::TransferLoopPush() {
   for (std::size_t b = 0;; ++b) {
     Slot* slot = nullptr;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_producer_.wait(lock,
-                        [&] { return canceled_ || b < pushed_ || flushed_; });
+      MutexLock lock(mutex_);
+      while (!canceled_ && b >= pushed_ && !flushed_) {
+        cv_producer_.Wait(lock);
+      }
       if (canceled_) return;
       if (b >= pushed_) return;  // flushed: no further batches will arrive
       slot = &slots_[b % slots_.size()];
@@ -298,14 +304,14 @@ void BatchPipeline::TransferLoopPush() {
     // only after this batch was returned for drawing.
     const Status status = UploadSlot(slot, slot->table, 0, slot->table.size());
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       if (!status.ok()) {
         error_ = status;
-        cv_consumer_.notify_all();
+        cv_consumer_.NotifyAll();
         return;
       }
       slot->state = Slot::State::kReady;
-      cv_consumer_.notify_all();
+      cv_consumer_.NotifyAll();
     }
   }
 }
@@ -329,11 +335,11 @@ Result<std::optional<BatchPipeline::BatchView>> BatchPipeline::Acquire() {
     const BatchView view{next_acquire_++, slot.begin, slot.end, slot.rows};
     return std::optional<BatchView>(view);
   }
-  std::unique_lock<std::mutex> lock(mutex_);
-  cv_consumer_.wait(lock, [&] {
-    return !error_.ok() || (slot.state == Slot::State::kReady &&
-                            slot.batch_index == next_acquire_);
-  });
+  MutexLock lock(mutex_);
+  while (error_.ok() && !(slot.state == Slot::State::kReady &&
+                          slot.batch_index == next_acquire_)) {
+    cv_consumer_.Wait(lock);
+  }
   // A batch that made it to the device is consumable even when a *later*
   // prefetch already failed; the error surfaces when the consumer reaches
   // the batch that never became ready.
@@ -358,10 +364,10 @@ void BatchPipeline::Release(const BatchView& view) {
     slot.vbo.reset();
   }
   if (overlap_) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     slot.state = Slot::State::kFree;
     ++frees_;
-    cv_producer_.notify_all();
+    cv_producer_.NotifyAll();
   } else {
     slot.state = Slot::State::kFree;
   }
@@ -373,10 +379,10 @@ Status BatchPipeline::Rewind() {
   assert(!view_outstanding_ && "Release the final batch before Rewind");
   next_acquire_ = 0;
   if (!overlap_) return Status::OK();  // serialized: uploads happen inline
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (!error_.ok()) return error_;
   ++rewinds_;
-  cv_producer_.notify_all();
+  cv_producer_.NotifyAll();
   return Status::OK();
 }
 
@@ -391,6 +397,9 @@ Status BatchPipeline::UploadSerialized(const PointTable& batch) {
     device_->Free(slot.vbo);
     slot.vbo.reset();
   }
+  // Serialized mode is single-threaded, but pushed_ is mutex-guarded for
+  // the overlap path; take the (uncontended) lock to keep one discipline.
+  MutexLock lock(mutex_);
   ++pushed_;
   return Status::OK();
 }
@@ -398,42 +407,45 @@ Status BatchPipeline::UploadSerialized(const PointTable& batch) {
 Result<std::optional<PointTable>> BatchPipeline::Push(PointTable batch) {
   assert(mode_ == Mode::kPush && overlap_);
   ReleaseDrawn();
+  std::size_t pushed_now = 0;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (!error_.ok()) return error_;
     Slot& slot = slots_[pushed_ % slots_.size()];
     assert(slot.state == Slot::State::kFree);
     slot.table = std::move(batch);
     slot.batch_index = pushed_;
     slot.state = Slot::State::kQueued;
-    ++pushed_;
-    cv_producer_.notify_all();
+    pushed_now = ++pushed_;
+    cv_producer_.NotifyAll();
   }
-  if (pushed_ == 1) return std::optional<PointTable>();  // nothing ready yet
-  return WaitUploaded(pushed_ - 2);
+  if (pushed_now == 1) return std::optional<PointTable>();  // nothing ready yet
+  return WaitUploaded(pushed_now - 2);
 }
 
 Result<std::optional<PointTable>> BatchPipeline::Flush() {
   assert(mode_ == Mode::kPush);
   ReleaseDrawn();
+  std::size_t pushed_now = 0;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     flushed_ = true;
-    cv_producer_.notify_all();
+    cv_producer_.NotifyAll();
     if (!error_.ok()) return error_;
+    pushed_now = pushed_;
   }
-  if (!overlap_ || pushed_ == 0) return std::optional<PointTable>();
-  return WaitUploaded(pushed_ - 1);
+  if (!overlap_ || pushed_now == 0) return std::optional<PointTable>();
+  return WaitUploaded(pushed_now - 1);
 }
 
 Result<std::optional<PointTable>> BatchPipeline::WaitUploaded(
     std::size_t index) {
   Slot& slot = slots_[index % slots_.size()];
-  std::unique_lock<std::mutex> lock(mutex_);
-  cv_consumer_.wait(lock, [&] {
-    return !error_.ok() ||
-           (slot.state == Slot::State::kReady && slot.batch_index == index);
-  });
+  MutexLock lock(mutex_);
+  while (error_.ok() &&
+         !(slot.state == Slot::State::kReady && slot.batch_index == index)) {
+    cv_consumer_.Wait(lock);
+  }
   // Prefer an uploaded batch over a later-latched error (see Acquire).
   if (slot.state == Slot::State::kReady && slot.batch_index == index) {
     slot.state = Slot::State::kDrawing;
@@ -452,18 +464,18 @@ void BatchPipeline::ReleaseDrawn() {
     slot.vbo.reset();
   }
   slot.table = PointTable();
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   slot.state = Slot::State::kFree;
   ++frees_;
-  cv_producer_.notify_all();
+  cv_producer_.NotifyAll();
 }
 
 Status BatchPipeline::Drain(PhaseTimer* timing) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     canceled_ = true;
     flushed_ = true;
-    cv_producer_.notify_all();
+    cv_producer_.NotifyAll();
   }
   if (thread_.joinable()) thread_.join();
   if (reader_thread_.joinable()) reader_thread_.join();
@@ -479,7 +491,7 @@ Status BatchPipeline::Drain(PhaseTimer* timing) {
     slot.rows = nullptr;
     slot.state = Slot::State::kFree;
   }
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (timing != nullptr && !drained_) {
     timing->Add(phase::kTransfer, transfer_seconds_);
     if (disk_seconds_ > 0.0) {

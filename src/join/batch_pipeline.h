@@ -62,15 +62,15 @@
 /// exactly the paper's "transfer is hidden" claim the Fig. 9 bench checks.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "common/timer.h"
 #include "data/point_block_source.h"
 #include "data/point_table.h"
@@ -140,11 +140,12 @@ class BatchPipeline {
   /// Acquire(): under memory pressure the prefetcher waits for that free
   /// (AllocateWithBackoff), so holding a view while acquiring the next
   /// batch would deadlock when the budget fits only one batch. Asserted.
-  Result<std::optional<BatchView>> Acquire();
+  [[nodiscard]] Result<std::optional<BatchView>> Acquire()
+      RJ_EXCLUDES(mutex_);
 
   /// Pull mode: marks the batch drawn; its slot becomes available to the
   /// prefetcher.
-  void Release(const BatchView& view);
+  void Release(const BatchView& view) RJ_EXCLUDES(mutex_);
 
   /// Pull mode: restarts the scan from batch 0 for the next tile pass,
   /// once every batch of the current pass has been consumed and released.
@@ -152,7 +153,7 @@ class BatchPipeline {
   /// multi-tile joins re-stream the points without paying a thread spawn
   /// and two batch-sized staging allocations per tile. Returns the
   /// latched pipeline error, if any.
-  Status Rewind();
+  Status Rewind() RJ_EXCLUDES(mutex_);
 
   /// Whether this pipeline prefetches on a transfer thread. Push-mode
   /// callers branch on this: overlapping pipelines take Push() (which
@@ -163,21 +164,23 @@ class BatchPipeline {
   /// Push mode, overlapping pipelines only: retains a copy of `batch`,
   /// starts its upload, and returns the *previous* batch (upload
   /// complete, ready to draw) — nullopt on the first push.
-  Result<std::optional<PointTable>> Push(PointTable batch);
+  [[nodiscard]] Result<std::optional<PointTable>> Push(PointTable batch)
+      RJ_EXCLUDES(mutex_);
 
   /// Push mode, serialized pipelines only: packs and uploads `batch`
   /// inline (one buffer in flight, freed after the metered upload). The
   /// caller draws `batch` itself afterwards — no copy is made.
-  Status UploadSerialized(const PointTable& batch);
+  Status UploadSerialized(const PointTable& batch) RJ_EXCLUDES(mutex_);
 
   /// Push mode: returns the final batch once its upload completes
   /// (nullopt when nothing is pending or the pipeline is serialized).
-  Result<std::optional<PointTable>> Flush();
+  [[nodiscard]] Result<std::optional<PointTable>> Flush()
+      RJ_EXCLUDES(mutex_);
 
   /// Joins the transfer thread, folds the accumulated transfer wall time
   /// into `timing` under phase::kTransfer (once; pass nullptr to skip),
   /// and returns the first pipeline error. Idempotent.
-  Status Drain(PhaseTimer* timing);
+  Status Drain(PhaseTimer* timing) RJ_EXCLUDES(mutex_);
 
  private:
   enum class Mode { kPull, kPush };
@@ -212,34 +215,36 @@ class BatchPipeline {
   /// failing — double-buffering degrades to serialized, it never turns a
   /// query that fits one batch into an error.
   Result<std::shared_ptr<gpu::Buffer>> AllocateWithBackoff(const Slot* slot,
-                                                           std::size_t bytes);
+                                                           std::size_t bytes)
+      RJ_EXCLUDES(mutex_);
 
   /// Packs rows [begin, end) of `table` and uploads them, accumulating the
   /// elapsed wall time into transfer_seconds_. Runs on the transfer thread
   /// (overlap) or the caller (serialized).
   Status UploadSlot(Slot* slot, const PointTable& table, std::size_t begin,
-                    std::size_t end);
+                    std::size_t end) RJ_EXCLUDES(mutex_);
 
   /// Materializes block ordinal `ordinal` of the scan list into `slot`
   /// (setting rows/begin/end), accumulating disk wall time for
   /// disk-resident sources. Runs on the reader thread (three-stage), the
   /// transfer thread (two-stage), or the caller (serialized).
-  Status ReadBlockInto(Slot* slot, std::size_t ordinal);
+  Status ReadBlockInto(Slot* slot, std::size_t ordinal) RJ_EXCLUDES(mutex_);
 
-  void TransferLoopPull();
-  void TransferLoopPush();
+  void TransferLoopPull() RJ_EXCLUDES(mutex_);
+  void TransferLoopPush() RJ_EXCLUDES(mutex_);
 
   /// Disk stage of the three-stage pull pipeline: materializes blocks from
   /// the source into free slots ahead of the transfer thread.
-  void ReaderLoopPull();
+  void ReaderLoopPull() RJ_EXCLUDES(mutex_);
 
   /// Blocks until batch `index`'s upload completes and moves its table out
   /// (push mode).
-  Result<std::optional<PointTable>> WaitUploaded(std::size_t index);
+  Result<std::optional<PointTable>> WaitUploaded(std::size_t index)
+      RJ_EXCLUDES(mutex_);
 
   /// Frees the buffer of the batch previously returned for drawing (its
   /// draw finished: the caller came back for the next batch). Push mode.
-  void ReleaseDrawn();
+  void ReleaseDrawn() RJ_EXCLUDES(mutex_);
 
   gpu::Device* device_;
   const data::PointBlockSource* source_ = nullptr;  ///< pull mode source
@@ -253,28 +258,39 @@ class BatchPipeline {
   bool overlap_ = false;
   bool disk_staged_ = false;  ///< three-stage: dedicated disk reader thread
 
-  std::vector<Slot> slots_;  ///< 3 disk-staged, 2 with overlap, 1 serialized
+  /// 3 disk-staged, 2 with overlap, 1 serialized. NOT guarded by mutex_ —
+  /// slot *payloads* (staging/vbo/table/rows/begin/end) move between
+  /// threads by ownership handoff: exactly one stage owns a slot at a time,
+  /// determined by its `state`, and every state transition happens under
+  /// mutex_ (overlap mode), so the mutex acquisition orders the previous
+  /// owner's payload writes before the next owner's reads. Serialized mode
+  /// has a single thread and touches slots lock-free. The analysis cannot
+  /// express per-element ownership, so the protocol is enforced by the
+  /// asserts in the .cc and TSan instead.
+  std::vector<Slot> slots_;
   std::size_t next_acquire_ = 0;              ///< pull consumer cursor
   bool view_outstanding_ = false;  ///< pull consumer-private: unreleased view
-  std::size_t pushed_ = 0;                    ///< push producer cursor
+  std::size_t pushed_ RJ_GUARDED_BY(mutex_) = 0;  ///< push producer cursor
   std::optional<std::size_t> drawn_slot_;     ///< push: slot pending free
   /// Free generation: bumped (under mutex_) whenever the consumer returns
   /// a slot's device buffer (Release / ReleaseDrawn). AllocateWithBackoff
   /// waits for this to advance rather than for a slot to *be* kFree — the
   /// consumer may re-queue the slot before the waiter re-acquires the
   /// mutex, but a counter advance can never be un-observed.
-  std::uint64_t frees_ = 0;
-  std::size_t rewinds_ = 0;  ///< pull: completed-pass rewind count (mutex_)
-  bool flushed_ = false;
-  bool canceled_ = false;
-  bool drained_ = false;
+  std::uint64_t frees_ RJ_GUARDED_BY(mutex_) = 0;
+  /// Pull: completed-pass rewind count.
+  std::size_t rewinds_ RJ_GUARDED_BY(mutex_) = 0;
+  bool flushed_ RJ_GUARDED_BY(mutex_) = false;
+  bool canceled_ RJ_GUARDED_BY(mutex_) = false;
+  bool drained_ RJ_GUARDED_BY(mutex_) = false;
 
-  mutable std::mutex mutex_;
-  std::condition_variable cv_producer_;  ///< transfer thread: slot freed/queued
-  std::condition_variable cv_consumer_;  ///< consumer: upload finished/error
-  Status error_ = Status::OK();
-  double transfer_seconds_ = 0.0;
-  double disk_seconds_ = 0.0;  ///< accumulated block read wall time (mutex_)
+  mutable Mutex mutex_;
+  CondVar cv_producer_;  ///< transfer thread: slot freed/queued
+  CondVar cv_consumer_;  ///< consumer: upload finished/error
+  Status error_ RJ_GUARDED_BY(mutex_) = Status::OK();
+  double transfer_seconds_ RJ_GUARDED_BY(mutex_) = 0.0;
+  /// Accumulated block read wall time.
+  double disk_seconds_ RJ_GUARDED_BY(mutex_) = 0.0;
 
   std::thread thread_;
   std::thread reader_thread_;  ///< disk-staged pull only

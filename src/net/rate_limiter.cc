@@ -9,7 +9,7 @@ RateLimiter::Decision RateLimiter::Admit(const std::string& key,
   Decision decision;
   if (!enabled()) return decision;
 
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (buckets_.size() >= options_.max_clients &&
       buckets_.find(key) == buckets_.end()) {
     SweepLocked(now_seconds);
@@ -40,7 +40,7 @@ RateLimiter::Decision RateLimiter::Admit(const std::string& key,
 }
 
 std::size_t RateLimiter::num_clients() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return buckets_.size();
 }
 

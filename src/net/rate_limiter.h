@@ -12,9 +12,11 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <unordered_map>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace rj::net {
 
@@ -37,10 +39,11 @@ class RateLimiter {
   explicit RateLimiter(Options options) : options_(options) {}
 
   /// Spends one token from `key`'s bucket at time `now_seconds`.
-  Decision Admit(const std::string& key, double now_seconds);
+  Decision Admit(const std::string& key, double now_seconds)
+      RJ_EXCLUDES(mutex_);
 
   /// Buckets currently tracked (after any sweep). For /v1/stats.
-  std::size_t num_clients() const;
+  std::size_t num_clients() const RJ_EXCLUDES(mutex_);
 
   bool enabled() const { return options_.rate_per_sec > 0.0; }
   const Options& options() const { return options_; }
@@ -51,11 +54,11 @@ class RateLimiter {
     double last_refill = 0.0;
   };
 
-  void SweepLocked(double now_seconds);
+  void SweepLocked(double now_seconds) RJ_REQUIRES(mutex_);
 
-  Options options_;
-  mutable std::mutex mutex_;
-  std::unordered_map<std::string, Bucket> buckets_;
+  Options options_;  ///< immutable after construction
+  mutable Mutex mutex_;
+  std::unordered_map<std::string, Bucket> buckets_ RJ_GUARDED_BY(mutex_);
 };
 
 }  // namespace rj::net

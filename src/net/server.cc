@@ -63,8 +63,7 @@ Status HttpServer::Start() {
                 static_cast<int>(options_.max_connections) + 16));
   Result<int> port = LocalPort(listen_fd_);
   if (!port.ok()) {
-    CloseFd(listen_fd_);
-    listen_fd_ = -1;
+    CloseFd(listen_fd_.exchange(-1));
     return port.status();
   }
   port_ = port.value();
@@ -77,26 +76,29 @@ Status HttpServer::Start() {
 void HttpServer::Shutdown() {
   std::call_once(shutdown_once_, [this] {
     draining_.store(true, std::memory_order_release);
-    if (listen_fd_ >= 0) {
+    // Claim the fd before closing (exchange, not read-then-write): the
+    // accept thread loads listen_fd_ concurrently, and a plain int here
+    // was a data race with that reader.
+    const int fd = listen_fd_.exchange(-1);
+    if (fd >= 0) {
       // shutdown() wakes the blocked accept() even on platforms where
       // close() alone does not; the loop then observes draining_.
-      ::shutdown(listen_fd_, SHUT_RDWR);
-      CloseFd(listen_fd_);
-      listen_fd_ = -1;
+      ::shutdown(fd, SHUT_RDWR);
+      CloseFd(fd);
     }
     if (accept_thread_.joinable()) accept_thread_.join();
     {
       // In-flight handlers poll draining_ between requests and their
       // blocked reads wake within the poll interval, so this converges.
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_idle_.wait(lock, [this] { return active_connections_ == 0; });
+      MutexLock lock(mutex_);
+      while (active_connections_ != 0) cv_idle_.Wait(lock);
     }
     if (pool_ != nullptr) pool_->Wait();
   });
 }
 
 HttpServerStats HttpServer::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return stats_;
 }
 
@@ -104,7 +106,7 @@ void HttpServer::AcceptLoop() {
   while (!draining_.load(std::memory_order_acquire)) {
     sockaddr_in peer_addr;
     socklen_t peer_len = sizeof(peer_addr);
-    int fd = ::accept(listen_fd_,
+    int fd = ::accept(listen_fd_.load(std::memory_order_acquire),
                       reinterpret_cast<sockaddr*>(&peer_addr), &peer_len);
     if (fd < 0) {
       if (errno == EINTR) continue;
@@ -119,7 +121,7 @@ void HttpServer::AcceptLoop() {
 
     bool shed = false;
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       if (active_connections_ >= options_.max_connections) {
         shed = true;
         ++stats_.connections_shed;
@@ -144,8 +146,8 @@ void HttpServer::AcceptLoop() {
 
     pool_->Submit([this, fd, peer = std::move(peer)]() mutable {
       HandleConnection(fd, std::move(peer));
-      std::lock_guard<std::mutex> lock(mutex_);
-      if (--active_connections_ == 0) cv_idle_.notify_all();
+      MutexLock lock(mutex_);
+      if (--active_connections_ == 0) cv_idle_.NotifyAll();
     });
   }
 }
@@ -178,7 +180,7 @@ void HttpServer::HandleConnection(int fd, std::string peer) {
 
     request.peer = peer;
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       ++stats_.requests;
     }
     HttpResponse response = Dispatch(request);
@@ -211,7 +213,7 @@ HttpResponse HttpServer::Dispatch(const HttpRequest& request) {
 }
 
 void HttpServer::CountResponse(int status) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (status >= 500) {
     ++stats_.responses_5xx;
   } else if (status >= 400) {

@@ -27,17 +27,18 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
+#include <mutex>  // std::once_flag
 #include <string>
 #include <thread>
 #include <utility>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 #include "net/http.h"
 #include "net/rate_limiter.h"
@@ -90,22 +91,25 @@ class HttpServer {
   int port() const { return port_; }
 
   /// Graceful drain; idempotent and safe concurrently with itself.
-  void Shutdown();
+  void Shutdown() RJ_EXCLUDES(mutex_);
 
   bool draining() const { return draining_.load(std::memory_order_acquire); }
 
-  HttpServerStats stats() const;
+  HttpServerStats stats() const RJ_EXCLUDES(mutex_);
 
  private:
-  void AcceptLoop();
-  void HandleConnection(int fd, std::string peer);
+  void AcceptLoop() RJ_EXCLUDES(mutex_);
+  void HandleConnection(int fd, std::string peer) RJ_EXCLUDES(mutex_);
   HttpResponse Dispatch(const HttpRequest& request);
-  void CountResponse(int status);
+  void CountResponse(int status) RJ_EXCLUDES(mutex_);
 
   HttpServerOptions options_;
   std::map<std::pair<std::string, std::string>, Handler> routes_;
 
-  int listen_fd_ = -1;
+  /// Atomic because the accept thread reads it on every accept() while
+  /// Shutdown() concurrently closes it and stores -1 (the designed wakeup
+  /// path); Shutdown claims the fd with exchange(-1) so it closes once.
+  std::atomic<int> listen_fd_{-1};
   int port_ = 0;
   std::unique_ptr<ThreadPool> pool_;
   std::thread accept_thread_;
@@ -113,10 +117,10 @@ class HttpServer {
   std::once_flag shutdown_once_;
   bool started_ = false;
 
-  mutable std::mutex mutex_;  ///< guards stats_ and active_connections_
-  std::condition_variable cv_idle_;
-  std::size_t active_connections_ = 0;
-  HttpServerStats stats_;
+  mutable Mutex mutex_;
+  CondVar cv_idle_;  ///< Shutdown(): all connection handlers retired
+  std::size_t active_connections_ RJ_GUARDED_BY(mutex_) = 0;
+  HttpServerStats stats_ RJ_GUARDED_BY(mutex_);
 };
 
 struct QueryServerOptions {

@@ -156,7 +156,7 @@ std::vector<std::size_t> Executor::ShardsPerDevice() const {
 }
 
 Result<const TriangleSoup*> Executor::GetTriangulation() {
-  std::lock_guard<std::mutex> lock(prep_mutex_);
+  MutexLock lock(prep_mutex_);
   if (!soup_built_) {
     Timer t;
     RJ_ASSIGN_OR_RETURN(soup_, TriangulatePolygonSet(*polys_));
@@ -167,7 +167,7 @@ Result<const TriangleSoup*> Executor::GetTriangulation() {
 }
 
 Result<const GridIndex*> Executor::GetCpuIndex(std::int32_t resolution) {
-  std::lock_guard<std::mutex> lock(prep_mutex_);
+  MutexLock lock(prep_mutex_);
   auto it = cpu_indexes_.find(resolution);
   if (it == cpu_indexes_.end()) {
     RJ_ASSIGN_OR_RETURN(GridIndex index,
@@ -181,7 +181,7 @@ Result<const GridIndex*> Executor::GetCpuIndex(std::int32_t resolution) {
 }
 
 Result<const GridIndex*> Executor::GetDeviceIndex(std::int32_t resolution) {
-  std::lock_guard<std::mutex> lock(prep_mutex_);
+  MutexLock lock(prep_mutex_);
   auto it = device_indexes_.find(resolution);
   if (it == device_indexes_.end()) {
     // Identical construction parameters to the per-query build inside
@@ -198,12 +198,12 @@ Result<const GridIndex*> Executor::GetDeviceIndex(std::int32_t resolution) {
 }
 
 void Executor::SetShardReplicas(std::vector<std::vector<std::size_t>> replicas) {
-  std::lock_guard<std::mutex> lock(replica_mutex_);
+  MutexLock lock(replica_mutex_);
   shard_replicas_ = std::move(replicas);
 }
 
 std::vector<std::vector<std::size_t>> Executor::shard_replicas() const {
-  std::lock_guard<std::mutex> lock(replica_mutex_);
+  MutexLock lock(replica_mutex_);
   return shard_replicas_;
 }
 

@@ -40,10 +40,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "data/point_block_source.h"
 #include "data/sharded_table.h"
 #include "gpu/device.h"
@@ -187,8 +188,10 @@ class Executor {
   /// heat; placement picks the least-loaded candidate. Replicas never
   /// change result bits — every device runs the identical shard join.
   /// Thread-safe; an empty vector (or entry) means home-only.
-  void SetShardReplicas(std::vector<std::vector<std::size_t>> replicas);
-  std::vector<std::vector<std::size_t>> shard_replicas() const;
+  void SetShardReplicas(std::vector<std::vector<std::size_t>> replicas)
+      RJ_EXCLUDES(replica_mutex_);
+  std::vector<std::vector<std::size_t>> shard_replicas() const
+      RJ_EXCLUDES(replica_mutex_);
 
   /// Executes a fusion group — compatible queries over this dataset (same
   /// resolved raster variant; equal ε for bounded, equal canvas_dim for
@@ -266,17 +269,20 @@ class Executor {
   const data::ShardedTable* shards() const { return shards_; }
 
   /// Cached triangulation (built on first raster-variant query).
-  Result<const TriangleSoup*> GetTriangulation();
+  [[nodiscard]] Result<const TriangleSoup*> GetTriangulation()
+      RJ_EXCLUDES(prep_mutex_);
 
   /// Cached exact-geometry CPU grid index at `resolution`.
-  Result<const GridIndex*> GetCpuIndex(std::int32_t resolution);
+  [[nodiscard]] Result<const GridIndex*> GetCpuIndex(std::int32_t resolution)
+      RJ_EXCLUDES(prep_mutex_);
 
   /// Cached MBR-mode grid index for the device index-join variant. The
   /// paper's §6.2 baseline rebuilds this per query; caching it across
   /// queries (it is a pure function of the immutable polygon set, world,
   /// and resolution) removes the rebuild from repeated traffic without
   /// changing results — IndexJoinDevice consumes it as a prebuilt index.
-  Result<const GridIndex*> GetDeviceIndex(std::int32_t resolution);
+  [[nodiscard]] Result<const GridIndex*> GetDeviceIndex(
+      std::int32_t resolution) RJ_EXCLUDES(prep_mutex_);
 
   /// Cost-model parameters for the kAuto variant. Not synchronized:
   /// configure before serving concurrent queries.
@@ -407,19 +413,25 @@ class Executor {
 
   /// Guards the lazily-built caches below. Once built they are immutable
   /// (indexes are per-resolution map entries with stable addresses), so
-  /// returned pointers stay valid for the Executor's lifetime.
-  std::mutex prep_mutex_;
-  bool soup_built_ = false;
-  TriangleSoup soup_;
-  double triangulation_seconds_ = 0.0;
-  std::map<std::int32_t, std::unique_ptr<GridIndex>> cpu_indexes_;
+  /// the pointers Get* return under the lock stay valid — and safely
+  /// readable without it — for the Executor's lifetime. The analysis
+  /// cannot see that build-once contract, which is why the escaping
+  /// pointers (not the guarded containers) are handed to callers.
+  Mutex prep_mutex_;
+  bool soup_built_ RJ_GUARDED_BY(prep_mutex_) = false;
+  TriangleSoup soup_ RJ_GUARDED_BY(prep_mutex_);
+  double triangulation_seconds_ RJ_GUARDED_BY(prep_mutex_) = 0.0;
+  std::map<std::int32_t, std::unique_ptr<GridIndex>> cpu_indexes_
+      RJ_GUARDED_BY(prep_mutex_);
   /// MBR-mode indexes for the device variant, cached like cpu_indexes_.
-  std::map<std::int32_t, std::unique_ptr<GridIndex>> device_indexes_;
+  std::map<std::int32_t, std::unique_ptr<GridIndex>> device_indexes_
+      RJ_GUARDED_BY(prep_mutex_);
 
   /// Guards the replica map (written by QueryService's heat tracker while
   /// queries are in flight; read by every PlanPlacement).
-  mutable std::mutex replica_mutex_;
-  std::vector<std::vector<std::size_t>> shard_replicas_;
+  mutable Mutex replica_mutex_;
+  std::vector<std::vector<std::size_t>> shard_replicas_
+      RJ_GUARDED_BY(replica_mutex_);
 };
 
 /// Sets poly[i].id = i for all i.

@@ -67,7 +67,7 @@ ResultCache::Shard& ResultCache::ShardFor(const CacheKey& key) {
 
 std::shared_ptr<const QueryResult> ResultCache::Lookup(const CacheKey& key) {
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mutex);
+  MutexLock lock(shard.mutex);
   auto it = shard.entries.find(key);
   if (it == shard.entries.end()) {
     ++shard.misses;
@@ -85,7 +85,7 @@ Result<std::shared_ptr<const QueryResult>> ResultCache::GetOrCompute(
   std::shared_ptr<InFlight> flight;
   bool leader = false;
   {
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    MutexLock lock(shard.mutex);
     auto it = shard.entries.find(key);
     if (it != shard.entries.end()) {
       shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
@@ -108,8 +108,8 @@ Result<std::shared_ptr<const QueryResult>> ResultCache::GetOrCompute(
   if (!leader) {
     // Follower: the leader is executing this exact query right now — wait
     // for its outcome instead of duplicating the join (single-flight).
-    std::unique_lock<std::mutex> lock(flight->mutex);
-    flight->cv.wait(lock, [&] { return flight->done; });
+    MutexLock lock(flight->mutex);
+    while (!flight->done) flight->cv.Wait(lock);
     if (was_hit != nullptr) *was_hit = true;
     if (!flight->error.ok()) return flight->error;
     return flight->value;
@@ -129,12 +129,12 @@ Result<std::shared_ptr<const QueryResult>> ResultCache::GetOrCompute(
   const bool publishable =
       value != nullptr && (still_valid == nullptr || still_valid());
   {
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    MutexLock lock(shard.mutex);
     shard.inflight.erase(key);
     if (publishable) InsertLocked(shard, key, value);
   }
   {
-    std::lock_guard<std::mutex> lock(flight->mutex);
+    MutexLock lock(flight->mutex);
     flight->done = true;
     if (value != nullptr) {
       flight->value = value;
@@ -142,7 +142,7 @@ Result<std::shared_ptr<const QueryResult>> ResultCache::GetOrCompute(
       flight->error = computed.status();
     }
   }
-  flight->cv.notify_all();
+  flight->cv.NotifyAll();
   if (was_hit != nullptr) *was_hit = false;
   if (value == nullptr) return computed.status();
   return value;
@@ -151,7 +151,7 @@ Result<std::shared_ptr<const QueryResult>> ResultCache::GetOrCompute(
 void ResultCache::Insert(const CacheKey& key, QueryResult result) {
   Shard& shard = ShardFor(key);
   auto value = std::make_shared<const QueryResult>(std::move(result));
-  std::lock_guard<std::mutex> lock(shard.mutex);
+  MutexLock lock(shard.mutex);
   InsertLocked(shard, key, std::move(value));
 }
 
@@ -180,7 +180,7 @@ void ResultCache::InsertLocked(Shard& shard, const CacheKey& key,
 
 void ResultCache::Clear() {
   for (const std::unique_ptr<Shard>& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mutex);
+    MutexLock lock(shard->mutex);
     shard->evictions += shard->entries.size();
     shard->entries.clear();
     shard->lru.clear();
@@ -192,7 +192,7 @@ ResultCacheStats ResultCache::stats() const {
   ResultCacheStats out;
   out.capacity_bytes = options_.capacity_bytes;
   for (const std::unique_ptr<Shard>& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mutex);
+    MutexLock lock(shard->mutex);
     out.hits += shard->hits;
     out.misses += shard->misses;
     out.inserts += shard->inserts;
@@ -252,7 +252,7 @@ Result<AdmissionPlan> PlanCache::GetAdmission(
     const AdmissionKey& key,
     const std::function<Result<AdmissionPlan>()>& compute) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     auto it = admission_.find(key);
     if (it != admission_.end()) {
       ++stats_.admission_hits;
@@ -265,7 +265,7 @@ Result<AdmissionPlan> PlanCache::GetAdmission(
   // store identical values. Errors are not cached.
   Result<AdmissionPlan> plan = compute();
   if (plan.ok()) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (admission_.size() >= kMaxPlanEntries) admission_.clear();
     admission_.emplace(key, plan.value());
   }
@@ -275,7 +275,7 @@ Result<AdmissionPlan> PlanCache::GetAdmission(
 UploadPlan PlanCache::GetUpload(const UploadKey& key,
                                 const std::function<UploadPlan()>& compute) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     auto it = upload_.find(key);
     if (it != upload_.end()) {
       ++stats_.upload_hits;
@@ -285,7 +285,7 @@ UploadPlan PlanCache::GetUpload(const UploadKey& key,
   }
   const UploadPlan plan = compute();
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (upload_.size() >= kMaxPlanEntries) upload_.clear();
     upload_.emplace(key, plan);
   }
@@ -293,13 +293,13 @@ UploadPlan PlanCache::GetUpload(const UploadKey& key,
 }
 
 void PlanCache::Clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   admission_.clear();
   upload_.clear();
 }
 
 PlanCacheStats PlanCache::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return stats_;
 }
 

@@ -37,16 +37,16 @@
 /// cache" documents the policy and its interaction with admission control.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "query/executor.h"
 #include "query/query.h"
 #include "query/result.h"
@@ -130,7 +130,9 @@ class ResultCache {
 
   /// Fast-path probe: the cached result (LRU-touched) or nullptr. Counts a
   /// hit or a miss; does not join or start an in-flight computation.
-  std::shared_ptr<const QueryResult> Lookup(const CacheKey& key);
+  /// Discarding the return value silently skews the hit counters, so it is
+  /// a compile error.
+  [[nodiscard]] std::shared_ptr<const QueryResult> Lookup(const CacheKey& key);
 
   /// Single-flight get-or-compute. On a hit the cached value returns
   /// immediately. On a miss, exactly one caller per key (the leader) runs
@@ -147,7 +149,7 @@ class ResultCache {
   /// caller and shared with its followers (they asked for exactly this
   /// key), but it is NOT inserted, so later callers can never hit a result
   /// stamped with a stale version.
-  Result<std::shared_ptr<const QueryResult>> GetOrCompute(
+  [[nodiscard]] Result<std::shared_ptr<const QueryResult>> GetOrCompute(
       const CacheKey& key, const ComputeFn& compute, bool* was_hit = nullptr,
       const std::function<bool()>& still_valid = nullptr);
 
@@ -172,35 +174,39 @@ class ResultCache {
   };
 
   /// One in-flight computation; followers block on `cv` until the leader
-  /// publishes a value or an error.
+  /// publishes a value or an error. `mutex` is strictly below the owning
+  /// shard's mutex in the hierarchy — the leader publishes under
+  /// flight->mutex only after dropping shard.mutex.
   struct InFlight {
-    std::mutex mutex;
-    std::condition_variable cv;
-    bool done = false;
-    Status error = Status::OK();
-    std::shared_ptr<const QueryResult> value;
+    Mutex mutex;
+    CondVar cv;
+    bool done RJ_GUARDED_BY(mutex) = false;
+    Status error RJ_GUARDED_BY(mutex) = Status::OK();
+    std::shared_ptr<const QueryResult> value RJ_GUARDED_BY(mutex);
   };
 
   struct Shard {
-    mutable std::mutex mutex;
-    std::list<Entry> lru;  ///< front = most recently used
+    mutable Mutex mutex;
+    /// Front = most recently used.
+    std::list<Entry> lru RJ_GUARDED_BY(mutex);
     std::unordered_map<CacheKey, std::list<Entry>::iterator, CacheKeyHash>
-        entries;
+        entries RJ_GUARDED_BY(mutex);
     std::unordered_map<CacheKey, std::shared_ptr<InFlight>, CacheKeyHash>
-        inflight;
-    std::size_t bytes = 0;
-    std::uint64_t hits = 0;
-    std::uint64_t misses = 0;
-    std::uint64_t inserts = 0;
-    std::uint64_t evictions = 0;
-    std::uint64_t shared_flights = 0;
+        inflight RJ_GUARDED_BY(mutex);
+    std::size_t bytes RJ_GUARDED_BY(mutex) = 0;
+    std::uint64_t hits RJ_GUARDED_BY(mutex) = 0;
+    std::uint64_t misses RJ_GUARDED_BY(mutex) = 0;
+    std::uint64_t inserts RJ_GUARDED_BY(mutex) = 0;
+    std::uint64_t evictions RJ_GUARDED_BY(mutex) = 0;
+    std::uint64_t shared_flights RJ_GUARDED_BY(mutex) = 0;
   };
 
   Shard& ShardFor(const CacheKey& key);
   /// Inserts under shard.mutex (held by the caller); evicts from the LRU
   /// tail until the shard fits its capacity slice again.
   void InsertLocked(Shard& shard, const CacheKey& key,
-                    std::shared_ptr<const QueryResult> value);
+                    std::shared_ptr<const QueryResult> value)
+      RJ_REQUIRES(shard.mutex);
 
   ResultCacheOptions options_;
   std::size_t per_shard_capacity_ = 0;
@@ -248,16 +254,18 @@ class PlanCache {
   };
 
   /// Memoized admission plan, or computes and stores via `compute`.
-  Result<AdmissionPlan> GetAdmission(
+  [[nodiscard]] Result<AdmissionPlan> GetAdmission(
       const AdmissionKey& key,
-      const std::function<Result<AdmissionPlan>()>& compute);
+      const std::function<Result<AdmissionPlan>()>& compute)
+      RJ_EXCLUDES(mutex_);
 
   /// Memoized grant-capped batch plan, or computes and stores.
-  UploadPlan GetUpload(const UploadKey& key,
-                       const std::function<UploadPlan()>& compute);
+  [[nodiscard]] UploadPlan GetUpload(
+      const UploadKey& key, const std::function<UploadPlan()>& compute)
+      RJ_EXCLUDES(mutex_);
 
-  void Clear();
-  PlanCacheStats stats() const;
+  void Clear() RJ_EXCLUDES(mutex_);
+  PlanCacheStats stats() const RJ_EXCLUDES(mutex_);
 
  private:
   struct AdmissionKeyHash {
@@ -269,11 +277,12 @@ class PlanCache {
 
   /// One mutex for both maps: plan entries are tiny PODs and the critical
   /// sections are a probe or an insert (compute for a miss runs outside).
-  mutable std::mutex mutex_;
+  mutable Mutex mutex_;
   std::unordered_map<AdmissionKey, AdmissionPlan, AdmissionKeyHash>
-      admission_;
-  std::unordered_map<UploadKey, UploadPlan, UploadKeyHash> upload_;
-  PlanCacheStats stats_;
+      admission_ RJ_GUARDED_BY(mutex_);
+  std::unordered_map<UploadKey, UploadPlan, UploadKeyHash> upload_
+      RJ_GUARDED_BY(mutex_);
+  PlanCacheStats stats_ RJ_GUARDED_BY(mutex_);
 };
 
 }  // namespace rj::query

@@ -19,7 +19,7 @@ FboLease::~FboLease() {
 FboLease FboPool::Acquire(std::int32_t width, std::int32_t height) {
   std::unique_ptr<Fbo> reused;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     // Scan newest-first: the most recently released canvas has the warmest
     // pages. Exact dimension match only — resizing would reallocate anyway.
     for (auto it = parked_.rbegin(); it != parked_.rend(); ++it) {
@@ -42,7 +42,7 @@ FboLease FboPool::Acquire(std::int32_t width, std::int32_t height) {
 }
 
 void FboPool::Release(std::unique_ptr<Fbo> fbo) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   retained_bytes_ += fbo->size_bytes();
   parked_.push_back(std::move(fbo));
   // Evict least recently released canvases beyond the cap.
@@ -58,17 +58,17 @@ FboPool& FboPool::Shared() {
 }
 
 std::size_t FboPool::retained_bytes() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return retained_bytes_;
 }
 
 std::uint64_t FboPool::hits() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return hits_;
 }
 
 std::uint64_t FboPool::misses() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return misses_;
 }
 

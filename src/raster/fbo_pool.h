@@ -17,8 +17,9 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "raster/fbo.h"
 
 namespace rj::raster {
@@ -63,27 +64,30 @@ class FboPool {
       : max_retained_bytes_(max_retained_bytes) {}
 
   /// A cleared width × height canvas — reused when one of the exact
-  /// dimensions is parked, freshly constructed otherwise.
-  FboLease Acquire(std::int32_t width, std::int32_t height);
+  /// dimensions is parked, freshly constructed otherwise. Discarding the
+  /// lease immediately parks the canvas again, so the call is pointless.
+  [[nodiscard]] FboLease Acquire(std::int32_t width, std::int32_t height)
+      RJ_EXCLUDES(mutex_);
 
   /// Process-wide pool shared by every join / device (canvas dimensions,
   /// not devices, are the reuse key).
   static FboPool& Shared();
 
-  std::size_t retained_bytes() const;
-  std::uint64_t hits() const;
-  std::uint64_t misses() const;
+  std::size_t retained_bytes() const RJ_EXCLUDES(mutex_);
+  std::uint64_t hits() const RJ_EXCLUDES(mutex_);
+  std::uint64_t misses() const RJ_EXCLUDES(mutex_);
 
  private:
   friend class FboLease;
-  void Release(std::unique_ptr<Fbo> fbo);
+  void Release(std::unique_ptr<Fbo> fbo) RJ_EXCLUDES(mutex_);
 
-  mutable std::mutex mutex_;
-  std::deque<std::unique_ptr<Fbo>> parked_;  ///< most recent at the back
-  std::size_t max_retained_bytes_;
-  std::size_t retained_bytes_ = 0;
-  std::uint64_t hits_ = 0;
-  std::uint64_t misses_ = 0;
+  mutable Mutex mutex_;
+  /// Most recent at the back.
+  std::deque<std::unique_ptr<Fbo>> parked_ RJ_GUARDED_BY(mutex_);
+  std::size_t max_retained_bytes_;  ///< immutable after construction
+  std::size_t retained_bytes_ RJ_GUARDED_BY(mutex_) = 0;
+  std::uint64_t hits_ RJ_GUARDED_BY(mutex_) = 0;
+  std::uint64_t misses_ RJ_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace rj::raster

@@ -60,14 +60,14 @@ void QueryService::Shutdown() {
   // until the first drain completes instead of double-joining.
   std::call_once(shutdown_once_, [this] {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       stop_ = true;
       for (DispatcherSlot& slot : slots_) {
         slot.wake = true;
-        slot.cv.notify_one();
+        slot.cv.NotifyOne();
       }
     }
-    cv_space_.notify_all();  // release blocked submitters (their queries
+    cv_space_.NotifyAll();  // release blocked submitters (their queries
                              // fail with the shutdown error, never hang)
     for (std::thread& t : dispatchers_) t.join();
   });
@@ -102,7 +102,7 @@ std::size_t QueryService::RegisterDataset(const PointTable* points,
   // find-or-insert decision is a single critical section, so two racing
   // registrations of the same pair cannot mint two ids.
   auto executor = std::make_unique<Executor>(pool_->primary(), points, polys);
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const std::size_t existing =
       FindDatasetLocked(executors_, points, nullptr, polys);
   if (existing != static_cast<std::size_t>(-1)) {
@@ -150,7 +150,7 @@ Result<std::size_t> QueryService::RegisterDatasetFromFile(
   // deliberate reload — the old id keeps serving its (still-mapped) file.
   auto executor =
       std::make_unique<Executor>(pool_->primary(), source.get(), polys);
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   executors_.push_back(std::move(executor));
   owned_sources_.push_back(std::move(source));
   const std::size_t id = executors_.size() - 1;
@@ -164,7 +164,7 @@ std::size_t QueryService::RegisterShardedDataset(
     const data::ShardedTable* shards, const PolygonSet* polys,
     std::string name) {
   auto executor = std::make_unique<Executor>(pool_, shards, polys);
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const std::size_t existing =
       FindDatasetLocked(executors_, nullptr, shards, polys);
   if (existing != static_cast<std::size_t>(-1)) {
@@ -182,7 +182,7 @@ std::size_t QueryService::RegisterShardedDataset(
 
 Result<std::size_t> QueryService::ResolveDataset(
     const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   // Latest registration wins when a name was reused (shadowing).
   for (std::size_t i = dataset_names_.size(); i-- > 0;) {
     if (dataset_names_[i] == name) return i;
@@ -191,7 +191,7 @@ Result<std::size_t> QueryService::ResolveDataset(
 }
 
 std::vector<DatasetInfo> QueryService::ListDatasets() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::vector<DatasetInfo> out;
   out.reserve(executors_.size());
   for (std::size_t id = 0; id < executors_.size(); ++id) {
@@ -223,7 +223,7 @@ void QueryService::InvalidateDataset(std::size_t dataset_id) {
 }
 
 Executor* QueryService::dataset_executor(std::size_t dataset_id) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return dataset_id < executors_.size() ? executors_[dataset_id].get()
                                         : nullptr;
 }
@@ -270,7 +270,7 @@ std::future<ServiceResponse> QueryService::Enqueue(
   // per-query error, not a service-level reject).
   Status invalid = Status::OK();
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (dataset_id >= executors_.size()) {
       invalid = Status::NotFound("unknown dataset id " +
                                  std::to_string(dataset_id));
@@ -294,9 +294,9 @@ std::future<ServiceResponse> QueryService::Enqueue(
       return future;  // TrySubmit discards it via the error path
     } else if (blocking) {
       // Backpressure: hold the submitter until a slot frees up.
-      cv_space_.wait(lock, [this] {
-        return stop_ || QueueDepthLocked() < options_.max_queue_depth;
-      });
+      while (!stop_ && QueueDepthLocked() >= options_.max_queue_depth) {
+        cv_space_.Wait(lock);
+      }
       if (stop_) {
         invalid = Status::CapacityError("query service is shutting down");
       }
@@ -322,23 +322,21 @@ void QueryService::WakeOneLocked() {
   const std::size_t slot = idle_.back();
   idle_.pop_back();
   slots_[slot].wake = true;
-  slots_[slot].cv.notify_one();
+  slots_[slot].cv.NotifyOne();
 }
 
 void QueryService::DispatchLoop(std::size_t slot) {
   for (;;) {
     std::vector<Pending> group;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       while (priority_.empty() && fifo_.empty()) {
         if (stop_) return;
         // Park on this dispatcher's own slot, most-recently-idle at the
         // back of the stack, so the next submission reuses a warm thread.
         idle_.push_back(slot);
         slots_[slot].wake = false;
-        slots_[slot].cv.wait(lock, [this, slot] {
-          return slots_[slot].wake;
-        });
+        while (!slots_[slot].wake) slots_[slot].cv.Wait(lock);
       }
       std::deque<Pending>& lane = priority_.empty() ? fifo_ : priority_;
       Pending pending = std::move(lane.front());
@@ -351,10 +349,10 @@ void QueryService::DispatchLoop(std::size_t slot) {
       }
     }
     if (group.size() > 1) {
-      cv_space_.notify_all();  // fusion drained several queue slots at once
+      cv_space_.NotifyAll();  // fusion drained several queue slots at once
       RunGroup(std::move(group));
     } else {
-      cv_space_.notify_one();  // a queue slot freed up
+      cv_space_.NotifyOne();  // a queue slot freed up
       RunQuery(std::move(group.front()));
     }
   }
@@ -584,8 +582,8 @@ void QueryService::RunGroup(std::vector<Pending> group) {
     grant.Release();
     // Empty critical section pairs with the waiters' locked try/wait cycle
     // so the notify cannot be lost.
-    { std::lock_guard<std::mutex> lock(mutex_); }
-    cv_capacity_.notify_all();
+    { MutexLock lock(mutex_); }
+    cv_capacity_.NotifyAll();
   }
 
   if (!fused.ok()) {
@@ -632,7 +630,7 @@ Result<gpu::PoolReservation> QueryService::AcquireGrant(
   // (TryReservePool) plus serialization on mutex_ means two queries can
   // never hold partial multi-device grants and wait on each other. Lock
   // order is always mutex_ → device mutex, never the reverse.
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (;;) {
     // Placement check: every device must be able to host its shards'
     // minimum footprint even when the query runs alone — otherwise the
@@ -677,7 +675,7 @@ Result<gpu::PoolReservation> QueryService::AcquireGrant(
     // (set_memory_budget_bytes) and reservations released by non-service
     // holders of the shared devices do not — the timeout re-runs the
     // budget checks so those paths cannot wedge the dispatcher.
-    cv_capacity_.wait_for(lock, std::chrono::milliseconds(100));
+    cv_capacity_.WaitFor(lock, std::chrono::milliseconds(100));
   }
 }
 
@@ -734,8 +732,8 @@ Result<QueryResult> QueryService::AdmitAndExecute(Executor* executor,
     grant.Release();
     // Empty critical section pairs with the waiters' locked try/wait cycle
     // so the notify cannot be lost.
-    { std::lock_guard<std::mutex> lock(mutex_); }
-    cv_capacity_.notify_all();
+    { MutexLock lock(mutex_); }
+    cv_capacity_.NotifyAll();
   }
 
   if (result.ok()) UpdateShardHeat(executor, placement);
@@ -749,7 +747,7 @@ void QueryService::UpdateShardHeat(
   std::vector<std::vector<std::size_t>> replicas;
   bool install = false;
   {
-    std::lock_guard<std::mutex> lock(heat_mutex_);
+    MutexLock lock(heat_mutex_);
     ShardHeat& h = shard_heat_[executor];
     const std::size_t num_shards = placement.device_of_shard.size();
     if (h.heat.size() != num_shards) h.heat.assign(num_shards, 0.0);
@@ -794,20 +792,20 @@ void QueryService::Respond(Pending* pending, Result<QueryResult> result,
   // Accounting first: a client whose future just resolved must not read a
   // stats() snapshot that still lags behind its own completion.
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     ++completed_;
     if (!result.ok()) ++failed_;
     if (running_ > 0) --running_;
   }
   pending->promise.set_value(ServiceResponse{std::move(result), stats});
-  cv_drain_.notify_all();
+  cv_drain_.NotifyAll();
 }
 
 void QueryService::Drain() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  cv_drain_.wait(lock, [this] {
-    return priority_.empty() && fifo_.empty() && running_ == 0;
-  });
+  MutexLock lock(mutex_);
+  while (!priority_.empty() || !fifo_.empty() || running_ != 0) {
+    cv_drain_.Wait(lock);
+  }
 }
 
 ServiceStats QueryService::stats() const {
@@ -817,7 +815,7 @@ ServiceStats QueryService::stats() const {
   // acyclic. Cache stats likewise use only the cache's shard locks.
   s.devices = pool_->Utilization();
   if (cache_ != nullptr) s.cache = cache_->stats();
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   s.submitted = submitted_;
   s.rejected = rejected_;
   s.completed = completed_;

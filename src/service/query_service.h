@@ -34,16 +34,17 @@
 /// and tests/service/ for the proof).
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <future>
 #include <memory>
-#include <mutex>
+#include <mutex>  // std::once_flag
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "data/point_block_source.h"
 #include "data/sharded_table.h"
 #include "gpu/device.h"
@@ -283,10 +284,11 @@ class QueryService {
 
   /// Dataset id for a registered name (latest registration wins when a
   /// name was reused); NotFound otherwise.
-  Result<std::size_t> ResolveDataset(const std::string& name) const;
+  [[nodiscard]] Result<std::size_t> ResolveDataset(
+      const std::string& name) const RJ_EXCLUDES(mutex_);
 
   /// Snapshot of every registered dataset, in id order.
-  std::vector<DatasetInfo> ListDatasets() const;
+  std::vector<DatasetInfo> ListDatasets() const RJ_EXCLUDES(mutex_);
 
   /// Bumps `dataset_id`'s version: cached results stop matching and the
   /// next query of each shape re-executes. For out-of-band mutations the
@@ -297,14 +299,15 @@ class QueryService {
 
   /// The cached executor for a registered dataset (e.g. to warm caches or
   /// run a sequential baseline against the very same preprocessing).
-  Executor* dataset_executor(std::size_t dataset_id);
+  Executor* dataset_executor(std::size_t dataset_id) RJ_EXCLUDES(mutex_);
 
   /// Enqueues a query. Blocks while the submission queue is full
   /// (backpressure); the returned future resolves when the query has
   /// executed (or failed validation/admission).
   std::future<ServiceResponse> Submit(std::size_t dataset_id,
                                       const SpatialAggQuery& query,
-                                      SubmitOptions options = {});
+                                      SubmitOptions options = {})
+      RJ_EXCLUDES(mutex_);
 
   /// Non-blocking Submit: CapacityError when the queue is full.
   Result<std::future<ServiceResponse>> TrySubmit(std::size_t dataset_id,
@@ -326,7 +329,7 @@ class QueryService {
                                                  SubmitOptions options = {});
 
   /// Blocks until every accepted query has completed.
-  void Drain();
+  void Drain() RJ_EXCLUDES(mutex_);
 
   /// Graceful drain: stop accepting (Submit/TrySubmit fail with a
   /// retryable CapacityError from this point on), finish every query
@@ -335,9 +338,9 @@ class QueryService {
   /// before the cut (its future resolves normally) or observes the
   /// shutdown error — it can never run against torn-down state. The
   /// destructor runs the same implementation.
-  void Shutdown();
+  void Shutdown() RJ_EXCLUDES(mutex_);
 
-  ServiceStats stats() const;
+  ServiceStats stats() const RJ_EXCLUDES(mutex_);
   /// The pool's primary device (back-compat accessor).
   gpu::Device* device() const { return pool_->primary(); }
   gpu::DevicePool* pool() const { return pool_; }
@@ -367,16 +370,17 @@ class QueryService {
   std::future<ServiceResponse> Enqueue(std::size_t dataset_id,
                                        const SpatialAggQuery& query,
                                        SubmitOptions options, bool blocking,
-                                       Status* reject_status);
+                                       Status* reject_status)
+      RJ_EXCLUDES(mutex_);
 
-  void DispatchLoop(std::size_t slot);
+  void DispatchLoop(std::size_t slot) RJ_EXCLUDES(mutex_);
 
   /// Wakes the most recently idle dispatcher (MRU / hot-thread dispatch):
   /// under light load consecutive queries land on the same thread, whose
   /// malloc arenas and caches still hold the previous query's working-set
   /// pages — measurably faster than FIFO condvar wakeup rotating every
   /// query onto a cold thread. Caller holds mutex_.
-  void WakeOneLocked();
+  void WakeOneLocked() RJ_REQUIRES(mutex_);
 
   /// Admission + execution of one popped query (dispatcher thread).
   void RunQuery(Pending pending);
@@ -385,7 +389,8 @@ class QueryService {
   /// queries fusion-compatible with group->front() and moves up to
   /// max_fusion_group_size − 1 of them into the group, dispatch-ordered
   /// and counted running. Caller holds mutex_.
-  void CollectFusionGroupLocked(std::vector<Pending>* group);
+  void CollectFusionGroupLocked(std::vector<Pending>* group)
+      RJ_REQUIRES(mutex_);
 
   /// Fused execution of a collected group: per-member cache probe (hits
   /// leave the group), in-group dedupe of semantically identical members,
@@ -402,7 +407,7 @@ class QueryService {
   /// an idle pool.
   Result<gpu::PoolReservation> AcquireGrant(
       const AdmissionPlan& plan, const std::vector<std::size_t>& hosted,
-      std::size_t* per_shard_grant);
+      std::size_t* per_shard_grant) RJ_EXCLUDES(mutex_);
 
   /// The uncached execution path: plans the shard placement (routing /
   /// per-shard cache / replicas), sizes and reserves the per-device grants
@@ -421,19 +426,20 @@ class QueryService {
   /// top-K replica map and installs it on the executor. No-op when
   /// replication is off or the dataset is unsharded.
   void UpdateShardHeat(Executor* executor,
-                       const Executor::ShardPlacement& placement);
+                       const Executor::ShardPlacement& placement)
+      RJ_EXCLUDES(heat_mutex_);
 
   /// Fulfills a pending promise and updates completion accounting.
   void Respond(Pending* pending, Result<QueryResult> result,
-               QueryStats stats);
+               QueryStats stats) RJ_EXCLUDES(mutex_);
 
   /// Shares the service result cache with executors_[id] under the dataset
   /// id, so whole-query entries and the executor's per-shard partial
   /// entries live in one key space. Caller holds mutex_; no-op with
   /// caching off.
-  void AttachCacheLocked(std::size_t id);
+  void AttachCacheLocked(std::size_t id) RJ_REQUIRES(mutex_);
 
-  std::size_t QueueDepthLocked() const {
+  std::size_t QueueDepthLocked() const RJ_REQUIRES(mutex_) {
     return fifo_.size() + priority_.size();
   }
 
@@ -446,23 +452,30 @@ class QueryService {
   /// null when options_.result_cache_bytes == 0.
   std::unique_ptr<query::ResultCache> cache_;
 
-  mutable std::mutex mutex_;
-  std::condition_variable cv_space_;     ///< submitters: queue has room
-  std::condition_variable cv_capacity_;  ///< dispatchers: grant released
-  std::condition_variable cv_drain_;     ///< Drain(): everything finished
+  /// Service lock. Guards the queues, dispatcher bookkeeping, and the
+  /// registration tables. Lock order: mutex_ before any device mutex
+  /// (AcquireGrant reserves device budgets while holding it), never the
+  /// reverse; disjoint from heat_mutex_ (never both held).
+  mutable Mutex mutex_;
+  CondVar cv_space_;     ///< submitters: queue has room
+  CondVar cv_capacity_;  ///< dispatchers: grant released
+  CondVar cv_drain_;     ///< Drain(): everything finished
 
   /// Per-dispatcher wakeup slot; `idle_` is a stack of waiting slots with
   /// the most recently idle dispatcher at the back (see WakeOneLocked).
+  /// `wake` is guarded by mutex_ — not annotated because a nested struct
+  /// member cannot name the enclosing class's mutex in a capability
+  /// expression; every access is inside a mutex_ critical section.
   struct DispatcherSlot {
-    std::condition_variable cv;
+    CondVar cv;
     bool wake = false;
   };
-  std::deque<DispatcherSlot> slots_;
-  std::vector<std::size_t> idle_;
+  std::deque<DispatcherSlot> slots_ RJ_GUARDED_BY(mutex_);
+  std::vector<std::size_t> idle_ RJ_GUARDED_BY(mutex_);
 
-  std::vector<std::unique_ptr<Executor>> executors_;
+  std::vector<std::unique_ptr<Executor>> executors_ RJ_GUARDED_BY(mutex_);
   /// Wire names, parallel to executors_ (id = index).
-  std::vector<std::string> dataset_names_;
+  std::vector<std::string> dataset_names_ RJ_GUARDED_BY(mutex_);
   /// Per-dataset EWMA shard heat (see ServiceOptions::replicate_hot_shards),
   /// keyed by executor (stable for the service's lifetime); guarded by
   /// heat_mutex_ — its own lock, since heat updates happen on the
@@ -471,25 +484,27 @@ class QueryService {
     std::vector<double> heat;
     std::uint64_t queries = 0;
   };
-  std::mutex heat_mutex_;
-  std::unordered_map<const Executor*, ShardHeat> shard_heat_;
+  Mutex heat_mutex_;
+  std::unordered_map<const Executor*, ShardHeat> shard_heat_
+      RJ_GUARDED_BY(heat_mutex_);
   /// Block sources opened by RegisterDatasetFromFile, owned for the
   /// service's lifetime (their executors point into them). Not parallel to
   /// executors_ — table/sharded registrations add no entry.
-  std::vector<std::unique_ptr<data::PointBlockSource>> owned_sources_;
+  std::vector<std::unique_ptr<data::PointBlockSource>> owned_sources_
+      RJ_GUARDED_BY(mutex_);
   /// Shutdown() body runs exactly once (destructor re-entry, concurrent
   /// callers); later callers block until the first finishes the join.
   std::once_flag shutdown_once_;
-  std::deque<Pending> fifo_;
-  std::deque<Pending> priority_;
-  bool stop_ = false;
-  std::uint64_t next_sequence_ = 0;
-  std::uint64_t next_dispatch_order_ = 0;
-  std::uint64_t submitted_ = 0;
-  std::uint64_t rejected_ = 0;
-  std::uint64_t completed_ = 0;
-  std::uint64_t failed_ = 0;
-  std::size_t running_ = 0;
+  std::deque<Pending> fifo_ RJ_GUARDED_BY(mutex_);
+  std::deque<Pending> priority_ RJ_GUARDED_BY(mutex_);
+  bool stop_ RJ_GUARDED_BY(mutex_) = false;
+  std::uint64_t next_sequence_ RJ_GUARDED_BY(mutex_) = 0;
+  std::uint64_t next_dispatch_order_ RJ_GUARDED_BY(mutex_) = 0;
+  std::uint64_t submitted_ RJ_GUARDED_BY(mutex_) = 0;
+  std::uint64_t rejected_ RJ_GUARDED_BY(mutex_) = 0;
+  std::uint64_t completed_ RJ_GUARDED_BY(mutex_) = 0;
+  std::uint64_t failed_ RJ_GUARDED_BY(mutex_) = 0;
+  std::size_t running_ RJ_GUARDED_BY(mutex_) = 0;
 
   std::vector<std::thread> dispatchers_;
 };

@@ -1,0 +1,29 @@
+/// \file thread_safety_violation.cc
+/// \brief Deliberate -Wthread-safety violation. This file must NOT compile
+/// under clang with the analysis armed; tests/CMakeLists.txt try_compiles it
+/// at configure time and fails the build if it ever succeeds — proving the
+/// annotations are not silently disabled (wrong flags, broken macros).
+///
+/// Never added to any build target.
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+struct Account {
+  rj::Mutex mutex;
+  int balance RJ_GUARDED_BY(mutex) = 0;
+};
+
+int ReadWithoutLock(Account& account) {
+  // VIOLATION: reading a guarded field with no lock held.
+  return account.balance;
+}
+
+}  // namespace
+
+int main() {
+  Account account;
+  return ReadWithoutLock(account);
+}
